@@ -1,0 +1,65 @@
+//===- bench/BenchCommon.h - Shared bench harness pieces -------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure/table reproduction binaries: the simulated
+/// machine roster, cached Base runs, normalization and table assembly.
+/// Every bench prints the series of one table or figure from the paper's
+/// evaluation (Section 4); EXPERIMENTS.md records the measured outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_BENCH_BENCHCOMMON_H
+#define CTA_BENCH_BENCHCOMMON_H
+
+#include "driver/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "topo/Presets.h"
+#include "workloads/Suite.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cta::bench {
+
+/// All benches simulate the Table 1 machines at this capacity scale, with
+/// matching scaled-down data sets (DESIGN.md documents the regime).
+inline constexpr double MachineScale = 1.0 / 32;
+
+inline CacheTopology simMachine(const std::string &Preset) {
+  return makePresetByName(Preset).scaledCapacity(MachineScale);
+}
+
+inline ExperimentConfig defaultConfig() {
+  ExperimentConfig C;
+  C.TopologyScale = 1.0; // machines come pre-scaled from simMachine()
+  return C;
+}
+
+/// The representative subset used by the sensitivity studies (keeps each
+/// parameter sweep to tens of seconds; the main comparison runs all 12).
+inline std::vector<std::string> sensitivitySubset() {
+  return {"galgel", "cg", "bodytrack", "freqmine", "povray", "h264"};
+}
+
+/// Ratio of a strategy's cycles to Base cycles for one app/machine.
+inline double normalizedCycles(const Program &Prog,
+                               const CacheTopology &Machine, Strategy Strat,
+                               const ExperimentConfig &Config,
+                               std::uint64_t BaseCycles) {
+  RunResult R = runExperiment(Prog, Machine, Strat, Config);
+  return static_cast<double>(R.Cycles) / static_cast<double>(BaseCycles);
+}
+
+inline void printHeader(const char *Id, const char *Title) {
+  std::printf("== %s: %s ==\n", Id, Title);
+}
+
+} // namespace cta::bench
+
+#endif // CTA_BENCH_BENCHCOMMON_H

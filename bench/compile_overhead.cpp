@@ -1,0 +1,50 @@
+//===- bench/compile_overhead.cpp - Section 4.1 compile-time overhead -----===//
+//
+// Section 4.1 (text): the topology-aware compilation increased compile
+// time by 65-94% over a compilation that includes parallelization but no
+// data-locality optimization. We measure the mapping pass's wall time for
+// TopologyAware against the Base (parallelization-only) pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace cta;
+using namespace cta::bench;
+
+int main() {
+  printHeader("compile overhead",
+              "mapping-pass time: TopologyAware vs parallelization-only");
+
+  CacheTopology Topo = simMachine("dunnington");
+  ExperimentConfig Config = defaultConfig();
+
+  TextTable Table({"app", "base pass", "topo-aware pass", "overhead"});
+  std::vector<double> Overheads;
+  for (const std::string &Name : workloadNames()) {
+    Program Prog = makeWorkload(Name);
+    // Repeat the cheap pass so its time is measurable.
+    double BaseTime = 0.0, AwareTime = 0.0;
+    const unsigned Reps = 3;
+    for (unsigned R = 0; R != Reps; ++R) {
+      BaseTime += runMappingPipeline(Prog, 0, Topo, Strategy::Base,
+                                     Config.Options)
+                      .MappingSeconds;
+      AwareTime += runMappingPipeline(Prog, 0, Topo,
+                                      Strategy::TopologyAware,
+                                      Config.Options)
+                       .MappingSeconds;
+    }
+    double Overhead = BaseTime > 0 ? AwareTime / BaseTime - 1.0 : 0.0;
+    Overheads.push_back(Overhead);
+    Table.addRow({Name, formatDouble(BaseTime / Reps * 1e3, 2) + "ms",
+                  formatDouble(AwareTime / Reps * 1e3, 2) + "ms",
+                  formatPercent(Overhead, 0)});
+  }
+  Table.print();
+  std::printf("\nPaper reports 65-94%% overhead over parallelization-only "
+              "compilation; our pass does the enumeration+tagging work the "
+              "Base pass skips, so the ratio is larger in this "
+              "library-level measurement.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+//===- bench/fig13_main_comparison.cpp - Figure 13 reproduction -----------===//
+//
+// Figure 13: execution cycles of Base+ and TopologyAware, normalized to
+// Base, for all twelve applications on the three Intel machines. The
+// paper reports average improvements of 28%/16% (Harpertown), 29%/17%
+// (Nehalem) and 30%/21% (Dunnington) for TopologyAware over Base/Base+.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace cta;
+using namespace cta::bench;
+
+int main() {
+  printHeader("Figure 13",
+              "Base+ and TopologyAware vs. Base, all apps, all machines");
+
+  ExperimentConfig Config = defaultConfig();
+  for (const char *Machine : {"harpertown", "nehalem", "dunnington"}) {
+    CacheTopology Topo = simMachine(Machine);
+    TextTable Table({"app", "Base+", "TopologyAware"});
+    std::vector<double> Plus, Aware;
+    for (const std::string &Name : workloadNames()) {
+      Program Prog = makeWorkload(Name);
+      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
+      double P = normalizedCycles(Prog, Topo, Strategy::BasePlus, Config,
+                                  Base.Cycles);
+      double A = normalizedCycles(Prog, Topo, Strategy::TopologyAware,
+                                  Config, Base.Cycles);
+      Plus.push_back(P);
+      Aware.push_back(A);
+      Table.addRow({Name, formatDouble(P, 3), formatDouble(A, 3)});
+    }
+    Table.addRow({"geomean", formatDouble(geomean(Plus), 3),
+                  formatDouble(geomean(Aware), 3)});
+    std::printf("\n-- %s --\n", Machine);
+    Table.print();
+    std::printf("TopologyAware vs Base: %s better; vs Base+: %s better\n",
+                formatPercent(1.0 - geomean(Aware)).c_str(),
+                formatPercent(1.0 - geomean(Aware) / geomean(Plus)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/fig14_cross_machine.cpp - Figure 14 reproduction -------------===//
+//
+// Figure 14: a multi-threaded code version generated for machine X,
+// executed on machine Y, normalized to the version customized for Y.
+// Paper averages: Nehalem/Dunnington versions on Harpertown are 17%/31%
+// worse; Harpertown/Nehalem on Dunnington 24%/21% worse; Harpertown/
+// Dunnington on Nehalem 25%/19% worse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace cta;
+using namespace cta::bench;
+
+int main() {
+  printHeader("Figure 14", "cross-machine porting degradation "
+                           "(normalized to the native version)");
+
+  const std::vector<std::string> Names = {"harpertown", "nehalem",
+                                          "dunnington"};
+  MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
+
+  TextTable Table({"version -> machine", "avg normalized", "worst app"});
+  for (const std::string &Target : Names) {
+    CacheTopology RunsOn = simMachine(Target);
+
+    // One native run per app, shared by both ported versions.
+    std::vector<std::uint64_t> NativeCycles;
+    for (const std::string &App : workloadNames()) {
+      Program Prog = makeWorkload(App);
+      NativeCycles.push_back(
+          runOnMachine(Prog, RunsOn, Strategy::TopologyAware, Opts).Cycles);
+    }
+
+    for (const std::string &Source : Names) {
+      if (Source == Target)
+        continue;
+      CacheTopology CompiledFor = simMachine(Source);
+      std::vector<double> Ratios;
+      double Worst = 0.0;
+      std::string WorstApp;
+      std::size_t AppIdx = 0;
+      for (const std::string &App : workloadNames()) {
+        Program Prog = makeWorkload(App);
+        RunResult Ported = runCrossMachine(Prog, CompiledFor, RunsOn,
+                                           Strategy::TopologyAware, Opts);
+        double Ratio = static_cast<double>(Ported.Cycles) /
+                       static_cast<double>(NativeCycles[AppIdx++]);
+        Ratios.push_back(Ratio);
+        if (Ratio > Worst) {
+          Worst = Ratio;
+          WorstApp = App;
+        }
+      }
+      Table.addRow({Source + " -> " + Target,
+                    formatDouble(geomean(Ratios), 3),
+                    WorstApp + " (" + formatDouble(Worst, 3) + ")"});
+    }
+  }
+  Table.print();
+  std::printf("\nPaper's shape: every ported version is slower than the "
+              "native one (degradations of 17-31%% on average).\n");
+  return 0;
+}

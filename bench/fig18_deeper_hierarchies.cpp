@@ -1,0 +1,40 @@
+//===- bench/fig18_deeper_hierarchies.cpp - Figure 18 reproduction --------===//
+//
+// Figure 18: impact of deeper on-chip cache hierarchies. Default is the
+// commercial Dunnington; Arch-I and Arch-II (Figure 12) add an L4 and
+// more cores. The paper finds TopologyAware's advantage grows with
+// hierarchy depth/complexity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace cta;
+using namespace cta::bench;
+
+int main() {
+  printHeader("Figure 18", "deeper hierarchies: Default vs Arch-I vs "
+                           "Arch-II");
+
+  ExperimentConfig Config = defaultConfig();
+  TextTable Table({"machine", "cores", "levels", "TopologyAware (geomean)",
+                   "improvement over Base"});
+  for (const char *Name : {"dunnington", "arch-i", "arch-ii"}) {
+    CacheTopology Topo = simMachine(Name);
+    std::vector<double> Aware;
+    for (const std::string &App : sensitivitySubset()) {
+      Program Prog = makeWorkload(App);
+      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
+      Aware.push_back(normalizedCycles(Prog, Topo, Strategy::TopologyAware,
+                                       Config, Base.Cycles));
+    }
+    Table.addRow({Name, std::to_string(Topo.numCores()),
+                  std::to_string(Topo.deepestLevel()),
+                  formatDouble(geomean(Aware), 3),
+                  formatPercent(1.0 - geomean(Aware))});
+  }
+  Table.print();
+  std::printf("\nPaper's shape: deeper/more complex hierarchies benefit "
+              "more from topology-aware mapping.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- bench/micro_components.cpp - component micro-benchmarks ------------===//
+//
+// google-benchmark timings of the pipeline's building blocks: tagging,
+// coarsening, clustering, local scheduling and the cache simulator's
+// access path. These are engineering benchmarks (no paper counterpart);
+// they guard against performance regressions in the pass itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DataBlockModel.h"
+#include "core/HierarchicalClusterer.h"
+#include "core/LocalScheduler.h"
+#include "core/Tagger.h"
+#include "sim/MachineSim.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cta;
+
+namespace {
+
+Program benchProgram() { return makeStencil2D("bench", 128, 1); }
+
+void BM_Tagging(benchmark::State &State) {
+  Program P = benchProgram();
+  DataBlockModel Blocks(P.Arrays, 256);
+  for (auto _ : State) {
+    TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+    benchmark::DoNotOptimize(R.Groups.size());
+  }
+}
+BENCHMARK(BM_Tagging);
+
+void BM_Coarsening(benchmark::State &State) {
+  Program P = benchProgram();
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  for (auto _ : State) {
+    std::vector<IterationGroup> Groups = R.Groups;
+    coarsenGroups(Groups, 256);
+    benchmark::DoNotOptimize(Groups.size());
+  }
+}
+BENCHMARK(BM_Coarsening);
+
+void BM_Clustering(benchmark::State &State) {
+  Program P = benchProgram();
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  coarsenGroups(R.Groups, 256);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  for (auto _ : State) {
+    std::vector<IterationGroup> Groups = R.Groups;
+    ClusteringResult C = clusterForTopology(std::move(Groups), Topo, 0.10);
+    benchmark::DoNotOptimize(C.CoreGroups.size());
+  }
+}
+BENCHMARK(BM_Clustering);
+
+void BM_LocalScheduling(benchmark::State &State) {
+  Program P = benchProgram();
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  coarsenGroups(R.Groups, 256);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  ClusteringResult C =
+      clusterForTopology(std::move(R.Groups), Topo, 0.10);
+  SchedulerDependences Deps = makeNoDependences(C.Groups.size());
+  for (auto _ : State) {
+    ScheduleResult S = scheduleGroups(C.Groups, C.CoreGroups, Deps, Topo,
+                                      0.5, 0.5);
+    benchmark::DoNotOptimize(S.NumRounds);
+  }
+}
+BENCHMARK(BM_LocalScheduling);
+
+void BM_CacheAccessHit(benchmark::State &State) {
+  CacheTopology Topo = makeDunnington();
+  MachineSim Sim(Topo);
+  Sim.access(0, 0, false); // warm the line
+  std::uint64_t Total = 0;
+  for (auto _ : State)
+    Total += Sim.access(0, 0, false);
+  benchmark::DoNotOptimize(Total);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStream(benchmark::State &State) {
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MachineSim Sim(Topo);
+  std::uint64_t Addr = 0, Total = 0;
+  for (auto _ : State) {
+    Total += Sim.access(0, Addr, false);
+    Addr += 64;
+  }
+  benchmark::DoNotOptimize(Total);
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void BM_BlockSizeSelection(benchmark::State &State) {
+  Program P = benchProgram();
+  for (auto _ : State) {
+    std::uint64_t B = selectBlockSize(P.Nests[0], P.Arrays, 1024);
+    benchmark::DoNotOptimize(B);
+  }
+}
+BENCHMARK(BM_BlockSizeSelection);
+
+} // namespace
+
+BENCHMARK_MAIN();

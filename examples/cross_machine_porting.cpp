@@ -1,0 +1,60 @@
+//===- examples/cross_machine_porting.cpp - Porting a tuned binary --------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+// The paper's motivating scenario (Figures 2 and 14): a multi-threaded
+// code customized for one multicore's cache topology is ported to another
+// machine. This example compiles the h264 kernel for each of the three
+// Table 1 machines, runs every version on every machine, and shows why
+// "just reuse the binary" loses to re-customizing the mapping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "topo/Presets.h"
+#include "workloads/Suite.h"
+
+#include <cstdio>
+
+using namespace cta;
+
+int main() {
+  const std::vector<std::string> Machines = {"harpertown", "nehalem",
+                                             "dunnington"};
+  Program Prog = makeWorkload("h264");
+  MappingOptions Opts;
+  Opts.BlockSizeBytes = 0; // Section 4.1 auto-selection
+
+  std::printf("Porting study: %s (%s)\n\n", Prog.Name.c_str(),
+              "motion search with a shared context table");
+
+  TextTable Table({"runs on", "compiled for", "cycles", "vs native"});
+  for (const std::string &Target : Machines) {
+    CacheTopology RunsOn =
+        makePresetByName(Target).scaledCapacity(1.0 / 32);
+    std::uint64_t Native =
+        runOnMachine(Prog, RunsOn, Strategy::TopologyAware, Opts).Cycles;
+    for (const std::string &Source : Machines) {
+      CacheTopology CompiledFor =
+          makePresetByName(Source).scaledCapacity(1.0 / 32);
+      RunResult R = runCrossMachine(Prog, CompiledFor, RunsOn,
+                                    Strategy::TopologyAware, Opts);
+      Table.addRow({Target, Source, std::to_string(R.Cycles),
+                    formatDouble(static_cast<double>(R.Cycles) /
+                                     static_cast<double>(Native),
+                                 3)});
+    }
+  }
+  Table.print();
+
+  std::printf("\nNotes:\n"
+              " * A 12-core Dunnington mapping folds onto 8-core machines "
+              "(cores c and c+8 merge), as the paper runs the Dunnington "
+              "version with 8 threads.\n"
+              " * The diagonal rows (compiled-for == runs-on) are the "
+              "fastest in each group: re-customizing the distribution for "
+              "the target's cache tree is what buys the performance.\n");
+  return 0;
+}

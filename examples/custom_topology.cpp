@@ -1,0 +1,88 @@
+//===- examples/custom_topology.cpp - Mapping onto a user machine ---------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+// Builds a custom (asymmetric) cache topology with the manual builder API,
+// maps a banded kernel onto it, and inspects the result: which cores got
+// which iteration groups, how balanced the distribution is, and how the
+// mapper's view changes when the hierarchy is truncated (the Figure 20
+// level-restriction experiment, on a machine of your own).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "driver/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "topo/Parse.h"
+#include "workloads/Generators.h"
+
+#include <cstdio>
+
+using namespace cta;
+
+int main() {
+  // A deliberately lopsided machine, described in the textual topology
+  // format (the role hwloc descriptions play for real deployments): one
+  // socket has an L2 per core pair, the other shares a single big L2
+  // among four cores.
+  auto Parsed = parseTopology("lopsided", R"(
+    mem:150
+    l3:512K:16:30 {
+      l2:64K:8:10 { l1:2K:4:3 l1:2K:4:3 }
+      l2:64K:8:10 { l1:2K:4:3 l1:2K:4:3 }
+    }
+    l3:512K:16:30 {
+      l2:128K:8:12 { l1:2K:4:3 l1:2K:4:3 l1:2K:4:3 l1:2K:4:3 }
+    }
+  )");
+  if (!Parsed) {
+    std::fprintf(stderr, "topology parse failed\n");
+    return 1;
+  }
+  CacheTopology Machine = std::move(*Parsed);
+
+  std::printf("%s\n", Machine.str().c_str());
+  std::printf("first shared cache level: L%u\n\n",
+              Machine.firstSharedCacheLevel());
+
+  Program Prog = makeBanded("banded", /*N=*/131072, /*D=*/8192);
+  MappingOptions Opts;
+  Opts.BlockSizeBytes = 0;
+
+  TextTable Table({"strategy", "cycles", "imbalance", "L2 miss",
+                   "L3 miss"});
+  ExperimentConfig Config;
+  Config.TopologyScale = 1.0;
+  Config.Options = Opts;
+  for (Strategy S : {Strategy::Base, Strategy::BasePlus,
+                     Strategy::TopologyAware, Strategy::Combined}) {
+    RunResult R = runExperiment(Prog, Machine, S, Config);
+    Table.addRow({strategyName(S), std::to_string(R.Cycles),
+                  formatDouble(R.Imbalance, 3),
+                  formatPercent(R.Stats.Levels[2].missRate()),
+                  formatPercent(R.Stats.Levels[3].missRate())});
+  }
+  Table.print();
+
+  // Static quality diagnostics: how much sharing each strategy keeps
+  // inside the shared-cache domains (what Figure 6 maximizes).
+  MappingOptions ReportOpts = Opts;
+  PipelineResult Aware =
+      runMappingPipeline(Prog, 0, Machine, Strategy::TopologyAware,
+                         ReportOpts);
+  std::printf("\n%s", analyzeMapping(Aware.Map, Machine).str().c_str());
+
+  // Level restriction: hide the L3s from the mapper (Figure 20's L1+L2
+  // variant) and compare.
+  Opts.MaxMapperLevel = 2;
+  Config.Options = Opts;
+  RunResult Restricted =
+      runExperiment(Prog, Machine, Strategy::TopologyAware, Config);
+  std::printf("\nTopologyAware with the mapper's view truncated to L1+L2: "
+              "%llu cycles (full-hierarchy run above shows what the L3 "
+              "level adds).\n",
+              static_cast<unsigned long long>(Restricted.Cycles));
+  return 0;
+}

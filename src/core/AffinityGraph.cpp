@@ -1,0 +1,27 @@
+//===- core/AffinityGraph.cpp - Group affinity graph ----------------------===//
+
+#include "core/AffinityGraph.h"
+
+using namespace cta;
+
+std::vector<AffinityEdge>
+cta::buildAffinityGraph(const std::vector<IterationGroup> &Groups) {
+  std::vector<AffinityEdge> Edges;
+  for (std::uint32_t I = 0, E = Groups.size(); I != E; ++I)
+    for (std::uint32_t J = I + 1; J != E; ++J) {
+      std::uint32_t W = Groups[I].Tag.dot(Groups[J].Tag);
+      if (W != 0)
+        Edges.push_back({I, J, W});
+    }
+  return Edges;
+}
+
+std::uint64_t cta::crossAffinity(const std::vector<IterationGroup> &Groups,
+                                 const std::vector<std::uint32_t> &SetA,
+                                 const std::vector<std::uint32_t> &SetB) {
+  std::uint64_t Sum = 0;
+  for (std::uint32_t A : SetA)
+    for (std::uint32_t B : SetB)
+      Sum += Groups[A].Tag.dot(Groups[B].Tag);
+  return Sum;
+}

@@ -1,0 +1,45 @@
+//===- core/AffinityGraph.h - Group affinity graph -------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph built in Figure 6's initialization: nodes are iteration
+/// groups; an edge's weight is the number of common 1s between the two
+/// group tags, i.e. the degree of data-block sharing. The clusterer
+/// computes the equivalent dot products on the fly; this explicit graph is
+/// the inspectable artifact (tests, diagnostics, the quickstart example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_AFFINITYGRAPH_H
+#define CTA_CORE_AFFINITYGRAPH_H
+
+#include "core/IterationGroup.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// One weighted edge between two iteration groups.
+struct AffinityEdge {
+  std::uint32_t GroupA = 0;
+  std::uint32_t GroupB = 0;
+  std::uint64_t Weight = 0; // number of shared data blocks
+};
+
+/// All positive-weight edges among \p Groups (GroupA < GroupB).
+std::vector<AffinityEdge>
+buildAffinityGraph(const std::vector<IterationGroup> &Groups);
+
+/// Total sharing weight between two sets of groups; used by tests and the
+/// optimal-mapping search objective.
+std::uint64_t crossAffinity(const std::vector<IterationGroup> &Groups,
+                            const std::vector<std::uint32_t> &SetA,
+                            const std::vector<std::uint32_t> &SetB);
+
+} // namespace cta
+
+#endif // CTA_CORE_AFFINITYGRAPH_H

@@ -1,0 +1,78 @@
+//===- core/Baselines.h - Base, Base+ and Local mappings -------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison mappings of Section 4.1:
+///
+///  * Base - the original parallel code: the iteration space is divided
+///    into contiguous per-core chunks executed in original (lexicographic)
+///    order, i.e. an OpenMP-style static schedule.
+///  * Base+ - the state-of-the-art intra-core locality optimization: the
+///    same per-core chunks, but each core's iterations are reordered by
+///    iteration-space tiling (with per-dimension tile sizes picked so a
+///    tile's data footprint fits in L1), standing in for the paper's loop
+///    permutation + blocking. The iteration-to-core assignment is identical
+///    to Base by construction, exactly as the paper stipulates.
+///  * Local - the paper's local reorganization applied alone: the default
+///    (Base) distribution, with each core's chunk re-grouped by tag and
+///    scheduled by the Figure 7 algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_BASELINES_H
+#define CTA_CORE_BASELINES_H
+
+#include "core/LocalScheduler.h"
+#include "core/Mapping.h"
+#include "core/Tagger.h"
+#include "poly/LoopNest.h"
+#include "topo/Topology.h"
+
+#include <cstdint>
+
+namespace cta {
+
+/// Base: contiguous chunks in original order.
+Mapping mapBase(const IterationTable &Table, unsigned NumCores);
+
+/// Base+: Base chunks, each reordered by iteration-space tiling sized for
+/// \p L1CapacityBytes. \p TileOverride (per-dimension extents) can replace
+/// the automatic tile choice; pass empty to auto-size.
+Mapping mapBasePlus(const LoopNest &Nest,
+                    const std::vector<ArrayDecl> &Arrays,
+                    const IterationTable &Table, unsigned NumCores,
+                    std::uint64_t L1CapacityBytes,
+                    const std::vector<std::uint32_t> &TileOverride = {});
+
+/// Local: Base distribution + Figure 7 scheduling of the per-chunk group
+/// fragments. \p Groups is the tagger's global partition; \p Deps the
+/// scheduler dependences over those groups (origins = group ids).
+Mapping mapLocal(const IterationTable &Table,
+                 const std::vector<IterationGroup> &Groups,
+                 const SchedulerDependences &Deps, const CacheTopology &Topo,
+                 double Alpha, double Beta, bool UsePointToPoint = true);
+
+/// Chunk owner of an iteration id under the Base distribution.
+inline unsigned baseOwner(std::uint32_t Iter, std::uint32_t NumIterations,
+                          unsigned NumCores) {
+  // Contiguous split with remainder spread over the first cores.
+  std::uint64_t Chunk = NumIterations / NumCores;
+  std::uint64_t Rem = NumIterations % NumCores;
+  std::uint64_t Boundary = Rem * (Chunk + 1);
+  if (Iter < Boundary)
+    return static_cast<unsigned>(Iter / (Chunk + 1));
+  return static_cast<unsigned>(Rem + (Iter - Boundary) / Chunk);
+}
+
+/// Picks per-dimension tile extents whose footprint estimate fits
+/// \p L1CapacityBytes (helper shared with tests).
+std::vector<std::uint32_t> pickTileSizes(const LoopNest &Nest,
+                                         const std::vector<ArrayDecl> &Arrays,
+                                         std::uint64_t L1CapacityBytes);
+
+} // namespace cta
+
+#endif // CTA_CORE_BASELINES_H

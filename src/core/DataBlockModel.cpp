@@ -1,0 +1,94 @@
+//===- core/DataBlockModel.cpp - Logical data blocking ---------------------===//
+
+#include "core/DataBlockModel.h"
+
+#include "poly/LoopNest.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace cta;
+
+DataBlockModel::DataBlockModel(const std::vector<ArrayDecl> &Arrays,
+                               std::uint64_t BlockSizeBytes)
+    : BlockSizeBytes(BlockSizeBytes) {
+  if (BlockSizeBytes == 0)
+    reportFatalError("data block size must be nonzero");
+  for (const ArrayDecl &A : Arrays) {
+    if (BlockSizeBytes % A.ElementSize != 0)
+      reportFatalError("data block size must be a multiple of element size");
+    std::uint32_t PerBlock =
+        static_cast<std::uint32_t>(BlockSizeBytes / A.ElementSize);
+    FirstBlockOfArray.push_back(TotalBlocks);
+    ElementsPerBlock.push_back(PerBlock);
+    std::uint64_t Blocks =
+        (static_cast<std::uint64_t>(A.numElements()) + PerBlock - 1) /
+        PerBlock;
+    TotalBlocks += static_cast<std::uint32_t>(Blocks);
+  }
+}
+
+std::uint64_t cta::selectBlockSize(const LoopNest &Nest,
+                                   const std::vector<ArrayDecl> &Arrays,
+                                   std::uint64_t L1CapacityBytes,
+                                   std::uint64_t MinBlock,
+                                   std::uint64_t MaxBlock) {
+  assert(MinBlock > 0 && MinBlock <= MaxBlock && "bad block size range");
+
+  // Profile the per-iteration footprint (Section 4.1's "profile the
+  // application"): the most aggressive iteration group touches at least as
+  // many blocks as the busiest single iteration, so we bound group
+  // footprints by MaxBlocksPerIteration * BlockSize. Sampling a bounded
+  // number of iterations is enough because the per-iteration block count is
+  // structurally determined by the references.
+  constexpr std::uint32_t MaxSamples = 4096;
+
+  for (std::uint64_t Block = MaxBlock; Block >= MinBlock; Block /= 2) {
+    bool Compatible = true;
+    for (const ArrayDecl &A : Arrays)
+      if (Block % A.ElementSize != 0)
+        Compatible = false;
+    if (!Compatible)
+      continue;
+
+    DataBlockModel Model(Arrays, Block);
+    std::uint32_t MaxBlocksPerIter = 0;
+    std::uint32_t Seen = 0;
+    std::vector<std::uint32_t> Touched;
+    std::vector<std::int64_t> Idx;
+    Nest.forEachIteration([&](const std::int64_t *Point) {
+      if (Seen >= MaxSamples)
+        return; // keep scanning cheaply; forEachIteration has no early stop
+      ++Seen;
+      Touched.clear();
+      for (const ArrayAccess &Acc : Nest.accesses()) {
+        const ArrayDecl &A = Arrays[Acc.ArrayId];
+        Idx.resize(Acc.Subscripts.size());
+        evaluateAccess(Acc, A, Point, Idx.data());
+        if (!A.inBounds(Idx.data()))
+          reportFatalError("array access out of bounds during profiling");
+        Touched.push_back(
+            Model.blockOf(Acc.ArrayId, A.linearize(Idx.data())));
+      }
+      std::sort(Touched.begin(), Touched.end());
+      Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                    Touched.end());
+      MaxBlocksPerIter = std::max(
+          MaxBlocksPerIter, static_cast<std::uint32_t>(Touched.size()));
+    });
+
+    if (static_cast<std::uint64_t>(MaxBlocksPerIter) * Block <=
+        L1CapacityBytes)
+      return Block;
+    if (Block == MinBlock)
+      break;
+  }
+
+  // Fallback: the smallest block size >= MinBlock compatible with every
+  // element size (blocks must hold whole elements).
+  std::uint64_t L = 1;
+  for (const ArrayDecl &A : Arrays)
+    L = std::lcm(L, static_cast<std::uint64_t>(A.ElementSize));
+  return (MinBlock + L - 1) / L * L;
+}

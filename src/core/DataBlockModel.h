@@ -1,0 +1,88 @@
+//===- core/DataBlockModel.h - Logical data blocking -----------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logical partitioning of application data into equal-sized blocks
+/// (Section 3.3): blocks never cross array boundaries, each array starts a
+/// new block, blocks are numbered sequentially array by array, and together
+/// they cover every element the loop nest accesses. Tags over these block
+/// ids are the signatures that drive the whole mapping scheme.
+///
+/// Also implements the Section 4.1 block-size selection heuristic: pick the
+/// largest (power-of-two) block size such that the most aggressive
+/// iteration group - the one touching the most blocks - still has a
+/// footprint no larger than the L1 capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_DATABLOCKMODEL_H
+#define CTA_CORE_DATABLOCKMODEL_H
+
+#include "poly/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+class LoopNest;
+
+/// Maps (array, element) coordinates to global data-block ids.
+class DataBlockModel {
+  std::uint64_t BlockSizeBytes = 0;
+  std::vector<std::uint32_t> FirstBlockOfArray; // per array
+  std::vector<std::uint32_t> ElementsPerBlock;  // per array (>= 1)
+  std::uint32_t TotalBlocks = 0;
+
+public:
+  DataBlockModel() = default;
+
+  /// Builds the blocking of \p Arrays with the given block size.
+  DataBlockModel(const std::vector<ArrayDecl> &Arrays,
+                 std::uint64_t BlockSizeBytes);
+
+  std::uint64_t blockSize() const { return BlockSizeBytes; }
+  std::uint32_t numBlocks() const { return TotalBlocks; }
+
+  std::uint32_t firstBlockOf(unsigned ArrayId) const {
+    assert(ArrayId < FirstBlockOfArray.size() && "bad array id");
+    return FirstBlockOfArray[ArrayId];
+  }
+
+  std::uint32_t numBlocksOf(unsigned ArrayId) const {
+    assert(ArrayId < FirstBlockOfArray.size() && "bad array id");
+    std::uint32_t Next = ArrayId + 1 < FirstBlockOfArray.size()
+                             ? FirstBlockOfArray[ArrayId + 1]
+                             : TotalBlocks;
+    return Next - FirstBlockOfArray[ArrayId];
+  }
+
+  /// Global block id of element \p FlatIndex (row-major) of \p ArrayId.
+  std::uint32_t blockOf(unsigned ArrayId, std::int64_t FlatIndex) const {
+    assert(ArrayId < FirstBlockOfArray.size() && "bad array id");
+    assert(FlatIndex >= 0 && "negative element index");
+    return FirstBlockOfArray[ArrayId] +
+           static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(FlatIndex) /
+               ElementsPerBlock[ArrayId]);
+  }
+};
+
+/// Selects a block size for \p Nest over \p Arrays per Section 4.1: the
+/// largest power of two in [MinBlock, MaxBlock] whose most aggressive
+/// iteration group footprint (max blocks touched by any single iteration,
+/// an upper bound on any group with that tag) does not exceed
+/// \p L1CapacityBytes. Falls back to MinBlock when even that violates the
+/// bound. Exposed for the Figure 16 block-size study.
+std::uint64_t selectBlockSize(const LoopNest &Nest,
+                              const std::vector<ArrayDecl> &Arrays,
+                              std::uint64_t L1CapacityBytes,
+                              std::uint64_t MinBlock = 256,
+                              std::uint64_t MaxBlock = 65536);
+
+} // namespace cta
+
+#endif // CTA_CORE_DATABLOCKMODEL_H

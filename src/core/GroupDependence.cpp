@@ -1,0 +1,290 @@
+//===- core/GroupDependence.cpp - Group-level dependence graph ------------===//
+
+#include "core/GroupDependence.h"
+
+#include "core/DataBlockModel.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace cta;
+
+std::uint32_t cta::lookupIteration(const IterationTable &Table,
+                                   const std::int64_t *Point) {
+  const unsigned Depth = Table.depth();
+  std::uint32_t Lo = 0, Hi = Table.size();
+  while (Lo < Hi) {
+    std::uint32_t Mid = Lo + (Hi - Lo) / 2;
+    const std::int32_t *C = Table.raw(Mid);
+    int Cmp = 0;
+    for (unsigned D = 0; D != Depth; ++D) {
+      if (C[D] < Point[D]) {
+        Cmp = -1;
+        break;
+      }
+      if (C[D] > Point[D]) {
+        Cmp = 1;
+        break;
+      }
+    }
+    if (Cmp < 0)
+      Lo = Mid + 1;
+    else if (Cmp > 0)
+      Hi = Mid;
+    else
+      return Mid;
+  }
+  return UINT32_MAX;
+}
+
+namespace {
+
+/// Union-find over group ids.
+class UnionFind {
+  std::vector<std::uint32_t> Parent;
+
+public:
+  explicit UnionFind(std::uint32_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  std::uint32_t find(std::uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(std::uint32_t A, std::uint32_t B) { Parent[find(A)] = find(B); }
+};
+
+/// Iterative Tarjan SCC. Returns the component id of each node; component
+/// ids are assigned in reverse topological order of the condensation.
+std::vector<std::uint32_t>
+tarjanSCC(std::uint32_t N,
+          const std::vector<std::vector<std::uint32_t>> &Succs,
+          std::uint32_t &NumComponents) {
+  std::vector<std::uint32_t> Comp(N, UINT32_MAX), Low(N, 0), Num(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<std::uint32_t> Stack;
+  std::uint32_t Counter = 0;
+  NumComponents = 0;
+
+  struct Frame {
+    std::uint32_t Node;
+    std::uint32_t EdgeIdx;
+  };
+  std::vector<Frame> Call;
+
+  for (std::uint32_t Root = 0; Root != N; ++Root) {
+    if (Num[Root] != 0)
+      continue;
+    Call.push_back({Root, 0});
+    while (!Call.empty()) {
+      Frame &F = Call.back();
+      std::uint32_t V = F.Node;
+      if (F.EdgeIdx == 0) {
+        Num[V] = Low[V] = ++Counter;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      if (F.EdgeIdx < Succs[V].size()) {
+        std::uint32_t W = Succs[V][F.EdgeIdx++];
+        if (Num[W] == 0)
+          Call.push_back({W, 0});
+        else if (OnStack[W])
+          Low[V] = std::min(Low[V], Num[W]);
+        continue;
+      }
+      if (Low[V] == Num[V]) {
+        for (;;) {
+          std::uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Comp[W] = NumComponents;
+          if (W == V)
+            break;
+        }
+        ++NumComponents;
+      }
+      Call.pop_back();
+      if (!Call.empty()) {
+        std::uint32_t Parent = Call.back().Node;
+        Low[Parent] = std::min(Low[Parent], Low[V]);
+      }
+    }
+  }
+  return Comp;
+}
+
+/// Merges groups according to a group -> class map, producing the condensed
+/// group list and a remap table old-id -> new-id.
+std::vector<IterationGroup>
+condenseGroups(std::vector<IterationGroup> &&Groups,
+               const std::vector<std::uint32_t> &ClassOf,
+               std::uint32_t NumClasses,
+               std::vector<std::uint32_t> &Remap) {
+  std::vector<IterationGroup> Out(NumClasses);
+  Remap = ClassOf;
+  for (std::uint32_t G = 0, E = Groups.size(); G != E; ++G) {
+    IterationGroup &Dst = Out[ClassOf[G]];
+    if (Dst.Iterations.empty()) {
+      Dst = std::move(Groups[G]);
+      continue;
+    }
+    Dst.Tag = Dst.Tag.unionWith(Groups[G].Tag);
+    Dst.Iterations.insert(Dst.Iterations.end(),
+                          Groups[G].Iterations.begin(),
+                          Groups[G].Iterations.end());
+  }
+  // Keep member lists ordered so schedules stay deterministic.
+  for (IterationGroup &G : Out)
+    std::sort(G.Iterations.begin(), G.Iterations.end());
+  return Out;
+}
+
+void dedupAdjacency(std::vector<std::vector<std::uint32_t>> &Adj) {
+  for (auto &List : Adj) {
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+}
+
+} // namespace
+
+GroupDependenceResult
+cta::buildGroupDependences(const LoopNest &Nest, const IterationTable &Table,
+                           std::vector<IterationGroup> Groups,
+                           const DependenceInfo &Deps,
+                           const DataBlockModel &Blocks) {
+  const std::uint32_t NumGroups = Groups.size();
+  const unsigned Depth = Table.depth();
+
+  GroupDependenceResult Result;
+  if (Deps.empty()) {
+    Result.Groups = std::move(Groups);
+    Result.Preds.resize(Result.Groups.size());
+    Result.Succs.resize(Result.Groups.size());
+    return Result;
+  }
+
+  // Iteration -> group.
+  std::vector<std::uint32_t> GroupOf(Table.size(), UINT32_MAX);
+  for (std::uint32_t G = 0; G != NumGroups; ++G)
+    for (std::uint32_t It : Groups[G].Iterations)
+      GroupOf[It] = G;
+
+  // Raw (possibly cyclic) group edges from exact dependences.
+  std::vector<std::vector<std::uint32_t>> Succs(NumGroups);
+  UnionFind Inexact(NumGroups);
+  bool AnyInexact = false;
+
+  std::vector<std::int64_t> Dst(Depth), Src(Depth);
+  for (const Dependence &D : Deps.Dependences) {
+    if (D.Exact) {
+      for (std::uint32_t It = 0, E = Table.size(); It != E; ++It) {
+        Table.get(It, Dst.data());
+        for (unsigned K = 0; K != Depth; ++K)
+          Src[K] = Dst[K] - D.Distance[K];
+        std::uint32_t SrcIt = lookupIteration(Table, Src.data());
+        if (SrcIt == UINT32_MAX)
+          continue; // source outside the iteration space
+        std::uint32_t SG = GroupOf[SrcIt], DG = GroupOf[It];
+        if (SG != DG)
+          Succs[SG].push_back(DG);
+      }
+      continue;
+    }
+    // Inexact: conservatively merge every group touching the affected
+    // array's blocks into one unit.
+    AnyInexact = true;
+    unsigned ArrayId = Nest.accesses()[D.SrcAccess].ArrayId;
+    std::uint32_t First = Blocks.firstBlockOf(ArrayId);
+    std::uint32_t Last = First + Blocks.numBlocksOf(ArrayId); // exclusive
+    std::uint32_t Anchor = UINT32_MAX;
+    for (std::uint32_t G = 0; G != NumGroups; ++G) {
+      bool Touches = false;
+      for (std::uint32_t B : Groups[G].Tag.ids())
+        if (B >= First && B < Last) {
+          Touches = true;
+          break;
+        }
+      if (!Touches)
+        continue;
+      if (Anchor == UINT32_MAX)
+        Anchor = G;
+      else
+        Inexact.merge(Anchor, G);
+    }
+  }
+  dedupAdjacency(Succs);
+
+  // Fold the inexact merge classes into the edge graph by unioning nodes:
+  // we first apply union-find classes, then run SCC on the quotient.
+  std::vector<std::uint32_t> UF(NumGroups);
+  std::vector<std::uint32_t> UFClass(NumGroups, UINT32_MAX);
+  std::uint32_t NumUF = 0;
+  for (std::uint32_t G = 0; G != NumGroups; ++G) {
+    std::uint32_t R = AnyInexact ? Inexact.find(G) : G;
+    if (UFClass[R] == UINT32_MAX)
+      UFClass[R] = NumUF++;
+    UF[G] = UFClass[R];
+  }
+
+  std::vector<std::vector<std::uint32_t>> QuotSuccs(NumUF);
+  for (std::uint32_t G = 0; G != NumGroups; ++G)
+    for (std::uint32_t S : Succs[G])
+      if (UF[G] != UF[S])
+        QuotSuccs[UF[G]].push_back(UF[S]);
+  dedupAdjacency(QuotSuccs);
+
+  // SCC condensation removes remaining cycles.
+  std::uint32_t NumComponents = 0;
+  std::vector<std::uint32_t> Comp = tarjanSCC(NumUF, QuotSuccs,
+                                              NumComponents);
+
+  std::vector<std::uint32_t> ClassOf(NumGroups);
+  for (std::uint32_t G = 0; G != NumGroups; ++G)
+    ClassOf[G] = Comp[UF[G]];
+
+  std::vector<std::uint32_t> Remap;
+  Result.Groups =
+      condenseGroups(std::move(Groups), ClassOf, NumComponents, Remap);
+  Result.Preds.resize(NumComponents);
+  Result.Succs.resize(NumComponents);
+  for (std::uint32_t U = 0; U != NumUF; ++U)
+    for (std::uint32_t S : QuotSuccs[U])
+      if (Comp[U] != Comp[S]) {
+        Result.Succs[Comp[U]].push_back(Comp[S]);
+        Result.Preds[Comp[S]].push_back(Comp[U]);
+      }
+  dedupAdjacency(Result.Succs);
+  dedupAdjacency(Result.Preds);
+  return Result;
+}
+
+GroupDependenceResult cta::mergeDependentGroups(GroupDependenceResult Input) {
+  const std::uint32_t N = Input.Groups.size();
+  UnionFind Components(N);
+  for (std::uint32_t G = 0; G != N; ++G)
+    for (std::uint32_t S : Input.Succs[G])
+      Components.merge(G, S);
+
+  std::vector<std::uint32_t> ClassOf(N, UINT32_MAX);
+  std::uint32_t NumClasses = 0;
+  std::vector<std::uint32_t> RootClass(N, UINT32_MAX);
+  for (std::uint32_t G = 0; G != N; ++G) {
+    std::uint32_t R = Components.find(G);
+    if (RootClass[R] == UINT32_MAX)
+      RootClass[R] = NumClasses++;
+    ClassOf[G] = RootClass[R];
+  }
+
+  GroupDependenceResult Result;
+  std::vector<std::uint32_t> Remap;
+  Result.Groups = condenseGroups(std::move(Input.Groups), ClassOf,
+                                 NumClasses, Remap);
+  Result.Preds.resize(NumClasses);
+  Result.Succs.resize(NumClasses);
+  return Result;
+}

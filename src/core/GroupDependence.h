@@ -1,0 +1,77 @@
+//===- core/GroupDependence.h - Group-level dependence graph ---*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifts iteration-level dependences to iteration-group level
+/// (Section 3.5.2): the group dependence graph DG has an edge from group A
+/// to group B when some iteration of B depends on an iteration of A. DG can
+/// be cyclic ("some iterations in A depend on B while others in B depend on
+/// A"); as in the paper, cycles are removed by merging the involved nodes,
+/// leaving an acyclic graph for the dependence-aware scheduler.
+///
+/// Inexact dependences (the analyzer could not compute a distance) are
+/// handled with the paper's conservative option: all groups touching the
+/// affected array are merged into one unit so no cross-core
+/// synchronization is needed for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_GROUPDEPENDENCE_H
+#define CTA_CORE_GROUPDEPENDENCE_H
+
+#include "core/IterationGroup.h"
+#include "poly/Dependence.h"
+#include "poly/LoopNest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+class DataBlockModel;
+
+/// Acyclic group-level dependence structure. Group ids refer to the
+/// (possibly condensed) Groups vector inside.
+struct GroupDependenceResult {
+  std::vector<IterationGroup> Groups;
+  /// Preds[G] = groups that must be scheduled before G can run.
+  std::vector<std::vector<std::uint32_t>> Preds;
+  /// Succs[G] = groups that depend on G.
+  std::vector<std::vector<std::uint32_t>> Succs;
+
+  bool hasDependences() const {
+    for (const auto &P : Preds)
+      if (!P.empty())
+        return true;
+    return false;
+  }
+};
+
+/// Builds the condensed (acyclic) group dependence graph. \p Groups is the
+/// tagger's partition; members index \p Table. \p Blocks is needed to
+/// locate the data of inexact dependences.
+GroupDependenceResult
+buildGroupDependences(const LoopNest &Nest, const IterationTable &Table,
+                      std::vector<IterationGroup> Groups,
+                      const DependenceInfo &Deps,
+                      const DataBlockModel &Blocks);
+
+/// The CoCluster policy (Section 3.5.2, first option): merges every weakly
+/// connected component of the dependence graph into a single group, so the
+/// clusterer keeps dependent work together and no synchronization is
+/// required. Returns a dependence-free result.
+GroupDependenceResult
+mergeDependentGroups(GroupDependenceResult Input);
+
+/// Looks up the iteration id of \p Point in a lexicographically ordered
+/// table via binary search; returns UINT32_MAX when absent. Exposed for
+/// testing.
+std::uint32_t lookupIteration(const IterationTable &Table,
+                              const std::int64_t *Point);
+
+} // namespace cta
+
+#endif // CTA_CORE_GROUPDEPENDENCE_H

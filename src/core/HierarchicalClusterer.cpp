@@ -1,0 +1,538 @@
+//===- core/HierarchicalClusterer.cpp - Figure 6 clustering ---------------===//
+
+#include "core/HierarchicalClusterer.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+using namespace cta;
+
+namespace {
+
+Statistic NumMerges("clusterer.merges");
+Statistic NumClusterSplits("clusterer.cluster-splits");
+Statistic NumGroupSplits("clusterer.group-splits");
+Statistic NumEvictions("clusterer.balance-evictions");
+
+/// A working cluster: group ids plus the cached "bitwise sum" signature and
+/// total iteration count.
+struct Cluster {
+  std::vector<std::uint32_t> GroupIds;
+  SharingVector Signature;
+  std::uint64_t Size = 0;
+
+  void addGroup(std::uint32_t Id, const IterationGroup &G) {
+    GroupIds.push_back(Id);
+    Signature.add(G.Tag);
+    Size += G.size();
+  }
+
+  void absorb(Cluster &&Other) {
+    GroupIds.insert(GroupIds.end(), Other.GroupIds.begin(),
+                    Other.GroupIds.end());
+    Signature.add(Other.Signature);
+    Size += Other.Size;
+  }
+};
+
+/// Heap entry for the agglomerative merge, with lazy invalidation through
+/// per-cluster version counters.
+struct MergeCandidate {
+  std::uint64_t Dot;
+  std::uint64_t TieBreakSize; // prefer merging smaller clusters on ties
+  std::uint32_t A, B;
+  std::uint32_t VerA, VerB;
+
+  bool operator<(const MergeCandidate &RHS) const {
+    if (Dot != RHS.Dot)
+      return Dot < RHS.Dot; // max-heap on affinity
+    return TieBreakSize > RHS.TieBreakSize;
+  }
+};
+
+class ClustererImpl {
+  std::vector<IterationGroup> &Groups;
+  const CacheTopology &Topo;
+  const double Threshold;
+  ClusteringResult &Result;
+
+public:
+  ClustererImpl(std::vector<IterationGroup> &Groups, const CacheTopology &Topo,
+                double Threshold, ClusteringResult &Result)
+      : Groups(Groups), Topo(Topo), Threshold(Threshold), Result(Result) {}
+
+  void run() {
+    std::vector<std::uint32_t> All(Groups.size());
+    for (std::uint32_t I = 0, E = Groups.size(); I != E; ++I)
+      All[I] = I;
+    clusterNode(Topo.rootId(), std::move(All));
+  }
+
+private:
+  /// Recursively distributes \p GroupIds over the subtree rooted at
+  /// \p NodeId.
+  void clusterNode(unsigned NodeId, std::vector<std::uint32_t> GroupIds) {
+    const CacheTopology::Node &N = Topo.node(NodeId);
+    if (N.Children.empty()) {
+      assert(N.Core >= 0 && "leaf cache without a core");
+      Result.CoreGroups[static_cast<unsigned>(N.Core)] = std::move(GroupIds);
+      return;
+    }
+    if (N.Children.size() == 1) {
+      clusterNode(N.Children[0], std::move(GroupIds));
+      return;
+    }
+
+    unsigned K = N.Children.size();
+    std::vector<Cluster> Clusters = partition(std::move(GroupIds), K);
+
+    // Per-child iteration targets: this node's total split proportionally
+    // to the cores each child serves (globally ideal when the parent level
+    // balanced perfectly, and always feasible). Match bigger clusters to
+    // bigger-capacity children before balancing.
+    std::uint64_t NodeTotal = 0;
+    for (const Cluster &C : Clusters)
+      NodeTotal += C.Size;
+    double PerCore = static_cast<double>(NodeTotal) / N.Cores.size();
+    std::vector<double> Target(K);
+    std::vector<unsigned> ChildOrder(K);
+    for (unsigned C = 0; C != K; ++C)
+      ChildOrder[C] = C;
+    std::sort(ChildOrder.begin(), ChildOrder.end(),
+              [&](unsigned A, unsigned B) {
+                return Topo.node(N.Children[A]).Cores.size() >
+                       Topo.node(N.Children[B]).Cores.size();
+              });
+    std::vector<unsigned> ClusterOrder(K);
+    for (unsigned C = 0; C != K; ++C)
+      ClusterOrder[C] = C;
+    std::sort(ClusterOrder.begin(), ClusterOrder.end(),
+              [&](unsigned A, unsigned B) {
+                return Clusters[A].Size > Clusters[B].Size;
+              });
+    std::vector<Cluster> Ordered(K);
+    std::vector<unsigned> ChildOfCluster(K);
+    for (unsigned R = 0; R != K; ++R) {
+      Ordered[R] = std::move(Clusters[ClusterOrder[R]]);
+      ChildOfCluster[R] = ChildOrder[R];
+      Target[R] =
+          PerCore * Topo.node(N.Children[ChildOrder[R]]).Cores.size();
+    }
+    Clusters = std::move(Ordered);
+
+    loadBalance(Clusters, Target);
+    refineBalance(Clusters, Target);
+    for (unsigned C = 0; C != K; ++C)
+      clusterNode(N.Children[ChildOfCluster[C]],
+                  std::move(Clusters[C].GroupIds));
+  }
+
+  /// Splits \p GroupIds into exactly \p K clusters by agglomerative
+  /// max-affinity merging (splitting when there are too few).
+  std::vector<Cluster> partition(std::vector<std::uint32_t> GroupIds,
+                                 unsigned K) {
+    std::vector<Cluster> Clusters;
+    Clusters.reserve(GroupIds.size());
+    for (std::uint32_t Id : GroupIds) {
+      Cluster C;
+      C.addGroup(Id, Groups[Id]);
+      Clusters.push_back(std::move(C));
+    }
+
+    if (Clusters.size() > K)
+      mergeDown(Clusters, K);
+    while (Clusters.size() < K)
+      splitLargest(Clusters);
+    return Clusters;
+  }
+
+  void mergeDown(std::vector<Cluster> &Clusters, unsigned K) {
+    const std::uint32_t N = Clusters.size();
+    std::vector<std::uint32_t> Version(N, 0);
+    std::vector<bool> Alive(N, true);
+    std::priority_queue<MergeCandidate> Heap;
+
+    auto push = [&](std::uint32_t A, std::uint32_t B) {
+      std::uint64_t Dot = Clusters[A].Signature.dot(Clusters[B].Signature);
+      Heap.push({Dot, Clusters[A].Size + Clusters[B].Size, A, B, Version[A],
+                 Version[B]});
+    };
+    for (std::uint32_t A = 0; A != N; ++A)
+      for (std::uint32_t B = A + 1; B != N; ++B)
+        push(A, B);
+
+    std::uint32_t AliveCount = N;
+    while (AliveCount > K) {
+      std::uint32_t A = UINT32_MAX, B = UINT32_MAX;
+      while (!Heap.empty()) {
+        MergeCandidate Top = Heap.top();
+        Heap.pop();
+        if (!Alive[Top.A] || !Alive[Top.B] || Version[Top.A] != Top.VerA ||
+            Version[Top.B] != Top.VerB)
+          continue;
+        A = Top.A;
+        B = Top.B;
+        break;
+      }
+      if (A == UINT32_MAX) {
+        // No affinity left: merge the two smallest alive clusters to keep
+        // sizes balanced.
+        std::uint32_t S1 = UINT32_MAX, S2 = UINT32_MAX;
+        for (std::uint32_t I = 0; I != N; ++I) {
+          if (!Alive[I])
+            continue;
+          if (S1 == UINT32_MAX || Clusters[I].Size < Clusters[S1].Size) {
+            S2 = S1;
+            S1 = I;
+          } else if (S2 == UINT32_MAX ||
+                     Clusters[I].Size < Clusters[S2].Size) {
+            S2 = I;
+          }
+        }
+        A = S1;
+        B = S2;
+      }
+      Clusters[A].absorb(std::move(Clusters[B]));
+      Alive[B] = false;
+      ++Version[A];
+      --AliveCount;
+      ++NumMerges;
+      for (std::uint32_t I = 0; I != N; ++I)
+        if (Alive[I] && I != A)
+          push(std::min(I, A), std::max(I, A));
+    }
+
+    std::vector<Cluster> Out;
+    Out.reserve(K);
+    for (std::uint32_t I = 0; I != N; ++I)
+      if (Alive[I])
+        Out.push_back(std::move(Clusters[I]));
+    Clusters = std::move(Out);
+  }
+
+  /// Adds one cluster by splitting the largest existing one. A multi-group
+  /// cluster is bipartitioned greedily by size; a single-group cluster has
+  /// its group's iterations split in half.
+  void splitLargest(std::vector<Cluster> &Clusters) {
+    if (Clusters.empty()) {
+      Clusters.emplace_back(); // no work at all: empty cluster
+      return;
+    }
+    std::size_t Largest = 0;
+    for (std::size_t I = 1; I != Clusters.size(); ++I)
+      if (Clusters[I].Size > Clusters[Largest].Size)
+        Largest = I;
+
+    Cluster &Src = Clusters[Largest];
+    Cluster NewCluster;
+    ++NumClusterSplits;
+    if (Src.GroupIds.size() >= 2) {
+      // Greedy size bipartition: place groups (largest first) into the
+      // lighter side.
+      std::vector<std::uint32_t> Ids = std::move(Src.GroupIds);
+      std::sort(Ids.begin(), Ids.end(),
+                [&](std::uint32_t A, std::uint32_t B) {
+                  return Groups[A].size() > Groups[B].size();
+                });
+      Cluster SideA, SideB;
+      for (std::uint32_t Id : Ids) {
+        Cluster &Side = SideA.Size <= SideB.Size ? SideA : SideB;
+        Side.addGroup(Id, Groups[Id]);
+      }
+      Src = std::move(SideA);
+      NewCluster = std::move(SideB);
+    } else if (Src.GroupIds.size() == 1 &&
+               Groups[Src.GroupIds[0]].size() >= 2) {
+      std::uint32_t ParentId = Src.GroupIds[0];
+      std::uint32_t Tail = Groups[ParentId].size() / 2;
+      std::uint32_t NewId = Groups.size();
+      Groups.push_back(Groups[ParentId].splitTail(Tail));
+      Result.Splits.emplace_back(ParentId, NewId);
+      ++NumGroupSplits;
+      // Rebuild both clusters' cached state.
+      Src = Cluster();
+      Src.addGroup(ParentId, Groups[ParentId]);
+      NewCluster.addGroup(NewId, Groups[NewId]);
+    }
+    // else: nothing splittable; add an empty cluster (idle core).
+    Clusters.push_back(std::move(NewCluster));
+  }
+
+  /// Greedy load balancing within \p Clusters (Figure 6's second phase).
+  /// \p Target holds each cluster's ideal iteration count; the balance
+  /// threshold bounds the tolerated deviation from it.
+  void loadBalance(std::vector<Cluster> &Clusters,
+                   const std::vector<double> &Target) {
+    const unsigned K = Clusters.size();
+    if (K < 2)
+      return;
+    assert(Target.size() == K && "one target per cluster");
+    std::vector<std::uint64_t> Up(K), Low(K);
+    for (unsigned I = 0; I != K; ++I) {
+      Up[I] = static_cast<std::uint64_t>(
+          std::ceil(Target[I] * (1.0 + Threshold)));
+      Low[I] = static_cast<std::uint64_t>(
+          std::floor(Target[I] * (1.0 - Threshold)));
+    }
+
+    // Termination guard: every step strictly reduces the donor's excess.
+    // Affinity-first merging can produce one giant cluster (sharing chains
+    // snowball), so the balancer may need to relocate a large fraction of
+    // all groups; budget accordingly.
+    std::size_t TotalGroups = 0;
+    for (const Cluster &C : Clusters)
+      TotalGroups += C.GroupIds.size();
+    std::uint64_t StepsLeft = 4 * TotalGroups + 64;
+    while (StepsLeft-- > 0) {
+      // Figure 6 stops when *all* clusters are inside [Low, Up]: both a
+      // cluster above its upper limit and one starved below its lower
+      // limit keep the balancer running. Work always flows from the
+      // largest surplus to the largest deficit.
+      std::size_t Donor = SIZE_MAX;
+      double DonorExcess = 0.0;
+      bool Violation = false;
+      for (std::size_t I = 0; I != K; ++I) {
+        double Delta = static_cast<double>(Clusters[I].Size) - Target[I];
+        if (Delta > DonorExcess) {
+          Donor = I;
+          DonorExcess = Delta;
+        }
+        if (Clusters[I].Size > Up[I] || Clusters[I].Size < Low[I])
+          Violation = true;
+      }
+      if (!Violation || Donor == SIZE_MAX)
+        break; // everyone within the balance threshold
+
+      // Recipient: fill the deepest-below-target cluster toward its target
+      // first; once no one is below target, spill toward the roomiest
+      // upper limit. Filling to target (not to Up) first keeps the global
+      // deficit from piling up on a few starved clusters.
+      std::size_t Recipient = SIZE_MAX;
+      double BestDeficit = 0.0;
+      std::uint64_t BestRoom = 0;
+      for (std::size_t I = 0; I != K; ++I) {
+        if (I == Donor)
+          continue;
+        double Deficit =
+            Target[I] - static_cast<double>(Clusters[I].Size);
+        std::uint64_t RoomToUp =
+            Up[I] > Clusters[I].Size ? Up[I] - Clusters[I].Size : 0;
+        if (Deficit > BestDeficit) {
+          Recipient = I;
+          BestDeficit = Deficit;
+          BestRoom = RoomToUp;
+        } else if (BestDeficit <= 0.0 && RoomToUp > BestRoom) {
+          Recipient = I;
+          BestRoom = RoomToUp;
+        }
+      }
+      if (Recipient == SIZE_MAX || BestRoom == 0)
+        break; // nowhere to put the excess
+      std::uint64_t Desired =
+          BestDeficit > 0.0
+              ? static_cast<std::uint64_t>(
+                    std::min(DonorExcess, BestDeficit))
+              : std::min(static_cast<std::uint64_t>(DonorExcess), BestRoom);
+      // A fractional target deficit floors to zero; spill toward the upper
+      // limit instead so an over-Up donor always makes progress.
+      if (Desired == 0 && Clusters[Donor].Size > Up[Donor])
+        Desired = std::min(static_cast<std::uint64_t>(DonorExcess), BestRoom);
+      if (Desired == 0)
+        break;
+
+      // Whole-group eviction: pick the group with max affinity to the
+      // recipient among those that roughly fit the transfer (never beyond
+      // the recipient's hard cap, never starving the donor below Low).
+      Cluster &D = Clusters[Donor];
+      Cluster &R = Clusters[Recipient];
+      std::uint64_t MaxMove = std::min<std::uint64_t>(Desired, BestRoom);
+      std::size_t BestIdx = SIZE_MAX;
+      std::int64_t BestScore = 0;
+      for (std::size_t GI = 0; GI != D.GroupIds.size(); ++GI) {
+        const IterationGroup &G = Groups[D.GroupIds[GI]];
+        if (G.size() > MaxMove || D.Size - G.size() < Low[Donor])
+          continue;
+        std::int64_t Score = evictionScore(G, R, D);
+        if (BestIdx == SIZE_MAX || Score > BestScore) {
+          BestIdx = GI;
+          BestScore = Score;
+        }
+      }
+
+      if (BestIdx != SIZE_MAX) {
+        std::uint32_t Id = D.GroupIds[BestIdx];
+        D.GroupIds.erase(D.GroupIds.begin() +
+                         static_cast<std::ptrdiff_t>(BestIdx));
+        D.Size -= Groups[Id].size();
+        rebuildSignature(D);
+        R.addGroup(Id, Groups[Id]);
+        ++NumEvictions;
+        continue;
+      }
+
+      // No whole group fits: split the max-affinity group so that exactly
+      // the desired amount moves.
+      std::size_t SplitIdx = SIZE_MAX;
+      std::int64_t SplitScore = 0;
+      for (std::size_t GI = 0; GI != D.GroupIds.size(); ++GI) {
+        const IterationGroup &G = Groups[D.GroupIds[GI]];
+        if (G.size() <= MaxMove)
+          continue; // must leave a nonempty head behind
+        std::int64_t Score = evictionScore(G, R, D);
+        if (SplitIdx == SIZE_MAX || Score > SplitScore) {
+          SplitIdx = GI;
+          SplitScore = Score;
+        }
+      }
+      if (SplitIdx == SIZE_MAX)
+        break; // cannot improve further
+      std::uint32_t ParentId = D.GroupIds[SplitIdx];
+      std::uint32_t NewId = Groups.size();
+      Groups.push_back(
+          Groups[ParentId].splitTail(static_cast<std::uint32_t>(MaxMove)));
+      Result.Splits.emplace_back(ParentId, NewId);
+      ++NumGroupSplits;
+      D.Size -= MaxMove;
+      rebuildSignature(D);
+      R.addGroup(NewId, Groups[NewId]);
+      ++NumEvictions;
+    }
+  }
+
+  /// Whole-group refinement after the threshold-bounded phase: keep
+  /// relocating groups from the largest-surplus cluster to the
+  /// largest-deficit one while each move strictly shrinks the pair's worst
+  /// deviation. Never splits; can only tighten the balance the threshold
+  /// already allows, which matters because the finishing time of the
+  /// slowest core tracks the *maximum* surplus.
+  void refineBalance(std::vector<Cluster> &Clusters,
+                     const std::vector<double> &Target) {
+    const unsigned K = Clusters.size();
+    if (K < 2)
+      return;
+    std::size_t TotalGroups = 0;
+    for (const Cluster &C : Clusters)
+      TotalGroups += C.GroupIds.size();
+    std::uint64_t StepsLeft = 2 * TotalGroups + 32;
+
+    while (StepsLeft-- > 0) {
+      std::size_t Donor = SIZE_MAX, Recipient = SIZE_MAX;
+      double MaxDelta = 0.0, MinDelta = 0.0;
+      for (std::size_t I = 0; I != K; ++I) {
+        double Delta = static_cast<double>(Clusters[I].Size) - Target[I];
+        if (Donor == SIZE_MAX || Delta > MaxDelta) {
+          Donor = I;
+          MaxDelta = Delta;
+        }
+        if (Recipient == SIZE_MAX || Delta < MinDelta) {
+          Recipient = I;
+          MinDelta = Delta;
+        }
+      }
+      if (Donor == Recipient || MaxDelta <= 0.0)
+        break;
+
+      Cluster &D = Clusters[Donor];
+      Cluster &R = Clusters[Recipient];
+      double WorstBefore = std::max(MaxDelta, -MinDelta);
+      std::size_t BestIdx = SIZE_MAX;
+      std::int64_t BestScore = 0;
+      for (std::size_t GI = 0; GI != D.GroupIds.size(); ++GI) {
+        const IterationGroup &G = Groups[D.GroupIds[GI]];
+        double S = G.size();
+        double WorstAfter =
+            std::max(std::abs(MaxDelta - S), std::abs(MinDelta + S));
+        if (WorstAfter + 0.5 >= WorstBefore)
+          continue; // does not strictly improve the pair
+        std::int64_t Score = evictionScore(G, R, D);
+        if (BestIdx == SIZE_MAX || Score > BestScore) {
+          BestIdx = GI;
+          BestScore = Score;
+        }
+      }
+      if (BestIdx != SIZE_MAX) {
+        std::uint32_t Id = D.GroupIds[BestIdx];
+        D.GroupIds.erase(D.GroupIds.begin() +
+                         static_cast<std::ptrdiff_t>(BestIdx));
+        D.Size -= Groups[Id].size();
+        rebuildSignature(D);
+        R.addGroup(Id, Groups[Id]);
+        ++NumEvictions;
+        continue;
+      }
+
+      // No whole group improves the pair: coarse groups cap how tight the
+      // balance can get, so split off exactly the surplus/deficit overlap
+      // when it is worth a new group.
+      constexpr std::uint64_t MinSplitIterations = 16;
+      double Deficit = -MinDelta;
+      std::uint64_t Desired = static_cast<std::uint64_t>(
+          Deficit > 0.0 ? std::min(MaxDelta, Deficit) : MaxDelta);
+      if (Desired < MinSplitIterations)
+        break;
+      std::size_t SplitIdx = SIZE_MAX;
+      std::int64_t SplitScore = 0;
+      for (std::size_t GI = 0; GI != D.GroupIds.size(); ++GI) {
+        const IterationGroup &G = Groups[D.GroupIds[GI]];
+        if (G.size() <= Desired)
+          continue;
+        std::int64_t Score = evictionScore(G, R, D);
+        if (SplitIdx == SIZE_MAX || Score > SplitScore) {
+          SplitIdx = GI;
+          SplitScore = Score;
+        }
+      }
+      if (SplitIdx == SIZE_MAX)
+        break;
+      std::uint32_t ParentId = D.GroupIds[SplitIdx];
+      std::uint32_t NewId = Groups.size();
+      Groups.push_back(
+          Groups[ParentId].splitTail(static_cast<std::uint32_t>(Desired)));
+      Result.Splits.emplace_back(ParentId, NewId);
+      ++NumGroupSplits;
+      D.Size -= Desired;
+      rebuildSignature(D);
+      R.addGroup(NewId, Groups[NewId]);
+      ++NumEvictions;
+    }
+  }
+
+  /// Eviction preference: gain affinity with the recipient, lose as
+  /// little as possible with the donor. A pure max-dot-to-recipient rule
+  /// degenerates to arbitrary picks while the recipient's signature is
+  /// still empty, scattering contiguous iteration runs across domains.
+  std::int64_t evictionScore(const IterationGroup &G, const Cluster &R,
+                             const Cluster &D) const {
+    std::int64_t ToRecipient = static_cast<std::int64_t>(R.Signature.dot(G.Tag));
+    std::int64_t ToDonor = static_cast<std::int64_t>(D.Signature.dot(G.Tag));
+    return ToRecipient - ToDonor;
+  }
+
+  void rebuildSignature(Cluster &C) {
+    C.Signature = SharingVector();
+    for (std::uint32_t Id : C.GroupIds)
+      C.Signature.add(Groups[Id].Tag);
+  }
+};
+
+} // namespace
+
+ClusteringResult cta::clusterForTopology(std::vector<IterationGroup> Groups,
+                                         const CacheTopology &Topo,
+                                         double BalanceThreshold) {
+  if (!Topo.finalized())
+    reportFatalError("clusterForTopology needs a finalized topology");
+  if (BalanceThreshold < 0.0)
+    reportFatalError("balance threshold must be non-negative");
+
+  ClusteringResult Result;
+  Result.CoreGroups.resize(Topo.numCores());
+  Result.Groups = std::move(Groups);
+  ClustererImpl Impl(Result.Groups, Topo, BalanceThreshold, Result);
+  Impl.run();
+  return Result;
+}

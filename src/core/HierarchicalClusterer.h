@@ -1,0 +1,54 @@
+//===- core/HierarchicalClusterer.h - Figure 6 clustering ------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache-topology-aware iteration distribution algorithm of Figure 6.
+/// Starting at the root of the cache hierarchy tree, iteration groups are
+/// partitioned level by level: at each tree node the current group set is
+/// split into as many clusters as the node has children, merging the
+/// highest-affinity clusters first (affinity = dot product of the clusters'
+/// "bitwise sum" sharing vectors), then greedily load-balanced within the
+/// configured balance threshold (evicting the donor group with the highest
+/// affinity to the recipient, splitting a group when no whole group fits).
+/// After the leaf (L1) level, each cluster is the work of one core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_HIERARCHICALCLUSTERER_H
+#define CTA_CORE_HIERARCHICALCLUSTERER_H
+
+#include "core/IterationGroup.h"
+#include "topo/Topology.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cta {
+
+/// Output of the clustering stage.
+struct ClusteringResult {
+  /// Final groups. Load balancing may split groups: split parts are
+  /// appended, so ids >= the input count are split tails.
+  std::vector<IterationGroup> Groups;
+  /// Per core (indexed by topology core id): assigned group ids.
+  std::vector<std::vector<std::uint32_t>> CoreGroups;
+  /// Splits performed: (parent group id, new tail group id). The tail
+  /// contains iterations that follow the parent's remaining iterations, so
+  /// dependence-aware scheduling must order parent before tail.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Splits;
+};
+
+/// Runs the Figure 6 distribution of \p Groups over \p Topo (which may be
+/// a level-restricted view of the machine). \p BalanceThreshold is the
+/// maximum tolerable fractional imbalance of per-cluster iteration counts.
+ClusteringResult clusterForTopology(std::vector<IterationGroup> Groups,
+                                    const CacheTopology &Topo,
+                                    double BalanceThreshold);
+
+} // namespace cta
+
+#endif // CTA_CORE_HIERARCHICALCLUSTERER_H

@@ -1,0 +1,55 @@
+//===- core/IterationGroup.h - Tagged iteration groups ---------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An iteration group (Section 3.3): the set of iterations of a parallel
+/// loop nest that share the same data-block tag. Groups partition the
+/// iteration space; distribution across cores happens at group granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_ITERATIONGROUP_H
+#define CTA_CORE_ITERATIONGROUP_H
+
+#include "core/Tag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// A tagged group of iterations. Iteration ids index the nest's
+/// IterationTable (lexicographic enumeration order).
+struct IterationGroup {
+  BlockSet Tag;
+  std::vector<std::uint32_t> Iterations;
+
+  IterationGroup() = default;
+  IterationGroup(BlockSet Tag, std::vector<std::uint32_t> Iterations)
+      : Tag(std::move(Tag)), Iterations(std::move(Iterations)) {}
+
+  /// S(gamma): the group size used for load balancing.
+  std::uint32_t size() const { return Iterations.size(); }
+
+  /// Splits off the last \p TailCount iterations into a new group with the
+  /// same tag (the load balancer's group-splitting step; the tag stays
+  /// identical because both halves came from the same tagged set).
+  IterationGroup splitTail(std::uint32_t TailCount);
+};
+
+inline IterationGroup IterationGroup::splitTail(std::uint32_t TailCount) {
+  assert(TailCount > 0 && TailCount < Iterations.size() &&
+         "split must leave both halves nonempty");
+  IterationGroup Tail;
+  Tail.Tag = Tag;
+  Tail.Iterations.assign(Iterations.end() - TailCount, Iterations.end());
+  Iterations.resize(Iterations.size() - TailCount);
+  return Tail;
+}
+
+} // namespace cta
+
+#endif // CTA_CORE_ITERATIONGROUP_H

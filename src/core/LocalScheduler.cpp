@@ -1,0 +1,390 @@
+//===- core/LocalScheduler.cpp - Figure 7 local scheduling ----------------===//
+
+#include "core/LocalScheduler.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+
+using namespace cta;
+
+namespace {
+
+Statistic NumRoundsStat("scheduler.rounds");
+Statistic NumForcedSchedules("scheduler.forced-schedules");
+
+class SchedulerImpl {
+  const std::vector<IterationGroup> &Groups;
+  const SchedulerDependences &Deps;
+  const double Alpha, Beta;
+
+  std::vector<std::vector<std::uint32_t>> Domains; // cores per domain
+  std::vector<std::vector<std::uint32_t>> CS;      // remaining per core
+  ScheduleResult Result;
+
+  std::vector<std::uint32_t> ScheduledRound; // per group, UINT32_MAX if not
+  std::vector<std::uint32_t> ScheduledCore;  // per group
+  std::vector<std::vector<std::uint32_t>> GroupsOfOrigin;
+  std::vector<std::uint64_t> IterCount; // s_i per core
+  std::uint64_t RemainingGroups = 0;
+  std::uint32_t CurRound = 0;
+
+public:
+  SchedulerImpl(const std::vector<IterationGroup> &Groups,
+                const std::vector<std::vector<std::uint32_t>> &CoreGroups,
+                const SchedulerDependences &Deps, const CacheTopology &Topo,
+                double Alpha, double Beta)
+      : Groups(Groups), Deps(Deps), Alpha(Alpha), Beta(Beta) {
+    assert(CoreGroups.size() == Topo.numCores() &&
+           "per-core assignment does not match the machine");
+    assert(Deps.OriginOf.size() == Groups.size() &&
+           Deps.PrevPart.size() == Groups.size() &&
+           "dependence tables do not match the group count");
+
+    // Shared-cache domains at the first shared level; private-only machines
+    // degenerate to one domain per core.
+    unsigned Level = Topo.firstSharedCacheLevel();
+    if (Level == CacheTopology::MemoryLevel) {
+      for (unsigned C = 0; C != Topo.numCores(); ++C)
+        Domains.push_back({C});
+    } else {
+      for (unsigned Id : Topo.nodesAtLevel(Level))
+        Domains.push_back(Topo.node(Id).Cores);
+    }
+
+    CS = CoreGroups;
+    Result.CoreOrder.resize(CoreGroups.size());
+    Result.RoundEnd.resize(CoreGroups.size());
+    IterCount.assign(CoreGroups.size(), 0);
+    ScheduledRound.assign(Groups.size(), UINT32_MAX);
+    ScheduledCore.assign(Groups.size(), UINT32_MAX);
+
+    std::uint32_t NumOrigins =
+        static_cast<std::uint32_t>(Deps.OriginPreds.size());
+    for (std::uint32_t O : Deps.OriginOf)
+      NumOrigins = std::max(NumOrigins, O + 1);
+    GroupsOfOrigin.resize(NumOrigins);
+    for (std::uint32_t G = 0, E = Groups.size(); G != E; ++G)
+      GroupsOfOrigin[Deps.OriginOf[G]].push_back(G);
+
+    for (const auto &List : CS)
+      RemainingGroups += List.size();
+  }
+
+  ScheduleResult run() {
+    while (RemainingGroups != 0)
+      runRound();
+    Result.NumRounds = CurRound;
+    elideBarriers();
+    return std::move(Result);
+  }
+
+  /// Keeps only the round boundaries some cross-core dependence crosses.
+  /// For a prerequisite h of g on another core, the barrier at boundary
+  /// round(g)-1 >= round(h) makes h's core finish h before g's core starts
+  /// g; same-core ordering needs no barrier at all.
+  void elideBarriers() {
+    Result.BarrierAfterRound.assign(CurRound > 1 ? CurRound - 1 : 0, 0);
+    Result.BarriersRequired = false;
+    if (!Deps.HasDependences || CurRound <= 1)
+      return;
+
+    auto need = [&](std::uint32_t G, std::uint32_t H) {
+      if (ScheduledCore[H] == ScheduledCore[G])
+        return;
+      assert(ScheduledRound[G] > ScheduledRound[H] &&
+             "cross-core prerequisite scheduled in the same or later round");
+      Result.BarrierAfterRound[ScheduledRound[G] - 1] = 1;
+      Result.BarriersRequired = true;
+    };
+    for (std::uint32_t G = 0, E = Deps.OriginOf.size(); G != E; ++G) {
+      if (ScheduledRound[G] == UINT32_MAX)
+        continue; // group was never assigned (not part of this schedule)
+      if (Deps.PrevPart[G] != UINT32_MAX)
+        need(G, Deps.PrevPart[G]);
+      std::uint32_t Origin = Deps.OriginOf[G];
+      if (Origin < Deps.OriginPreds.size())
+        for (std::uint32_t P : Deps.OriginPreds[Origin])
+          for (std::uint32_t H : GroupsOfOrigin[P])
+            need(G, H);
+    }
+  }
+
+private:
+  /// True when \p G may be scheduled now on \p Core: every prerequisite has
+  /// been scheduled in an earlier round or earlier on the same core.
+  bool isReady(std::uint32_t G, std::uint32_t Core) const {
+    auto Done = [&](std::uint32_t H) {
+      if (ScheduledRound[H] == UINT32_MAX)
+        return false;
+      if (ScheduledRound[H] < CurRound)
+        return true;
+      return ScheduledCore[H] == Core; // same core, earlier this round
+    };
+    if (Deps.PrevPart[G] != UINT32_MAX && !Done(Deps.PrevPart[G]))
+      return false;
+    std::uint32_t Origin = Deps.OriginOf[G];
+    if (Origin < Deps.OriginPreds.size())
+      for (std::uint32_t P : Deps.OriginPreds[Origin])
+        for (std::uint32_t H : GroupsOfOrigin[P])
+          if (!Done(H))
+            return false;
+    return true;
+  }
+
+  void commit(std::uint32_t Core, std::size_t IdxInCS) {
+    std::uint32_t G = CS[Core][IdxInCS];
+    CS[Core].erase(CS[Core].begin() + static_cast<std::ptrdiff_t>(IdxInCS));
+    Result.CoreOrder[Core].push_back(G);
+    ScheduledRound[G] = CurRound;
+    ScheduledCore[G] = Core;
+    IterCount[Core] += Groups[G].size();
+    --RemainingGroups;
+  }
+
+  /// Last scheduled group on \p Core, or UINT32_MAX.
+  std::uint32_t lastOf(std::uint32_t Core) const {
+    const auto &Order = Result.CoreOrder[Core];
+    return Order.empty() ? UINT32_MAX : Order.back();
+  }
+
+  /// Horizontal (shared-cache) affinity: the Figure 7 dot product with the
+  /// neighbouring core's last group.
+  double affinity(std::uint32_t G, std::uint32_t Other, double Weight) const {
+    if (Weight == 0.0 || Other == UINT32_MAX)
+      return 0.0;
+    return Weight *
+           static_cast<double>(Groups[G].Tag.dot(Groups[Other].Tag));
+  }
+
+  /// Vertical (L1) affinity: Section 3.5.3 phrases the private-cache goal
+  /// as scheduling contiguous groups with the *least Hamming distance*
+  /// between their tags, which (unlike a plain dot product) also penalizes
+  /// dissimilar blocks and so keeps streaming ranges in order.
+  double verticalAffinity(std::uint32_t G, std::uint32_t Other,
+                          double Weight) const {
+    if (Weight == 0.0 || Other == UINT32_MAX)
+      return 0.0;
+    return -Weight * static_cast<double>(
+                         Groups[G].Tag.hammingDistance(Groups[Other].Tag));
+  }
+
+  /// Picks the ready group in CS[Core] maximizing
+  /// AlphaW * (tag . HorizNeighbor) + BetaW * (tag . lastOf(Core)).
+  /// Ties break toward the least Hamming distance from the core's last
+  /// group (Section 3.5.3: contiguously scheduled groups should have the
+  /// least possible Hamming distance). Returns the index into CS[Core],
+  /// or SIZE_MAX.
+  std::size_t pickBest(std::uint32_t Core, std::uint32_t HorizNeighbor,
+                       double AlphaW, double BetaW) const {
+    std::size_t Best = SIZE_MAX;
+    double BestScore = 0.0;
+    std::uint32_t BestHamming = 0;
+    std::uint32_t Vert = lastOf(Core);
+    for (std::size_t I = 0, E = CS[Core].size(); I != E; ++I) {
+      std::uint32_t G = CS[Core][I];
+      if (!isReady(G, Core))
+        continue;
+      double Score = affinity(G, HorizNeighbor, AlphaW) +
+                     verticalAffinity(G, Vert, BetaW);
+      std::uint32_t Hamming =
+          Vert == UINT32_MAX ? 0
+                             : Groups[G].Tag.hammingDistance(
+                                   Groups[Vert].Tag);
+      if (Best == SIZE_MAX || Score > BestScore ||
+          (Score == BestScore && Hamming < BestHamming)) {
+        Best = I;
+        BestScore = Score;
+        BestHamming = Hamming;
+      }
+    }
+    return Best;
+  }
+
+  /// Picks the ready group with the fewest tag blocks (the Figure 7 seed).
+  std::size_t pickLeastPopulatedTag(std::uint32_t Core) const {
+    std::size_t Best = SIZE_MAX;
+    std::uint32_t BestBits = 0;
+    for (std::size_t I = 0, E = CS[Core].size(); I != E; ++I) {
+      std::uint32_t G = CS[Core][I];
+      if (!isReady(G, Core))
+        continue;
+      std::uint32_t Bits = Groups[G].Tag.size();
+      if (Best == SIZE_MAX || Bits < BestBits) {
+        Best = I;
+        BestBits = Bits;
+      }
+    }
+    return Best;
+  }
+
+  void runRound() {
+    std::uint64_t ScheduledThisRound = 0;
+
+    for (const std::vector<std::uint32_t> &Cores : Domains) {
+      const unsigned N = Cores.size();
+      for (unsigned Idx = 0; Idx != N; ++Idx) {
+        std::uint32_t C = Cores[Idx];
+        if (CS[C].empty())
+          continue;
+        bool First = Idx == 0;
+        std::uint32_t Horiz = First ? UINT32_MAX : lastOf(Cores[Idx - 1]);
+
+        if (Result.CoreOrder[C].empty()) {
+          // Seeding: first core takes the least-populated ready tag; later
+          // cores maximize horizontal affinity with the previous core.
+          std::size_t Pick = First ? pickLeastPopulatedTag(C)
+                                   : pickBest(C, Horiz, Alpha, 0.0);
+          if (Pick != SIZE_MAX) {
+            commit(C, Pick);
+            ++ScheduledThisRound;
+          }
+          continue;
+        }
+
+        // Filling: the first core catches up with the domain's last core;
+        // others catch up with their left neighbor (Figure 7's iteration
+        // balance), but every core takes at least one group per round so
+        // uniform group sizes cannot stall the rounds. The first core
+        // maximizes vertical reuse only; others use the combined objective.
+        std::uint64_t Target = IterCount[Cores[First ? N - 1 : Idx - 1]];
+        do {
+          std::size_t Pick = First ? pickBest(C, UINT32_MAX, 0.0, Beta)
+                                   : pickBest(C, Horiz, Alpha, Beta);
+          if (Pick == SIZE_MAX)
+            break; // nothing dependence-ready
+          commit(C, Pick);
+          ++ScheduledThisRound;
+        } while (IterCount[C] < Target && !CS[C].empty());
+      }
+    }
+
+    // Progress guarantee: the DAG always exposes at least one ready group,
+    // but the balance conditions above may refuse to take it. Force one.
+    if (ScheduledThisRound == 0 && RemainingGroups != 0) {
+      for (unsigned C = 0, E = CS.size(); C != E && ScheduledThisRound == 0;
+           ++C) {
+        for (std::size_t I = 0; I != CS[C].size(); ++I)
+          if (isReady(CS[C][I], C)) {
+            commit(C, I);
+            ++ScheduledThisRound;
+            ++NumForcedSchedules;
+            break;
+          }
+      }
+      if (ScheduledThisRound == 0)
+        reportFatalError(
+            "local scheduler deadlock: no dependence-ready group exists");
+    }
+
+    // Close the round.
+    for (unsigned C = 0, E = CS.size(); C != E; ++C)
+      Result.RoundEnd[C].push_back(Result.CoreOrder[C].size());
+    ++CurRound;
+    ++NumRoundsStat;
+  }
+};
+
+} // namespace
+
+ScheduleResult
+cta::scheduleGroups(const std::vector<IterationGroup> &Groups,
+                    const std::vector<std::vector<std::uint32_t>> &CoreGroups,
+                    const SchedulerDependences &Deps,
+                    const CacheTopology &Topo, double Alpha, double Beta) {
+  SchedulerImpl Impl(Groups, CoreGroups, Deps, Topo, Alpha, Beta);
+  return Impl.run();
+}
+
+Mapping cta::scheduleToMapping(const std::vector<IterationGroup> &Groups,
+                               ScheduleResult &&Sched, unsigned NumCores,
+                               const std::string &Name,
+                               const SchedulerDependences *Deps,
+                               bool UsePointToPoint) {
+  Mapping Map;
+  Map.StrategyName = Name;
+  Map.NumCores = NumCores;
+  Map.CoreIterations.resize(NumCores);
+  Map.RoundEnd.resize(NumCores);
+  Map.BarriersRequired = Sched.BarriersRequired;
+
+  // Per group: where it landed (for point-to-point sync emission).
+  struct Placement {
+    unsigned Core = 0;
+    std::uint32_t StartPos = 0;
+    std::uint32_t EndPos = 0;
+  };
+  std::vector<Placement> PlacementOf(Groups.size());
+
+  unsigned MergedRounds = 0;
+  for (unsigned C = 0; C != NumCores; ++C) {
+    std::size_t GroupIdx = 0;
+    for (unsigned R = 0; R != Sched.NumRounds; ++R) {
+      for (; GroupIdx != Sched.RoundEnd[C][R]; ++GroupIdx) {
+        std::uint32_t Gid = Sched.CoreOrder[C][GroupIdx];
+        const IterationGroup &G = Groups[Gid];
+        PlacementOf[Gid].Core = C;
+        PlacementOf[Gid].StartPos = Map.CoreIterations[C].size();
+        Map.CoreIterations[C].insert(Map.CoreIterations[C].end(),
+                                     G.Iterations.begin(),
+                                     G.Iterations.end());
+        PlacementOf[Gid].EndPos = Map.CoreIterations[C].size();
+      }
+      // Keep this boundary only when its barrier survived elision; the
+      // final round always closes the schedule.
+      bool Last = R + 1 == Sched.NumRounds;
+      if (Last || (Sched.BarriersRequired && Sched.BarrierAfterRound[R]))
+        Map.RoundEnd[C].push_back(Map.CoreIterations[C].size());
+    }
+    if (Sched.NumRounds == 0)
+      Map.RoundEnd[C].push_back(0);
+    MergedRounds = Map.RoundEnd[C].size();
+  }
+  Map.NumRounds = std::max(1u, MergedRounds);
+
+  if (Deps && Deps->HasDependences && UsePointToPoint) {
+    // Emit one wait per cross-core prerequisite edge.
+    std::vector<std::vector<std::uint32_t>> GroupsOfOrigin(
+        std::max<std::size_t>(Deps->OriginPreds.size(), Groups.size()));
+    for (std::uint32_t G = 0, E = Groups.size(); G != E; ++G)
+      GroupsOfOrigin[Deps->OriginOf[G]].push_back(G);
+    auto addWait = [&](std::uint32_t G, std::uint32_t H) {
+      const Placement &PG = PlacementOf[G];
+      const Placement &PH = PlacementOf[H];
+      if (PG.Core == PH.Core)
+        return; // same-core order enforced by the schedule itself
+      Map.PointDeps.push_back({PH.Core, PH.EndPos, PG.Core, PG.StartPos});
+    };
+    for (std::uint32_t G = 0, E = Groups.size(); G != E; ++G) {
+      if (Deps->PrevPart[G] != UINT32_MAX)
+        addWait(G, Deps->PrevPart[G]);
+      std::uint32_t Origin = Deps->OriginOf[G];
+      if (Origin < Deps->OriginPreds.size())
+        for (std::uint32_t P : Deps->OriginPreds[Origin])
+          for (std::uint32_t H : GroupsOfOrigin[P])
+            addWait(G, H);
+    }
+    // The waits subsume the barriers at run time (the engine dispatches on
+    // Sync); the round/barrier structure is kept intact so the mapping can
+    // still be retargeted in barrier form (Figure 14).
+    Map.Sync = SyncMode::PointToPoint;
+  } else {
+    Map.Sync = SyncMode::Barrier;
+  }
+
+  Map.Groups = Groups;
+  Map.CoreGroups = std::move(Sched.CoreOrder);
+  return Map;
+}
+
+SchedulerDependences cta::makeNoDependences(std::uint32_t NumGroups) {
+  SchedulerDependences Deps;
+  Deps.OriginOf.resize(NumGroups);
+  for (std::uint32_t G = 0; G != NumGroups; ++G)
+    Deps.OriginOf[G] = G;
+  Deps.OriginPreds.resize(NumGroups);
+  Deps.PrevPart.assign(NumGroups, UINT32_MAX);
+  Deps.HasDependences = false;
+  return Deps;
+}

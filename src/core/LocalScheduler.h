@@ -1,0 +1,99 @@
+//===- core/LocalScheduler.h - Figure 7 local scheduling -------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence-aware local iteration scheduling algorithm of Figure 7,
+/// applied after the global distribution (Figure 6). For every shared cache
+/// at the machine's first shared cache level, the groups assigned to the
+/// cores under it are ordered in rounds:
+///
+///  * the first core of a domain seeds each schedule with the group whose
+///    tag has the fewest blocks;
+///  * subsequent cores pick the dependence-ready group maximizing
+///    alpha * (tag . last-of-previous-core)   [horizontal / shared reuse]
+///  * within-round fills maximize the combined objective
+///    alpha * (tag . last-of-previous-core) + beta * (tag . last-of-core)
+///    [adding vertical / L1 reuse], while balancing the per-core iteration
+///    counts round by round;
+///  * a barrier closes every round when the nest has dependences, which
+///    guarantees that a group only depends on groups of earlier rounds (or
+///    earlier positions on its own core).
+///
+/// With alpha = beta = 0 the algorithm degenerates to pure
+/// dependence-legal scheduling - exactly how the paper's "Topology Aware"
+/// configuration orders groups without the locality scheduling step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_LOCALSCHEDULER_H
+#define CTA_CORE_LOCALSCHEDULER_H
+
+#include "core/IterationGroup.h"
+#include "core/Mapping.h"
+#include "topo/Topology.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// Dependence inputs for the scheduler, expressed over "origin" ids: the
+/// clusterer may split groups, and all parts of one origin share its
+/// dependence edges (a part additionally waits for the preceding part).
+struct SchedulerDependences {
+  /// Per group: its origin id (identity when nothing was split).
+  std::vector<std::uint32_t> OriginOf;
+  /// Per origin: predecessor origins (must be fully scheduled first).
+  std::vector<std::vector<std::uint32_t>> OriginPreds;
+  /// Per group: the preceding part of the same origin, or UINT32_MAX.
+  std::vector<std::uint32_t> PrevPart;
+  bool HasDependences = false;
+};
+
+/// Schedule of group executions for every core, in global rounds.
+struct ScheduleResult {
+  /// Per core: group ids in execution order.
+  std::vector<std::vector<std::uint32_t>> CoreOrder;
+  /// Per core: prefix length of CoreOrder at the end of each global round
+  /// (NumRounds entries, nondecreasing, last == CoreOrder size).
+  std::vector<std::vector<std::uint32_t>> RoundEnd;
+  unsigned NumRounds = 0;
+  /// Whether the boundary after round r (r in [0, NumRounds-1)) needs a
+  /// barrier: true iff some cross-core dependence crosses it. Boundaries
+  /// without cross-core dependences are elided - cores flow through.
+  std::vector<char> BarrierAfterRound;
+  /// True when at least one barrier survived elision.
+  bool BarriersRequired = false;
+};
+
+/// Runs the Figure 7 scheduler over the per-core group assignment
+/// \p CoreGroups. \p Topo supplies the shared-cache domains.
+ScheduleResult scheduleGroups(const std::vector<IterationGroup> &Groups,
+                              const std::vector<std::vector<std::uint32_t>>
+                                  &CoreGroups,
+                              const SchedulerDependences &Deps,
+                              const CacheTopology &Topo, double Alpha,
+                              double Beta);
+
+/// Builds dependence-free scheduler inputs for \p NumGroups groups.
+SchedulerDependences makeNoDependences(std::uint32_t NumGroups);
+
+/// Converts a group-level schedule into the final per-core iteration
+/// mapping, merging rounds whose boundary barrier was elided. \p Groups
+/// supplies the member iterations; the result's diagnostics keep the group
+/// structure. When \p Deps is non-null (and has dependences) and
+/// \p UsePointToPoint is set, the mapping carries point-to-point sync
+/// entries for every cross-core dependence instead of relying on round
+/// barriers.
+Mapping scheduleToMapping(const std::vector<IterationGroup> &Groups,
+                          ScheduleResult &&Sched, unsigned NumCores,
+                          const std::string &Name,
+                          const SchedulerDependences *Deps = nullptr,
+                          bool UsePointToPoint = true);
+
+} // namespace cta
+
+#endif // CTA_CORE_LOCALSCHEDULER_H

@@ -1,0 +1,64 @@
+//===- core/Mapping.cpp - Iteration-to-core mapping result ----------------===//
+
+#include "core/Mapping.h"
+
+#include <algorithm>
+
+using namespace cta;
+
+double Mapping::imbalance() const {
+  if (CoreIterations.empty())
+    return 0.0;
+  std::uint64_t Min = UINT64_MAX, Max = 0, Total = 0;
+  for (const auto &Iters : CoreIterations) {
+    std::uint64_t N = Iters.size();
+    Min = std::min(Min, N);
+    Max = std::max(Max, N);
+    Total += N;
+  }
+  if (Total == 0)
+    return 0.0;
+  double Mean = static_cast<double>(Total) / CoreIterations.size();
+  return static_cast<double>(Max - Min) / Mean;
+}
+
+bool Mapping::coversExactly(std::uint32_t NumIterations) const {
+  std::vector<bool> Seen(NumIterations, false);
+  std::uint64_t Count = 0;
+  for (const auto &Iters : CoreIterations)
+    for (std::uint32_t It : Iters) {
+      if (It >= NumIterations || Seen[It])
+        return false;
+      Seen[It] = true;
+      ++Count;
+    }
+  return Count == NumIterations;
+}
+
+bool Mapping::validate(std::string *ErrorMsg) const {
+  auto fail = [&](const char *Msg) {
+    if (ErrorMsg)
+      *ErrorMsg = Msg;
+    return false;
+  };
+  if (CoreIterations.size() != NumCores)
+    return fail("per-core iteration list count != NumCores");
+  if (BarriersRequired) {
+    if (RoundEnd.size() != NumCores)
+      return fail("RoundEnd arity mismatch");
+    for (unsigned C = 0; C != NumCores; ++C) {
+      if (RoundEnd[C].size() != NumRounds)
+        return fail("RoundEnd rounds mismatch");
+      std::uint32_t Prev = 0;
+      for (std::uint32_t End : RoundEnd[C]) {
+        if (End < Prev || End > CoreIterations[C].size())
+          return fail("RoundEnd not monotone or out of range");
+        Prev = End;
+      }
+      if (!RoundEnd[C].empty() &&
+          RoundEnd[C].back() != CoreIterations[C].size())
+        return fail("final RoundEnd does not cover the core's iterations");
+    }
+  }
+  return true;
+}

@@ -1,0 +1,103 @@
+//===- core/Mapping.h - Iteration-to-core mapping result -------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of the mapping pipeline: for every core, the ordered list of
+/// iterations it executes (the "thread" of Section 3.3's footnote), plus
+/// the global round structure used for barrier synchronization when the
+/// nest has loop-carried dependences. This is what both the code generator
+/// and the cache-hierarchy simulator consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_MAPPING_H
+#define CTA_CORE_MAPPING_H
+
+#include "core/IterationGroup.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// How cross-core dependences are enforced at run time.
+enum class SyncMode {
+  /// Global barriers between scheduling rounds (Figure 7's construct).
+  Barrier,
+  /// Point-to-point producer/consumer flags: a core blocks right before
+  /// the first iteration that needs a not-yet-finished prefix of another
+  /// core. Equivalent ordering guarantees at far lower simulated cost;
+  /// see DESIGN.md.
+  PointToPoint,
+};
+
+/// One point-to-point synchronization: before executing its iteration at
+/// StartPos, core Core must observe that PredCore has completed at least
+/// PredEndPos iterations.
+struct SyncDep {
+  unsigned PredCore = 0;
+  std::uint32_t PredEndPos = 0;
+  unsigned Core = 0;
+  std::uint32_t StartPos = 0;
+};
+
+/// A complete mapping of one loop nest onto a machine.
+struct Mapping {
+  std::string StrategyName;
+  unsigned NumCores = 0;
+
+  /// Per core: iteration ids (into the nest's IterationTable) in execution
+  /// order.
+  std::vector<std::vector<std::uint32_t>> CoreIterations;
+
+  /// Per core: prefix length of CoreIterations at the end of each of the
+  /// NumRounds global rounds; nondecreasing, final entry equals the per-core
+  /// iteration count. Only meaningful when BarriersRequired.
+  std::vector<std::vector<std::uint32_t>> RoundEnd;
+  unsigned NumRounds = 1;
+  bool BarriersRequired = false;
+
+  /// Synchronization the engine must enforce. Barrier mode uses
+  /// RoundEnd/NumRounds; PointToPoint mode uses PointDeps.
+  SyncMode Sync = SyncMode::Barrier;
+  std::vector<SyncDep> PointDeps;
+
+  /// Diagnostics: the final iteration groups and their core assignment
+  /// (empty for baselines that bypass group formation).
+  std::vector<IterationGroup> Groups;
+  std::vector<std::vector<std::uint32_t>> CoreGroups;
+
+  std::uint64_t totalIterations() const {
+    std::uint64_t N = 0;
+    for (const auto &Iters : CoreIterations)
+      N += Iters.size();
+    return N;
+  }
+
+  std::vector<std::uint32_t> coreCounts() const {
+    std::vector<std::uint32_t> Counts;
+    Counts.reserve(CoreIterations.size());
+    for (const auto &Iters : CoreIterations)
+      Counts.push_back(Iters.size());
+    return Counts;
+  }
+
+  /// (max - min) / mean of the per-core iteration counts; 0 for an empty
+  /// mapping.
+  double imbalance() const;
+
+  /// True if the per-core lists form a partition of [0, NumIterations).
+  bool coversExactly(std::uint32_t NumIterations) const;
+
+  /// Checks internal consistency (round monotonicity, arity); returns
+  /// false and fills \p ErrorMsg on failure.
+  bool validate(std::string *ErrorMsg = nullptr) const;
+};
+
+} // namespace cta
+
+#endif // CTA_CORE_MAPPING_H

@@ -1,0 +1,114 @@
+//===- core/Optimal.cpp - Near-optimal mapping search ---------------------===//
+
+#include "core/Optimal.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Random.h"
+
+using namespace cta;
+
+namespace {
+
+/// One steepest-descent pass loop: repeatedly applies the best improving
+/// single-group move or pairwise swap until none improves or the
+/// evaluation budget runs out.
+void hillClimb(std::vector<std::uint32_t> &Assign, double &BestCost,
+               unsigned NumCores, const AssignmentCost &Cost,
+               unsigned &Evaluations, unsigned MaxEvaluations) {
+  const std::uint32_t N = Assign.size();
+  bool Improved = true;
+  while (Improved && Evaluations < MaxEvaluations) {
+    Improved = false;
+
+    // Single-group moves.
+    for (std::uint32_t G = 0; G != N && Evaluations < MaxEvaluations; ++G) {
+      std::uint32_t Original = Assign[G];
+      for (unsigned C = 0; C != NumCores; ++C) {
+        if (C == Original || Evaluations >= MaxEvaluations)
+          continue;
+        Assign[G] = C;
+        double NewCost = Cost(Assign);
+        ++Evaluations;
+        if (NewCost < BestCost) {
+          BestCost = NewCost;
+          Improved = true;
+          Original = C;
+        } else {
+          Assign[G] = Original;
+        }
+      }
+      Assign[G] = Original;
+    }
+
+    // Pairwise swaps (catch moves that single relocation cannot reach
+    // without transiently unbalancing).
+    for (std::uint32_t A = 0; A != N && Evaluations < MaxEvaluations; ++A) {
+      for (std::uint32_t B = A + 1; B != N && Evaluations < MaxEvaluations;
+           ++B) {
+        if (Assign[A] == Assign[B])
+          continue;
+        std::swap(Assign[A], Assign[B]);
+        double NewCost = Cost(Assign);
+        ++Evaluations;
+        if (NewCost < BestCost) {
+          BestCost = NewCost;
+          Improved = true;
+        } else {
+          std::swap(Assign[A], Assign[B]);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+OptimalSearchResult
+cta::searchBestAssignment(const std::vector<IterationGroup> &Groups,
+                          unsigned NumCores, const AssignmentCost &Cost,
+                          const std::vector<std::uint32_t> *SeedAssignment,
+                          const OptimalSearchOptions &Opts) {
+  if (Groups.empty() || NumCores == 0)
+    reportFatalError("optimal search needs groups and cores");
+  const std::uint32_t N = Groups.size();
+
+  OptimalSearchResult Best;
+  Best.Cost = 0.0;
+  bool HaveBest = false;
+  unsigned Evaluations = 0;
+  SplitMix64 Rng(Opts.Seed);
+
+  auto consider = [&](std::vector<std::uint32_t> Start) {
+    double C = Cost(Start);
+    ++Evaluations;
+    hillClimb(Start, C, NumCores, Cost, Evaluations, Opts.MaxEvaluations);
+    if (!HaveBest || C < Best.Cost) {
+      Best.Cost = C;
+      Best.CoreOfGroup = std::move(Start);
+      HaveBest = true;
+    }
+  };
+
+  if (SeedAssignment) {
+    assert(SeedAssignment->size() == N && "seed assignment arity mismatch");
+    consider(*SeedAssignment);
+  }
+
+  // Round-robin start (balanced) plus random restarts.
+  std::vector<std::uint32_t> RoundRobin(N);
+  for (std::uint32_t G = 0; G != N; ++G)
+    RoundRobin[G] = G % NumCores;
+  consider(std::move(RoundRobin));
+
+  for (unsigned R = 0; R != Opts.RandomRestarts; ++R) {
+    if (Evaluations >= Opts.MaxEvaluations)
+      break;
+    std::vector<std::uint32_t> Random(N);
+    for (std::uint32_t G = 0; G != N; ++G)
+      Random[G] = static_cast<std::uint32_t>(Rng.nextBelow(NumCores));
+    consider(std::move(Random));
+  }
+
+  Best.Evaluations = Evaluations;
+  return Best;
+}

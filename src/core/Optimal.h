@@ -1,0 +1,62 @@
+//===- core/Optimal.h - Near-optimal mapping search ------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "optimal" comparison point of Figure 20. The paper determined the
+/// ideal iteration-group-to-core mapping with integer linear programming
+/// (taking up to 23 hours); we substitute a multi-start steepest-descent
+/// search over group-to-core assignments driven by a caller-supplied cost
+/// function (in the benches: the simulated execution cycles). Seeding the
+/// search with the pipeline's own mapping guarantees the reported
+/// "optimal" is at least as good as ours, preserving the figure's
+/// semantics (how far from the best achievable is the heuristic?).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_OPTIMAL_H
+#define CTA_CORE_OPTIMAL_H
+
+#include "core/IterationGroup.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cta {
+
+/// Search knobs.
+struct OptimalSearchOptions {
+  unsigned RandomRestarts = 3;
+  /// Hard cap on cost evaluations (the expensive part when the cost is a
+  /// full simulation).
+  unsigned MaxEvaluations = 4000;
+  std::uint64_t Seed = 0x5eed;
+};
+
+/// Search outcome.
+struct OptimalSearchResult {
+  /// Per group: assigned core.
+  std::vector<std::uint32_t> CoreOfGroup;
+  double Cost = 0.0;
+  unsigned Evaluations = 0;
+};
+
+/// Cost of a complete assignment (lower is better).
+using AssignmentCost =
+    std::function<double(const std::vector<std::uint32_t> &)>;
+
+/// Searches for the best group-to-core assignment. \p SeedAssignment, when
+/// non-null, is used as one starting point (and its cost is a guaranteed
+/// upper bound for the result).
+OptimalSearchResult
+searchBestAssignment(const std::vector<IterationGroup> &Groups,
+                     unsigned NumCores, const AssignmentCost &Cost,
+                     const std::vector<std::uint32_t> *SeedAssignment,
+                     const OptimalSearchOptions &Opts = {});
+
+} // namespace cta
+
+#endif // CTA_CORE_OPTIMAL_H

@@ -1,0 +1,79 @@
+//===- core/Options.h - Mapping pipeline options ---------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunable parameters of the mapping scheme, with the paper's defaults:
+/// 2KB data blocks, a 10% load-balance threshold, and alpha = beta = 0.5
+/// for the local scheduler's horizontal/vertical reuse weights
+/// (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_OPTIONS_H
+#define CTA_CORE_OPTIONS_H
+
+#include <cstdint>
+
+namespace cta {
+
+/// How loops with loop-carried dependences are handled (Section 3.5.2).
+enum class DependencePolicy {
+  /// Cluster all mutually dependent iteration groups onto one core
+  /// ("infinite edge weight"): no synchronization needed.
+  CoCluster,
+  /// Treat dependences as ordinary sharing during clustering; enforce
+  /// correctness with round barriers during local scheduling.
+  Synchronize,
+};
+
+/// Options for the whole pipeline.
+struct MappingOptions {
+  /// Logical data block size in bytes (Section 3.3). 0 selects the size
+  /// automatically with the Section 4.1 heuristic (largest block such that
+  /// the most aggressive iteration group still fits in L1).
+  std::uint64_t BlockSizeBytes = 2048;
+
+  /// Maximum tolerable imbalance across per-core iteration counts, as a
+  /// fraction of the ideal per-cluster share (paper default: 10%).
+  double BalanceThreshold = 0.10;
+
+  /// Weight of horizontal reuse: affinity with the last group scheduled on
+  /// the previous core under the same shared cache (Section 3.5.3).
+  double Alpha = 0.5;
+
+  /// Weight of vertical reuse: affinity with the last group scheduled on
+  /// the same core.
+  double Beta = 0.5;
+
+  /// Restrict the mapper's view of the hierarchy to cache levels
+  /// 1..MaxMapperLevel (Figure 20's L1+L2 / L1+L2+L3 variants). 0 means
+  /// use the entire hierarchy.
+  unsigned MaxMapperLevel = 0;
+
+  DependencePolicy DepPolicy = DependencePolicy::Synchronize;
+
+  /// Under the Synchronize policy, whether cross-core dependences are
+  /// enforced with round barriers (the paper's Figure 7 construct) or
+  /// with equivalent point-to-point flags (the default; see DESIGN.md).
+  bool UseBarrierSync = false;
+
+  /// Upper bound on the number of iteration groups fed to the clustering
+  /// stage; beyond it, adjacent groups (in first-iteration order) are
+  /// pre-merged. Bounds the O(n^2) agglomeration cost.
+  unsigned MaxGroupsForClustering = 1024;
+
+  /// Tighter pre-merge target used when the sharing structure is
+  /// chain-like (most affinity between adjacent groups, as in stencils):
+  /// coarse contiguous groups then both cluster better and cost less.
+  unsigned ChainCoarsenTarget = 512;
+
+  /// Guard on the enumerated iteration-space size.
+  std::uint64_t MaxIterations = (1u << 26);
+};
+
+} // namespace cta
+
+#endif // CTA_CORE_OPTIONS_H

@@ -1,0 +1,81 @@
+//===- core/Report.cpp - Mapping quality diagnostics ----------------------===//
+
+#include "core/Report.h"
+
+#include "support/StringUtils.h"
+
+#include <climits>
+
+using namespace cta;
+
+std::string MappingReport::str() const {
+  std::string Out = "mapping report: imbalance " +
+                    formatDouble(Imbalance, 3) + ", total sharing " +
+                    std::to_string(TotalSharing) + "\n";
+  for (const LevelSharing &L : Levels)
+    Out += "  L" + std::to_string(L.Level) + ": " +
+           formatPercent(L.withinFraction()) +
+           " of sharing inside domains (" +
+           std::to_string(L.WithinDomain) + " in / " +
+           std::to_string(L.AcrossDomains) + " out)\n";
+  return Out;
+}
+
+MappingReport cta::analyzeMapping(const Mapping &Map,
+                                  const CacheTopology &Topo) {
+  MappingReport Report;
+  Report.Imbalance = Map.imbalance();
+  if (Map.Groups.empty() || Map.CoreGroups.empty())
+    return Report;
+
+  // Owner core of every group.
+  std::vector<unsigned> CoreOf(Map.Groups.size(), UINT_MAX);
+  for (unsigned C = 0; C != Map.CoreGroups.size(); ++C)
+    for (std::uint32_t G : Map.CoreGroups[C])
+      CoreOf[G] = C;
+
+  // Shared cache levels of the machine (instances serving > 1 core).
+  std::vector<unsigned> SharedLevels;
+  for (unsigned L : Topo.cacheLevels()) {
+    for (unsigned Id : Topo.nodesAtLevel(L))
+      if (Topo.node(Id).Cores.size() > 1) {
+        SharedLevels.push_back(L);
+        break;
+      }
+  }
+  for (unsigned L : SharedLevels)
+    Report.Levels.push_back({L, 0, 0});
+
+  // Domain id of a core at a level = the ancestor cache node at that
+  // level (or UINT_MAX when the core has none, e.g. truncated trees).
+  auto domainOf = [&](unsigned Core, unsigned Level) -> unsigned {
+    for (int Id = static_cast<int>(Topo.l1Of(Core)); Id != -1;
+         Id = Topo.node(static_cast<unsigned>(Id)).Parent) {
+      if (Topo.node(static_cast<unsigned>(Id)).Level == Level)
+        return static_cast<unsigned>(Id);
+    }
+    return UINT_MAX;
+  };
+
+  for (std::uint32_t A = 0; A != Map.Groups.size(); ++A) {
+    if (CoreOf[A] == UINT_MAX)
+      continue;
+    for (std::uint32_t B = A + 1; B != Map.Groups.size(); ++B) {
+      if (CoreOf[B] == UINT_MAX)
+        continue;
+      std::uint64_t Dot = Map.Groups[A].Tag.dot(Map.Groups[B].Tag);
+      if (Dot == 0)
+        continue;
+      Report.TotalSharing += Dot;
+      for (LevelSharing &L : Report.Levels) {
+        unsigned DA = domainOf(CoreOf[A], L.Level);
+        unsigned DB = domainOf(CoreOf[B], L.Level);
+        if (DA != UINT_MAX && DA == DB)
+          L.WithinDomain += Dot;
+        else
+          L.AcrossDomains += Dot;
+      }
+    }
+  }
+  return Report;
+}

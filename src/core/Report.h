@@ -1,0 +1,60 @@
+//===- core/Report.h - Mapping quality diagnostics -------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static (pre-simulation) diagnostics for a mapping: how much data-block
+/// sharing lands *inside* each cache domain versus across domains, per
+/// hierarchy level. This is exactly the quantity the Figure 6 clustering
+/// maximizes, so the report lets users (and tests) see whether a mapping
+/// is topology-aligned without running the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_REPORT_H
+#define CTA_CORE_REPORT_H
+
+#include "core/Mapping.h"
+#include "topo/Topology.h"
+
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Sharing placement at one cache level.
+struct LevelSharing {
+  unsigned Level = 0;
+  /// Sum of pairwise tag dot products between groups mapped to cores
+  /// under the same cache instance at this level.
+  std::uint64_t WithinDomain = 0;
+  /// Same, for pairs under different instances.
+  std::uint64_t AcrossDomains = 0;
+
+  double withinFraction() const {
+    std::uint64_t Total = WithinDomain + AcrossDomains;
+    return Total == 0 ? 1.0
+                      : static_cast<double>(WithinDomain) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Full report for one mapping.
+struct MappingReport {
+  std::vector<LevelSharing> Levels; // one entry per shared cache level
+  std::uint64_t TotalSharing = 0;   // all pairwise dots (group pairs)
+  double Imbalance = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+};
+
+/// Computes the report. The mapping must carry its group diagnostics
+/// (strategies that bypass group formation produce an empty report).
+MappingReport analyzeMapping(const Mapping &Map, const CacheTopology &Topo);
+
+} // namespace cta
+
+#endif // CTA_CORE_REPORT_H

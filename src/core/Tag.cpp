@@ -1,0 +1,86 @@
+//===- core/Tag.cpp - Iteration-group tags and sharing vectors ------------===//
+
+#include "core/Tag.h"
+
+using namespace cta;
+
+void SharingVector::addWeighted(const BlockSet &Tag, std::uint32_t Weight) {
+  if (Tag.empty() || Weight == 0)
+    return;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Out;
+  Out.reserve(Counts.size() + Tag.size());
+  auto A = Counts.begin(), AE = Counts.end();
+  auto B = Tag.ids().begin(), BE = Tag.ids().end();
+  while (A != AE && B != BE) {
+    if (A->first < *B)
+      Out.push_back(*A), ++A;
+    else if (*B < A->first)
+      Out.emplace_back(*B, Weight), ++B;
+    else {
+      Out.emplace_back(A->first, A->second + Weight);
+      ++A;
+      ++B;
+    }
+  }
+  Out.insert(Out.end(), A, AE);
+  for (; B != BE; ++B)
+    Out.emplace_back(*B, Weight);
+  Counts = std::move(Out);
+}
+
+void SharingVector::add(const SharingVector &RHS) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Out;
+  Out.reserve(Counts.size() + RHS.Counts.size());
+  auto A = Counts.begin(), AE = Counts.end();
+  auto B = RHS.Counts.begin(), BE = RHS.Counts.end();
+  while (A != AE && B != BE) {
+    if (A->first < B->first)
+      Out.push_back(*A), ++A;
+    else if (B->first < A->first)
+      Out.push_back(*B), ++B;
+    else {
+      Out.emplace_back(A->first, A->second + B->second);
+      ++A;
+      ++B;
+    }
+  }
+  Out.insert(Out.end(), A, AE);
+  Out.insert(Out.end(), B, BE);
+  Counts = std::move(Out);
+}
+
+std::uint64_t SharingVector::dot(const SharingVector &RHS) const {
+  std::uint64_t Sum = 0;
+  auto A = Counts.begin(), AE = Counts.end();
+  auto B = RHS.Counts.begin(), BE = RHS.Counts.end();
+  while (A != AE && B != BE) {
+    if (A->first < B->first)
+      ++A;
+    else if (B->first < A->first)
+      ++B;
+    else {
+      Sum += static_cast<std::uint64_t>(A->second) * B->second;
+      ++A;
+      ++B;
+    }
+  }
+  return Sum;
+}
+
+std::uint64_t SharingVector::dot(const BlockSet &Tag) const {
+  std::uint64_t Sum = 0;
+  auto A = Counts.begin(), AE = Counts.end();
+  auto B = Tag.ids().begin(), BE = Tag.ids().end();
+  while (A != AE && B != BE) {
+    if (A->first < *B)
+      ++A;
+    else if (*B < A->first)
+      ++B;
+    else {
+      Sum += A->second;
+      ++A;
+      ++B;
+    }
+  }
+  return Sum;
+}

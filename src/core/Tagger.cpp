@@ -1,0 +1,172 @@
+//===- core/Tagger.cpp - Iteration tagging and group formation ------------===//
+
+#include "core/Tagger.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Random.h"
+#include "support/Statistic.h"
+
+#include <unordered_map>
+
+using namespace cta;
+
+namespace {
+
+Statistic NumIterationsTagged("tagger.iterations");
+Statistic NumGroupsFormed("tagger.groups");
+Statistic NumGroupsCoarsened("tagger.groups-coarsened-away");
+
+struct TagKey {
+  std::uint64_t Hash;
+  std::uint32_t FirstGroupWithHash; // chain through Groups for collisions
+};
+
+} // namespace
+
+TaggingResult cta::buildIterationGroups(const LoopNest &Nest,
+                                        const std::vector<ArrayDecl> &Arrays,
+                                        const DataBlockModel &Blocks,
+                                        std::uint64_t MaxIterations) {
+  TaggingResult Result;
+  Result.Iterations = Nest.enumerate(MaxIterations);
+  const IterationTable &Table = Result.Iterations;
+  const unsigned Depth = Table.depth();
+
+  // Map tag hash -> candidate group indices (collision chains are resolved
+  // by full tag comparison).
+  std::unordered_multimap<std::uint64_t, std::uint32_t> TagToGroup;
+  std::vector<IterationGroup> &Groups = Result.Groups;
+
+  std::vector<std::int64_t> Point(Depth);
+  std::vector<std::int64_t> Idx;
+  std::vector<std::uint32_t> Touched;
+
+  for (std::uint32_t Iter = 0, E = Table.size(); Iter != E; ++Iter) {
+    Table.get(Iter, Point.data());
+    Touched.clear();
+    for (const ArrayAccess &Acc : Nest.accesses()) {
+      const ArrayDecl &A = Arrays[Acc.ArrayId];
+      Idx.resize(Acc.Subscripts.size());
+      evaluateAccess(Acc, A, Point.data(), Idx.data());
+      if (!A.inBounds(Idx.data()))
+        reportFatalError("array access out of bounds while tagging");
+      Touched.push_back(Blocks.blockOf(Acc.ArrayId, A.linearize(Idx.data())));
+    }
+    BlockSet Tag = BlockSet::fromUnsorted(Touched);
+
+    std::uint64_t H = Tag.hash();
+    std::uint32_t GroupId = UINT32_MAX;
+    auto [It, End] = TagToGroup.equal_range(H);
+    for (; It != End; ++It)
+      if (Groups[It->second].Tag == Tag) {
+        GroupId = It->second;
+        break;
+      }
+    if (GroupId == UINT32_MAX) {
+      GroupId = Groups.size();
+      Groups.emplace_back(std::move(Tag), std::vector<std::uint32_t>{});
+      TagToGroup.emplace(H, GroupId);
+    }
+    Groups[GroupId].Iterations.push_back(Iter);
+  }
+
+  NumIterationsTagged += Table.size();
+  NumGroupsFormed += Groups.size();
+  return Result;
+}
+
+double cta::adjacentAffinityFraction(
+    const std::vector<IterationGroup> &Groups) {
+  // "Local" pairs live within this window in first-iteration order; wide
+  // enough to cover cross-row sharing of 2D nests (a row is tens of
+  // groups, so the window scales with the group count), narrow against
+  // hashed/strided collisions.
+  const std::size_t N = Groups.size();
+  const std::size_t Window =
+      std::min<std::size_t>(512, std::max<std::size_t>(32, N / 256));
+  if (N <= Window + 1)
+    return 1.0;
+
+  double LocalMass = 0.0;
+  for (std::size_t I = 0; I != N; ++I)
+    for (std::size_t J = I + 1; J <= I + Window && J < N; ++J)
+      LocalMass += Groups[I].Tag.dot(Groups[J].Tag);
+
+  // Deterministic sample of non-local pairs, extrapolated to the whole
+  // pair space.
+  SplitMix64 Rng(0xc0a45e);
+  const std::size_t Samples = 4 * N;
+  double SampleMass = 0.0;
+  std::size_t Taken = 0;
+  for (std::size_t S = 0; S != Samples; ++S) {
+    std::size_t A = static_cast<std::size_t>(Rng.nextBelow(N));
+    std::size_t B = static_cast<std::size_t>(Rng.nextBelow(N));
+    std::size_t Dist = A > B ? A - B : B - A;
+    if (Dist <= Window)
+      continue;
+    ++Taken;
+    SampleMass += Groups[A].Tag.dot(Groups[B].Tag);
+  }
+  if (Taken == 0)
+    return 1.0;
+  double TotalPairs = 0.5 * static_cast<double>(N) * (N - 1);
+  double LocalPairs =
+      static_cast<double>(N) * Window - 0.5 * Window * (Window + 1);
+  double NonLocalEstimate =
+      SampleMass * (TotalPairs - LocalPairs) / static_cast<double>(Taken);
+  double Total = LocalMass + NonLocalEstimate;
+  return Total <= 0.0 ? 1.0 : LocalMass / Total;
+}
+
+void cta::coarsenGroups(std::vector<IterationGroup> &Groups,
+                        unsigned MaxGroups) {
+  if (MaxGroups == 0)
+    reportFatalError("coarsenGroups requires a nonzero target");
+
+  // Pairwise-merge passes over neighbors in first-iteration order. Early
+  // passes only fuse groups that actually share blocks - fusing unrelated
+  // groups would fabricate affinity (and, worse, fabricate dependence
+  // chains when the nest has loop-carried dependences). If a pass makes
+  // too little progress, fall back to unconditional merging so the cost
+  // cap still holds.
+  bool RequireAffinity = true;
+  while (Groups.size() > MaxGroups) {
+    std::vector<IterationGroup> Merged;
+    Merged.reserve((Groups.size() + 1) / 2);
+    std::size_t Before = Groups.size();
+    std::size_t I = 0;
+    while (I < Groups.size()) {
+      if (I + 1 == Groups.size()) {
+        Merged.push_back(std::move(Groups[I]));
+        break;
+      }
+      if (RequireAffinity && Groups[I].Tag.dot(Groups[I + 1].Tag) == 0) {
+        Merged.push_back(std::move(Groups[I]));
+        ++I;
+        continue;
+      }
+      IterationGroup G;
+      G.Tag = Groups[I].Tag.unionWith(Groups[I + 1].Tag);
+      G.Iterations = std::move(Groups[I].Iterations);
+      G.Iterations.insert(G.Iterations.end(),
+                          Groups[I + 1].Iterations.begin(),
+                          Groups[I + 1].Iterations.end());
+      Merged.push_back(std::move(G));
+      ++NumGroupsCoarsened;
+      I += 2;
+    }
+    bool LittleProgress = Merged.size() * 20 > Before * 19;
+    Groups = std::move(Merged);
+    if (Groups.size() <= MaxGroups)
+      break;
+    if (LittleProgress) {
+      if (!RequireAffinity)
+        break; // cannot shrink further (degenerate single-group tails)
+      // Tolerate up to 2x the target when the remaining groups are
+      // mutually disjoint; beyond that, cost wins and we merge anyway.
+      if (Groups.size() <= 2 * MaxGroups)
+        break;
+      RequireAffinity = false;
+    }
+  }
+}

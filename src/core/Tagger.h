@@ -1,0 +1,58 @@
+//===- core/Tagger.h - Iteration tagging and group formation ---*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds iteration groups from a loop nest and a data-block model
+/// (Sections 3.3-3.4): every iteration is tagged with the set of blocks its
+/// references touch; iterations with identical tags form one group. The
+/// groups partition the iteration space and collectively cover it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_TAGGER_H
+#define CTA_CORE_TAGGER_H
+
+#include "core/DataBlockModel.h"
+#include "core/IterationGroup.h"
+#include "poly/LoopNest.h"
+
+#include <vector>
+
+namespace cta {
+
+/// Result of tagging a nest.
+struct TaggingResult {
+  /// All iterations in lexicographic order; group members index this table.
+  IterationTable Iterations;
+  /// Groups ordered by first member iteration (so consecutive groups are
+  /// adjacent in the iteration space).
+  std::vector<IterationGroup> Groups;
+};
+
+/// Tags every iteration of \p Nest and clusters equal tags into groups.
+/// Out-of-bounds accesses abort (workload construction bug).
+TaggingResult buildIterationGroups(const LoopNest &Nest,
+                                   const std::vector<ArrayDecl> &Arrays,
+                                   const DataBlockModel &Blocks,
+                                   std::uint64_t MaxIterations = (1u << 26));
+
+/// Merges adjacent groups (in first-iteration order) until at most
+/// \p MaxGroups remain; tags merge by union, members concatenate. Bounds
+/// the clustering stage's quadratic cost on very fine blockings. Merging
+/// prefers pairs that actually share blocks; disjoint neighbors are only
+/// fused when the count would otherwise stay far above the cap.
+void coarsenGroups(std::vector<IterationGroup> &Groups, unsigned MaxGroups);
+
+/// Estimates how much of the groups' affinity mass sits on *adjacent*
+/// pairs (in first-iteration order) versus arbitrary pairs, in [0, 1].
+/// Chain-structured sharing (stencils, banded sweeps) scores near 1;
+/// scattered sharing (hashed tables, long strides) scores low. Uses the
+/// full adjacent sum plus a deterministic sample of non-adjacent pairs.
+double adjacentAffinityFraction(const std::vector<IterationGroup> &Groups);
+
+} // namespace cta
+
+#endif // CTA_CORE_TAGGER_H

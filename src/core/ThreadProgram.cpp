@@ -1,0 +1,82 @@
+//===- core/ThreadProgram.cpp - Per-thread code emission -------------------===//
+
+#include "core/ThreadProgram.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cta;
+
+std::string cta::emitThreadProgram(const CodeGen &CG,
+                                   const IterationTable &Table,
+                                   const Mapping &Map, unsigned Core) {
+  if (Core >= Map.NumCores)
+    reportFatalError("thread program requested for a core out of range");
+  const std::vector<std::uint32_t> &Iters = Map.CoreIterations[Core];
+
+  // Annotations keyed by position in the core's iteration list.
+  // Waits come before the iteration at the position; signals and barriers
+  // after the prefix of that length completes.
+  std::multimap<std::uint32_t, std::string> Before, After;
+
+  if (Map.Sync == SyncMode::PointToPoint) {
+    for (const SyncDep &D : Map.PointDeps) {
+      if (D.Core == Core)
+        Before.emplace(D.StartPos,
+                       "wait(core" + std::to_string(D.PredCore) + ", " +
+                           std::to_string(D.PredEndPos) + ");");
+      if (D.PredCore == Core)
+        After.emplace(D.PredEndPos,
+                      "signal(" + std::to_string(D.PredEndPos) + ");");
+    }
+  } else if (Map.BarriersRequired) {
+    for (unsigned R = 0; R + 1 < Map.NumRounds; ++R)
+      After.emplace(Map.RoundEnd[Core][R], "barrier();");
+  }
+
+  // Cut points: positions where an annotation interrupts the run loops.
+  std::vector<std::uint32_t> Cuts = {0,
+                                     static_cast<std::uint32_t>(Iters.size())};
+  for (const auto &[Pos, Text] : Before)
+    Cuts.push_back(Pos);
+  for (const auto &[Pos, Text] : After)
+    Cuts.push_back(Pos);
+  std::sort(Cuts.begin(), Cuts.end());
+  Cuts.erase(std::unique(Cuts.begin(), Cuts.end()), Cuts.end());
+
+  std::string Out = "// thread for core " + std::to_string(Core) + " (" +
+                    std::to_string(Iters.size()) + " iterations)\n";
+  auto emitAt = [&](const std::multimap<std::uint32_t, std::string> &Anns,
+                    std::uint32_t Pos) {
+    auto [Lo, Hi] = Anns.equal_range(Pos);
+    for (auto It = Lo; It != Hi; ++It)
+      Out += It->second + "\n";
+  };
+
+  // Trivially satisfied signals of an empty prefix come first.
+  emitAt(After, 0);
+  for (std::size_t C = 0; C + 1 < Cuts.size(); ++C) {
+    std::uint32_t Begin = Cuts[C], End = Cuts[C + 1];
+    emitAt(Before, Begin);
+    std::vector<std::uint32_t> Segment(Iters.begin() + Begin,
+                                       Iters.begin() + End);
+    Out += CG.emitRunLoops(Table, Segment);
+    emitAt(After, End);
+  }
+  // Waits positioned at the very end (no iteration follows them).
+  emitAt(Before, static_cast<std::uint32_t>(Iters.size()));
+  return Out;
+}
+
+std::string cta::emitAllThreadPrograms(const CodeGen &CG,
+                                       const IterationTable &Table,
+                                       const Mapping &Map) {
+  std::string Out;
+  for (unsigned C = 0; C != Map.NumCores; ++C) {
+    Out += emitThreadProgram(CG, Table, Map, C);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- core/ThreadProgram.h - Per-thread code emission ---------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the complete thread program for one core of a mapping: the
+/// core's iterations as compact run loops (via poly/CodeGen), interleaved
+/// with the synchronization the mapping dictates - `barrier();` calls at
+/// round boundaries in barrier mode, `wait(core, count);` /
+/// `signal(count);` annotations for point-to-point mode. This closes the
+/// paper's compiler loop: it is what the middle end would hand to the
+/// back end for each thread (Section 3.4's codegen step plus the
+/// Section 3.5.2 synchronization insertion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_CORE_THREADPROGRAM_H
+#define CTA_CORE_THREADPROGRAM_H
+
+#include "core/Mapping.h"
+#include "poly/CodeGen.h"
+
+#include <string>
+
+namespace cta {
+
+/// Renders core \p Core's thread under \p Map. \p CG must wrap the mapped
+/// nest; \p Table its enumeration.
+std::string emitThreadProgram(const CodeGen &CG, const IterationTable &Table,
+                              const Mapping &Map, unsigned Core);
+
+/// Renders every core's thread, separated by headers.
+std::string emitAllThreadPrograms(const CodeGen &CG,
+                                  const IterationTable &Table,
+                                  const Mapping &Map);
+
+} // namespace cta
+
+#endif // CTA_CORE_THREADPROGRAM_H

@@ -1,0 +1,127 @@
+//===- driver/Experiment.cpp - Experiment harness --------------------------===//
+
+#include "driver/Experiment.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cta;
+
+RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
+                            Strategy Strat, const MappingOptions &Opts) {
+  MachineSim Sim(Machine);
+  AddressMap Addrs(Prog.Arrays);
+
+  RunResult Result;
+  for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {
+    PipelineResult Pipe =
+        runMappingPipeline(Prog, NestIdx, Machine, Strat, Opts);
+    Result.MappingSeconds += Pipe.MappingSeconds;
+    Result.BlockSizeBytes = Pipe.BlockSizeBytes;
+    Result.Imbalance = Pipe.Map.imbalance();
+    Result.NumRounds = Pipe.Map.NumRounds;
+
+    IterationTable Table = Prog.Nests[NestIdx].enumerate(Opts.MaxIterations);
+    ExecutionResult Exec =
+        executeMapping(Sim, Prog, NestIdx, Table, Pipe.Map, Addrs);
+    Result.Cycles += Exec.TotalCycles;
+    // Accumulate cache statistics across nests.
+    for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+      Result.Stats.Levels[L].Lookups += Exec.Stats.Levels[L].Lookups;
+      Result.Stats.Levels[L].Hits += Exec.Stats.Levels[L].Hits;
+    }
+    Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
+    Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+  }
+  return Result;
+}
+
+RunResult cta::runExperiment(const Program &Prog,
+                             const CacheTopology &Machine, Strategy Strat,
+                             const ExperimentConfig &Config) {
+  CacheTopology Scaled = Machine.scaledCapacity(Config.TopologyScale);
+  return runOnMachine(Prog, Scaled, Strat, Config.Options);
+}
+
+Mapping cta::retargetMapping(const Mapping &Map, unsigned NewNumCores) {
+  if (NewNumCores == 0)
+    reportFatalError("cannot retarget a mapping onto zero cores");
+
+  Mapping Out;
+  Out.StrategyName = Map.StrategyName + "@retarget";
+  Out.NumCores = NewNumCores;
+  Out.CoreIterations.resize(NewNumCores);
+  Out.RoundEnd.resize(NewNumCores);
+  Out.BarriersRequired = Map.BarriersRequired;
+  Out.NumRounds = Map.BarriersRequired ? Map.NumRounds : 1;
+
+  // Round by round, concatenate the folded cores' work so the barrier
+  // structure survives the fold.
+  unsigned Rounds = Map.BarriersRequired ? Map.NumRounds : 1;
+  for (unsigned R = 0; R != Rounds; ++R) {
+    for (unsigned C = 0; C != Map.NumCores; ++C) {
+      unsigned Target = C % NewNumCores;
+      std::uint32_t Begin =
+          Map.BarriersRequired ? (R == 0 ? 0 : Map.RoundEnd[C][R - 1]) : 0;
+      std::uint32_t End = Map.BarriersRequired
+                              ? Map.RoundEnd[C][R]
+                              : static_cast<std::uint32_t>(
+                                    Map.CoreIterations[C].size());
+      Out.CoreIterations[Target].insert(
+          Out.CoreIterations[Target].end(),
+          Map.CoreIterations[C].begin() + Begin,
+          Map.CoreIterations[C].begin() + End);
+    }
+    for (unsigned T = 0; T != NewNumCores; ++T)
+      Out.RoundEnd[T].push_back(Out.CoreIterations[T].size());
+  }
+  return Out;
+}
+
+RunResult cta::runCrossMachine(const Program &Prog,
+                               const CacheTopology &CompiledFor,
+                               const CacheTopology &RunsOn, Strategy Strat,
+                               const MappingOptions &Opts) {
+  MachineSim Sim(RunsOn);
+  AddressMap Addrs(Prog.Arrays);
+
+  RunResult Result;
+  for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {
+    PipelineResult Pipe =
+        runMappingPipeline(Prog, NestIdx, CompiledFor, Strat, Opts);
+    Result.MappingSeconds += Pipe.MappingSeconds;
+    Result.BlockSizeBytes = Pipe.BlockSizeBytes;
+
+    Mapping Ported = Pipe.Map.NumCores == RunsOn.numCores()
+                         ? std::move(Pipe.Map)
+                         : retargetMapping(Pipe.Map, RunsOn.numCores());
+    Result.Imbalance = Ported.imbalance();
+    Result.NumRounds = Ported.NumRounds;
+
+    IterationTable Table = Prog.Nests[NestIdx].enumerate(Opts.MaxIterations);
+    ExecutionResult Exec =
+        executeMapping(Sim, Prog, NestIdx, Table, Ported, Addrs);
+    Result.Cycles += Exec.TotalCycles;
+    for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+      Result.Stats.Levels[L].Lookups += Exec.Stats.Levels[L].Lookups;
+      Result.Stats.Levels[L].Hits += Exec.Stats.Levels[L].Hits;
+    }
+    Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
+    Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+  }
+  return Result;
+}
+
+double cta::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    if (V <= 0.0)
+      reportFatalError("geomean needs positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,86 @@
+//===- driver/Experiment.h - Experiment harness ----------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment harness shared by all bench binaries: runs
+/// (workload x machine x strategy) through the mapping pipeline and the
+/// cache-hierarchy simulator and reports execution cycles, cache behaviour
+/// and mapping-pass time. Also implements the Figure 14 cross-machine
+/// retargeting (a mapping compiled for machine X folded onto machine Y's
+/// cores).
+///
+/// Machines are simulated at reduced cache capacity (default 1/16 of
+/// Table 1) with correspondingly smaller data sets, preserving the paper's
+/// dataset-to-cache-capacity regime; see DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_DRIVER_EXPERIMENT_H
+#define CTA_DRIVER_EXPERIMENT_H
+
+#include "core/Pipeline.h"
+#include "sim/Engine.h"
+#include "topo/Topology.h"
+
+#include <string>
+
+namespace cta {
+
+/// Harness configuration.
+struct ExperimentConfig {
+  /// Cache capacities are multiplied by this before simulation (and before
+  /// mapping: the scaled machine *is* the machine).
+  double TopologyScale = 1.0 / 32;
+  /// Mapping knobs. BlockSizeBytes = 0 selects the block size with the
+  /// Section 4.1 heuristic against the scaled L1.
+  MappingOptions Options = makeDefaultOptions();
+
+  static MappingOptions makeDefaultOptions() {
+    MappingOptions O;
+    O.BlockSizeBytes = 0; // auto-select
+    return O;
+  }
+};
+
+/// One run's outcome.
+struct RunResult {
+  std::uint64_t Cycles = 0;
+  SimStats Stats;
+  double MappingSeconds = 0.0;
+  std::uint64_t BlockSizeBytes = 0;
+  double Imbalance = 0.0;
+  unsigned NumRounds = 1;
+};
+
+/// Maps and simulates every nest of \p Prog on \p Machine (already scaled
+/// if the caller wants scaling) under \p Strat.
+RunResult runOnMachine(const Program &Prog, const CacheTopology &Machine,
+                       Strategy Strat, const MappingOptions &Opts);
+
+/// Convenience: scales \p Machine by \p Config.TopologyScale and runs.
+RunResult runExperiment(const Program &Prog, const CacheTopology &Machine,
+                        Strategy Strat, const ExperimentConfig &Config = {});
+
+/// Folds \p Map (compiled for its own core count) onto \p NewNumCores
+/// cores: core c's work moves to core c mod NewNumCores, preserving round
+/// structure (Figure 14's porting experiment; the paper runs the
+/// Dunnington version with 8 threads on the 8-core machines).
+Mapping retargetMapping(const Mapping &Map, unsigned NewNumCores);
+
+/// Compiles \p Prog's mappings for \p CompiledFor, retargets them to
+/// \p RunsOn, and simulates on \p RunsOn.
+RunResult runCrossMachine(const Program &Prog,
+                          const CacheTopology &CompiledFor,
+                          const CacheTopology &RunsOn, Strategy Strat,
+                          const MappingOptions &Opts);
+
+/// Geometric mean of a vector of positive ratios (the usual way to average
+/// normalized execution times).
+double geomean(const std::vector<double> &Values);
+
+} // namespace cta
+
+#endif // CTA_DRIVER_EXPERIMENT_H

@@ -1,0 +1,63 @@
+//===- poly/AffineExpr.cpp - Affine expressions ---------------------------===//
+
+#include "poly/AffineExpr.h"
+
+using namespace cta;
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &RHS) {
+  assert(numVars() == RHS.numVars() && "adding mismatched affine exprs");
+  for (unsigned V = 0, E = Coeffs.size(); V != E; ++V)
+    Coeffs[V] += RHS.Coeffs[V];
+  Constant += RHS.Constant;
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &RHS) {
+  assert(numVars() == RHS.numVars() && "subtracting mismatched affine exprs");
+  for (unsigned V = 0, E = Coeffs.size(); V != E; ++V)
+    Coeffs[V] -= RHS.Coeffs[V];
+  Constant -= RHS.Constant;
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator*=(std::int64_t Factor) {
+  for (std::int64_t &C : Coeffs)
+    C *= Factor;
+  Constant *= Factor;
+  return *this;
+}
+
+std::string AffineExpr::str(const std::vector<std::string> *VarNames) const {
+  std::string Out;
+  auto varName = [&](unsigned V) {
+    if (VarNames && V < VarNames->size())
+      return (*VarNames)[V];
+    return "i" + std::to_string(V);
+  };
+  for (unsigned V = 0, E = Coeffs.size(); V != E; ++V) {
+    std::int64_t C = Coeffs[V];
+    if (C == 0)
+      continue;
+    if (Out.empty()) {
+      if (C == -1)
+        Out += "-";
+      else if (C != 1)
+        Out += std::to_string(C) + "*";
+    } else {
+      Out += C < 0 ? " - " : " + ";
+      std::int64_t A = C < 0 ? -C : C;
+      if (A != 1)
+        Out += std::to_string(A) + "*";
+    }
+    Out += varName(V);
+  }
+  if (Constant != 0 || Out.empty()) {
+    if (Out.empty())
+      Out += std::to_string(Constant);
+    else {
+      Out += Constant < 0 ? " - " : " + ";
+      Out += std::to_string(Constant < 0 ? -Constant : Constant);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,135 @@
+//===- poly/AffineExpr.h - Affine expressions over loop IVs ----*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine (linear + constant) expression over the induction variables of
+/// a loop nest: c0 + c1*i1 + ... + cD*iD. This is the basic currency of the
+/// polyhedral-lite framework: loop bounds, array subscripts and integer-set
+/// constraints are all AffineExprs, mirroring the role the Omega Library's
+/// linear forms play in the paper (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_AFFINEEXPR_H
+#define CTA_POLY_AFFINEEXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Affine expression over \p NumVars induction variables.
+class AffineExpr {
+  std::vector<std::int64_t> Coeffs; // Coeffs[V] multiplies variable V.
+  std::int64_t Constant = 0;
+
+public:
+  AffineExpr() = default;
+
+  /// Creates the zero expression over \p NumVars variables.
+  explicit AffineExpr(unsigned NumVars) : Coeffs(NumVars, 0) {}
+
+  /// Creates \p Constant over \p NumVars variables.
+  static AffineExpr constant(unsigned NumVars, std::int64_t Value) {
+    AffineExpr E(NumVars);
+    E.Constant = Value;
+    return E;
+  }
+
+  /// Creates the expression "Var" (coefficient 1 on \p Var).
+  static AffineExpr var(unsigned NumVars, unsigned Var) {
+    assert(Var < NumVars && "variable index out of range");
+    AffineExpr E(NumVars);
+    E.Coeffs[Var] = 1;
+    return E;
+  }
+
+  unsigned numVars() const { return Coeffs.size(); }
+
+  std::int64_t coeff(unsigned Var) const {
+    assert(Var < Coeffs.size() && "variable index out of range");
+    return Coeffs[Var];
+  }
+  void setCoeff(unsigned Var, std::int64_t Value) {
+    assert(Var < Coeffs.size() && "variable index out of range");
+    Coeffs[Var] = Value;
+  }
+
+  std::int64_t constantTerm() const { return Constant; }
+  void setConstantTerm(std::int64_t Value) { Constant = Value; }
+
+  /// True if every variable coefficient is zero.
+  bool isConstant() const {
+    for (std::int64_t C : Coeffs)
+      if (C != 0)
+        return false;
+    return true;
+  }
+
+  /// True if all coefficients on variables >= \p Depth are zero. Loop bounds
+  /// at depth D may only reference outer variables (< D).
+  bool usesOnlyOuterVars(unsigned Depth) const {
+    for (unsigned V = Depth, E = Coeffs.size(); V != E; ++V)
+      if (Coeffs[V] != 0)
+        return false;
+    return true;
+  }
+
+  /// Evaluates at \p Point, which must provide numVars() values.
+  std::int64_t evaluate(const std::int64_t *Point) const {
+    std::int64_t Value = Constant;
+    for (unsigned V = 0, E = Coeffs.size(); V != E; ++V)
+      Value += Coeffs[V] * Point[V];
+    return Value;
+  }
+
+  AffineExpr &operator+=(const AffineExpr &RHS);
+  AffineExpr &operator-=(const AffineExpr &RHS);
+  AffineExpr &operator*=(std::int64_t Factor);
+
+  friend AffineExpr operator+(AffineExpr L, const AffineExpr &R) {
+    L += R;
+    return L;
+  }
+  friend AffineExpr operator-(AffineExpr L, const AffineExpr &R) {
+    L -= R;
+    return L;
+  }
+  friend AffineExpr operator*(AffineExpr L, std::int64_t F) {
+    L *= F;
+    return L;
+  }
+
+  friend AffineExpr operator+(AffineExpr L, std::int64_t C) {
+    L.Constant += C;
+    return L;
+  }
+  friend AffineExpr operator-(AffineExpr L, std::int64_t C) {
+    L.Constant -= C;
+    return L;
+  }
+
+  bool operator==(const AffineExpr &RHS) const {
+    return Coeffs == RHS.Coeffs && Constant == RHS.Constant;
+  }
+  bool operator!=(const AffineExpr &RHS) const { return !(*this == RHS); }
+
+  /// True if the variable parts (not the constants) of the two expressions
+  /// are identical; such reference pairs are "uniform" and admit exact
+  /// constant-distance dependence analysis.
+  bool sameLinearPart(const AffineExpr &RHS) const {
+    return Coeffs == RHS.Coeffs;
+  }
+
+  /// Renders e.g. "i0 + 2*i1 - 3" with \p VarNames (falls back to iK).
+  std::string str(const std::vector<std::string> *VarNames = nullptr) const;
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_AFFINEEXPR_H

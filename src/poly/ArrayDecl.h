@@ -1,0 +1,78 @@
+//===- poly/ArrayDecl.h - Array declarations -------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata for the data arrays a loop nest manipulates: shape and element
+/// size. Arrays are laid out row major; linearize() turns a subscript tuple
+/// into a flat element offset, the basis for both logical data blocking
+/// (Section 3.3: blocks never cross array boundaries) and simulator
+/// addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_ARRAYDECL_H
+#define CTA_POLY_ARRAYDECL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// A declared array: name, dimension extents and element size in bytes.
+struct ArrayDecl {
+  std::string Name;
+  std::vector<std::int64_t> Dims;
+  unsigned ElementSize = 8; // bytes; default double
+
+  ArrayDecl() = default;
+  ArrayDecl(std::string Name, std::vector<std::int64_t> Dims,
+            unsigned ElementSize = 8)
+      : Name(std::move(Name)), Dims(std::move(Dims)),
+        ElementSize(ElementSize) {
+    assert(!this->Dims.empty() && "array needs at least one dimension");
+    for (std::int64_t D : this->Dims)
+      assert(D > 0 && "array dimensions must be positive"), (void)D;
+  }
+
+  unsigned rank() const { return Dims.size(); }
+
+  /// Total number of elements.
+  std::int64_t numElements() const {
+    std::int64_t N = 1;
+    for (std::int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+
+  /// Total size in bytes.
+  std::int64_t sizeInBytes() const { return numElements() * ElementSize; }
+
+  /// Row-major flat element offset of the subscript tuple \p Indices
+  /// (rank() values). Out-of-bounds subscripts are a programmatic error.
+  std::int64_t linearize(const std::int64_t *Indices) const {
+    std::int64_t Offset = 0;
+    for (unsigned D = 0, E = Dims.size(); D != E; ++D) {
+      assert(Indices[D] >= 0 && Indices[D] < Dims[D] &&
+             "array subscript out of bounds");
+      Offset = Offset * Dims[D] + Indices[D];
+    }
+    return Offset;
+  }
+
+  /// True if \p Indices is inside the array bounds.
+  bool inBounds(const std::int64_t *Indices) const {
+    for (unsigned D = 0, E = Dims.size(); D != E; ++D)
+      if (Indices[D] < 0 || Indices[D] >= Dims[D])
+        return false;
+    return true;
+  }
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_ARRAYDECL_H

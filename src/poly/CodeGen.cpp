@@ -1,0 +1,166 @@
+//===- poly/CodeGen.cpp - C-like loop code generation ---------------------===//
+
+#include "poly/CodeGen.h"
+
+#include "poly/IntegerSet.h"
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+
+namespace {
+
+std::string indentStr(unsigned Level, unsigned Width) {
+  return std::string(std::size_t(Level) * Width, ' ');
+}
+
+} // namespace
+
+std::string CodeGen::emitBody(unsigned Indent) const {
+  const std::vector<std::string> *Names =
+      Options.VarNames.empty() ? nullptr : &Options.VarNames;
+  auto renderAccess = [&](const ArrayAccess &A) {
+    assert(A.ArrayId < Arrays.size() && "access to undeclared array");
+    std::string S = Arrays[A.ArrayId].Name;
+    for (unsigned D = 0, E = A.Subscripts.size(); D != E; ++D) {
+      std::string Sub = A.Subscripts[D].str(Names);
+      if (A.WrapSubscripts)
+        Sub = "(" + Sub + ") % " + std::to_string(Arrays[A.ArrayId].Dims[D]);
+      S += "[" + Sub + "]";
+    }
+    return S;
+  };
+
+  std::string Reads;
+  for (const ArrayAccess &A : Nest.accesses()) {
+    if (A.IsWrite)
+      continue;
+    if (!Reads.empty())
+      Reads += " + ";
+    Reads += renderAccess(A);
+  }
+  if (Reads.empty())
+    Reads = "0";
+
+  std::string Out;
+  bool AnyWrite = false;
+  for (const ArrayAccess &A : Nest.accesses()) {
+    if (!A.IsWrite)
+      continue;
+    AnyWrite = true;
+    Out += indentStr(Indent, Options.IndentWidth) + renderAccess(A) + " = " +
+           Reads + ";\n";
+  }
+  if (!AnyWrite)
+    Out += indentStr(Indent, Options.IndentWidth) + "use(" + Reads + ");\n";
+  return Out;
+}
+
+std::string CodeGen::emitFullNest() const {
+  const std::vector<std::string> *Names =
+      Options.VarNames.empty() ? nullptr : &Options.VarNames;
+  auto varName = [&](unsigned V) {
+    if (Names && V < Names->size())
+      return (*Names)[V];
+    return "i" + std::to_string(V);
+  };
+
+  std::string Out;
+  for (unsigned D = 0, E = Nest.depth(); D != E; ++D) {
+    const LoopDim &Dim = Nest.dim(D);
+    Out += indentStr(D, Options.IndentWidth) + "for (" + varName(D) + " = " +
+           Dim.Lower.str(Names) + "; " + varName(D) +
+           " <= " + Dim.Upper.str(Names) + "; ++" + varName(D) + ")\n";
+  }
+  Out += emitBody(Nest.depth());
+  return Out;
+}
+
+std::string CodeGen::emitRunLoops(
+    const IterationTable &Table,
+    const std::vector<std::uint32_t> &Iterations) const {
+  unsigned Depth = Table.depth();
+  assert(Depth == Nest.depth() && "iteration table depth mismatch");
+  if (Depth == 0 || Iterations.empty())
+    return "";
+  const std::vector<std::string> *Names =
+      Options.VarNames.empty() ? nullptr : &Options.VarNames;
+  auto varName = [&](unsigned V) {
+    if (Names && V < Names->size())
+      return (*Names)[V];
+    return "i" + std::to_string(V);
+  };
+
+  std::string Out;
+  std::size_t I = 0, E = Iterations.size();
+  while (I != E) {
+    const std::int32_t *First = Table.raw(Iterations[I]);
+    // Extend the run: same outer coordinates, consecutive innermost.
+    std::size_t J = I + 1;
+    std::int32_t Last = First[Depth - 1];
+    while (J != E) {
+      const std::int32_t *Next = Table.raw(Iterations[J]);
+      bool SameOuter = true;
+      for (unsigned D = 0; D + 1 < Depth; ++D)
+        if (Next[D] != First[D]) {
+          SameOuter = false;
+          break;
+        }
+      if (!SameOuter || Next[Depth - 1] != Last + 1)
+        break;
+      Last = Next[Depth - 1];
+      ++J;
+    }
+
+    // Bind outer coordinates, then loop (or single statement) innermost.
+    std::string Prefix;
+    for (unsigned D = 0; D + 1 < Depth; ++D)
+      Prefix += varName(D) + "=" + std::to_string(First[D]) + "; ";
+    if (J - I == 1) {
+      Out += Prefix + varName(Depth - 1) + "=" +
+             std::to_string(First[Depth - 1]) + ";\n";
+      Out += emitBody(1);
+    } else {
+      Out += Prefix + "for (" + varName(Depth - 1) + " = " +
+             std::to_string(First[Depth - 1]) + "; " + varName(Depth - 1) +
+             " <= " + std::to_string(Last) + "; ++" + varName(Depth - 1) +
+             ")\n";
+      Out += emitBody(1);
+    }
+    I = J;
+  }
+  return Out;
+}
+
+std::string CodeGen::emitGuardedBox(const IntegerSet &Set) const {
+  assert(Set.numVars() == Nest.depth() && "set width mismatch");
+  std::optional<Box> B = Set.boundingBox();
+  if (!B)
+    reportFatalError("emitGuardedBox: set has no finite bounding box");
+  const std::vector<std::string> *Names =
+      Options.VarNames.empty() ? nullptr : &Options.VarNames;
+  auto varName = [&](unsigned V) {
+    if (Names && V < Names->size())
+      return (*Names)[V];
+    return "i" + std::to_string(V);
+  };
+
+  std::string Out;
+  unsigned Depth = Nest.depth();
+  for (unsigned D = 0; D != Depth; ++D)
+    Out += indentStr(D, Options.IndentWidth) + "for (" + varName(D) + " = " +
+           std::to_string(B->Lower[D]) + "; " + varName(D) +
+           " <= " + std::to_string(B->Upper[D]) + "; ++" + varName(D) + ")\n";
+
+  std::string Guard;
+  for (const AffineConstraint &C : Set.constraints()) {
+    if (!Guard.empty())
+      Guard += " && ";
+    Guard += C.Expr.str(Names);
+    Guard += C.Kind == AffineConstraint::GE ? " >= 0" : " == 0";
+  }
+  if (Guard.empty())
+    Guard = "true";
+  Out += indentStr(Depth, Options.IndentWidth) + "if (" + Guard + ")\n";
+  Out += emitBody(Depth + 1);
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- poly/CodeGen.h - C-like loop code generation ------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation for iteration sets, playing the role of the Omega
+/// Library's codegen() utility in the paper (Section 3.4): once iteration
+/// groups are assigned to a core, we emit the (C-like) code that enumerates
+/// the iterations in each group in schedule order. Two generators are
+/// provided: run-loop decomposition (compact loops over maximal consecutive
+/// runs along the innermost dimension) and guarded bounding-box loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_CODEGEN_H
+#define CTA_POLY_CODEGEN_H
+
+#include "poly/LoopNest.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+class IntegerSet;
+
+/// Emitter options.
+struct CodeGenOptions {
+  unsigned IndentWidth = 2;
+  /// Variable names; iK used when absent.
+  std::vector<std::string> VarNames;
+};
+
+/// Generates C-like code for loop nests and iteration subsets.
+class CodeGen {
+  const LoopNest &Nest;
+  const std::vector<ArrayDecl> &Arrays;
+  CodeGenOptions Options;
+
+public:
+  CodeGen(const LoopNest &Nest, const std::vector<ArrayDecl> &Arrays,
+          CodeGenOptions Options = {})
+      : Nest(Nest), Arrays(Arrays), Options(std::move(Options)) {}
+
+  /// Renders the body statement(s) for symbolic induction variables.
+  std::string emitBody(unsigned Indent) const;
+
+  /// Emits the full original nest (all iterations, lexicographic order).
+  std::string emitFullNest() const;
+
+  /// Emits code enumerating exactly the iterations listed in \p Iterations
+  /// (ids into \p Table), in the given order, as a sequence of innermost
+  /// run loops. Consecutive ids whose outer coordinates match and whose
+  /// innermost coordinates are contiguous share one loop.
+  std::string emitRunLoops(const IterationTable &Table,
+                           const std::vector<std::uint32_t> &Iterations) const;
+
+  /// Emits bounding-box loops guarded by membership in \p Set (rendered as
+  /// an if over the set's constraints).
+  std::string emitGuardedBox(const IntegerSet &Set) const;
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_CODEGEN_H

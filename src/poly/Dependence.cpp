@@ -1,0 +1,223 @@
+//===- poly/Dependence.cpp - Affine dependence analysis -------------------===//
+
+#include "poly/Dependence.h"
+
+#include <numeric>
+
+using namespace cta;
+
+LinSolveResult cta::solveIntegerLinearSystem(
+    std::vector<std::vector<std::int64_t>> Rows, std::vector<std::int64_t> Rhs,
+    unsigned NumVars, std::vector<std::int64_t> &Solution) {
+  assert(Rows.size() == Rhs.size() && "row/rhs count mismatch");
+  const unsigned NumRows = Rows.size();
+
+  // Gauss-Jordan elimination kept in integers: Row_j <- Row_j * p - Row_p * a
+  // where p is the pivot coefficient and a the coefficient being eliminated.
+  // Sizes here are tiny (rows = subscript dims, vars = nest depth), so
+  // coefficient growth is not a concern.
+  std::vector<int> PivotRowOfVar(NumVars, -1);
+  unsigned NextRow = 0;
+  for (unsigned Col = 0; Col != NumVars && NextRow != NumRows; ++Col) {
+    // Find a pivot.
+    unsigned Pivot = NextRow;
+    while (Pivot != NumRows && Rows[Pivot][Col] == 0)
+      ++Pivot;
+    if (Pivot == NumRows)
+      continue; // free variable
+    std::swap(Rows[NextRow], Rows[Pivot]);
+    std::swap(Rhs[NextRow], Rhs[Pivot]);
+
+    std::int64_t P = Rows[NextRow][Col];
+    for (unsigned R = 0; R != NumRows; ++R) {
+      if (R == NextRow || Rows[R][Col] == 0)
+        continue;
+      std::int64_t A = Rows[R][Col];
+      for (unsigned C = 0; C != NumVars; ++C)
+        Rows[R][C] = Rows[R][C] * P - Rows[NextRow][C] * A;
+      Rhs[R] = Rhs[R] * P - Rhs[NextRow] * A;
+    }
+    PivotRowOfVar[Col] = static_cast<int>(NextRow);
+    ++NextRow;
+  }
+
+  // Consistency: zero rows must have zero rhs.
+  for (unsigned R = NextRow; R != NumRows; ++R)
+    if (Rhs[R] != 0)
+      return LinSolveResult::NoSolution;
+
+  // Free variables present?
+  bool Underdetermined = false;
+  for (unsigned Col = 0; Col != NumVars; ++Col)
+    if (PivotRowOfVar[Col] == -1)
+      Underdetermined = true;
+  if (Underdetermined)
+    return LinSolveResult::Underdetermined;
+
+  // Unique rational solution; require integrality.
+  Solution.assign(NumVars, 0);
+  for (unsigned Col = 0; Col != NumVars; ++Col) {
+    unsigned R = static_cast<unsigned>(PivotRowOfVar[Col]);
+    std::int64_t P = Rows[R][Col];
+    assert(P != 0 && "pivot vanished");
+    if (Rhs[R] % P != 0)
+      return LinSolveResult::NoSolution;
+    Solution[Col] = Rhs[R] / P;
+  }
+  return LinSolveResult::Unique;
+}
+
+namespace {
+
+/// True if d is lexicographically positive (first nonzero entry > 0).
+bool lexPositive(const std::vector<std::int64_t> &D) {
+  for (std::int64_t V : D) {
+    if (V > 0)
+      return true;
+    if (V < 0)
+      return false;
+  }
+  return false;
+}
+
+bool allZero(const std::vector<std::int64_t> &D) {
+  for (std::int64_t V : D)
+    if (V != 0)
+      return false;
+  return true;
+}
+
+Dependence::KindType classify(bool SrcWrite, bool DstWrite) {
+  if (SrcWrite && DstWrite)
+    return Dependence::Output;
+  if (SrcWrite)
+    return Dependence::Flow;
+  return Dependence::Anti;
+}
+
+/// GCD test for one subscript dimension of a non-uniform pair:
+/// S1(I) = S2(I') has integer solutions iff gcd(all coefficients) divides
+/// the constant difference. Returns false if independence is proven.
+bool gcdTestDim(const AffineExpr &S1, const AffineExpr &S2) {
+  std::int64_t G = 0;
+  for (unsigned V = 0, E = S1.numVars(); V != E; ++V) {
+    G = std::gcd(G, std::llabs(S1.coeff(V)));
+    G = std::gcd(G, std::llabs(S2.coeff(V)));
+  }
+  std::int64_t Diff = S2.constantTerm() - S1.constantTerm();
+  if (G == 0)
+    return Diff == 0; // both subscripts constant
+  return Diff % G == 0;
+}
+
+} // namespace
+
+DependenceInfo cta::analyzeDependences(const LoopNest &Nest) {
+  DependenceInfo Info;
+  const std::vector<ArrayAccess> &Accs = Nest.accesses();
+  const unsigned Depth = Nest.depth();
+
+  for (unsigned I = 0, E = Accs.size(); I != E; ++I) {
+    for (unsigned J = I; J != E; ++J) {
+      const ArrayAccess &A1 = Accs[I];
+      const ArrayAccess &A2 = Accs[J];
+      if (A1.ArrayId != A2.ArrayId)
+        continue;
+      if (!A1.IsWrite && !A2.IsWrite)
+        continue;
+      assert(A1.Subscripts.size() == A2.Subscripts.size() &&
+             "rank mismatch between accesses to the same array");
+
+      // Modular wrapping defeats linear reasoning: record a conservative
+      // dependence whenever a wrapped access conflicts with a write.
+      if (A1.WrapSubscripts || A2.WrapSubscripts) {
+        Dependence Dep;
+        Dep.SrcAccess = I;
+        Dep.DstAccess = J;
+        Dep.Exact = false;
+        Dep.Kind = classify(A1.IsWrite, A2.IsWrite);
+        Info.Dependences.push_back(std::move(Dep));
+        continue;
+      }
+
+      // Uniform pair: exact distance via A·d = c1 - c2 where d = I' - I.
+      bool Uniform = true;
+      for (unsigned K = 0, KE = A1.Subscripts.size(); K != KE; ++K)
+        if (!A1.Subscripts[K].sameLinearPart(A2.Subscripts[K])) {
+          Uniform = false;
+          break;
+        }
+
+      if (Uniform) {
+        std::vector<std::vector<std::int64_t>> Rows;
+        std::vector<std::int64_t> Rhs;
+        for (unsigned K = 0, KE = A1.Subscripts.size(); K != KE; ++K) {
+          std::vector<std::int64_t> Row(Depth);
+          for (unsigned V = 0; V != Depth; ++V)
+            Row[V] = A1.Subscripts[K].coeff(V);
+          Rows.push_back(std::move(Row));
+          Rhs.push_back(A1.Subscripts[K].constantTerm() -
+                        A2.Subscripts[K].constantTerm());
+        }
+        std::vector<std::int64_t> D;
+        switch (solveIntegerLinearSystem(std::move(Rows), std::move(Rhs),
+                                         Depth, D)) {
+        case LinSolveResult::NoSolution:
+          continue; // independent
+        case LinSolveResult::Unique: {
+          if (allZero(D))
+            continue; // loop-independent; not reported
+          Dependence Dep;
+          if (lexPositive(D)) {
+            Dep.SrcAccess = I;
+            Dep.DstAccess = J;
+            Dep.Distance = D;
+            Dep.Kind = classify(A1.IsWrite, A2.IsWrite);
+          } else {
+            for (std::int64_t &V : D)
+              V = -V;
+            Dep.SrcAccess = J;
+            Dep.DstAccess = I;
+            Dep.Distance = std::move(D);
+            Dep.Kind = classify(A2.IsWrite, A1.IsWrite);
+          }
+          Dep.Exact = true;
+          Info.Dependences.push_back(std::move(Dep));
+          continue;
+        }
+        case LinSolveResult::Underdetermined:
+          // A write's self-pair with an underdetermined distance is the
+          // reduction pattern: many iterations update the same cell
+          // (e.g. F[i] += ... inside a j loop). Parallelizers treat
+          // commutative updates as reductions rather than ordering
+          // constraints; we follow suit (see DESIGN.md).
+          if (I == J && A1.IsWrite)
+            continue;
+          break; // fall through to the conservative record below
+        }
+      } else {
+        // Non-uniform: try to disprove with the GCD test per dimension.
+        bool Independent = false;
+        for (unsigned K = 0, KE = A1.Subscripts.size(); K != KE; ++K)
+          if (!gcdTestDim(A1.Subscripts[K], A2.Subscripts[K])) {
+            Independent = true;
+            break;
+          }
+        if (Independent)
+          continue;
+        // Self-pair of one reference with an injective-looking uniform map
+        // was handled above; here we must be conservative.
+      }
+
+      // Conservative inexact dependence: direction unknown, record once with
+      // Src = I, Dst = J; clients must treat it symmetrically.
+      Dependence Dep;
+      Dep.SrcAccess = I;
+      Dep.DstAccess = J;
+      Dep.Exact = false;
+      Dep.Kind = classify(A1.IsWrite, A2.IsWrite);
+      Info.Dependences.push_back(std::move(Dep));
+    }
+  }
+  return Info;
+}

@@ -1,0 +1,81 @@
+//===- poly/Dependence.h - Affine dependence analysis ----------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-carried dependence analysis between the affine accesses of a loop
+/// nest. The paper's base scheme requires fully parallel loops; the
+/// extension of Section 3.5.2 distributes loops *with* dependences and
+/// enforces them with synchronization. This analysis feeds that extension:
+///
+///  * Uniform access pairs (identical linear parts) get an exact constant
+///    dependence distance by solving the linear system A·d = c1 - c2 with
+///    fraction-free Gaussian elimination.
+///  * Non-uniform pairs are GCD-tested per dimension; if independence
+///    cannot be proven the dependence is recorded as inexact
+///    (distance unknown), which clients must treat conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_DEPENDENCE_H
+#define CTA_POLY_DEPENDENCE_H
+
+#include "poly/LoopNest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// One dependence between two accesses of a nest. When Exact, destination
+/// iteration = source iteration + Distance, with Distance lexicographically
+/// positive (so the source executes first in original program order).
+struct Dependence {
+  unsigned SrcAccess = 0;
+  unsigned DstAccess = 0;
+  bool Exact = false;
+  std::vector<std::int64_t> Distance; // depth() entries when Exact
+
+  /// Kind of data dependence (for diagnostics; the mapper treats all kinds
+  /// as ordering constraints).
+  enum KindType { Flow, Anti, Output } Kind = Flow;
+};
+
+/// Result of analyzing a nest.
+struct DependenceInfo {
+  std::vector<Dependence> Dependences;
+
+  bool empty() const { return Dependences.empty(); }
+
+  /// True if any recorded dependence lacks an exact distance.
+  bool hasInexact() const {
+    for (const Dependence &D : Dependences)
+      if (!D.Exact)
+        return true;
+    return false;
+  }
+};
+
+/// Analyzes loop-carried dependences of \p Nest. Pairs considered: accesses
+/// to the same array where at least one is a write. The zero distance
+/// (loop-independent dependence) is not reported: it orders statements
+/// within one iteration, which the mapper never splits.
+DependenceInfo analyzeDependences(const LoopNest &Nest);
+
+/// Solves the integer linear system Rows * d = Rhs (one row per equation)
+/// for d with \p NumVars unknowns. Outcomes:
+///   * NoSolution: inconsistent or non-integral.
+///   * Unique: exactly one integer solution, stored in \p Solution.
+///   * Underdetermined: consistent but with free variables.
+/// Exposed for testing.
+enum class LinSolveResult { NoSolution, Unique, Underdetermined };
+LinSolveResult solveIntegerLinearSystem(
+    std::vector<std::vector<std::int64_t>> Rows,
+    std::vector<std::int64_t> Rhs, unsigned NumVars,
+    std::vector<std::int64_t> &Solution);
+
+} // namespace cta
+
+#endif // CTA_POLY_DEPENDENCE_H

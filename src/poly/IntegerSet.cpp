@@ -1,0 +1,213 @@
+//===- poly/IntegerSet.cpp - Conjunctions of affine constraints -----------===//
+
+#include "poly/IntegerSet.h"
+
+#include "poly/LoopNest.h"
+#include "support/ErrorHandling.h"
+
+#include <limits>
+
+using namespace cta;
+
+IntegerSet IntegerSet::fromLoopNest(const LoopNest &Nest) {
+  IntegerSet Set(Nest.depth());
+  for (unsigned D = 0, E = Nest.depth(); D != E; ++D) {
+    const LoopDim &Dim = Nest.dim(D);
+    // iD - lb >= 0
+    Set.addGE(AffineExpr::var(Nest.depth(), D) - Dim.Lower);
+    // ub - iD >= 0
+    Set.addGE(Dim.Upper - AffineExpr::var(Nest.depth(), D));
+  }
+  return Set;
+}
+
+void IntegerSet::addRange(unsigned Var, std::int64_t Lo, std::int64_t Hi) {
+  addGE(AffineExpr::var(NumVars, Var) - Lo);
+  addGE((AffineExpr::var(NumVars, Var) * -1) + Hi);
+}
+
+std::optional<Box> IntegerSet::boundingBox() const {
+  constexpr std::int64_t NegInf = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t PosInf = std::numeric_limits<std::int64_t>::max();
+  Box B;
+  B.Lower.assign(NumVars, NegInf);
+  B.Upper.assign(NumVars, PosInf);
+
+  auto floorDiv = [](std::int64_t N, std::int64_t D) {
+    std::int64_t Q = N / D;
+    if ((N % D != 0) && ((N < 0) != (D < 0)))
+      --Q;
+    return Q;
+  };
+  auto ceilDiv = [&](std::int64_t N, std::int64_t D) {
+    return -floorDiv(-N, D);
+  };
+
+  // Interval propagation: bound each variable of every constraint using
+  // the current intervals of the other variables, until a fixed point (or
+  // a small pass cap - the sets here are loop nests, which converge in a
+  // couple of passes). For a*v + rest + k >= 0 with a > 0:
+  //   v >= ceil((-k - max(rest)) / a), and symmetrically for a < 0.
+  // Equalities propagate both directions.
+  constexpr unsigned MaxPasses = 8;
+  for (unsigned Pass = 0; Pass != MaxPasses; ++Pass) {
+    bool Changed = false;
+    for (const AffineConstraint &C : Constraints) {
+      for (unsigned V = 0; V != NumVars; ++V) {
+        std::int64_t A = C.Expr.coeff(V);
+        if (A == 0)
+          continue;
+        // Bounds of "rest + k" = sum of other terms plus the constant.
+        std::int64_t RestMin = C.Expr.constantTerm();
+        std::int64_t RestMax = C.Expr.constantTerm();
+        bool Unbounded = false;
+        for (unsigned U = 0; U != NumVars; ++U) {
+          if (U == V)
+            continue;
+          std::int64_t CU = C.Expr.coeff(U);
+          if (CU == 0)
+            continue;
+          if (B.Lower[U] == NegInf || B.Upper[U] == PosInf) {
+            Unbounded = true;
+            break;
+          }
+          std::int64_t Lo = CU * B.Lower[U], Hi = CU * B.Upper[U];
+          RestMin += std::min(Lo, Hi);
+          RestMax += std::max(Lo, Hi);
+        }
+        if (Unbounded)
+          continue;
+
+        // GE: a*v >= -RestMax. EQ additionally: a*v <= -RestMin.
+        if (A > 0) {
+          std::int64_t Lo = ceilDiv(-RestMax, A);
+          if (Lo > B.Lower[V]) {
+            B.Lower[V] = Lo;
+            Changed = true;
+          }
+          if (C.Kind == AffineConstraint::EQ) {
+            std::int64_t Hi = floorDiv(-RestMin, A);
+            if (Hi < B.Upper[V]) {
+              B.Upper[V] = Hi;
+              Changed = true;
+            }
+          }
+        } else {
+          std::int64_t Hi = floorDiv(RestMax, -A);
+          if (Hi < B.Upper[V]) {
+            B.Upper[V] = Hi;
+            Changed = true;
+          }
+          if (C.Kind == AffineConstraint::EQ) {
+            std::int64_t Lo = ceilDiv(RestMin, -A);
+            if (Lo > B.Lower[V]) {
+              B.Lower[V] = Lo;
+              Changed = true;
+            }
+          }
+        }
+        // Detect emptiness early so callers see an empty (not huge) box.
+        if (B.Lower[V] != NegInf && B.Upper[V] != PosInf &&
+            B.Lower[V] > B.Upper[V]) {
+          B.Lower[V] = 1;
+          B.Upper[V] = 0;
+          for (unsigned U = 0; U != NumVars; ++U) {
+            if (B.Lower[U] == NegInf)
+              B.Lower[U] = 0;
+            if (B.Upper[U] == PosInf)
+              B.Upper[U] = 0;
+          }
+          return B;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  for (unsigned V = 0; V != NumVars; ++V)
+    if (B.Lower[V] == NegInf || B.Upper[V] == PosInf)
+      return std::nullopt;
+  return B;
+}
+
+namespace {
+
+/// Runs \p Fn for every point of \p B until Fn returns false. Returns false
+/// if enumeration was stopped early.
+template <typename FnType> bool forEachBoxPoint(const Box &B, FnType Fn) {
+  if (B.emptyRange())
+    return true;
+  unsigned N = B.numVars();
+  std::vector<std::int64_t> Point(B.Lower);
+  for (;;) {
+    if (!Fn(Point.data()))
+      return false;
+    unsigned V = N;
+    for (;;) {
+      if (V == 0)
+        return true;
+      --V;
+      if (Point[V] < B.Upper[V]) {
+        ++Point[V];
+        for (unsigned W = V + 1; W != N; ++W)
+          Point[W] = B.Lower[W];
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool IntegerSet::isEmptyOverBox(std::uint64_t MaxPoints) const {
+  std::optional<Box> B = boundingBox();
+  if (!B)
+    reportFatalError("isEmptyOverBox on a set with no finite bounding box");
+  if (B->volume() > MaxPoints)
+    reportFatalError("isEmptyOverBox bounding box too large");
+  bool Found = false;
+  forEachBoxPoint(*B, [&](const std::int64_t *Point) {
+    if (contains(Point)) {
+      Found = true;
+      return false;
+    }
+    return true;
+  });
+  return !Found;
+}
+
+std::uint64_t IntegerSet::countOverBox(std::uint64_t MaxPoints) const {
+  std::optional<Box> B = boundingBox();
+  if (!B)
+    reportFatalError("countOverBox on a set with no finite bounding box");
+  if (B->volume() > MaxPoints)
+    reportFatalError("countOverBox bounding box too large");
+  std::uint64_t N = 0;
+  forEachBoxPoint(*B, [&](const std::int64_t *Point) {
+    if (contains(Point))
+      ++N;
+    return true;
+  });
+  return N;
+}
+
+std::string IntegerSet::str() const {
+  std::string Out = "{ [";
+  for (unsigned V = 0; V != NumVars; ++V) {
+    if (V != 0)
+      Out += ",";
+    Out += "i" + std::to_string(V);
+  }
+  Out += "] : ";
+  for (unsigned I = 0, E = Constraints.size(); I != E; ++I) {
+    if (I != 0)
+      Out += " && ";
+    Out += Constraints[I].Expr.str();
+    Out += Constraints[I].Kind == AffineConstraint::GE ? " >= 0" : " == 0";
+  }
+  if (Constraints.empty())
+    Out += "true";
+  Out += " }";
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===- poly/IntegerSet.h - Conjunctions of affine constraints --*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An integer set described by a conjunction of affine constraints
+/// (Expr >= 0 or Expr == 0) over the induction variables, the project's
+/// stand-in for the Omega Library's integer tuple sets (Section 3.2). The
+/// mapping scheme itself works on enumerated iterations; IntegerSet supports
+/// the symbolic side: membership tests, bounding boxes, emptiness over a box
+/// and conversion from loop nests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_INTEGERSET_H
+#define CTA_POLY_INTEGERSET_H
+
+#include "poly/AffineExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+class LoopNest;
+
+/// One affine constraint: Expr >= 0 (inequality) or Expr == 0 (equality).
+struct AffineConstraint {
+  enum KindType { GE, EQ };
+  AffineExpr Expr;
+  KindType Kind = GE;
+
+  AffineConstraint() = default;
+  AffineConstraint(AffineExpr Expr, KindType Kind)
+      : Expr(std::move(Expr)), Kind(Kind) {}
+
+  bool holds(const std::int64_t *Point) const {
+    std::int64_t V = Expr.evaluate(Point);
+    return Kind == GE ? V >= 0 : V == 0;
+  }
+};
+
+/// Inclusive per-variable bounds; used for bounding boxes.
+struct Box {
+  std::vector<std::int64_t> Lower;
+  std::vector<std::int64_t> Upper;
+
+  unsigned numVars() const { return Lower.size(); }
+  bool emptyRange() const {
+    for (unsigned V = 0, E = Lower.size(); V != E; ++V)
+      if (Lower[V] > Upper[V])
+        return true;
+    return false;
+  }
+  std::uint64_t volume() const {
+    if (emptyRange())
+      return 0;
+    std::uint64_t N = 1;
+    for (unsigned V = 0, E = Lower.size(); V != E; ++V)
+      N *= static_cast<std::uint64_t>(Upper[V] - Lower[V] + 1);
+    return N;
+  }
+};
+
+/// Conjunction of affine constraints over a fixed variable count.
+class IntegerSet {
+  unsigned NumVars = 0;
+  std::vector<AffineConstraint> Constraints;
+
+public:
+  IntegerSet() = default;
+  explicit IntegerSet(unsigned NumVars) : NumVars(NumVars) {}
+
+  /// Builds the iteration-space set of \p Nest: for each depth D,
+  /// iD - lb >= 0 and ub - iD >= 0 (Section 3.2's K).
+  static IntegerSet fromLoopNest(const LoopNest &Nest);
+
+  unsigned numVars() const { return NumVars; }
+  const std::vector<AffineConstraint> &constraints() const {
+    return Constraints;
+  }
+
+  void addConstraint(AffineConstraint C) {
+    assert(C.Expr.numVars() == NumVars && "constraint width mismatch");
+    Constraints.push_back(std::move(C));
+  }
+
+  /// Adds Expr >= 0.
+  void addGE(AffineExpr Expr) {
+    addConstraint(AffineConstraint(std::move(Expr), AffineConstraint::GE));
+  }
+
+  /// Adds Expr == 0.
+  void addEQ(AffineExpr Expr) {
+    addConstraint(AffineConstraint(std::move(Expr), AffineConstraint::EQ));
+  }
+
+  /// Adds Lo <= var <= Hi.
+  void addRange(unsigned Var, std::int64_t Lo, std::int64_t Hi);
+
+  bool contains(const std::int64_t *Point) const {
+    for (const AffineConstraint &C : Constraints)
+      if (!C.holds(Point))
+        return false;
+    return true;
+  }
+
+  /// Derives per-variable bounds from single-variable constraints. Returns
+  /// std::nullopt if some variable has no constant lower or upper bound
+  /// (the set is unbounded as far as this simple analysis can tell).
+  std::optional<Box> boundingBox() const;
+
+  /// Exhaustively checks emptiness over the bounding box. Only intended for
+  /// small sets (tests, codegen of iteration groups); aborts if the box
+  /// volume exceeds \p MaxPoints.
+  bool isEmptyOverBox(std::uint64_t MaxPoints = (1u << 24)) const;
+
+  /// Counts points over the bounding box (same size caveat as above).
+  std::uint64_t countOverBox(std::uint64_t MaxPoints = (1u << 24)) const;
+
+  /// Renders "{ [i0,i1] : c1 && c2 && ... }".
+  std::string str() const;
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_INTEGERSET_H

@@ -1,0 +1,136 @@
+//===- poly/LoopNest.cpp - Loop nest IR -----------------------------------===//
+
+#include "poly/LoopNest.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+
+void LoopNest::addDim(LoopDim Dim) {
+  assert(Dims.size() < Depth && "loop nest already at full depth");
+  unsigned Level = Dims.size();
+  assert(Dim.Lower.numVars() == Depth && Dim.Upper.numVars() == Depth &&
+         "bound expression width must match nest depth");
+  assert(Dim.Lower.usesOnlyOuterVars(Level) &&
+         Dim.Upper.usesOnlyOuterVars(Level) &&
+         "loop bounds may only reference outer induction variables");
+  (void)Level;
+  Dims.push_back(std::move(Dim));
+}
+
+void LoopNest::addConstantDim(std::int64_t Lower, std::int64_t Upper) {
+  addDim(LoopDim(cst(Lower), cst(Upper)));
+}
+
+void LoopNest::addAccess(ArrayAccess Access) {
+  for (const AffineExpr &S : Access.Subscripts)
+    assert(S.numVars() == Depth &&
+           "subscript expression width must match nest depth"),
+        (void)S;
+  Accesses.push_back(std::move(Access));
+}
+
+void LoopNest::forEachIteration(
+    const std::function<void(const std::int64_t *)> &Fn) const {
+  assert(Dims.size() == Depth && "loop nest is not fully built");
+  if (Depth == 0)
+    return;
+
+  // Iterative odometer over the (possibly triangular) nest.
+  std::vector<std::int64_t> Point(Depth, 0);
+  std::vector<std::int64_t> Uppers(Depth, 0);
+
+  // Positions the odometer at the first point of levels [D, Depth) given the
+  // outer coordinates in Point. Returns Depth on success or the level whose
+  // range came out empty.
+  auto descend = [&](unsigned D) -> unsigned {
+    for (; D < Depth; ++D) {
+      std::int64_t Lo = Dims[D].Lower.evaluate(Point.data());
+      std::int64_t Hi = Dims[D].Upper.evaluate(Point.data());
+      if (Lo > Hi)
+        return D;
+      Point[D] = Lo;
+      Uppers[D] = Hi;
+    }
+    return Depth;
+  };
+
+  unsigned Level = 0; // level to resume descending from
+  for (;;) {
+    unsigned Backtrack = descend(Level);
+    if (Backtrack == Depth)
+      Fn(Point.data());
+    // Advance the deepest level above the failure (or the innermost level
+    // after a produced point); Uppers[K] is valid for all K < Backtrack.
+    for (;;) {
+      if (Backtrack == 0)
+        return;
+      --Backtrack;
+      if (Point[Backtrack] < Uppers[Backtrack]) {
+        ++Point[Backtrack];
+        Level = Backtrack + 1;
+        break;
+      }
+    }
+  }
+}
+
+IterationTable LoopNest::enumerate(std::uint64_t MaxIterations) const {
+  IterationTable Table(Depth);
+  std::uint64_t Count = 0;
+  forEachIteration([&](const std::int64_t *Point) {
+    if (++Count > MaxIterations)
+      reportFatalError("loop nest iteration space exceeds enumeration limit");
+    Table.append(Point);
+  });
+  return Table;
+}
+
+std::uint64_t LoopNest::countIterations() const {
+  if (isRectangular()) {
+    std::uint64_t N = 1;
+    for (const LoopDim &D : Dims) {
+      std::int64_t Lo = D.Lower.constantTerm();
+      std::int64_t Hi = D.Upper.constantTerm();
+      if (Lo > Hi)
+        return 0;
+      N *= static_cast<std::uint64_t>(Hi - Lo + 1);
+    }
+    return N;
+  }
+  std::uint64_t N = 0;
+  forEachIteration([&](const std::int64_t *) { ++N; });
+  return N;
+}
+
+bool LoopNest::isRectangular() const {
+  for (const LoopDim &D : Dims)
+    if (!D.Lower.isConstant() || !D.Upper.isConstant())
+      return false;
+  return true;
+}
+
+bool LoopNest::validate(std::string *ErrorMsg) const {
+  auto fail = [&](const char *Msg) {
+    if (ErrorMsg)
+      *ErrorMsg = Msg;
+    return false;
+  };
+  if (Dims.size() != Depth)
+    return fail("loop nest is not fully built");
+  for (unsigned D = 0; D != Depth; ++D) {
+    if (Dims[D].Lower.numVars() != Depth || Dims[D].Upper.numVars() != Depth)
+      return fail("bound expression width mismatch");
+    if (!Dims[D].Lower.usesOnlyOuterVars(D) ||
+        !Dims[D].Upper.usesOnlyOuterVars(D))
+      return fail("bound references non-outer induction variable");
+  }
+  for (const ArrayAccess &A : Accesses) {
+    if (A.Subscripts.empty())
+      return fail("array access with no subscripts");
+    for (const AffineExpr &S : A.Subscripts)
+      if (S.numVars() != Depth)
+        return fail("subscript expression width mismatch");
+  }
+  return true;
+}

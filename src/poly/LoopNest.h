@@ -1,0 +1,191 @@
+//===- poly/LoopNest.h - Loop nest IR --------------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-nest intermediate representation consumed by the mapping
+/// pipeline. A LoopNest is a perfect nest of loops with affine bounds (each
+/// bound may reference outer induction variables) whose body performs a set
+/// of affine array accesses. This captures exactly the information the
+/// paper's scheme needs (Section 3.2): the iteration space K, the data space
+/// D per array and the references R mapping iterations to elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_LOOPNEST_H
+#define CTA_POLY_LOOPNEST_H
+
+#include "poly/AffineExpr.h"
+#include "poly/ArrayDecl.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// One dimension of a loop nest: lb <= iv <= ub, step 1. Bounds are affine
+/// in the *outer* induction variables only.
+struct LoopDim {
+  AffineExpr Lower;
+  AffineExpr Upper; // inclusive
+
+  LoopDim() = default;
+  LoopDim(AffineExpr Lower, AffineExpr Upper)
+      : Lower(std::move(Lower)), Upper(std::move(Upper)) {}
+};
+
+/// One affine array access in the loop body: Array[S0][S1]..., where each
+/// subscript is an AffineExpr over the nest's induction variables. When
+/// WrapSubscripts is set, each subscript is reduced modulo the array's
+/// dimension (Euclidean, always in bounds) - the project's affine-friendly
+/// stand-in for irregular/hashed access patterns (see DESIGN.md); the
+/// dependence analyzer treats wrapped writes conservatively.
+struct ArrayAccess {
+  unsigned ArrayId = 0; // index into the owning Program's array list
+  std::vector<AffineExpr> Subscripts;
+  bool IsWrite = false;
+  bool WrapSubscripts = false;
+
+  ArrayAccess() = default;
+  ArrayAccess(unsigned ArrayId, std::vector<AffineExpr> Subscripts,
+              bool IsWrite = false, bool WrapSubscripts = false)
+      : ArrayId(ArrayId), Subscripts(std::move(Subscripts)), IsWrite(IsWrite),
+        WrapSubscripts(WrapSubscripts) {}
+};
+
+/// Evaluates \p Acc's subscripts at \p Point into \p Idx (arity =
+/// subscript count), applying modular wrapping when requested. \p Array
+/// must be the access's array.
+inline void evaluateAccess(const ArrayAccess &Acc, const ArrayDecl &Array,
+                           const std::int64_t *Point, std::int64_t *Idx) {
+  for (unsigned D = 0, E = Acc.Subscripts.size(); D != E; ++D) {
+    std::int64_t V = Acc.Subscripts[D].evaluate(Point);
+    if (Acc.WrapSubscripts) {
+      std::int64_t M = Array.Dims[D];
+      V %= M;
+      if (V < 0)
+        V += M;
+    }
+    Idx[D] = V;
+  }
+}
+
+/// A compact table of enumerated iteration points in lexicographic order.
+/// Iteration ids are dense [0, size()); coordinates are stored flat.
+class IterationTable {
+  unsigned Depth = 0;
+  std::vector<std::int32_t> Coords; // size() * Depth entries
+
+public:
+  IterationTable() = default;
+  explicit IterationTable(unsigned Depth) : Depth(Depth) {}
+
+  unsigned depth() const { return Depth; }
+  std::uint32_t size() const {
+    return Depth == 0 ? 0 : static_cast<std::uint32_t>(Coords.size() / Depth);
+  }
+
+  void append(const std::int64_t *Point) {
+    for (unsigned D = 0; D != Depth; ++D) {
+      assert(Point[D] >= INT32_MIN && Point[D] <= INT32_MAX &&
+             "iteration coordinate out of int32 range");
+      Coords.push_back(static_cast<std::int32_t>(Point[D]));
+    }
+  }
+
+  /// Copies the coordinates of iteration \p Id into \p Out (Depth values).
+  void get(std::uint32_t Id, std::int64_t *Out) const {
+    assert(Id < size() && "iteration id out of range");
+    const std::int32_t *P = &Coords[std::size_t(Id) * Depth];
+    for (unsigned D = 0; D != Depth; ++D)
+      Out[D] = P[D];
+  }
+
+  /// Raw access to the coordinates of iteration \p Id.
+  const std::int32_t *raw(std::uint32_t Id) const {
+    assert(Id < size() && "iteration id out of range");
+    return &Coords[std::size_t(Id) * Depth];
+  }
+
+  void reserve(std::size_t N) { Coords.reserve(N * Depth); }
+};
+
+/// A perfect affine loop nest with an affine-access body. The nest's depth
+/// is fixed at construction; every bound and subscript expression is an
+/// AffineExpr over exactly depth() variables (outer variables usable by
+/// inner bounds).
+class LoopNest {
+  std::string Name;
+  unsigned Depth = 0;
+  std::vector<LoopDim> Dims; // filled outside-in, Dims.size() <= Depth
+  std::vector<ArrayAccess> Accesses;
+  /// Cost of the body's non-memory work in cycles per iteration; used by the
+  /// simulator's cost model.
+  unsigned ComputeCyclesPerIteration = 1;
+
+public:
+  LoopNest() = default;
+  LoopNest(std::string Name, unsigned Depth)
+      : Name(std::move(Name)), Depth(Depth) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  unsigned depth() const { return Depth; }
+  const std::vector<LoopDim> &dims() const { return Dims; }
+  const LoopDim &dim(unsigned D) const {
+    assert(D < Dims.size() && "loop depth out of range");
+    return Dims[D];
+  }
+
+  /// Expression builders over this nest's variable space.
+  AffineExpr cst(std::int64_t Value) const {
+    return AffineExpr::constant(Depth, Value);
+  }
+  AffineExpr iv(unsigned Var) const { return AffineExpr::var(Depth, Var); }
+
+  const std::vector<ArrayAccess> &accesses() const { return Accesses; }
+
+  unsigned computeCyclesPerIteration() const {
+    return ComputeCyclesPerIteration;
+  }
+  void setComputeCyclesPerIteration(unsigned C) {
+    ComputeCyclesPerIteration = C;
+  }
+
+  /// Appends a loop dimension (outside-in); bounds must only use outer
+  /// variables and the nest must not already be at full depth.
+  void addDim(LoopDim Dim);
+
+  /// Convenience: appends a loop with constant bounds [Lower, Upper].
+  void addConstantDim(std::int64_t Lower, std::int64_t Upper);
+
+  void addAccess(ArrayAccess Access);
+
+  /// Runs \p Fn on every iteration point in lexicographic order. The span
+  /// passed to \p Fn has depth() entries and is reused between calls.
+  void forEachIteration(
+      const std::function<void(const std::int64_t *)> &Fn) const;
+
+  /// Enumerates all iterations into a table. Aborts via reportFatalError if
+  /// the space exceeds \p MaxIterations (guards against runaway configs).
+  IterationTable enumerate(std::uint64_t MaxIterations = (1u << 26)) const;
+
+  /// Total number of iterations (enumerative for non-rectangular bounds).
+  std::uint64_t countIterations() const;
+
+  /// True if every bound is a constant (rectangular iteration space).
+  bool isRectangular() const;
+
+  /// Validates structural invariants (bounds reference outer vars only,
+  /// subscript arity vs. expression width). Returns false and fills
+  /// \p ErrorMsg on failure.
+  bool validate(std::string *ErrorMsg = nullptr) const;
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_LOOPNEST_H

@@ -1,0 +1,49 @@
+//===- poly/Program.h - Arrays + loop nests --------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program bundles the data arrays of an application with its parallel
+/// loop nests. The mapping pipeline works one nest at a time (as the paper
+/// does: "for each parallel loop nest"); the experiment driver simulates a
+/// program's nests in sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_POLY_PROGRAM_H
+#define CTA_POLY_PROGRAM_H
+
+#include "poly/ArrayDecl.h"
+#include "poly/LoopNest.h"
+
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// An application: named arrays plus the loop nests that access them.
+struct Program {
+  std::string Name;
+  std::vector<ArrayDecl> Arrays;
+  std::vector<LoopNest> Nests;
+
+  unsigned addArray(ArrayDecl Decl) {
+    Arrays.push_back(std::move(Decl));
+    return Arrays.size() - 1;
+  }
+
+  /// Total bytes across all declared arrays (the application's data set
+  /// size, Table 2's third column).
+  std::int64_t dataSetBytes() const {
+    std::int64_t Total = 0;
+    for (const ArrayDecl &A : Arrays)
+      Total += A.sizeInBytes();
+    return Total;
+  }
+};
+
+} // namespace cta
+
+#endif // CTA_POLY_PROGRAM_H

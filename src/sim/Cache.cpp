@@ -1,0 +1,70 @@
+//===- sim/Cache.cpp - Set-associative LRU cache ---------------------------===//
+
+#include "sim/Cache.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+
+Cache::Cache(const CacheParams &Params) : Params(Params) {
+  if (Params.SizeBytes == 0 || Params.LineSize == 0 || Params.Assoc == 0)
+    reportFatalError("degenerate cache parameters");
+  NumSets = Params.numSets();
+  Lines.assign(static_cast<std::size_t>(NumSets) * Params.Assoc, Line());
+}
+
+bool Cache::access(std::uint64_t LineAddr) {
+  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  Line *Base = &Lines[Set * Params.Assoc];
+  for (unsigned W = 0; W != Params.Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == LineAddr) {
+      Base[W].Lru = ++Tick;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t LineAddr) const {
+  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  const Line *Base = &Lines[Set * Params.Assoc];
+  for (unsigned W = 0; W != Params.Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == LineAddr)
+      return true;
+  return false;
+}
+
+void Cache::fill(std::uint64_t LineAddr) {
+  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  Line *Base = &Lines[Set * Params.Assoc];
+  Line *Victim = Base;
+  for (unsigned W = 0; W != Params.Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == LineAddr) {
+      Base[W].Lru = ++Tick; // already resident: refresh
+      return;
+    }
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+    if (Base[W].Lru < Victim->Lru)
+      Victim = &Base[W];
+  }
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->Lru = ++Tick;
+}
+
+void Cache::flush() {
+  for (Line &L : Lines)
+    L = Line();
+  Tick = 0;
+}
+
+std::uint64_t Cache::residentLines() const {
+  std::uint64_t N = 0;
+  for (const Line &L : Lines)
+    if (L.Valid)
+      ++N;
+  return N;
+}

@@ -1,0 +1,68 @@
+//===- sim/Cache.h - Set-associative LRU cache -----------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One set-associative, LRU-replacement cache instance. The multicore
+/// simulator instantiates one per node of the cache hierarchy tree;
+/// conflict and capacity behaviour in shared instances is what produces
+/// the constructive/destructive sharing effects the paper's scheme
+/// optimizes for (Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_CACHE_H
+#define CTA_SIM_CACHE_H
+
+#include "topo/Topology.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// Set-associative cache with true-LRU replacement (timestamp based).
+class Cache {
+  struct Line {
+    std::uint64_t Tag = 0;
+    std::uint64_t Lru = 0;
+    bool Valid = false;
+  };
+
+  CacheParams Params;
+  unsigned NumSets = 1;
+  std::vector<Line> Lines; // NumSets * Assoc, set-major
+  std::uint64_t Tick = 0;
+
+public:
+  explicit Cache(const CacheParams &Params);
+
+  const CacheParams &params() const { return Params; }
+  unsigned numSets() const { return NumSets; }
+
+  /// Line address of a byte address under this cache's line size.
+  std::uint64_t lineAddrOf(std::uint64_t ByteAddr) const {
+    return ByteAddr / Params.LineSize;
+  }
+
+  /// Probes \p LineAddr; on a hit refreshes its LRU stamp and returns true.
+  bool access(std::uint64_t LineAddr);
+
+  /// True if the line is resident (no LRU update; for tests/inspection).
+  bool contains(std::uint64_t LineAddr) const;
+
+  /// Installs \p LineAddr, evicting the set's LRU victim if needed.
+  void fill(std::uint64_t LineAddr);
+
+  /// Invalidates everything (cold start).
+  void flush();
+
+  /// Number of valid lines (for tests).
+  std::uint64_t residentLines() const;
+};
+
+} // namespace cta
+
+#endif // CTA_SIM_CACHE_H

@@ -1,0 +1,188 @@
+//===- sim/Engine.cpp - Mapping execution engine ---------------------------===//
+
+#include "sim/Engine.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cta;
+
+AddressMap::AddressMap(const std::vector<ArrayDecl> &Arrays) {
+  std::uint64_t Next = FirstAddress;
+  for (const ArrayDecl &A : Arrays) {
+    Base.push_back(Next);
+    ElementSize.push_back(A.ElementSize);
+    std::uint64_t Bytes = static_cast<std::uint64_t>(A.sizeInBytes());
+    Next += (Bytes + PageSize - 1) / PageSize * PageSize;
+  }
+}
+
+ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
+                                    unsigned NestIdx,
+                                    const IterationTable &Table,
+                                    const Mapping &Map,
+                                    const AddressMap &Addrs) {
+  if (NestIdx >= Prog.Nests.size())
+    reportFatalError("nest index out of range");
+  const LoopNest &Nest = Prog.Nests[NestIdx];
+  if (Map.NumCores != Machine.topology().numCores())
+    reportFatalError("mapping core count does not match the machine");
+  if (!Map.coversExactly(Table.size()))
+    reportFatalError("mapping is not a partition of the iteration space");
+
+  const unsigned NumCores = Map.NumCores;
+  const unsigned Depth = Table.depth();
+  const unsigned ComputeCycles = Nest.computeCyclesPerIteration();
+
+  // Precompile the access recipe: per access, the subscript expressions and
+  // the owning array (hot path avoids re-reading the IR structures).
+  struct AccessRecipe {
+    const ArrayAccess *Acc;
+    const ArrayDecl *Array;
+  };
+  std::vector<AccessRecipe> Recipes;
+  Recipes.reserve(Nest.accesses().size());
+  for (const ArrayAccess &A : Nest.accesses())
+    Recipes.push_back({&A, &Prog.Arrays[A.ArrayId]});
+
+  Machine.clearStats();
+
+  std::vector<std::uint64_t> Cycle(NumCores, 0);
+  std::vector<std::uint32_t> Pos(NumCores, 0);
+
+  const bool PointToPoint =
+      Map.Sync == SyncMode::PointToPoint && !Map.PointDeps.empty();
+  // Round structure: without barriers the whole schedule is one round.
+  const bool Barriers = !PointToPoint && Map.BarriersRequired;
+  const unsigned NumRounds = Barriers ? Map.NumRounds : 1;
+
+  std::vector<std::int64_t> Point(Depth);
+  std::vector<std::int64_t> Idx;
+
+  auto runIteration = [&](unsigned Core) {
+    std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
+    Table.get(Iter, Point.data());
+    std::uint64_t C = Cycle[Core];
+    for (const AccessRecipe &R : Recipes) {
+      Idx.resize(R.Acc->Subscripts.size());
+      evaluateAccess(*R.Acc, *R.Array, Point.data(), Idx.data());
+      std::uint64_t Addr =
+          Addrs.addrOf(R.Acc->ArrayId, R.Array->linearize(Idx.data()));
+      C += Machine.access(Core, Addr, R.Acc->IsWrite);
+    }
+    Cycle[Core] = C + ComputeCycles;
+    ++Pos[Core];
+  };
+
+  if (PointToPoint) {
+    // Per core: its waits sorted by StartPos, plus the producer-side
+    // positions whose completion cycles we must record.
+    std::vector<std::vector<SyncDep>> Waits(NumCores);
+    for (const SyncDep &D : Map.PointDeps) {
+      if (D.Core >= NumCores || D.PredCore >= NumCores)
+        reportFatalError("point-to-point sync references a bad core");
+      Waits[D.Core].push_back(D);
+    }
+    for (auto &W : Waits)
+      std::sort(W.begin(), W.end(),
+                [](const SyncDep &A, const SyncDep &B) {
+                  return A.StartPos < B.StartPos;
+                });
+    // CompletionCycle[C][P] = cycle at which core C finished its first P
+    // iterations, recorded only for watched positions.
+    std::vector<std::map<std::uint32_t, std::uint64_t>> CompletionCycle(
+        NumCores);
+    for (const SyncDep &D : Map.PointDeps)
+      CompletionCycle[D.PredCore][D.PredEndPos] = 0;
+    for (unsigned C = 0; C != NumCores; ++C) {
+      auto It = CompletionCycle[C].find(0);
+      if (It != CompletionCycle[C].end())
+        It->second = 0; // an empty prefix is complete at cycle 0
+    }
+    std::vector<std::size_t> NextWait(NumCores, 0);
+
+    for (;;) {
+      unsigned Next = NumCores;
+      bool AnyWork = false;
+      for (unsigned C = 0; C != NumCores; ++C) {
+        if (Pos[C] >= Map.CoreIterations[C].size())
+          continue;
+        AnyWork = true;
+        // All waits due at the current position must be satisfied.
+        bool Blocked = false;
+        std::uint64_t ReadyAt = Cycle[C];
+        for (std::size_t W = NextWait[C];
+             W != Waits[C].size() && Waits[C][W].StartPos <= Pos[C]; ++W) {
+          const SyncDep &D = Waits[C][W];
+          if (Pos[D.PredCore] < D.PredEndPos) {
+            Blocked = true;
+            break;
+          }
+          ReadyAt = std::max(ReadyAt,
+                             CompletionCycle[D.PredCore][D.PredEndPos]);
+        }
+        if (Blocked)
+          continue;
+        Cycle[C] = ReadyAt;
+        if (Next == NumCores || Cycle[C] < Cycle[Next])
+          Next = C;
+      }
+      if (Next == NumCores) {
+        if (AnyWork)
+          reportFatalError("point-to-point synchronization deadlock");
+        break;
+      }
+      // Retire waits that are now permanently satisfied.
+      while (NextWait[Next] != Waits[Next].size() &&
+             Waits[Next][NextWait[Next]].StartPos <= Pos[Next] &&
+             Pos[Waits[Next][NextWait[Next]].PredCore] >=
+                 Waits[Next][NextWait[Next]].PredEndPos)
+        ++NextWait[Next];
+      runIteration(Next);
+      // Record watched completion cycles.
+      auto It = CompletionCycle[Next].find(Pos[Next]);
+      if (It != CompletionCycle[Next].end() && It->second == 0)
+        It->second = Cycle[Next];
+    }
+  } else {
+    for (unsigned Round = 0; Round != NumRounds; ++Round) {
+      // Per-core end position of this round.
+      std::vector<std::uint32_t> End(NumCores);
+      for (unsigned C = 0; C != NumCores; ++C)
+        End[C] = Barriers ? Map.RoundEnd[C][Round]
+                          : static_cast<std::uint32_t>(
+                                Map.CoreIterations[C].size());
+
+      // Discrete-event interleave: always advance the earliest active core.
+      for (;;) {
+        unsigned Next = NumCores;
+        for (unsigned C = 0; C != NumCores; ++C) {
+          if (Pos[C] >= End[C])
+            continue;
+          if (Next == NumCores || Cycle[C] < Cycle[Next])
+            Next = C;
+        }
+        if (Next == NumCores)
+          break;
+        runIteration(Next);
+      }
+
+      // Barrier: everyone waits for the slowest participant.
+      if (Barriers && Round + 1 != NumRounds) {
+        std::uint64_t Max = 0;
+        for (unsigned C = 0; C != NumCores; ++C)
+          Max = std::max(Max, Cycle[C]);
+        for (unsigned C = 0; C != NumCores; ++C)
+          Cycle[C] = Max;
+      }
+    }
+  }
+
+  ExecutionResult Result;
+  Result.CoreCycles = Cycle;
+  Result.TotalCycles = *std::max_element(Cycle.begin(), Cycle.end());
+  Result.Stats = Machine.stats();
+  return Result;
+}

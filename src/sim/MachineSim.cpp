@@ -1,0 +1,85 @@
+//===- sim/MachineSim.cpp - Multi-level cache hierarchy simulator ----------===//
+
+#include "sim/MachineSim.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+using namespace cta;
+
+std::string SimStats::str() const {
+  std::string Out;
+  for (unsigned L = 1; L <= MaxLevels; ++L) {
+    if (Levels[L].Lookups == 0)
+      continue;
+    if (!Out.empty())
+      Out += " ";
+    Out += "L" + std::to_string(L) +
+           " miss=" + formatPercent(Levels[L].missRate());
+  }
+  Out += " mem=" + std::to_string(MemoryAccesses);
+  return Out;
+}
+
+MachineSim::MachineSim(const CacheTopology &Topo) : Topo(Topo) {
+  if (!Topo.finalized())
+    reportFatalError("simulator needs a finalized topology");
+  if (Topo.deepestLevel() > SimStats::MaxLevels)
+    reportFatalError("topology has more cache levels than the simulator "
+                     "statistics support");
+
+  Caches.reserve(Topo.numNodes() - 1);
+  for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id)
+    Caches.emplace_back(Topo.node(Id).Params);
+
+  Path.resize(Topo.numCores());
+  for (unsigned C = 0, E = Topo.numCores(); C != E; ++C)
+    for (unsigned Id = Topo.l1Of(C); Id != Topo.rootId();
+         Id = static_cast<unsigned>(Topo.node(Id).Parent))
+      Path[C].push_back(Id);
+}
+
+void MachineSim::reset() {
+  for (Cache &C : Caches)
+    C.flush();
+  Stats.clear();
+}
+
+unsigned MachineSim::access(unsigned Core, std::uint64_t Addr, bool IsWrite) {
+  (void)IsWrite; // writes allocate like reads; no coherence modelled
+  assert(Core < Path.size() && "core id out of range");
+  ++Stats.TotalAccesses;
+
+  const std::vector<unsigned> &P = Path[Core];
+  unsigned HitIdx = P.size();
+  for (unsigned I = 0, E = P.size(); I != E; ++I) {
+    Cache &C = Caches[P[I] - 1];
+    unsigned Level = Topo.node(P[I]).Level;
+    ++Stats.Levels[Level].Lookups;
+    if (C.access(C.lineAddrOf(Addr))) {
+      ++Stats.Levels[Level].Hits;
+      HitIdx = I;
+      break;
+    }
+  }
+
+  unsigned Latency;
+  if (HitIdx == P.size()) {
+    ++Stats.MemoryAccesses;
+    Latency = Topo.memoryLatency();
+  } else {
+    Latency = Topo.node(P[HitIdx]).Params.LatencyCycles;
+  }
+
+  // Fill every level that missed (inclusive hierarchy).
+  for (unsigned I = 0; I != HitIdx && I != P.size(); ++I) {
+    Cache &C = Caches[P[I] - 1];
+    C.fill(C.lineAddrOf(Addr));
+  }
+  return Latency;
+}
+
+const Cache &MachineSim::cacheOfNode(unsigned NodeId) const {
+  assert(NodeId >= 1 && NodeId < Topo.numNodes() && "bad cache node id");
+  return Caches[NodeId - 1];
+}

@@ -1,0 +1,84 @@
+//===- sim/MachineSim.h - Multi-level cache hierarchy simulator *- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven simulator of a multicore's on-chip cache hierarchy, the
+/// stand-in for the paper's three Intel machines and its Simics+GEMS setup
+/// (Section 4.1). One Cache instance is created per node of the topology
+/// tree, so shared caches are physically shared between the cores below
+/// them. An access walks the core's path L1 -> ... -> LLC -> memory,
+/// costs the latency of the level where it hits, and fills every missed
+/// level on the path (inclusive hierarchy, no coherence protocol - see
+/// DESIGN.md for the substitution rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_MACHINESIM_H
+#define CTA_SIM_MACHINESIM_H
+
+#include "sim/Cache.h"
+#include "topo/Topology.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Per-cache-level lookup/hit counters plus memory traffic.
+struct SimStats {
+  static constexpr unsigned MaxLevels = 8;
+
+  struct LevelStats {
+    std::uint64_t Lookups = 0;
+    std::uint64_t Hits = 0;
+    std::uint64_t misses() const { return Lookups - Hits; }
+    double missRate() const {
+      return Lookups == 0 ? 0.0
+                          : static_cast<double>(misses()) / Lookups;
+    }
+  };
+
+  std::array<LevelStats, MaxLevels + 1> Levels{}; // index = cache level
+  std::uint64_t MemoryAccesses = 0;
+  std::uint64_t TotalAccesses = 0;
+
+  void clear() { *this = SimStats(); }
+
+  /// Renders "L1 m=12.3% L2 m=45.6% ... mem=N" for logs.
+  std::string str() const;
+};
+
+/// The machine: one cache per topology node plus per-core access paths.
+class MachineSim {
+  const CacheTopology &Topo;
+  std::vector<Cache> Caches;               // indexed by topology node - 1
+  std::vector<std::vector<unsigned>> Path; // per core: node ids, L1 first
+  SimStats Stats;
+
+public:
+  explicit MachineSim(const CacheTopology &Topo);
+
+  const CacheTopology &topology() const { return Topo; }
+  const SimStats &stats() const { return Stats; }
+  void clearStats() { Stats.clear(); }
+
+  /// Cold caches + fresh statistics.
+  void reset();
+
+  /// Performs one memory access by \p Core at byte address \p Addr.
+  /// Returns the access latency in cycles. Writes currently behave like
+  /// reads (allocate-on-write, no coherence).
+  unsigned access(unsigned Core, std::uint64_t Addr, bool IsWrite);
+
+  /// Cache instance of topology node \p NodeId (tests/inspection).
+  const Cache &cacheOfNode(unsigned NodeId) const;
+};
+
+} // namespace cta
+
+#endif // CTA_SIM_MACHINESIM_H

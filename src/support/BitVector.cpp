@@ -1,0 +1,76 @@
+//===- support/BitVector.cpp - Dynamic bit vector ------------------------===//
+
+#include "support/BitVector.h"
+
+#include <bit>
+
+using namespace cta;
+
+unsigned BitVector::count() const {
+  unsigned N = 0;
+  for (WordType W : Words)
+    N += std::popcount(W);
+  return N;
+}
+
+bool BitVector::none() const {
+  for (WordType W : Words)
+    if (W != 0)
+      return false;
+  return true;
+}
+
+int BitVector::findFirst() const { return findNext(0); }
+
+int BitVector::findNext(unsigned From) const {
+  if (From >= NumBits)
+    return -1;
+  unsigned WordIdx = From / BitsPerWord;
+  WordType Word = Words[WordIdx] & (~WordType(0) << (From % BitsPerWord));
+  for (;;) {
+    if (Word != 0) {
+      unsigned Bit = WordIdx * BitsPerWord + std::countr_zero(Word);
+      return Bit < NumBits ? static_cast<int>(Bit) : -1;
+    }
+    if (++WordIdx >= Words.size())
+      return -1;
+    Word = Words[WordIdx];
+  }
+}
+
+unsigned BitVector::dot(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "dot of mismatched bit vectors");
+  unsigned N = 0;
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    N += std::popcount(Words[I] & RHS.Words[I]);
+  return N;
+}
+
+unsigned BitVector::hammingDistance(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "hamming of mismatched bit vectors");
+  unsigned N = 0;
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    N += std::popcount(Words[I] ^ RHS.Words[I]);
+  return N;
+}
+
+BitVector &BitVector::operator|=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "or of mismatched bit vectors");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator&=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "and of mismatched bit vectors");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator^=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "xor of mismatched bit vectors");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] ^= RHS.Words[I];
+  return *this;
+}

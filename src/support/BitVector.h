@@ -1,0 +1,141 @@
+//===- support/BitVector.h - Dynamic bit vector ----------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically sized bit vector with the set-algebra operations the mapping
+/// algorithms need: union, intersection, dot product (popcount of the
+/// intersection) and Hamming distance. The paper's iteration-group tags are
+/// conceptually bit strings d0 d1 ... dn-1 over data blocks (Section 3.3);
+/// this class is the dense representation used in tests and small instances,
+/// while core/Tag.h provides the sparse production representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_BITVECTOR_H
+#define CTA_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+
+/// Dynamically sized bit vector.
+class BitVector {
+  using WordType = std::uint64_t;
+  static constexpr unsigned BitsPerWord = 64;
+
+  std::vector<WordType> Words;
+  unsigned NumBits = 0;
+
+  static unsigned numWords(unsigned Bits) {
+    return (Bits + BitsPerWord - 1) / BitsPerWord;
+  }
+
+  /// Zeroes the bits of the last word beyond NumBits so that whole-word
+  /// operations (popcount, comparison) see a canonical value.
+  void clearUnusedBits() {
+    unsigned Extra = NumBits % BitsPerWord;
+    if (Extra != 0 && !Words.empty())
+      Words.back() &= (WordType(1) << Extra) - 1;
+  }
+
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p Size bits, all set to \p Value.
+  explicit BitVector(unsigned Size, bool Value = false)
+      : Words(numWords(Size), Value ? ~WordType(0) : 0), NumBits(Size) {
+    clearUnusedBits();
+  }
+
+  unsigned size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / BitsPerWord] >> (Idx % BitsPerWord)) & 1;
+  }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / BitsPerWord] |= WordType(1) << (Idx % BitsPerWord);
+  }
+
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / BitsPerWord] &= ~(WordType(1) << (Idx % BitsPerWord));
+  }
+
+  /// Sets all bits to zero without changing the size.
+  void resetAll() {
+    for (WordType &W : Words)
+      W = 0;
+  }
+
+  /// Sets all bits to one.
+  void setAll() {
+    for (WordType &W : Words)
+      W = ~WordType(0);
+    clearUnusedBits();
+  }
+
+  /// Grows or shrinks to \p Size bits; new bits are zero.
+  void resize(unsigned Size) {
+    Words.resize(numWords(Size), 0);
+    NumBits = Size;
+    clearUnusedBits();
+  }
+
+  /// Number of set bits.
+  unsigned count() const;
+
+  /// True if no bit is set.
+  bool none() const;
+
+  /// True if at least one bit is set.
+  bool any() const { return !none(); }
+
+  /// Index of the first set bit, or -1 if none.
+  int findFirst() const;
+
+  /// Index of the first set bit at or after \p From, or -1 if none.
+  int findNext(unsigned From) const;
+
+  /// Popcount of the intersection with \p RHS: the paper's tag dot product.
+  /// Both vectors must have the same size.
+  unsigned dot(const BitVector &RHS) const;
+
+  /// Number of positions where the two vectors differ (Section 3.5.3 uses
+  /// Hamming distance between tags to pick contiguously scheduled groups).
+  unsigned hammingDistance(const BitVector &RHS) const;
+
+  BitVector &operator|=(const BitVector &RHS);
+  BitVector &operator&=(const BitVector &RHS);
+  BitVector &operator^=(const BitVector &RHS);
+
+  friend BitVector operator|(BitVector L, const BitVector &R) {
+    L |= R;
+    return L;
+  }
+  friend BitVector operator&(BitVector L, const BitVector &R) {
+    L &= R;
+    return L;
+  }
+  friend BitVector operator^(BitVector L, const BitVector &R) {
+    L ^= R;
+    return L;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+};
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_BITVECTOR_H

@@ -1,0 +1,19 @@
+//===- support/ErrorHandling.cpp - Fatal errors and unreachable ----------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cta;
+
+void cta::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "cta fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void cta::ctaUnreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

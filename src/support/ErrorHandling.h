@@ -1,0 +1,34 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable --*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for reporting programmatic errors. Library code never throws;
+/// invariant violations abort with a diagnostic, following the LLVM model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_ERRORHANDLING_H
+#define CTA_SUPPORT_ERRORHANDLING_H
+
+namespace cta {
+
+/// Reports a fatal error with \p Reason and aborts. Used for invariant
+/// violations that can be triggered by bad inputs (not plain bugs, which
+/// should use assert).
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Marks a point in code that must never be executed. Prints \p Msg and
+/// aborts when reached.
+[[noreturn]] void ctaUnreachableInternal(const char *Msg, const char *File,
+                                         unsigned Line);
+
+} // namespace cta
+
+/// Marks unreachable code with a message; aborts with file/line if reached.
+#define cta_unreachable(msg)                                                   \
+  ::cta::ctaUnreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // CTA_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,54 @@
+//===- support/Random.h - Deterministic PRNG -------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64). Experiments must be
+/// reproducible across runs and platforms, so std::mt19937 with
+/// implementation-defined distributions is avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_RANDOM_H
+#define CTA_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cta {
+
+/// SplitMix64: passes BigCrush, one multiplication-free-ish step per draw.
+class SplitMix64 {
+  std::uint64_t State;
+
+public:
+  explicit SplitMix64(std::uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Multiply-shift range reduction (Lemire); bias is negligible for the
+    // bounds used in this project and determinism is what matters.
+    unsigned __int128 Product = (unsigned __int128)next() * Bound;
+    return static_cast<std::uint64_t>(Product >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_RANDOM_H

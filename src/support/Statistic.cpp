@@ -1,0 +1,18 @@
+//===- support/Statistic.cpp - Named counters ----------------------------===//
+
+#include "support/Statistic.h"
+
+#include <cstdio>
+
+using namespace cta;
+
+StatisticRegistry &StatisticRegistry::get() {
+  static StatisticRegistry Registry;
+  return Registry;
+}
+
+void StatisticRegistry::dump() const {
+  for (const auto &[Name, Value] : Counters)
+    std::fprintf(stderr, "%12llu %s\n",
+                 static_cast<unsigned long long>(Value), Name.c_str());
+}

@@ -1,0 +1,72 @@
+//===- support/Statistic.h - Named counters --------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight named-counter registry in the spirit of LLVM's Statistic.
+/// Algorithms bump counters (groups formed, merges performed, groups split,
+/// evictions, barriers inserted, ...) and tools can dump them for inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_STATISTIC_H
+#define CTA_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cta {
+
+/// Process-wide registry of named counters. Not thread safe; the mapping
+/// pipeline is single threaded (it is a compiler pass).
+class StatisticRegistry {
+  std::map<std::string, std::uint64_t> Counters;
+
+  StatisticRegistry() = default;
+
+public:
+  static StatisticRegistry &get();
+
+  void add(const std::string &Name, std::uint64_t Delta) {
+    Counters[Name] += Delta;
+  }
+
+  std::uint64_t lookup(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  void clear() { Counters.clear(); }
+
+  const std::map<std::string, std::uint64_t> &counters() const {
+    return Counters;
+  }
+
+  /// Prints all counters to stderr, one "value name" line each.
+  void dump() const;
+};
+
+/// Convenience wrapper: a counter bound to a fixed name.
+class Statistic {
+  const char *Name;
+
+public:
+  explicit Statistic(const char *Name) : Name(Name) {}
+
+  Statistic &operator+=(std::uint64_t Delta) {
+    StatisticRegistry::get().add(Name, Delta);
+    return *this;
+  }
+  Statistic &operator++() {
+    StatisticRegistry::get().add(Name, 1);
+    return *this;
+  }
+  std::uint64_t value() const { return StatisticRegistry::get().lookup(Name); }
+};
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_STATISTIC_H

@@ -1,0 +1,39 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace cta;
+
+std::string cta::formatDouble(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string cta::formatPercent(double Value, unsigned Decimals) {
+  return formatDouble(Value * 100.0, Decimals) + "%";
+}
+
+std::string cta::formatByteSize(std::uint64_t Bytes) {
+  static constexpr const char *Suffix[] = {"B", "KB", "MB", "GB"};
+  unsigned Unit = 0;
+  std::uint64_t Value = Bytes;
+  while (Unit + 1 < 4 && Value >= 1024 && Value % 1024 == 0) {
+    Value /= 1024;
+    ++Unit;
+  }
+  return std::to_string(Value) + Suffix[Unit];
+}
+
+std::string cta::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Result;
+  for (unsigned I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by benches, examples and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_STRINGUTILS_H
+#define CTA_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Formats \p Value with \p Decimals fractional digits ("1.23").
+std::string formatDouble(double Value, unsigned Decimals = 2);
+
+/// Formats a ratio as a percentage string ("12.3%"). \p Value is the
+/// fraction, e.g. 0.123.
+std::string formatPercent(double Value, unsigned Decimals = 1);
+
+/// Formats a byte count with a binary-unit suffix ("2KB", "3MB"). Exact
+/// multiples only get the short form; otherwise falls back to bytes.
+std::string formatByteSize(std::uint64_t Bytes);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,53 @@
+//===- support/Table.cpp - Aligned text tables ---------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace cta;
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (unsigned C = 0, E = Header.size(); C != E; ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (unsigned C = 0, E = Row.size(); C != E; ++C)
+      if (Row[C].size() > Width[C])
+        Width[C] = Row[C].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (unsigned C = 0, E = Row.size(); C != E; ++C) {
+      if (C != 0)
+        Line += "  ";
+      size_t Pad = Width[C] - Row[C].size();
+      if (C == 0) {
+        Line += Row[C];
+        Line += std::string(Pad, ' ');
+      } else {
+        Line += std::string(Pad, ' ');
+        Line += Row[C];
+      }
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = renderRow(Header);
+  size_t Total = 0;
+  for (unsigned C = 0, E = Width.size(); C != E; ++C)
+    Total += Width[C] + (C == 0 ? 0 : 2);
+  Out += std::string(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }

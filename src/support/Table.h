@@ -1,0 +1,44 @@
+//===- support/Table.h - Aligned text tables -------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple column-aligned text table. Every bench binary reproduces one of
+/// the paper's tables or figures as rows/series; this class renders them
+/// uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_TABLE_H
+#define CTA_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Column-aligned table with a header row. First column is left aligned,
+/// remaining columns right aligned (the usual layout for label + numbers).
+class TextTable {
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  explicit TextTable(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+};
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_TABLE_H

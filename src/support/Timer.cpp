@@ -1,0 +1,4 @@
+//===- support/Timer.cpp - Wall-clock timer ------------------------------===//
+// Header-only; this TU anchors the library target.
+
+#include "support/Timer.h"

@@ -1,0 +1,257 @@
+//===- topo/Parse.cpp - Textual machine descriptions ----------------------===//
+
+#include "topo/Parse.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace cta;
+
+namespace {
+
+/// Tokenizer: splits on whitespace, keeps "{" and "}" as their own tokens.
+std::vector<std::string> tokenize(const std::string &Text) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  auto flush = [&] {
+    if (!Current.empty()) {
+      Tokens.push_back(Current);
+      Current.clear();
+    }
+  };
+  for (char C : Text) {
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      flush();
+    } else if (C == '{' || C == '}') {
+      flush();
+      Tokens.push_back(std::string(1, C));
+    } else {
+      Current += C;
+    }
+  }
+  flush();
+  return Tokens;
+}
+
+/// Splits "a:b:c" into fields.
+std::vector<std::string> splitFields(const std::string &Token) {
+  std::vector<std::string> Fields;
+  std::string Cur;
+  for (char C : Token) {
+    if (C == ':') {
+      Fields.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Fields.push_back(Cur);
+  return Fields;
+}
+
+/// Parses "123", "32K", "12M" into bytes; false on garbage.
+bool parseSize(const std::string &S, std::uint64_t &Out) {
+  if (S.empty())
+    return false;
+  std::uint64_t Mult = 1;
+  std::string Digits = S;
+  char Last = S.back();
+  if (Last == 'K' || Last == 'k') {
+    Mult = 1024;
+    Digits.pop_back();
+  } else if (Last == 'M' || Last == 'm') {
+    Mult = 1024 * 1024;
+    Digits.pop_back();
+  }
+  if (Digits.empty())
+    return false;
+  std::uint64_t V = 0;
+  for (char C : Digits) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + static_cast<std::uint64_t>(C - '0');
+  }
+  Out = V * Mult;
+  return true;
+}
+
+class Parser {
+  const std::vector<std::string> Tokens;
+  std::size_t Pos = 0;
+  std::string Error;
+
+public:
+  explicit Parser(const std::string &Text) : Tokens(tokenize(Text)) {}
+
+  const std::string &error() const { return Error; }
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " (token " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  bool atEnd() const { return Pos == Tokens.size(); }
+  const std::string *peek() const {
+    return Pos < Tokens.size() ? &Tokens[Pos] : nullptr;
+  }
+  const std::string *next() {
+    return Pos < Tokens.size() ? &Tokens[Pos++] : nullptr;
+  }
+
+  /// machine := "mem" ":" latency node+
+  bool parseMachine(CacheTopology *&Out, const std::string &Name) {
+    const std::string *Tok = next();
+    if (!Tok)
+      return fail("empty description");
+    std::vector<std::string> F = splitFields(*Tok);
+    std::uint64_t Latency = 0;
+    if (F.size() != 2 || F[0] != "mem" || !parseSize(F[1], Latency))
+      return fail("expected mem:<latency>");
+    Out = new CacheTopology(Name, static_cast<unsigned>(Latency));
+    bool AnyChild = false;
+    while (!atEnd()) {
+      if (!parseNode(*Out, Out->rootId()))
+        return false;
+      AnyChild = true;
+    }
+    if (!AnyChild)
+      return fail("memory node needs at least one cache child");
+    return true;
+  }
+
+private:
+  /// node := cache | core. A bare "core" directly under a non-L1 parent is
+  /// invalid (cores attach implicitly to L1 caches), so "core" is only
+  /// consumed inside an L1's braces... but the format has no braces for
+  /// L1: an L1 is written "l1:...:..." with an implicit single core, or a
+  /// cache contains "core" shorthand tokens meaning "a default L1 + its
+  /// core". To keep the grammar small we support:
+  ///   * "l<k>:size:assoc:latency[:line]" followed by { children } when
+  ///     k > 1, or standing alone when k == 1, and
+  ///   * "core" as shorthand for "l1:32K:8:4".
+  bool parseNode(CacheTopology &Topo, unsigned Parent) {
+    const std::string *Tok = next();
+    if (!Tok)
+      return fail("unexpected end of input");
+    if (*Tok == "core") {
+      Topo.addCache(Parent, 1, {32 * 1024, 8, 64, 4});
+      return true;
+    }
+    std::vector<std::string> F = splitFields(*Tok);
+    if (F.size() < 4 || F.size() > 5 || F[0].size() < 2 || F[0][0] != 'l')
+      return fail("expected cache 'l<k>:size:assoc:latency' or 'core', got "
+                  "'" +
+                  *Tok + "'");
+    std::uint64_t Level = 0, Size = 0, Assoc = 0, Latency = 0, Line = 64;
+    if (!parseSize(F[0].substr(1), Level) || Level == 0 ||
+        Level >= CacheTopology::MemoryLevel)
+      return fail("bad cache level in '" + *Tok + "'");
+    if (!parseSize(F[1], Size) || !parseSize(F[2], Assoc) ||
+        !parseSize(F[3], Latency))
+      return fail("bad cache fields in '" + *Tok + "'");
+    if (F.size() == 5 && !parseSize(F[4], Line))
+      return fail("bad line size in '" + *Tok + "'");
+
+    unsigned Id = Topo.addCache(Parent, static_cast<unsigned>(Level),
+                                {Size, static_cast<unsigned>(Assoc),
+                                 static_cast<unsigned>(Line),
+                                 static_cast<unsigned>(Latency)});
+    if (Level == 1)
+      return true; // leaf; core attaches at finalize
+
+    const std::string *Open = next();
+    if (!Open || *Open != "{")
+      return fail("cache level > 1 needs '{ children }'");
+    bool AnyChild = false;
+    for (;;) {
+      const std::string *P = peek();
+      if (!P)
+        return fail("missing '}'");
+      if (*P == "}") {
+        ++*this;
+        break;
+      }
+      if (!parseNode(Topo, Id))
+        return false;
+      AnyChild = true;
+    }
+    if (!AnyChild)
+      return fail("cache needs at least one child");
+    return true;
+  }
+
+  Parser &operator++() {
+    ++Pos;
+    return *this;
+  }
+};
+
+} // namespace
+
+std::optional<CacheTopology> cta::parseTopology(const std::string &Name,
+                                                const std::string &Text,
+                                                std::string *ErrorMsg) {
+  Parser P(Text);
+  CacheTopology *Raw = nullptr;
+  if (!P.parseMachine(Raw, Name)) {
+    if (ErrorMsg)
+      *ErrorMsg = P.error();
+    delete Raw;
+    return std::nullopt;
+  }
+  CacheTopology Result = std::move(*Raw);
+  delete Raw;
+  Result.finalize();
+  return Result;
+}
+
+std::string cta::printTopology(const CacheTopology &Topo) {
+  std::string Out =
+      "mem:" + std::to_string(Topo.memoryLatency()) + "\n";
+
+  // Recursive print via an explicit stack: (node id, depth, closing?).
+  struct Frame {
+    unsigned Id;
+    unsigned Depth;
+    bool Close;
+  };
+  std::vector<Frame> Stack;
+  const auto &Root = Topo.root();
+  for (unsigned C = Root.Children.size(); C-- > 0;)
+    Stack.push_back({Root.Children[C], 0, false});
+
+  auto sizeStr = [](std::uint64_t Bytes) {
+    if (Bytes % (1024 * 1024) == 0)
+      return std::to_string(Bytes / (1024 * 1024)) + "M";
+    if (Bytes % 1024 == 0)
+      return std::to_string(Bytes / 1024) + "K";
+    return std::to_string(Bytes);
+  };
+
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    std::string Indent(F.Depth * 2, ' ');
+    if (F.Close) {
+      Out += Indent + "}\n";
+      continue;
+    }
+    const CacheTopology::Node &N = Topo.node(F.Id);
+    Out += Indent + "l" + std::to_string(N.Level) + ":" +
+           sizeStr(N.Params.SizeBytes) + ":" +
+           std::to_string(N.Params.Assoc) + ":" +
+           std::to_string(N.Params.LatencyCycles);
+    if (N.Params.LineSize != 64)
+      Out += ":" + std::to_string(N.Params.LineSize);
+    if (N.Children.empty()) {
+      Out += "\n";
+      continue;
+    }
+    Out += " {\n";
+    Stack.push_back({F.Id, F.Depth, true});
+    for (unsigned C = N.Children.size(); C-- > 0;)
+      Stack.push_back({N.Children[C], F.Depth + 1, false});
+  }
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- topo/Parse.h - Textual machine descriptions -------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small textual format for cache hierarchy trees, so machines can be
+/// described in config files instead of C++ (the role hwloc plays for
+/// real deployments). Grammar:
+///
+///   machine   := "mem" ":" latency node+
+///   node      := cache | core
+///   cache     := "l" LEVEL ":" size ":" assoc ":" latency "{" node+ "}"
+///   core      := "core"
+///   size      := integer with optional K/M suffix (bytes)
+///
+/// Whitespace separates tokens freely. Example (one Dunnington socket):
+///
+///   mem:120
+///   l3:12M:16:36 {
+///     l2:3M:12:10 { core core }
+///     l2:3M:12:10 { core core }
+///     l2:3M:12:10 { core core }
+///   }
+///
+/// Line size is fixed at 64 bytes (override per cache with a fifth field,
+/// "l2:3M:12:10:128").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_TOPO_PARSE_H
+#define CTA_TOPO_PARSE_H
+
+#include "topo/Topology.h"
+
+#include <optional>
+#include <string>
+
+namespace cta {
+
+/// Parses \p Text into a finalized topology named \p Name. On a syntax
+/// error returns std::nullopt and, when \p ErrorMsg is non-null, a
+/// description of what went wrong (with a token position).
+std::optional<CacheTopology> parseTopology(const std::string &Name,
+                                           const std::string &Text,
+                                           std::string *ErrorMsg = nullptr);
+
+/// Renders \p Topo back into the textual format (parse/print round-trip).
+std::string printTopology(const CacheTopology &Topo);
+
+} // namespace cta
+
+#endif // CTA_TOPO_PARSE_H

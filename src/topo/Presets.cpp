@@ -1,0 +1,119 @@
+//===- topo/Presets.cpp - Machine presets ----------------------------------===//
+
+#include "topo/Presets.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace cta;
+
+CacheTopology cta::makeSymmetricTopology(std::string Name, unsigned NumCores,
+                                         std::vector<SymmetricLevelSpec> Specs,
+                                         unsigned MemoryLatencyCycles) {
+  if (NumCores == 0 || Specs.empty())
+    reportFatalError("symmetric topology needs cores and at least one level");
+
+  // Outermost (largest sharing degree) first.
+  std::sort(Specs.begin(), Specs.end(),
+            [](const SymmetricLevelSpec &A, const SymmetricLevelSpec &B) {
+              return A.Level > B.Level;
+            });
+  for (unsigned I = 0; I + 1 < Specs.size(); ++I) {
+    if (Specs[I].Level == Specs[I + 1].Level)
+      reportFatalError("duplicate level in symmetric topology spec");
+    if (Specs[I].CoresPerInstance % Specs[I + 1].CoresPerInstance != 0)
+      reportFatalError("inner level sharing degree must divide outer level's");
+  }
+  if (Specs.back().Level != 1 || Specs.back().CoresPerInstance != 1)
+    reportFatalError("symmetric topology must end with a private L1 level");
+  for (const SymmetricLevelSpec &S : Specs)
+    if (NumCores % S.CoresPerInstance != 0)
+      reportFatalError("level sharing degree must divide the core count");
+
+  CacheTopology Topo(std::move(Name), MemoryLatencyCycles);
+  // Node ids of the previous (outer) level's instances.
+  std::vector<unsigned> Outer(1, Topo.rootId());
+  unsigned OuterCpi = NumCores; // the root "covers" all cores
+  for (const SymmetricLevelSpec &S : Specs) {
+    std::vector<unsigned> Current;
+    unsigned Instances = NumCores / S.CoresPerInstance;
+    Current.reserve(Instances);
+    for (unsigned I = 0; I != Instances; ++I) {
+      unsigned FirstCore = I * S.CoresPerInstance;
+      unsigned Parent = Outer[FirstCore / OuterCpi];
+      Current.push_back(Topo.addCache(Parent, S.Level, S.Params));
+    }
+    Outer = std::move(Current);
+    OuterCpi = S.CoresPerInstance;
+  }
+  Topo.finalize();
+  return Topo;
+}
+
+CacheTopology cta::makeHarpertown() {
+  return makeSymmetricTopology(
+      "Harpertown", 8,
+      {{2, 2, {6 * 1024 * 1024, 24, 64, 15}},
+       {1, 1, {32 * 1024, 8, 64, 3}}},
+      /*MemoryLatencyCycles=*/320);
+}
+
+CacheTopology cta::makeNehalem() {
+  return makeSymmetricTopology(
+      "Nehalem", 8,
+      {{3, 4, {8 * 1024 * 1024, 16, 64, 35}},
+       {2, 1, {256 * 1024, 8, 64, 10}},
+       {1, 1, {32 * 1024, 8, 64, 4}}},
+      /*MemoryLatencyCycles=*/174);
+}
+
+CacheTopology cta::makeDunnington() { return makeDunningtonScaled(12); }
+
+CacheTopology cta::makeDunningtonScaled(unsigned NumCores) {
+  if (NumCores == 0 || NumCores % 6 != 0)
+    reportFatalError("Dunnington-style machines need a multiple of 6 cores");
+  std::string Name =
+      NumCores == 12 ? "Dunnington"
+                     : "Dunnington-" + std::to_string(NumCores) + "c";
+  return makeSymmetricTopology(
+      std::move(Name), NumCores,
+      {{3, 6, {12 * 1024 * 1024, 16, 64, 36}},
+       {2, 2, {3 * 1024 * 1024, 12, 64, 10}},
+       {1, 1, {32 * 1024, 8, 64, 4}}},
+      /*MemoryLatencyCycles=*/120);
+}
+
+CacheTopology cta::makeArchI() {
+  return makeSymmetricTopology(
+      "Arch-I", 16,
+      {{4, 8, {16 * 1024 * 1024, 16, 64, 40}},
+       {3, 4, {4 * 1024 * 1024, 16, 64, 25}},
+       {2, 2, {512 * 1024, 8, 64, 10}},
+       {1, 1, {32 * 1024, 8, 64, 4}}},
+      /*MemoryLatencyCycles=*/300);
+}
+
+CacheTopology cta::makeArchII() {
+  return makeSymmetricTopology(
+      "Arch-II", 32,
+      {{4, 16, {32 * 1024 * 1024, 16, 64, 45}},
+       {3, 8, {8 * 1024 * 1024, 16, 64, 25}},
+       {2, 2, {512 * 1024, 8, 64, 10}},
+       {1, 1, {32 * 1024, 8, 64, 4}}},
+      /*MemoryLatencyCycles=*/300);
+}
+
+CacheTopology cta::makePresetByName(const std::string &Name) {
+  if (Name == "harpertown")
+    return makeHarpertown();
+  if (Name == "nehalem")
+    return makeNehalem();
+  if (Name == "dunnington")
+    return makeDunnington();
+  if (Name == "arch-i")
+    return makeArchI();
+  if (Name == "arch-ii")
+    return makeArchII();
+  reportFatalError("unknown machine preset name");
+}

@@ -1,0 +1,81 @@
+//===- topo/Presets.h - Machine presets ------------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine configurations used in the paper's evaluation:
+///
+///  * Table 1's three commercial Intel multicores (Harpertown, Nehalem,
+///    Dunnington), including the per-machine memory latencies converted to
+///    cycles at the listed clock frequencies.
+///  * The Figure 12 simulated machines Arch-I and Arch-II with deeper
+///    on-chip hierarchies (reconstructed from the text; the figure itself
+///    is an image, see DESIGN.md).
+///  * A Dunnington-like generator for the Figure 17 core-count scaling
+///    study (12 -> 18 -> 24 cores, six cores per step).
+///  * A generic symmetric-topology builder for custom machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_TOPO_PRESETS_H
+#define CTA_TOPO_PRESETS_H
+
+#include "topo/Topology.h"
+
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// One level of a symmetric machine: all instances at \p Level are
+/// identical and each serves \p CoresPerInstance cores.
+struct SymmetricLevelSpec {
+  unsigned Level = 1; // 1 = L1
+  unsigned CoresPerInstance = 1;
+  CacheParams Params;
+};
+
+/// Builds a symmetric topology: \p NumCores cores, one level per spec.
+/// Specs may be given in any order; each level's CoresPerInstance must
+/// divide NumCores and must divide the next-larger level's count.
+CacheTopology makeSymmetricTopology(std::string Name, unsigned NumCores,
+                                    std::vector<SymmetricLevelSpec> Specs,
+                                    unsigned MemoryLatencyCycles);
+
+/// Intel Harpertown per Table 1: 8 cores, 2 sockets; private 32KB L1
+/// (3 cycles); 6MB 24-way L2 shared by core pairs (15 cycles); ~100ns
+/// off-chip at 3.2GHz = 320 cycles.
+CacheTopology makeHarpertown();
+
+/// Intel Nehalem per Table 1: 8 cores, 2 sockets; private 32KB L1
+/// (4 cycles); private 256KB L2 (10 cycles); 8MB 16-way L3 per socket
+/// (35 cycles); ~60ns off-chip at 2.9GHz = 174 cycles.
+CacheTopology makeNehalem();
+
+/// Intel Dunnington per Table 1: 12 cores, 2 sockets; private 32KB L1
+/// (4 cycles); 3MB 12-way L2 per core pair (10 cycles); 12MB 16-way L3 per
+/// socket (36 cycles); ~50ns off-chip at 2.4GHz = 120 cycles.
+CacheTopology makeDunnington();
+
+/// Dunnington-structured machine with \p NumCores cores (must be a
+/// multiple of 6): per-pair L2s, per-six-core-socket L3s. Used for the
+/// Figure 17 scaling study.
+CacheTopology makeDunningtonScaled(unsigned NumCores);
+
+/// Figure 12(a) Arch-I (reconstructed): 16 cores; private L1; L2 per 2
+/// cores; L3 per 4 cores; L4 per 8-core socket.
+CacheTopology makeArchI();
+
+/// Figure 12(b) Arch-II (reconstructed): 32 cores; private L1; L2 per 2
+/// cores; L3 per 8 cores; L4 per 16-core socket.
+CacheTopology makeArchII();
+
+/// Name-based lookup over the five presets ("harpertown", "nehalem",
+/// "dunnington", "arch-i", "arch-ii"); aborts on unknown names.
+CacheTopology makePresetByName(const std::string &Name);
+
+} // namespace cta
+
+#endif // CTA_TOPO_PRESETS_H

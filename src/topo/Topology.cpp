@@ -1,0 +1,201 @@
+//===- topo/Topology.cpp - On-chip cache hierarchy trees ------------------===//
+
+#include "topo/Topology.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace cta;
+
+CacheTopology::CacheTopology(std::string Name, unsigned MemoryLatencyCycles)
+    : Name(std::move(Name)) {
+  Node Root;
+  Root.Level = MemoryLevel;
+  Root.Params.LatencyCycles = MemoryLatencyCycles;
+  Nodes.push_back(std::move(Root));
+}
+
+unsigned CacheTopology::addCache(unsigned Parent, unsigned Level,
+                                 CacheParams Params) {
+  assert(!Finalized && "cannot add caches after finalize");
+  assert(Parent < Nodes.size() && "bad parent node id");
+  assert(Level >= 1 && Level < MemoryLevel && "bad cache level");
+  assert(Nodes[Parent].Level > Level &&
+         "cache level must be below its parent's level");
+  Node N;
+  N.Parent = static_cast<int>(Parent);
+  N.Level = Level;
+  N.Params = Params;
+  unsigned Id = Nodes.size();
+  Nodes.push_back(std::move(N));
+  Nodes[Parent].Children.push_back(Id);
+  return Id;
+}
+
+void CacheTopology::finalize() {
+  assert(!Finalized && "finalize called twice");
+
+  // Leaves must all be L1 caches; give each one a core in creation order.
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id) {
+    Node &N = Nodes[Id];
+    if (!N.Children.empty())
+      continue;
+    if (N.Level != 1)
+      reportFatalError("cache topology has a non-L1 leaf cache");
+    N.Core = static_cast<int>(CoreToL1.size());
+    N.Cores.push_back(CoreToL1.size());
+    CoreToL1.push_back(Id);
+  }
+  if (CoreToL1.empty())
+    reportFatalError("cache topology has no cores");
+
+  // Propagate core lists bottom-up. Children always have larger ids than
+  // parents (enforced by addCache), so one reverse pass suffices.
+  for (unsigned Id = Nodes.size(); Id-- > 1;) {
+    Node &N = Nodes[Id];
+    Node &P = Nodes[static_cast<unsigned>(N.Parent)];
+    P.Cores.insert(P.Cores.end(), N.Cores.begin(), N.Cores.end());
+  }
+  for (Node &N : Nodes)
+    std::sort(N.Cores.begin(), N.Cores.end());
+
+  Finalized = true;
+}
+
+std::vector<unsigned> CacheTopology::cacheLevels() const {
+  std::vector<unsigned> Levels;
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    Levels.push_back(Nodes[Id].Level);
+  std::sort(Levels.begin(), Levels.end());
+  Levels.erase(std::unique(Levels.begin(), Levels.end()), Levels.end());
+  return Levels;
+}
+
+unsigned CacheTopology::deepestLevel() const {
+  unsigned Max = 0;
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    Max = std::max(Max, Nodes[Id].Level);
+  return Max;
+}
+
+std::vector<unsigned> CacheTopology::nodesAtLevel(unsigned Level) const {
+  std::vector<unsigned> Ids;
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    if (Nodes[Id].Level == Level)
+      Ids.push_back(Id);
+  return Ids;
+}
+
+unsigned CacheTopology::lowestCommonNode(unsigned CoreA,
+                                         unsigned CoreB) const {
+  assert(Finalized && "topology not finalized");
+  // Collect A's ancestor chain, then walk B's chain until a hit.
+  std::vector<bool> OnPathOfA(Nodes.size(), false);
+  for (int Id = static_cast<int>(l1Of(CoreA)); Id != -1;
+       Id = Nodes[static_cast<unsigned>(Id)].Parent)
+    OnPathOfA[static_cast<unsigned>(Id)] = true;
+  for (int Id = static_cast<int>(l1Of(CoreB)); Id != -1;
+       Id = Nodes[static_cast<unsigned>(Id)].Parent)
+    if (OnPathOfA[static_cast<unsigned>(Id)])
+      return static_cast<unsigned>(Id);
+  cta_unreachable("cores do not share the memory root");
+}
+
+unsigned CacheTopology::affinityLevel(unsigned CoreA, unsigned CoreB) const {
+  return Nodes[lowestCommonNode(CoreA, CoreB)].Level;
+}
+
+unsigned CacheTopology::firstSharedCacheLevel() const {
+  assert(Finalized && "topology not finalized");
+  unsigned Best = MemoryLevel;
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    if (Nodes[Id].Cores.size() > 1)
+      Best = std::min(Best, Nodes[Id].Level);
+  return Best;
+}
+
+std::uint64_t CacheTopology::totalCacheBytes() const {
+  std::uint64_t Total = 0;
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    Total += Nodes[Id].Params.SizeBytes;
+  return Total;
+}
+
+std::uint64_t CacheTopology::levelCapacity(unsigned Level) const {
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    if (Nodes[Id].Level == Level)
+      return Nodes[Id].Params.SizeBytes;
+  return 0;
+}
+
+CacheTopology CacheTopology::scaledCapacity(double Factor) const {
+  assert(Factor > 0 && "capacity scale factor must be positive");
+  CacheTopology Copy = *this;
+  for (unsigned Id = 1, E = Copy.Nodes.size(); Id != E; ++Id) {
+    CacheParams &P = Copy.Nodes[Id].Params;
+    std::uint64_t NewSize =
+        static_cast<std::uint64_t>(static_cast<double>(P.SizeBytes) * Factor);
+    // Round down to a whole number of lines, at least one.
+    NewSize = std::max<std::uint64_t>(NewSize / P.LineSize, 1) * P.LineSize;
+    P.SizeBytes = NewSize;
+    std::uint64_t Lines = NewSize / P.LineSize;
+    if (P.Assoc > Lines)
+      P.Assoc = static_cast<unsigned>(Lines);
+  }
+  return Copy;
+}
+
+CacheTopology CacheTopology::keepLevelsUpTo(unsigned MaxLevel) const {
+  assert(Finalized && "topology not finalized");
+  assert(MaxLevel >= 1 && "must keep at least L1");
+  CacheTopology Out(Name + "-L1..L" + std::to_string(MaxLevel),
+                    memoryLatency());
+
+  // Map old node ids to new ones; dropped nodes map to their (transitive)
+  // surviving ancestor, which for a dropped cache is the memory root.
+  std::vector<unsigned> NewId(Nodes.size(), 0);
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id) {
+    const Node &N = Nodes[Id];
+    if (N.Level > MaxLevel && N.Level != MemoryLevel) {
+      NewId[Id] = 0; // folded into the root
+      continue;
+    }
+    unsigned Parent = NewId[static_cast<unsigned>(N.Parent)];
+    NewId[Id] = Out.addCache(Parent, N.Level, N.Params);
+  }
+  Out.finalize();
+  return Out;
+}
+
+std::string CacheTopology::str() const {
+  std::string Out = Name + " (" + std::to_string(numCores()) + " cores)\n";
+  // Depth-first rendering.
+  struct Frame {
+    unsigned Id;
+    unsigned Depth;
+  };
+  std::vector<Frame> Stack{{0, 0}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[F.Id];
+    Out += std::string(F.Depth * 2, ' ');
+    if (N.Level == MemoryLevel) {
+      Out += "Memory (latency " + std::to_string(N.Params.LatencyCycles) +
+             " cycles)\n";
+    } else {
+      Out += "L" + std::to_string(N.Level) + " " +
+             formatByteSize(N.Params.SizeBytes) + " " +
+             std::to_string(N.Params.Assoc) + "-way, " +
+             std::to_string(N.Params.LatencyCycles) + " cycles";
+      if (N.Core >= 0)
+        Out += " [core " + std::to_string(N.Core) + "]";
+      Out += "\n";
+    }
+    for (unsigned C = N.Children.size(); C-- > 0;)
+      Stack.push_back({N.Children[C], F.Depth + 1});
+  }
+  return Out;
+}

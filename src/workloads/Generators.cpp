@@ -1,0 +1,216 @@
+//===- workloads/Generators.cpp - Kernel generator families ----------------===//
+
+#include "workloads/Generators.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+
+Program cta::makeStencil1D(std::string Name, std::int64_t N, unsigned Halo) {
+  if (N <= 2 * static_cast<std::int64_t>(Halo))
+    reportFatalError("stencil1d: N too small for the halo");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned A = P.addArray(ArrayDecl("A", {N}));
+  unsigned B = P.addArray(ArrayDecl("B", {N}));
+
+  LoopNest Nest(P.Name + ".stencil", 1);
+  Nest.addConstantDim(Halo, N - 1 - Halo);
+  for (int D = -static_cast<int>(Halo); D <= static_cast<int>(Halo); ++D)
+    Nest.addAccess(ArrayAccess(A, {Nest.iv(0) + D}));
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeStencil2D(std::string Name, std::int64_t N, unsigned Halo) {
+  if (N <= 2 * static_cast<std::int64_t>(Halo))
+    reportFatalError("stencil2d: N too small for the halo");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned A = P.addArray(ArrayDecl("A", {N, N}));
+  unsigned B = P.addArray(ArrayDecl("B", {N, N}));
+
+  LoopNest Nest(P.Name + ".stencil", 2);
+  Nest.addConstantDim(Halo, N - 1 - Halo);
+  Nest.addConstantDim(Halo, N - 1 - Halo);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0), Nest.iv(1)}));
+  for (int D = 1; D <= static_cast<int>(Halo); ++D) {
+    Nest.addAccess(ArrayAccess(A, {Nest.iv(0) - D, Nest.iv(1)}));
+    Nest.addAccess(ArrayAccess(A, {Nest.iv(0) + D, Nest.iv(1)}));
+    Nest.addAccess(ArrayAccess(A, {Nest.iv(0), Nest.iv(1) - D}));
+    Nest.addAccess(ArrayAccess(A, {Nest.iv(0), Nest.iv(1) + D}));
+  }
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0), Nest.iv(1)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeStrided1D(std::string Name, std::int64_t M, std::int64_t K,
+                           bool InPlace) {
+  if (M <= 4 * K || K <= 0)
+    reportFatalError("strided1d: M must exceed 4K");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned B = P.addArray(ArrayDecl("B", {M}));
+  unsigned Out = InPlace ? B : P.addArray(ArrayDecl("C", {M}));
+
+  // Figure 5: for (j = 2k; j < m - 2k + 1; ++j)
+  //             B[j] = B[j] + B[2k + j] + B[j - 2k]
+  // (The paper's bound lets B[2k + j] reach B[m]; we stop one short so
+  // every access stays in bounds.)
+  LoopNest Nest(P.Name + ".strided", 1);
+  Nest.addConstantDim(2 * K, M - 2 * K - 1);
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0) + 2 * K}));
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0) - 2 * K}));
+  Nest.addAccess(ArrayAccess(Out, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeSharedModel(std::string Name, std::int64_t Rows,
+                             std::int64_t Cols) {
+  Program P;
+  P.Name = std::move(Name);
+  unsigned Out = P.addArray(ArrayDecl("Out", {Rows, Cols}));
+  unsigned Model = P.addArray(ArrayDecl("Model", {Cols}));
+
+  LoopNest Nest(P.Name + ".apply", 2);
+  Nest.addConstantDim(0, Rows - 1);
+  Nest.addConstantDim(0, Cols - 1);
+  Nest.addAccess(ArrayAccess(Model, {Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(Out, {Nest.iv(0), Nest.iv(1)},
+                             /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeBanded(std::string Name, std::int64_t N, std::int64_t D) {
+  if (N <= 2 * D || D <= 0)
+    reportFatalError("banded: N must exceed 2D");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned X = P.addArray(ArrayDecl("x", {N}));
+  unsigned Y = P.addArray(ArrayDecl("y", {N}));
+
+  LoopNest Nest(P.Name + ".spmv", 1);
+  Nest.addConstantDim(D, N - 1 - D);
+  Nest.addAccess(ArrayAccess(X, {Nest.iv(0) - D}));
+  Nest.addAccess(ArrayAccess(X, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(X, {Nest.iv(0) + D}));
+  Nest.addAccess(ArrayAccess(Y, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makePairwise(std::string Name, std::int64_t Cells,
+                          std::int64_t Cutoff) {
+  if (Cells <= Cutoff || Cutoff <= 0)
+    reportFatalError("pairwise: need Cells > Cutoff > 0");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned Pos = P.addArray(ArrayDecl("P", {Cells}));
+  unsigned F = P.addArray(ArrayDecl("F", {Cells}));
+
+  // for (i = 0; i < Cells; ++i)
+  //   for (j = i; j <= min(i + Cutoff, Cells-1); ++j)  -- triangular band
+  LoopNest Nest(P.Name + ".pairs", 2);
+  Nest.addConstantDim(0, Cells - 1 - Cutoff);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.iv(0) + Cutoff));
+  Nest.addAccess(ArrayAccess(Pos, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(Pos, {Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(F, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeHashed(std::string Name, std::int64_t N, std::int64_t HSize,
+                        std::int64_t Stride) {
+  Program P;
+  P.Name = std::move(Name);
+  unsigned In = P.addArray(ArrayDecl("In", {N}));
+  unsigned Out = P.addArray(ArrayDecl("Out", {N}));
+  unsigned H = P.addArray(ArrayDecl("H", {HSize}));
+
+  LoopNest Nest(P.Name + ".scan", 1);
+  Nest.addConstantDim(0, N - 1);
+  Nest.addAccess(ArrayAccess(In, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(H, {Nest.iv(0) * Stride},
+                             /*IsWrite=*/false, /*WrapSubscripts=*/true));
+  Nest.addAccess(ArrayAccess(Out, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeTwoPassSweep(std::string Name, std::int64_t N) {
+  if (N < 4)
+    reportFatalError("twopass: N too small");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned A = P.addArray(ArrayDecl("A", {N, N}));
+  unsigned B = P.addArray(ArrayDecl("B", {N, N}));
+
+  LoopNest Rows(P.Name + ".rows", 2);
+  Rows.addConstantDim(0, N - 1);
+  Rows.addConstantDim(1, N - 2);
+  Rows.addAccess(ArrayAccess(A, {Rows.iv(0), Rows.iv(1) - 1}));
+  Rows.addAccess(ArrayAccess(A, {Rows.iv(0), Rows.iv(1)}));
+  Rows.addAccess(ArrayAccess(A, {Rows.iv(0), Rows.iv(1) + 1}));
+  Rows.addAccess(ArrayAccess(B, {Rows.iv(0), Rows.iv(1)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Rows));
+
+  LoopNest Cols(P.Name + ".cols", 2);
+  Cols.addConstantDim(1, N - 2);
+  Cols.addConstantDim(0, N - 1);
+  Cols.addAccess(ArrayAccess(B, {Cols.iv(0) - 1, Cols.iv(1)}));
+  Cols.addAccess(ArrayAccess(B, {Cols.iv(0), Cols.iv(1)}));
+  Cols.addAccess(ArrayAccess(B, {Cols.iv(0) + 1, Cols.iv(1)}));
+  Cols.addAccess(ArrayAccess(A, {Cols.iv(0), Cols.iv(1)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Cols));
+  return P;
+}
+
+Program cta::makeWavefront(std::string Name, std::int64_t N) {
+  Program P;
+  P.Name = std::move(Name);
+  unsigned A = P.addArray(ArrayDecl("A", {N, N}));
+  unsigned B = P.addArray(ArrayDecl("B", {N, N}));
+
+  // Line recurrence carried by the inner loop (distance (0,1)); rows stay
+  // independent, mirroring how the paper's parallelizer picks the
+  // outermost dependence-free loop (Section 4.1). The dependence still
+  // exercises the Section 3.5.2 machinery whenever a row is split across
+  // cores.
+  LoopNest Nest(P.Name + ".sweep", 2);
+  Nest.addConstantDim(0, N - 1);
+  Nest.addConstantDim(1, N - 1);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0), Nest.iv(1) - 1}));
+  Nest.addAccess(ArrayAccess(B, {Nest.iv(0), Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0), Nest.iv(1)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+Program cta::makeTextured(std::string Name, std::int64_t N) {
+  if (N % 2 != 0)
+    reportFatalError("textured: N must be even");
+  Program P;
+  P.Name = std::move(Name);
+  unsigned Img = P.addArray(ArrayDecl("Img", {N, N}));
+  unsigned T = P.addArray(ArrayDecl("T", {N / 2, N / 2}));
+
+  // Iterate output in 2x2 tiles: (iT, jT, di, dj); all four pixels of a
+  // tile read the same texel T[iT][jT].
+  LoopNest Nest(P.Name + ".raster", 4);
+  Nest.addConstantDim(0, N / 2 - 1);
+  Nest.addConstantDim(0, N / 2 - 1);
+  Nest.addConstantDim(0, 1);
+  Nest.addConstantDim(0, 1);
+  Nest.addAccess(ArrayAccess(T, {Nest.iv(0), Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(
+      Img, {Nest.iv(0) * 2 + Nest.iv(2), Nest.iv(1) * 2 + Nest.iv(3)},
+      /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}

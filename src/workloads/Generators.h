@@ -1,0 +1,84 @@
+//===- workloads/Generators.h - Kernel generator families ------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parametric loop-nest families with distinct inter-iteration sharing
+/// structures. The named application workloads (Suite.h) instantiate these
+/// with per-application parameters; tests and extra examples use them
+/// directly.
+///
+/// All generators produce fully in-bounds accesses and, unless stated,
+/// fully parallel (dependence-free) nests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_WORKLOADS_GENERATORS_H
+#define CTA_WORKLOADS_GENERATORS_H
+
+#include "poly/Program.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cta {
+
+/// 1D halo stencil: B[i] = A[i-H] + ... + A[i+H] over i in [H, N-H).
+/// Neighbouring iterations share A blocks.
+Program makeStencil1D(std::string Name, std::int64_t N, unsigned Halo);
+
+/// 2D 4H-point stencil: B[i][j] = sum of A[i+-d][j+-d], d <= H. Adjacent
+/// rows and columns share blocks; the classic structured-grid pattern.
+Program makeStencil2D(std::string Name, std::int64_t N, unsigned Halo);
+
+/// Figure 5's kernel: B[j] = B[j] + B[j+2k] + B[j-2k] for j in
+/// [2k, m-2k). Iterations 2k apart share blocks, giving the paper's
+/// example its striped affinity structure. With \p InPlace the write goes
+/// to B itself, creating the loop-carried dependences of Section 3.5.2;
+/// otherwise the result lands in a separate array and the loop is fully
+/// parallel (the common case for such kernels after expansion).
+Program makeStrided1D(std::string Name, std::int64_t M, std::int64_t K,
+                      bool InPlace = true);
+
+/// Private output + globally shared read-only model: Out[i][j] =
+/// f(Model[j]). Every iteration row shares the model vector; the
+/// replication-pressure pattern of Figure 3(b).
+Program makeSharedModel(std::string Name, std::int64_t Rows,
+                        std::int64_t Cols);
+
+/// Banded mat-vec: y[i] += x[i-D] + x[i] + x[i+D] for a band offset D.
+/// Long-range sharing between iterations D apart.
+Program makeBanded(std::string Name, std::int64_t N, std::int64_t D);
+
+/// Pairwise interactions with a cutoff: for cells i in [0,C), j in
+/// [i, min(i+Cut, C-1)]: F[i] += P[i] * P[j]. Triangular nest; rich,
+/// non-uniform sharing (each iteration touches two positions).
+Program makePairwise(std::string Name, std::int64_t Cells,
+                     std::int64_t Cutoff);
+
+/// Streaming with a hashed side table: Out[i] = In[i] + H[(i*Stride) mod
+/// HSize]. The wrapped access emulates hash-bucket irregularity.
+Program makeHashed(std::string Name, std::int64_t N, std::int64_t HSize,
+                   std::int64_t Stride);
+
+/// Two-pass ADI-style sweep as a two-nest program: pass 1 smooths rows
+/// (B from A), pass 2 smooths columns (A from B). Exercises multi-nest
+/// programs: the second nest starts with caches warmed by the first.
+Program makeTwoPassSweep(std::string Name, std::int64_t N);
+
+/// Wavefront-style recurrence: A[i][j] = A[i-1][j] + B[i][j] (flow
+/// dependence with distance (1,0)): the dependent-loop case of
+/// Section 3.5.2.
+Program makeWavefront(std::string Name, std::int64_t N);
+
+/// Downsampled shared texture: Img[i][j] = T[i/2][j/2] emulated affinely
+/// by tiling: Img[i][j] reads T[iT][jT] where the nest iterates (iT, jT,
+/// di, dj) over 2x2 output tiles. 2x2 output pixels share texture
+/// elements.
+Program makeTextured(std::string Name, std::int64_t N);
+
+} // namespace cta
+
+#endif // CTA_WORKLOADS_GENERATORS_H

@@ -1,0 +1,157 @@
+//===- workloads/Suite.cpp - The twelve-application suite ------------------===//
+
+#include "workloads/Suite.h"
+
+#include "support/ErrorHandling.h"
+#include "workloads/Generators.h"
+
+#include <cmath>
+
+using namespace cta;
+
+const std::vector<WorkloadMeta> &cta::workloadSuite() {
+  static const std::vector<WorkloadMeta> Suite = {
+      {"applu", "SpecOMP", false, true},
+      {"galgel", "SpecOMP", false, false},
+      {"equake", "SpecOMP", false, false},
+      {"cg", "NAS", false, false},
+      {"sp", "NAS", false, false},
+      {"bodytrack", "Parsec", false, false},
+      {"facesim", "Parsec", false, false},
+      {"freqmine", "Parsec", false, false},
+      {"namd", "Spec2006", true, false},
+      {"povray", "Spec2006", true, false},
+      {"mesa", "local", true, false},
+      {"h264", "local", true, false},
+  };
+  return Suite;
+}
+
+std::vector<std::string> cta::workloadNames() {
+  std::vector<std::string> Names;
+  for (const WorkloadMeta &M : workloadSuite())
+    Names.push_back(M.Name);
+  return Names;
+}
+
+namespace {
+
+/// Even-rounded scaled 2D grid side.
+std::int64_t side2D(std::int64_t Base, double Scale) {
+  auto S = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(Base) * std::sqrt(Scale)));
+  if (S < 8)
+    S = 8;
+  return S % 2 == 0 ? S : S + 1;
+}
+
+std::int64_t len1D(std::int64_t Base, double Scale) {
+  auto S = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(Base) * Scale));
+  return S < 64 ? 64 : S;
+}
+
+/// povray: private image rows plus pseudo-randomly scattered scene reads.
+/// Rows land far apart in the scene (large row stride), and the scene is
+/// small enough to be reused several times, so a row-contiguous schedule
+/// thrashes while block-aware placement keeps each core on a scene slice.
+Program makePovray(double Scale) {
+  std::int64_t N = side2D(288, Scale);
+  std::int64_t SceneSize = len1D(16384, Scale);
+  Program P;
+  P.Name = "povray";
+  unsigned Img = P.addArray(ArrayDecl("Img", {N, N}));
+  unsigned Scene = P.addArray(ArrayDecl("Scene", {SceneSize}));
+
+  LoopNest Nest("povray.render", 2);
+  Nest.addConstantDim(0, N - 1);
+  Nest.addConstantDim(0, N - 1);
+  Nest.addAccess(ArrayAccess(Scene, {Nest.iv(0) * 9973 + Nest.iv(1) * 7},
+                             /*IsWrite=*/false, /*WrapSubscripts=*/true));
+  Nest.addAccess(ArrayAccess(Img, {Nest.iv(0), Nest.iv(1)},
+                             /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+/// h264: per-macroblock motion search reading the current and reference
+/// frames locally plus a rate-distortion context table indexed by a hash
+/// of the block position - the irregular lookup that dominates sharing
+/// behaviour.
+Program makeH264(double Scale) {
+  std::int64_t N = side2D(288, Scale);
+  std::int64_t CtxSize = len1D(16384, Scale);
+  Program P;
+  P.Name = "h264";
+  unsigned Cur = P.addArray(ArrayDecl("Cur", {N, N}));
+  unsigned Ctx = P.addArray(ArrayDecl("Ctx", {CtxSize}));
+  unsigned MV = P.addArray(ArrayDecl("MV", {N, N}));
+
+  LoopNest Nest("h264.mesearch", 2);
+  Nest.addConstantDim(1, N - 2);
+  Nest.addConstantDim(1, N - 2);
+  Nest.addAccess(ArrayAccess(Cur, {Nest.iv(0), Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(Ctx, {Nest.iv(0) * 4099 + Nest.iv(1) * 11},
+                             /*IsWrite=*/false, /*WrapSubscripts=*/true));
+  Nest.addAccess(ArrayAccess(MV, {Nest.iv(0), Nest.iv(1)},
+                             /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+/// namd: cell-pair interactions over 512-byte cell records.
+Program makeNamd(double Scale) {
+  std::int64_t Cells = len1D(4096, Scale);
+  std::int64_t Cutoff = 15;
+  Program P;
+  P.Name = "namd";
+  unsigned Pos = P.addArray(ArrayDecl("P", {Cells}, /*ElementSize=*/512));
+  unsigned F = P.addArray(ArrayDecl("F", {Cells}, /*ElementSize=*/512));
+
+  LoopNest Nest("namd.pairs", 2);
+  Nest.addConstantDim(0, Cells - 1 - Cutoff);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.iv(0) + Cutoff));
+  Nest.addAccess(ArrayAccess(Pos, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(Pos, {Nest.iv(1)}));
+  Nest.addAccess(ArrayAccess(F, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+} // namespace
+
+Program cta::makeWorkload(const std::string &Name, double Scale) {
+  // Sizes put the data sets comfortably above the (scaled-down) machines'
+  // cumulative on-chip capacity, matching the paper's dataset-to-cache
+  // regime; see DESIGN.md.
+  if (Name == "applu")
+    return makeWavefront("applu", side2D(288, Scale));
+  if (Name == "galgel")
+    return makeStencil2D("galgel", side2D(320, Scale), /*Halo=*/1);
+  if (Name == "equake") {
+    std::int64_t M = len1D(131072, Scale);
+    return makeStrided1D("equake", M, /*K=*/M / 8, /*InPlace=*/false);
+  }
+  if (Name == "cg") {
+    std::int64_t N = len1D(131072, Scale);
+    return makeBanded("cg", N, /*D=*/N / 16);
+  }
+  if (Name == "sp")
+    return makeStencil1D("sp", len1D(131072, Scale), /*Halo=*/2);
+  if (Name == "bodytrack")
+    return makeSharedModel("bodytrack", /*Rows=*/16, len1D(8192, Scale));
+  if (Name == "facesim")
+    return makeStencil2D("facesim", side2D(288, Scale), /*Halo=*/2);
+  if (Name == "freqmine")
+    return makeHashed("freqmine", len1D(98304, Scale),
+                      len1D(16384, Scale), /*Stride=*/17);
+  if (Name == "namd")
+    return makeNamd(Scale);
+  if (Name == "povray")
+    return makePovray(Scale);
+  if (Name == "mesa")
+    return makeTextured("mesa", side2D(320, Scale));
+  if (Name == "h264")
+    return makeH264(Scale);
+  reportFatalError("unknown workload name");
+}

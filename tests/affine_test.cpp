@@ -1,0 +1,102 @@
+//===- tests/affine_test.cpp - AffineExpr unit tests ----------------------===//
+
+#include "poly/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(AffineExpr, ConstantAndVar) {
+  AffineExpr C = AffineExpr::constant(2, 5);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constantTerm(), 5);
+  EXPECT_EQ(C.numVars(), 2u);
+
+  AffineExpr V = AffineExpr::var(3, 1);
+  EXPECT_FALSE(V.isConstant());
+  EXPECT_EQ(V.coeff(0), 0);
+  EXPECT_EQ(V.coeff(1), 1);
+  EXPECT_EQ(V.coeff(2), 0);
+}
+
+TEST(AffineExpr, Evaluate) {
+  // 2*i0 - 3*i1 + 7
+  AffineExpr E = AffineExpr::var(2, 0) * 2 - AffineExpr::var(2, 1) * 3 + 7;
+  std::int64_t P1[] = {0, 0};
+  std::int64_t P2[] = {5, 2};
+  std::int64_t P3[] = {-1, -1};
+  EXPECT_EQ(E.evaluate(P1), 7);
+  EXPECT_EQ(E.evaluate(P2), 11);
+  EXPECT_EQ(E.evaluate(P3), 8);
+}
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr A = AffineExpr::var(2, 0) + 1;
+  AffineExpr B = AffineExpr::var(2, 1) - 2;
+  AffineExpr Sum = A + B;
+  EXPECT_EQ(Sum.coeff(0), 1);
+  EXPECT_EQ(Sum.coeff(1), 1);
+  EXPECT_EQ(Sum.constantTerm(), -1);
+
+  AffineExpr Diff = A - B;
+  EXPECT_EQ(Diff.coeff(1), -1);
+  EXPECT_EQ(Diff.constantTerm(), 3);
+
+  AffineExpr Scaled = A * -4;
+  EXPECT_EQ(Scaled.coeff(0), -4);
+  EXPECT_EQ(Scaled.constantTerm(), -4);
+}
+
+TEST(AffineExpr, EqualityAndLinearPart) {
+  AffineExpr A = AffineExpr::var(2, 0) + 3;
+  AffineExpr B = AffineExpr::var(2, 0) + 5;
+  AffineExpr C = AffineExpr::var(2, 1) + 3;
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(A.sameLinearPart(B));
+  EXPECT_FALSE(A.sameLinearPart(C));
+  EXPECT_EQ(A, AffineExpr::var(2, 0) + 3);
+}
+
+TEST(AffineExpr, UsesOnlyOuterVars) {
+  AffineExpr E = AffineExpr::var(3, 1) * 2 + 1;
+  EXPECT_FALSE(E.usesOnlyOuterVars(0));
+  EXPECT_FALSE(E.usesOnlyOuterVars(1));
+  EXPECT_TRUE(E.usesOnlyOuterVars(2));
+  EXPECT_TRUE(AffineExpr::constant(3, 9).usesOnlyOuterVars(0));
+}
+
+TEST(AffineExpr, Rendering) {
+  EXPECT_EQ(AffineExpr::constant(1, 0).str(), "0");
+  EXPECT_EQ(AffineExpr::constant(2, -4).str(), "-4");
+  EXPECT_EQ(AffineExpr::var(2, 0).str(), "i0");
+  EXPECT_EQ((AffineExpr::var(2, 0) * -1).str(), "-i0");
+  EXPECT_EQ((AffineExpr::var(2, 0) * 2 + AffineExpr::var(2, 1) * -3 + 1)
+                .str(),
+            "2*i0 - 3*i1 + 1");
+  std::vector<std::string> Names = {"i", "j"};
+  EXPECT_EQ((AffineExpr::var(2, 1) + 2).str(&Names), "j + 2");
+}
+
+// Property sweep: evaluate(a+b) == evaluate(a) + evaluate(b) over a grid.
+class AffineAddProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineAddProperty, EvaluationIsLinear) {
+  int Seed = GetParam();
+  AffineExpr A(2), B(2);
+  A.setCoeff(0, Seed);
+  A.setCoeff(1, -Seed + 2);
+  A.setConstantTerm(3 * Seed);
+  B.setCoeff(0, 7 - Seed);
+  B.setCoeff(1, Seed * Seed % 5);
+  B.setConstantTerm(-Seed);
+  AffineExpr Sum = A + B;
+  for (std::int64_t X = -3; X <= 3; ++X)
+    for (std::int64_t Y = -3; Y <= 3; ++Y) {
+      std::int64_t P[] = {X, Y};
+      EXPECT_EQ(Sum.evaluate(P), A.evaluate(P) + B.evaluate(P));
+      EXPECT_EQ((A * 5).evaluate(P), 5 * A.evaluate(P));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineAddProperty,
+                         ::testing::Range(-4, 5));

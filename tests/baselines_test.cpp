@@ -1,0 +1,105 @@
+//===- tests/baselines_test.cpp - Base / Base+ / Local tests --------------===//
+
+#include "core/Baselines.h"
+#include "core/DataBlockModel.h"
+#include "core/Tagger.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(BaseOwner, ContiguousChunksCoverEverything) {
+  const std::uint32_t N = 103;
+  const unsigned Cores = 8;
+  unsigned Prev = 0;
+  std::vector<std::uint32_t> Count(Cores, 0);
+  for (std::uint32_t I = 0; I != N; ++I) {
+    unsigned O = baseOwner(I, N, Cores);
+    ASSERT_LT(O, Cores);
+    EXPECT_GE(O, Prev) << "ownership must be monotone";
+    Prev = O;
+    ++Count[O];
+  }
+  // Counts differ by at most one (static schedule).
+  std::uint32_t Min = *std::min_element(Count.begin(), Count.end());
+  std::uint32_t Max = *std::max_element(Count.begin(), Count.end());
+  EXPECT_LE(Max - Min, 1u);
+}
+
+TEST(MapBase, PartitionInOriginalOrder) {
+  Program P = makeStencil2D("s", 24, 1);
+  IterationTable T = P.Nests[0].enumerate();
+  Mapping Map = mapBase(T, 6);
+  EXPECT_TRUE(Map.coversExactly(T.size()));
+  EXPECT_EQ(Map.NumCores, 6u);
+  EXPECT_LT(Map.imbalance(), 0.02);
+  for (const auto &Iters : Map.CoreIterations)
+    EXPECT_TRUE(std::is_sorted(Iters.begin(), Iters.end()));
+}
+
+TEST(PickTileSizes, ShrinksWithL1) {
+  Program P = makeStencil2D("s", 64, 1);
+  auto Big = pickTileSizes(P.Nests[0], P.Arrays, 64 * 1024);
+  auto Small = pickTileSizes(P.Nests[0], P.Arrays, 512);
+  ASSERT_EQ(Big.size(), 2u);
+  ASSERT_EQ(Small.size(), 2u);
+  EXPECT_GE(Big[0], Small[0]);
+  EXPECT_GE(Small[0], 1u);
+}
+
+TEST(MapBasePlus, SameAssignmentAsBase) {
+  // Section 4.1: the set of iterations per core is identical in Base and
+  // Base+; only the order differs.
+  Program P = makeStencil2D("s", 32, 1);
+  IterationTable T = P.Nests[0].enumerate();
+  Mapping Base = mapBase(T, 4);
+  Mapping Plus = mapBasePlus(P.Nests[0], P.Arrays, T, 4, 1024);
+  ASSERT_TRUE(Plus.coversExactly(T.size()));
+  for (unsigned C = 0; C != 4; ++C) {
+    auto A = Base.CoreIterations[C];
+    auto B = Plus.CoreIterations[C];
+    std::sort(B.begin(), B.end());
+    EXPECT_EQ(A, B) << "Base+ moved iterations across cores";
+  }
+}
+
+TEST(MapBasePlus, TilingReordersWithinChunks) {
+  Program P = makeStencil2D("s", 32, 1);
+  IterationTable T = P.Nests[0].enumerate();
+  Mapping Plus = mapBasePlus(P.Nests[0], P.Arrays, T, 2, 512,
+                             /*TileOverride=*/{4, 4});
+  Mapping Base = mapBase(T, 2);
+  EXPECT_NE(Plus.CoreIterations[0], Base.CoreIterations[0]);
+  // Within a tile the order stays lexicographic: the first tile's
+  // iterations come first.
+  const std::int32_t *First = T.raw(Plus.CoreIterations[0][0]);
+  EXPECT_LT(First[0], 4 + 1);
+  EXPECT_LT(First[1], 4 + 1);
+}
+
+TEST(MapLocal, KeepsBaseDistribution) {
+  Program P = makeStencil1D("s", 500, 1);
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  CacheTopology Topo = makeHarpertown().scaledCapacity(1.0 / 32);
+  Mapping Map = mapLocal(R.Iterations, R.Groups,
+                         makeNoDependences(R.Groups.size()), Topo, 0.5, 0.5);
+  ASSERT_TRUE(Map.coversExactly(R.Iterations.size()));
+  // Every iteration stays on its Base chunk owner.
+  for (unsigned C = 0; C != Map.NumCores; ++C)
+    for (std::uint32_t It : Map.CoreIterations[C])
+      EXPECT_EQ(baseOwner(It, R.Iterations.size(), Map.NumCores), C);
+}
+
+TEST(MapLocal, ValidatesAndBalances) {
+  Program P = makeStencil2D("s", 48, 1);
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  Mapping Map = mapLocal(R.Iterations, R.Groups,
+                         makeNoDependences(R.Groups.size()), Topo, 0.5, 0.5);
+  EXPECT_TRUE(Map.validate());
+  EXPECT_LT(Map.imbalance(), 0.02); // Base distribution is near-perfect
+}

@@ -1,0 +1,96 @@
+//===- tests/cache_test.cpp - Set-associative cache tests -----------------===//
+
+#include "sim/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C({1024, 2, 64, 1}); // 8 sets, 2-way
+  EXPECT_FALSE(C.access(5));
+  C.fill(5);
+  EXPECT_TRUE(C.access(5));
+  EXPECT_TRUE(C.contains(5));
+  EXPECT_FALSE(C.contains(6));
+}
+
+TEST(Cache, LineAddressing) {
+  Cache C({1024, 2, 64, 1});
+  EXPECT_EQ(C.lineAddrOf(0), 0u);
+  EXPECT_EQ(C.lineAddrOf(63), 0u);
+  EXPECT_EQ(C.lineAddrOf(64), 1u);
+  EXPECT_EQ(C.lineAddrOf(6400), 100u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache C({256, 2, 64, 1}); // 2 sets, 2-way: lines mapping to set 0: 0,2,4...
+  C.fill(0);
+  C.fill(2);
+  // Touch 0 so 2 becomes LRU.
+  EXPECT_TRUE(C.access(0));
+  C.fill(4); // evicts 2
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(2));
+  EXPECT_TRUE(C.contains(4));
+}
+
+TEST(Cache, FillRefreshesResidentLine) {
+  Cache C({256, 2, 64, 1});
+  C.fill(0);
+  C.fill(2);
+  C.fill(0); // refresh, not duplicate
+  EXPECT_EQ(C.residentLines(), 2u);
+  C.fill(4); // should evict 2 (0 fresher)
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(2));
+}
+
+TEST(Cache, SetsIsolateConflicts) {
+  Cache C({256, 2, 64, 1}); // 2 sets
+  // Lines 1,3,5 map to set 1; lines 0,2 to set 0.
+  C.fill(1);
+  C.fill(3);
+  C.fill(5); // evicts in set 1 only
+  EXPECT_FALSE(C.contains(1));
+  C.fill(0);
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_TRUE(C.contains(3));
+}
+
+TEST(Cache, FlushEmptiesEverything) {
+  Cache C({1024, 4, 64, 1});
+  for (std::uint64_t L = 0; L != 10; ++L)
+    C.fill(L);
+  EXPECT_GT(C.residentLines(), 0u);
+  C.flush();
+  EXPECT_EQ(C.residentLines(), 0u);
+  EXPECT_FALSE(C.contains(3));
+}
+
+TEST(Cache, CapacityBound) {
+  Cache C({1024, 4, 64, 1}); // 16 lines total
+  for (std::uint64_t L = 0; L != 100; ++L)
+    C.fill(L);
+  EXPECT_LE(C.residentLines(), 16u);
+}
+
+// Property: a fully-associative-like config retains the most recent
+// Assoc distinct lines of a single set.
+class LruProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LruProperty, KeepsMostRecent) {
+  unsigned Assoc = GetParam();
+  Cache C({64ull * Assoc, Assoc, 64, 1}); // one set, Assoc ways
+  ASSERT_EQ(C.numSets(), 1u);
+  for (std::uint64_t L = 0; L != 3 * Assoc; ++L)
+    C.fill(L);
+  // The last Assoc lines are resident, earlier ones are not.
+  for (std::uint64_t L = 2 * Assoc; L != 3 * Assoc; ++L)
+    EXPECT_TRUE(C.contains(L));
+  for (std::uint64_t L = 0; L != Assoc; ++L)
+    EXPECT_FALSE(C.contains(L));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, LruProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 24));

@@ -1,0 +1,184 @@
+//===- tests/clusterer_test.cpp - Figure 6 clusterer tests ----------------===//
+
+#include "core/HierarchicalClusterer.h"
+#include "core/Tagger.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+std::vector<IterationGroup> makeGroups(const Program &P,
+                                       std::uint64_t BlockSize,
+                                       unsigned Coarsen = 256) {
+  DataBlockModel Blocks(P.Arrays, BlockSize);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  coarsenGroups(R.Groups, Coarsen);
+  return R.Groups;
+}
+
+std::vector<std::uint64_t> coreSizes(const ClusteringResult &R) {
+  std::vector<std::uint64_t> Sizes(R.CoreGroups.size(), 0);
+  for (std::size_t C = 0; C != R.CoreGroups.size(); ++C)
+    for (std::uint32_t G : R.CoreGroups[C])
+      Sizes[C] += R.Groups[G].size();
+  return Sizes;
+}
+
+} // namespace
+
+TEST(Clusterer, AssignsEveryGroupExactlyOnce) {
+  Program P = makeStencil2D("s", 64, 1);
+  std::vector<IterationGroup> Groups = makeGroups(P, 256);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+
+  std::vector<unsigned> Owner(R.Groups.size(), UINT_MAX);
+  for (std::size_t C = 0; C != R.CoreGroups.size(); ++C)
+    for (std::uint32_t G : R.CoreGroups[C]) {
+      EXPECT_EQ(Owner[G], UINT_MAX) << "group on two cores";
+      Owner[G] = C;
+    }
+  for (unsigned O : Owner)
+    EXPECT_NE(O, UINT_MAX) << "group unassigned";
+}
+
+TEST(Clusterer, PreservesIterationTotal) {
+  Program P = makeBanded("b", 20000, 2048);
+  std::vector<IterationGroup> Groups = makeGroups(P, 256);
+  std::uint64_t Before = 0;
+  for (const IterationGroup &G : Groups)
+    Before += G.size();
+
+  CacheTopology Topo = makeHarpertown().scaledCapacity(1.0 / 32);
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+  std::uint64_t After = 0;
+  for (std::uint64_t S : coreSizes(R))
+    After += S;
+  EXPECT_EQ(Before, After);
+}
+
+TEST(Clusterer, RespectsBalanceThreshold) {
+  Program P = makeStencil2D("s", 96, 1);
+  std::vector<IterationGroup> Groups = makeGroups(P, 256);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+
+  std::vector<std::uint64_t> Sizes = coreSizes(R);
+  std::uint64_t Total = 0;
+  for (std::uint64_t S : Sizes)
+    Total += S;
+  double Ideal = static_cast<double>(Total) / Sizes.size();
+  for (std::uint64_t S : Sizes) {
+    EXPECT_LE(S, Ideal * 1.11 + 1.0) << "core over the balance threshold";
+    EXPECT_GE(S + 1.0, Ideal * 0.89) << "core starved";
+  }
+}
+
+TEST(Clusterer, SplitsAreRecordedAndConsistent) {
+  Program P = makeStencil1D("s", 5000, 1);
+  std::vector<IterationGroup> Groups = makeGroups(P, 2048, /*Coarsen=*/8);
+  std::size_t Original = Groups.size();
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+
+  // 8 coarse groups over 12 cores force splits.
+  EXPECT_GT(R.Groups.size(), Original);
+  EXPECT_EQ(R.Groups.size(), Original + R.Splits.size());
+  for (auto [Parent, Child] : R.Splits) {
+    EXPECT_LT(Parent, Child);
+    EXPECT_LT(Child, R.Groups.size());
+    EXPECT_EQ(R.Groups[Parent].Tag, R.Groups[Child].Tag);
+    // Head precedes tail in iteration order.
+    EXPECT_LT(R.Groups[Parent].Iterations.front(),
+              R.Groups[Child].Iterations.front());
+  }
+}
+
+TEST(Clusterer, FewerIterationsThanCoresLeavesIdleCores) {
+  std::vector<IterationGroup> Groups;
+  Groups.emplace_back(BlockSet::fromUnsorted({0}),
+                      std::vector<std::uint32_t>{0});
+  Groups.emplace_back(BlockSet::fromUnsorted({1}),
+                      std::vector<std::uint32_t>{1});
+  CacheTopology Topo = makeDunnington();
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+  unsigned Busy = 0;
+  for (const auto &CG : R.CoreGroups)
+    if (!CG.empty())
+      ++Busy;
+  EXPECT_GE(Busy, 1u);
+  EXPECT_LE(Busy, 2u);
+}
+
+TEST(Clusterer, SharingGroupsLandTogether) {
+  // Two families of groups: family A shares block 100, family B shares
+  // block 200, no cross sharing. On a 2-socket machine the families
+  // should separate by socket (or at least not interleave pairwise).
+  std::vector<IterationGroup> Groups;
+  std::uint32_t Iter = 0;
+  for (int I = 0; I < 8; ++I) {
+    std::vector<std::uint32_t> Members;
+    for (int K = 0; K < 10; ++K)
+      Members.push_back(Iter++);
+    BlockSet Tag = BlockSet::fromUnsorted(
+        {static_cast<std::uint32_t>(I < 4 ? 100 : 200),
+         static_cast<std::uint32_t>(I)});
+    Groups.emplace_back(Tag, Members);
+  }
+  // Two cores sharing nothing but memory.
+  CacheTopology Topo = makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+  ClusteringResult R = clusterForTopology(std::move(Groups), Topo, 0.10);
+
+  // Each core should hold one family.
+  for (const auto &CG : R.CoreGroups) {
+    ASSERT_FALSE(CG.empty());
+    bool HasA = false, HasB = false;
+    for (std::uint32_t G : CG) {
+      if (R.Groups[G].Tag.contains(100))
+        HasA = true;
+      if (R.Groups[G].Tag.contains(200))
+        HasB = true;
+    }
+    EXPECT_NE(HasA, HasB) << "families mixed on one core";
+  }
+}
+
+// Balance property across machines and workload shapes.
+struct ClusterCase {
+  const char *Preset;
+  double Threshold;
+};
+
+class ClustererSweep : public ::testing::TestWithParam<ClusterCase> {};
+
+TEST_P(ClustererSweep, BalancedOnEveryMachine) {
+  auto [Preset, Threshold] = GetParam();
+  Program P = makeStencil2D("s", 80, 1);
+  std::vector<IterationGroup> Groups = makeGroups(P, 256);
+  CacheTopology Topo = makePresetByName(Preset).scaledCapacity(1.0 / 32);
+  ClusteringResult R =
+      clusterForTopology(std::move(Groups), Topo, Threshold);
+
+  std::vector<std::uint64_t> Sizes = coreSizes(R);
+  std::uint64_t Total = 0, Max = 0;
+  for (std::uint64_t S : Sizes) {
+    Total += S;
+    Max = std::max(Max, S);
+  }
+  double Ideal = static_cast<double>(Total) / Sizes.size();
+  EXPECT_LE(static_cast<double>(Max), Ideal * (1.0 + Threshold) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, ClustererSweep,
+    ::testing::Values(ClusterCase{"harpertown", 0.10},
+                      ClusterCase{"nehalem", 0.10},
+                      ClusterCase{"dunnington", 0.10},
+                      ClusterCase{"arch-i", 0.10},
+                      ClusterCase{"arch-ii", 0.15},
+                      ClusterCase{"dunnington", 0.05}));

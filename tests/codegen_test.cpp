@@ -1,0 +1,98 @@
+//===- tests/codegen_test.cpp - Code generation tests ---------------------===//
+
+#include "poly/CodeGen.h"
+#include "poly/IntegerSet.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+Program makeSmallStencil() { return makeStencil1D("s", 20, 1); }
+
+} // namespace
+
+TEST(CodeGen, FullNestRendersLoopsAndBody) {
+  Program P = makeSmallStencil();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  std::string Out = CG.emitFullNest();
+  EXPECT_NE(Out.find("for (i0 = 1; i0 <= 18; ++i0)"), std::string::npos);
+  EXPECT_NE(Out.find("B[i0] = "), std::string::npos);
+  EXPECT_NE(Out.find("A[i0 - 1]"), std::string::npos);
+  EXPECT_NE(Out.find("A[i0 + 1]"), std::string::npos);
+}
+
+TEST(CodeGen, NamedVariables) {
+  Program P = makeStencil2D("s", 8, 1);
+  CodeGenOptions Opts;
+  Opts.VarNames = {"i", "j"};
+  CodeGen CG(P.Nests[0], P.Arrays, Opts);
+  std::string Out = CG.emitFullNest();
+  EXPECT_NE(Out.find("for (i ="), std::string::npos);
+  EXPECT_NE(Out.find("A[i][j]"), std::string::npos);
+}
+
+TEST(CodeGen, RunLoopsCompressConsecutiveIterations) {
+  Program P = makeSmallStencil();
+  IterationTable T = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  // Iterations 0..5 are consecutive in the (single) innermost dim.
+  std::string Out = CG.emitRunLoops(T, {0, 1, 2, 3, 4, 5});
+  EXPECT_NE(Out.find("for (i0 = 1; i0 <= 6; ++i0)"), std::string::npos);
+}
+
+TEST(CodeGen, RunLoopsEmitSinglesForGaps) {
+  Program P = makeSmallStencil();
+  IterationTable T = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  std::string Out = CG.emitRunLoops(T, {0, 5});
+  EXPECT_NE(Out.find("i0=1;"), std::string::npos);
+  EXPECT_NE(Out.find("i0=6;"), std::string::npos);
+  EXPECT_EQ(Out.find("for"), std::string::npos);
+}
+
+TEST(CodeGen, RunLoops2DBindOuterCoordinates) {
+  Program P = makeStencil2D("s", 10, 1);
+  IterationTable T = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  // First row of iterations: (1,1)...(1,8) are ids 0..7.
+  std::string Out = CG.emitRunLoops(T, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_NE(Out.find("i0=1; for (i1 = 1; i1 <= 8; ++i1)"),
+            std::string::npos);
+}
+
+TEST(CodeGen, GuardedBoxEmitsGuards) {
+  Program P = makeSmallStencil();
+  IntegerSet S = IntegerSet::fromLoopNest(P.Nests[0]);
+  CodeGen CG(P.Nests[0], P.Arrays);
+  std::string Out = CG.emitGuardedBox(S);
+  EXPECT_NE(Out.find("if ("), std::string::npos);
+  EXPECT_NE(Out.find(">= 0"), std::string::npos);
+}
+
+TEST(CodeGen, WrappedAccessRendersModulo) {
+  Program P = makeHashed("h", 64, 16, 5);
+  CodeGen CG(P.Nests[0], P.Arrays);
+  std::string Out = CG.emitFullNest();
+  EXPECT_NE(Out.find("% 16"), std::string::npos);
+}
+
+TEST(CodeGen, ReadOnlyBodyUsesUse) {
+  Program P;
+  unsigned A = P.addArray(ArrayDecl("A", {16}));
+  LoopNest Nest("r", 1);
+  Nest.addConstantDim(0, 15);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0)}));
+  P.Nests.push_back(std::move(Nest));
+  CodeGen CG(P.Nests[0], P.Arrays);
+  EXPECT_NE(CG.emitFullNest().find("use(A[i0])"), std::string::npos);
+}
+
+TEST(CodeGen, EmptyIterationListYieldsNothing) {
+  Program P = makeSmallStencil();
+  IterationTable T = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  EXPECT_TRUE(CG.emitRunLoops(T, {}).empty());
+}

@@ -1,0 +1,80 @@
+//===- tests/datablock_test.cpp - Data block model unit tests -------------===//
+
+#include "core/DataBlockModel.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(DataBlockModel, BlocksNeverCrossArrayBoundaries) {
+  // Section 3.3: each array starts a new block.
+  std::vector<ArrayDecl> Arrays = {ArrayDecl("A", {100}, 8),
+                                   ArrayDecl("B", {100}, 8)};
+  DataBlockModel M(Arrays, 256); // 32 elements per block
+  // A: 100 elements -> 4 blocks (ceil(100/32)).
+  EXPECT_EQ(M.numBlocksOf(0), 4u);
+  EXPECT_EQ(M.firstBlockOf(0), 0u);
+  EXPECT_EQ(M.firstBlockOf(1), 4u);
+  EXPECT_EQ(M.numBlocks(), 8u);
+  // Last element of A and first of B are in different blocks.
+  EXPECT_NE(M.blockOf(0, 99), M.blockOf(1, 0));
+  EXPECT_EQ(M.blockOf(0, 0), 0u);
+  EXPECT_EQ(M.blockOf(0, 31), 0u);
+  EXPECT_EQ(M.blockOf(0, 32), 1u);
+  EXPECT_EQ(M.blockOf(1, 0), 4u);
+}
+
+TEST(DataBlockModel, SequentialNumbering) {
+  // Section 3.3: consecutive blocks of an array get consecutive numbers,
+  // and the next array's first block is one past the previous array's
+  // last.
+  std::vector<ArrayDecl> Arrays = {ArrayDecl("A", {64}, 8),
+                                   ArrayDecl("B", {64}, 8)};
+  DataBlockModel M(Arrays, 256);
+  EXPECT_EQ(M.blockOf(0, 63), M.firstBlockOf(1) - 1);
+}
+
+TEST(DataBlockModel, LargeElements) {
+  std::vector<ArrayDecl> Arrays = {ArrayDecl("P", {16}, 512)};
+  DataBlockModel M(Arrays, 1024); // 2 records per block
+  EXPECT_EQ(M.numBlocks(), 8u);
+  EXPECT_EQ(M.blockOf(0, 1), 0u);
+  EXPECT_EQ(M.blockOf(0, 2), 1u);
+}
+
+TEST(SelectBlockSize, FitsMostAggressiveGroupInL1) {
+  Program P = makeStencil2D("s", 64, 1);
+  // Generous L1: large blocks acceptable.
+  std::uint64_t Big = selectBlockSize(P.Nests[0], P.Arrays, 32 * 1024);
+  // Tiny L1: must shrink.
+  std::uint64_t Small = selectBlockSize(P.Nests[0], P.Arrays, 1024);
+  EXPECT_GE(Big, Small);
+  EXPECT_GE(Small, 256u);
+  // The chosen size keeps (blocks touched per iteration) * size <= L1:
+  // a 5-point stencil iteration touches at most 5-6 distinct blocks.
+  EXPECT_LE(6 * Small, 2 * 1024u * 4); // sanity margin
+}
+
+TEST(SelectBlockSize, RespectsElementSizeCompatibility) {
+  Program P;
+  P.Name = "records";
+  unsigned A = P.addArray(ArrayDecl("R", {64}, 512));
+  LoopNest Nest("scan", 1);
+  Nest.addConstantDim(0, 63);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0)}));
+  P.Nests.push_back(std::move(Nest));
+
+  std::uint64_t B = selectBlockSize(P.Nests[0], P.Arrays, 1024);
+  EXPECT_EQ(B % 512, 0u) << "block must hold whole records";
+}
+
+TEST(SelectBlockSize, MonotoneInL1Capacity) {
+  Program P = makeStencil2D("s", 64, 2);
+  std::uint64_t Prev = 0;
+  for (std::uint64_t L1 : {512u, 1024u, 4096u, 16384u, 65536u}) {
+    std::uint64_t B = selectBlockSize(P.Nests[0], P.Arrays, L1);
+    EXPECT_GE(B, Prev);
+    Prev = B;
+  }
+}

@@ -1,0 +1,183 @@
+//===- tests/dependence_test.cpp - Dependence analysis unit tests ---------===//
+
+#include "poly/Dependence.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+/// A[i] = A[i - D] style 1D nest.
+LoopNest makeRecurrence1D(std::int64_t N, std::int64_t D) {
+  LoopNest Nest("rec", 1);
+  Nest.addConstantDim(D, N - 1);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0) - D}));
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}, /*IsWrite=*/true));
+  return Nest;
+}
+
+} // namespace
+
+TEST(LinearSolver, UniqueSolution) {
+  // x + y = 3; x - y = 1  =>  x = 2, y = 1.
+  std::vector<std::int64_t> Sol;
+  auto R = solveIntegerLinearSystem({{1, 1}, {1, -1}}, {3, 1}, 2, Sol);
+  ASSERT_EQ(R, LinSolveResult::Unique);
+  EXPECT_EQ(Sol[0], 2);
+  EXPECT_EQ(Sol[1], 1);
+}
+
+TEST(LinearSolver, NoIntegerSolution) {
+  // 2x = 3 has no integer solution.
+  std::vector<std::int64_t> Sol;
+  EXPECT_EQ(solveIntegerLinearSystem({{2}}, {3}, 1, Sol),
+            LinSolveResult::NoSolution);
+}
+
+TEST(LinearSolver, Inconsistent) {
+  // x = 1 and x = 2.
+  std::vector<std::int64_t> Sol;
+  EXPECT_EQ(solveIntegerLinearSystem({{1}, {1}}, {1, 2}, 1, Sol),
+            LinSolveResult::NoSolution);
+}
+
+TEST(LinearSolver, Underdetermined) {
+  // x + y = 4 with two unknowns.
+  std::vector<std::int64_t> Sol;
+  EXPECT_EQ(solveIntegerLinearSystem({{1, 1}}, {4}, 2, Sol),
+            LinSolveResult::Underdetermined);
+}
+
+TEST(LinearSolver, ZeroRowsConsistent) {
+  std::vector<std::int64_t> Sol;
+  EXPECT_EQ(solveIntegerLinearSystem({{1}, {0}}, {5, 0}, 1, Sol),
+            LinSolveResult::Unique);
+  EXPECT_EQ(Sol[0], 5);
+}
+
+TEST(Dependence, FlowDistance1D) {
+  LoopNest Nest = makeRecurrence1D(100, 4);
+  DependenceInfo Info = analyzeDependences(Nest);
+  ASSERT_EQ(Info.Dependences.size(), 1u);
+  const Dependence &D = Info.Dependences[0];
+  EXPECT_TRUE(D.Exact);
+  ASSERT_EQ(D.Distance.size(), 1u);
+  EXPECT_EQ(D.Distance[0], 4);
+  EXPECT_EQ(D.Kind, Dependence::Flow);
+}
+
+TEST(Dependence, AntiDistanceNormalizedLexPositive) {
+  // Read A[i + 3], write A[i]: anti dependence with distance +3.
+  LoopNest Nest("anti", 1);
+  Nest.addConstantDim(0, 50);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0) + 3}));
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}, /*IsWrite=*/true));
+  DependenceInfo Info = analyzeDependences(Nest);
+  ASSERT_EQ(Info.Dependences.size(), 1u);
+  EXPECT_TRUE(Info.Dependences[0].Exact);
+  EXPECT_EQ(Info.Dependences[0].Distance[0], 3);
+  EXPECT_EQ(Info.Dependences[0].Kind, Dependence::Anti);
+}
+
+TEST(Dependence, NoDependenceBetweenDistinctArrays) {
+  LoopNest Nest("two", 1);
+  Nest.addConstantDim(0, 10);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(1, {Nest.iv(0)}, /*IsWrite=*/true));
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+TEST(Dependence, ReadsOnlyNeverDepend) {
+  LoopNest Nest("reads", 1);
+  Nest.addConstantDim(0, 10);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}));
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0) + 1}));
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+TEST(Dependence, SelfWriteZeroDistanceNotReported) {
+  LoopNest Nest("self", 1);
+  Nest.addConstantDim(0, 10);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}, /*IsWrite=*/true));
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+TEST(Dependence, TwoDimensionalDistance) {
+  // A[i][j] = A[i-1][j+2].
+  LoopNest Nest("sweep", 2);
+  Nest.addConstantDim(1, 20);
+  Nest.addConstantDim(0, 20);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0) - 1, Nest.iv(1) + 2}));
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0), Nest.iv(1)}, /*IsWrite=*/true));
+  DependenceInfo Info = analyzeDependences(Nest);
+  ASSERT_EQ(Info.Dependences.size(), 1u);
+  EXPECT_TRUE(Info.Dependences[0].Exact);
+  EXPECT_EQ(Info.Dependences[0].Distance[0], 1);
+  EXPECT_EQ(Info.Dependences[0].Distance[1], -2);
+}
+
+TEST(Dependence, GcdProvesIndependence) {
+  // Write A[2i], read A[2i + 1]: parity separates them.
+  LoopNest Nest("parity", 1);
+  Nest.addConstantDim(0, 30);
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 2}, true));
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 2 + 1}));
+  // The pair (write, read) is non-uniform only in constant; same linear
+  // part means the exact solver proves no integer distance instead.
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+TEST(Dependence, GcdTestOnNonUniformPair) {
+  // Write A[2i], read A[4i + 1]: gcd(2,4) = 2 does not divide 1.
+  LoopNest Nest("gcd", 1);
+  Nest.addConstantDim(0, 30);
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 2}, true));
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 4 + 1}));
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+TEST(Dependence, NonUniformConservative) {
+  // Write A[2i], read A[4i]: gcd cannot disprove; conservative record.
+  LoopNest Nest("cons", 1);
+  Nest.addConstantDim(1, 30);
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 2}, true));
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 4}));
+  DependenceInfo Info = analyzeDependences(Nest);
+  ASSERT_EQ(Info.Dependences.size(), 1u);
+  EXPECT_FALSE(Info.Dependences[0].Exact);
+  EXPECT_TRUE(Info.hasInexact());
+}
+
+TEST(Dependence, WrappedWriteIsConservative) {
+  LoopNest Nest("wrap", 1);
+  Nest.addConstantDim(0, 30);
+  Nest.addAccess(ArrayAccess(0, {AffineExpr::var(1, 0) * 7}, true,
+                             /*WrapSubscripts=*/true));
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0)}));
+  DependenceInfo Info = analyzeDependences(Nest);
+  ASSERT_FALSE(Info.empty());
+  EXPECT_TRUE(Info.hasInexact());
+}
+
+TEST(Dependence, WrappedReadOnlyPairIgnored) {
+  LoopNest Nest("wrapread", 1);
+  Nest.addConstantDim(0, 30);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0) * 3}, false, true));
+  Nest.addAccess(ArrayAccess(1, {Nest.iv(0)}, true));
+  EXPECT_TRUE(analyzeDependences(Nest).empty());
+}
+
+// Distance sweep: the recurrence A[i] = A[i-D] yields exactly distance D.
+class RecurrenceDistance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecurrenceDistance, ExactDistance) {
+  int D = GetParam();
+  DependenceInfo Info = analyzeDependences(makeRecurrence1D(200, D));
+  ASSERT_EQ(Info.Dependences.size(), 1u);
+  EXPECT_TRUE(Info.Dependences[0].Exact);
+  EXPECT_EQ(Info.Dependences[0].Distance[0], D);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RecurrenceDistance,
+                         ::testing::Values(1, 2, 3, 8, 17, 64));

@@ -1,0 +1,83 @@
+//===- tests/experiment_test.cpp - Experiment harness tests ---------------===//
+
+#include "driver/Experiment.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig C;
+  C.TopologyScale = 1.0 / 64;
+  return C;
+}
+
+} // namespace
+
+TEST(Experiment, RunsAndReports) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology M = makeDunnington();
+  RunResult R = runExperiment(P, M, Strategy::Base, smallConfig());
+  EXPECT_GT(R.Cycles, 0u);
+  EXPECT_GT(R.Stats.TotalAccesses, 0u);
+  EXPECT_GT(R.Stats.Levels[1].Lookups, 0u);
+}
+
+TEST(Experiment, StrategiesShareTheWorkAmount) {
+  Program P = makeWorkload("cg", 0.1);
+  CacheTopology M = makeDunnington();
+  ExperimentConfig C = smallConfig();
+  RunResult Base = runExperiment(P, M, Strategy::Base, C);
+  RunResult Topo = runExperiment(P, M, Strategy::TopologyAware, C);
+  // Same iterations, same references: identical access counts.
+  EXPECT_EQ(Base.Stats.TotalAccesses, Topo.Stats.TotalAccesses);
+}
+
+TEST(Experiment, CrossMachineRuns) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology Dun = makeDunnington().scaledCapacity(1.0 / 64);
+  CacheTopology Har = makeHarpertown().scaledCapacity(1.0 / 64);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  // 12-core Dunnington version folded onto 8-core Harpertown.
+  RunResult R = runCrossMachine(P, Dun, Har, Strategy::TopologyAware, O);
+  EXPECT_GT(R.Cycles, 0u);
+  // Native compilation for comparison completes too.
+  RunResult Native = runOnMachine(P, Har, Strategy::TopologyAware, O);
+  EXPECT_GT(Native.Cycles, 0u);
+}
+
+TEST(Experiment, CrossMachineSameCoreCountIsNative) {
+  Program P = makeWorkload("sp", 0.1);
+  CacheTopology Har = makeHarpertown().scaledCapacity(1.0 / 64);
+  CacheTopology Neh = makeNehalem().scaledCapacity(1.0 / 64);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  // Harpertown and Nehalem both have 8 cores: no folding needed, but the
+  // mapping was optimized for the wrong hierarchy.
+  RunResult Cross = runCrossMachine(P, Har, Neh, Strategy::TopologyAware, O);
+  EXPECT_GT(Cross.Cycles, 0u);
+}
+
+TEST(Experiment, MappingSecondsTracked) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology M = makeDunnington();
+  RunResult Topo = runExperiment(P, M, Strategy::TopologyAware,
+                                 smallConfig());
+  RunResult Base = runExperiment(P, M, Strategy::Base, smallConfig());
+  // The topology-aware pass does strictly more work than parallelization
+  // alone (Section 4.1 reports a 65-94% compile-time overhead).
+  EXPECT_GT(Topo.MappingSeconds, Base.MappingSeconds);
+}
+
+TEST(Experiment, BlockSizeReported) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology M = makeDunnington();
+  RunResult R = runExperiment(P, M, Strategy::TopologyAware, smallConfig());
+  EXPECT_GE(R.BlockSizeBytes, 256u);
+}

@@ -1,0 +1,153 @@
+//===- tests/groupdep_test.cpp - Group dependence graph tests -------------===//
+
+#include "core/GroupDependence.h"
+#include "core/DataBlockModel.h"
+#include "core/Tagger.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(LookupIteration, FindsPointsAndRejectsAbsent) {
+  LoopNest Nest("r", 2);
+  Nest.addConstantDim(0, 4);
+  Nest.addConstantDim(0, 4);
+  IterationTable T = Nest.enumerate();
+  for (std::uint32_t I = 0; I != T.size(); ++I) {
+    std::int64_t P[2];
+    T.get(I, P);
+    EXPECT_EQ(lookupIteration(T, P), I);
+  }
+  std::int64_t Absent[] = {5, 0};
+  EXPECT_EQ(lookupIteration(T, Absent), UINT32_MAX);
+  std::int64_t Absent2[] = {0, -1};
+  EXPECT_EQ(lookupIteration(T, Absent2), UINT32_MAX);
+}
+
+TEST(GroupDependence, NoDepsPassThrough) {
+  Program P = makeStencil1D("s", 200, 1);
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  std::size_t N = R.Groups.size();
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), DependenceInfo{},
+      Blocks);
+  EXPECT_EQ(G.Groups.size(), N);
+  EXPECT_FALSE(G.hasDependences());
+}
+
+TEST(GroupDependence, RecurrenceMakesForwardEdges) {
+  // A[i] = A[i - 64] with 32-element blocks: group g depends on g-2.
+  Program P;
+  unsigned A = P.addArray(ArrayDecl("A", {1024}));
+  LoopNest Nest("rec", 1);
+  Nest.addConstantDim(64, 1023);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0) - 64}));
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+
+  DataBlockModel Blocks(P.Arrays, 256); // 32 elements per block
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  DependenceInfo Deps = analyzeDependences(P.Nests[0]);
+  ASSERT_FALSE(Deps.empty());
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), Deps, Blocks);
+
+  EXPECT_TRUE(G.hasDependences());
+  // The condensed graph must be acyclic: topological order exists.
+  std::vector<unsigned> Indegree(G.Groups.size(), 0);
+  for (const auto &Succ : G.Succs)
+    for (std::uint32_t S : Succ)
+      ++Indegree[S];
+  std::vector<std::uint32_t> Queue;
+  for (std::uint32_t I = 0; I != Indegree.size(); ++I)
+    if (Indegree[I] == 0)
+      Queue.push_back(I);
+  std::size_t Visited = 0;
+  while (!Queue.empty()) {
+    std::uint32_t V = Queue.back();
+    Queue.pop_back();
+    ++Visited;
+    for (std::uint32_t S : G.Succs[V])
+      if (--Indegree[S] == 0)
+        Queue.push_back(S);
+  }
+  EXPECT_EQ(Visited, G.Groups.size()) << "dependence graph has a cycle";
+}
+
+TEST(GroupDependence, PredsAndSuccsAgree) {
+  Program P = makeWavefront("w", 32);
+  DataBlockModel Blocks(P.Arrays, 128);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  DependenceInfo Deps = analyzeDependences(P.Nests[0]);
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), Deps, Blocks);
+  for (std::uint32_t V = 0; V != G.Groups.size(); ++V)
+    for (std::uint32_t S : G.Succs[V]) {
+      const auto &Preds = G.Preds[S];
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), V), Preds.end());
+    }
+}
+
+TEST(GroupDependence, InexactMergesArrayTouchers) {
+  // A wrapped write makes everything touching the array one unit.
+  Program P;
+  unsigned A = P.addArray(ArrayDecl("A", {512}));
+  LoopNest Nest("scatter", 1);
+  Nest.addConstantDim(0, 511);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0) * 13}, /*IsWrite=*/true,
+                             /*WrapSubscripts=*/true));
+  P.Nests.push_back(std::move(Nest));
+
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  ASSERT_GT(R.Groups.size(), 1u);
+  DependenceInfo Deps = analyzeDependences(P.Nests[0]);
+  ASSERT_TRUE(Deps.hasInexact());
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), Deps, Blocks);
+  EXPECT_EQ(G.Groups.size(), 1u);
+  EXPECT_FALSE(G.hasDependences());
+}
+
+TEST(GroupDependence, MergeDependentGroupsRemovesAllEdges) {
+  Program P;
+  unsigned A = P.addArray(ArrayDecl("A", {1024}));
+  LoopNest Nest("rec", 1);
+  Nest.addConstantDim(64, 1023);
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0) - 64}));
+  Nest.addAccess(ArrayAccess(A, {Nest.iv(0)}, /*IsWrite=*/true));
+  P.Nests.push_back(std::move(Nest));
+
+  DataBlockModel Blocks(P.Arrays, 256);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  DependenceInfo Deps = analyzeDependences(P.Nests[0]);
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), Deps, Blocks);
+  std::uint64_t Before = 0;
+  for (const IterationGroup &Grp : G.Groups)
+    Before += Grp.size();
+
+  GroupDependenceResult Merged = mergeDependentGroups(std::move(G));
+  EXPECT_FALSE(Merged.hasDependences());
+  std::uint64_t After = 0;
+  for (const IterationGroup &Grp : Merged.Groups)
+    After += Grp.size();
+  EXPECT_EQ(Before, After);
+  // The recurrence at distance 64 with 32-element blocks forms two
+  // interleaved chains (even/odd block parity): two merged units.
+  EXPECT_EQ(Merged.Groups.size(), 2u);
+}
+
+TEST(GroupDependence, MembersStaySortedAfterCondensation) {
+  Program P = makeWavefront("w", 24);
+  DataBlockModel Blocks(P.Arrays, 128);
+  TaggingResult R = buildIterationGroups(P.Nests[0], P.Arrays, Blocks);
+  DependenceInfo Deps = analyzeDependences(P.Nests[0]);
+  GroupDependenceResult G = buildGroupDependences(
+      P.Nests[0], R.Iterations, std::move(R.Groups), Deps, Blocks);
+  for (const IterationGroup &Grp : G.Groups)
+    EXPECT_TRUE(std::is_sorted(Grp.Iterations.begin(),
+                               Grp.Iterations.end()));
+}

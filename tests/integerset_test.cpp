@@ -1,0 +1,114 @@
+//===- tests/integerset_test.cpp - IntegerSet unit tests ------------------===//
+
+#include "poly/IntegerSet.h"
+#include "poly/LoopNest.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(IntegerSet, ContainsRespectsConstraints) {
+  IntegerSet S(2);
+  S.addRange(0, 0, 9);
+  S.addRange(1, 0, 9);
+  // i0 + i1 <= 10  <=>  10 - i0 - i1 >= 0
+  S.addGE(AffineExpr::constant(2, 10) - AffineExpr::var(2, 0) -
+          AffineExpr::var(2, 1));
+
+  std::int64_t In[] = {5, 5};
+  std::int64_t Out[] = {6, 5};
+  std::int64_t OutOfBox[] = {12, 0};
+  EXPECT_TRUE(S.contains(In));
+  EXPECT_FALSE(S.contains(Out));
+  EXPECT_FALSE(S.contains(OutOfBox));
+}
+
+TEST(IntegerSet, EqualityConstraint) {
+  IntegerSet S(2);
+  S.addRange(0, 0, 5);
+  S.addRange(1, 0, 5);
+  S.addEQ(AffineExpr::var(2, 0) - AffineExpr::var(2, 1)); // diagonal
+  EXPECT_EQ(S.countOverBox(), 6u);
+}
+
+TEST(IntegerSet, BoundingBoxFromRanges) {
+  IntegerSet S(2);
+  S.addRange(0, -3, 7);
+  S.addRange(1, 2, 4);
+  auto Box = S.boundingBox();
+  ASSERT_TRUE(Box.has_value());
+  EXPECT_EQ(Box->Lower[0], -3);
+  EXPECT_EQ(Box->Upper[0], 7);
+  EXPECT_EQ(Box->Lower[1], 2);
+  EXPECT_EQ(Box->Upper[1], 4);
+  EXPECT_EQ(Box->volume(), 11u * 3u);
+}
+
+TEST(IntegerSet, BoundingBoxWithScaledCoefficients) {
+  IntegerSet S(1);
+  // 2*v - 5 >= 0  =>  v >= 3 (ceil of 2.5)
+  S.addGE(AffineExpr::var(1, 0) * 2 - 5);
+  // -3*v + 10 >= 0  =>  v <= 3 (floor of 10/3)
+  S.addGE(AffineExpr::var(1, 0) * -3 + 10);
+  auto Box = S.boundingBox();
+  ASSERT_TRUE(Box.has_value());
+  EXPECT_EQ(Box->Lower[0], 3);
+  EXPECT_EQ(Box->Upper[0], 3);
+  EXPECT_EQ(S.countOverBox(), 1u);
+}
+
+TEST(IntegerSet, UnboundedHasNoBox) {
+  IntegerSet S(2);
+  S.addRange(0, 0, 5); // i1 unconstrained
+  EXPECT_FALSE(S.boundingBox().has_value());
+}
+
+TEST(IntegerSet, InfeasibleEqualityGivesEmpty) {
+  IntegerSet S(1);
+  S.addRange(0, 0, 10);
+  S.addEQ(AffineExpr::var(1, 0) * 2 - 5); // 2v == 5: no integer solution
+  auto Box = S.boundingBox();
+  ASSERT_TRUE(Box.has_value());
+  EXPECT_TRUE(Box->emptyRange());
+  EXPECT_TRUE(S.isEmptyOverBox());
+}
+
+TEST(IntegerSet, FromLoopNestMatchesEnumeration) {
+  LoopNest Nest("tri", 2);
+  Nest.addConstantDim(0, 6);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.cst(6)));
+
+  IntegerSet S = IntegerSet::fromLoopNest(Nest);
+  EXPECT_EQ(S.countOverBox(), Nest.countIterations());
+
+  Nest.forEachIteration([&](const std::int64_t *P) {
+    EXPECT_TRUE(S.contains(P));
+  });
+}
+
+TEST(IntegerSet, StrRendering) {
+  IntegerSet S(1);
+  S.addRange(0, 0, 3);
+  std::string Out = S.str();
+  EXPECT_NE(Out.find("i0"), std::string::npos);
+  EXPECT_NE(Out.find(">= 0"), std::string::npos);
+
+  IntegerSet Empty(1);
+  EXPECT_NE(Empty.str().find("true"), std::string::npos);
+}
+
+// Property: countOverBox of [0,N] x [0,N] with i0 <= i1 equals the
+// triangular number.
+class TriangleCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleCount, MatchesClosedForm) {
+  int N = GetParam();
+  IntegerSet S(2);
+  S.addRange(0, 0, N);
+  S.addRange(1, 0, N);
+  S.addGE(AffineExpr::var(2, 1) - AffineExpr::var(2, 0)); // i1 >= i0
+  EXPECT_EQ(S.countOverBox(),
+            static_cast<std::uint64_t>((N + 1) * (N + 2) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, TriangleCount, ::testing::Values(0, 1, 2, 5, 9));

@@ -1,0 +1,176 @@
+//===- tests/loopnest_test.cpp - Loop nest IR unit tests ------------------===//
+
+#include "poly/LoopNest.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+LoopNest makeRect(std::int64_t N0, std::int64_t N1) {
+  LoopNest Nest("rect", 2);
+  Nest.addConstantDim(0, N0 - 1);
+  Nest.addConstantDim(0, N1 - 1);
+  return Nest;
+}
+
+} // namespace
+
+TEST(LoopNest, RectangularEnumeration) {
+  LoopNest Nest = makeRect(3, 4);
+  EXPECT_TRUE(Nest.isRectangular());
+  EXPECT_EQ(Nest.countIterations(), 12u);
+
+  IterationTable Table = Nest.enumerate();
+  ASSERT_EQ(Table.size(), 12u);
+  std::int64_t P[2];
+  Table.get(0, P);
+  EXPECT_EQ(P[0], 0);
+  EXPECT_EQ(P[1], 0);
+  Table.get(11, P);
+  EXPECT_EQ(P[0], 2);
+  EXPECT_EQ(P[1], 3);
+  // Lexicographic: id 5 = (1, 1).
+  Table.get(5, P);
+  EXPECT_EQ(P[0], 1);
+  EXPECT_EQ(P[1], 1);
+}
+
+TEST(LoopNest, TriangularEnumeration) {
+  // for i in [0,3], j in [i,3]: 4+3+2+1 = 10 points.
+  LoopNest Nest("tri", 2);
+  Nest.addConstantDim(0, 3);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.cst(3)));
+  EXPECT_FALSE(Nest.isRectangular());
+  EXPECT_EQ(Nest.countIterations(), 10u);
+
+  unsigned Count = 0;
+  Nest.forEachIteration([&](const std::int64_t *P) {
+    EXPECT_LE(P[0], P[1]);
+    ++Count;
+  });
+  EXPECT_EQ(Count, 10u);
+}
+
+TEST(LoopNest, EmptyInnerRangesAreSkipped) {
+  // for i in [0,4], j in [i, 2]: only i <= 2 contribute (3+2+1 = 6).
+  LoopNest Nest("partial", 2);
+  Nest.addConstantDim(0, 4);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.cst(2)));
+  EXPECT_EQ(Nest.countIterations(), 6u);
+}
+
+TEST(LoopNest, EmptyOuterRange) {
+  LoopNest Nest("empty", 1);
+  Nest.addConstantDim(5, 4); // lb > ub
+  EXPECT_EQ(Nest.countIterations(), 0u);
+  EXPECT_EQ(Nest.enumerate().size(), 0u);
+}
+
+TEST(LoopNest, DepthOneEnumeration) {
+  LoopNest Nest("one", 1);
+  Nest.addConstantDim(-2, 2);
+  IterationTable T = Nest.enumerate();
+  ASSERT_EQ(T.size(), 5u);
+  std::int64_t P[1];
+  T.get(0, P);
+  EXPECT_EQ(P[0], -2);
+  T.get(4, P);
+  EXPECT_EQ(P[0], 2);
+}
+
+TEST(LoopNest, TriangularWithOffsetBound) {
+  // for i in [0,9], j in [i, i+2]: 10 * 3 points.
+  LoopNest Nest("band", 2);
+  Nest.addConstantDim(0, 9);
+  Nest.addDim(LoopDim(Nest.iv(0), Nest.iv(0) + 2));
+  EXPECT_EQ(Nest.countIterations(), 30u);
+  Nest.forEachIteration([&](const std::int64_t *P) {
+    EXPECT_GE(P[1], P[0]);
+    EXPECT_LE(P[1], P[0] + 2);
+  });
+}
+
+TEST(LoopNest, ValidateRejectsPartial) {
+  LoopNest Nest("partial", 2);
+  Nest.addConstantDim(0, 3);
+  std::string Err;
+  EXPECT_FALSE(Nest.validate(&Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(LoopNest, ValidateAcceptsComplete) {
+  LoopNest Nest = makeRect(2, 2);
+  Nest.addAccess(ArrayAccess(0, {Nest.iv(0), Nest.iv(1)}));
+  EXPECT_TRUE(Nest.validate());
+}
+
+TEST(LoopNest, AccessEvaluationAndWrap) {
+  ArrayDecl A("A", {10});
+  ArrayAccess Wrapped(0, {AffineExpr::var(1, 0) * 3 + 25},
+                      /*IsWrite=*/false, /*WrapSubscripts=*/true);
+  std::int64_t Point[] = {4};
+  std::int64_t Idx[1];
+  evaluateAccess(Wrapped, A, Point, Idx);
+  EXPECT_EQ(Idx[0], (4 * 3 + 25) % 10);
+
+  // Negative values wrap into [0, Dim).
+  std::int64_t Neg[] = {-20};
+  evaluateAccess(Wrapped, A, Neg, Idx);
+  EXPECT_GE(Idx[0], 0);
+  EXPECT_LT(Idx[0], 10);
+}
+
+TEST(IterationTableTest, RawAndGetAgree) {
+  LoopNest Nest = makeRect(4, 4);
+  IterationTable T = Nest.enumerate();
+  for (std::uint32_t I = 0; I != T.size(); ++I) {
+    std::int64_t P[2];
+    T.get(I, P);
+    const std::int32_t *R = T.raw(I);
+    EXPECT_EQ(P[0], R[0]);
+    EXPECT_EQ(P[1], R[1]);
+  }
+}
+
+// Parameterized sweep over shapes: enumeration count matches the closed
+// form and ids are strictly lexicographically increasing.
+class NestShapeTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(NestShapeTest, EnumerationOrderAndCount) {
+  auto [N0, N1] = GetParam();
+  LoopNest Nest = makeRect(N0, N1);
+  IterationTable T = Nest.enumerate();
+  ASSERT_EQ(T.size(), static_cast<std::uint32_t>(N0 * N1));
+  for (std::uint32_t I = 1; I < T.size(); ++I) {
+    const std::int32_t *A = T.raw(I - 1);
+    const std::int32_t *B = T.raw(I);
+    bool Less = A[0] < B[0] || (A[0] == B[0] && A[1] < B[1]);
+    EXPECT_TRUE(Less) << "not lexicographic at id " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NestShapeTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 17),
+                      std::make_pair(17, 1), std::make_pair(5, 5),
+                      std::make_pair(13, 7), std::make_pair(2, 64)));
+
+TEST(LoopNest, ArrayDeclLinearize) {
+  ArrayDecl A("A", {4, 5}, 8);
+  EXPECT_EQ(A.rank(), 2u);
+  EXPECT_EQ(A.numElements(), 20);
+  EXPECT_EQ(A.sizeInBytes(), 160);
+  std::int64_t I0[] = {0, 0};
+  std::int64_t I1[] = {1, 0};
+  std::int64_t I2[] = {3, 4};
+  EXPECT_EQ(A.linearize(I0), 0);
+  EXPECT_EQ(A.linearize(I1), 5);
+  EXPECT_EQ(A.linearize(I2), 19);
+  std::int64_t Bad[] = {4, 0};
+  EXPECT_FALSE(A.inBounds(Bad));
+  EXPECT_TRUE(A.inBounds(I2));
+}

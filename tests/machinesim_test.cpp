@@ -1,0 +1,128 @@
+//===- tests/machinesim_test.cpp - Hierarchy simulator tests --------------===//
+
+#include "sim/MachineSim.h"
+#include "topo/Presets.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+/// Two cores, private L1 (2 lines), shared L2 (8 lines).
+CacheTopology makeTiny() {
+  CacheTopology T("tiny", 100);
+  unsigned L2 = T.addCache(T.rootId(), 2, {512, 8, 64, 10});
+  T.addCache(L2, 1, {128, 2, 64, 2});
+  T.addCache(L2, 1, {128, 2, 64, 2});
+  T.finalize();
+  return T;
+}
+
+} // namespace
+
+TEST(MachineSim, ColdMissCostsMemoryLatency) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  EXPECT_EQ(Sim.access(0, 0, false), 100u);
+  EXPECT_EQ(Sim.stats().MemoryAccesses, 1u);
+  EXPECT_EQ(Sim.stats().Levels[1].misses(), 1u);
+  EXPECT_EQ(Sim.stats().Levels[2].misses(), 1u);
+}
+
+TEST(MachineSim, HitAfterFillCostsL1) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  EXPECT_EQ(Sim.access(0, 0, false), 2u);
+  EXPECT_EQ(Sim.stats().Levels[1].Hits, 1u);
+}
+
+TEST(MachineSim, SameLineDifferentOffsetHits) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  EXPECT_EQ(Sim.access(0, 63, false), 2u); // same 64B line
+  EXPECT_EQ(Sim.access(0, 64, false), 100u); // next line
+}
+
+TEST(MachineSim, SharedL2ServesSibling) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false); // fills L1(0) and shared L2
+  // Core 1 misses its L1 but hits the shared L2.
+  EXPECT_EQ(Sim.access(1, 0, false), 10u);
+  EXPECT_EQ(Sim.stats().Levels[2].Hits, 1u);
+  EXPECT_EQ(Sim.stats().MemoryAccesses, 1u);
+}
+
+TEST(MachineSim, PrivateCachesDoNotLeakAcrossDomains) {
+  // Harpertown: cores 0 and 2 are under different L2s.
+  CacheTopology T = makeHarpertown();
+  MachineSim Sim(T);
+  Sim.access(0, 4096, false);
+  EXPECT_EQ(Sim.access(2, 4096, false), T.memoryLatency());
+  // But core 1 (same L2 as 0) gets an L2 hit.
+  EXPECT_EQ(Sim.access(1, 4096, false), 15u);
+}
+
+TEST(MachineSim, InclusiveFillOnPath) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  // L1 of core 0 holds 2 lines; push line 0 out of L1 with two more sets?
+  // L1 is 2 lines / 2-way / 1 set: two further fills evict it.
+  Sim.access(0, 64, false);
+  Sim.access(0, 128, false);
+  // Line 0 evicted from L1 but still in the bigger shared L2.
+  EXPECT_EQ(Sim.access(0, 0, false), 10u);
+}
+
+TEST(MachineSim, ResetColdStarts) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  Sim.reset();
+  EXPECT_EQ(Sim.stats().TotalAccesses, 0u);
+  EXPECT_EQ(Sim.access(0, 0, false), 100u);
+}
+
+TEST(MachineSim, StatsString) {
+  CacheTopology T = makeTiny();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  std::string S = Sim.stats().str();
+  EXPECT_NE(S.find("L1"), std::string::npos);
+  EXPECT_NE(S.find("mem="), std::string::npos);
+}
+
+TEST(MachineSim, ThreeLevelPath) {
+  CacheTopology T = makeDunnington();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false); // memory
+  Sim.reset();
+  Sim.access(0, 0, false);
+  EXPECT_EQ(Sim.access(0, 0, false), 4u); // L1 hit per Table 1
+  // Sibling under the same L2: L2 hit at 10 cycles.
+  EXPECT_EQ(Sim.access(1, 0, false), 10u);
+  // Same socket, different L2: L3 hit at 36 cycles.
+  EXPECT_EQ(Sim.access(2, 0, false), 36u);
+  // Other socket: memory.
+  EXPECT_EQ(Sim.access(6, 0, false), 120u);
+}
+
+TEST(MachineSim, LookupAccounting) {
+  CacheTopology T = makeDunnington();
+  MachineSim Sim(T);
+  Sim.access(0, 0, false);
+  // L1 lookup=1 miss; L2 lookup=1 miss; L3 lookup=1 miss; mem=1.
+  const SimStats &S = Sim.stats();
+  EXPECT_EQ(S.Levels[1].Lookups, 1u);
+  EXPECT_EQ(S.Levels[2].Lookups, 1u);
+  EXPECT_EQ(S.Levels[3].Lookups, 1u);
+  EXPECT_EQ(S.TotalAccesses, 1u);
+  // An L1 hit probes only L1.
+  Sim.access(0, 0, false);
+  EXPECT_EQ(S.Levels[1].Lookups, 2u);
+  EXPECT_EQ(S.Levels[2].Lookups, 1u);
+}

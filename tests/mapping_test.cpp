@@ -1,0 +1,99 @@
+//===- tests/mapping_test.cpp - Mapping and retargeting tests -------------===//
+
+#include "core/Mapping.h"
+#include "driver/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+Mapping makeSimple(unsigned Cores, std::uint32_t PerCore) {
+  Mapping M;
+  M.NumCores = Cores;
+  M.CoreIterations.resize(Cores);
+  std::uint32_t It = 0;
+  for (unsigned C = 0; C != Cores; ++C)
+    for (std::uint32_t I = 0; I != PerCore; ++I)
+      M.CoreIterations[C].push_back(It++);
+  return M;
+}
+
+} // namespace
+
+TEST(Mapping, CoversExactly) {
+  Mapping M = makeSimple(4, 5);
+  EXPECT_TRUE(M.coversExactly(20));
+  EXPECT_FALSE(M.coversExactly(21));
+  EXPECT_FALSE(M.coversExactly(19));
+  M.CoreIterations[0][0] = 1; // duplicate
+  EXPECT_FALSE(M.coversExactly(20));
+}
+
+TEST(Mapping, ImbalanceMetric) {
+  Mapping M = makeSimple(4, 5);
+  EXPECT_DOUBLE_EQ(M.imbalance(), 0.0);
+  M.CoreIterations[0].push_back(100);
+  EXPECT_GT(M.imbalance(), 0.0);
+}
+
+TEST(Mapping, ValidateBarrierStructure) {
+  Mapping M = makeSimple(2, 4);
+  M.BarriersRequired = true;
+  M.NumRounds = 2;
+  M.RoundEnd = {{2, 4}, {3, 4}};
+  EXPECT_TRUE(M.validate());
+  M.RoundEnd[0] = {3, 2}; // not monotone
+  std::string Err;
+  EXPECT_FALSE(M.validate(&Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Retarget, FoldsCoresRoundRobin) {
+  Mapping M = makeSimple(12, 3);
+  Mapping R = retargetMapping(M, 8);
+  EXPECT_EQ(R.NumCores, 8u);
+  EXPECT_TRUE(R.coversExactly(36));
+  // Cores 0..3 received two sources, 4..7 one.
+  for (unsigned C = 0; C != 4; ++C)
+    EXPECT_EQ(R.CoreIterations[C].size(), 6u);
+  for (unsigned C = 4; C != 8; ++C)
+    EXPECT_EQ(R.CoreIterations[C].size(), 3u);
+}
+
+TEST(Retarget, ExpandLeavesIdleCores) {
+  Mapping M = makeSimple(4, 3);
+  Mapping R = retargetMapping(M, 8);
+  EXPECT_TRUE(R.coversExactly(12));
+  for (unsigned C = 4; C != 8; ++C)
+    EXPECT_TRUE(R.CoreIterations[C].empty());
+}
+
+TEST(Retarget, PreservesRoundStructure) {
+  Mapping M = makeSimple(4, 4);
+  M.BarriersRequired = true;
+  M.NumRounds = 2;
+  M.RoundEnd.resize(4);
+  for (unsigned C = 0; C != 4; ++C)
+    M.RoundEnd[C] = {2, 4};
+
+  Mapping R = retargetMapping(M, 2);
+  EXPECT_TRUE(R.coversExactly(16));
+  EXPECT_TRUE(R.BarriersRequired);
+  EXPECT_EQ(R.NumRounds, 2u);
+  ASSERT_TRUE(R.validate());
+  // Round 0 holds the two source cores' round-0 halves.
+  EXPECT_EQ(R.RoundEnd[0][0], 4u);
+  EXPECT_EQ(R.RoundEnd[0][1], 8u);
+  // Same-core source order is preserved inside a round: core 0's items
+  // precede core 2's (both fold onto target 0).
+  EXPECT_EQ(R.CoreIterations[0][0], 0u);
+  EXPECT_EQ(R.CoreIterations[0][2], 8u); // core 2's first round-0 item
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_EQ(geomean({}), 0.0);
+}

@@ -1,0 +1,118 @@
+//===- tests/optimal_test.cpp - Near-optimal search tests -----------------===//
+
+#include "core/AffinityGraph.h"
+#include "core/Optimal.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+std::vector<IterationGroup> makeGroups(unsigned N) {
+  std::vector<IterationGroup> Groups;
+  std::uint32_t Iter = 0;
+  for (unsigned G = 0; G != N; ++G) {
+    std::vector<std::uint32_t> Members = {Iter++, Iter++};
+    Groups.emplace_back(
+        BlockSet::fromUnsorted({G / 2, 100 + G}), Members);
+  }
+  return Groups;
+}
+
+/// Toy cost: imbalance plus separation of sharing pairs (groups 2k and
+/// 2k+1 share a block and want to be together).
+double toyCost(const std::vector<IterationGroup> &Groups,
+               const std::vector<std::uint32_t> &Assign, unsigned Cores) {
+  std::vector<unsigned> Load(Cores, 0);
+  double Split = 0;
+  for (std::uint32_t G = 0; G != Assign.size(); ++G)
+    Load[Assign[G]] += Groups[G].size();
+  for (std::uint32_t G = 0; G + 1 < Assign.size(); G += 2)
+    if (Assign[G] != Assign[G + 1])
+      Split += 1.0;
+  unsigned Max = *std::max_element(Load.begin(), Load.end());
+  return Split * 10.0 + Max;
+}
+
+} // namespace
+
+TEST(Optimal, FindsPairingOptimum) {
+  auto Groups = makeGroups(8);
+  const unsigned Cores = 4;
+  AssignmentCost Cost = [&](const std::vector<std::uint32_t> &A) {
+    return toyCost(Groups, A, Cores);
+  };
+  OptimalSearchResult R = searchBestAssignment(Groups, Cores, Cost, nullptr);
+  // The true optimum (each pair together, one pair per core) costs 4;
+  // single-move/swap descent may stop at the pairing-preserving local
+  // optimum with two pairs on one core (cost 8), never worse.
+  EXPECT_LE(R.Cost, 8.0);
+  EXPECT_GT(R.Evaluations, 0u);
+
+  // Seeded with the optimum, the search must keep it.
+  std::vector<std::uint32_t> Opt = {0, 0, 1, 1, 2, 2, 3, 3};
+  OptimalSearchResult Seeded = searchBestAssignment(Groups, Cores, Cost,
+                                                    &Opt);
+  EXPECT_DOUBLE_EQ(Seeded.Cost, 4.0);
+}
+
+TEST(Optimal, SeedIsUpperBound) {
+  auto Groups = makeGroups(6);
+  const unsigned Cores = 3;
+  AssignmentCost Cost = [&](const std::vector<std::uint32_t> &A) {
+    return toyCost(Groups, A, Cores);
+  };
+  std::vector<std::uint32_t> Seed = {0, 0, 1, 1, 2, 2}; // already optimal
+  double SeedCost = Cost(Seed);
+  OptimalSearchResult R = searchBestAssignment(Groups, Cores, Cost, &Seed);
+  EXPECT_LE(R.Cost, SeedCost);
+}
+
+TEST(Optimal, RespectsEvaluationBudget) {
+  auto Groups = makeGroups(10);
+  unsigned Calls = 0;
+  AssignmentCost Cost = [&](const std::vector<std::uint32_t> &A) {
+    ++Calls;
+    return toyCost(Groups, A, 4);
+  };
+  OptimalSearchOptions Opts;
+  Opts.MaxEvaluations = 50;
+  OptimalSearchResult R = searchBestAssignment(Groups, 4, Cost, nullptr,
+                                               Opts);
+  // A few extra initial-cost evaluations beyond the cap are allowed (one
+  // per restart seed), nothing more.
+  EXPECT_LE(Calls, 60u);
+  EXPECT_LE(R.Evaluations, Calls);
+}
+
+TEST(Optimal, DeterministicForFixedSeed) {
+  auto Groups = makeGroups(8);
+  AssignmentCost Cost = [&](const std::vector<std::uint32_t> &A) {
+    return toyCost(Groups, A, 4);
+  };
+  OptimalSearchResult A = searchBestAssignment(Groups, 4, Cost, nullptr);
+  OptimalSearchResult B = searchBestAssignment(Groups, 4, Cost, nullptr);
+  EXPECT_EQ(A.CoreOfGroup, B.CoreOfGroup);
+  EXPECT_EQ(A.Cost, B.Cost);
+}
+
+TEST(AffinityGraphTest, EdgesAndCrossAffinity) {
+  auto Groups = makeGroups(4); // pairs (0,1) and (2,3) share a block
+  auto Edges = buildAffinityGraph(Groups);
+  bool Found01 = false, Found23 = false, Found02 = false;
+  for (const AffinityEdge &E : Edges) {
+    if (E.GroupA == 0 && E.GroupB == 1)
+      Found01 = E.Weight == 1;
+    if (E.GroupA == 2 && E.GroupB == 3)
+      Found23 = E.Weight == 1;
+    if (E.GroupA == 0 && E.GroupB == 2)
+      Found02 = true;
+  }
+  EXPECT_TRUE(Found01);
+  EXPECT_TRUE(Found23);
+  EXPECT_FALSE(Found02);
+
+  EXPECT_EQ(crossAffinity(Groups, {0}, {1}), 1u);
+  EXPECT_EQ(crossAffinity(Groups, {0, 1}, {2, 3}), 0u);
+}

@@ -1,0 +1,99 @@
+//===- tests/parse_test.cpp - Topology parser tests -----------------------===//
+
+#include "topo/Parse.h"
+#include "topo/Presets.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(Parse, MinimalMachine) {
+  auto T = parseTopology("mini", "mem:100 l1:2K:4:3");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->numCores(), 1u);
+  EXPECT_EQ(T->memoryLatency(), 100u);
+  EXPECT_EQ(T->levelCapacity(1), 2048u);
+}
+
+TEST(Parse, DunningtonSocket) {
+  auto T = parseTopology("socket", R"(
+    mem:120
+    l3:12M:16:36 {
+      l2:3M:12:10 { core core }
+      l2:3M:12:10 { core core }
+      l2:3M:12:10 { core core }
+    }
+  )");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->numCores(), 6u);
+  EXPECT_EQ(T->deepestLevel(), 3u);
+  EXPECT_EQ(T->levelCapacity(3), 12u * 1024 * 1024);
+  EXPECT_EQ(T->affinityLevel(0, 1), 2u);
+  EXPECT_EQ(T->affinityLevel(0, 2), 3u);
+}
+
+TEST(Parse, CoreShorthandMakesDefaultL1) {
+  auto T = parseTopology("s", "mem:50 l2:64K:8:10 { core core }");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->numCores(), 2u);
+  EXPECT_EQ(T->levelCapacity(1), 32u * 1024);
+}
+
+TEST(Parse, ExplicitLineSize) {
+  auto T = parseTopology("s", "mem:50 l1:4K:4:2:128");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->node(T->l1Of(0)).Params.LineSize, 128u);
+}
+
+TEST(Parse, ErrorsAreReported) {
+  std::string Err;
+  EXPECT_FALSE(parseTopology("bad", "", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(parseTopology("bad", "mem:abc l1:2K:4:3", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(
+      parseTopology("bad", "mem:100 l2:64K:8:10 { core", &Err).has_value());
+  EXPECT_NE(Err.find("}"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseTopology("bad", "mem:100 l2:64K:8:10 { }", &Err)
+                   .has_value());
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(
+      parseTopology("bad", "mem:100 bogus:1:2:3", &Err).has_value());
+  EXPECT_NE(Err.find("bogus"), std::string::npos);
+}
+
+TEST(Parse, RoundTripThroughPrint) {
+  auto T = parseTopology("rt", R"(
+    mem:120
+    l3:12M:16:36 {
+      l2:3M:12:10 { core core }
+      l2:3M:12:10 { l1:16K:4:3 l1:16K:4:3 }
+    }
+  )");
+  ASSERT_TRUE(T.has_value());
+  std::string Text = printTopology(*T);
+  auto U = parseTopology("rt2", Text);
+  ASSERT_TRUE(U.has_value()) << Text;
+  EXPECT_EQ(U->numCores(), T->numCores());
+  EXPECT_EQ(U->deepestLevel(), T->deepestLevel());
+  EXPECT_EQ(U->memoryLatency(), T->memoryLatency());
+  EXPECT_EQ(printTopology(*U), Text);
+}
+
+TEST(Parse, PresetRoundTrips) {
+  for (const char *Name : {"harpertown", "nehalem", "dunnington", "arch-i"}) {
+    CacheTopology P = makePresetByName(Name);
+    auto Re = parseTopology(Name, printTopology(P));
+    ASSERT_TRUE(Re.has_value()) << Name;
+    EXPECT_EQ(Re->numCores(), P.numCores()) << Name;
+    EXPECT_EQ(Re->totalCacheBytes(), P.totalCacheBytes()) << Name;
+  }
+}

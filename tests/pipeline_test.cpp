@@ -1,0 +1,222 @@
+//===- tests/pipeline_test.cpp - End-to-end pipeline tests ----------------===//
+
+#include "core/Pipeline.h"
+#include "core/GroupDependence.h"
+#include "poly/Dependence.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace cta;
+
+namespace {
+
+MappingOptions testOptions() {
+  MappingOptions O;
+  O.BlockSizeBytes = 0; // auto
+  return O;
+}
+
+/// Checks that the executed order respects every exact dependence: for
+/// each iteration, its source iteration either ran earlier on the same
+/// core or is separated by synchronization. We verify the strong property
+/// on the structures the pipeline emits.
+void expectDependencesRespected(const Program &P, const Mapping &Map) {
+  const LoopNest &Nest = P.Nests[0];
+  DependenceInfo Info = analyzeDependences(Nest);
+  if (Info.empty())
+    return;
+  IterationTable T = Nest.enumerate();
+
+  // Position of every iteration: (core, index).
+  std::vector<std::pair<unsigned, std::uint32_t>> Pos(T.size());
+  for (unsigned C = 0; C != Map.NumCores; ++C)
+    for (std::uint32_t I = 0; I != Map.CoreIterations[C].size(); ++I)
+      Pos[Map.CoreIterations[C][I]] = {C, I};
+
+  // Cross-core ordering guarantees: either a barrier round separates the
+  // two iterations, or a point-to-point wait covers the pair.
+  auto roundOf = [&](unsigned Core, std::uint32_t Index) {
+    for (unsigned R = 0; R != Map.NumRounds; ++R)
+      if (Map.RoundEnd[Core][R] > Index)
+        return R;
+    return Map.NumRounds;
+  };
+  auto coveredByWait = [&](unsigned SrcCore, std::uint32_t SrcIdx,
+                           unsigned DstCore, std::uint32_t DstIdx) {
+    for (const SyncDep &D : Map.PointDeps)
+      if (D.PredCore == SrcCore && D.Core == DstCore &&
+          D.PredEndPos > SrcIdx && D.StartPos <= DstIdx)
+        return true;
+    return false;
+  };
+
+  std::vector<std::int64_t> Dst(T.depth()), Src(T.depth());
+  unsigned Checked = 0;
+  for (const Dependence &D : Info.Dependences) {
+    if (!D.Exact)
+      continue;
+    for (std::uint32_t It = 0; It < T.size(); It += 7) { // sample
+      T.get(It, Dst.data());
+      for (unsigned K = 0; K != T.depth(); ++K)
+        Src[K] = Dst[K] - D.Distance[K];
+      std::uint32_t SrcIt = lookupIteration(T, Src.data());
+      if (SrcIt == UINT32_MAX)
+        continue;
+      auto [SC, SI] = Pos[SrcIt];
+      auto [DC, DI] = Pos[It];
+      ++Checked;
+      if (SC == DC) {
+        EXPECT_LT(SI, DI) << "same-core dependence order violated";
+        continue;
+      }
+      bool Ordered = false;
+      if (Map.Sync == SyncMode::PointToPoint)
+        Ordered = coveredByWait(SC, SI, DC, DI);
+      if (!Ordered && Map.BarriersRequired)
+        Ordered = roundOf(SC, SI) < roundOf(DC, DI);
+      EXPECT_TRUE(Ordered) << "cross-core dependence not synchronized";
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+} // namespace
+
+// Strategy x workload sweep: the produced mapping is always a partition
+// and structurally valid.
+struct PipelineCase {
+  Strategy Strat;
+  const char *Workload;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, ProducesValidPartition) {
+  auto [Strat, Name] = GetParam();
+  Program P = makeWorkload(Name, /*Scale=*/0.1);
+  CacheTopology Machine = makeDunnington().scaledCapacity(1.0 / 64);
+  PipelineResult R = runMappingPipeline(P, 0, Machine, Strat, testOptions());
+
+  IterationTable T = P.Nests[0].enumerate();
+  EXPECT_TRUE(R.Map.coversExactly(T.size()));
+  std::string Err;
+  EXPECT_TRUE(R.Map.validate(&Err)) << Err;
+  EXPECT_EQ(R.Map.NumCores, Machine.numCores());
+  EXPECT_EQ(R.Map.StrategyName, strategyName(Strat));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndWorkloads, PipelineSweep,
+    ::testing::Values(
+        PipelineCase{Strategy::Base, "galgel"},
+        PipelineCase{Strategy::BasePlus, "galgel"},
+        PipelineCase{Strategy::Local, "galgel"},
+        PipelineCase{Strategy::TopologyAware, "galgel"},
+        PipelineCase{Strategy::Combined, "galgel"},
+        PipelineCase{Strategy::TopologyAware, "applu"},
+        PipelineCase{Strategy::Combined, "applu"},
+        PipelineCase{Strategy::Local, "applu"},
+        PipelineCase{Strategy::TopologyAware, "povray"},
+        PipelineCase{Strategy::Combined, "freqmine"},
+        PipelineCase{Strategy::TopologyAware, "namd"},
+        PipelineCase{Strategy::Combined, "mesa"}));
+
+TEST(Pipeline, DependentLoopSynchronized) {
+  Program P = makeWavefront("w", 64);
+  CacheTopology Machine = makeHarpertown().scaledCapacity(1.0 / 64);
+  for (Strategy S :
+       {Strategy::Local, Strategy::TopologyAware, Strategy::Combined}) {
+    PipelineResult R = runMappingPipeline(P, 0, Machine, S, testOptions());
+    EXPECT_TRUE(R.HadDependences);
+    expectDependencesRespected(P, R.Map);
+  }
+}
+
+TEST(Pipeline, BarrierSyncModeProducesRounds) {
+  Program P = makeWavefront("w", 64);
+  CacheTopology Machine = makeHarpertown().scaledCapacity(1.0 / 64);
+  MappingOptions O = testOptions();
+  O.UseBarrierSync = true;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Machine, Strategy::Combined, O);
+  EXPECT_EQ(R.Map.Sync, SyncMode::Barrier);
+  expectDependencesRespected(P, R.Map);
+}
+
+TEST(Pipeline, CoClusterPolicyNeedsNoSync) {
+  Program P = makeWavefront("w", 64);
+  CacheTopology Machine = makeHarpertown().scaledCapacity(1.0 / 64);
+  MappingOptions O = testOptions();
+  O.DepPolicy = DependencePolicy::CoCluster;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Machine, Strategy::TopologyAware, O);
+  EXPECT_FALSE(R.HadDependences);
+  EXPECT_TRUE(R.Map.PointDeps.empty());
+  EXPECT_FALSE(R.Map.BarriersRequired);
+  // CoCluster keeps each dependence chain whole on one core.
+  expectDependencesRespected(P, R.Map);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  Program P = makeWorkload("cg", 0.1);
+  CacheTopology Machine = makeDunnington().scaledCapacity(1.0 / 64);
+  PipelineResult A = runMappingPipeline(P, 0, Machine,
+                                        Strategy::Combined, testOptions());
+  PipelineResult B = runMappingPipeline(P, 0, Machine,
+                                        Strategy::Combined, testOptions());
+  EXPECT_EQ(A.Map.CoreIterations, B.Map.CoreIterations);
+}
+
+TEST(Pipeline, LevelRestrictionChangesMapping) {
+  Program P = makeWorkload("cg", 0.2);
+  CacheTopology Machine = makeArchI().scaledCapacity(1.0 / 64);
+  MappingOptions Full = testOptions();
+  MappingOptions L12 = testOptions();
+  L12.MaxMapperLevel = 2;
+  PipelineResult A =
+      runMappingPipeline(P, 0, Machine, Strategy::TopologyAware, Full);
+  PipelineResult B =
+      runMappingPipeline(P, 0, Machine, Strategy::TopologyAware, L12);
+  EXPECT_TRUE(A.Map.coversExactly(B.Map.totalIterations()));
+  EXPECT_NE(A.Map.CoreIterations, B.Map.CoreIterations);
+}
+
+TEST(Pipeline, ExplicitBlockSizeIsUsed) {
+  Program P = makeWorkload("sp", 0.1);
+  CacheTopology Machine = makeDunnington().scaledCapacity(1.0 / 64);
+  MappingOptions O = testOptions();
+  O.BlockSizeBytes = 512;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Machine, Strategy::TopologyAware, O);
+  EXPECT_EQ(R.BlockSizeBytes, 512u);
+}
+
+TEST(Pipeline, ReportsGroupCountsAndTime) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology Machine = makeDunnington().scaledCapacity(1.0 / 64);
+  PipelineResult R = runMappingPipeline(P, 0, Machine,
+                                        Strategy::Combined, testOptions());
+  EXPECT_GT(R.NumGroupsInitial, 0u);
+  EXPECT_GT(R.NumGroupsFinal, 0u);
+  EXPECT_GE(R.MappingSeconds, 0.0);
+}
+
+TEST(Pipeline, BaseIsOrderOnly) {
+  Program P = makeWorkload("galgel", 0.1);
+  CacheTopology Machine = makeDunnington().scaledCapacity(1.0 / 64);
+  PipelineResult Base =
+      runMappingPipeline(P, 0, Machine, Strategy::Base, testOptions());
+  PipelineResult Plus =
+      runMappingPipeline(P, 0, Machine, Strategy::BasePlus, testOptions());
+  for (unsigned C = 0; C != Base.Map.NumCores; ++C) {
+    auto A = Base.Map.CoreIterations[C];
+    auto B = Plus.Map.CoreIterations[C];
+    std::sort(B.begin(), B.end());
+    EXPECT_EQ(A, B);
+  }
+}

@@ -1,0 +1,79 @@
+//===- tests/report_test.cpp - Mapping report tests -----------------------===//
+
+#include "core/Pipeline.h"
+#include "driver/Experiment.h"
+#include "core/Report.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(Report, EmptyForGrouplessMappings) {
+  Program P = makeStencil1D("s", 200, 1);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  PipelineResult R = runMappingPipeline(P, 0, Topo, Strategy::Base, O);
+  MappingReport Rep = analyzeMapping(R.Map, Topo);
+  EXPECT_TRUE(Rep.Levels.empty());
+  EXPECT_EQ(Rep.TotalSharing, 0u);
+}
+
+TEST(Report, TopologyAwareKeepsSharingInside) {
+  Program P = makeWorkload("cg", 0.3);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  PipelineResult Aware =
+      runMappingPipeline(P, 0, Topo, Strategy::TopologyAware, O);
+  PipelineResult Loc = runMappingPipeline(P, 0, Topo, Strategy::Local, O);
+
+  MappingReport RA = analyzeMapping(Aware.Map, Topo);
+  MappingReport RL = analyzeMapping(Loc.Map, Topo);
+  ASSERT_FALSE(RA.Levels.empty());
+  ASSERT_FALSE(RL.Levels.empty());
+  // The hierarchical clusterer must place at least as much sharing inside
+  // the shared-cache domains as the Base-chunked Local mapping does
+  // (up to a small tolerance at levels where both are near-saturated).
+  for (std::size_t L = 0; L != RA.Levels.size(); ++L)
+    EXPECT_GE(RA.Levels[L].withinFraction() + 0.02,
+              RL.Levels[L].withinFraction())
+        << "level " << RA.Levels[L].Level;
+  // At the first shared level (the clustering's main lever) the
+  // advantage must be strict.
+  EXPECT_GT(RA.Levels[0].withinFraction(),
+            RL.Levels[0].withinFraction());
+}
+
+TEST(Report, LevelsMatchSharedCaches) {
+  Program P = makeWorkload("galgel", 0.2);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Topo, Strategy::TopologyAware, O);
+  MappingReport Rep = analyzeMapping(R.Map, Topo);
+  // Dunnington has shared L2s and L3s.
+  ASSERT_EQ(Rep.Levels.size(), 2u);
+  EXPECT_EQ(Rep.Levels[0].Level, 2u);
+  EXPECT_EQ(Rep.Levels[1].Level, 3u);
+  // L3 domains contain the L2 domains, so their within fraction dominates.
+  EXPECT_GE(Rep.Levels[1].withinFraction(),
+            Rep.Levels[0].withinFraction());
+  EXPECT_FALSE(Rep.str().empty());
+}
+
+TEST(Report, TwoPassProgramRunsBothNests) {
+  Program P = makeTwoPassSweep("adi", 96);
+  ASSERT_EQ(P.Nests.size(), 2u);
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  RunResult R = runOnMachine(P, Topo, Strategy::TopologyAware, O);
+  // Both nests execute: each iterates 96 * 94 points with 4 references.
+  EXPECT_EQ(R.Stats.TotalAccesses, 2ull * 4ull * 96ull * 94ull);
+  EXPECT_GT(R.Cycles, 0u);
+}

@@ -1,0 +1,225 @@
+//===- tests/scheduler_test.cpp - Figure 7 scheduler tests ----------------===//
+
+#include "core/LocalScheduler.h"
+#include "topo/Presets.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace cta;
+
+namespace {
+
+/// Builds N groups with single-block tags and a given size each.
+std::vector<IterationGroup> makeGroups(unsigned N, unsigned Size,
+                                       unsigned BlocksPerTag = 1) {
+  std::vector<IterationGroup> Groups;
+  std::uint32_t Iter = 0;
+  for (unsigned G = 0; G != N; ++G) {
+    std::vector<std::uint32_t> Members;
+    for (unsigned I = 0; I != Size; ++I)
+      Members.push_back(Iter++);
+    std::vector<std::uint32_t> Blocks;
+    for (unsigned B = 0; B != BlocksPerTag; ++B)
+      Blocks.push_back(G + B);
+    Groups.emplace_back(BlockSet::fromUnsorted(Blocks), Members);
+  }
+  return Groups;
+}
+
+/// Round-robin core assignment of N groups over a machine.
+std::vector<std::vector<std::uint32_t>>
+roundRobin(unsigned N, unsigned NumCores) {
+  std::vector<std::vector<std::uint32_t>> CG(NumCores);
+  for (unsigned G = 0; G != N; ++G)
+    CG[G % NumCores].push_back(G);
+  return CG;
+}
+
+} // namespace
+
+TEST(Scheduler, SchedulesEveryGroupOnce) {
+  auto Groups = makeGroups(24, 5);
+  CacheTopology Topo = makeHarpertown();
+  auto CG = roundRobin(24, Topo.numCores());
+  ScheduleResult R = scheduleGroups(Groups, CG, makeNoDependences(24), Topo,
+                                    0.5, 0.5);
+  std::vector<unsigned> Count(24, 0);
+  for (const auto &Order : R.CoreOrder)
+    for (std::uint32_t G : Order)
+      ++Count[G];
+  for (unsigned C : Count)
+    EXPECT_EQ(C, 1u);
+}
+
+TEST(Scheduler, KeepsCoreAssignment) {
+  auto Groups = makeGroups(16, 3);
+  CacheTopology Topo = makeHarpertown();
+  auto CG = roundRobin(16, Topo.numCores());
+  ScheduleResult R = scheduleGroups(Groups, CG, makeNoDependences(16), Topo,
+                                    0.5, 0.5);
+  for (unsigned C = 0; C != Topo.numCores(); ++C) {
+    ASSERT_EQ(R.CoreOrder[C].size(), CG[C].size());
+    for (std::uint32_t G : R.CoreOrder[C])
+      EXPECT_EQ(G % Topo.numCores(), C);
+  }
+}
+
+TEST(Scheduler, RoundEndsAreMonotone) {
+  auto Groups = makeGroups(30, 4);
+  CacheTopology Topo = makeDunnington();
+  auto CG = roundRobin(30, Topo.numCores());
+  ScheduleResult R = scheduleGroups(Groups, CG, makeNoDependences(30), Topo,
+                                    0.5, 0.5);
+  ASSERT_GT(R.NumRounds, 0u);
+  for (unsigned C = 0; C != Topo.numCores(); ++C) {
+    ASSERT_EQ(R.RoundEnd[C].size(), R.NumRounds);
+    std::uint32_t Prev = 0;
+    for (std::uint32_t End : R.RoundEnd[C]) {
+      EXPECT_GE(End, Prev);
+      Prev = End;
+    }
+    EXPECT_EQ(R.RoundEnd[C].back(), R.CoreOrder[C].size());
+  }
+}
+
+TEST(Scheduler, NoBarriersWithoutDependences) {
+  auto Groups = makeGroups(20, 4);
+  CacheTopology Topo = makeDunnington();
+  auto CG = roundRobin(20, Topo.numCores());
+  ScheduleResult R = scheduleGroups(Groups, CG, makeNoDependences(20), Topo,
+                                    0.5, 0.5);
+  EXPECT_FALSE(R.BarriersRequired);
+}
+
+TEST(Scheduler, DependenceChainIsOrdered) {
+  // Chain 0 -> 1 -> 2 -> 3 on 2 cores: schedule must respect topological
+  // order when prerequisites sit on other cores.
+  auto Groups = makeGroups(4, 10);
+  SchedulerDependences Deps = makeNoDependences(4);
+  Deps.HasDependences = true;
+  Deps.OriginPreds[1] = {0};
+  Deps.OriginPreds[2] = {1};
+  Deps.OriginPreds[3] = {2};
+  CacheTopology Topo = makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+  std::vector<std::vector<std::uint32_t>> CG = {{0, 2}, {1, 3}};
+  ScheduleResult R = scheduleGroups(Groups, CG, Deps, Topo, 0.5, 0.5);
+
+  // Recover each group's (round) and check edge ordering.
+  std::map<std::uint32_t, unsigned> RoundOf;
+  for (unsigned C = 0; C != 2; ++C) {
+    std::size_t Idx = 0;
+    for (unsigned Round = 0; Round != R.NumRounds; ++Round)
+      for (; Idx != R.RoundEnd[C][Round]; ++Idx)
+        RoundOf[R.CoreOrder[C][Idx]] = Round;
+  }
+  EXPECT_LT(RoundOf[0], RoundOf[1]);
+  EXPECT_LT(RoundOf[1], RoundOf[2]);
+  EXPECT_LT(RoundOf[2], RoundOf[3]);
+  EXPECT_TRUE(R.BarriersRequired);
+}
+
+TEST(Scheduler, BarrierElisionKeepsOnlyCrossCoreBoundaries) {
+  // Chain entirely on one core: no barrier survives.
+  auto Groups = makeGroups(4, 10);
+  SchedulerDependences Deps = makeNoDependences(4);
+  Deps.HasDependences = true;
+  Deps.OriginPreds[1] = {0};
+  Deps.OriginPreds[2] = {1};
+  Deps.OriginPreds[3] = {2};
+  CacheTopology Topo = makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+  std::vector<std::vector<std::uint32_t>> CG = {{0, 1, 2, 3}, {}};
+  ScheduleResult R = scheduleGroups(Groups, CG, Deps, Topo, 0.5, 0.5);
+  EXPECT_FALSE(R.BarriersRequired);
+}
+
+TEST(Scheduler, PrevPartOrdering) {
+  auto Groups = makeGroups(2, 10);
+  SchedulerDependences Deps = makeNoDependences(2);
+  Deps.HasDependences = true;
+  Deps.OriginOf = {0, 0}; // two parts of one origin
+  Deps.OriginPreds.resize(1);
+  Deps.PrevPart = {UINT32_MAX, 0};
+  CacheTopology Topo = makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+  std::vector<std::vector<std::uint32_t>> CG = {{1}, {0}};
+  ScheduleResult R = scheduleGroups(Groups, CG, Deps, Topo, 0.0, 0.0);
+  // Part 1 (on core 0) must land in a later round than part 0 (core 1).
+  auto roundOf = [&](unsigned Core, std::uint32_t PosInOrder) {
+    for (unsigned Round = 0; Round != R.NumRounds; ++Round)
+      if (R.RoundEnd[Core][Round] > PosInOrder)
+        return Round;
+    return R.NumRounds;
+  };
+  ASSERT_EQ(R.CoreOrder[0].size(), 1u);
+  ASSERT_EQ(R.CoreOrder[1].size(), 1u);
+  EXPECT_GT(roundOf(0, 0), roundOf(1, 0));
+}
+
+TEST(Scheduler, AlphaBetaChangeOrder) {
+  // Groups with overlapping tags: with beta > 0 a core should follow
+  // tag-affine chains; with alpha = beta = 0 it takes CS order.
+  std::vector<IterationGroup> Groups;
+  std::uint32_t Iter = 0;
+  // Tags: {0,1}, {5,6}, {1,2}, {6,7}, {2,3}, {7,8} - two interleaved
+  // chains.
+  std::uint32_t Blocks[][2] = {{0, 1}, {5, 6}, {1, 2},
+                               {6, 7}, {2, 3}, {7, 8}};
+  for (auto &B : Blocks) {
+    Groups.emplace_back(BlockSet::fromUnsorted({B[0], B[1]}),
+                        std::vector<std::uint32_t>{Iter++});
+  }
+  CacheTopology Topo("one", 100);
+  unsigned L1 = Topo.addCache(Topo.rootId(), 1, {1024, 2, 64, 2});
+  (void)L1;
+  Topo.finalize();
+  std::vector<std::vector<std::uint32_t>> CG = {{0, 1, 2, 3, 4, 5}};
+
+  ScheduleResult Plain = scheduleGroups(Groups, CG, makeNoDependences(6),
+                                        Topo, 0.0, 0.0);
+  ScheduleResult Affine = scheduleGroups(Groups, CG, makeNoDependences(6),
+                                         Topo, 0.0, 1.0);
+  // With beta = 1 the schedule should keep chain 0-2-4 together after the
+  // seed rather than strictly following CS order.
+  EXPECT_EQ(Plain.CoreOrder[0].size(), 6u);
+  EXPECT_EQ(Affine.CoreOrder[0].size(), 6u);
+  // Seed is the least-popcount tag (all equal) -> first; then max dot is
+  // group 2 (shares block 1), then 4.
+  EXPECT_EQ(Affine.CoreOrder[0][0], 0u);
+  EXPECT_EQ(Affine.CoreOrder[0][1], 2u);
+  EXPECT_EQ(Affine.CoreOrder[0][2], 4u);
+}
+
+TEST(Scheduler, ScheduleToMappingProducesPartition) {
+  auto Groups = makeGroups(10, 7);
+  CacheTopology Topo = makeHarpertown();
+  auto CG = roundRobin(10, Topo.numCores());
+  ScheduleResult R = scheduleGroups(Groups, CG, makeNoDependences(10), Topo,
+                                    0.5, 0.5);
+  Mapping Map = scheduleToMapping(Groups, std::move(R), Topo.numCores(),
+                                  "test");
+  EXPECT_TRUE(Map.coversExactly(70));
+  EXPECT_TRUE(Map.validate());
+}
+
+TEST(Scheduler, PointToPointWaitsEmittedForCrossCoreDeps) {
+  auto Groups = makeGroups(4, 10);
+  SchedulerDependences Deps = makeNoDependences(4);
+  Deps.HasDependences = true;
+  Deps.OriginPreds[1] = {0};
+  Deps.OriginPreds[3] = {2};
+  CacheTopology Topo = makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+  // 0 and 1 on different cores (cross-core edge), 2 and 3 on one core.
+  std::vector<std::vector<std::uint32_t>> CG = {{0, 2, 3}, {1}};
+  ScheduleResult R = scheduleGroups(Groups, CG, Deps, Topo, 0.5, 0.5);
+  Mapping Map = scheduleToMapping(Groups, std::move(R), 2, "test", &Deps,
+                                  /*UsePointToPoint=*/true);
+  EXPECT_EQ(Map.Sync, SyncMode::PointToPoint);
+  ASSERT_EQ(Map.PointDeps.size(), 1u);
+  EXPECT_EQ(Map.PointDeps[0].PredCore, 0u);
+  EXPECT_EQ(Map.PointDeps[0].Core, 1u);
+}

@@ -1,0 +1,122 @@
+//===- tests/support_test.cpp - support library unit tests ----------------===//
+
+#include "support/BitVector.h"
+#include "support/Random.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(BitVector, BasicSetTest) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(BitVector, FindFirstNext) {
+  BitVector V(200);
+  EXPECT_EQ(V.findFirst(), -1);
+  V.set(3);
+  V.set(130);
+  EXPECT_EQ(V.findFirst(), 3);
+  EXPECT_EQ(V.findNext(4), 130);
+  EXPECT_EQ(V.findNext(131), -1);
+}
+
+TEST(BitVector, DotAndHamming) {
+  BitVector A(100), B(100);
+  A.set(1);
+  A.set(50);
+  A.set(99);
+  B.set(50);
+  B.set(99);
+  B.set(3);
+  EXPECT_EQ(A.dot(B), 2u);
+  EXPECT_EQ(A.hammingDistance(B), 2u);
+  EXPECT_EQ((A & B).count(), 2u);
+  EXPECT_EQ((A | B).count(), 4u);
+  EXPECT_EQ((A ^ B).count(), 2u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector V(70);
+  V.setAll();
+  EXPECT_EQ(V.count(), 70u);
+  V.resetAll();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVector, ResizeKeepsBits) {
+  BitVector V(10);
+  V.set(9);
+  V.resize(100);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_EQ(V.count(), 1u);
+}
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, BoundedStaysInRange) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  SplitMix64 R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Statistic, RegistryAccumulates) {
+  StatisticRegistry::get().clear();
+  Statistic S("test.counter");
+  ++S;
+  S += 4;
+  EXPECT_EQ(S.value(), 5u);
+  EXPECT_EQ(StatisticRegistry::get().lookup("test.counter"), 5u);
+  StatisticRegistry::get().clear();
+  EXPECT_EQ(S.value(), 0u);
+}
+
+TEST(StringUtils, Formatting) {
+  EXPECT_EQ(formatDouble(1.234, 2), "1.23");
+  EXPECT_EQ(formatPercent(0.163), "16.3%");
+  EXPECT_EQ(formatByteSize(2048), "2KB");
+  EXPECT_EQ(formatByteSize(3 * 1024 * 1024), "3MB");
+  EXPECT_EQ(formatByteSize(1000), "1000B");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "12345"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("12345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}

@@ -1,0 +1,165 @@
+//===- tests/sync_property_test.cpp - Synchronization properties ----------===//
+//
+// Property and failure-injection tests for the two dependence-enforcement
+// mechanisms: randomized dependence DAGs must always execute to
+// completion with both barrier and point-to-point synchronization, and
+// deliberately cyclic wait graphs must be rejected as deadlocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LocalScheduler.h"
+#include "sim/Engine.h"
+#include "support/Random.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+CacheTopology fourCore() {
+  return makeSymmetricTopology(
+      "quad", 4, {{2, 2, {32 * 1024, 8, 64, 10}}, {1, 1, {1024, 2, 64, 2}}},
+      100);
+}
+
+/// Random forward DAG over N single-iteration groups: edges only from
+/// lower to higher ids, so it is acyclic by construction.
+SchedulerDependences randomDag(std::uint32_t N, SplitMix64 &Rng,
+                               double EdgeProb) {
+  SchedulerDependences Deps = makeNoDependences(N);
+  Deps.HasDependences = true;
+  for (std::uint32_t A = 0; A != N; ++A)
+    for (std::uint32_t B = A + 1; B != N; ++B)
+      if (Rng.nextDouble() < EdgeProb)
+        Deps.OriginPreds[B].push_back(A);
+  return Deps;
+}
+
+std::vector<IterationGroup> unitGroups(std::uint32_t N) {
+  std::vector<IterationGroup> Groups;
+  for (std::uint32_t G = 0; G != N; ++G)
+    Groups.emplace_back(BlockSet::fromUnsorted({G}),
+                        std::vector<std::uint32_t>{G});
+  return Groups;
+}
+
+} // namespace
+
+class RandomDagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagSweep, ScheduleRespectsEveryEdge) {
+  SplitMix64 Rng(GetParam());
+  const std::uint32_t N = 24;
+  auto Groups = unitGroups(N);
+  SchedulerDependences Deps = randomDag(N, Rng, 0.15);
+  CacheTopology Topo = fourCore();
+  std::vector<std::vector<std::uint32_t>> CG(4);
+  for (std::uint32_t G = 0; G != N; ++G)
+    CG[Rng.nextBelow(4)].push_back(G);
+
+  ScheduleResult R = scheduleGroups(Groups, CG, Deps, Topo, 0.5, 0.5);
+
+  // Recover (core, round, position) per group and check every edge.
+  struct Place {
+    unsigned Core;
+    unsigned Round;
+    std::uint32_t Pos;
+  };
+  std::vector<Place> Of(N);
+  unsigned Scheduled = 0;
+  for (unsigned C = 0; C != 4; ++C) {
+    std::size_t Idx = 0;
+    for (unsigned Round = 0; Round != R.NumRounds; ++Round)
+      for (; Idx != R.RoundEnd[C][Round]; ++Idx) {
+        Of[R.CoreOrder[C][Idx]] = {C, Round, static_cast<std::uint32_t>(Idx)};
+        ++Scheduled;
+      }
+  }
+  ASSERT_EQ(Scheduled, N);
+  for (std::uint32_t B = 0; B != N; ++B)
+    for (std::uint32_t A : Deps.OriginPreds[B]) {
+      if (Of[A].Core == Of[B].Core)
+        EXPECT_LT(Of[A].Pos, Of[B].Pos);
+      else
+        EXPECT_LT(Of[A].Round, Of[B].Round);
+    }
+}
+
+TEST_P(RandomDagSweep, EngineCompletesUnderBothSyncModes) {
+  SplitMix64 Rng(GetParam() + 1000);
+  const std::uint32_t N = 24;
+  Program P = makeStencil1D("s", N + 2, 1); // N iterations
+  IterationTable Table = P.Nests[0].enumerate();
+  ASSERT_EQ(Table.size(), N);
+
+  auto Groups = unitGroups(N);
+  SchedulerDependences Deps = randomDag(N, Rng, 0.2);
+  CacheTopology Topo = fourCore();
+  std::vector<std::vector<std::uint32_t>> CG(4);
+  for (std::uint32_t G = 0; G != N; ++G)
+    CG[Rng.nextBelow(4)].push_back(G);
+
+  ScheduleResult Sched = scheduleGroups(Groups, CG, Deps, Topo, 0.5, 0.5);
+  AddressMap Addrs(P.Arrays);
+
+  // Point-to-point mode.
+  {
+    ScheduleResult Copy = Sched;
+    Mapping Map = scheduleToMapping(Groups, std::move(Copy), 4, "p2p",
+                                    &Deps, /*UsePointToPoint=*/true);
+    MachineSim Sim(Topo);
+    ExecutionResult R = executeMapping(Sim, P, 0, Table, Map, Addrs);
+    EXPECT_GT(R.TotalCycles, 0u);
+  }
+  // Barrier mode.
+  {
+    Mapping Map = scheduleToMapping(Groups, std::move(Sched), 4, "bar",
+                                    &Deps, /*UsePointToPoint=*/false);
+    MachineSim Sim(Topo);
+    ExecutionResult R = executeMapping(Sim, P, 0, Table, Map, Addrs);
+    EXPECT_GT(R.TotalCycles, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagSweep, ::testing::Range(1, 9));
+
+TEST(SyncFailure, CyclicWaitsDeadlock) {
+  Program P = makeStencil1D("s", 10, 1); // 8 iterations
+  CacheTopology Topo = fourCore();
+  IterationTable Table = P.Nests[0].enumerate();
+  AddressMap Addrs(P.Arrays);
+
+  Mapping Map;
+  Map.NumCores = 4;
+  Map.CoreIterations = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  Map.RoundEnd = {{2}, {2}, {2}, {2}};
+  Map.NumRounds = 1;
+  Map.Sync = SyncMode::PointToPoint;
+  // Core 0 waits for core 1's completion and vice versa: deadlock.
+  Map.PointDeps.push_back({1, 2, 0, 0});
+  Map.PointDeps.push_back({0, 2, 1, 0});
+
+  MachineSim Sim(Topo);
+  EXPECT_DEATH(executeMapping(Sim, P, 0, Table, Map, Addrs), "deadlock");
+}
+
+TEST(SyncFailure, BadCoreReferenceIsRejected) {
+  Program P = makeStencil1D("s", 10, 1);
+  CacheTopology Topo = fourCore();
+  IterationTable Table = P.Nests[0].enumerate();
+  AddressMap Addrs(P.Arrays);
+
+  Mapping Map;
+  Map.NumCores = 4;
+  Map.CoreIterations = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  Map.RoundEnd = {{2}, {2}, {2}, {2}};
+  Map.NumRounds = 1;
+  Map.Sync = SyncMode::PointToPoint;
+  Map.PointDeps.push_back({9, 1, 0, 0}); // no core 9
+
+  MachineSim Sim(Topo);
+  EXPECT_DEATH(executeMapping(Sim, P, 0, Table, Map, Addrs), "bad core");
+}

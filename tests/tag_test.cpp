@@ -1,0 +1,132 @@
+//===- tests/tag_test.cpp - BlockSet/SharingVector unit tests -------------===//
+
+#include "core/Tag.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(BlockSet, FromUnsortedDedups) {
+  BlockSet S = BlockSet::fromUnsorted({5, 1, 5, 3, 1});
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(1));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_TRUE(S.contains(5));
+  EXPECT_FALSE(S.contains(2));
+}
+
+TEST(BlockSet, DotCountsCommonBlocks) {
+  BlockSet A = BlockSet::fromUnsorted({1, 2, 3, 4});
+  BlockSet B = BlockSet::fromUnsorted({3, 4, 5});
+  EXPECT_EQ(A.dot(B), 2u);
+  EXPECT_EQ(B.dot(A), 2u);
+  EXPECT_EQ(A.dot(A), 4u);
+  EXPECT_EQ(A.dot(BlockSet()), 0u);
+}
+
+TEST(BlockSet, HammingDistance) {
+  BlockSet A = BlockSet::fromUnsorted({1, 2, 3});
+  BlockSet B = BlockSet::fromUnsorted({2, 3, 4, 5});
+  // Symmetric difference: {1, 4, 5}.
+  EXPECT_EQ(A.hammingDistance(B), 3u);
+  EXPECT_EQ(A.hammingDistance(A), 0u);
+}
+
+TEST(BlockSet, UnionWith) {
+  BlockSet A = BlockSet::fromUnsorted({1, 3});
+  BlockSet B = BlockSet::fromUnsorted({2, 3});
+  BlockSet U = A.unionWith(B);
+  EXPECT_EQ(U.size(), 3u);
+  EXPECT_EQ(U.dot(A), 2u);
+  EXPECT_EQ(U.dot(B), 2u);
+}
+
+TEST(BlockSet, HashDiscriminates) {
+  BlockSet A = BlockSet::fromUnsorted({1, 2});
+  BlockSet B = BlockSet::fromUnsorted({1, 3});
+  BlockSet C = BlockSet::fromUnsorted({2, 1});
+  EXPECT_EQ(A.hash(), C.hash());
+  EXPECT_NE(A.hash(), B.hash()); // overwhelmingly likely
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+}
+
+TEST(SharingVector, AddAndCount) {
+  SharingVector V;
+  EXPECT_TRUE(V.empty());
+  V.add(BlockSet::fromUnsorted({1, 2}));
+  V.add(BlockSet::fromUnsorted({2, 3}));
+  EXPECT_EQ(V.countOf(1), 1u);
+  EXPECT_EQ(V.countOf(2), 2u);
+  EXPECT_EQ(V.countOf(3), 1u);
+  EXPECT_EQ(V.countOf(4), 0u);
+  EXPECT_EQ(V.numDistinctBlocks(), 3u);
+}
+
+TEST(SharingVector, AddWeighted) {
+  SharingVector V;
+  V.addWeighted(BlockSet::fromUnsorted({7}), 5);
+  EXPECT_EQ(V.countOf(7), 5u);
+  V.addWeighted(BlockSet::fromUnsorted({7, 9}), 0); // no-op
+  EXPECT_EQ(V.countOf(9), 0u);
+}
+
+TEST(SharingVector, MergeVectors) {
+  SharingVector A, B;
+  A.add(BlockSet::fromUnsorted({1, 2}));
+  B.add(BlockSet::fromUnsorted({2, 3}));
+  A.add(B);
+  EXPECT_EQ(A.countOf(1), 1u);
+  EXPECT_EQ(A.countOf(2), 2u);
+  EXPECT_EQ(A.countOf(3), 1u);
+}
+
+TEST(SharingVector, DotProducts) {
+  SharingVector A, B;
+  A.addWeighted(BlockSet::fromUnsorted({1}), 2);
+  A.addWeighted(BlockSet::fromUnsorted({2}), 3);
+  B.addWeighted(BlockSet::fromUnsorted({2}), 4);
+  B.addWeighted(BlockSet::fromUnsorted({3}), 7);
+  EXPECT_EQ(A.dot(B), 12u); // 3 * 4 on block 2
+  EXPECT_EQ(B.dot(A), 12u);
+  EXPECT_EQ(A.dot(BlockSet::fromUnsorted({1, 2})), 5u); // 2 + 3
+  EXPECT_EQ(A.dot(BlockSet::fromUnsorted({9})), 0u);
+}
+
+TEST(SharingVector, DotMatchesBitwiseSumSemantics) {
+  // For 0/1 tags, SharingVector dot equals BlockSet dot: the paper's
+  // "number of common 1s" edge weight.
+  BlockSet T1 = BlockSet::fromUnsorted({1, 4, 6});
+  BlockSet T2 = BlockSet::fromUnsorted({4, 6, 9});
+  SharingVector V1, V2;
+  V1.add(T1);
+  V2.add(T2);
+  EXPECT_EQ(V1.dot(V2), T1.dot(T2));
+}
+
+// Property sweep: dot/hamming identities over synthetic families.
+class TagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TagProperty, Identities) {
+  int K = GetParam();
+  std::vector<std::uint32_t> A, B;
+  for (int I = 0; I < 20; ++I) {
+    if (I % K == 0)
+      A.push_back(I);
+    if (I % (K + 1) == 0)
+      B.push_back(I);
+  }
+  BlockSet SA = BlockSet::fromUnsorted(A);
+  BlockSet SB = BlockSet::fromUnsorted(B);
+  // |A| + |B| = |A u B| + |A n B|
+  EXPECT_EQ(SA.size() + SB.size(),
+            SA.unionWith(SB).size() + SA.dot(SB));
+  // Hamming = |A| + |B| - 2 dot
+  EXPECT_EQ(SA.hammingDistance(SB), SA.size() + SB.size() - 2 * SA.dot(SB));
+  // Union dominates both.
+  BlockSet U = SA.unionWith(SB);
+  EXPECT_EQ(U.dot(SA), SA.size());
+  EXPECT_EQ(U.dot(SB), SB.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TagProperty, ::testing::Range(1, 7));

@@ -1,0 +1,109 @@
+//===- tests/threadprogram_test.cpp - Thread program emission tests -------===//
+
+#include "core/Pipeline.h"
+#include "core/ThreadProgram.h"
+#include "topo/Presets.h"
+#include "workloads/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+CacheTopology pairMachine() {
+  return makeSymmetricTopology(
+      "pair", 2, {{1, 1, {1024, 2, 64, 2}}}, 100);
+}
+
+} // namespace
+
+TEST(ThreadProgram, DependenceFreeHasNoSyncAnnotations) {
+  Program P = makeStencil1D("s", 200, 1);
+  CacheTopology Machine = pairMachine();
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Machine, Strategy::TopologyAware, O);
+  IterationTable Table = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+
+  std::string Out = emitAllThreadPrograms(CG, Table, R.Map);
+  EXPECT_NE(Out.find("// thread for core 0"), std::string::npos);
+  EXPECT_NE(Out.find("// thread for core 1"), std::string::npos);
+  EXPECT_EQ(Out.find("barrier()"), std::string::npos);
+  EXPECT_EQ(Out.find("wait("), std::string::npos);
+  EXPECT_NE(Out.find("for ("), std::string::npos);
+}
+
+TEST(ThreadProgram, PointToPointEmitsWaitAndSignal) {
+  Program P = makeStencil1D("s", 20, 1); // 18 iterations
+  IterationTable Table = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+
+  Mapping Map;
+  Map.NumCores = 2;
+  Map.CoreIterations = {{0, 1, 2, 3, 4, 5, 6, 7, 8},
+                        {9, 10, 11, 12, 13, 14, 15, 16, 17}};
+  Map.RoundEnd = {{9}, {9}};
+  Map.NumRounds = 1;
+  Map.Sync = SyncMode::PointToPoint;
+  Map.PointDeps.push_back({0, 4, 1, 2}); // core 1 pos 2 waits for 4 of core 0
+
+  std::string T0 = emitThreadProgram(CG, Table, Map, 0);
+  std::string T1 = emitThreadProgram(CG, Table, Map, 1);
+  EXPECT_NE(T0.find("signal(4);"), std::string::npos);
+  EXPECT_EQ(T0.find("wait("), std::string::npos);
+  EXPECT_NE(T1.find("wait(core0, 4);"), std::string::npos);
+  // The wait splits core 1's run loop at position 2: first segment covers
+  // iterations 9..10 only.
+  EXPECT_NE(T1.find("for (i0 = 10; i0 <= 11; ++i0)"), std::string::npos);
+}
+
+TEST(ThreadProgram, BarrierModeEmitsBarriers) {
+  Program P = makeStencil1D("s", 20, 1);
+  IterationTable Table = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+
+  Mapping Map;
+  Map.NumCores = 2;
+  Map.CoreIterations = {{0, 1, 2, 3, 4, 5, 6, 7, 8},
+                        {9, 10, 11, 12, 13, 14, 15, 16, 17}};
+  Map.RoundEnd = {{4, 9}, {5, 9}};
+  Map.NumRounds = 2;
+  Map.BarriersRequired = true;
+  Map.Sync = SyncMode::Barrier;
+  ASSERT_TRUE(Map.validate());
+
+  std::string T0 = emitThreadProgram(CG, Table, Map, 0);
+  // One barrier between the two rounds, none at the end.
+  EXPECT_EQ(T0.find("barrier();"), T0.rfind("barrier();"));
+  EXPECT_NE(T0.find("barrier();"), std::string::npos);
+}
+
+TEST(ThreadProgram, PipelineDependentKernelRoundTrips) {
+  Program P = makeWavefront("w", 48);
+  CacheTopology Machine = makeHarpertown().scaledCapacity(1.0 / 64);
+  MappingOptions O;
+  O.BlockSizeBytes = 0;
+  PipelineResult R =
+      runMappingPipeline(P, 0, Machine, Strategy::Combined, O);
+  IterationTable Table = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  std::string Out = emitAllThreadPrograms(CG, Table, R.Map);
+  // Every core appears; sync annotations appear iff the mapping has them.
+  for (unsigned C = 0; C != R.Map.NumCores; ++C)
+    EXPECT_NE(Out.find("core " + std::to_string(C)), std::string::npos);
+  if (!R.Map.PointDeps.empty())
+    EXPECT_NE(Out.find("wait("), std::string::npos);
+}
+
+TEST(ThreadProgram, OutOfRangeCoreAborts) {
+  Program P = makeStencil1D("s", 20, 1);
+  IterationTable Table = P.Nests[0].enumerate();
+  CodeGen CG(P.Nests[0], P.Arrays);
+  Mapping Map;
+  Map.NumCores = 1;
+  Map.CoreIterations = {{0, 1}};
+  EXPECT_DEATH(emitThreadProgram(CG, Table, Map, 5), "out of range");
+}

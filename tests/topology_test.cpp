@@ -1,0 +1,171 @@
+//===- tests/topology_test.cpp - Cache topology unit tests ----------------===//
+
+#include "topo/Presets.h"
+#include "topo/Topology.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(CacheParams, NumSets) {
+  CacheParams P{32 * 1024, 8, 64, 3};
+  EXPECT_EQ(P.numSets(), 64u);
+  CacheParams Tiny{64, 8, 64, 1}; // one line, assoc clamp situation
+  EXPECT_EQ(Tiny.numSets(), 1u);
+}
+
+TEST(Topology, HarpertownMatchesTable1) {
+  CacheTopology T = makeHarpertown();
+  EXPECT_EQ(T.numCores(), 8u);
+  EXPECT_EQ(T.deepestLevel(), 2u); // only L1 + L2 on chip
+  EXPECT_EQ(T.levelCapacity(1), 32u * 1024);
+  EXPECT_EQ(T.levelCapacity(2), 6u * 1024 * 1024);
+  EXPECT_EQ(T.nodesAtLevel(2).size(), 4u); // L2 per core pair
+  EXPECT_EQ(T.nodesAtLevel(1).size(), 8u);
+  EXPECT_EQ(T.memoryLatency(), 320u);
+  EXPECT_EQ(T.firstSharedCacheLevel(), 2u);
+}
+
+TEST(Topology, NehalemMatchesTable1) {
+  CacheTopology T = makeNehalem();
+  EXPECT_EQ(T.numCores(), 8u);
+  EXPECT_EQ(T.deepestLevel(), 3u);
+  EXPECT_EQ(T.levelCapacity(2), 256u * 1024);
+  EXPECT_EQ(T.levelCapacity(3), 8u * 1024 * 1024);
+  EXPECT_EQ(T.nodesAtLevel(2).size(), 8u); // private L2
+  EXPECT_EQ(T.nodesAtLevel(3).size(), 2u); // per socket
+  EXPECT_EQ(T.firstSharedCacheLevel(), 3u);
+}
+
+TEST(Topology, DunningtonMatchesTable1) {
+  CacheTopology T = makeDunnington();
+  EXPECT_EQ(T.numCores(), 12u);
+  EXPECT_EQ(T.deepestLevel(), 3u);
+  EXPECT_EQ(T.levelCapacity(2), 3u * 1024 * 1024);
+  EXPECT_EQ(T.levelCapacity(3), 12u * 1024 * 1024);
+  EXPECT_EQ(T.nodesAtLevel(2).size(), 6u); // per core pair
+  EXPECT_EQ(T.nodesAtLevel(3).size(), 2u);
+  EXPECT_EQ(T.firstSharedCacheLevel(), 2u);
+}
+
+TEST(Topology, DunningtonAffinity) {
+  CacheTopology T = makeDunnington();
+  // Cores 0,1 share an L2 (Figure 1(c)).
+  EXPECT_EQ(T.affinityLevel(0, 1), 2u);
+  // Cores 0,2 share only the socket L3.
+  EXPECT_EQ(T.affinityLevel(0, 2), 3u);
+  EXPECT_EQ(T.affinityLevel(0, 5), 3u);
+  // Across sockets: only memory.
+  EXPECT_EQ(T.affinityLevel(0, 6), CacheTopology::MemoryLevel);
+  EXPECT_EQ(T.affinityLevel(5, 11), CacheTopology::MemoryLevel);
+}
+
+TEST(Topology, ArchPresets) {
+  CacheTopology A1 = makeArchI();
+  EXPECT_EQ(A1.numCores(), 16u);
+  EXPECT_EQ(A1.deepestLevel(), 4u);
+  EXPECT_EQ(A1.cacheLevels(), (std::vector<unsigned>{1, 2, 3, 4}));
+
+  CacheTopology A2 = makeArchII();
+  EXPECT_EQ(A2.numCores(), 32u);
+  EXPECT_EQ(A2.deepestLevel(), 4u);
+  // Arch-II is "more complex" than Arch-I: more cores, more cache bytes.
+  EXPECT_GT(A2.totalCacheBytes(), A1.totalCacheBytes());
+}
+
+TEST(Topology, DunningtonScaledCoreCounts) {
+  for (unsigned N : {12u, 18u, 24u}) {
+    CacheTopology T = makeDunningtonScaled(N);
+    EXPECT_EQ(T.numCores(), N);
+    EXPECT_EQ(T.nodesAtLevel(3).size(), N / 6);
+    EXPECT_EQ(T.nodesAtLevel(2).size(), N / 2);
+  }
+}
+
+TEST(Topology, PresetByName) {
+  EXPECT_EQ(makePresetByName("harpertown").numCores(), 8u);
+  EXPECT_EQ(makePresetByName("dunnington").numCores(), 12u);
+  EXPECT_EQ(makePresetByName("arch-ii").numCores(), 32u);
+}
+
+TEST(Topology, ScaledCapacityHalves) {
+  CacheTopology T = makeDunnington().scaledCapacity(0.5);
+  EXPECT_EQ(T.levelCapacity(1), 16u * 1024);
+  EXPECT_EQ(T.levelCapacity(2), 1536u * 1024);
+  EXPECT_EQ(T.levelCapacity(3), 6u * 1024 * 1024);
+  // Latencies unchanged.
+  EXPECT_EQ(T.memoryLatency(), 120u);
+}
+
+TEST(Topology, ScaledCapacityKeepsAtLeastOneLine) {
+  CacheTopology T = makeDunnington().scaledCapacity(1e-9);
+  EXPECT_EQ(T.levelCapacity(1), 64u);
+}
+
+TEST(Topology, KeepLevelsUpTo) {
+  CacheTopology Full = makeArchI();
+  CacheTopology L12 = Full.keepLevelsUpTo(2);
+  EXPECT_EQ(L12.numCores(), Full.numCores());
+  EXPECT_EQ(L12.deepestLevel(), 2u);
+  // The L2s (one per core pair) now hang off the memory root.
+  EXPECT_EQ(L12.root().Children.size(), 8u);
+  // Core pairs still share their L2.
+  EXPECT_EQ(L12.affinityLevel(0, 1), 2u);
+  EXPECT_EQ(L12.affinityLevel(0, 2), CacheTopology::MemoryLevel);
+
+  CacheTopology L123 = Full.keepLevelsUpTo(3);
+  EXPECT_EQ(L123.deepestLevel(), 3u);
+  EXPECT_EQ(L123.affinityLevel(0, 3), 3u);
+}
+
+TEST(Topology, ManualBuildAndCoreOrder) {
+  CacheTopology T("manual", 100);
+  unsigned L2 = T.addCache(T.rootId(), 2, {1024, 2, 64, 10});
+  T.addCache(L2, 1, {256, 2, 64, 2});
+  T.addCache(L2, 1, {256, 2, 64, 2});
+  T.finalize();
+  EXPECT_EQ(T.numCores(), 2u);
+  EXPECT_EQ(T.node(T.l1Of(0)).Core, 0);
+  EXPECT_EQ(T.node(T.l1Of(1)).Core, 1);
+  EXPECT_EQ(T.affinityLevel(0, 1), 2u);
+  EXPECT_EQ(T.root().Cores.size(), 2u);
+}
+
+TEST(Topology, StrRendering) {
+  std::string S = makeDunnington().str();
+  EXPECT_NE(S.find("Dunnington"), std::string::npos);
+  EXPECT_NE(S.find("L3"), std::string::npos);
+  EXPECT_NE(S.find("core 11"), std::string::npos);
+}
+
+// Property over all presets: every pair of distinct cores has a defined
+// affinity level, symmetric, and self-affinity is L1.
+class PresetProperty : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PresetProperty, AffinityIsSymmetricAndComplete) {
+  CacheTopology T = makePresetByName(GetParam());
+  for (unsigned A = 0; A != T.numCores(); ++A) {
+    EXPECT_EQ(T.affinityLevel(A, A), 1u);
+    for (unsigned B = A + 1; B != T.numCores(); ++B)
+      EXPECT_EQ(T.affinityLevel(A, B), T.affinityLevel(B, A));
+  }
+}
+
+TEST_P(PresetProperty, CoreListsPartitionAtEveryLevel) {
+  CacheTopology T = makePresetByName(GetParam());
+  for (unsigned Level : T.cacheLevels()) {
+    std::vector<bool> Seen(T.numCores(), false);
+    for (unsigned Id : T.nodesAtLevel(Level))
+      for (unsigned Core : T.node(Id).Cores) {
+        EXPECT_FALSE(Seen[Core]) << "core covered twice at L" << Level;
+        Seen[Core] = true;
+      }
+    for (unsigned C = 0; C != T.numCores(); ++C)
+      EXPECT_TRUE(Seen[C]) << "core missing at L" << Level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetProperty,
+                         ::testing::Values("harpertown", "nehalem",
+                                           "dunnington", "arch-i",
+                                           "arch-ii"));

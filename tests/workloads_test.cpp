@@ -1,0 +1,115 @@
+//===- tests/workloads_test.cpp - Workload suite tests --------------------===//
+
+#include "poly/Dependence.h"
+#include "workloads/Generators.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+TEST(Suite, HasTwelveApplications) {
+  EXPECT_EQ(workloadSuite().size(), 12u);
+  EXPECT_EQ(workloadNames().size(), 12u);
+  // Spot-check Table 2 membership and origins.
+  EXPECT_STREQ(workloadSuite()[0].Name, "applu");
+  EXPECT_STREQ(workloadSuite()[0].Origin, "SpecOMP");
+  EXPECT_STREQ(workloadSuite()[3].Name, "cg");
+  EXPECT_STREQ(workloadSuite()[3].Origin, "NAS");
+  EXPECT_STREQ(workloadSuite()[8].Name, "namd");
+  EXPECT_TRUE(workloadSuite()[8].Sequential);
+}
+
+TEST(Suite, DependenceMetadataMatchesAnalysis) {
+  for (const WorkloadMeta &M : workloadSuite()) {
+    Program P = makeWorkload(M.Name, 0.1);
+    bool AnyDep = false;
+    for (const LoopNest &Nest : P.Nests)
+      if (!analyzeDependences(Nest).empty())
+        AnyDep = true;
+    EXPECT_EQ(AnyDep, M.HasDependences) << M.Name;
+  }
+}
+
+// Per-application structural checks.
+class WorkloadSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadSweep, BuildsAndValidates) {
+  Program P = makeWorkload(GetParam(), 0.15);
+  EXPECT_EQ(P.Name, GetParam());
+  ASSERT_FALSE(P.Nests.empty());
+  ASSERT_FALSE(P.Arrays.empty());
+  for (const LoopNest &Nest : P.Nests) {
+    std::string Err;
+    EXPECT_TRUE(Nest.validate(&Err)) << Err;
+    EXPECT_GT(Nest.countIterations(), 0u);
+  }
+  EXPECT_GT(P.dataSetBytes(), 0);
+}
+
+TEST_P(WorkloadSweep, AllAccessesInBounds) {
+  Program P = makeWorkload(GetParam(), 0.1);
+  for (const LoopNest &Nest : P.Nests) {
+    std::vector<std::int64_t> Idx;
+    Nest.forEachIteration([&](const std::int64_t *Point) {
+      for (const ArrayAccess &A : Nest.accesses()) {
+        const ArrayDecl &Arr = P.Arrays[A.ArrayId];
+        Idx.resize(A.Subscripts.size());
+        evaluateAccess(A, Arr, Point, Idx.data());
+        ASSERT_TRUE(Arr.inBounds(Idx.data()))
+            << P.Name << " access out of bounds";
+      }
+    });
+  }
+}
+
+TEST_P(WorkloadSweep, HasAtLeastOneWrite) {
+  Program P = makeWorkload(GetParam(), 0.1);
+  bool AnyWrite = false;
+  for (const LoopNest &Nest : P.Nests)
+    for (const ArrayAccess &A : Nest.accesses())
+      AnyWrite |= A.IsWrite;
+  EXPECT_TRUE(AnyWrite);
+}
+
+TEST_P(WorkloadSweep, ScalesWithParameter) {
+  Program Small = makeWorkload(GetParam(), 0.1);
+  Program Large = makeWorkload(GetParam(), 1.0);
+  EXPECT_LT(Small.dataSetBytes(), Large.dataSetBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, WorkloadSweep,
+                         ::testing::Values("applu", "galgel", "equake", "cg",
+                                           "sp", "bodytrack", "facesim",
+                                           "freqmine", "namd", "povray",
+                                           "mesa", "h264"));
+
+TEST(Generators, Fig5KernelShape) {
+  Program P = makeStrided1D("fig5", 1000, 50);
+  const LoopNest &Nest = P.Nests[0];
+  // Four references, as in Figure 5's body (three reads + the write).
+  EXPECT_EQ(Nest.accesses().size(), 4u);
+  // In-place version carries loop dependences (Section 3.5.2).
+  EXPECT_FALSE(analyzeDependences(Nest).empty());
+  // Out-of-place version is fully parallel.
+  Program Q = makeStrided1D("fig5", 1000, 50, /*InPlace=*/false);
+  EXPECT_TRUE(analyzeDependences(Q.Nests[0]).empty());
+}
+
+TEST(Generators, PairwiseIsTriangular) {
+  Program P = makePairwise("p", 64, 7);
+  EXPECT_FALSE(P.Nests[0].isRectangular());
+  EXPECT_EQ(P.Nests[0].countIterations(),
+            static_cast<std::uint64_t>((64 - 7) * 8));
+}
+
+TEST(Generators, TexturedSharesTexels) {
+  Program P = makeTextured("t", 8);
+  // 4x4 tiles of 2x2 = 64 iterations.
+  EXPECT_EQ(P.Nests[0].countIterations(), 64u);
+  EXPECT_EQ(P.Nests[0].depth(), 4u);
+}
+
+TEST(Generators, UnknownNameAborts) {
+  EXPECT_DEATH(makeWorkload("no-such-app"), "unknown workload");
+}
