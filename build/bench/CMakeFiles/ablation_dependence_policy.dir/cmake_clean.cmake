@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dependence_policy.dir/ablation_dependence_policy.cpp.o"
+  "CMakeFiles/ablation_dependence_policy.dir/ablation_dependence_policy.cpp.o.d"
+  "ablation_dependence_policy"
+  "ablation_dependence_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dependence_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

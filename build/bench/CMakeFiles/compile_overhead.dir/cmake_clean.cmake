@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_overhead.dir/compile_overhead.cpp.o"
+  "CMakeFiles/compile_overhead.dir/compile_overhead.cpp.o.d"
+  "compile_overhead"
+  "compile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cross_machine.dir/fig14_cross_machine.cpp.o"
+  "CMakeFiles/fig14_cross_machine.dir/fig14_cross_machine.cpp.o.d"
+  "fig14_cross_machine"
+  "fig14_cross_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cross_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_local_scheduling.dir/fig15_local_scheduling.cpp.o"
+  "CMakeFiles/fig15_local_scheduling.dir/fig15_local_scheduling.cpp.o.d"
+  "fig15_local_scheduling"
+  "fig15_local_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_local_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_core_scaling.dir/fig17_core_scaling.cpp.o"
+  "CMakeFiles/fig17_core_scaling.dir/fig17_core_scaling.cpp.o.d"
+  "fig17_core_scaling"
+  "fig17_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

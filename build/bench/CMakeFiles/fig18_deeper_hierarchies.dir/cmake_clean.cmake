@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_deeper_hierarchies.dir/fig18_deeper_hierarchies.cpp.o"
+  "CMakeFiles/fig18_deeper_hierarchies.dir/fig18_deeper_hierarchies.cpp.o.d"
+  "fig18_deeper_hierarchies"
+  "fig18_deeper_hierarchies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_deeper_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cache_capacity.dir/fig19_cache_capacity.cpp.o"
+  "CMakeFiles/fig19_cache_capacity.dir/fig19_cache_capacity.cpp.o.d"
+  "fig19_cache_capacity"
+  "fig19_cache_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cache_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

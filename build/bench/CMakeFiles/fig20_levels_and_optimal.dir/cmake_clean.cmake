@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_levels_and_optimal.dir/fig20_levels_and_optimal.cpp.o"
+  "CMakeFiles/fig20_levels_and_optimal.dir/fig20_levels_and_optimal.cpp.o.d"
+  "fig20_levels_and_optimal"
+  "fig20_levels_and_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_levels_and_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_machine_porting.dir/cross_machine_porting.cpp.o"
+  "CMakeFiles/cross_machine_porting.dir/cross_machine_porting.cpp.o.d"
+  "cross_machine_porting"
+  "cross_machine_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_machine_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

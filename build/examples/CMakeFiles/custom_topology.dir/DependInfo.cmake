@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_topology.cpp" "examples/CMakeFiles/custom_topology.dir/custom_topology.cpp.o" "gcc" "examples/CMakeFiles/custom_topology.dir/custom_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/cta_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cta_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cta_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/cta_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AffinityGraph.cpp" "src/core/CMakeFiles/cta_core.dir/AffinityGraph.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/AffinityGraph.cpp.o.d"
+  "/root/repo/src/core/Baselines.cpp" "src/core/CMakeFiles/cta_core.dir/Baselines.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Baselines.cpp.o.d"
+  "/root/repo/src/core/DataBlockModel.cpp" "src/core/CMakeFiles/cta_core.dir/DataBlockModel.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/DataBlockModel.cpp.o.d"
+  "/root/repo/src/core/GroupDependence.cpp" "src/core/CMakeFiles/cta_core.dir/GroupDependence.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/GroupDependence.cpp.o.d"
+  "/root/repo/src/core/HierarchicalClusterer.cpp" "src/core/CMakeFiles/cta_core.dir/HierarchicalClusterer.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/HierarchicalClusterer.cpp.o.d"
+  "/root/repo/src/core/LocalScheduler.cpp" "src/core/CMakeFiles/cta_core.dir/LocalScheduler.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/LocalScheduler.cpp.o.d"
+  "/root/repo/src/core/Mapping.cpp" "src/core/CMakeFiles/cta_core.dir/Mapping.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Mapping.cpp.o.d"
+  "/root/repo/src/core/Optimal.cpp" "src/core/CMakeFiles/cta_core.dir/Optimal.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Optimal.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/core/CMakeFiles/cta_core.dir/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/cta_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/Tag.cpp" "src/core/CMakeFiles/cta_core.dir/Tag.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Tag.cpp.o.d"
+  "/root/repo/src/core/Tagger.cpp" "src/core/CMakeFiles/cta_core.dir/Tagger.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/Tagger.cpp.o.d"
+  "/root/repo/src/core/ThreadProgram.cpp" "src/core/CMakeFiles/cta_core.dir/ThreadProgram.cpp.o" "gcc" "src/core/CMakeFiles/cta_core.dir/ThreadProgram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/cta_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cta_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_core.dir/AffinityGraph.cpp.o"
+  "CMakeFiles/cta_core.dir/AffinityGraph.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Baselines.cpp.o"
+  "CMakeFiles/cta_core.dir/Baselines.cpp.o.d"
+  "CMakeFiles/cta_core.dir/DataBlockModel.cpp.o"
+  "CMakeFiles/cta_core.dir/DataBlockModel.cpp.o.d"
+  "CMakeFiles/cta_core.dir/GroupDependence.cpp.o"
+  "CMakeFiles/cta_core.dir/GroupDependence.cpp.o.d"
+  "CMakeFiles/cta_core.dir/HierarchicalClusterer.cpp.o"
+  "CMakeFiles/cta_core.dir/HierarchicalClusterer.cpp.o.d"
+  "CMakeFiles/cta_core.dir/LocalScheduler.cpp.o"
+  "CMakeFiles/cta_core.dir/LocalScheduler.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Mapping.cpp.o"
+  "CMakeFiles/cta_core.dir/Mapping.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Optimal.cpp.o"
+  "CMakeFiles/cta_core.dir/Optimal.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/cta_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Report.cpp.o"
+  "CMakeFiles/cta_core.dir/Report.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Tag.cpp.o"
+  "CMakeFiles/cta_core.dir/Tag.cpp.o.d"
+  "CMakeFiles/cta_core.dir/Tagger.cpp.o"
+  "CMakeFiles/cta_core.dir/Tagger.cpp.o.d"
+  "CMakeFiles/cta_core.dir/ThreadProgram.cpp.o"
+  "CMakeFiles/cta_core.dir/ThreadProgram.cpp.o.d"
+  "libcta_core.a"
+  "libcta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_driver.dir/Experiment.cpp.o"
+  "CMakeFiles/cta_driver.dir/Experiment.cpp.o.d"
+  "libcta_driver.a"
+  "libcta_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

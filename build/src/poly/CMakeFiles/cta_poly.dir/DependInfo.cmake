@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/AffineExpr.cpp" "src/poly/CMakeFiles/cta_poly.dir/AffineExpr.cpp.o" "gcc" "src/poly/CMakeFiles/cta_poly.dir/AffineExpr.cpp.o.d"
+  "/root/repo/src/poly/CodeGen.cpp" "src/poly/CMakeFiles/cta_poly.dir/CodeGen.cpp.o" "gcc" "src/poly/CMakeFiles/cta_poly.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/poly/Dependence.cpp" "src/poly/CMakeFiles/cta_poly.dir/Dependence.cpp.o" "gcc" "src/poly/CMakeFiles/cta_poly.dir/Dependence.cpp.o.d"
+  "/root/repo/src/poly/IntegerSet.cpp" "src/poly/CMakeFiles/cta_poly.dir/IntegerSet.cpp.o" "gcc" "src/poly/CMakeFiles/cta_poly.dir/IntegerSet.cpp.o.d"
+  "/root/repo/src/poly/LoopNest.cpp" "src/poly/CMakeFiles/cta_poly.dir/LoopNest.cpp.o" "gcc" "src/poly/CMakeFiles/cta_poly.dir/LoopNest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_poly.dir/AffineExpr.cpp.o"
+  "CMakeFiles/cta_poly.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/cta_poly.dir/CodeGen.cpp.o"
+  "CMakeFiles/cta_poly.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/cta_poly.dir/Dependence.cpp.o"
+  "CMakeFiles/cta_poly.dir/Dependence.cpp.o.d"
+  "CMakeFiles/cta_poly.dir/IntegerSet.cpp.o"
+  "CMakeFiles/cta_poly.dir/IntegerSet.cpp.o.d"
+  "CMakeFiles/cta_poly.dir/LoopNest.cpp.o"
+  "CMakeFiles/cta_poly.dir/LoopNest.cpp.o.d"
+  "libcta_poly.a"
+  "libcta_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

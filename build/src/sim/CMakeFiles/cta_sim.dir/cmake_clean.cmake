@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_sim.dir/Cache.cpp.o"
+  "CMakeFiles/cta_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/cta_sim.dir/Engine.cpp.o"
+  "CMakeFiles/cta_sim.dir/Engine.cpp.o.d"
+  "CMakeFiles/cta_sim.dir/MachineSim.cpp.o"
+  "CMakeFiles/cta_sim.dir/MachineSim.cpp.o.d"
+  "libcta_sim.a"
+  "libcta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_support.dir/BitVector.cpp.o"
+  "CMakeFiles/cta_support.dir/BitVector.cpp.o.d"
+  "CMakeFiles/cta_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/cta_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/cta_support.dir/Statistic.cpp.o"
+  "CMakeFiles/cta_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/cta_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/cta_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/cta_support.dir/Table.cpp.o"
+  "CMakeFiles/cta_support.dir/Table.cpp.o.d"
+  "CMakeFiles/cta_support.dir/Timer.cpp.o"
+  "CMakeFiles/cta_support.dir/Timer.cpp.o.d"
+  "libcta_support.a"
+  "libcta_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

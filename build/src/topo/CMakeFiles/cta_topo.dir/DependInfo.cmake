@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/Parse.cpp" "src/topo/CMakeFiles/cta_topo.dir/Parse.cpp.o" "gcc" "src/topo/CMakeFiles/cta_topo.dir/Parse.cpp.o.d"
+  "/root/repo/src/topo/Presets.cpp" "src/topo/CMakeFiles/cta_topo.dir/Presets.cpp.o" "gcc" "src/topo/CMakeFiles/cta_topo.dir/Presets.cpp.o.d"
+  "/root/repo/src/topo/Topology.cpp" "src/topo/CMakeFiles/cta_topo.dir/Topology.cpp.o" "gcc" "src/topo/CMakeFiles/cta_topo.dir/Topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

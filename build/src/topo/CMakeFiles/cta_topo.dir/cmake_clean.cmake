@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_topo.dir/Parse.cpp.o"
+  "CMakeFiles/cta_topo.dir/Parse.cpp.o.d"
+  "CMakeFiles/cta_topo.dir/Presets.cpp.o"
+  "CMakeFiles/cta_topo.dir/Presets.cpp.o.d"
+  "CMakeFiles/cta_topo.dir/Topology.cpp.o"
+  "CMakeFiles/cta_topo.dir/Topology.cpp.o.d"
+  "libcta_topo.a"
+  "libcta_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_workloads.dir/Generators.cpp.o"
+  "CMakeFiles/cta_workloads.dir/Generators.cpp.o.d"
+  "CMakeFiles/cta_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/cta_workloads.dir/Suite.cpp.o.d"
+  "libcta_workloads.a"
+  "libcta_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterer_test.dir/clusterer_test.cpp.o"
+  "CMakeFiles/clusterer_test.dir/clusterer_test.cpp.o.d"
+  "clusterer_test"
+  "clusterer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

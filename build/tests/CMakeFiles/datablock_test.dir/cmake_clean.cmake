@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datablock_test.dir/datablock_test.cpp.o"
+  "CMakeFiles/datablock_test.dir/datablock_test.cpp.o.d"
+  "datablock_test"
+  "datablock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datablock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupdep_test.dir/groupdep_test.cpp.o"
+  "CMakeFiles/groupdep_test.dir/groupdep_test.cpp.o.d"
+  "groupdep_test"
+  "groupdep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupdep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integerset_test.dir/integerset_test.cpp.o"
+  "CMakeFiles/integerset_test.dir/integerset_test.cpp.o.d"
+  "integerset_test"
+  "integerset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integerset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopnest_test.dir/loopnest_test.cpp.o"
+  "CMakeFiles/loopnest_test.dir/loopnest_test.cpp.o.d"
+  "loopnest_test"
+  "loopnest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopnest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

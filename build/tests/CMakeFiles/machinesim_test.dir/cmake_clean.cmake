@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machinesim_test.dir/machinesim_test.cpp.o"
+  "CMakeFiles/machinesim_test.dir/machinesim_test.cpp.o.d"
+  "machinesim_test"
+  "machinesim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machinesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

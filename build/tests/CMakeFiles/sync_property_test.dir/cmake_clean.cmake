@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_property_test.dir/sync_property_test.cpp.o"
+  "CMakeFiles/sync_property_test.dir/sync_property_test.cpp.o.d"
+  "sync_property_test"
+  "sync_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

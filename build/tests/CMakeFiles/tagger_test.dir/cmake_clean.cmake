@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagger_test.dir/tagger_test.cpp.o"
+  "CMakeFiles/tagger_test.dir/tagger_test.cpp.o.d"
+  "tagger_test"
+  "tagger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threadprogram_test.dir/threadprogram_test.cpp.o"
+  "CMakeFiles/threadprogram_test.dir/threadprogram_test.cpp.o.d"
+  "threadprogram_test"
+  "threadprogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threadprogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
