@@ -6,21 +6,29 @@
 ///
 /// \file
 /// Helpers shared by the figure/table reproduction binaries: the simulated
-/// machine roster, cached Base runs, normalization and table assembly.
+/// machine roster, the sensitivity subset and small formatting helpers.
 /// Every bench prints the series of one table or figure from the paper's
 /// evaluation (Section 4); EXPERIMENTS.md records the measured outcomes.
+///
+/// All benches execute their (workload x machine x strategy x option)
+/// grids through exec/ExperimentRunner: tasks run concurrently on a
+/// work-stealing pool (--jobs=N, default one per hardware thread) and are
+/// served from the persistent RunCache when --cache-dir=PATH is given.
+/// Results are collected in grid order, so bench output is identical for
+/// every thread count.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CTA_BENCH_BENCHCOMMON_H
 #define CTA_BENCH_BENCHCOMMON_H
 
-#include "driver/Experiment.h"
+#include "exec/ExperimentRunner.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "topo/Presets.h"
 #include "workloads/Suite.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,10 +43,10 @@ inline CacheTopology simMachine(const std::string &Preset) {
   return makePresetByName(Preset).scaledCapacity(MachineScale);
 }
 
-inline ExperimentConfig defaultConfig() {
-  ExperimentConfig C;
-  C.TopologyScale = 1.0; // machines come pre-scaled from simMachine()
-  return C;
+/// The mapping knobs every bench starts from: block size auto-selected
+/// with the Section 4.1 heuristic against the scaled L1.
+inline MappingOptions defaultOpts() {
+  return ExperimentConfig::makeDefaultOptions();
 }
 
 /// The representative subset used by the sensitivity studies (keeps each
@@ -47,17 +55,27 @@ inline std::vector<std::string> sensitivitySubset() {
   return {"galgel", "cg", "bodytrack", "freqmine", "povray", "h264"};
 }
 
-/// Ratio of a strategy's cycles to Base cycles for one app/machine.
-inline double normalizedCycles(const Program &Prog,
-                               const CacheTopology &Machine, Strategy Strat,
-                               const ExperimentConfig &Config,
-                               std::uint64_t BaseCycles) {
-  RunResult R = runExperiment(Prog, Machine, Strat, Config);
-  return static_cast<double>(R.Cycles) / static_cast<double>(BaseCycles);
+/// Cycles ratio of one run against a Base run.
+inline double ratioToBase(const RunResult &R, const RunResult &Base) {
+  return static_cast<double>(R.Cycles) / static_cast<double>(Base.Cycles);
 }
 
 inline void printHeader(const char *Id, const char *Title) {
   std::printf("== %s: %s ==\n", Id, Title);
+}
+
+/// One-line execution report on stderr (stdout stays byte-comparable
+/// across --jobs/--cache-dir settings).
+inline void printExecSummary(const ExperimentRunner &Runner) {
+  std::fprintf(stderr,
+               "[exec] jobs=%u simulated=%" PRIu64 " cache: %" PRIu64
+               " hits, %" PRIu64 " misses, %" PRIu64 " stores%s%s\n",
+               Runner.jobs(), Runner.simulatorInvocations(),
+               Runner.cache().hits(), Runner.cache().misses(),
+               Runner.cache().stores(),
+               Runner.cache().enabled() ? " @ " : "",
+               Runner.cache().enabled() ? Runner.cache().directory().c_str()
+                                        : "");
 }
 
 } // namespace cta::bench

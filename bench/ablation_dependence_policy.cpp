@@ -16,40 +16,48 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("ablation", "dependence policies on the dependent kernels "
                           "(Dunnington, Combined)");
 
   CacheTopology Topo = simMachine("dunnington");
 
-  TextTable Table({"app", "CoCluster", "Sync (p2p)", "Sync (barriers)"});
-  for (const char *Name : {"applu", "equake-inplace"}) {
-    Program Prog = std::string(Name) == "applu"
+  MappingOptions CoClusterOpts = defaultOpts();
+  CoClusterOpts.DepPolicy = DependencePolicy::CoCluster;
+  MappingOptions P2POpts = defaultOpts();
+  P2POpts.DepPolicy = DependencePolicy::Synchronize;
+  P2POpts.UseBarrierSync = false;
+  MappingOptions BarrierOpts = P2POpts;
+  BarrierOpts.UseBarrierSync = true;
+
+  // Per app: one Base run plus Combined under the three policies.
+  const std::vector<std::string> Apps = {"applu", "equake-inplace"};
+  std::vector<RunTask> Tasks;
+  for (const std::string &Name : Apps) {
+    Program Prog = Name == "applu"
                        ? makeWorkload("applu")
                        : makeStrided1D("equake-inplace", 131072, 16384);
-    ExperimentConfig Config = defaultConfig();
-    RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
+    Tasks.push_back(
+        makeRunTask(Prog, Topo, Strategy::Base, defaultOpts(), Name));
+    for (const MappingOptions &O : {CoClusterOpts, P2POpts, BarrierOpts})
+      Tasks.push_back(makeRunTask(Prog, Topo, Strategy::Combined, O, Name));
+  }
 
-    Config.Options.DepPolicy = DependencePolicy::CoCluster;
-    double CoCluster = normalizedCycles(Prog, Topo, Strategy::Combined,
-                                        Config, Base.Cycles);
+  std::vector<RunResult> Results = Runner.run(Tasks);
 
-    Config.Options.DepPolicy = DependencePolicy::Synchronize;
-    Config.Options.UseBarrierSync = false;
-    double P2P = normalizedCycles(Prog, Topo, Strategy::Combined, Config,
-                                  Base.Cycles);
-
-    Config.Options.UseBarrierSync = true;
-    double Barrier = normalizedCycles(Prog, Topo, Strategy::Combined,
-                                      Config, Base.Cycles);
-
-    Table.addRow({Name, formatDouble(CoCluster, 3), formatDouble(P2P, 3),
-                  formatDouble(Barrier, 3)});
+  TextTable Table({"app", "CoCluster", "Sync (p2p)", "Sync (barriers)"});
+  for (std::size_t A = 0; A != Apps.size(); ++A) {
+    const RunResult &Base = Results[A * 4];
+    Table.addRow({Apps[A], formatDouble(ratioToBase(Results[A * 4 + 1], Base), 3),
+                  formatDouble(ratioToBase(Results[A * 4 + 2], Base), 3),
+                  formatDouble(ratioToBase(Results[A * 4 + 3], Base), 3)});
   }
   Table.print();
   std::printf("\n(Normalized to Base, which ignores the residual ordering "
               "at chunk boundaries; see DESIGN.md.) Point-to-point flags "
               "make option (2) viable; round barriers pay the full "
               "straggler cost per round.\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -11,30 +11,40 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("alpha/beta",
               "local scheduler weight sensitivity (Combined, Dunnington)");
 
-  CacheTopology Topo = simMachine("dunnington");
-  TextTable Table({"alpha", "beta", "normalized cycles (geomean)"});
   const double Weights[][2] = {
       {0.0, 1.0}, {0.25, 0.75}, {0.5, 0.5}, {0.75, 0.25}, {1.0, 0.0}};
+
+  GridSpec Spec;
+  Spec.Workloads = sensitivitySubset();
+  Spec.Machines = {simMachine("dunnington")};
+  Spec.Strategies = {Strategy::Base, Strategy::Combined};
   for (const auto &W : Weights) {
-    ExperimentConfig Config = defaultConfig();
-    Config.Options.Alpha = W[0];
-    Config.Options.Beta = W[1];
+    MappingOptions O = defaultOpts();
+    O.Alpha = W[0];
+    O.Beta = W[1];
+    Spec.OptionVariants.push_back(O);
+  }
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
+  TextTable Table({"alpha", "beta", "normalized cycles (geomean)"});
+  for (std::size_t V = 0; V != Spec.OptionVariants.size(); ++V) {
     std::vector<double> Ratios;
-    for (const std::string &Name : sensitivitySubset()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      Ratios.push_back(normalizedCycles(Prog, Topo, Strategy::Combined,
-                                        Config, Base.Cycles));
-    }
-    Table.addRow({formatDouble(W[0], 2), formatDouble(W[1], 2),
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W)
+      Ratios.push_back(ratioToBase(Results[Spec.index(0, W, V, 1)],
+                                   Results[Spec.index(0, W, V, 0)]));
+    Table.addRow({formatDouble(Weights[V][0], 2),
+                  formatDouble(Weights[V][1], 2),
                   formatDouble(geomean(Ratios), 3)});
   }
   Table.print();
   std::printf("\nPaper's observation: balanced weights (0.5/0.5) perform "
               "best overall.\n");
+  printExecSummary(Runner);
   return 0;
 }

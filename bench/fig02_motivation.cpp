@@ -15,41 +15,47 @@
 
 #include "BenchCommon.h"
 
+#include <algorithm>
+
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 2", "machine-customized versions vs. machines "
                           "(normalized to the best version per machine)");
 
   const std::vector<std::string> Names = {"harpertown", "nehalem",
                                           "dunnington"};
   Program Prog = makeWorkload("h264");
-  MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
+  MappingOptions Opts = defaultOpts();
 
-  // Cycles[RunsOn][CompiledFor].
-  std::vector<std::vector<double>> Cycles(3, std::vector<double>(3, 0.0));
-  for (unsigned RunsOn = 0; RunsOn != 3; ++RunsOn) {
-    CacheTopology Target = simMachine(Names[RunsOn]);
-    for (unsigned CompiledFor = 0; CompiledFor != 3; ++CompiledFor) {
-      CacheTopology Source = simMachine(Names[CompiledFor]);
-      RunResult R = runCrossMachine(Prog, Source, Target,
-                                    Strategy::TopologyAware, Opts);
-      Cycles[RunsOn][CompiledFor] = static_cast<double>(R.Cycles);
-    }
-  }
+  // Task [RunsOn * 3 + CompiledFor]: the CompiledFor version on RunsOn.
+  std::vector<RunTask> Tasks;
+  for (unsigned RunsOn = 0; RunsOn != 3; ++RunsOn)
+    for (unsigned CompiledFor = 0; CompiledFor != 3; ++CompiledFor)
+      Tasks.push_back(makeCrossMachineTask(
+          Prog, simMachine(Names[CompiledFor]), simMachine(Names[RunsOn]),
+          Strategy::TopologyAware, Opts,
+          Names[CompiledFor] + "->" + Names[RunsOn]));
+
+  std::vector<RunResult> Results = Runner.run(Tasks);
 
   TextTable Table({"execution on", "Harpertown ver", "Nehalem ver",
                    "Dunnington ver"});
   for (unsigned RunsOn = 0; RunsOn != 3; ++RunsOn) {
-    double Best = std::min({Cycles[RunsOn][0], Cycles[RunsOn][1],
-                            Cycles[RunsOn][2]});
-    Table.addRow({Names[RunsOn], formatDouble(Cycles[RunsOn][0] / Best, 3),
-                  formatDouble(Cycles[RunsOn][1] / Best, 3),
-                  formatDouble(Cycles[RunsOn][2] / Best, 3)});
+    double Cycles[3];
+    for (unsigned CompiledFor = 0; CompiledFor != 3; ++CompiledFor)
+      Cycles[CompiledFor] =
+          static_cast<double>(Results[RunsOn * 3 + CompiledFor].Cycles);
+    double Best = std::min({Cycles[0], Cycles[1], Cycles[2]});
+    Table.addRow({Names[RunsOn], formatDouble(Cycles[0] / Best, 3),
+                  formatDouble(Cycles[1] / Best, 3),
+                  formatDouble(Cycles[2] / Best, 3)});
   }
   Table.print();
   std::printf("\nPaper's shape: the diagonal (version customized for the "
               "executing machine) is 1.000 in each row.\n");
+  printExecSummary(Runner);
   return 0;
 }

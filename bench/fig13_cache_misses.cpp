@@ -11,24 +11,29 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 13 (companion)",
               "Dunnington cache-miss reductions of TopologyAware");
 
-  ExperimentConfig Config = defaultConfig();
-  CacheTopology Topo = simMachine("dunnington");
+  GridSpec Spec;
+  Spec.Workloads = workloadNames();
+  Spec.Machines = {simMachine("dunnington")};
+  Spec.Strategies = {Strategy::Base, Strategy::BasePlus,
+                     Strategy::TopologyAware};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
 
   TextTable Table({"app", "L1 vs Base", "L2 vs Base", "L3 vs Base",
                    "L1 vs Base+", "L2 vs Base+", "L3 vs Base+"});
   std::vector<double> RedBase[4], RedPlus[4];
-  for (const std::string &Name : workloadNames()) {
-    Program Prog = makeWorkload(Name);
-    RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-    RunResult Plus = runExperiment(Prog, Topo, Strategy::BasePlus, Config);
-    RunResult Aware =
-        runExperiment(Prog, Topo, Strategy::TopologyAware, Config);
+  for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+    const RunResult &Base = Results[Spec.index(0, W, 0, 0)];
+    const RunResult &Plus = Results[Spec.index(0, W, 0, 1)];
+    const RunResult &Aware = Results[Spec.index(0, W, 0, 2)];
 
-    std::vector<std::string> Row = {Name};
+    std::vector<std::string> Row = {Spec.Workloads[W]};
     for (const RunResult *Ref : {&Base, &Plus}) {
       for (unsigned L = 1; L <= 3; ++L) {
         double RefMiss = static_cast<double>(Ref->Stats.Levels[L].misses());
@@ -55,5 +60,6 @@ int main() {
   Table.print();
   std::printf("\nPaper's averages: 18%%/39%%/47%% vs Base, 16%%/31%%/37%% "
               "vs Base+ (deeper levels improve most).\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -12,33 +12,43 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 13",
               "Base+ and TopologyAware vs. Base, all apps, all machines");
 
-  ExperimentConfig Config = defaultConfig();
-  for (const char *Machine : {"harpertown", "nehalem", "dunnington"}) {
-    CacheTopology Topo = simMachine(Machine);
+  const std::vector<std::string> MachineNames = {"harpertown", "nehalem",
+                                                 "dunnington"};
+  GridSpec Spec;
+  Spec.Workloads = workloadNames();
+  for (const std::string &Name : MachineNames)
+    Spec.Machines.push_back(simMachine(Name));
+  Spec.Strategies = {Strategy::Base, Strategy::BasePlus,
+                     Strategy::TopologyAware};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
+  for (std::size_t M = 0; M != MachineNames.size(); ++M) {
     TextTable Table({"app", "Base+", "TopologyAware"});
     std::vector<double> Plus, Aware;
-    for (const std::string &Name : workloadNames()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      double P = normalizedCycles(Prog, Topo, Strategy::BasePlus, Config,
-                                  Base.Cycles);
-      double A = normalizedCycles(Prog, Topo, Strategy::TopologyAware,
-                                  Config, Base.Cycles);
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+      const RunResult &Base = Results[Spec.index(M, W, 0, 0)];
+      double P = ratioToBase(Results[Spec.index(M, W, 0, 1)], Base);
+      double A = ratioToBase(Results[Spec.index(M, W, 0, 2)], Base);
       Plus.push_back(P);
       Aware.push_back(A);
-      Table.addRow({Name, formatDouble(P, 3), formatDouble(A, 3)});
+      Table.addRow({Spec.Workloads[W], formatDouble(P, 3),
+                    formatDouble(A, 3)});
     }
     Table.addRow({"geomean", formatDouble(geomean(Plus), 3),
                   formatDouble(geomean(Aware), 3)});
-    std::printf("\n-- %s --\n", Machine);
+    std::printf("\n-- %s --\n", MachineNames[M].c_str());
     Table.print();
     std::printf("TopologyAware vs Base: %s better; vs Base+: %s better\n",
                 formatPercent(1.0 - geomean(Aware)).c_str(),
                 formatPercent(1.0 - geomean(Aware) / geomean(Plus)).c_str());
   }
+  printExecSummary(Runner);
   return 0;
 }

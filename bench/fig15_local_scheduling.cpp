@@ -13,34 +13,38 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 15",
               "TopologyAware vs Local vs Combined on Dunnington");
 
-  ExperimentConfig Config = defaultConfig();
-  CacheTopology Topo = simMachine("dunnington");
+  GridSpec Spec;
+  Spec.Workloads = workloadNames();
+  Spec.Machines = {simMachine("dunnington")};
+  Spec.Strategies = {Strategy::Base, Strategy::TopologyAware, Strategy::Local,
+                     Strategy::Combined};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
 
   TextTable Table({"app", "TopologyAware", "Local", "Combined"});
   std::vector<double> A, L, C;
-  for (const std::string &Name : workloadNames()) {
-    Program Prog = makeWorkload(Name);
-    RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-    double VA = normalizedCycles(Prog, Topo, Strategy::TopologyAware,
-                                 Config, Base.Cycles);
-    double VL = normalizedCycles(Prog, Topo, Strategy::Local, Config,
-                                 Base.Cycles);
-    double VC = normalizedCycles(Prog, Topo, Strategy::Combined, Config,
-                                 Base.Cycles);
+  for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+    const RunResult &Base = Results[Spec.index(0, W, 0, 0)];
+    double VA = ratioToBase(Results[Spec.index(0, W, 0, 1)], Base);
+    double VL = ratioToBase(Results[Spec.index(0, W, 0, 2)], Base);
+    double VC = ratioToBase(Results[Spec.index(0, W, 0, 3)], Base);
     A.push_back(VA);
     L.push_back(VL);
     C.push_back(VC);
-    Table.addRow({Name, formatDouble(VA, 3), formatDouble(VL, 3),
-                  formatDouble(VC, 3)});
+    Table.addRow({Spec.Workloads[W], formatDouble(VA, 3),
+                  formatDouble(VL, 3), formatDouble(VC, 3)});
   }
   Table.addRow({"geomean", formatDouble(geomean(A), 3),
                 formatDouble(geomean(L), 3), formatDouble(geomean(C), 3)});
   Table.print();
   std::printf("\nPaper's shape: Local alone is modest; combining global "
               "distribution with local scheduling gives the best result.\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -13,33 +13,42 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 16", "block-size sensitivity (TopologyAware on "
                            "Dunnington; subset suite)");
 
-  CacheTopology Topo = simMachine("dunnington");
   const std::uint64_t Blocks[] = {256, 512, 1024, 2048, 4096};
 
-  TextTable Table({"block", "norm cycles (geomean)", "mapping time"});
+  GridSpec Spec;
+  Spec.Workloads = sensitivitySubset();
+  Spec.Machines = {simMachine("dunnington")};
+  Spec.Strategies = {Strategy::Base, Strategy::TopologyAware};
   for (std::uint64_t Block : Blocks) {
-    ExperimentConfig Config = defaultConfig();
-    Config.Options.BlockSizeBytes = Block;
+    MappingOptions O = defaultOpts();
+    O.BlockSizeBytes = Block;
+    Spec.OptionVariants.push_back(O);
+  }
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
+  TextTable Table({"block", "norm cycles (geomean)", "mapping time"});
+  for (std::size_t V = 0; V != Spec.OptionVariants.size(); ++V) {
     std::vector<double> Ratios;
     double MapSeconds = 0.0;
-    for (const std::string &Name : sensitivitySubset()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      RunResult Aware =
-          runExperiment(Prog, Topo, Strategy::TopologyAware, Config);
-      Ratios.push_back(static_cast<double>(Aware.Cycles) /
-                       static_cast<double>(Base.Cycles));
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+      const RunResult &Base = Results[Spec.index(0, W, V, 0)];
+      const RunResult &Aware = Results[Spec.index(0, W, V, 1)];
+      Ratios.push_back(ratioToBase(Aware, Base));
       MapSeconds += Aware.MappingSeconds;
     }
-    Table.addRow({formatByteSize(Block), formatDouble(geomean(Ratios), 3),
+    Table.addRow({formatByteSize(Blocks[V]),
+                  formatDouble(geomean(Ratios), 3),
                   formatDouble(MapSeconds, 3) + "s"});
   }
   Table.print();
   std::printf("\nPaper's shape: smaller blocks map better but compile "
               "slower.\n");
+  printExecSummary(Runner);
   return 0;
 }

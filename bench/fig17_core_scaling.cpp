@@ -12,30 +12,40 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 17", "core-count scaling (Dunnington-style topology)");
 
-  ExperimentConfig Config = defaultConfig();
+  const unsigned CoreCounts[] = {12, 18, 24};
+
+  GridSpec Spec;
+  Spec.Workloads = sensitivitySubset();
+  for (unsigned Cores : CoreCounts)
+    Spec.Machines.push_back(
+        makeDunningtonScaled(Cores).scaledCapacity(MachineScale));
+  Spec.Strategies = {Strategy::Base, Strategy::BasePlus,
+                     Strategy::TopologyAware};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
   TextTable Table({"cores", "Base+ (geomean)", "TopologyAware (geomean)",
                    "improvement over Base"});
-  for (unsigned Cores : {12u, 18u, 24u}) {
-    CacheTopology Topo =
-        makeDunningtonScaled(Cores).scaledCapacity(MachineScale);
+  for (std::size_t M = 0; M != Spec.Machines.size(); ++M) {
     std::vector<double> Plus, Aware;
-    for (const std::string &Name : sensitivitySubset()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      Plus.push_back(normalizedCycles(Prog, Topo, Strategy::BasePlus,
-                                      Config, Base.Cycles));
-      Aware.push_back(normalizedCycles(Prog, Topo, Strategy::TopologyAware,
-                                       Config, Base.Cycles));
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+      const RunResult &Base = Results[Spec.index(M, W, 0, 0)];
+      Plus.push_back(ratioToBase(Results[Spec.index(M, W, 0, 1)], Base));
+      Aware.push_back(ratioToBase(Results[Spec.index(M, W, 0, 2)], Base));
     }
-    Table.addRow({std::to_string(Cores), formatDouble(geomean(Plus), 3),
+    Table.addRow({std::to_string(CoreCounts[M]),
+                  formatDouble(geomean(Plus), 3),
                   formatDouble(geomean(Aware), 3),
                   formatPercent(1.0 - geomean(Aware))});
   }
   Table.print();
   std::printf("\nPaper's shape: the gain over Base grows with the core "
               "count (29%% at 12 cores to 46%% at 24).\n");
+  printExecSummary(Runner);
   return 0;
 }

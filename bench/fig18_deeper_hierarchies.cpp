@@ -12,29 +12,37 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 18", "deeper hierarchies: Default vs Arch-I vs "
                            "Arch-II");
 
-  ExperimentConfig Config = defaultConfig();
+  const std::vector<std::string> Names = {"dunnington", "arch-i", "arch-ii"};
+
+  GridSpec Spec;
+  Spec.Workloads = sensitivitySubset();
+  for (const std::string &Name : Names)
+    Spec.Machines.push_back(simMachine(Name));
+  Spec.Strategies = {Strategy::Base, Strategy::TopologyAware};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
   TextTable Table({"machine", "cores", "levels", "TopologyAware (geomean)",
                    "improvement over Base"});
-  for (const char *Name : {"dunnington", "arch-i", "arch-ii"}) {
-    CacheTopology Topo = simMachine(Name);
+  for (std::size_t M = 0; M != Names.size(); ++M) {
     std::vector<double> Aware;
-    for (const std::string &App : sensitivitySubset()) {
-      Program Prog = makeWorkload(App);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      Aware.push_back(normalizedCycles(Prog, Topo, Strategy::TopologyAware,
-                                       Config, Base.Cycles));
-    }
-    Table.addRow({Name, std::to_string(Topo.numCores()),
-                  std::to_string(Topo.deepestLevel()),
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W)
+      Aware.push_back(ratioToBase(Results[Spec.index(M, W, 0, 1)],
+                                  Results[Spec.index(M, W, 0, 0)]));
+    Table.addRow({Names[M], std::to_string(Spec.Machines[M].numCores()),
+                  std::to_string(Spec.Machines[M].deepestLevel()),
                   formatDouble(geomean(Aware), 3),
                   formatPercent(1.0 - geomean(Aware))});
   }
   Table.print();
   std::printf("\nPaper's shape: deeper/more complex hierarchies benefit "
               "more from topology-aware mapping.\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -12,25 +12,30 @@
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 19", "halved cache capacities on Dunnington");
 
-  ExperimentConfig Config = defaultConfig();
+  GridSpec Spec;
+  Spec.Workloads = workloadNames();
+  Spec.Machines = {simMachine("dunnington"),
+                   simMachine("dunnington").scaledCapacity(0.5)};
+  Spec.Strategies = {Strategy::Base, Strategy::BasePlus,
+                     Strategy::TopologyAware, Strategy::Combined};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
   TextTable Table({"configuration", "Base+", "TopologyAware", "Combined"});
-  for (double Halving : {1.0, 0.5}) {
-    CacheTopology Topo = simMachine("dunnington").scaledCapacity(Halving);
+  for (std::size_t M = 0; M != Spec.Machines.size(); ++M) {
     std::vector<double> Plus, Aware, Comb;
-    for (const std::string &Name : workloadNames()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, Config);
-      Plus.push_back(normalizedCycles(Prog, Topo, Strategy::BasePlus,
-                                      Config, Base.Cycles));
-      Aware.push_back(normalizedCycles(Prog, Topo, Strategy::TopologyAware,
-                                       Config, Base.Cycles));
-      Comb.push_back(normalizedCycles(Prog, Topo, Strategy::Combined,
-                                      Config, Base.Cycles));
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W) {
+      const RunResult &Base = Results[Spec.index(M, W, 0, 0)];
+      Plus.push_back(ratioToBase(Results[Spec.index(M, W, 0, 1)], Base));
+      Aware.push_back(ratioToBase(Results[Spec.index(M, W, 0, 2)], Base));
+      Comb.push_back(ratioToBase(Results[Spec.index(M, W, 0, 3)], Base));
     }
-    Table.addRow({Halving == 1.0 ? "default" : "halved caches",
+    Table.addRow({M == 0 ? "default" : "halved caches",
                   formatDouble(geomean(Plus), 3),
                   formatDouble(geomean(Aware), 3),
                   formatDouble(geomean(Comb), 3)});
@@ -38,5 +43,6 @@ int main() {
   Table.print();
   std::printf("\nPaper's shape: with halved caches (more pressure) the "
               "topology-aware schemes gain more ground over Base.\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "core/Pipeline.h"
 #include "sim/Engine.h"
 
+#include <algorithm>
+
 using namespace cta;
 using namespace cta::bench;
 
@@ -45,37 +47,42 @@ double simulateAssignment(const Program &Prog, const CacheTopology &Topo,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Figure 20",
               "level-restricted variants and the optimal comparison "
               "(Arch-I)");
 
   CacheTopology Topo = simMachine("arch-i");
-  ExperimentConfig Config = defaultConfig();
 
-  // Part 1: level-restricted variants over the subset suite.
-  TextTable Levels({"variant", "normalized cycles (geomean)"});
+  // Part 1: level-restricted variants over the subset suite, as a grid
+  // over MaxMapperLevel option variants.
   struct VariantSpec {
     const char *Name;
     unsigned MaxLevel;
   };
   const VariantSpec Variants[] = {
       {"L1+L2", 2}, {"L1+L2+L3", 3}, {"L1+L2+L3+L4", 0}};
-  std::vector<double> AllLevelRatios;
+
+  GridSpec Spec;
+  Spec.Workloads = sensitivitySubset();
+  Spec.Machines = {Topo};
+  Spec.Strategies = {Strategy::Base, Strategy::TopologyAware};
   for (const VariantSpec &V : Variants) {
-    ExperimentConfig C = Config;
-    C.Options.MaxMapperLevel = V.MaxLevel;
+    MappingOptions O = defaultOpts();
+    O.MaxMapperLevel = V.MaxLevel;
+    Spec.OptionVariants.push_back(O);
+  }
+
+  std::vector<RunResult> Results = Runner.run(Spec);
+
+  TextTable Levels({"variant", "normalized cycles (geomean)"});
+  for (std::size_t V = 0; V != Spec.OptionVariants.size(); ++V) {
     std::vector<double> Ratios;
-    for (const std::string &Name : sensitivitySubset()) {
-      Program Prog = makeWorkload(Name);
-      RunResult Base = runExperiment(Prog, Topo, Strategy::Base, C);
-      Ratios.push_back(normalizedCycles(Prog, Topo,
-                                        Strategy::TopologyAware, C,
-                                        Base.Cycles));
-    }
-    Levels.addRow({V.Name, formatDouble(geomean(Ratios), 3)});
-    if (V.MaxLevel == 0)
-      AllLevelRatios = Ratios;
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W)
+      Ratios.push_back(ratioToBase(Results[Spec.index(0, W, V, 1)],
+                                   Results[Spec.index(0, W, V, 0)]));
+    Levels.addRow({Variants[V].Name, formatDouble(geomean(Ratios), 3)});
   }
   Levels.print();
   std::printf("Paper's shape: considering the entire hierarchy beats the "
@@ -84,12 +91,14 @@ int main() {
 
   // Part 2: optimal comparison on small instances (the paper's ILP took up
   // to 23 hours; the search is budgeted to a few thousand simulations).
-  TextTable Opt({"app", "TopologyAware", "optimal (search)", "gap"});
-  std::vector<double> Gaps;
-  for (const std::string &Name : {std::string("galgel"), std::string("cg"),
-                                  std::string("povray")}) {
-    Program Prog = makeWorkload(Name, /*Scale=*/0.25);
-    MappingOptions O = Config.Options;
+  // Each app's search is an independent task: run them concurrently on
+  // the runner's pool via parallelFor (search iterations themselves are
+  // inherently sequential).
+  const std::vector<std::string> OptApps = {"galgel", "cg", "povray"};
+  std::vector<double> Ours(OptApps.size()), Best(OptApps.size());
+  parallelFor(Runner.pool(), 0, OptApps.size(), [&](std::size_t I) {
+    Program Prog = makeWorkload(OptApps[I], /*Scale=*/0.25);
+    MappingOptions O = defaultOpts();
     O.MaxGroupsForClustering = 48;
     O.ChainCoarsenTarget = 48;
     PipelineResult Pipe =
@@ -109,14 +118,19 @@ int main() {
     OptimalSearchOptions SOpts;
     SOpts.MaxEvaluations = 1500;
     SOpts.RandomRestarts = 1;
-    OptimalSearchResult Best =
+    OptimalSearchResult Found =
         searchBestAssignment(Groups, Topo.numCores(), Cost, &Seed, SOpts);
+    Ours[I] = Cost(Seed);
+    Best[I] = Found.Cost;
+  });
 
-    double Ours = Cost(Seed);
-    double Gap = Ours / Best.Cost - 1.0;
+  TextTable Opt({"app", "TopologyAware", "optimal (search)", "gap"});
+  std::vector<double> Gaps;
+  for (std::size_t I = 0; I != OptApps.size(); ++I) {
+    double Gap = Ours[I] / Best[I] - 1.0;
     Gaps.push_back(Gap);
-    Opt.addRow({Name, formatDouble(Ours, 0), formatDouble(Best.Cost, 0),
-                formatPercent(Gap)});
+    Opt.addRow({OptApps[I], formatDouble(Ours[I], 0),
+                formatDouble(Best[I], 0), formatPercent(Gap)});
   }
   Opt.print();
   double AvgGap = 0;
@@ -126,5 +140,6 @@ int main() {
   std::printf("\nAverage gap to the searched optimum: %s (paper: ~7.6%% "
               "to the ILP optimum).\n",
               formatPercent(AvgGap).c_str());
+  printExecSummary(Runner);
   return 0;
 }

@@ -1,11 +1,15 @@
 //===- bench/micro_components.cpp - component micro-benchmarks ------------===//
 //
 // google-benchmark timings of the pipeline's building blocks: tagging,
-// coarsening, clustering, local scheduling and the cache simulator's
-// access path. These are engineering benchmarks (no paper counterpart);
-// they guard against performance regressions in the pass itself.
+// coarsening, clustering, local scheduling, the cache simulator's
+// access path, and the exec/ subsystem's pool dispatch and fingerprint
+// hashing. These are engineering benchmarks (no paper counterpart); they
+// guard against performance regressions in the pass itself.
 //
 //===----------------------------------------------------------------------===//
+
+#include "exec/Fingerprint.h"
+#include "exec/ThreadPool.h"
 
 #include "core/DataBlockModel.h"
 #include "core/HierarchicalClusterer.h"
@@ -107,6 +111,32 @@ void BM_BlockSizeSelection(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_BlockSizeSelection);
+
+void BM_ThreadPoolParallelFor(benchmark::State &State) {
+  // Dispatch overhead of a 256-element parallelFor with trivial bodies:
+  // measures pool plumbing, not useful work.
+  ThreadPool Pool(2);
+  std::atomic<std::uint64_t> Sink{0};
+  for (auto _ : State) {
+    parallelFor(&Pool, 0, 256, [&](std::size_t I) {
+      Sink.fetch_add(I, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(Sink.load());
+}
+BENCHMARK(BM_ThreadPoolParallelFor);
+
+void BM_RunFingerprint(benchmark::State &State) {
+  Program P = benchProgram();
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+  for (auto _ : State) {
+    std::uint64_t Key = runFingerprint(P, Topo, nullptr,
+                                       Strategy::TopologyAware, Opts);
+    benchmark::DoNotOptimize(Key);
+  }
+}
+BENCHMARK(BM_RunFingerprint);
 
 } // namespace
 

@@ -9,12 +9,11 @@
 
 #include "BenchCommon.h"
 
-#include "sim/Engine.h"
-
 using namespace cta;
 using namespace cta::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
   printHeader("Table 2", "application inventory + single-core cycles");
 
   // A one-core machine with Dunnington's per-core cache slice.
@@ -24,25 +23,34 @@ int main() {
   unsigned L2 = OneCore.addCache(L3, 2, {3 * 1024 * 1024, 12, 64, 10});
   OneCore.addCache(L2, 1, {32 * 1024, 8, 64, 4});
   OneCore.finalize();
-  CacheTopology Scaled = OneCore.scaledCapacity(MachineScale);
+
+  GridSpec Spec;
+  Spec.Workloads = workloadNames();
+  Spec.Machines = {OneCore.scaledCapacity(MachineScale)};
+  Spec.Strategies = {Strategy::Base};
+  Spec.OptionVariants = {defaultOpts()};
+
+  std::vector<RunResult> Results = Runner.run(Spec);
 
   TextTable Table({"app", "origin", "input", "deps", "data set",
                    "iterations", "1-core cycles"});
-  MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
-  for (const WorkloadMeta &M : workloadSuite()) {
+  const std::vector<WorkloadMeta> &Suite = workloadSuite();
+  for (std::size_t W = 0; W != Suite.size(); ++W) {
+    const WorkloadMeta &M = Suite[W];
     Program Prog = makeWorkload(M.Name);
-    RunResult R = runOnMachine(Prog, Scaled, Strategy::Base, Opts);
     std::uint64_t Iters = 0;
     for (const LoopNest &Nest : Prog.Nests)
       Iters += Nest.countIterations();
     Table.addRow({M.Name, M.Origin, M.Sequential ? "sequential" : "parallel",
                   M.HasDependences ? "yes" : "no",
                   formatByteSize(Prog.dataSetBytes()),
-                  std::to_string(Iters), std::to_string(R.Cycles)});
+                  std::to_string(Iters),
+                  std::to_string(Results[Spec.index(0, W, 0, 0)].Cycles)});
   }
   Table.print();
   std::printf("\nData sets scale with the 1/32 machines exactly as the "
               "paper's 4.6MB-2.8GB sets relate to the real caches "
               "(DESIGN.md).\n");
+  printExecSummary(Runner);
   return 0;
 }

@@ -8,9 +8,13 @@
 // Table 1 machines, runs every version on every machine, and shows why
 // "just reuse the binary" loses to re-customizing the mapping.
 //
+// The 3x3 run matrix goes through the exec/ ExperimentRunner, so passing
+// --jobs=N executes the cells concurrently and --cache-dir=PATH makes
+// reruns instant.
+//
 //===----------------------------------------------------------------------===//
 
-#include "driver/Experiment.h"
+#include "exec/ExperimentRunner.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "topo/Presets.h"
@@ -20,7 +24,9 @@
 
 using namespace cta;
 
-int main() {
+int main(int argc, char **argv) {
+  ExperimentRunner Runner(parseExecArgs(argc, argv));
+
   const std::vector<std::string> Machines = {"harpertown", "nehalem",
                                              "dunnington"};
   Program Prog = makeWorkload("h264");
@@ -30,18 +36,32 @@ int main() {
   std::printf("Porting study: %s (%s)\n\n", Prog.Name.c_str(),
               "motion search with a shared context table");
 
-  TextTable Table({"runs on", "compiled for", "cycles", "vs native"});
+  // Task layout: for each target machine, one native run followed by the
+  // three ported runs, i.e. Tasks[Target * 4] is native and
+  // Tasks[Target * 4 + 1 + Source] was compiled for Machines[Source].
+  std::vector<RunTask> Tasks;
   for (const std::string &Target : Machines) {
     CacheTopology RunsOn =
         makePresetByName(Target).scaledCapacity(1.0 / 32);
-    std::uint64_t Native =
-        runOnMachine(Prog, RunsOn, Strategy::TopologyAware, Opts).Cycles;
+    Tasks.push_back(makeRunTask(Prog, RunsOn, Strategy::TopologyAware, Opts,
+                                Target + "/native"));
     for (const std::string &Source : Machines) {
       CacheTopology CompiledFor =
           makePresetByName(Source).scaledCapacity(1.0 / 32);
-      RunResult R = runCrossMachine(Prog, CompiledFor, RunsOn,
-                                    Strategy::TopologyAware, Opts);
-      Table.addRow({Target, Source, std::to_string(R.Cycles),
+      Tasks.push_back(makeCrossMachineTask(Prog, CompiledFor, RunsOn,
+                                           Strategy::TopologyAware, Opts,
+                                           Target + "/" + Source));
+    }
+  }
+
+  std::vector<RunResult> Results = Runner.run(Tasks);
+
+  TextTable Table({"runs on", "compiled for", "cycles", "vs native"});
+  for (std::size_t T = 0; T != Machines.size(); ++T) {
+    std::uint64_t Native = Results[T * 4].Cycles;
+    for (std::size_t S = 0; S != Machines.size(); ++S) {
+      const RunResult &R = Results[T * 4 + 1 + S];
+      Table.addRow({Machines[T], Machines[S], std::to_string(R.Cycles),
                     formatDouble(static_cast<double>(R.Cycles) /
                                      static_cast<double>(Native),
                                  3)});

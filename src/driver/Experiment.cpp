@@ -5,6 +5,7 @@
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
+#include <limits>
 #include <cmath>
 
 using namespace cta;
@@ -115,12 +116,15 @@ RunResult cta::runCrossMachine(const Program &Prog,
 }
 
 double cta::geomean(const std::vector<double> &Values) {
+  // The geometric mean is undefined for empty input and for non-positive
+  // ratios; return NaN deterministically rather than aborting (a single
+  // degenerate run must not kill a whole parallel experiment sweep).
   if (Values.empty())
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   double LogSum = 0.0;
   for (double V : Values) {
-    if (V <= 0.0)
-      reportFatalError("geomean needs positive values");
+    if (!(V > 0.0)) // catches negatives, zero and NaN
+      return std::numeric_limits<double>::quiet_NaN();
     LogSum += std::log(V);
   }
   return std::exp(LogSum / static_cast<double>(Values.size()));

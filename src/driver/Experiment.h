@@ -78,7 +78,9 @@ RunResult runCrossMachine(const Program &Prog,
                           const MappingOptions &Opts);
 
 /// Geometric mean of a vector of positive ratios (the usual way to average
-/// normalized execution times).
+/// normalized execution times). Returns quiet NaN for empty input or when
+/// any value is non-positive (or NaN): the mean is undefined there, and a
+/// deterministic NaN keeps parallel sweeps alive instead of aborting.
 double geomean(const std::vector<double> &Values);
 
 } // namespace cta

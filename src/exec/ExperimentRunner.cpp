@@ -1,0 +1,106 @@
+//===- exec/ExperimentRunner.cpp - Parallel experiment execution ----------===//
+
+#include "exec/ExperimentRunner.h"
+
+#include "exec/Fingerprint.h"
+#include "support/ErrorHandling.h"
+#include "workloads/Suite.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace cta;
+
+ExecConfig cta::parseExecArgs(int argc, char **argv) {
+  ExecConfig Config;
+  if (const char *Env = std::getenv("CTA_JOBS"))
+    Config.Jobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  if (const char *Env = std::getenv("CTA_CACHE_DIR"))
+    Config.CacheDir = Env;
+
+  auto parseJobs = [](const char *Value) -> unsigned {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Value, &End, 10);
+    if (End == Value || *End != '\0')
+      reportFatalError(
+          (std::string("invalid --jobs value '") + Value + "'").c_str());
+    return static_cast<unsigned>(N);
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Config.Jobs = parseJobs(Arg + 7);
+    } else if (std::strcmp(Arg, "--jobs") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--jobs needs a value");
+      Config.Jobs = parseJobs(argv[++I]);
+    } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
+      Config.CacheDir = Arg + 12;
+    } else if (std::strcmp(Arg, "--cache-dir") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--cache-dir needs a value");
+      Config.CacheDir = argv[++I];
+    }
+  }
+  return Config;
+}
+
+std::vector<RunTask> cta::expandGrid(const GridSpec &Spec) {
+  std::vector<RunTask> Tasks;
+  Tasks.reserve(Spec.numTasks());
+  const MappingOptions Default{};
+  for (const CacheTopology &Machine : Spec.Machines) {
+    for (const std::string &Workload : Spec.Workloads) {
+      Program Prog = makeWorkload(Workload, Spec.WorkloadScale);
+      for (std::size_t V = 0, NV = Spec.numVariants(); V != NV; ++V) {
+        const MappingOptions &Opts =
+            Spec.OptionVariants.empty() ? Default : Spec.OptionVariants[V];
+        for (Strategy Strat : Spec.Strategies)
+          Tasks.push_back(
+              makeRunTask(Prog, Machine, Strat, Opts,
+                          Machine.name() + "/" + Workload + "/v" +
+                              std::to_string(V) + "/" + strategyName(Strat)));
+      }
+    }
+  }
+  return Tasks;
+}
+
+ExperimentRunner::ExperimentRunner(ExecConfig ConfigIn)
+    : Config(std::move(ConfigIn)), Cache(Config.CacheDir) {
+  if (Config.Jobs == 0)
+    Config.Jobs = ThreadPool::defaultThreadCount();
+  if (Config.Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Config.Jobs);
+}
+
+unsigned ExperimentRunner::jobs() const { return Config.Jobs; }
+
+RunResult ExperimentRunner::execute(const RunTask &Task) {
+  SimInvocations.fetch_add(1, std::memory_order_relaxed);
+  if (Task.RunsOn)
+    return runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn, Task.Strat,
+                           Task.Opts);
+  return runOnMachine(Task.Prog, Task.Machine, Task.Strat, Task.Opts);
+}
+
+RunResult ExperimentRunner::runOne(const RunTask &Task) {
+  std::uint64_t Key =
+      runFingerprint(Task.Prog, Task.Machine,
+                     Task.RunsOn ? &*Task.RunsOn : nullptr, Task.Strat,
+                     Task.Opts);
+  if (std::optional<RunResult> Cached = Cache.lookup(Key))
+    return *Cached;
+  RunResult R = execute(Task);
+  Cache.store(Key, R);
+  return R;
+}
+
+std::vector<RunResult> ExperimentRunner::run(const std::vector<RunTask> &Tasks) {
+  std::vector<RunResult> Results(Tasks.size());
+  parallelFor(Pool.get(), 0, Tasks.size(),
+              [&](std::size_t I) { Results[I] = runOne(Tasks[I]); });
+  return Results;
+}

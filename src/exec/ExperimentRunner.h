@@ -1,0 +1,167 @@
+//===- exec/ExperimentRunner.h - Parallel experiment execution -*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment-execution subsystem every bench binary runs on. A bench
+/// declares its (workload x machine x strategy x option-variant) grid —
+/// either as a GridSpec that expandGrid() unrolls, or as an explicit
+/// RunTask vector for irregular shapes like the Figure 14 cross-machine
+/// study — and the ExperimentRunner executes the tasks concurrently on a
+/// work-stealing thread pool, each task with its own MachineSim instance.
+///
+/// Two guarantees make this a drop-in replacement for the old serial
+/// triple loops:
+///
+///  * Determinism: results are collected by grid index, so the returned
+///    vector is identical for any thread count (simulation itself is
+///    single-threaded per task and fully deterministic).
+///  * Idempotence: with a cache directory configured, each task's
+///    fingerprint is looked up in the persistent RunCache first; only
+///    fingerprint misses touch the simulator.
+///
+/// Command-line integration: parseExecArgs() gives every bench binary the
+/// --jobs=N and --cache-dir=PATH flags (env fallbacks CTA_JOBS and
+/// CTA_CACHE_DIR) without per-bench argument code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_EXEC_EXPERIMENTRUNNER_H
+#define CTA_EXEC_EXPERIMENTRUNNER_H
+
+#include "driver/Experiment.h"
+#include "exec/RunCache.h"
+#include "exec/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cta {
+
+/// Runner configuration, normally produced by parseExecArgs().
+struct ExecConfig {
+  /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
+  /// calling thread (no pool).
+  unsigned Jobs = 0;
+  /// Directory of the persistent RunCache; empty disables caching.
+  std::string CacheDir;
+};
+
+/// Parses --jobs=N / --jobs N and --cache-dir=PATH / --cache-dir PATH
+/// from \p argv (also accepts the CTA_JOBS / CTA_CACHE_DIR environment
+/// variables as defaults). Unrecognized arguments are left alone so
+/// benches can layer their own flags. Aborts on malformed values.
+ExecConfig parseExecArgs(int argc, char **argv);
+
+/// One independent run: map \p Prog for \p Machine under \p Strat/\p Opts
+/// and simulate. When \p RunsOn is set the mapping is retargeted onto it
+/// before simulation (the Figure 2/14 cross-machine experiments).
+struct RunTask {
+  Program Prog;
+  CacheTopology Machine;
+  std::optional<CacheTopology> RunsOn;
+  Strategy Strat = Strategy::Base;
+  MappingOptions Opts;
+  /// Free-form tag for diagnostics ("fig13/dunnington/cg/TopologyAware").
+  std::string Label;
+};
+
+/// RunTask has no default constructor (CacheTopology needs a machine);
+/// these factories keep call sites readable.
+inline RunTask makeRunTask(Program Prog, CacheTopology Machine, Strategy Strat,
+                           MappingOptions Opts, std::string Label = "") {
+  return RunTask{std::move(Prog), std::move(Machine), std::nullopt, Strat,
+                 Opts, std::move(Label)};
+}
+
+/// Cross-machine variant: compile for \p CompiledFor, execute on \p RunsOn.
+inline RunTask makeCrossMachineTask(Program Prog, CacheTopology CompiledFor,
+                                    CacheTopology RunsOn, Strategy Strat,
+                                    MappingOptions Opts,
+                                    std::string Label = "") {
+  return RunTask{std::move(Prog), std::move(CompiledFor), std::move(RunsOn),
+                 Strat, Opts, std::move(Label)};
+}
+
+/// A declarative experiment grid. expandGrid() unrolls it machine-major:
+/// for each machine, for each workload, for each option variant, for each
+/// strategy — the same nesting order the serial benches used, so results
+/// land in a predictable layout.
+struct GridSpec {
+  /// Workload names resolved through makeWorkload().
+  std::vector<std::string> Workloads;
+  double WorkloadScale = 1.0;
+  /// Machines, already scaled: the scaled machine *is* the machine.
+  std::vector<CacheTopology> Machines;
+  std::vector<Strategy> Strategies;
+  /// Option variants (block-size sweeps, alpha/beta sweeps, mapper-level
+  /// restrictions). Empty means one variant: defaults.
+  std::vector<MappingOptions> OptionVariants;
+
+  std::size_t numVariants() const {
+    return OptionVariants.empty() ? 1 : OptionVariants.size();
+  }
+  std::size_t numTasks() const {
+    return Machines.size() * Workloads.size() * numVariants() *
+           Strategies.size();
+  }
+  /// Flat index of one grid point in expandGrid() order.
+  std::size_t index(std::size_t MachineIdx, std::size_t WorkloadIdx,
+                    std::size_t VariantIdx, std::size_t StrategyIdx) const {
+    return ((MachineIdx * Workloads.size() + WorkloadIdx) * numVariants() +
+            VariantIdx) *
+               Strategies.size() +
+           StrategyIdx;
+  }
+};
+
+/// Unrolls \p Spec into expandGrid-order RunTasks (see GridSpec::index).
+std::vector<RunTask> expandGrid(const GridSpec &Spec);
+
+/// Executes RunTasks concurrently with result caching. Thread-safe for
+/// concurrent run() calls, though benches use one runner per process.
+class ExperimentRunner {
+  ExecConfig Config;
+  RunCache Cache;
+  std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
+  std::atomic<std::uint64_t> SimInvocations{0};
+
+  RunResult execute(const RunTask &Task);
+
+public:
+  explicit ExperimentRunner(ExecConfig Config = {});
+
+  /// Worker threads actually in use (resolves Jobs == 0).
+  unsigned jobs() const;
+
+  /// Runs every task; Results[I] corresponds to Tasks[I] regardless of
+  /// completion order.
+  std::vector<RunResult> run(const std::vector<RunTask> &Tasks);
+
+  /// Convenience: expandGrid + run.
+  std::vector<RunResult> run(const GridSpec &Spec) {
+    return run(expandGrid(Spec));
+  }
+
+  /// Cache lookup -> execute -> store, for one task on the calling thread.
+  RunResult runOne(const RunTask &Task);
+
+  const RunCache &cache() const { return Cache; }
+
+  /// Number of tasks that actually reached the simulator (cache misses).
+  /// A fully warm cache leaves this at zero.
+  std::uint64_t simulatorInvocations() const { return SimInvocations.load(); }
+
+  /// The underlying pool, for benches that need raw parallelFor (null when
+  /// running inline with Jobs == 1).
+  ThreadPool *pool() { return Pool.get(); }
+};
+
+} // namespace cta
+
+#endif // CTA_EXEC_EXPERIMENTRUNNER_H

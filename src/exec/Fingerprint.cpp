@@ -1,0 +1,93 @@
+//===- exec/Fingerprint.cpp - Stable experiment-input fingerprints --------===//
+
+#include "exec/Fingerprint.h"
+
+using namespace cta;
+
+namespace {
+
+void hashAffineExpr(HashBuilder &H, const AffineExpr &E) {
+  H.add(static_cast<std::uint64_t>(E.numVars()));
+  for (unsigned V = 0, N = E.numVars(); V != N; ++V)
+    H.add(E.coeff(V));
+  H.add(E.constantTerm());
+}
+
+} // namespace
+
+void cta::hashProgram(HashBuilder &H, const Program &Prog) {
+  H.add(Prog.Name);
+  H.add(static_cast<std::uint64_t>(Prog.Arrays.size()));
+  for (const ArrayDecl &A : Prog.Arrays) {
+    H.add(A.Name);
+    H.add(A.Dims);
+    H.add(static_cast<std::uint64_t>(A.ElementSize));
+  }
+  H.add(static_cast<std::uint64_t>(Prog.Nests.size()));
+  for (const LoopNest &Nest : Prog.Nests) {
+    H.add(Nest.name());
+    H.add(static_cast<std::uint64_t>(Nest.depth()));
+    H.add(static_cast<std::uint64_t>(Nest.computeCyclesPerIteration()));
+    H.add(static_cast<std::uint64_t>(Nest.dims().size()));
+    for (const LoopDim &Dim : Nest.dims()) {
+      hashAffineExpr(H, Dim.Lower);
+      hashAffineExpr(H, Dim.Upper);
+    }
+    H.add(static_cast<std::uint64_t>(Nest.accesses().size()));
+    for (const ArrayAccess &Acc : Nest.accesses()) {
+      H.add(static_cast<std::uint64_t>(Acc.ArrayId));
+      H.add(Acc.IsWrite);
+      H.add(Acc.WrapSubscripts);
+      H.add(static_cast<std::uint64_t>(Acc.Subscripts.size()));
+      for (const AffineExpr &S : Acc.Subscripts)
+        hashAffineExpr(H, S);
+    }
+  }
+}
+
+void cta::hashTopology(HashBuilder &H, const CacheTopology &Topo) {
+  H.add(Topo.name());
+  H.add(static_cast<std::uint64_t>(Topo.numNodes()));
+  H.add(static_cast<std::uint64_t>(Topo.numCores()));
+  H.add(static_cast<std::uint64_t>(Topo.memoryLatency()));
+  for (unsigned Id = 0, E = Topo.numNodes(); Id != E; ++Id) {
+    const CacheTopology::Node &N = Topo.node(Id);
+    H.add(static_cast<std::int64_t>(N.Parent));
+    H.add(static_cast<std::uint64_t>(N.Level));
+    H.add(N.Params.SizeBytes);
+    H.add(static_cast<std::uint64_t>(N.Params.Assoc));
+    H.add(static_cast<std::uint64_t>(N.Params.LineSize));
+    H.add(static_cast<std::uint64_t>(N.Params.LatencyCycles));
+    H.add(static_cast<std::int64_t>(N.Core));
+  }
+}
+
+void cta::hashOptions(HashBuilder &H, const MappingOptions &Opts) {
+  H.add(Opts.BlockSizeBytes);
+  H.add(Opts.BalanceThreshold);
+  H.add(Opts.Alpha);
+  H.add(Opts.Beta);
+  H.add(static_cast<std::uint64_t>(Opts.MaxMapperLevel));
+  H.add(static_cast<std::uint64_t>(Opts.DepPolicy));
+  H.add(Opts.UseBarrierSync);
+  H.add(static_cast<std::uint64_t>(Opts.MaxGroupsForClustering));
+  H.add(static_cast<std::uint64_t>(Opts.ChainCoarsenTarget));
+  H.add(Opts.MaxIterations);
+}
+
+std::uint64_t cta::runFingerprint(const Program &Prog,
+                                  const CacheTopology &Machine,
+                                  const CacheTopology *RunsOn, Strategy Strat,
+                                  const MappingOptions &Opts) {
+  HashBuilder H;
+  H.add(std::string_view("cta-run"));
+  H.add(RunCacheFormatVersion);
+  hashProgram(H, Prog);
+  hashTopology(H, Machine);
+  H.add(RunsOn != nullptr);
+  if (RunsOn)
+    hashTopology(H, *RunsOn);
+  H.add(static_cast<std::uint64_t>(Strat));
+  hashOptions(H, Opts);
+  return H.hash();
+}

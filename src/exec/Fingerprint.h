@@ -1,0 +1,53 @@
+//===- exec/Fingerprint.h - Stable experiment-input fingerprints *- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content hashes of everything that determines a run's outcome: the
+/// program (arrays + loop nests down to every affine coefficient), the
+/// scaled cache topology (structure + geometry + latencies), the strategy
+/// and the full MappingOptions. Two runs with equal fingerprints are
+/// guaranteed to produce identical simulation results, which is what lets
+/// the RunCache serve them from disk. A format-version salt is mixed in so
+/// changing any serialization or semantics invalidates old cache entries
+/// wholesale instead of corrupting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_EXEC_FINGERPRINT_H
+#define CTA_EXEC_FINGERPRINT_H
+
+#include "core/Options.h"
+#include "core/Pipeline.h"
+#include "poly/Program.h"
+#include "support/Hashing.h"
+#include "topo/Topology.h"
+
+namespace cta {
+
+/// Bumped whenever run semantics or RunResult serialization change.
+inline constexpr std::uint64_t RunCacheFormatVersion = 1;
+
+/// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
+/// per-iteration compute cost.
+void hashProgram(HashBuilder &H, const Program &Prog);
+
+/// Feeds \p Topo into \p H: the finalized tree structure plus every
+/// node's level, geometry and latency.
+void hashTopology(HashBuilder &H, const CacheTopology &Topo);
+
+/// Feeds every field of \p Opts into \p H.
+void hashOptions(HashBuilder &H, const MappingOptions &Opts);
+
+/// The cache key of one run: version salt + program + machine the mapper
+/// compiles for + (optionally) the distinct machine the mapping executes
+/// on (Figure 14 cross-machine runs) + strategy + options.
+std::uint64_t runFingerprint(const Program &Prog, const CacheTopology &Machine,
+                             const CacheTopology *RunsOn, Strategy Strat,
+                             const MappingOptions &Opts);
+
+} // namespace cta
+
+#endif // CTA_EXEC_FINGERPRINT_H

@@ -1,0 +1,169 @@
+//===- exec/RunCache.cpp - Persistent content-addressed run cache ---------===//
+
+#include "exec/RunCache.h"
+
+#include "exec/Fingerprint.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace cta;
+
+namespace {
+
+/// Lossless double rendering (hexfloat) — "%a" round-trips exactly.
+std::string formatExact(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string cta::serializeRunResult(const RunResult &R, std::uint64_t Key) {
+  std::ostringstream OS;
+  OS << "CTA-RUN v" << RunCacheFormatVersion << "\n";
+  OS << "key " << toHexDigest(Key) << "\n";
+  OS << "cycles " << R.Cycles << "\n";
+  OS << "mapping_seconds " << formatExact(R.MappingSeconds) << "\n";
+  OS << "block_size " << R.BlockSizeBytes << "\n";
+  OS << "imbalance " << formatExact(R.Imbalance) << "\n";
+  OS << "num_rounds " << R.NumRounds << "\n";
+  OS << "memory_accesses " << R.Stats.MemoryAccesses << "\n";
+  OS << "total_accesses " << R.Stats.TotalAccesses << "\n";
+  for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+    const SimStats::LevelStats &S = R.Stats.Levels[L];
+    if (S.Lookups == 0 && S.Hits == 0)
+      continue;
+    OS << "level " << L << " " << S.Lookups << " " << S.Hits << "\n";
+  }
+  OS << "end\n";
+  return OS.str();
+}
+
+std::optional<RunResult> cta::deserializeRunResult(const std::string &Text,
+                                                   std::uint64_t Key) {
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) ||
+      Line != "CTA-RUN v" + std::to_string(RunCacheFormatVersion))
+    return std::nullopt;
+
+  RunResult R;
+  bool SawKey = false, SawEnd = false;
+  while (std::getline(IS, Line)) {
+    if (Line == "end") {
+      SawEnd = true;
+      break;
+    }
+    std::istringstream LS(Line);
+    std::string Field;
+    LS >> Field;
+    if (Field == "key") {
+      std::string Hex;
+      LS >> Hex;
+      if (Hex != toHexDigest(Key))
+        return std::nullopt;
+      SawKey = true;
+    } else if (Field == "cycles") {
+      LS >> R.Cycles;
+    } else if (Field == "mapping_seconds") {
+      std::string V;
+      LS >> V;
+      R.MappingSeconds = std::strtod(V.c_str(), nullptr);
+    } else if (Field == "block_size") {
+      LS >> R.BlockSizeBytes;
+    } else if (Field == "imbalance") {
+      std::string V;
+      LS >> V;
+      R.Imbalance = std::strtod(V.c_str(), nullptr);
+    } else if (Field == "num_rounds") {
+      LS >> R.NumRounds;
+    } else if (Field == "memory_accesses") {
+      LS >> R.Stats.MemoryAccesses;
+    } else if (Field == "total_accesses") {
+      LS >> R.Stats.TotalAccesses;
+    } else if (Field == "level") {
+      unsigned L = 0;
+      std::uint64_t Lookups = 0, Hits = 0;
+      LS >> L >> Lookups >> Hits;
+      if (L == 0 || L > SimStats::MaxLevels)
+        return std::nullopt;
+      R.Stats.Levels[L].Lookups = Lookups;
+      R.Stats.Levels[L].Hits = Hits;
+    } else {
+      return std::nullopt; // unknown field: treat as corruption
+    }
+    if (LS.fail())
+      return std::nullopt;
+  }
+  if (!SawKey || !SawEnd)
+    return std::nullopt;
+  return R;
+}
+
+std::string cta::deterministicBytes(const RunResult &R) {
+  RunResult Canon = R;
+  Canon.MappingSeconds = 0.0;
+  return serializeRunResult(Canon, /*Key=*/0);
+}
+
+RunCache::RunCache(std::string Directory) : Dir(std::move(Directory)) {
+  if (Dir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    reportFatalError(("cannot create run-cache directory '" + Dir +
+                      "': " + EC.message())
+                         .c_str());
+}
+
+std::optional<RunResult> RunCache::lookup(std::uint64_t Key) const {
+  if (!enabled())
+    return std::nullopt;
+  std::filesystem::path Path =
+      std::filesystem::path(Dir) / (toHexDigest(Key) + ".run");
+  std::ifstream In(Path);
+  if (!In) {
+    MissCount.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::optional<RunResult> R = deserializeRunResult(Contents.str(), Key);
+  (R ? HitCount : MissCount).fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+void RunCache::store(std::uint64_t Key, const RunResult &R) const {
+  if (!enabled())
+    return;
+  std::filesystem::path Final =
+      std::filesystem::path(Dir) / (toHexDigest(Key) + ".run");
+  // Unique temp per writer thread, renamed into place atomically.
+  std::ostringstream TmpName;
+  TmpName << toHexDigest(Key) << ".tmp."
+          << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::filesystem::path Tmp = std::filesystem::path(Dir) / TmpName.str();
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return; // cache is best-effort; failing to store is not fatal
+    Out << serializeRunResult(R, Key);
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return;
+  }
+  StoreCount.fetch_add(1, std::memory_order_relaxed);
+}

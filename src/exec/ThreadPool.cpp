@@ -1,0 +1,165 @@
+//===- exec/ThreadPool.cpp - Work-stealing thread pool --------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace cta;
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreadCount();
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    Stopping.store(true, std::memory_order_relaxed);
+  }
+  SleepCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Fn) {
+  unsigned Target =
+      NextQueue.fetch_add(1, std::memory_order_relaxed) % Queues.size();
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Target]->Mutex);
+    Queues[Target]->Tasks.push_back(std::move(Fn));
+  }
+  // The pending count is bumped under SleepMutex so a worker checking its
+  // wait predicate cannot miss the increment between check and sleep.
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    PendingTasks.fetch_add(1, std::memory_order_relaxed);
+  }
+  SleepCV.notify_one();
+}
+
+bool ThreadPool::popFrom(unsigned Queue, bool Owner,
+                         std::function<void()> &Out) {
+  WorkerQueue &Q = *Queues[Queue];
+  std::lock_guard<std::mutex> Lock(Q.Mutex);
+  if (Q.Tasks.empty())
+    return false;
+  if (Owner) { // LIFO for locality
+    Out = std::move(Q.Tasks.back());
+    Q.Tasks.pop_back();
+  } else { // thieves take the oldest task
+    Out = std::move(Q.Tasks.front());
+    Q.Tasks.pop_front();
+  }
+  PendingTasks.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::tryRunOne() {
+  std::function<void()> Task;
+  for (unsigned I = 0, E = Queues.size(); I != E; ++I) {
+    if (popFrom(I, /*Owner=*/false, Task)) {
+      Task();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  const unsigned NumQueues = Queues.size();
+  std::function<void()> Task;
+  while (true) {
+    bool Found = popFrom(Self, /*Owner=*/true, Task);
+    // Steal sweep: start at the right-hand neighbour so thieves fan out
+    // instead of all hammering queue 0.
+    for (unsigned Offset = 1; !Found && Offset != NumQueues; ++Offset)
+      Found = popFrom((Self + Offset) % NumQueues, /*Owner=*/false, Task);
+
+    if (Found) {
+      Task();
+      Task = nullptr;
+      continue;
+    }
+
+    std::unique_lock<std::mutex> Lock(SleepMutex);
+    SleepCV.wait(Lock, [this] {
+      return Stopping.load(std::memory_order_relaxed) ||
+             PendingTasks.load(std::memory_order_relaxed) != 0;
+    });
+    if (Stopping.load(std::memory_order_relaxed) &&
+        PendingTasks.load(std::memory_order_relaxed) == 0)
+      return;
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> Fn) {
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  Pool.submit([this, Fn = std::move(Fn)] {
+    Fn();
+    // Decrement and notify inside one DoneMutex critical section: a
+    // waiter must neither sleep past the decrement nor destroy the group
+    // while this task is still touching DoneCV (wait() re-acquires
+    // DoneMutex before returning, which orders it after this section).
+    std::lock_guard<std::mutex> Lock(DoneMutex);
+    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      DoneCV.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  // Help: drain pool work while our tasks are in flight. This keeps the
+  // calling thread productive and makes nested TaskGroups deadlock-free.
+  while (Pending.load(std::memory_order_acquire) != 0) {
+    if (Pool.tryRunOne())
+      continue;
+    std::unique_lock<std::mutex> Lock(DoneMutex);
+    // Re-check under the lock; the last task signals under DoneMutex.
+    if (Pending.load(std::memory_order_acquire) == 0)
+      break;
+    // A short timed wait instead of an unconditional block: a task we
+    // could help with may appear in the pool after our empty sweep.
+    DoneCV.wait_for(Lock, std::chrono::milliseconds(1));
+  }
+  // The last task decrements Pending and notifies inside a DoneMutex
+  // critical section; taking the lock once more guarantees that section
+  // has fully exited before the caller may destroy this group.
+  std::lock_guard<std::mutex> Lock(DoneMutex);
+}
+
+void cta::parallelFor(ThreadPool *Pool, std::size_t Begin, std::size_t End,
+                      const std::function<void(std::size_t)> &Fn) {
+  if (Begin >= End)
+    return;
+  std::size_t N = End - Begin;
+  if (!Pool || Pool->numThreads() == 1 || N == 1) {
+    for (std::size_t I = Begin; I != End; ++I)
+      Fn(I);
+    return;
+  }
+  // Oversubscribe chunks 4x so stealing can rebalance uneven iterations.
+  std::size_t NumChunks = std::min<std::size_t>(
+      N, static_cast<std::size_t>(Pool->numThreads()) * 4);
+  std::size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  TaskGroup Group(*Pool);
+  for (std::size_t ChunkBegin = Begin; ChunkBegin < End;
+       ChunkBegin += ChunkSize) {
+    std::size_t ChunkEnd = std::min(End, ChunkBegin + ChunkSize);
+    Group.spawn([ChunkBegin, ChunkEnd, &Fn] {
+      for (std::size_t I = ChunkBegin; I != ChunkEnd; ++I)
+        Fn(I);
+    });
+  }
+  Group.wait();
+}

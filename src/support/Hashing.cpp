@@ -1,0 +1,13 @@
+//===- support/Hashing.cpp - Stable content hashing -----------------------===//
+
+#include "support/Hashing.h"
+
+using namespace cta;
+
+std::string cta::toHexDigest(std::uint64_t Hash) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Digits[(Hash >> (I * 4)) & 0xf];
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- support/Hashing.h - Stable content hashing --------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable 64-bit content hash (FNV-1a) for fingerprinting experiment
+/// inputs. Unlike std::hash, the result is specified: it depends only on
+/// the bytes fed in, never on the platform, the process or the standard
+/// library, so it can key the persistent RunCache across runs and machines.
+///
+/// Scalar feeders canonicalize before hashing: integers are widened to
+/// 64 bits, doubles are bit-cast (with -0.0 folded onto +0.0 so equal
+/// values hash equally), and strings contribute their length first so
+/// concatenations cannot collide ("ab","c" vs "a","bc").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_HASHING_H
+#define CTA_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cta {
+
+/// Incremental FNV-1a 64-bit hasher.
+class HashBuilder {
+  static constexpr std::uint64_t Offset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t Prime = 0x100000001b3ull;
+
+  std::uint64_t State = Offset;
+
+public:
+  HashBuilder &addByte(std::uint8_t B) {
+    State = (State ^ B) * Prime;
+    return *this;
+  }
+
+  HashBuilder &addBytes(const void *Data, std::size_t Size) {
+    const auto *P = static_cast<const std::uint8_t *>(Data);
+    for (std::size_t I = 0; I != Size; ++I)
+      addByte(P[I]);
+    return *this;
+  }
+
+  /// Little-endian, regardless of host byte order.
+  HashBuilder &add(std::uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      addByte(static_cast<std::uint8_t>(V >> (I * 8)));
+    return *this;
+  }
+
+  HashBuilder &add(std::int64_t V) {
+    return add(static_cast<std::uint64_t>(V));
+  }
+  HashBuilder &add(std::uint32_t V) {
+    return add(static_cast<std::uint64_t>(V));
+  }
+  HashBuilder &add(std::int32_t V) { return add(static_cast<std::int64_t>(V)); }
+  HashBuilder &add(bool V) { return addByte(V ? 1 : 0); }
+
+  HashBuilder &add(double V) {
+    if (V == 0.0)
+      V = 0.0; // fold -0.0 onto +0.0
+    std::uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return add(Bits);
+  }
+
+  HashBuilder &add(std::string_view S) {
+    add(static_cast<std::uint64_t>(S.size()));
+    return addBytes(S.data(), S.size());
+  }
+  HashBuilder &add(const std::string &S) { return add(std::string_view(S)); }
+  HashBuilder &add(const char *S) { return add(std::string_view(S)); }
+
+  template <typename T> HashBuilder &add(const std::vector<T> &V) {
+    add(static_cast<std::uint64_t>(V.size()));
+    for (const T &E : V)
+      add(E);
+    return *this;
+  }
+
+  std::uint64_t hash() const { return State; }
+};
+
+/// Lowercase 16-digit hex rendering of \p Hash (RunCache file names).
+std::string toHexDigest(std::uint64_t Hash);
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_HASHING_H

@@ -12,7 +12,7 @@ StatisticRegistry &StatisticRegistry::get() {
 }
 
 void StatisticRegistry::dump() const {
-  for (const auto &[Name, Value] : Counters)
+  for (const auto &[Name, Value] : snapshot())
     std::fprintf(stderr, "%12llu %s\n",
                  static_cast<unsigned long long>(Value), Name.c_str());
 }

@@ -16,13 +16,17 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace cta {
 
-/// Process-wide registry of named counters. Not thread safe; the mapping
-/// pipeline is single threaded (it is a compiler pass).
+/// Process-wide registry of named counters. Thread safe: mapping passes run
+/// concurrently under the exec/ subsystem's thread pool, so every operation
+/// takes the registry mutex. Counter bumps from concurrent passes interleave
+/// atomically; snapshot() is the consistent read for reporting.
 class StatisticRegistry {
+  mutable std::mutex Mutex;
   std::map<std::string, std::uint64_t> Counters;
 
   StatisticRegistry() = default;
@@ -31,17 +35,24 @@ public:
   static StatisticRegistry &get();
 
   void add(const std::string &Name, std::uint64_t Delta) {
+    std::lock_guard<std::mutex> Lock(Mutex);
     Counters[Name] += Delta;
   }
 
   std::uint64_t lookup(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
 
-  void clear() { Counters.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.clear();
+  }
 
-  const std::map<std::string, std::uint64_t> &counters() const {
+  /// Consistent copy of all counters at one instant.
+  std::map<std::string, std::uint64_t> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return Counters;
   }
 

@@ -1,0 +1,352 @@
+//===- tests/exec_test.cpp - exec/ subsystem tests ------------------------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+// Covers the three pillars of the exec/ subsystem: the work-stealing
+// ThreadPool (correctness under load, nesting, inline fallback), the
+// determinism guarantee (1-thread and N-thread grids produce
+// byte-identical results), and the persistent RunCache (round-trip,
+// corruption tolerance, warm reruns with zero simulator invocations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExperimentRunner.h"
+#include "exec/Fingerprint.h"
+#include "exec/RunCache.h"
+#include "exec/ThreadPool.h"
+#include "topo/Presets.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <vector>
+
+using namespace cta;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool / TaskGroup / parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  TaskGroup Group(Pool);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 1000; ++I)
+    Group.spawn([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedTaskGroupsDoNotDeadlock) {
+  // Every pool task spawns a child group and waits on it; with blocking
+  // waits a 2-thread pool would deadlock, with helping waits it must not.
+  ThreadPool Pool(2);
+  TaskGroup Outer(Pool);
+  std::atomic<int> Leaves{0};
+  for (int I = 0; I != 16; ++I)
+    Outer.spawn([&Pool, &Leaves] {
+      TaskGroup Inner(Pool);
+      for (int J = 0; J != 8; ++J)
+        Inner.spawn(
+            [&Leaves] { Leaves.fetch_add(1, std::memory_order_relaxed); });
+      Inner.wait();
+    });
+  Outer.wait();
+  EXPECT_EQ(Leaves.load(), 16 * 8);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Visits(1024);
+  parallelFor(&Pool, 0, Visits.size(), [&Visits](std::size_t I) {
+    Visits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t I = 0; I != Visits.size(); ++I)
+    EXPECT_EQ(Visits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  // Null pool = serial execution on the calling thread, in order.
+  std::vector<std::size_t> Order;
+  parallelFor(nullptr, 3, 8,
+              [&Order](std::size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool Pool(2);
+  bool Ran = false;
+  parallelFor(&Pool, 5, 5, [&Ran](std::size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(FingerprintTest, StableAndSensitive) {
+  Program Prog = makeWorkload("cg");
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+
+  std::uint64_t Key =
+      runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
+  // Same inputs, same key.
+  EXPECT_EQ(Key, runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware,
+                                Opts));
+  // Any input change must move the key.
+  EXPECT_NE(Key,
+            runFingerprint(Prog, Topo, nullptr, Strategy::Base, Opts));
+  MappingOptions Tweaked = Opts;
+  Tweaked.Alpha = Opts.Alpha + 0.25;
+  EXPECT_NE(Key, runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware,
+                                Tweaked));
+  CacheTopology Other = makeNehalem().scaledCapacity(1.0 / 32);
+  EXPECT_NE(Key, runFingerprint(Prog, Other, nullptr,
+                                Strategy::TopologyAware, Opts));
+  Program OtherProg = makeWorkload("applu");
+  EXPECT_NE(Key, runFingerprint(OtherProg, Topo, nullptr,
+                                Strategy::TopologyAware, Opts));
+  // A cross-machine run keys differently from a native run.
+  EXPECT_NE(Key, runFingerprint(Prog, Topo, &Other, Strategy::TopologyAware,
+                                Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// RunCache serialization + storage
+//===----------------------------------------------------------------------===//
+
+RunResult sampleResult() {
+  RunResult R{};
+  R.Cycles = 123456789;
+  R.MappingSeconds = 0.0417;
+  R.BlockSizeBytes = 1024;
+  R.Imbalance = 0.0625;
+  R.NumRounds = 7;
+  R.Stats.MemoryAccesses = 42;
+  R.Stats.TotalAccesses = 4242;
+  R.Stats.Levels[1] = {4242, 4100};
+  R.Stats.Levels[2] = {142, 100};
+  return R;
+}
+
+TEST(RunCacheTest, SerializationRoundTrips) {
+  RunResult R = sampleResult();
+  std::string Text = serializeRunResult(R, 0xdeadbeef);
+  std::optional<RunResult> Back = deserializeRunResult(Text, 0xdeadbeef);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Cycles, R.Cycles);
+  EXPECT_EQ(Back->MappingSeconds, R.MappingSeconds); // %a is lossless
+  EXPECT_EQ(Back->BlockSizeBytes, R.BlockSizeBytes);
+  EXPECT_EQ(Back->Imbalance, R.Imbalance);
+  EXPECT_EQ(Back->NumRounds, R.NumRounds);
+  EXPECT_EQ(Back->Stats.MemoryAccesses, R.Stats.MemoryAccesses);
+  EXPECT_EQ(Back->Stats.TotalAccesses, R.Stats.TotalAccesses);
+  for (unsigned L = 0; L <= SimStats::MaxLevels; ++L) {
+    EXPECT_EQ(Back->Stats.Levels[L].Lookups, R.Stats.Levels[L].Lookups)
+        << "level " << L;
+    EXPECT_EQ(Back->Stats.Levels[L].Hits, R.Stats.Levels[L].Hits)
+        << "level " << L;
+  }
+}
+
+TEST(RunCacheTest, RejectsWrongKeyAndGarbage) {
+  RunResult R = sampleResult();
+  std::string Text = serializeRunResult(R, 1);
+  EXPECT_FALSE(deserializeRunResult(Text, 2).has_value());
+  EXPECT_FALSE(deserializeRunResult("", 1).has_value());
+  EXPECT_FALSE(deserializeRunResult("CTA-RUN v999\n", 1).has_value());
+  EXPECT_FALSE(
+      deserializeRunResult(Text.substr(0, Text.size() / 2), 1).has_value());
+}
+
+class TempDirTest : public ::testing::Test {
+protected:
+  std::string Dir;
+  void SetUp() override {
+    Dir = (std::filesystem::temp_directory_path() /
+           ("cta-exec-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+              .string();
+    std::filesystem::remove_all(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+};
+
+class RunCacheDiskTest : public TempDirTest {};
+
+TEST_F(RunCacheDiskTest, StoreThenLookup) {
+  RunCache Cache(Dir);
+  ASSERT_TRUE(Cache.enabled());
+  EXPECT_FALSE(Cache.lookup(99).has_value());
+  RunResult R = sampleResult();
+  Cache.store(99, R);
+  std::optional<RunResult> Back = Cache.lookup(99);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(serializeRunResult(*Back, 99), serializeRunResult(R, 99));
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.stores(), 1u);
+}
+
+TEST_F(RunCacheDiskTest, CorruptEntryIsAMiss) {
+  RunCache Cache(Dir);
+  Cache.store(7, sampleResult());
+  // Truncate the entry on disk behind the cache's back.
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    std::ofstream Out(Entry.path(), std::ios::trunc);
+    Out << "CTA-RUN v1\ngarbage\n";
+  }
+  EXPECT_FALSE(Cache.lookup(7).has_value());
+}
+
+TEST(RunCacheTest, DisabledCacheNeverHits) {
+  RunCache Cache;
+  EXPECT_FALSE(Cache.enabled());
+  Cache.store(1, sampleResult());
+  EXPECT_FALSE(Cache.lookup(1).has_value());
+  EXPECT_EQ(Cache.stores(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ExperimentRunner: grids, determinism, warm cache
+//===----------------------------------------------------------------------===//
+
+GridSpec smallGrid() {
+  GridSpec Spec;
+  Spec.Workloads = {"cg", "h264"};
+  Spec.Machines = {makeDunnington().scaledCapacity(1.0 / 32),
+                   makeNehalem().scaledCapacity(1.0 / 32)};
+  Spec.Strategies = {Strategy::Base, Strategy::TopologyAware};
+  return Spec;
+}
+
+std::vector<std::string> deterministicRendering(
+    const std::vector<RunResult> &Results) {
+  std::vector<std::string> Bytes;
+  for (const RunResult &R : Results)
+    Bytes.push_back(deterministicBytes(R));
+  return Bytes;
+}
+
+TEST(ExperimentRunnerTest, ExpandGridOrderMatchesIndex) {
+  GridSpec Spec = smallGrid();
+  std::vector<RunTask> Tasks = expandGrid(Spec);
+  ASSERT_EQ(Tasks.size(), Spec.numTasks());
+  for (std::size_t M = 0; M != Spec.Machines.size(); ++M)
+    for (std::size_t W = 0; W != Spec.Workloads.size(); ++W)
+      for (std::size_t S = 0; S != Spec.Strategies.size(); ++S) {
+        const RunTask &T = Tasks[Spec.index(M, W, 0, S)];
+        EXPECT_EQ(T.Prog.Name, Spec.Workloads[W]);
+        EXPECT_EQ(T.Machine.name(), Spec.Machines[M].name());
+        EXPECT_EQ(T.Strat, Spec.Strategies[S]);
+      }
+}
+
+TEST(ExperimentRunnerTest, ResultsAreIdenticalAcrossThreadCounts) {
+  GridSpec Spec = smallGrid();
+
+  ExecConfig Serial;
+  Serial.Jobs = 1;
+  ExperimentRunner SerialRunner(Serial);
+  std::vector<std::string> SerialBytes =
+      deterministicRendering(SerialRunner.run(Spec));
+
+  ExecConfig Parallel;
+  Parallel.Jobs = 4;
+  ExperimentRunner ParallelRunner(Parallel);
+  std::vector<std::string> ParallelBytes =
+      deterministicRendering(ParallelRunner.run(Spec));
+
+  ASSERT_EQ(SerialBytes.size(), ParallelBytes.size());
+  for (std::size_t I = 0; I != SerialBytes.size(); ++I)
+    EXPECT_EQ(SerialBytes[I], ParallelBytes[I]) << "grid slot " << I;
+}
+
+class WarmCacheTest : public TempDirTest {};
+
+TEST_F(WarmCacheTest, SecondRunnerServesEverythingFromCache) {
+  GridSpec Spec = smallGrid();
+
+  ExecConfig Config;
+  Config.Jobs = 2;
+  Config.CacheDir = Dir;
+
+  ExperimentRunner Cold(Config);
+  std::vector<RunResult> First = Cold.run(Spec);
+  EXPECT_EQ(Cold.simulatorInvocations(), Spec.numTasks());
+  EXPECT_EQ(Cold.cache().stores(), Spec.numTasks());
+
+  ExperimentRunner Warm(Config);
+  std::vector<RunResult> Second = Warm.run(Spec);
+  // The warm runner must not simulate anything...
+  EXPECT_EQ(Warm.simulatorInvocations(), 0u);
+  EXPECT_EQ(Warm.cache().hits(), Spec.numTasks());
+  // ...and must return results byte-identical to the cold run, including
+  // the originally measured wall-clock MappingSeconds.
+  ASSERT_EQ(First.size(), Second.size());
+  for (std::size_t I = 0; I != First.size(); ++I)
+    EXPECT_EQ(serializeRunResult(First[I], 0),
+              serializeRunResult(Second[I], 0))
+        << "grid slot " << I;
+}
+
+TEST_F(WarmCacheTest, CrossMachineTasksCacheIndependently) {
+  ExecConfig Config;
+  Config.Jobs = 1;
+  Config.CacheDir = Dir;
+
+  Program Prog = makeWorkload("h264");
+  CacheTopology Dun = makeDunnington().scaledCapacity(1.0 / 32);
+  CacheTopology Neh = makeNehalem().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+
+  std::vector<RunTask> Tasks = {
+      makeRunTask(Prog, Dun, Strategy::TopologyAware, Opts, "native"),
+      makeCrossMachineTask(Prog, Dun, Neh, Strategy::TopologyAware, Opts,
+                           "ported")};
+
+  ExperimentRunner Cold(Config);
+  std::vector<RunResult> First = Cold.run(Tasks);
+  EXPECT_EQ(Cold.simulatorInvocations(), 2u);
+
+  ExperimentRunner Warm(Config);
+  std::vector<RunResult> Second = Warm.run(Tasks);
+  EXPECT_EQ(Warm.simulatorInvocations(), 0u);
+  for (std::size_t I = 0; I != Tasks.size(); ++I)
+    EXPECT_EQ(serializeRunResult(First[I], 0),
+              serializeRunResult(Second[I], 0));
+}
+
+TEST(ExperimentRunnerTest, ParseExecArgsFormsAndDefaults) {
+  {
+    const char *Argv[] = {"bench", "--jobs=3", "--cache-dir=/tmp/x"};
+    ExecConfig C = parseExecArgs(3, const_cast<char **>(Argv));
+    EXPECT_EQ(C.Jobs, 3u);
+    EXPECT_EQ(C.CacheDir, "/tmp/x");
+  }
+  {
+    const char *Argv[] = {"bench", "--jobs", "5", "--cache-dir", "/tmp/y"};
+    ExecConfig C = parseExecArgs(5, const_cast<char **>(Argv));
+    EXPECT_EQ(C.Jobs, 5u);
+    EXPECT_EQ(C.CacheDir, "/tmp/y");
+  }
+  {
+    // Unrelated flags are ignored; defaults survive.
+    const char *Argv[] = {"bench", "--benchmark_filter=foo"};
+    ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
+    EXPECT_EQ(C.CacheDir, "");
+  }
+}
+
+} // namespace

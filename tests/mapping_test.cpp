@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace cta;
 
 namespace {
@@ -95,5 +98,13 @@ TEST(Retarget, PreservesRoundStructure) {
 TEST(Geomean, Basics) {
   EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
   EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
-  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, DegenerateInputsAreNaN) {
+  // Empty and non-positive inputs have no meaningful geometric mean; the
+  // contract is a quiet NaN rather than a fake 0.0 that poisons ratios.
+  EXPECT_TRUE(std::isnan(geomean({})));
+  EXPECT_TRUE(std::isnan(geomean({1.0, 0.0, 4.0})));
+  EXPECT_TRUE(std::isnan(geomean({2.0, -8.0})));
+  EXPECT_TRUE(std::isnan(geomean({std::numeric_limits<double>::quiet_NaN()})));
 }
