@@ -64,15 +64,23 @@ inline void printHeader(const char *Id, const char *Title) {
   std::printf("== %s: %s ==\n", Id, Title);
 }
 
+/// A wall-clock table cell. Under --no-timing (env CTA_NO_TIMING) it
+/// renders as "-" so bench stdout is byte-comparable across runs, hosts
+/// and build types; every other column is deterministic already.
+inline std::string timingCell(const ExecConfig &Config, std::string Cell) {
+  return Config.NoTiming ? std::string("-") : std::move(Cell);
+}
+
 /// One-line execution report on stderr (stdout stays byte-comparable
 /// across --jobs/--cache-dir settings).
 inline void printExecSummary(const ExperimentRunner &Runner) {
   std::fprintf(stderr,
-               "[exec] jobs=%u simulated=%" PRIu64 " cache: %" PRIu64
-               " hits, %" PRIu64 " misses, %" PRIu64 " stores%s%s\n",
+               "[exec] jobs=%u simulated=%" PRIu64 " accesses=%" PRIu64
+               " cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
+               " stores%s%s\n",
                Runner.jobs(), Runner.simulatorInvocations(),
-               Runner.cache().hits(), Runner.cache().misses(),
-               Runner.cache().stores(),
+               Runner.simulatedAccesses(), Runner.cache().hits(),
+               Runner.cache().misses(), Runner.cache().stores(),
                Runner.cache().enabled() ? " @ " : "",
                Runner.cache().enabled() ? Runner.cache().directory().c_str()
                                         : "");

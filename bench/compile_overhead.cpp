@@ -54,9 +54,12 @@ int main(int argc, char **argv) {
     double Overhead =
         BaseTimes[I] > 0 ? AwareTimes[I] / BaseTimes[I] - 1.0 : 0.0;
     Overheads.push_back(Overhead);
-    Table.addRow({Apps[I], formatDouble(BaseTimes[I] / Reps * 1e3, 2) + "ms",
-                  formatDouble(AwareTimes[I] / Reps * 1e3, 2) + "ms",
-                  formatPercent(Overhead, 0)});
+    Table.addRow(
+        {Apps[I],
+         timingCell(Config, formatDouble(BaseTimes[I] / Reps * 1e3, 2) + "ms"),
+         timingCell(Config,
+                    formatDouble(AwareTimes[I] / Reps * 1e3, 2) + "ms"),
+         timingCell(Config, formatPercent(Overhead, 0))});
   }
   Table.print();
   std::printf("\nPaper reports 65-94%% overhead over parallelization-only "

@@ -44,7 +44,8 @@ int main(int argc, char **argv) {
     }
     Table.addRow({formatByteSize(Blocks[V]),
                   formatDouble(geomean(Ratios), 3),
-                  formatDouble(MapSeconds, 3) + "s"});
+                  timingCell(Runner.config(),
+                             formatDouble(MapSeconds, 3) + "s")});
   }
   Table.print();
   std::printf("\nPaper's shape: smaller blocks map better but compile "

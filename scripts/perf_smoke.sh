@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+#===- scripts/perf_smoke.sh - Simulator hot-path perf smoke --------------===#
+#
+# Runs the heaviest bench binary (fig13_main_comparison) cold on one job
+# and records wall-clock time plus simulated accesses/second in
+# BENCH_sim_hotpath.json. The numbers are informational — CI machines
+# vary too much for a hard threshold — so this script fails only when the
+# binary itself fails, never on timing.
+#
+# Usage: scripts/perf_smoke.sh <build-dir> [output-json]
+#
+#===----------------------------------------------------------------------===#
+
+set -u -o pipefail
+
+BUILD_DIR="${1:?usage: perf_smoke.sh <build-dir> [output-json]}"
+OUT_JSON="${2:-BENCH_sim_hotpath.json}"
+BENCH="$BUILD_DIR/bench/fig13_main_comparison"
+
+if [ ! -x "$BENCH" ]; then
+  echo "perf_smoke: $BENCH not built" >&2
+  exit 1
+fi
+
+# Cold run: a throwaway cache directory and a single worker so the
+# measurement is the raw single-run simulation path.
+CACHE_DIR="$(mktemp -d)"
+STDERR_LOG="$(mktemp)"
+trap 'rm -rf "$CACHE_DIR" "$STDERR_LOG"' EXIT
+
+START_NS=$(date +%s%N)
+if ! "$BENCH" --jobs=1 --cache-dir="$CACHE_DIR" --no-timing \
+    >/dev/null 2>"$STDERR_LOG"; then
+  echo "perf_smoke: fig13_main_comparison failed" >&2
+  cat "$STDERR_LOG" >&2
+  exit 1
+fi
+END_NS=$(date +%s%N)
+
+WALL_S=$(awk -v a="$START_NS" -v b="$END_NS" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+# The runner prints "[exec] jobs=1 simulated=<runs> accesses=<N> cache: ..."
+ACCESSES=$(sed -n 's/.*\[exec\].* accesses=\([0-9]*\).*/\1/p' "$STDERR_LOG" | tail -1)
+ACCESSES="${ACCESSES:-0}"
+RATE=$(awk -v n="$ACCESSES" -v s="$WALL_S" 'BEGIN { printf "%.0f", (s > 0 ? n / s : 0) }')
+
+cat > "$OUT_JSON" <<EOF
+{
+  "benchmark": "fig13_main_comparison",
+  "config": "cold cache, --jobs=1",
+  "wall_seconds": $WALL_S,
+  "simulated_accesses": $ACCESSES,
+  "accesses_per_second": $RATE
+}
+EOF
+
+echo "perf_smoke: ${WALL_S}s wall, ${ACCESSES} simulated accesses, ${RATE}/s"
+echo "perf_smoke: wrote $OUT_JSON"

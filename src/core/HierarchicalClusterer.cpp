@@ -18,34 +18,36 @@ Statistic NumClusterSplits("clusterer.cluster-splits");
 Statistic NumGroupSplits("clusterer.group-splits");
 Statistic NumEvictions("clusterer.balance-evictions");
 
-/// A working cluster: group ids plus the cached "bitwise sum" signature and
-/// total iteration count.
+/// A working cluster: group ids plus the total iteration count. The
+/// "bitwise sum" signature of Figure 6 is never materialized: the merge
+/// phase tracks pairwise signature dot products incrementally (the dot is
+/// bilinear in the member tags), and the balance phases keep per-cluster
+/// dense block-count arrays instead.
 struct Cluster {
   std::vector<std::uint32_t> GroupIds;
-  SharingVector Signature;
   std::uint64_t Size = 0;
 
   void addGroup(std::uint32_t Id, const IterationGroup &G) {
     GroupIds.push_back(Id);
-    Signature.add(G.Tag);
     Size += G.size();
   }
 
   void absorb(Cluster &&Other) {
     GroupIds.insert(GroupIds.end(), Other.GroupIds.begin(),
                     Other.GroupIds.end());
-    Signature.add(Other.Signature);
     Size += Other.Size;
   }
 };
 
 /// Heap entry for the agglomerative merge, with lazy invalidation through
-/// per-cluster version counters.
+/// per-cluster version counters. Ids and versions are 16 bit (both are
+/// bounded by the cluster count, which mergeDown checks) so an entry is
+/// 24 bytes: the heap holds O(N^2) entries and sift cost is memory bound.
 struct MergeCandidate {
   std::uint64_t Dot;
   std::uint64_t TieBreakSize; // prefer merging smaller clusters on ties
-  std::uint32_t A, B;
-  std::uint32_t VerA, VerB;
+  std::uint16_t A, B;
+  std::uint16_t VerA, VerB;
 
   bool operator<(const MergeCandidate &RHS) const {
     if (Dot != RHS.Dot)
@@ -53,12 +55,14 @@ struct MergeCandidate {
     return TieBreakSize > RHS.TieBreakSize;
   }
 };
+static_assert(sizeof(MergeCandidate) == 24, "heap entry stays packed");
 
 class ClustererImpl {
   std::vector<IterationGroup> &Groups;
   const CacheTopology &Topo;
   const double Threshold;
   ClusteringResult &Result;
+  std::uint32_t NumBlockIds = 0;
 
 public:
   ClustererImpl(std::vector<IterationGroup> &Groups, const CacheTopology &Topo,
@@ -66,6 +70,10 @@ public:
       : Groups(Groups), Topo(Topo), Threshold(Threshold), Result(Result) {}
 
   void run() {
+    // Splits reuse their parent's tag, so the id space is fixed up front.
+    for (const IterationGroup &G : Groups)
+      if (!G.Tag.empty())
+        NumBlockIds = std::max(NumBlockIds, G.Tag.ids().back() + 1);
     std::vector<std::uint32_t> All(Groups.size());
     for (std::uint32_t I = 0, E = Groups.size(); I != E; ++I)
       All[I] = I;
@@ -124,8 +132,19 @@ private:
     }
     Clusters = std::move(Ordered);
 
-    loadBalance(Clusters, Target);
-    refineBalance(Clusters, Target);
+    // Dense per-cluster block counts (the signature, scatter-stored):
+    // evictionScore reads counts at a tag's blocks in O(|tag|) and group
+    // moves update both sides in O(|tag|), where the sparse SharingVector
+    // cost a full merge-join per score and a signature rebuild per move.
+    std::vector<std::vector<std::uint32_t>> Counts(K);
+    for (unsigned C = 0; C != K; ++C) {
+      Counts[C].assign(NumBlockIds, 0);
+      for (std::uint32_t Id : Clusters[C].GroupIds)
+        for (std::uint32_t B : Groups[Id].Tag.ids())
+          ++Counts[C][B];
+    }
+    loadBalance(Clusters, Target, Counts);
+    refineBalance(Clusters, Target, Counts);
     for (unsigned C = 0; C != K; ++C)
       clusterNode(N.Children[ChildOfCluster[C]],
                   std::move(Clusters[C].GroupIds));
@@ -152,14 +171,40 @@ private:
 
   void mergeDown(std::vector<Cluster> &Clusters, unsigned K) {
     const std::uint32_t N = Clusters.size();
-    std::vector<std::uint32_t> Version(N, 0);
+    if (N > UINT16_MAX)
+      reportFatalError("too many clusters for the merge heap's 16-bit ids");
+    std::vector<std::uint16_t> Version(N, 0);
     std::vector<bool> Alive(N, true);
-    std::priority_queue<MergeCandidate> Heap;
+    std::vector<MergeCandidate> Store;
+    Store.reserve(static_cast<std::size_t>(N) * N);
+    std::priority_queue<MergeCandidate> Heap(std::less<MergeCandidate>(),
+                                             std::move(Store));
+
+    // Pairwise signature dot products, maintained incrementally: the dot
+    // is bilinear in the member tags, so dot(A+B, I) = dot(A, I) +
+    // dot(B, I) exactly. Seeding inverts tag->cluster (every block
+    // contributes occurrences^2 products) instead of N^2 merge-joins, and
+    // each merge folds the absorbed row into the survivor in O(N), where
+    // the old code recomputed N dots over ever-growing signatures.
+    std::vector<std::uint64_t> DotM(static_cast<std::size_t>(N) * N, 0);
+    {
+      std::vector<std::vector<std::uint32_t>> Occ(NumBlockIds);
+      for (std::uint32_t A = 0; A != N; ++A)
+        for (std::uint32_t B : Groups[Clusters[A].GroupIds[0]].Tag.ids())
+          Occ[B].push_back(A);
+      for (const std::vector<std::uint32_t> &V : Occ)
+        for (std::size_t I = 0, E = V.size(); I != E; ++I)
+          for (std::size_t J = I + 1; J != E; ++J) {
+            ++DotM[static_cast<std::size_t>(V[I]) * N + V[J]];
+            ++DotM[static_cast<std::size_t>(V[J]) * N + V[I]];
+          }
+    }
 
     auto push = [&](std::uint32_t A, std::uint32_t B) {
-      std::uint64_t Dot = Clusters[A].Signature.dot(Clusters[B].Signature);
-      Heap.push({Dot, Clusters[A].Size + Clusters[B].Size, A, B, Version[A],
-                 Version[B]});
+      std::uint64_t Dot = DotM[static_cast<std::size_t>(A) * N + B];
+      Heap.push({Dot, Clusters[A].Size + Clusters[B].Size,
+                 static_cast<std::uint16_t>(A), static_cast<std::uint16_t>(B),
+                 Version[A], Version[B]});
     };
     for (std::uint32_t A = 0; A != N; ++A)
       for (std::uint32_t B = A + 1; B != N; ++B)
@@ -197,6 +242,12 @@ private:
         B = S2;
       }
       Clusters[A].absorb(std::move(Clusters[B]));
+      for (std::uint32_t I = 0; I != N; ++I) {
+        DotM[static_cast<std::size_t>(A) * N + I] +=
+            DotM[static_cast<std::size_t>(B) * N + I];
+        DotM[static_cast<std::size_t>(I) * N + A] =
+            DotM[static_cast<std::size_t>(A) * N + I];
+      }
       Alive[B] = false;
       ++Version[A];
       --AliveCount;
@@ -266,7 +317,8 @@ private:
   /// \p Target holds each cluster's ideal iteration count; the balance
   /// threshold bounds the tolerated deviation from it.
   void loadBalance(std::vector<Cluster> &Clusters,
-                   const std::vector<double> &Target) {
+                   const std::vector<double> &Target,
+                   std::vector<std::vector<std::uint32_t>> &Counts) {
     const unsigned K = Clusters.size();
     if (K < 2)
       return;
@@ -356,7 +408,7 @@ private:
         const IterationGroup &G = Groups[D.GroupIds[GI]];
         if (G.size() > MaxMove || D.Size - G.size() < Low[Donor])
           continue;
-        std::int64_t Score = evictionScore(G, R, D);
+        std::int64_t Score = evictionScore(G, Counts[Recipient], Counts[Donor]);
         if (BestIdx == SIZE_MAX || Score > BestScore) {
           BestIdx = GI;
           BestScore = Score;
@@ -368,8 +420,9 @@ private:
         D.GroupIds.erase(D.GroupIds.begin() +
                          static_cast<std::ptrdiff_t>(BestIdx));
         D.Size -= Groups[Id].size();
-        rebuildSignature(D);
+        removeTag(Counts[Donor], Groups[Id].Tag);
         R.addGroup(Id, Groups[Id]);
+        addTag(Counts[Recipient], Groups[Id].Tag);
         ++NumEvictions;
         continue;
       }
@@ -382,7 +435,7 @@ private:
         const IterationGroup &G = Groups[D.GroupIds[GI]];
         if (G.size() <= MaxMove)
           continue; // must leave a nonempty head behind
-        std::int64_t Score = evictionScore(G, R, D);
+        std::int64_t Score = evictionScore(G, Counts[Recipient], Counts[Donor]);
         if (SplitIdx == SIZE_MAX || Score > SplitScore) {
           SplitIdx = GI;
           SplitScore = Score;
@@ -397,8 +450,8 @@ private:
       Result.Splits.emplace_back(ParentId, NewId);
       ++NumGroupSplits;
       D.Size -= MaxMove;
-      rebuildSignature(D);
       R.addGroup(NewId, Groups[NewId]);
+      addTag(Counts[Recipient], Groups[NewId].Tag);
       ++NumEvictions;
     }
   }
@@ -410,7 +463,8 @@ private:
   /// already allows, which matters because the finishing time of the
   /// slowest core tracks the *maximum* surplus.
   void refineBalance(std::vector<Cluster> &Clusters,
-                     const std::vector<double> &Target) {
+                     const std::vector<double> &Target,
+                     std::vector<std::vector<std::uint32_t>> &Counts) {
     const unsigned K = Clusters.size();
     if (K < 2)
       return;
@@ -448,7 +502,7 @@ private:
             std::max(std::abs(MaxDelta - S), std::abs(MinDelta + S));
         if (WorstAfter + 0.5 >= WorstBefore)
           continue; // does not strictly improve the pair
-        std::int64_t Score = evictionScore(G, R, D);
+        std::int64_t Score = evictionScore(G, Counts[Recipient], Counts[Donor]);
         if (BestIdx == SIZE_MAX || Score > BestScore) {
           BestIdx = GI;
           BestScore = Score;
@@ -459,8 +513,9 @@ private:
         D.GroupIds.erase(D.GroupIds.begin() +
                          static_cast<std::ptrdiff_t>(BestIdx));
         D.Size -= Groups[Id].size();
-        rebuildSignature(D);
+        removeTag(Counts[Donor], Groups[Id].Tag);
         R.addGroup(Id, Groups[Id]);
+        addTag(Counts[Recipient], Groups[Id].Tag);
         ++NumEvictions;
         continue;
       }
@@ -480,7 +535,7 @@ private:
         const IterationGroup &G = Groups[D.GroupIds[GI]];
         if (G.size() <= Desired)
           continue;
-        std::int64_t Score = evictionScore(G, R, D);
+        std::int64_t Score = evictionScore(G, Counts[Recipient], Counts[Donor]);
         if (SplitIdx == SIZE_MAX || Score > SplitScore) {
           SplitIdx = GI;
           SplitScore = Score;
@@ -495,8 +550,8 @@ private:
       Result.Splits.emplace_back(ParentId, NewId);
       ++NumGroupSplits;
       D.Size -= Desired;
-      rebuildSignature(D);
       R.addGroup(NewId, Groups[NewId]);
+      addTag(Counts[Recipient], Groups[NewId].Tag);
       ++NumEvictions;
     }
   }
@@ -505,17 +560,27 @@ private:
   /// little as possible with the donor. A pure max-dot-to-recipient rule
   /// degenerates to arbitrary picks while the recipient's signature is
   /// still empty, scattering contiguous iteration runs across domains.
-  std::int64_t evictionScore(const IterationGroup &G, const Cluster &R,
-                             const Cluster &D) const {
-    std::int64_t ToRecipient = static_cast<std::int64_t>(R.Signature.dot(G.Tag));
-    std::int64_t ToDonor = static_cast<std::int64_t>(D.Signature.dot(G.Tag));
+  std::int64_t evictionScore(const IterationGroup &G,
+                             const std::vector<std::uint32_t> &RCounts,
+                             const std::vector<std::uint32_t> &DCounts) const {
+    std::int64_t ToRecipient = 0, ToDonor = 0;
+    for (std::uint32_t B : G.Tag.ids()) {
+      ToRecipient += RCounts[B];
+      ToDonor += DCounts[B];
+    }
     return ToRecipient - ToDonor;
   }
 
-  void rebuildSignature(Cluster &C) {
-    C.Signature = SharingVector();
-    for (std::uint32_t Id : C.GroupIds)
-      C.Signature.add(Groups[Id].Tag);
+  static void addTag(std::vector<std::uint32_t> &C, const BlockSet &Tag) {
+    for (std::uint32_t B : Tag.ids())
+      ++C[B];
+  }
+
+  static void removeTag(std::vector<std::uint32_t> &C, const BlockSet &Tag) {
+    for (std::uint32_t B : Tag.ids()) {
+      assert(C[B] > 0 && "count underflow");
+      --C[B];
+    }
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include "driver/Experiment.h"
 
+#include "sim/AccessTrace.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -10,10 +11,21 @@
 
 using namespace cta;
 
+/// Folds one nest's execution outcome into the run's accumulated result.
+static void accumulateExecution(RunResult &Result,
+                                const ExecutionResult &Exec) {
+  Result.Cycles += Exec.TotalCycles;
+  for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+    Result.Stats.Levels[L].Lookups += Exec.Stats.Levels[L].Lookups;
+    Result.Stats.Levels[L].Hits += Exec.Stats.Levels[L].Hits;
+  }
+  Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
+  Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+}
+
 RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
                             Strategy Strat, const MappingOptions &Opts) {
   MachineSim Sim(Machine);
-  AddressMap Addrs(Prog.Arrays);
 
   RunResult Result;
   for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {
@@ -24,17 +36,12 @@ RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
     Result.Imbalance = Pipe.Map.imbalance();
     Result.NumRounds = Pipe.Map.NumRounds;
 
-    IterationTable Table = Prog.Nests[NestIdx].enumerate(Opts.MaxIterations);
-    ExecutionResult Exec =
-        executeMapping(Sim, Prog, NestIdx, Table, Pipe.Map, Addrs);
-    Result.Cycles += Exec.TotalCycles;
-    // Accumulate cache statistics across nests.
-    for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
-      Result.Stats.Levels[L].Lookups += Exec.Stats.Levels[L].Lookups;
-      Result.Stats.Levels[L].Hits += Exec.Stats.Levels[L].Hits;
-    }
-    Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
-    Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+    // The trace depends only on the program, so every (machine x strategy)
+    // run of this workload shares one compilation via the registry.
+    std::shared_ptr<const AccessTrace> Trace =
+        TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    ExecutionResult Exec = executeTrace(Sim, *Trace, Pipe.Map);
+    accumulateExecution(Result, Exec);
   }
   return Result;
 }
@@ -86,7 +93,6 @@ RunResult cta::runCrossMachine(const Program &Prog,
                                const CacheTopology &RunsOn, Strategy Strat,
                                const MappingOptions &Opts) {
   MachineSim Sim(RunsOn);
-  AddressMap Addrs(Prog.Arrays);
 
   RunResult Result;
   for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {
@@ -101,16 +107,10 @@ RunResult cta::runCrossMachine(const Program &Prog,
     Result.Imbalance = Ported.imbalance();
     Result.NumRounds = Ported.NumRounds;
 
-    IterationTable Table = Prog.Nests[NestIdx].enumerate(Opts.MaxIterations);
-    ExecutionResult Exec =
-        executeMapping(Sim, Prog, NestIdx, Table, Ported, Addrs);
-    Result.Cycles += Exec.TotalCycles;
-    for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
-      Result.Stats.Levels[L].Lookups += Exec.Stats.Levels[L].Lookups;
-      Result.Stats.Levels[L].Hits += Exec.Stats.Levels[L].Hits;
-    }
-    Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
-    Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+    std::shared_ptr<const AccessTrace> Trace =
+        TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    ExecutionResult Exec = executeTrace(Sim, *Trace, Ported);
+    accumulateExecution(Result, Exec);
   }
   return Result;
 }

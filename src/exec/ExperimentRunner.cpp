@@ -18,6 +18,8 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
     Config.Jobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
   if (const char *Env = std::getenv("CTA_CACHE_DIR"))
     Config.CacheDir = Env;
+  if (std::getenv("CTA_NO_TIMING"))
+    Config.NoTiming = true;
 
   auto parseJobs = [](const char *Value) -> unsigned {
     char *End = nullptr;
@@ -42,6 +44,8 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       if (I + 1 >= argc)
         reportFatalError("--cache-dir needs a value");
       Config.CacheDir = argv[++I];
+    } else if (std::strcmp(Arg, "--no-timing") == 0) {
+      Config.NoTiming = true;
     }
   }
   return Config;
@@ -80,10 +84,13 @@ unsigned ExperimentRunner::jobs() const { return Config.Jobs; }
 
 RunResult ExperimentRunner::execute(const RunTask &Task) {
   SimInvocations.fetch_add(1, std::memory_order_relaxed);
-  if (Task.RunsOn)
-    return runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn, Task.Strat,
-                           Task.Opts);
-  return runOnMachine(Task.Prog, Task.Machine, Task.Strat, Task.Opts);
+  RunResult R =
+      Task.RunsOn ? runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn,
+                                    Task.Strat, Task.Opts)
+                  : runOnMachine(Task.Prog, Task.Machine, Task.Strat,
+                                 Task.Opts);
+  SimAccesses.fetch_add(R.Stats.TotalAccesses, std::memory_order_relaxed);
+  return R;
 }
 
 RunResult ExperimentRunner::runOne(const RunTask &Task) {

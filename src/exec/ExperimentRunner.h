@@ -50,12 +50,16 @@ struct ExecConfig {
   unsigned Jobs = 0;
   /// Directory of the persistent RunCache; empty disables caching.
   std::string CacheDir;
+  /// Suppress wall-clock columns in bench tables (--no-timing /
+  /// CTA_NO_TIMING) so stdout is byte-comparable across runs and hosts.
+  bool NoTiming = false;
 };
 
-/// Parses --jobs=N / --jobs N and --cache-dir=PATH / --cache-dir PATH
-/// from \p argv (also accepts the CTA_JOBS / CTA_CACHE_DIR environment
-/// variables as defaults). Unrecognized arguments are left alone so
-/// benches can layer their own flags. Aborts on malformed values.
+/// Parses --jobs=N / --jobs N, --cache-dir=PATH / --cache-dir PATH and
+/// --no-timing from \p argv (also accepts the CTA_JOBS / CTA_CACHE_DIR /
+/// CTA_NO_TIMING environment variables as defaults). Unrecognized
+/// arguments are left alone so benches can layer their own flags. Aborts
+/// on malformed values.
 ExecConfig parseExecArgs(int argc, char **argv);
 
 /// One independent run: map \p Prog for \p Machine under \p Strat/\p Opts
@@ -130,6 +134,7 @@ class ExperimentRunner {
   RunCache Cache;
   std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
   std::atomic<std::uint64_t> SimInvocations{0};
+  std::atomic<std::uint64_t> SimAccesses{0};
 
   RunResult execute(const RunTask &Task);
 
@@ -156,6 +161,14 @@ public:
   /// Number of tasks that actually reached the simulator (cache misses).
   /// A fully warm cache leaves this at zero.
   std::uint64_t simulatorInvocations() const { return SimInvocations.load(); }
+
+  /// Total memory accesses simulated by cache-missing tasks; with the
+  /// wall time this gives the accesses/second throughput the perf-smoke
+  /// CI job records.
+  std::uint64_t simulatedAccesses() const { return SimAccesses.load(); }
+
+  /// The configuration the runner resolved (for --no-timing etc.).
+  const ExecConfig &config() const { return Config; }
 
   /// The underlying pool, for benches that need raw parallelFor (null when
   /// running inline with Jobs == 1).

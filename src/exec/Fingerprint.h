@@ -28,7 +28,11 @@
 namespace cta {
 
 /// Bumped whenever run semantics or RunResult serialization change.
-inline constexpr std::uint64_t RunCacheFormatVersion = 1;
+/// Version 2: the simulator hot-path overhaul (precompiled access traces,
+/// single-probe caches, heap scheduling) — results are bit-identical by
+/// design, but the sentinel fix for completion cycles and the new fast
+/// path warrant invalidating entries produced by the old engine.
+inline constexpr std::uint64_t RunCacheFormatVersion = 2;
 
 /// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
 /// per-iteration compute cost.

@@ -110,6 +110,11 @@ public:
     return &Coords[std::size_t(Id) * Depth];
   }
 
+  /// The whole coordinate store, row major with depth() values per
+  /// iteration. Trace precompilation walks this sequentially instead of
+  /// copying row by row through get().
+  const std::int32_t *rawData() const { return Coords.data(); }
+
   void reserve(std::size_t N) { Coords.reserve(N * Depth); }
 };
 

@@ -1,0 +1,265 @@
+//===- sim/AccessTrace.cpp - Precompiled per-iteration access traces -------===//
+
+#include "sim/AccessTrace.h"
+
+#include "sim/Engine.h"
+#include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+using namespace cta;
+
+AccessTrace AccessTrace::compile(const Program &Prog, unsigned NestIdx,
+                                 const IterationTable &Table,
+                                 const AddressMap &Addrs) {
+  if (NestIdx >= Prog.Nests.size())
+    reportFatalError("nest index out of range");
+  const LoopNest &Nest = Prog.Nests[NestIdx];
+  const unsigned Depth = Table.depth();
+  const std::uint32_t NumIters = Table.size();
+  const auto &Accesses = Nest.accesses();
+
+  AccessTrace Trace;
+  Trace.NumIterations = NumIters;
+  Trace.NumAccesses = static_cast<std::uint32_t>(Accesses.size());
+  Trace.ComputeCycles = Nest.computeCyclesPerIteration();
+  Trace.IsWrite.reserve(Accesses.size());
+  for (const ArrayAccess &Acc : Accesses)
+    Trace.IsWrite.push_back(Acc.IsWrite ? 1 : 0);
+  if (NumIters == 0 || Accesses.empty())
+    return Trace;
+  Trace.Addrs.resize(std::size_t(NumIters) * Accesses.size());
+
+  // Per access, one of two recipes. A non-wrapped access's flat element
+  // offset -- linearize() composed with its affine subscripts -- is itself
+  // affine in the iteration point: offset = C0 + sum_d Cd * x_d with
+  // Cd = sum_j stride_j * coeff_{j,d} (stride_j = row-major stride of
+  // subscript j). Those evaluate incrementally along the table from the
+  // coordinate deltas of consecutive rows. Wrapped accesses keep their
+  // per-subscript Euclidean reduction and evaluate directly per row.
+  struct AffineRecipe {
+    unsigned Slot;               // access index in the body
+    unsigned ArrayId;
+    std::vector<std::int64_t> Coeff; // Depth per-dimension strides
+    std::int64_t Cur = 0;        // flat offset at the previous row
+  };
+  struct WrappedRecipe {
+    unsigned Slot;
+    const ArrayAccess *Acc;
+    const ArrayDecl *Array;
+  };
+  std::vector<AffineRecipe> Affine;
+  std::vector<WrappedRecipe> Wrapped;
+  for (unsigned A = 0, E = Accesses.size(); A != E; ++A) {
+    const ArrayAccess &Acc = Accesses[A];
+    const ArrayDecl &Array = Prog.Arrays[Acc.ArrayId];
+    if (Acc.WrapSubscripts) {
+      Wrapped.push_back({A, &Acc, &Array});
+      continue;
+    }
+    AffineRecipe R;
+    R.Slot = A;
+    R.ArrayId = Acc.ArrayId;
+    R.Coeff.assign(Depth, 0);
+    std::int64_t Const = 0;
+    std::int64_t Stride = 1;
+    for (unsigned J = Acc.Subscripts.size(); J-- != 0;) {
+      const AffineExpr &S = Acc.Subscripts[J];
+      Const += Stride * S.constantTerm();
+      for (unsigned D = 0; D != Depth && D != S.numVars(); ++D)
+        R.Coeff[D] += Stride * S.coeff(D);
+      Stride *= Array.Dims[J];
+    }
+    R.Cur = Const; // completed below with the first row's variable part
+    Affine.push_back(std::move(R));
+  }
+
+  std::vector<std::int64_t> Idx; // wrapped-access scratch
+  auto emitWrapped = [&](std::uint32_t Row, const std::int32_t *P) {
+    for (const WrappedRecipe &W : Wrapped) {
+      const ArrayAccess &Acc = *W.Acc;
+      Idx.resize(Acc.Subscripts.size());
+      for (unsigned D = 0, E = Acc.Subscripts.size(); D != E; ++D) {
+        const AffineExpr &S = Acc.Subscripts[D];
+        std::int64_t V = S.constantTerm();
+        for (unsigned X = 0, N = S.numVars(); X != N; ++X)
+          V += S.coeff(X) * P[X];
+        std::int64_t M = W.Array->Dims[D];
+        V %= M;
+        if (V < 0)
+          V += M;
+        Idx[D] = V;
+      }
+      Trace.Addrs[std::size_t(Row) * Trace.NumAccesses + W.Slot] =
+          Addrs.addrOf(Acc.ArrayId, W.Array->linearize(Idx.data()));
+    }
+  };
+
+  // Row 0: evaluate every recipe from scratch.
+  const std::int32_t *Prev = Table.rawData();
+  for (AffineRecipe &R : Affine) {
+    for (unsigned D = 0; D != Depth; ++D)
+      R.Cur += R.Coeff[D] * Prev[D];
+    Trace.Addrs[R.Slot] = Addrs.addrOf(R.ArrayId, R.Cur);
+  }
+  emitWrapped(0, Prev);
+
+  // Remaining rows: apply per-dimension deltas (consecutive lexicographic
+  // rows usually differ only in the innermost dimension).
+  for (std::uint32_t Row = 1; Row != NumIters; ++Row) {
+    const std::int32_t *P = Prev + Depth;
+    std::uint64_t *Out = &Trace.Addrs[std::size_t(Row) * Trace.NumAccesses];
+    for (unsigned D = 0; D != Depth; ++D) {
+      std::int64_t Delta = std::int64_t(P[D]) - Prev[D];
+      if (Delta == 0)
+        continue;
+      for (AffineRecipe &R : Affine)
+        R.Cur += R.Coeff[D] * Delta;
+    }
+    for (const AffineRecipe &R : Affine)
+      Out[R.Slot] = Addrs.addrOf(R.ArrayId, R.Cur);
+    if (!Wrapped.empty())
+      emitWrapped(Row, P);
+    Prev = P;
+  }
+  return Trace;
+}
+
+std::uint64_t cta::traceFingerprint(const Program &Prog, unsigned NestIdx,
+                                    std::uint64_t MaxIterations) {
+  HashBuilder H;
+  H.add(std::string_view("cta-trace"));
+  // Array layout: every array's geometry shifts the bases of those after
+  // it, so all of them feed the key.
+  H.add(static_cast<std::uint64_t>(Prog.Arrays.size()));
+  for (const ArrayDecl &A : Prog.Arrays) {
+    H.add(A.Dims);
+    H.add(static_cast<std::uint64_t>(A.ElementSize));
+  }
+  const LoopNest &Nest = Prog.Nests[NestIdx];
+  H.add(static_cast<std::uint64_t>(NestIdx));
+  H.add(static_cast<std::uint64_t>(Nest.depth()));
+  H.add(static_cast<std::uint64_t>(Nest.computeCyclesPerIteration()));
+  auto hashExpr = [&H](const AffineExpr &E) {
+    H.add(static_cast<std::uint64_t>(E.numVars()));
+    for (unsigned V = 0, N = E.numVars(); V != N; ++V)
+      H.add(E.coeff(V));
+    H.add(E.constantTerm());
+  };
+  // Bounds determine the enumerated table; MaxIterations determines
+  // whether enumeration aborts, so runs with different limits never share.
+  H.add(static_cast<std::uint64_t>(Nest.dims().size()));
+  for (const LoopDim &Dim : Nest.dims()) {
+    hashExpr(Dim.Lower);
+    hashExpr(Dim.Upper);
+  }
+  H.add(MaxIterations);
+  H.add(static_cast<std::uint64_t>(Nest.accesses().size()));
+  for (const ArrayAccess &Acc : Nest.accesses()) {
+    H.add(static_cast<std::uint64_t>(Acc.ArrayId));
+    H.add(Acc.IsWrite);
+    H.add(Acc.WrapSubscripts);
+    H.add(static_cast<std::uint64_t>(Acc.Subscripts.size()));
+    for (const AffineExpr &S : Acc.Subscripts)
+      hashExpr(S);
+  }
+  return H.hash();
+}
+
+namespace {
+
+struct RegistryEntry {
+  std::once_flag Once;
+  std::shared_ptr<const AccessTrace> Trace;
+  std::uint64_t LastUse = 0;
+};
+
+struct RegistryState {
+  std::mutex Mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RegistryEntry>> Map;
+  std::uint64_t UseTick = 0;
+  std::size_t TotalBytes = 0;
+  std::size_t Budget = 256u << 20;
+
+  RegistryState() {
+    if (const char *Env = std::getenv("CTA_TRACE_CACHE_BYTES"))
+      Budget = static_cast<std::size_t>(std::strtoull(Env, nullptr, 10));
+  }
+
+  /// Call with Mu held. Never evicts entries still compiling.
+  void evictToBudget() {
+    while (TotalBytes > Budget) {
+      auto Victim = Map.end();
+      for (auto It = Map.begin(); It != Map.end(); ++It) {
+        if (!It->second->Trace)
+          continue;
+        if (Victim == Map.end() ||
+            It->second->LastUse < Victim->second->LastUse)
+          Victim = It;
+      }
+      if (Victim == Map.end())
+        return;
+      TotalBytes -= Victim->second->Trace->byteSize();
+      Map.erase(Victim);
+    }
+  }
+};
+
+RegistryState &registry() {
+  static RegistryState R;
+  return R;
+}
+
+} // namespace
+
+std::shared_ptr<const AccessTrace>
+TraceRegistry::getOrCompile(const Program &Prog, unsigned NestIdx,
+                            std::uint64_t MaxIterations) {
+  if (NestIdx >= Prog.Nests.size())
+    reportFatalError("nest index out of range");
+  auto compileNow = [&] {
+    IterationTable Table = Prog.Nests[NestIdx].enumerate(MaxIterations);
+    AddressMap Addrs(Prog.Arrays);
+    return std::make_shared<const AccessTrace>(
+        AccessTrace::compile(Prog, NestIdx, Table, Addrs));
+  };
+
+  RegistryState &R = registry();
+  if (R.Budget == 0)
+    return compileNow();
+
+  std::uint64_t Key = traceFingerprint(Prog, NestIdx, MaxIterations);
+  std::shared_ptr<RegistryEntry> Entry;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    std::shared_ptr<RegistryEntry> &Slot = R.Map[Key];
+    if (!Slot)
+      Slot = std::make_shared<RegistryEntry>();
+    Slot->LastUse = ++R.UseTick;
+    Entry = Slot;
+  }
+  std::call_once(Entry->Once, [&] {
+    std::shared_ptr<const AccessTrace> T = compileNow();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Entry->Trace = std::move(T);
+    R.TotalBytes += Entry->Trace->byteSize();
+    R.evictToBudget();
+  });
+  return Entry->Trace;
+}
+
+void TraceRegistry::clear() {
+  RegistryState &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Map.clear();
+  R.TotalBytes = 0;
+}
+
+std::size_t TraceRegistry::residentTraces() {
+  RegistryState &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Map.size();
+}

@@ -1,0 +1,112 @@
+//===- sim/AccessTrace.h - Precompiled per-iteration access traces -*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers one (LoopNest, IterationTable, AddressMap) triple into a flat
+/// per-iteration byte-address trace so the execution engine's inner loop is
+/// a sequential array walk instead of per-access affine evaluation. For a
+/// non-wrapped access the row-major linearization composed with the
+/// subscript expressions is itself affine in the iteration point, so the
+/// whole access collapses to one precomputed stride vector evaluated
+/// incrementally along the table; wrapped (modular) accesses keep their
+/// per-subscript Euclidean reduction but still avoid the per-access
+/// allocation and IR walks of the old path.
+///
+/// Traces depend only on the program (never on the machine or strategy),
+/// so the process-wide TraceRegistry shares one trace across the many
+/// (machine x strategy) runs of the same workload inside a bench, keyed by
+/// a content hash of everything the trace is derived from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_ACCESSTRACE_H
+#define CTA_SIM_ACCESSTRACE_H
+
+#include "poly/Program.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cta {
+
+class AddressMap;
+
+/// The precompiled trace: for every iteration id of the table, the byte
+/// addresses its accesses touch, in body order. Row layout is
+/// Addrs[Id * numAccesses() + AccessIdx].
+class AccessTrace {
+  std::uint32_t NumIterations = 0;
+  std::uint32_t NumAccesses = 0;
+  unsigned ComputeCycles = 1; // the nest's non-memory cost per iteration
+  std::vector<std::uint64_t> Addrs;
+  std::vector<std::uint8_t> IsWrite; // per access slot of the body
+
+public:
+  AccessTrace() = default;
+
+  std::uint32_t numIterations() const { return NumIterations; }
+  std::uint32_t numAccesses() const { return NumAccesses; }
+  unsigned computeCyclesPerIteration() const { return ComputeCycles; }
+
+  /// Byte addresses of iteration \p Id (numAccesses() entries).
+  const std::uint64_t *row(std::uint32_t Id) const {
+    assert(Id < NumIterations && "iteration id out of range");
+    return Addrs.data() + std::size_t(Id) * NumAccesses;
+  }
+
+  bool isWrite(std::uint32_t AccessIdx) const {
+    assert(AccessIdx < NumAccesses && "access index out of range");
+    return IsWrite[AccessIdx] != 0;
+  }
+
+  /// Approximate memory footprint, for the registry's byte budget.
+  std::size_t byteSize() const {
+    return Addrs.size() * sizeof(std::uint64_t) + IsWrite.size();
+  }
+
+  /// Compiles the trace of nest \p NestIdx of \p Prog over \p Table under
+  /// \p Addrs. Produces exactly the addresses the naive
+  /// evaluateAccess + linearize path computes, access for access.
+  static AccessTrace compile(const Program &Prog, unsigned NestIdx,
+                             const IterationTable &Table,
+                             const AddressMap &Addrs);
+};
+
+/// Content key of the trace compile() would produce for nest \p NestIdx
+/// of \p Prog: hashes every array's geometry (the address layout), the
+/// nest's bounds (which determine the enumerated table), its accesses and
+/// the enumeration limit.
+std::uint64_t traceFingerprint(const Program &Prog, unsigned NestIdx,
+                               std::uint64_t MaxIterations);
+
+/// Process-wide, thread-safe, byte-bounded cache of compiled traces.
+/// Lookups by content key; concurrent requests for the same key compile
+/// once. Eviction is least-recently-used once the byte budget is
+/// exceeded (live shared_ptrs keep evicted traces valid for their
+/// holders).
+class TraceRegistry {
+public:
+  /// Returns the shared trace of nest \p NestIdx of \p Prog, enumerating
+  /// the nest and compiling on first use (enumeration aborts beyond
+  /// \p MaxIterations exactly like LoopNest::enumerate). The registry's
+  /// byte budget defaults to 256 MiB and can be overridden with the
+  /// CTA_TRACE_CACHE_BYTES environment variable (0 disables sharing
+  /// entirely: every call compiles privately).
+  static std::shared_ptr<const AccessTrace>
+  getOrCompile(const Program &Prog, unsigned NestIdx,
+               std::uint64_t MaxIterations);
+
+  /// Drops every cached trace (tests).
+  static void clear();
+
+  /// Number of traces currently resident (tests).
+  static std::size_t residentTraces();
+};
+
+} // namespace cta
+
+#endif // CTA_SIM_ACCESSTRACE_H

@@ -10,11 +10,12 @@ Cache::Cache(const CacheParams &Params) : Params(Params) {
   if (Params.SizeBytes == 0 || Params.LineSize == 0 || Params.Assoc == 0)
     reportFatalError("degenerate cache parameters");
   NumSets = Params.numSets();
+  SetMask = (NumSets & (NumSets - 1)) == 0 ? NumSets - 1 : 0;
   Lines.assign(static_cast<std::size_t>(NumSets) * Params.Assoc, Line());
 }
 
 bool Cache::access(std::uint64_t LineAddr) {
-  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  std::size_t Set = setOf(LineAddr);
   Line *Base = &Lines[Set * Params.Assoc];
   for (unsigned W = 0; W != Params.Assoc; ++W) {
     if (Base[W].Valid && Base[W].Tag == LineAddr) {
@@ -26,7 +27,7 @@ bool Cache::access(std::uint64_t LineAddr) {
 }
 
 bool Cache::contains(std::uint64_t LineAddr) const {
-  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  std::size_t Set = setOf(LineAddr);
   const Line *Base = &Lines[Set * Params.Assoc];
   for (unsigned W = 0; W != Params.Assoc; ++W)
     if (Base[W].Valid && Base[W].Tag == LineAddr)
@@ -35,7 +36,7 @@ bool Cache::contains(std::uint64_t LineAddr) const {
 }
 
 void Cache::fill(std::uint64_t LineAddr) {
-  std::size_t Set = static_cast<std::size_t>(LineAddr % NumSets);
+  std::size_t Set = setOf(LineAddr);
   Line *Base = &Lines[Set * Params.Assoc];
   Line *Victim = Base;
   for (unsigned W = 0; W != Params.Assoc; ++W) {

@@ -33,8 +33,14 @@ class Cache {
 
   CacheParams Params;
   unsigned NumSets = 1;
+  std::uint64_t SetMask = 0; // NumSets - 1 when a power of two, else 0
   std::vector<Line> Lines; // NumSets * Assoc, set-major
   std::uint64_t Tick = 0;
+
+  std::size_t setOf(std::uint64_t LineAddr) const {
+    return static_cast<std::size_t>(SetMask != 0 ? (LineAddr & SetMask)
+                                                 : (LineAddr % NumSets));
+  }
 
 public:
   explicit Cache(const CacheParams &Params);
@@ -47,7 +53,36 @@ public:
     return ByteAddr / Params.LineSize;
   }
 
+  /// The hot-path operation: one set scan that both detects a hit
+  /// (refreshing the LRU stamp) and, on a miss, installs \p LineAddr over
+  /// the set's LRU victim. Returns true on a hit. State-equivalent to
+  /// access() followed by fill() on a miss, at half the scans.
+  bool probe(std::uint64_t LineAddr) {
+    Line *Base = &Lines[setOf(LineAddr) * Params.Assoc];
+    Line *Victim = Base;
+    bool SawInvalid = false;
+    for (unsigned W = 0; W != Params.Assoc; ++W) {
+      Line &L = Base[W];
+      if (L.Valid) {
+        if (L.Tag == LineAddr) {
+          L.Lru = ++Tick;
+          return true;
+        }
+        if (!SawInvalid && L.Lru < Victim->Lru)
+          Victim = &L;
+      } else if (!SawInvalid) {
+        Victim = &L;
+        SawInvalid = true;
+      }
+    }
+    Victim->Valid = true;
+    Victim->Tag = LineAddr;
+    Victim->Lru = ++Tick;
+    return false;
+  }
+
   /// Probes \p LineAddr; on a hit refreshes its LRU stamp and returns true.
+  /// With fill(), the reference two-scan path probe() collapses.
   bool access(std::uint64_t LineAddr);
 
   /// True if the line is resident (no LRU update; for tests/inspection).

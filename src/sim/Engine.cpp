@@ -2,12 +2,61 @@
 
 #include "sim/Engine.h"
 
+#include "sim/AccessTrace.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <map>
+#include <queue>
 
 using namespace cta;
+
+namespace {
+
+/// Unrecorded-completion sentinel. Cycle 0 is a legitimate completion time
+/// (a zero-latency prefix), so "not yet recorded" must be a value no real
+/// completion can take.
+constexpr std::uint64_t NotRecorded = UINT64_MAX;
+
+/// Scheduling state shared by both engines: per-core clocks and positions
+/// plus the point-to-point synchronization bookkeeping.
+struct SyncState {
+  std::vector<std::vector<SyncDep>> Waits; // per core, sorted by StartPos
+  std::vector<std::map<std::uint32_t, std::uint64_t>> CompletionCycle;
+  std::vector<std::size_t> NextWait;
+
+  SyncState(const Mapping &Map, unsigned NumCores) : Waits(NumCores) {
+    for (const SyncDep &D : Map.PointDeps) {
+      if (D.Core >= NumCores || D.PredCore >= NumCores)
+        reportFatalError("point-to-point sync references a bad core");
+      Waits[D.Core].push_back(D);
+    }
+    for (auto &W : Waits)
+      std::sort(W.begin(), W.end(), [](const SyncDep &A, const SyncDep &B) {
+        return A.StartPos < B.StartPos;
+      });
+    // CompletionCycle[C][P] = cycle at which core C finished its first P
+    // iterations, recorded only for watched positions.
+    CompletionCycle.resize(NumCores);
+    for (const SyncDep &D : Map.PointDeps)
+      CompletionCycle[D.PredCore][D.PredEndPos] = NotRecorded;
+    for (unsigned C = 0; C != NumCores; ++C) {
+      auto It = CompletionCycle[C].find(0);
+      if (It != CompletionCycle[C].end())
+        It->second = 0; // an empty prefix is complete at cycle 0
+    }
+    NextWait.assign(NumCores, 0);
+  }
+
+  void recordCompletion(unsigned Core, std::uint32_t Pos,
+                        std::uint64_t Cycle) {
+    auto It = CompletionCycle[Core].find(Pos);
+    if (It != CompletionCycle[Core].end() && It->second == NotRecorded)
+      It->second = Cycle;
+  }
+};
+
+} // namespace
 
 AddressMap::AddressMap(const std::vector<ArrayDecl> &Arrays) {
   std::uint64_t Next = FirstAddress;
@@ -19,11 +68,170 @@ AddressMap::AddressMap(const std::vector<ArrayDecl> &Arrays) {
   }
 }
 
+ExecutionResult cta::executeTrace(MachineSim &Machine,
+                                  const AccessTrace &Trace,
+                                  const Mapping &Map) {
+  if (Map.NumCores != Machine.topology().numCores())
+    reportFatalError("mapping core count does not match the machine");
+  if (!Map.coversExactly(Trace.numIterations()))
+    reportFatalError("mapping is not a partition of the iteration space");
+
+  const unsigned NumCores = Map.NumCores;
+  const unsigned NumAccesses = Trace.numAccesses();
+  const unsigned ComputeCycles = Trace.computeCyclesPerIteration();
+
+  Machine.clearStats();
+
+  std::vector<std::uint64_t> Cycle(NumCores, 0);
+  std::vector<std::uint32_t> Pos(NumCores, 0);
+
+  const bool PointToPoint =
+      Map.Sync == SyncMode::PointToPoint && !Map.PointDeps.empty();
+  // Round structure: without barriers the whole schedule is one round.
+  const bool Barriers = !PointToPoint && Map.BarriersRequired;
+  const unsigned NumRounds = Barriers ? Map.NumRounds : 1;
+
+  auto runIteration = [&](unsigned Core) {
+    std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
+    const std::uint64_t *Row = Trace.row(Iter);
+    std::uint64_t C = Cycle[Core];
+    for (unsigned A = 0; A != NumAccesses; ++A)
+      C += Machine.access(Core, Row[A], Trace.isWrite(A));
+    Cycle[Core] = C + ComputeCycles;
+    ++Pos[Core];
+  };
+
+  // Binary min-heap of (cycle, core): pops the lexicographically smallest
+  // pair, i.e. the earliest clock with ties broken toward the lowest core
+  // index — exactly the order the reference engine's linear min-scan
+  // produces, so shared-cache interleaving is bit-identical.
+  using HeapEntry = std::pair<std::uint64_t, unsigned>;
+  using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                      std::greater<HeapEntry>>;
+
+  if (PointToPoint) {
+    SyncState Sync(Map, NumCores);
+
+    // A core not yet finished is either in the ready heap (exactly once,
+    // keyed by the cycle it may issue at) or parked in the waiter list of
+    // the predecessor whose progress it is blocked on.
+    MinHeap Ready;
+    std::vector<std::vector<std::pair<std::uint32_t, unsigned>>> Waiters(
+        NumCores); // per pred: (required PredEndPos, blocked core)
+
+    // Evaluates core C's waits due at its current position. Returns true
+    // and the issue cycle when all are satisfied (retiring them); parks C
+    // on the first unsatisfied one otherwise. Satisfied waits ahead of an
+    // unsatisfied one are deliberately NOT retired: their completion
+    // cycles must still feed ReadyAt when C is re-evaluated.
+    auto evaluate = [&](unsigned C) {
+      std::uint64_t ReadyAt = Cycle[C];
+      const std::vector<SyncDep> &W = Sync.Waits[C];
+      std::size_t I = Sync.NextWait[C];
+      for (; I != W.size() && W[I].StartPos <= Pos[C]; ++I) {
+        const SyncDep &D = W[I];
+        if (Pos[D.PredCore] < D.PredEndPos) {
+          Waiters[D.PredCore].push_back({D.PredEndPos, C});
+          return;
+        }
+        ReadyAt =
+            std::max(ReadyAt, Sync.CompletionCycle[D.PredCore][D.PredEndPos]);
+      }
+      Sync.NextWait[C] = I;
+      Cycle[C] = ReadyAt;
+      Ready.push({ReadyAt, C});
+    };
+
+    unsigned Unfinished = 0;
+    for (unsigned C = 0; C != NumCores; ++C) {
+      if (Pos[C] >= Map.CoreIterations[C].size())
+        continue;
+      ++Unfinished;
+      evaluate(C);
+    }
+
+    while (!Ready.empty()) {
+      auto [At, C] = Ready.top();
+      Ready.pop();
+      Cycle[C] = At;
+      runIteration(C);
+      Sync.recordCompletion(C, Pos[C], Cycle[C]);
+      // Wake consumers whose required prefix of C is now complete.
+      auto &Parked = Waiters[C];
+      for (std::size_t I = 0; I != Parked.size();) {
+        if (Parked[I].first <= Pos[C]) {
+          unsigned Woken = Parked[I].second;
+          Parked[I] = Parked.back();
+          Parked.pop_back();
+          evaluate(Woken);
+        } else {
+          ++I;
+        }
+      }
+      if (Pos[C] < Map.CoreIterations[C].size())
+        evaluate(C);
+      else
+        --Unfinished;
+    }
+    if (Unfinished != 0)
+      reportFatalError("point-to-point synchronization deadlock");
+  } else {
+    MinHeap Heap;
+    for (unsigned Round = 0; Round != NumRounds; ++Round) {
+      // Per-core end position of this round.
+      std::vector<std::uint32_t> End(NumCores);
+      for (unsigned C = 0; C != NumCores; ++C) {
+        End[C] = Barriers ? Map.RoundEnd[C][Round]
+                          : static_cast<std::uint32_t>(
+                                Map.CoreIterations[C].size());
+        if (Pos[C] < End[C])
+          Heap.push({Cycle[C], C});
+      }
+
+      // Discrete-event interleave: always advance the earliest active core.
+      while (!Heap.empty()) {
+        unsigned C = Heap.top().second;
+        Heap.pop();
+        runIteration(C);
+        if (Pos[C] < End[C])
+          Heap.push({Cycle[C], C});
+      }
+
+      // Barrier: everyone waits for the slowest participant.
+      if (Barriers && Round + 1 != NumRounds) {
+        std::uint64_t Max = 0;
+        for (unsigned C = 0; C != NumCores; ++C)
+          Max = std::max(Max, Cycle[C]);
+        for (unsigned C = 0; C != NumCores; ++C)
+          Cycle[C] = Max;
+      }
+    }
+  }
+
+  ExecutionResult Result;
+  Result.CoreCycles = Cycle;
+  Result.TotalCycles = *std::max_element(Cycle.begin(), Cycle.end());
+  Result.Stats = Machine.stats();
+  return Result;
+}
+
 ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
                                     unsigned NestIdx,
                                     const IterationTable &Table,
                                     const Mapping &Map,
                                     const AddressMap &Addrs) {
+  if (NestIdx >= Prog.Nests.size())
+    reportFatalError("nest index out of range");
+  AccessTrace Trace = AccessTrace::compile(Prog, NestIdx, Table, Addrs);
+  return executeTrace(Machine, Trace, Map);
+}
+
+ExecutionResult cta::executeMappingReference(MachineSim &Machine,
+                                             const Program &Prog,
+                                             unsigned NestIdx,
+                                             const IterationTable &Table,
+                                             const Mapping &Map,
+                                             const AddressMap &Addrs) {
   if (NestIdx >= Prog.Nests.size())
     reportFatalError("nest index out of range");
   const LoopNest &Nest = Prog.Nests[NestIdx];
@@ -36,8 +244,8 @@ ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
   const unsigned Depth = Table.depth();
   const unsigned ComputeCycles = Nest.computeCyclesPerIteration();
 
-  // Precompile the access recipe: per access, the subscript expressions and
-  // the owning array (hot path avoids re-reading the IR structures).
+  // The access recipe: per access, the subscript expressions and the
+  // owning array (the naive path re-evaluates these per iteration).
   struct AccessRecipe {
     const ArrayAccess *Acc;
     const ArrayDecl *Array;
@@ -70,38 +278,14 @@ ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
       evaluateAccess(*R.Acc, *R.Array, Point.data(), Idx.data());
       std::uint64_t Addr =
           Addrs.addrOf(R.Acc->ArrayId, R.Array->linearize(Idx.data()));
-      C += Machine.access(Core, Addr, R.Acc->IsWrite);
+      C += Machine.accessReference(Core, Addr, R.Acc->IsWrite);
     }
     Cycle[Core] = C + ComputeCycles;
     ++Pos[Core];
   };
 
   if (PointToPoint) {
-    // Per core: its waits sorted by StartPos, plus the producer-side
-    // positions whose completion cycles we must record.
-    std::vector<std::vector<SyncDep>> Waits(NumCores);
-    for (const SyncDep &D : Map.PointDeps) {
-      if (D.Core >= NumCores || D.PredCore >= NumCores)
-        reportFatalError("point-to-point sync references a bad core");
-      Waits[D.Core].push_back(D);
-    }
-    for (auto &W : Waits)
-      std::sort(W.begin(), W.end(),
-                [](const SyncDep &A, const SyncDep &B) {
-                  return A.StartPos < B.StartPos;
-                });
-    // CompletionCycle[C][P] = cycle at which core C finished its first P
-    // iterations, recorded only for watched positions.
-    std::vector<std::map<std::uint32_t, std::uint64_t>> CompletionCycle(
-        NumCores);
-    for (const SyncDep &D : Map.PointDeps)
-      CompletionCycle[D.PredCore][D.PredEndPos] = 0;
-    for (unsigned C = 0; C != NumCores; ++C) {
-      auto It = CompletionCycle[C].find(0);
-      if (It != CompletionCycle[C].end())
-        It->second = 0; // an empty prefix is complete at cycle 0
-    }
-    std::vector<std::size_t> NextWait(NumCores, 0);
+    SyncState Sync(Map, NumCores);
 
     for (;;) {
       unsigned Next = NumCores;
@@ -113,15 +297,17 @@ ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
         // All waits due at the current position must be satisfied.
         bool Blocked = false;
         std::uint64_t ReadyAt = Cycle[C];
-        for (std::size_t W = NextWait[C];
-             W != Waits[C].size() && Waits[C][W].StartPos <= Pos[C]; ++W) {
-          const SyncDep &D = Waits[C][W];
+        for (std::size_t W = Sync.NextWait[C];
+             W != Sync.Waits[C].size() &&
+             Sync.Waits[C][W].StartPos <= Pos[C];
+             ++W) {
+          const SyncDep &D = Sync.Waits[C][W];
           if (Pos[D.PredCore] < D.PredEndPos) {
             Blocked = true;
             break;
           }
           ReadyAt = std::max(ReadyAt,
-                             CompletionCycle[D.PredCore][D.PredEndPos]);
+                             Sync.CompletionCycle[D.PredCore][D.PredEndPos]);
         }
         if (Blocked)
           continue;
@@ -135,16 +321,13 @@ ExecutionResult cta::executeMapping(MachineSim &Machine, const Program &Prog,
         break;
       }
       // Retire waits that are now permanently satisfied.
-      while (NextWait[Next] != Waits[Next].size() &&
-             Waits[Next][NextWait[Next]].StartPos <= Pos[Next] &&
-             Pos[Waits[Next][NextWait[Next]].PredCore] >=
-                 Waits[Next][NextWait[Next]].PredEndPos)
-        ++NextWait[Next];
+      while (Sync.NextWait[Next] != Sync.Waits[Next].size() &&
+             Sync.Waits[Next][Sync.NextWait[Next]].StartPos <= Pos[Next] &&
+             Pos[Sync.Waits[Next][Sync.NextWait[Next]].PredCore] >=
+                 Sync.Waits[Next][Sync.NextWait[Next]].PredEndPos)
+        ++Sync.NextWait[Next];
       runIteration(Next);
-      // Record watched completion cycles.
-      auto It = CompletionCycle[Next].find(Pos[Next]);
-      if (It != CompletionCycle[Next].end() && It->second == 0)
-        It->second = Cycle[Next];
+      Sync.recordCompletion(Next, Pos[Next], Cycle[Next]);
     }
   } else {
     for (unsigned Round = 0; Round != NumRounds; ++Round) {

@@ -57,13 +57,36 @@ struct ExecutionResult {
   SimStats Stats;                         // cache behaviour of this run
 };
 
+class AccessTrace;
+
 /// Executes nest \p NestIdx of \p Prog under \p Map on \p Machine. The
 /// iteration table must be the nest's lexicographic enumeration (the
 /// pipeline guarantees ids match). Statistics cover only this execution;
 /// cache contents persist across calls so multi-nest programs stay warm.
+///
+/// This is the fast path: the nest is lowered to an AccessTrace
+/// (precompiled per-iteration byte addresses) and cores are interleaved
+/// by a binary min-heap keyed on (cycle, core). Bit-identical results to
+/// executeMappingReference().
 ExecutionResult executeMapping(MachineSim &Machine, const Program &Prog,
                                unsigned NestIdx, const IterationTable &Table,
                                const Mapping &Map, const AddressMap &Addrs);
+
+/// Fast-path core: executes \p Map over an already-compiled \p Trace.
+/// The experiment driver shares one trace across every (machine x
+/// strategy) run of the same workload via the TraceRegistry.
+ExecutionResult executeTrace(MachineSim &Machine, const AccessTrace &Trace,
+                             const Mapping &Map);
+
+/// The original naive engine — per-access affine evaluation, O(NumCores)
+/// min-scans, two-probe cache walks — retained as the oracle the
+/// randomized differential test (tests/sim_equivalence_test.cpp) checks
+/// the fast path against.
+ExecutionResult executeMappingReference(MachineSim &Machine,
+                                        const Program &Prog, unsigned NestIdx,
+                                        const IterationTable &Table,
+                                        const Mapping &Map,
+                                        const AddressMap &Addrs);
 
 } // namespace cta
 

@@ -32,11 +32,32 @@ MachineSim::MachineSim(const CacheTopology &Topo) : Topo(Topo) {
   for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id)
     Caches.emplace_back(Topo.node(Id).Params);
 
-  Path.resize(Topo.numCores());
+  PathNodes.resize(Topo.numCores());
   for (unsigned C = 0, E = Topo.numCores(); C != E; ++C)
     for (unsigned Id = Topo.l1Of(C); Id != Topo.rootId();
          Id = static_cast<unsigned>(Topo.node(Id).Parent))
-      Path[C].push_back(Id);
+      PathNodes[C].push_back(Id);
+
+  // Precompile the hot path: latency, stats level and line addressing per
+  // node, resolved once instead of per access. Caches is fully built
+  // above, so the pointers are stable.
+  Path.resize(Topo.numCores());
+  for (unsigned C = 0, E = Topo.numCores(); C != E; ++C) {
+    Path[C].reserve(PathNodes[C].size());
+    for (unsigned Id : PathNodes[C]) {
+      const CacheTopology::Node &N = Topo.node(Id);
+      PathEntry Entry;
+      Entry.C = &Caches[Id - 1];
+      Entry.Level = N.Level;
+      Entry.Latency = N.Params.LatencyCycles;
+      Entry.LineSize = N.Params.LineSize;
+      Entry.UseShift = (Entry.LineSize & (Entry.LineSize - 1)) == 0;
+      if (Entry.UseShift)
+        while ((1u << Entry.LineShift) != Entry.LineSize)
+          ++Entry.LineShift;
+      Path[C].push_back(Entry);
+    }
+  }
 }
 
 void MachineSim::reset() {
@@ -45,12 +66,13 @@ void MachineSim::reset() {
   Stats.clear();
 }
 
-unsigned MachineSim::access(unsigned Core, std::uint64_t Addr, bool IsWrite) {
+unsigned MachineSim::accessReference(unsigned Core, std::uint64_t Addr,
+                                     bool IsWrite) {
   (void)IsWrite; // writes allocate like reads; no coherence modelled
-  assert(Core < Path.size() && "core id out of range");
+  assert(Core < PathNodes.size() && "core id out of range");
   ++Stats.TotalAccesses;
 
-  const std::vector<unsigned> &P = Path[Core];
+  const std::vector<unsigned> &P = PathNodes[Core];
   unsigned HitIdx = P.size();
   for (unsigned I = 0, E = P.size(); I != E; ++I) {
     Cache &C = Caches[P[I] - 1];

@@ -14,6 +14,12 @@
 /// level on the path (inclusive hierarchy, no coherence protocol - see
 /// DESIGN.md for the substitution rationale).
 ///
+/// The hot path is precompiled: each core's path is a flat array of
+/// (cache, level, line-size shift, latency) entries, and every level is
+/// touched by a single Cache::probe() that detects the hit and installs
+/// the victim in one set scan. accessReference() keeps the original
+/// two-scan, topology-walking implementation for differential testing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CTA_SIM_MACHINESIM_H
@@ -55,9 +61,20 @@ struct SimStats {
 
 /// The machine: one cache per topology node plus per-core access paths.
 class MachineSim {
+  /// One precompiled level of a core's access path.
+  struct PathEntry {
+    Cache *C = nullptr;
+    unsigned Level = 0;      // SimStats index
+    unsigned Latency = 0;    // hit cost at this level
+    unsigned LineShift = 0;  // log2(LineSize) when a power of two
+    unsigned LineSize = 1;   // divisor fallback otherwise
+    bool UseShift = false;
+  };
+
   const CacheTopology &Topo;
-  std::vector<Cache> Caches;               // indexed by topology node - 1
-  std::vector<std::vector<unsigned>> Path; // per core: node ids, L1 first
+  std::vector<Cache> Caches;                   // indexed by node id - 1
+  std::vector<std::vector<PathEntry>> Path;    // per core, L1 first
+  std::vector<std::vector<unsigned>> PathNodes; // node ids (reference path)
   SimStats Stats;
 
 public:
@@ -72,8 +89,29 @@ public:
 
   /// Performs one memory access by \p Core at byte address \p Addr.
   /// Returns the access latency in cycles. Writes currently behave like
-  /// reads (allocate-on-write, no coherence).
-  unsigned access(unsigned Core, std::uint64_t Addr, bool IsWrite);
+  /// reads (allocate-on-write, no coherence). Each level is probed once:
+  /// a miss installs the line while scanning for the hit.
+  unsigned access(unsigned Core, std::uint64_t Addr, bool IsWrite) {
+    (void)IsWrite; // writes allocate like reads; no coherence modelled
+    assert(Core < Path.size() && "core id out of range");
+    ++Stats.TotalAccesses;
+    for (const PathEntry &E : Path[Core]) {
+      ++Stats.Levels[E.Level].Lookups;
+      std::uint64_t Line =
+          E.UseShift ? (Addr >> E.LineShift) : (Addr / E.LineSize);
+      if (E.C->probe(Line)) {
+        ++Stats.Levels[E.Level].Hits;
+        return E.Latency;
+      }
+    }
+    ++Stats.MemoryAccesses;
+    return Topo.memoryLatency();
+  }
+
+  /// The original naive implementation (two set scans per missed level,
+  /// per-access topology-tree walks), retained as the differential-test
+  /// oracle. Bit-identical statistics and cache state to access().
+  unsigned accessReference(unsigned Core, std::uint64_t Addr, bool IsWrite);
 
   /// Cache instance of topology node \p NodeId (tests/inspection).
   const Cache &cacheOfNode(unsigned NodeId) const;

@@ -178,3 +178,42 @@ TEST(Engine, CachesStayWarmAcrossCalls) {
   EXPECT_LT(Warm.TotalCycles, Cold.TotalCycles);
   EXPECT_LT(Warm.Stats.MemoryAccesses, Cold.Stats.MemoryAccesses);
 }
+
+TEST(Engine, ZeroLatencyPrefixCompletesAtCycleZero) {
+  // Regression test for the completion-cycle sentinel: a watched prefix
+  // can legitimately finish at cycle 0 (zero compute cost, no memory
+  // accesses), and "finished at 0" must not read as "not yet finished".
+  // With a 0-valued sentinel the consumer either deadlocks or inherits a
+  // garbage ready time; with the UINT64_MAX sentinel it starts at once.
+  Program P;
+  LoopNest Nest("free", 1);
+  Nest.addConstantDim(0, 7); // 8 iterations, no accesses
+  Nest.setComputeCyclesPerIteration(0);
+  P.Nests.push_back(std::move(Nest));
+
+  CacheTopology T = makeTiny();
+  AddressMap Addrs(P.Arrays);
+  IterationTable Table = P.Nests[0].enumerate();
+
+  Mapping Map;
+  Map.StrategyName = "p2p-zero";
+  Map.NumCores = 2;
+  Map.CoreIterations = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  Map.RoundEnd = {{4}, {4}};
+  Map.NumRounds = 1;
+  Map.Sync = SyncMode::PointToPoint;
+  // Core 1 waits for core 0's whole (zero-cost) chunk before iteration 0.
+  Map.PointDeps.push_back({0, 4, 1, 0});
+
+  MachineSim FastSim(T);
+  ExecutionResult Fast = executeMapping(FastSim, P, 0, Table, Map, Addrs);
+  EXPECT_EQ(Fast.CoreCycles[0], 0u);
+  EXPECT_EQ(Fast.CoreCycles[1], 0u);
+  EXPECT_EQ(Fast.TotalCycles, 0u);
+
+  MachineSim RefSim(T);
+  ExecutionResult Ref = executeMappingReference(RefSim, P, 0, Table, Map, Addrs);
+  EXPECT_EQ(Ref.TotalCycles, Fast.TotalCycles);
+  EXPECT_EQ(Ref.CoreCycles[1], Fast.CoreCycles[1]);
+  EXPECT_EQ(Ref.Stats.TotalAccesses, Fast.Stats.TotalAccesses);
+}

@@ -119,6 +119,41 @@ TEST(FingerprintTest, StableAndSensitive) {
                                 Opts));
 }
 
+/// Reconstructs the fingerprint an older cache format version would have
+/// produced for the same inputs (same feed order as runFingerprint, salt
+/// forced to \p Version).
+static std::uint64_t
+fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
+                       const CacheTopology &Machine, Strategy Strat,
+                       const MappingOptions &Opts) {
+  HashBuilder H;
+  H.add(std::string_view("cta-run"));
+  H.add(Version);
+  hashProgram(H, Prog);
+  hashTopology(H, Machine);
+  H.add(false); // no distinct runs-on machine
+  H.add(static_cast<std::uint64_t>(Strat));
+  hashOptions(H, Opts);
+  return H.hash();
+}
+
+TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
+  // The hot-path overhaul bumped RunCacheFormatVersion from 1 to 2 so
+  // entries produced by the old engine can never be served. Keys minted
+  // under the old salt must not collide with current keys.
+  Program Prog = makeWorkload("cg");
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+
+  ASSERT_EQ(RunCacheFormatVersion, 2u);
+  std::uint64_t Current =
+      runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
+  EXPECT_EQ(Current, fingerprintWithVersion(2, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+  EXPECT_NE(Current, fingerprintWithVersion(1, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+}
+
 //===----------------------------------------------------------------------===//
 // RunCache serialization + storage
 //===----------------------------------------------------------------------===//
@@ -208,6 +243,25 @@ TEST_F(RunCacheDiskTest, CorruptEntryIsAMiss) {
     Out << "CTA-RUN v1\ngarbage\n";
   }
   EXPECT_FALSE(Cache.lookup(7).has_value());
+}
+
+TEST_F(RunCacheDiskTest, OldFormatVersionEntryMissesCleanly) {
+  // An entry stored under a version-1 fingerprint must be invisible to a
+  // runner keying with the current (version-2) fingerprint: a clean miss,
+  // not a hit and not an error.
+  Program Prog = makeWorkload("cg");
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+  std::uint64_t OldKey =
+      fingerprintWithVersion(1, Prog, Topo, Strategy::TopologyAware, Opts);
+  std::uint64_t NewKey =
+      runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
+
+  RunCache Cache(Dir);
+  Cache.store(OldKey, sampleResult());
+  EXPECT_FALSE(Cache.lookup(NewKey).has_value());
+  // The stale entry itself is still intact under its own key.
+  EXPECT_TRUE(Cache.lookup(OldKey).has_value());
 }
 
 TEST(RunCacheTest, DisabledCacheNeverHits) {

@@ -1,0 +1,305 @@
+//===- tests/sim_equivalence_test.cpp - Fast path vs reference engine -----===//
+//
+// Differential test of the simulator hot path: executeMapping (precompiled
+// AccessTrace + single-probe caches + event-heap scheduling) must produce
+// bit-identical results to executeMappingReference (per-access affine
+// evaluation, two-scan caches, linear min-scans) on randomized programs,
+// topologies and mappings. Any divergence in cycles or cache statistics is
+// a bug in one of the two paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/AccessTrace.h"
+#include "sim/Engine.h"
+#include "support/Random.h"
+#include "topo/Topology.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cta;
+
+namespace {
+
+/// A random affine program: 1-3 arrays of rank 1-2, a nest of depth 1-3
+/// with constant bounds, 1-5 accesses. Non-wrapped subscripts are kept in
+/// bounds by construction; wrapped accesses use arbitrary coefficients
+/// (the Euclidean reduction makes any value legal).
+Program makeRandomProgram(SplitMix64 &Rng) {
+  Program P;
+  const unsigned NumArrays = 1 + Rng.nextBelow(3);
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    const unsigned Rank = 1 + Rng.nextBelow(2);
+    std::vector<std::int64_t> Dims;
+    for (unsigned R = 0; R != Rank; ++R)
+      Dims.push_back(48 + static_cast<std::int64_t>(Rng.nextBelow(81)));
+    const unsigned ElementSize = Rng.nextBelow(2) == 0 ? 4 : 8;
+    P.addArray(ArrayDecl("A" + std::to_string(A), std::move(Dims),
+                         ElementSize));
+  }
+
+  const unsigned Depth = 1 + Rng.nextBelow(3);
+  LoopNest Nest("rand", Depth);
+  std::vector<std::int64_t> UpperBound;
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::int64_t U = Depth == 1
+                         ? 15 + static_cast<std::int64_t>(Rng.nextBelow(33))
+                         : 2 + static_cast<std::int64_t>(Rng.nextBelow(6));
+    Nest.addConstantDim(0, U);
+    UpperBound.push_back(U);
+  }
+  Nest.setComputeCyclesPerIteration(Rng.nextBelow(4));
+
+  const unsigned NumAccesses = 1 + Rng.nextBelow(5);
+  for (unsigned I = 0; I != NumAccesses; ++I) {
+    const unsigned ArrayId = static_cast<unsigned>(Rng.nextBelow(NumArrays));
+    const ArrayDecl &Array = P.Arrays[ArrayId];
+    const bool Wrap = Rng.nextBelow(4) == 0;
+    std::vector<AffineExpr> Subs;
+    for (std::int64_t DimSize : Array.Dims) {
+      AffineExpr E(Depth);
+      if (Wrap) {
+        for (unsigned D = 0; D != Depth; ++D)
+          E.setCoeff(D, static_cast<std::int64_t>(Rng.nextBelow(7)) - 3);
+        E.setConstantTerm(static_cast<std::int64_t>(Rng.nextBelow(21)) - 10);
+      } else {
+        // a * iv(V) + b with a * UB <= DimSize - 1 so the index stays in
+        // bounds without modular reduction.
+        const unsigned V = static_cast<unsigned>(Rng.nextBelow(Depth));
+        const std::int64_t MaxCoeff = (DimSize - 1) / UpperBound[V];
+        const std::int64_t A =
+            Rng.nextBelow(static_cast<std::uint64_t>(MaxCoeff >= 2 ? 3 : 2));
+        E.setCoeff(V, A);
+        const std::int64_t Room = DimSize - 1 - A * UpperBound[V];
+        E.setConstantTerm(
+            static_cast<std::int64_t>(Rng.nextBelow(Room + 1)));
+      }
+      Subs.push_back(std::move(E));
+    }
+    Nest.addAccess(ArrayAccess(ArrayId, std::move(Subs),
+                               /*IsWrite=*/Rng.nextBelow(3) == 0, Wrap));
+  }
+  P.Nests.push_back(std::move(Nest));
+  return P;
+}
+
+/// A random two- or three-level topology. Line sizes include non-powers
+/// of two (exercising the division path) and set counts are frequently
+/// non-powers of two (exercising the modulo path next to the mask path).
+CacheTopology makeRandomTopology(SplitMix64 &Rng) {
+  static const unsigned LineSizes[] = {32, 48, 64, 96};
+  static const unsigned SetCounts[] = {2, 3, 4, 5, 7, 8, 12, 16};
+
+  auto params = [&](unsigned Level) {
+    CacheParams P;
+    P.Assoc = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    P.LineSize = LineSizes[Rng.nextBelow(4)];
+    const unsigned Sets = SetCounts[Rng.nextBelow(8)] * Level;
+    P.SizeBytes = static_cast<std::uint64_t>(Sets) * P.Assoc * P.LineSize;
+    P.LatencyCycles = Level * (2 + static_cast<unsigned>(Rng.nextBelow(6)));
+    return P;
+  };
+
+  CacheTopology T("rand", 60 + static_cast<unsigned>(Rng.nextBelow(140)));
+  const bool ThreeLevels = Rng.nextBelow(2) == 0;
+  const unsigned NumShared = 1 + static_cast<unsigned>(Rng.nextBelow(2));
+  const unsigned CoresPerShared = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned S = 0; S != NumShared; ++S) {
+    unsigned Parent = T.rootId();
+    if (ThreeLevels)
+      Parent = T.addCache(T.rootId(), 3, params(3));
+    const unsigned L2 = T.addCache(Parent, 2, params(2));
+    for (unsigned C = 0; C != CoresPerShared; ++C)
+      T.addCache(L2, 1, params(1));
+  }
+  T.finalize();
+  return T;
+}
+
+/// A random partition of [0, NumIterations) over \p NumCores, in shuffled
+/// order, split at random cut points (some cores may get nothing).
+std::vector<std::vector<std::uint32_t>>
+makeRandomPartition(std::uint32_t NumIterations, unsigned NumCores,
+                    SplitMix64 &Rng) {
+  std::vector<std::uint32_t> Ids(NumIterations);
+  for (std::uint32_t I = 0; I != NumIterations; ++I)
+    Ids[I] = I;
+  for (std::uint32_t I = NumIterations; I > 1; --I) {
+    const std::uint32_t J = static_cast<std::uint32_t>(Rng.nextBelow(I));
+    std::swap(Ids[I - 1], Ids[J]);
+  }
+  std::vector<std::uint32_t> Cuts;
+  for (unsigned C = 0; C + 1 < NumCores; ++C)
+    Cuts.push_back(static_cast<std::uint32_t>(Rng.nextBelow(NumIterations + 1)));
+  Cuts.push_back(0);
+  Cuts.push_back(NumIterations);
+  std::sort(Cuts.begin(), Cuts.end());
+
+  std::vector<std::vector<std::uint32_t>> PerCore(NumCores);
+  for (unsigned C = 0; C != NumCores; ++C)
+    PerCore[C].assign(Ids.begin() + Cuts[C], Ids.begin() + Cuts[C + 1]);
+  return PerCore;
+}
+
+/// A random mapping in one of the three synchronization regimes the
+/// engine supports: free running, multi-round barriers, point-to-point.
+Mapping makeRandomMapping(std::uint32_t NumIterations, unsigned NumCores,
+                          SplitMix64 &Rng) {
+  Mapping Map;
+  Map.StrategyName = "random";
+  Map.NumCores = NumCores;
+  Map.CoreIterations = makeRandomPartition(NumIterations, NumCores, Rng);
+
+  const unsigned Mode = static_cast<unsigned>(Rng.nextBelow(3));
+  if (Mode == 0) { // free running: one round, no barriers
+    Map.NumRounds = 1;
+    Map.RoundEnd.resize(NumCores);
+    for (unsigned C = 0; C != NumCores; ++C)
+      Map.RoundEnd[C].push_back(Map.CoreIterations[C].size());
+    Map.BarriersRequired = false;
+  } else if (Mode == 1) { // multi-round barriers
+    Map.NumRounds = 2 + static_cast<unsigned>(Rng.nextBelow(2));
+    Map.BarriersRequired = true;
+    Map.RoundEnd.resize(NumCores);
+    for (unsigned C = 0; C != NumCores; ++C) {
+      const std::uint32_t N = Map.CoreIterations[C].size();
+      std::vector<std::uint32_t> Ends;
+      for (unsigned R = 0; R + 1 < Map.NumRounds; ++R)
+        Ends.push_back(static_cast<std::uint32_t>(Rng.nextBelow(N + 1)));
+      std::sort(Ends.begin(), Ends.end());
+      Ends.push_back(N);
+      Map.RoundEnd[C] = std::move(Ends);
+    }
+  } else { // point-to-point, PredCore < Core so no cycle can deadlock
+    Map.NumRounds = 1;
+    Map.RoundEnd.resize(NumCores);
+    for (unsigned C = 0; C != NumCores; ++C)
+      Map.RoundEnd[C].push_back(Map.CoreIterations[C].size());
+    Map.Sync = SyncMode::PointToPoint;
+    for (unsigned C = 1; C != NumCores; ++C) {
+      const std::uint32_t N = Map.CoreIterations[C].size();
+      if (N == 0)
+        continue;
+      const unsigned NumDeps = static_cast<unsigned>(Rng.nextBelow(3));
+      for (unsigned D = 0; D != NumDeps; ++D) {
+        SyncDep Dep;
+        Dep.Core = C;
+        Dep.StartPos = static_cast<std::uint32_t>(Rng.nextBelow(N));
+        Dep.PredCore = static_cast<unsigned>(Rng.nextBelow(C));
+        Dep.PredEndPos = static_cast<std::uint32_t>(Rng.nextBelow(
+            Map.CoreIterations[Dep.PredCore].size() + 1));
+        Map.PointDeps.push_back(Dep);
+      }
+    }
+  }
+  return Map;
+}
+
+void expectIdentical(const ExecutionResult &Fast, const ExecutionResult &Ref,
+                     std::uint64_t Seed) {
+  EXPECT_EQ(Fast.TotalCycles, Ref.TotalCycles) << "seed " << Seed;
+  ASSERT_EQ(Fast.CoreCycles.size(), Ref.CoreCycles.size()) << "seed " << Seed;
+  for (std::size_t C = 0; C != Fast.CoreCycles.size(); ++C)
+    EXPECT_EQ(Fast.CoreCycles[C], Ref.CoreCycles[C])
+        << "core " << C << " seed " << Seed;
+  for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+    EXPECT_EQ(Fast.Stats.Levels[L].Lookups, Ref.Stats.Levels[L].Lookups)
+        << "L" << L << " lookups, seed " << Seed;
+    EXPECT_EQ(Fast.Stats.Levels[L].Hits, Ref.Stats.Levels[L].Hits)
+        << "L" << L << " hits, seed " << Seed;
+  }
+  EXPECT_EQ(Fast.Stats.MemoryAccesses, Ref.Stats.MemoryAccesses)
+      << "seed " << Seed;
+  EXPECT_EQ(Fast.Stats.TotalAccesses, Ref.Stats.TotalAccesses)
+      << "seed " << Seed;
+}
+
+/// Runs one random configuration through both engine paths on fresh
+/// machines and asserts bit-identical results; repeats the run on the
+/// now-warm machines so persistent cache state is compared too.
+void runOneSeed(std::uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  Program Prog = makeRandomProgram(Rng);
+  CacheTopology Topo = makeRandomTopology(Rng);
+  IterationTable Table = Prog.Nests[0].enumerate();
+  AddressMap Addrs(Prog.Arrays);
+  Mapping Map = makeRandomMapping(Table.size(), Topo.numCores(), Rng);
+  ASSERT_TRUE(Map.validate());
+
+  MachineSim FastSim(Topo);
+  MachineSim RefSim(Topo);
+  ExecutionResult Fast = executeMapping(FastSim, Prog, 0, Table, Map, Addrs);
+  ExecutionResult Ref =
+      executeMappingReference(RefSim, Prog, 0, Table, Map, Addrs);
+  expectIdentical(Fast, Ref, Seed);
+
+  // Warm re-run: cache contents persisted across the first call in both
+  // simulators; the second execution must diverge in neither timing nor
+  // statistics.
+  ExecutionResult Fast2 = executeMapping(FastSim, Prog, 0, Table, Map, Addrs);
+  ExecutionResult Ref2 =
+      executeMappingReference(RefSim, Prog, 0, Table, Map, Addrs);
+  expectIdentical(Fast2, Ref2, Seed);
+}
+
+} // namespace
+
+TEST(SimEquivalence, RandomizedConfigurations) {
+  for (std::uint64_t Seed = 1; Seed <= 60; ++Seed)
+    runOneSeed(Seed);
+}
+
+TEST(SimEquivalence, TraceRegistrySharesOneCompilation) {
+  SplitMix64 Rng(123);
+  Program Prog = makeRandomProgram(Rng);
+  TraceRegistry::clear();
+  std::shared_ptr<const AccessTrace> A =
+      TraceRegistry::getOrCompile(Prog, 0, 1u << 26);
+  std::shared_ptr<const AccessTrace> B =
+      TraceRegistry::getOrCompile(Prog, 0, 1u << 26);
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_EQ(TraceRegistry::residentTraces(), 1u);
+
+  // A different enumeration limit is a different trace key: the limit
+  // changes abort behavior, so sharing across limits would be unsound.
+  std::uint64_t KeyA = traceFingerprint(Prog, 0, 1u << 26);
+  std::uint64_t KeyB = traceFingerprint(Prog, 0, 1u << 20);
+  EXPECT_NE(KeyA, KeyB);
+  TraceRegistry::clear();
+  EXPECT_EQ(TraceRegistry::residentTraces(), 0u);
+}
+
+TEST(SimEquivalence, TraceMatchesNaiveAddressComputation) {
+  // Every trace row must equal the addresses the naive evaluateAccess +
+  // linearize path computes for that iteration, access for access.
+  for (std::uint64_t Seed = 101; Seed <= 110; ++Seed) {
+    SplitMix64 Rng(Seed);
+    Program Prog = makeRandomProgram(Rng);
+    const LoopNest &Nest = Prog.Nests[0];
+    IterationTable Table = Nest.enumerate();
+    AddressMap Addrs(Prog.Arrays);
+    AccessTrace Trace = AccessTrace::compile(Prog, 0, Table, Addrs);
+    ASSERT_EQ(Trace.numIterations(), Table.size());
+    ASSERT_EQ(Trace.numAccesses(), Nest.accesses().size());
+
+    std::vector<std::int64_t> Point(Nest.depth());
+    std::vector<std::int64_t> Idx;
+    for (std::uint32_t It = 0; It != Table.size(); ++It) {
+      Table.get(It, Point.data());
+      const std::uint64_t *Row = Trace.row(It);
+      for (unsigned A = 0; A != Trace.numAccesses(); ++A) {
+        const ArrayAccess &Acc = Nest.accesses()[A];
+        const ArrayDecl &Array = Prog.Arrays[Acc.ArrayId];
+        Idx.assign(Acc.Subscripts.size(), 0);
+        evaluateAccess(Acc, Array, Point.data(), Idx.data());
+        const std::uint64_t Expected =
+            Addrs.addrOf(Acc.ArrayId, Array.linearize(Idx.data()));
+        EXPECT_EQ(Row[A], Expected)
+            << "iteration " << It << " access " << A << " seed " << Seed;
+        EXPECT_EQ(Trace.isWrite(A), Acc.IsWrite);
+      }
+    }
+  }
+}
