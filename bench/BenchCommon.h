@@ -55,9 +55,12 @@ inline std::vector<std::string> sensitivitySubset() {
   return {"galgel", "cg", "bodytrack", "freqmine", "povray", "h264"};
 }
 
-/// Cycles ratio of one run against a Base run.
+/// Cycles ratio of one run against a Base run. NaN when the base ran for
+/// zero cycles (degenerate nest), so tables render "nan" rather than
+/// "inf" — and geomean() over a series containing it stays NaN instead of
+/// poisoning the aggregate with infinity.
 inline double ratioToBase(const RunResult &R, const RunResult &Base) {
-  return static_cast<double>(R.Cycles) / static_cast<double>(Base.Cycles);
+  return cycleRatio(R, Base);
 }
 
 inline void printHeader(const char *Id, const char *Title) {
@@ -72,18 +75,18 @@ inline std::string timingCell(const ExecConfig &Config, std::string Cell) {
 }
 
 /// One-line execution report on stderr (stdout stays byte-comparable
-/// across --jobs/--cache-dir settings).
+/// across --jobs/--cache-dir settings). Renders through the shared
+/// obs::formatExecSummary so the runner and BenchCommon can never drift.
 inline void printExecSummary(const ExperimentRunner &Runner) {
-  std::fprintf(stderr,
-               "[exec] jobs=%u simulated=%" PRIu64 " accesses=%" PRIu64
-               " cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
-               " stores%s%s\n",
-               Runner.jobs(), Runner.simulatorInvocations(),
-               Runner.simulatedAccesses(), Runner.cache().hits(),
-               Runner.cache().misses(), Runner.cache().stores(),
-               Runner.cache().enabled() ? " @ " : "",
-               Runner.cache().enabled() ? Runner.cache().directory().c_str()
-                                        : "");
+  std::fprintf(stderr, "%s\n",
+               obs::formatExecSummary(Runner.execSummary()).c_str());
+}
+
+/// Standard bench epilogue: the stderr execution summary plus the
+/// machine-readable artifact when --emit-json/CTA_EMIT_JSON is set.
+inline void finishBench(const ExperimentRunner &Runner) {
+  printExecSummary(Runner);
+  Runner.emitArtifacts();
 }
 
 } // namespace cta::bench

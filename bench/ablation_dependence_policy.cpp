@@ -58,6 +58,6 @@ int main(int argc, char **argv) {
               "at chunk boundaries; see DESIGN.md.) Point-to-point flags "
               "make option (2) viable; round barriers pay the full "
               "straggler cost per round.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -45,6 +45,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's observation: balanced weights (0.5/0.5) perform "
               "best overall.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -15,6 +15,8 @@
 
 #include "BenchCommon.h"
 
+#include "support/ErrorHandling.h"
+
 using namespace cta;
 using namespace cta::bench;
 
@@ -66,5 +68,20 @@ int main(int argc, char **argv) {
               "compilation; our pass does the enumeration+tagging work the "
               "Base pass skips, so the ratio is larger in this "
               "library-level measurement.\n");
+
+  // No ExperimentRunner here, so the artifact carries process-level data
+  // only: the pipeline counters and phase spans the mapping passes left in
+  // the root sink (pool workers run without a MetricScope, so their bumps
+  // land there too).
+  if (!Config.EmitJsonPath.empty()) {
+    obs::BenchArtifact Artifact;
+    Artifact.Bench = Config.BenchName;
+    Artifact.Jobs = Jobs;
+    Artifact.ProcessCounters = obs::MetricSink::root().snapshot();
+    Artifact.ProcessPhases = obs::MetricSink::root().phases();
+    std::string Err;
+    if (!Artifact.writeFile(Config.EmitJsonPath, &Err))
+      reportFatalError(("cannot write --emit-json artifact: " + Err).c_str());
+  }
   return 0;
 }

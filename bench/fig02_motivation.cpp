@@ -56,6 +56,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: the diagonal (version customized for the "
               "executing machine) is 1.000 in each row.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

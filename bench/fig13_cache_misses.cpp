@@ -60,6 +60,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's averages: 18%%/39%%/47%% vs Base, 16%%/31%%/37%% "
               "vs Base+ (deeper levels improve most).\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -49,6 +49,6 @@ int main(int argc, char **argv) {
                 formatPercent(1.0 - geomean(Aware)).c_str(),
                 formatPercent(1.0 - geomean(Aware) / geomean(Plus)).c_str());
   }
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

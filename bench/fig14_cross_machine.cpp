@@ -73,6 +73,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: every ported version is slower than the "
               "native one (degradations of 17-31%% on average).\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -45,6 +45,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: Local alone is modest; combining global "
               "distribution with local scheduling gives the best result.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

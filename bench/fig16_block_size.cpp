@@ -50,6 +50,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: smaller blocks map better but compile "
               "slower.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -46,6 +46,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: the gain over Base grows with the core "
               "count (29%% at 12 cores to 46%% at 24).\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

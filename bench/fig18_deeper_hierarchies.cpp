@@ -43,6 +43,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: deeper/more complex hierarchies benefit "
               "more from topology-aware mapping.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

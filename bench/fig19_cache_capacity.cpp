@@ -43,6 +43,6 @@ int main(int argc, char **argv) {
   Table.print();
   std::printf("\nPaper's shape: with halved caches (more pressure) the "
               "topology-aware schemes gain more ground over Base.\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

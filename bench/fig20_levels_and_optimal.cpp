@@ -140,6 +140,6 @@ int main(int argc, char **argv) {
   std::printf("\nAverage gap to the searched optimum: %s (paper: ~7.6%% "
               "to the ILP optimum).\n",
               formatPercent(AvgGap).c_str());
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -8,8 +8,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/ExperimentRunner.h"
 #include "exec/Fingerprint.h"
 #include "exec/ThreadPool.h"
+#include "obs/RunArtifact.h"
 
 #include "core/DataBlockModel.h"
 #include "core/HierarchicalClusterer.h"
@@ -20,6 +22,10 @@
 #include "workloads/Generators.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string_view>
+#include <vector>
 
 using namespace cta;
 
@@ -140,4 +146,52 @@ BENCHMARK(BM_RunFingerprint);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): the shared CTA exec flags (--jobs,
+// --cache-dir, --no-timing, --emit-json and their envs) are parsed and
+// stripped before google-benchmark sees argv, so running every bench with
+// the same flag set does not trip its unknown-flag rejection. --emit-json
+// writes a process-level artifact (counters the benchmarked components
+// bumped in the root sink); google-benchmark owns stdout as usual.
+int main(int argc, char **argv) {
+  ExecConfig Config = parseExecArgs(argc, argv);
+
+  std::vector<char *> Filtered;
+  Filtered.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int I = 0; I != argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--no-timing")
+      continue;
+    if (Arg == "--jobs" || Arg == "--cache-dir" || Arg == "--emit-json") {
+      ++I; // skip the detached value (parseExecArgs validated it exists)
+      continue;
+    }
+    if (Arg.rfind("--jobs=", 0) == 0 || Arg.rfind("--cache-dir=", 0) == 0 ||
+        Arg.rfind("--emit-json=", 0) == 0)
+      continue;
+    Filtered.push_back(argv[I]);
+  }
+  Filtered.push_back(nullptr);
+  int FilteredArgc = static_cast<int>(Filtered.size()) - 1;
+
+  benchmark::Initialize(&FilteredArgc, Filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(FilteredArgc, Filtered.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!Config.EmitJsonPath.empty()) {
+    obs::BenchArtifact Artifact;
+    Artifact.Bench = Config.BenchName;
+    Artifact.Jobs = Config.Jobs == 0 ? ThreadPool::defaultThreadCount()
+                                     : Config.Jobs;
+    Artifact.ProcessCounters = obs::MetricSink::root().snapshot();
+    Artifact.ProcessPhases = obs::MetricSink::root().phases();
+    std::string Err;
+    if (!Artifact.writeFile(Config.EmitJsonPath, &Err)) {
+      std::fprintf(stderr, "cannot write --emit-json artifact: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

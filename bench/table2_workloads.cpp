@@ -51,6 +51,6 @@ int main(int argc, char **argv) {
   std::printf("\nData sets scale with the 1/32 machines exactly as the "
               "paper's 4.6MB-2.8GB sets relate to the real caches "
               "(DESIGN.md).\n");
-  printExecSummary(Runner);
+  finishBench(Runner);
   return 0;
 }

@@ -76,5 +76,6 @@ int main(int argc, char **argv) {
               " * The diagonal rows (compiled-for == runs-on) are the "
               "fastest in each group: re-customizing the distribution for "
               "the target's cache tree is what buys the performance.\n");
+  Runner.emitArtifacts(); // --emit-json/CTA_EMIT_JSON, no-op otherwise
   return 0;
 }

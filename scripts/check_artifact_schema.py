@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Sanity-check cta-bench-artifact-v1 JSON files (stdlib only).
+
+Usage: check_artifact_schema.py FILE [FILE...]
+
+Validates the shape of the artifacts the bench binaries emit via
+--emit-json / CTA_EMIT_JSON: schema tags, required keys, value types and
+the internal consistency invariants external tooling relies on (levels
+report misses = lookups - hits; per-cache levels appear in the levels
+aggregate). Exits non-zero and prints one line per violation; this is a
+guard against silent schema drift, not a full JSON-Schema validator.
+"""
+
+import json
+import sys
+
+ERRORS = []
+
+
+def err(path, msg):
+    ERRORS.append(f"{path}: {msg}")
+
+
+def expect_keys(obj, keys, path):
+    for key, types in keys.items():
+        if key not in obj:
+            err(path, f"missing key '{key}'")
+        elif not isinstance(obj[key], types):
+            err(path, f"key '{key}' has type {type(obj[key]).__name__}")
+
+
+def check_counters(obj, path):
+    if not isinstance(obj, dict):
+        err(path, "counters is not an object")
+        return
+    for name, value in obj.items():
+        if not isinstance(value, int) or value < 0:
+            err(path, f"counter '{name}' is not a non-negative integer")
+
+
+def check_phase(phase, path):
+    expect_keys(
+        phase,
+        {
+            "name": str,
+            "seconds": (int, float, type(None)),
+            "peak_rss_kb": int,
+            "counters": dict,
+        },
+        path,
+    )
+    if "counters" in phase:
+        check_counters(phase["counters"], f"{path}.counters")
+
+
+def check_run(run, path):
+    expect_keys(
+        run,
+        {
+            "schema": str,
+            "label": str,
+            "fingerprint": str,
+            "cache_status": str,
+            "cycles": int,
+            "mapping_seconds": (int, float, type(None)),
+            "block_size_bytes": int,
+            "imbalance": (int, float, type(None)),
+            "rounds": int,
+            "memory_accesses": int,
+            "total_accesses": int,
+            "levels": list,
+            "caches": list,
+            "sharing": dict,
+            "phases": list,
+            "counters": dict,
+        },
+        path,
+    )
+    if run.get("schema") != "cta-run-artifact-v1":
+        err(path, f"unexpected run schema {run.get('schema')!r}")
+    if run.get("cache_status") not in ("hit", "miss", "disabled"):
+        err(path, f"unexpected cache_status {run.get('cache_status')!r}")
+
+    level_ids = set()
+    for i, level in enumerate(run.get("levels", [])):
+        lpath = f"{path}.levels[{i}]"
+        expect_keys(
+            level,
+            {"level": int, "lookups": int, "hits": int, "misses": int,
+             "evictions": int},
+            lpath,
+        )
+        if all(k in level for k in ("lookups", "hits", "misses")):
+            if level["misses"] != level["lookups"] - level["hits"]:
+                err(lpath, "misses != lookups - hits")
+        level_ids.add(level.get("level"))
+    for i, cache in enumerate(run.get("caches", [])):
+        cpath = f"{path}.caches[{i}]"
+        expect_keys(
+            cache,
+            {"node": int, "level": int, "lookups": int, "hits": int,
+             "evictions": int},
+            cpath,
+        )
+        if cache.get("lookups", 0) > 0 and cache.get("level") not in level_ids:
+            err(cpath, f"level {cache.get('level')} missing from levels[]")
+    sharing = run.get("sharing", {})
+    if isinstance(sharing, dict):
+        expect_keys(sharing, {"total": int, "levels": list}, f"{path}.sharing")
+        for i, s in enumerate(sharing.get("levels", [])):
+            expect_keys(
+                s,
+                {"level": int, "within": int, "across": int},
+                f"{path}.sharing.levels[{i}]",
+            )
+    for i, phase in enumerate(run.get("phases", [])):
+        check_phase(phase, f"{path}.phases[{i}]")
+    if "counters" in run:
+        check_counters(run["counters"], f"{path}.counters")
+
+
+def check_bench(doc, path):
+    expect_keys(
+        doc,
+        {
+            "schema": str,
+            "bench": str,
+            "jobs": int,
+            "cache": dict,
+            "simulator_invocations": int,
+            "simulated_accesses": int,
+            "runs": list,
+            "process_counters": dict,
+            "process_phases": list,
+        },
+        path,
+    )
+    if doc.get("schema") != "cta-bench-artifact-v1":
+        err(path, f"unexpected schema {doc.get('schema')!r}")
+    cache = doc.get("cache", {})
+    if isinstance(cache, dict):
+        expect_keys(
+            cache,
+            {"enabled": bool, "hits": int, "misses": int, "stores": int},
+            f"{path}.cache",
+        )
+    for i, run in enumerate(doc.get("runs", [])):
+        check_run(run, f"{path}.runs[{i}]")
+    if "process_counters" in doc:
+        check_counters(doc["process_counters"], f"{path}.process_counters")
+    for i, phase in enumerate(doc.get("process_phases", [])):
+        check_phase(phase, f"{path}.process_phases[{i}]")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for file in argv[1:]:
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            err(file, f"unreadable or invalid JSON: {e}")
+            continue
+        check_bench(doc, file)
+    for line in ERRORS:
+        print(line, file=sys.stderr)
+    if ERRORS:
+        print(f"check_artifact_schema: {len(ERRORS)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_artifact_schema: {len(argv) - 1} artifact(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

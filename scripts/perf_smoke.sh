@@ -23,14 +23,16 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 # Cold run: a throwaway cache directory and a single worker so the
-# measurement is the raw single-run simulation path.
+# measurement is the raw single-run simulation path. The bench's own
+# --emit-json artifact supplies the per-phase breakdown.
 CACHE_DIR="$(mktemp -d)"
 STDERR_LOG="$(mktemp)"
-trap 'rm -rf "$CACHE_DIR" "$STDERR_LOG"' EXIT
+ARTIFACT="$(mktemp)"
+trap 'rm -rf "$CACHE_DIR" "$STDERR_LOG" "$ARTIFACT"' EXIT
 
 START_NS=$(date +%s%N)
 if ! "$BENCH" --jobs=1 --cache-dir="$CACHE_DIR" --no-timing \
-    >/dev/null 2>"$STDERR_LOG"; then
+    --emit-json="$ARTIFACT" >/dev/null 2>"$STDERR_LOG"; then
   echo "perf_smoke: fig13_main_comparison failed" >&2
   cat "$STDERR_LOG" >&2
   exit 1
@@ -43,15 +45,34 @@ ACCESSES=$(sed -n 's/.*\[exec\].* accesses=\([0-9]*\).*/\1/p' "$STDERR_LOG" | ta
 ACCESSES="${ACCESSES:-0}"
 RATE=$(awk -v n="$ACCESSES" -v s="$WALL_S" 'BEGIN { printf "%.0f", (s > 0 ? n / s : 0) }')
 
+# Per-phase seconds summed over every run in the artifact (trace-compile
+# vs execute vs mapping passes). Degrades to {} without python3.
+PHASES="{}"
+if command -v python3 >/dev/null 2>&1; then
+  PHASES=$(python3 - "$ARTIFACT" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+totals = {}
+for run in doc.get("runs", []):
+    for phase in run.get("phases", []):
+        totals[phase["name"]] = (totals.get(phase["name"], 0.0)
+                                 + (phase.get("seconds") or 0.0))
+print(json.dumps({k: round(v, 6) for k, v in sorted(totals.items())}))
+PYEOF
+  )
+fi
+
 cat > "$OUT_JSON" <<EOF
 {
   "benchmark": "fig13_main_comparison",
   "config": "cold cache, --jobs=1",
   "wall_seconds": $WALL_S,
   "simulated_accesses": $ACCESSES,
-  "accesses_per_second": $RATE
+  "accesses_per_second": $RATE,
+  "phase_seconds": $PHASES
 }
 EOF
 
 echo "perf_smoke: ${WALL_S}s wall, ${ACCESSES} simulated accesses, ${RATE}/s"
+echo "perf_smoke: phase seconds: $PHASES"
 echo "perf_smoke: wrote $OUT_JSON"

@@ -2,8 +2,8 @@
 
 #include "core/HierarchicalClusterer.h"
 
+#include "obs/MetricSink.h"
 #include "support/ErrorHandling.h"
-#include "support/Statistic.h"
 
 #include <algorithm>
 #include <cmath>
@@ -13,10 +13,10 @@ using namespace cta;
 
 namespace {
 
-Statistic NumMerges("clusterer.merges");
-Statistic NumClusterSplits("clusterer.cluster-splits");
-Statistic NumGroupSplits("clusterer.group-splits");
-Statistic NumEvictions("clusterer.balance-evictions");
+obs::Counter NumMerges("clusterer.merges");
+obs::Counter NumClusterSplits("clusterer.cluster-splits");
+obs::Counter NumGroupSplits("clusterer.group-splits");
+obs::Counter NumEvictions("clusterer.balance-evictions");
 
 /// A working cluster: group ids plus the total iteration count. The
 /// "bitwise sum" signature of Figure 6 is never materialized: the merge

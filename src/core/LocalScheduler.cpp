@@ -2,8 +2,8 @@
 
 #include "core/LocalScheduler.h"
 
+#include "obs/MetricSink.h"
 #include "support/ErrorHandling.h"
-#include "support/Statistic.h"
 
 #include <algorithm>
 
@@ -11,8 +11,8 @@ using namespace cta;
 
 namespace {
 
-Statistic NumRoundsStat("scheduler.rounds");
-Statistic NumForcedSchedules("scheduler.forced-schedules");
+obs::Counter NumRoundsStat("scheduler.rounds");
+obs::Counter NumForcedSchedules("scheduler.forced-schedules");
 
 class SchedulerImpl {
   const std::vector<IterationGroup> &Groups;

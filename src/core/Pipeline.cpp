@@ -8,6 +8,7 @@
 #include "core/HierarchicalClusterer.h"
 #include "core/LocalScheduler.h"
 #include "core/Tagger.h"
+#include "obs/ObsScope.h"
 #include "poly/Dependence.h"
 #include "support/ErrorHandling.h"
 #include "support/Timer.h"
@@ -138,6 +139,7 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
   // their "mapping time" is the parallelization-only cost the paper's
   // compile-overhead percentages are measured against.
   if (Strat == Strategy::Base || Strat == Strategy::BasePlus) {
+    obs::ObsScope Span("pipeline.baseline");
     IterationTable Table = Nest.enumerate(Opts.MaxIterations);
     Result.Map = Strat == Strategy::Base
                      ? mapBase(Table, NumCores)
@@ -156,16 +158,21 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
   DataBlockModel Blocks(Prog.Arrays, BlockSize);
 
   // 2. Tagging and group formation (Sections 3.3-3.4).
-  TaggingResult Tagged =
-      buildIterationGroups(Nest, Prog.Arrays, Blocks, Opts.MaxIterations);
-  Result.NumGroupsInitial = Tagged.Groups.size();
-  unsigned CoarsenTarget = Opts.MaxGroupsForClustering;
-  if (Tagged.Groups.size() > CoarsenTarget &&
-      adjacentAffinityFraction(Tagged.Groups) > 0.5)
-    CoarsenTarget = std::min(CoarsenTarget, Opts.ChainCoarsenTarget);
-  coarsenGroups(Tagged.Groups, CoarsenTarget);
+  TaggingResult Tagged;
+  {
+    obs::ObsScope Span("pipeline.tag");
+    Tagged =
+        buildIterationGroups(Nest, Prog.Arrays, Blocks, Opts.MaxIterations);
+    Result.NumGroupsInitial = Tagged.Groups.size();
+    unsigned CoarsenTarget = Opts.MaxGroupsForClustering;
+    if (Tagged.Groups.size() > CoarsenTarget &&
+        adjacentAffinityFraction(Tagged.Groups) > 0.5)
+      CoarsenTarget = std::min(CoarsenTarget, Opts.ChainCoarsenTarget);
+    coarsenGroups(Tagged.Groups, CoarsenTarget);
+  }
 
   // 3. Dependence analysis and group-level condensation (Section 3.5.2).
+  obs::ObsScope DepSpan("pipeline.dependence");
   DependenceInfo Deps = analyzeDependences(Nest);
   GroupDependenceResult DepDAG = buildGroupDependences(
       Nest, Tagged.Iterations, std::move(Tagged.Groups), Deps, Blocks);
@@ -174,8 +181,10 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
   else if (DepDAG.hasDependences())
     addDependenceSharing(DepDAG, Blocks.numBlocks());
   Result.HadDependences = DepDAG.hasDependences();
+  DepSpan.close();
 
   if (Strat == Strategy::Local) {
+    obs::ObsScope Span("pipeline.local-schedule");
     SchedulerDependences SchedDeps;
     SchedDeps.HasDependences = DepDAG.hasDependences();
     SchedDeps.OriginPreds = DepDAG.Preds;
@@ -193,6 +202,7 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
 
   // 4. Hierarchical distribution (Figure 6), optionally on a
   //    level-restricted view of the machine (Figure 20).
+  obs::ObsScope ClusterSpan("pipeline.cluster");
   const CacheTopology *MapperTopo = &Machine;
   CacheTopology Restricted("", 0);
   if (Opts.MaxMapperLevel != 0 &&
@@ -203,12 +213,14 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
   ClusteringResult Clustered = clusterForTopology(
       std::move(DepDAG.Groups), *MapperTopo, Opts.BalanceThreshold);
   Result.NumGroupsFinal = Clustered.Groups.size();
+  ClusterSpan.close();
 
   // 5. Per-core ordering. TopologyAware schedules "considering only data
   //    dependencies" (Section 4.1): without dependences each core simply
   //    enumerates its iterations lexicographically (the Omega codegen
   //    order); with dependences the Figure 7 machinery runs with
   //    alpha = beta = 0. Combined adds the locality objective.
+  obs::ObsScope ScheduleSpan("pipeline.local-schedule");
   SchedulerDependences SchedDeps = buildSchedulerDeps(DepDAG, Clustered);
   if (Strat == Strategy::TopologyAware) {
     sortCoreGroupsLexicographic(Clustered.CoreGroups, Clustered.Groups);

@@ -2,9 +2,9 @@
 
 #include "core/Tagger.h"
 
+#include "obs/MetricSink.h"
 #include "support/ErrorHandling.h"
 #include "support/Random.h"
-#include "support/Statistic.h"
 
 #include <unordered_map>
 
@@ -12,9 +12,9 @@ using namespace cta;
 
 namespace {
 
-Statistic NumIterationsTagged("tagger.iterations");
-Statistic NumGroupsFormed("tagger.groups");
-Statistic NumGroupsCoarsened("tagger.groups-coarsened-away");
+obs::Counter NumIterationsTagged("tagger.iterations");
+obs::Counter NumGroupsFormed("tagger.groups");
+obs::Counter NumGroupsCoarsened("tagger.groups-coarsened-away");
 
 struct TagKey {
   std::uint64_t Hash;

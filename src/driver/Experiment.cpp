@@ -2,6 +2,7 @@
 
 #include "driver/Experiment.h"
 
+#include "obs/ObsScope.h"
 #include "sim/AccessTrace.h"
 #include "support/ErrorHandling.h"
 
@@ -21,6 +22,34 @@ static void accumulateExecution(RunResult &Result,
   }
   Result.Stats.MemoryAccesses += Exec.Stats.MemoryAccesses;
   Result.Stats.TotalAccesses += Exec.Stats.TotalAccesses;
+  if (Result.PerCache.empty()) {
+    Result.PerCache = Exec.PerCache;
+  } else {
+    // Same machine across nests, so the node vectors align.
+    for (std::size_t I = 0, E = Result.PerCache.size();
+         I != E && I != Exec.PerCache.size(); ++I) {
+      Result.PerCache[I].Lookups += Exec.PerCache[I].Lookups;
+      Result.PerCache[I].Hits += Exec.PerCache[I].Hits;
+      Result.PerCache[I].Evictions += Exec.PerCache[I].Evictions;
+    }
+  }
+}
+
+/// Folds one nest's static sharing report into the run's accumulated one.
+static void accumulateSharing(MappingReport &Into, const MappingReport &R) {
+  Into.TotalSharing += R.TotalSharing;
+  for (const LevelSharing &L : R.Levels) {
+    auto It = std::find_if(Into.Levels.begin(), Into.Levels.end(),
+                           [&](const LevelSharing &X) {
+                             return X.Level == L.Level;
+                           });
+    if (It == Into.Levels.end()) {
+      Into.Levels.push_back(L);
+    } else {
+      It->WithinDomain += L.WithinDomain;
+      It->AcrossDomains += L.AcrossDomains;
+    }
+  }
 }
 
 RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
@@ -35,12 +64,18 @@ RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
     Result.BlockSizeBytes = Pipe.BlockSizeBytes;
     Result.Imbalance = Pipe.Map.imbalance();
     Result.NumRounds = Pipe.Map.NumRounds;
+    accumulateSharing(Result.Sharing, analyzeMapping(Pipe.Map, Machine));
 
     // The trace depends only on the program, so every (machine x strategy)
     // run of this workload shares one compilation via the registry.
-    std::shared_ptr<const AccessTrace> Trace =
-        TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    std::shared_ptr<const AccessTrace> Trace;
+    {
+      obs::ObsScope Span("sim.trace-compile");
+      Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    }
+    obs::ObsScope ExecSpan("sim.execute");
     ExecutionResult Exec = executeTrace(Sim, *Trace, Pipe.Map);
+    ExecSpan.close();
     accumulateExecution(Result, Exec);
   }
   return Result;
@@ -100,6 +135,9 @@ RunResult cta::runCrossMachine(const Program &Prog,
         runMappingPipeline(Prog, NestIdx, CompiledFor, Strat, Opts);
     Result.MappingSeconds += Pipe.MappingSeconds;
     Result.BlockSizeBytes = Pipe.BlockSizeBytes;
+    // The sharing report describes the mapping on the machine it was
+    // compiled for; the retargeted fold drops group diagnostics.
+    accumulateSharing(Result.Sharing, analyzeMapping(Pipe.Map, CompiledFor));
 
     Mapping Ported = Pipe.Map.NumCores == RunsOn.numCores()
                          ? std::move(Pipe.Map)
@@ -107,12 +145,23 @@ RunResult cta::runCrossMachine(const Program &Prog,
     Result.Imbalance = Ported.imbalance();
     Result.NumRounds = Ported.NumRounds;
 
-    std::shared_ptr<const AccessTrace> Trace =
-        TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    std::shared_ptr<const AccessTrace> Trace;
+    {
+      obs::ObsScope Span("sim.trace-compile");
+      Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
+    }
+    obs::ObsScope ExecSpan("sim.execute");
     ExecutionResult Exec = executeTrace(Sim, *Trace, Ported);
+    ExecSpan.close();
     accumulateExecution(Result, Exec);
   }
   return Result;
+}
+
+double cta::cycleRatio(const RunResult &R, const RunResult &Base) {
+  if (Base.Cycles == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(R.Cycles) / static_cast<double>(Base.Cycles);
 }
 
 double cta::geomean(const std::vector<double> &Values) {

@@ -22,9 +22,12 @@
 #define CTA_DRIVER_EXPERIMENT_H
 
 #include "core/Pipeline.h"
+#include "core/Report.h"
+#include "obs/MetricSink.h"
 #include "sim/Engine.h"
 #include "topo/Topology.h"
 
+#include <map>
 #include <string>
 
 namespace cta {
@@ -53,6 +56,17 @@ struct RunResult {
   std::uint64_t BlockSizeBytes = 0;
   double Imbalance = 0.0;
   unsigned NumRounds = 1;
+  /// Per-cache-instance statistics, summed over all nests (node order).
+  std::vector<CacheNodeStats> PerCache;
+  /// Static sharing report of the mapping(s), summed over all nests.
+  /// (Imbalance inside it is unused; the field above is authoritative.)
+  MappingReport Sharing;
+  /// Counters and phase spans attributed to this run's metric sink. The
+  /// driver functions leave these empty; the exec/ runner fills them from
+  /// the per-run sink it installs, and RunCache persists them so cached
+  /// runs replay with full provenance.
+  std::map<std::string, std::uint64_t> Counters;
+  std::vector<obs::PhaseRecord> Phases;
 };
 
 /// Maps and simulates every nest of \p Prog on \p Machine (already scaled
@@ -76,6 +90,12 @@ RunResult runCrossMachine(const Program &Prog,
                           const CacheTopology &CompiledFor,
                           const CacheTopology &RunsOn, Strategy Strat,
                           const MappingOptions &Opts);
+
+/// Ratio of \p R's cycles to \p Base's cycles — the normalized execution
+/// time all the paper's figures plot. Returns quiet NaN when the base ran
+/// for zero cycles (degenerate nest), so callers render "n/a" instead of
+/// dividing by zero and printing "inf".
+double cycleRatio(const RunResult &R, const RunResult &Base);
 
 /// Geometric mean of a vector of positive ratios (the usual way to average
 /// normalized execution times). Returns quiet NaN for empty input or when

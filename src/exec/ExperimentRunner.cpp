@@ -4,8 +4,11 @@
 
 #include "exec/Fingerprint.h"
 #include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+#include "support/ParseNumber.h"
 #include "workloads/Suite.h"
 
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -15,19 +18,22 @@ using namespace cta;
 ExecConfig cta::parseExecArgs(int argc, char **argv) {
   ExecConfig Config;
   if (const char *Env = std::getenv("CTA_JOBS"))
-    Config.Jobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+    Config.Jobs = static_cast<unsigned>(
+        parseUint64OrDie("CTA_JOBS", Env, /*Max=*/UINT_MAX));
   if (const char *Env = std::getenv("CTA_CACHE_DIR"))
     Config.CacheDir = Env;
   if (std::getenv("CTA_NO_TIMING"))
     Config.NoTiming = true;
+  if (const char *Env = std::getenv("CTA_EMIT_JSON"))
+    Config.EmitJsonPath = Env;
+  if (argc > 0 && argv[0] && *argv[0]) {
+    const char *Base = std::strrchr(argv[0], '/');
+    Config.BenchName = Base ? Base + 1 : argv[0];
+  }
 
   auto parseJobs = [](const char *Value) -> unsigned {
-    char *End = nullptr;
-    unsigned long N = std::strtoul(Value, &End, 10);
-    if (End == Value || *End != '\0')
-      reportFatalError(
-          (std::string("invalid --jobs value '") + Value + "'").c_str());
-    return static_cast<unsigned>(N);
+    return static_cast<unsigned>(
+        parseUint64OrDie("--jobs", Value, /*Max=*/UINT_MAX));
   };
 
   for (int I = 1; I < argc; ++I) {
@@ -46,6 +52,12 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       Config.CacheDir = argv[++I];
     } else if (std::strcmp(Arg, "--no-timing") == 0) {
       Config.NoTiming = true;
+    } else if (std::strncmp(Arg, "--emit-json=", 12) == 0) {
+      Config.EmitJsonPath = Arg + 12;
+    } else if (std::strcmp(Arg, "--emit-json") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--emit-json needs a value");
+      Config.EmitJsonPath = argv[++I];
     }
   }
   return Config;
@@ -73,7 +85,8 @@ std::vector<RunTask> cta::expandGrid(const GridSpec &Spec) {
 }
 
 ExperimentRunner::ExperimentRunner(ExecConfig ConfigIn)
-    : Config(std::move(ConfigIn)), Cache(Config.CacheDir) {
+    : Config(std::move(ConfigIn)), Cache(Config.CacheDir),
+      GridSink(&obs::MetricSink::root()) {
   if (Config.Jobs == 0)
     Config.Jobs = ThreadPool::defaultThreadCount();
   if (Config.Jobs > 1)
@@ -84,30 +97,166 @@ unsigned ExperimentRunner::jobs() const { return Config.Jobs; }
 
 RunResult ExperimentRunner::execute(const RunTask &Task) {
   SimInvocations.fetch_add(1, std::memory_order_relaxed);
-  RunResult R =
-      Task.RunsOn ? runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn,
-                                    Task.Strat, Task.Opts)
-                  : runOnMachine(Task.Prog, Task.Machine, Task.Strat,
-                                 Task.Opts);
+
+  // Everything this task does — pipeline counters, sim phase spans — is
+  // attributed to a run-private sink for the duration of the task, then
+  // copied into the result and rolled up into the grid sink. The scope is
+  // installed on the *executing* thread, so attribution is correct no
+  // matter which pool worker picks the task up.
+  RunResult R;
+  {
+    obs::MetricSink RunSink(&GridSink);
+    obs::MetricScope Scope(RunSink);
+    R = Task.RunsOn ? runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn,
+                                      Task.Strat, Task.Opts)
+                    : runOnMachine(Task.Prog, Task.Machine, Task.Strat,
+                                   Task.Opts);
+    R.Counters = RunSink.snapshot();
+    R.Phases = RunSink.phases();
+  }
   SimAccesses.fetch_add(R.Stats.TotalAccesses, std::memory_order_relaxed);
   return R;
 }
 
-RunResult ExperimentRunner::runOne(const RunTask &Task) {
+namespace {
+
+/// Converts one finished (or cache-served) run into its artifact record.
+obs::RunArtifact toArtifact(const RunTask &Task, std::uint64_t Key,
+                            const char *CacheStatus, const RunResult &R) {
+  obs::RunArtifact A;
+  A.Label = Task.Label;
+  A.Fingerprint = toHexDigest(Key);
+  A.CacheStatus = CacheStatus;
+  A.Cycles = R.Cycles;
+  A.MappingSeconds = R.MappingSeconds;
+  A.BlockSizeBytes = R.BlockSizeBytes;
+  A.Imbalance = R.Imbalance;
+  A.NumRounds = R.NumRounds;
+  A.MemoryAccesses = R.Stats.MemoryAccesses;
+  A.TotalAccesses = R.Stats.TotalAccesses;
+  for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+    const SimStats::LevelStats &S = R.Stats.Levels[L];
+    if (S.Lookups == 0 && S.Hits == 0)
+      continue;
+    obs::ArtifactLevelStats Level;
+    Level.Level = L;
+    Level.Lookups = S.Lookups;
+    Level.Hits = S.Hits;
+    for (const CacheNodeStats &C : R.PerCache)
+      if (C.Level == L)
+        Level.Evictions += C.Evictions;
+    A.Levels.push_back(Level);
+  }
+  for (const CacheNodeStats &C : R.PerCache) {
+    obs::ArtifactCacheStats Node;
+    Node.NodeId = C.NodeId;
+    Node.Level = C.Level;
+    Node.Lookups = C.Lookups;
+    Node.Hits = C.Hits;
+    Node.Evictions = C.Evictions;
+    A.Caches.push_back(Node);
+  }
+  A.TotalSharing = R.Sharing.TotalSharing;
+  for (const LevelSharing &L : R.Sharing.Levels) {
+    obs::ArtifactSharing S;
+    S.Level = L.Level;
+    S.WithinDomain = L.WithinDomain;
+    S.AcrossDomains = L.AcrossDomains;
+    A.Sharing.push_back(S);
+  }
+  A.Phases = R.Phases;
+  A.Counters = R.Counters;
+  return A;
+}
+
+} // namespace
+
+RunResult ExperimentRunner::runOneRecord(const RunTask &Task,
+                                         obs::RunArtifact &Artifact) {
   std::uint64_t Key =
       runFingerprint(Task.Prog, Task.Machine,
                      Task.RunsOn ? &*Task.RunsOn : nullptr, Task.Strat,
                      Task.Opts);
-  if (std::optional<RunResult> Cached = Cache.lookup(Key))
+  if (std::optional<RunResult> Cached = Cache.lookup(Key)) {
+    Artifact = toArtifact(Task, Key, "hit", *Cached);
     return *Cached;
+  }
   RunResult R = execute(Task);
   Cache.store(Key, R);
+  Artifact = toArtifact(Task, Key, Cache.enabled() ? "miss" : "disabled", R);
+  return R;
+}
+
+RunResult ExperimentRunner::runOne(const RunTask &Task) {
+  obs::RunArtifact Artifact;
+  RunResult R = runOneRecord(Task, Artifact);
+  std::lock_guard<std::mutex> Lock(ArtifactsMutex);
+  Artifacts.push_back(std::move(Artifact));
   return R;
 }
 
 std::vector<RunResult> ExperimentRunner::run(const std::vector<RunTask> &Tasks) {
   std::vector<RunResult> Results(Tasks.size());
-  parallelFor(Pool.get(), 0, Tasks.size(),
-              [&](std::size_t I) { Results[I] = runOne(Tasks[I]); });
+  // Artifacts are collected by task index so their order in the emitted
+  // JSON matches the grid regardless of completion order.
+  std::vector<obs::RunArtifact> Batch(Tasks.size());
+  parallelFor(Pool.get(), 0, Tasks.size(), [&](std::size_t I) {
+    Results[I] = runOneRecord(Tasks[I], Batch[I]);
+  });
+  {
+    std::lock_guard<std::mutex> Lock(ArtifactsMutex);
+    for (obs::RunArtifact &A : Batch)
+      Artifacts.push_back(std::move(A));
+  }
   return Results;
+}
+
+std::vector<obs::RunArtifact> ExperimentRunner::artifacts() const {
+  std::lock_guard<std::mutex> Lock(ArtifactsMutex);
+  return Artifacts;
+}
+
+obs::ExecSummary ExperimentRunner::execSummary() const {
+  obs::ExecSummary S;
+  S.Jobs = Config.Jobs;
+  S.SimulatorInvocations = SimInvocations.load();
+  S.SimulatedAccesses = SimAccesses.load();
+  S.CacheHits = Cache.hits();
+  S.CacheMisses = Cache.misses();
+  S.CacheStores = Cache.stores();
+  S.CacheEnabled = Cache.enabled();
+  S.CacheDir = Cache.directory();
+  return S;
+}
+
+obs::BenchArtifact ExperimentRunner::gridArtifact() const {
+  obs::BenchArtifact B;
+  B.Bench = Config.BenchName;
+  B.Jobs = Config.Jobs;
+  B.CacheEnabled = Cache.enabled();
+  B.CacheDir = Cache.directory();
+  B.CacheHits = Cache.hits();
+  B.CacheMisses = Cache.misses();
+  B.CacheStores = Cache.stores();
+  B.SimulatorInvocations = SimInvocations.load();
+  B.SimulatedAccesses = SimAccesses.load();
+  B.Runs = artifacts();
+  // Process counters: everything already at the root (trace-registry
+  // traffic, non-runner work) plus this runner's grid rollup, which only
+  // reaches the root when the runner is destroyed.
+  B.ProcessCounters = obs::MetricSink::root().snapshot();
+  for (const auto &[Name, Value] : GridSink.snapshot())
+    B.ProcessCounters[Name] += Value;
+  B.ProcessPhases = obs::MetricSink::root().phases();
+  return B;
+}
+
+void ExperimentRunner::emitArtifacts() const {
+  if (Config.EmitJsonPath.empty())
+    return;
+  std::string Err;
+  if (!gridArtifact().writeFile(Config.EmitJsonPath, &Err))
+    reportFatalError(("cannot write --emit-json artifact to '" +
+                      Config.EmitJsonPath + "': " + Err)
+                         .c_str());
 }

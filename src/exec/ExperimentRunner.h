@@ -34,9 +34,11 @@
 #include "driver/Experiment.h"
 #include "exec/RunCache.h"
 #include "exec/ThreadPool.h"
+#include "obs/RunArtifact.h"
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,13 +55,20 @@ struct ExecConfig {
   /// Suppress wall-clock columns in bench tables (--no-timing /
   /// CTA_NO_TIMING) so stdout is byte-comparable across runs and hosts.
   bool NoTiming = false;
+  /// Where to write the machine-readable BenchArtifact JSON
+  /// (--emit-json=PATH / CTA_EMIT_JSON); empty disables emission.
+  std::string EmitJsonPath;
+  /// Name recorded in emitted artifacts; parseExecArgs() defaults it to
+  /// the binary's basename.
+  std::string BenchName = "bench";
 };
 
-/// Parses --jobs=N / --jobs N, --cache-dir=PATH / --cache-dir PATH and
-/// --no-timing from \p argv (also accepts the CTA_JOBS / CTA_CACHE_DIR /
-/// CTA_NO_TIMING environment variables as defaults). Unrecognized
-/// arguments are left alone so benches can layer their own flags. Aborts
-/// on malformed values.
+/// Parses --jobs=N / --jobs N, --cache-dir=PATH / --cache-dir PATH,
+/// --no-timing and --emit-json=PATH / --emit-json PATH from \p argv (also
+/// accepts the CTA_JOBS / CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON
+/// environment variables as defaults). Unrecognized arguments are left
+/// alone so benches can layer their own flags. Aborts on malformed values
+/// (including non-numeric or overflowing --jobs / CTA_JOBS).
 ExecConfig parseExecArgs(int argc, char **argv);
 
 /// One independent run: map \p Prog for \p Machine under \p Strat/\p Opts
@@ -129,14 +138,27 @@ std::vector<RunTask> expandGrid(const GridSpec &Spec);
 
 /// Executes RunTasks concurrently with result caching. Thread-safe for
 /// concurrent run() calls, though benches use one runner per process.
+///
+/// Observability: the runner owns a grid-level MetricSink (parented to the
+/// process root). Every task executes under its own run sink parented to
+/// the grid sink, installed as the worker thread's current sink for the
+/// duration of the task — so counters bumped anywhere in the pipeline are
+/// attributed to the run that caused them, roll up into the grid sink when
+/// the run finishes, and reach the process root when the runner dies. Each
+/// completed (or cache-served) task also appends one RunArtifact, in task
+/// order, to the artifact list emitArtifacts() renders as JSON.
 class ExperimentRunner {
   ExecConfig Config;
   RunCache Cache;
   std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
   std::atomic<std::uint64_t> SimInvocations{0};
   std::atomic<std::uint64_t> SimAccesses{0};
+  obs::MetricSink GridSink;
+  mutable std::mutex ArtifactsMutex;
+  std::vector<obs::RunArtifact> Artifacts;
 
   RunResult execute(const RunTask &Task);
+  RunResult runOneRecord(const RunTask &Task, obs::RunArtifact &Artifact);
 
 public:
   explicit ExperimentRunner(ExecConfig Config = {});
@@ -173,6 +195,25 @@ public:
   /// The underlying pool, for benches that need raw parallelFor (null when
   /// running inline with Jobs == 1).
   ThreadPool *pool() { return Pool.get(); }
+
+  /// The grid-level metric sink runs roll up into (tests/inspection).
+  obs::MetricSink &gridSink() { return GridSink; }
+
+  /// Structured records of every task run so far, in task order.
+  std::vector<obs::RunArtifact> artifacts() const;
+
+  /// Summary counts of this runner's execution, the data behind the
+  /// "[exec] ..." stderr line (render with obs::formatExecSummary).
+  obs::ExecSummary execSummary() const;
+
+  /// The full per-process artifact: summary + every run + grid/process
+  /// counters and phases.
+  obs::BenchArtifact gridArtifact() const;
+
+  /// Writes gridArtifact() to Config.EmitJsonPath when set (no-op
+  /// otherwise). Aborts on I/O failure: a requested artifact that cannot
+  /// be written should fail loudly, not silently produce nothing.
+  void emitArtifacts() const;
 };
 
 } // namespace cta

@@ -32,7 +32,11 @@ namespace cta {
 /// single-probe caches, heap scheduling) — results are bit-identical by
 /// design, but the sentinel fix for completion cycles and the new fast
 /// path warrant invalidating entries produced by the old engine.
-inline constexpr std::uint64_t RunCacheFormatVersion = 2;
+/// Version 3: the obs/ instrumentation layer — RunResult carries
+/// per-cache-instance statistics (with evictions), the static sharing
+/// report, per-run counters and phase spans, all of which serialize into
+/// cache entries so cached runs replay with full provenance.
+inline constexpr std::uint64_t RunCacheFormatVersion = 3;
 
 /// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
 /// per-iteration compute cost.

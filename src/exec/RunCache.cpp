@@ -44,6 +44,24 @@ std::string cta::serializeRunResult(const RunResult &R, std::uint64_t Key) {
       continue;
     OS << "level " << L << " " << S.Lookups << " " << S.Hits << "\n";
   }
+  for (const CacheNodeStats &C : R.PerCache)
+    OS << "cache_node " << C.NodeId << " " << C.Level << " " << C.Lookups
+       << " " << C.Hits << " " << C.Evictions << "\n";
+  OS << "sharing_total " << R.Sharing.TotalSharing << "\n";
+  for (const LevelSharing &L : R.Sharing.Levels)
+    OS << "sharing " << L.Level << " " << L.WithinDomain << " "
+       << L.AcrossDomains << "\n";
+  // Counter and phase names are identifier-like ("tagger.iterations",
+  // "sim.execute"): single whitespace-free tokens by construction.
+  for (const auto &[Name, Value] : R.Counters)
+    OS << "counter " << Name << " " << Value << "\n";
+  for (const obs::PhaseRecord &P : R.Phases) {
+    OS << "phase " << P.Name << " " << formatExact(P.Seconds) << " "
+       << P.PeakRssKb << " " << P.CounterDeltas.size();
+    for (const auto &[Name, Value] : P.CounterDeltas)
+      OS << " " << Name << " " << Value;
+    OS << "\n";
+  }
   OS << "end\n";
   return OS.str();
 }
@@ -98,6 +116,40 @@ std::optional<RunResult> cta::deserializeRunResult(const std::string &Text,
         return std::nullopt;
       R.Stats.Levels[L].Lookups = Lookups;
       R.Stats.Levels[L].Hits = Hits;
+    } else if (Field == "cache_node") {
+      CacheNodeStats C;
+      LS >> C.NodeId >> C.Level >> C.Lookups >> C.Hits >> C.Evictions;
+      R.PerCache.push_back(C);
+    } else if (Field == "sharing_total") {
+      LS >> R.Sharing.TotalSharing;
+    } else if (Field == "sharing") {
+      LevelSharing L;
+      LS >> L.Level >> L.WithinDomain >> L.AcrossDomains;
+      R.Sharing.Levels.push_back(L);
+    } else if (Field == "counter") {
+      std::string Name;
+      std::uint64_t Value = 0;
+      LS >> Name >> Value;
+      if (Name.empty())
+        return std::nullopt;
+      R.Counters[Name] = Value;
+    } else if (Field == "phase") {
+      obs::PhaseRecord P;
+      std::string Sec;
+      std::size_t NumDeltas = 0;
+      LS >> P.Name >> Sec >> P.PeakRssKb >> NumDeltas;
+      if (P.Name.empty() || LS.fail())
+        return std::nullopt;
+      P.Seconds = std::strtod(Sec.c_str(), nullptr);
+      for (std::size_t I = 0; I != NumDeltas; ++I) {
+        std::string Name;
+        std::uint64_t Value = 0;
+        LS >> Name >> Value;
+        if (Name.empty())
+          return std::nullopt;
+        P.CounterDeltas[Name] = Value;
+      }
+      R.Phases.push_back(std::move(P));
     } else {
       return std::nullopt; // unknown field: treat as corruption
     }
@@ -112,6 +164,13 @@ std::optional<RunResult> cta::deserializeRunResult(const std::string &Text,
 std::string cta::deterministicBytes(const RunResult &R) {
   RunResult Canon = R;
   Canon.MappingSeconds = 0.0;
+  // Phase spans are part of the deterministic record only in structure
+  // (names, order, counter deltas); their wall time and the process's peak
+  // RSS are measurements.
+  for (obs::PhaseRecord &P : Canon.Phases) {
+    P.Seconds = 0.0;
+    P.PeakRssKb = 0;
+  }
   return serializeRunResult(Canon, /*Key=*/0);
 }
 

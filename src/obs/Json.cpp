@@ -1,0 +1,130 @@
+//===- obs/Json.cpp - Minimal JSON writer ----------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace cta;
+using namespace cta::obs;
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!HasValue.empty()) {
+    if (HasValue.back())
+      Out += ',';
+    HasValue.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  HasValue.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  assert(!HasValue.empty() && !PendingKey && "unbalanced endObject");
+  HasValue.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  HasValue.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  assert(!HasValue.empty() && !PendingKey && "unbalanced endArray");
+  HasValue.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(const std::string &Name) {
+  assert(!HasValue.empty() && !PendingKey && "key outside object");
+  if (HasValue.back())
+    Out += ',';
+  HasValue.back() = true;
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(const std::string &S) {
+  beforeValue();
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+}
+
+void JsonWriter::value(const char *S) { value(std::string(S)); }
+
+void JsonWriter::value(std::uint64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(std::int64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(double V) {
+  beforeValue();
+  if (std::isnan(V) || std::isinf(V)) {
+    Out += "null"; // JSON has no NaN/Inf
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+void JsonWriter::value(bool B) {
+  beforeValue();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::valueNull() {
+  beforeValue();
+  Out += "null";
+}

@@ -1,0 +1,67 @@
+//===- obs/Json.h - Minimal JSON writer ------------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer for run artifacts: objects, arrays,
+/// string escaping, integers and round-trippable doubles. No reader — the
+/// artifacts are consumed by external tooling (jq, python), not by us.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_OBS_JSON_H
+#define CTA_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta::obs {
+
+/// Escapes \p S for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+std::string jsonEscape(const std::string &S);
+
+/// Streaming writer with automatic comma placement. Usage:
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("cycles"); W.value(std::uint64_t(42));
+///   W.key("runs"); W.beginArray(); ... W.endArray();
+///   W.endObject();
+///   std::string Text = W.str();
+/// Nesting errors are programming bugs and assert.
+class JsonWriter {
+  std::string Out;
+  /// Per open container: whether a value has been emitted at this depth.
+  std::vector<bool> HasValue;
+  bool PendingKey = false;
+
+  void beforeValue();
+
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key of the next value; must be inside an object.
+  void key(const std::string &Name);
+
+  void value(const std::string &S);
+  void value(const char *S);
+  void value(std::uint64_t V);
+  void value(std::int64_t V);
+  void value(unsigned V) { value(static_cast<std::uint64_t>(V)); }
+  void value(double V);
+  void value(bool B);
+  void valueNull();
+
+  /// The finished document. Valid once every container is closed.
+  const std::string &str() const { return Out; }
+};
+
+} // namespace cta::obs
+
+#endif // CTA_OBS_JSON_H

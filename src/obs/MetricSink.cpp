@@ -1,0 +1,47 @@
+//===- obs/MetricSink.cpp - Scoped, hierarchical metric sinks -------------===//
+
+#include "obs/MetricSink.h"
+
+#include <cstdio>
+
+using namespace cta;
+using namespace cta::obs;
+
+namespace {
+thread_local MetricSink *CurrentSink = nullptr;
+} // namespace
+
+void MetricSink::rollUp() {
+  std::map<std::string, std::uint64_t> ToPush;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (RolledUp || !Parent)
+      return;
+    RolledUp = true;
+    ToPush = Counters;
+  }
+  // Parent->add takes the parent's mutex; never hold ours across it.
+  for (const auto &[Name, Value] : ToPush)
+    Parent->add(Name, Value);
+}
+
+void MetricSink::dump() const {
+  for (const auto &[Name, Value] : snapshot())
+    std::fprintf(stderr, "%12llu %s\n",
+                 static_cast<unsigned long long>(Value), Name.c_str());
+}
+
+MetricSink &MetricSink::root() {
+  static MetricSink Root;
+  return Root;
+}
+
+MetricSink &MetricSink::current() {
+  return CurrentSink ? *CurrentSink : root();
+}
+
+MetricScope::MetricScope(MetricSink &Sink) : Prev(CurrentSink) {
+  CurrentSink = &Sink;
+}
+
+MetricScope::~MetricScope() { CurrentSink = Prev; }

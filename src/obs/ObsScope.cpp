@@ -1,0 +1,47 @@
+//===- obs/ObsScope.cpp - Phase tracing spans ------------------------------===//
+
+#include "obs/ObsScope.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace cta;
+using namespace cta::obs;
+
+std::int64_t obs::peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return Usage.ru_maxrss / 1024; // bytes on Darwin
+#else
+  return Usage.ru_maxrss; // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+ObsScope::ObsScope(std::string NameIn)
+    : Sink(MetricSink::current()), Name(std::move(NameIn)),
+      Before(Sink.snapshot()) {}
+
+void ObsScope::close() {
+  if (Closed)
+    return;
+  Closed = true;
+
+  PhaseRecord Phase;
+  Phase.Name = std::move(Name);
+  Phase.Seconds = Timer.elapsedSeconds();
+  Phase.PeakRssKb = peakRssKb();
+  for (const auto &[Counter, Value] : Sink.snapshot()) {
+    auto It = Before.find(Counter);
+    std::uint64_t Prior = It == Before.end() ? 0 : It->second;
+    if (Value > Prior)
+      Phase.CounterDeltas[Counter] = Value - Prior;
+  }
+  Sink.recordPhase(std::move(Phase));
+}

@@ -1,0 +1,56 @@
+//===- obs/ObsScope.h - Phase tracing spans --------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight phase tracing. An ObsScope marks one pipeline or simulator
+/// phase (tag, cluster, local-schedule, trace-compile, simulate, ...): it
+/// captures the thread's current MetricSink and a counter snapshot on
+/// open, and on close records a PhaseRecord — wall seconds, the process's
+/// peak RSS, and the counter deltas the sink accumulated while the span
+/// was open — into that sink. Spans cost two small map copies and one
+/// getrusage call, so they are placed around phases (milliseconds), never
+/// inside per-access hot loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_OBS_OBSSCOPE_H
+#define CTA_OBS_OBSSCOPE_H
+
+#include "obs/MetricSink.h"
+#include "support/Timer.h"
+
+#include <string>
+
+namespace cta::obs {
+
+/// The process's peak resident set size in KiB (getrusage ru_maxrss);
+/// 0 where unavailable. Monotonic, so per-phase values show which phase
+/// first pushed the high-water mark.
+std::int64_t peakRssKb();
+
+/// RAII span around one phase. Records into the sink that was current at
+/// construction, even if the current sink changes before close.
+class ObsScope {
+  MetricSink &Sink;
+  std::string Name;
+  WallTimer Timer;
+  std::map<std::string, std::uint64_t> Before;
+  bool Closed = false;
+
+public:
+  explicit ObsScope(std::string Name);
+  ~ObsScope() { close(); }
+
+  ObsScope(const ObsScope &) = delete;
+  ObsScope &operator=(const ObsScope &) = delete;
+
+  /// Ends the span early (idempotent; the destructor calls it).
+  void close();
+};
+
+} // namespace cta::obs
+
+#endif // CTA_OBS_OBSSCOPE_H

@@ -1,0 +1,205 @@
+//===- obs/RunArtifact.cpp - Machine-readable run artifacts ----------------===//
+
+#include "obs/RunArtifact.h"
+
+#include "obs/Json.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+using namespace cta;
+using namespace cta::obs;
+
+namespace {
+
+void writeCounterMap(JsonWriter &W,
+                     const std::map<std::string, std::uint64_t> &Counters) {
+  W.beginObject();
+  for (const auto &[Name, Value] : Counters) {
+    W.key(Name);
+    W.value(Value);
+  }
+  W.endObject();
+}
+
+void writePhases(JsonWriter &W, const std::vector<PhaseRecord> &Phases) {
+  W.beginArray();
+  for (const PhaseRecord &P : Phases) {
+    W.beginObject();
+    W.key("name");
+    W.value(P.Name);
+    W.key("seconds");
+    W.value(P.Seconds);
+    W.key("peak_rss_kb");
+    W.value(P.PeakRssKb);
+    W.key("counters");
+    writeCounterMap(W, P.CounterDeltas);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+} // namespace
+
+void RunArtifact::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("schema");
+  W.value("cta-run-artifact-v1");
+  W.key("label");
+  W.value(Label);
+  W.key("fingerprint");
+  W.value(Fingerprint);
+  W.key("cache_status");
+  W.value(CacheStatus);
+  W.key("cycles");
+  W.value(Cycles);
+  W.key("mapping_seconds");
+  W.value(MappingSeconds);
+  W.key("block_size_bytes");
+  W.value(BlockSizeBytes);
+  W.key("imbalance");
+  W.value(Imbalance);
+  W.key("rounds");
+  W.value(NumRounds);
+  W.key("memory_accesses");
+  W.value(MemoryAccesses);
+  W.key("total_accesses");
+  W.value(TotalAccesses);
+
+  W.key("levels");
+  W.beginArray();
+  for (const ArtifactLevelStats &L : Levels) {
+    W.beginObject();
+    W.key("level");
+    W.value(L.Level);
+    W.key("lookups");
+    W.value(L.Lookups);
+    W.key("hits");
+    W.value(L.Hits);
+    W.key("misses");
+    W.value(L.Lookups - L.Hits);
+    W.key("evictions");
+    W.value(L.Evictions);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("caches");
+  W.beginArray();
+  for (const ArtifactCacheStats &C : Caches) {
+    W.beginObject();
+    W.key("node");
+    W.value(C.NodeId);
+    W.key("level");
+    W.value(C.Level);
+    W.key("lookups");
+    W.value(C.Lookups);
+    W.key("hits");
+    W.value(C.Hits);
+    W.key("evictions");
+    W.value(C.Evictions);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("sharing");
+  W.beginObject();
+  W.key("total");
+  W.value(TotalSharing);
+  W.key("levels");
+  W.beginArray();
+  for (const ArtifactSharing &S : Sharing) {
+    W.beginObject();
+    W.key("level");
+    W.value(S.Level);
+    W.key("within");
+    W.value(S.WithinDomain);
+    W.key("across");
+    W.value(S.AcrossDomains);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.key("phases");
+  writePhases(W, Phases);
+  W.key("counters");
+  writeCounterMap(W, Counters);
+  W.endObject();
+}
+
+std::string BenchArtifact::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("cta-bench-artifact-v1");
+  W.key("bench");
+  W.value(Bench);
+  W.key("jobs");
+  W.value(Jobs);
+
+  W.key("cache");
+  W.beginObject();
+  W.key("enabled");
+  W.value(CacheEnabled);
+  W.key("dir");
+  W.value(CacheDir);
+  W.key("hits");
+  W.value(CacheHits);
+  W.key("misses");
+  W.value(CacheMisses);
+  W.key("stores");
+  W.value(CacheStores);
+  W.endObject();
+
+  W.key("simulator_invocations");
+  W.value(SimulatorInvocations);
+  W.key("simulated_accesses");
+  W.value(SimulatedAccesses);
+
+  W.key("runs");
+  W.beginArray();
+  for (const RunArtifact &R : Runs)
+    R.writeJson(W);
+  W.endArray();
+
+  W.key("process_counters");
+  writeCounterMap(W, ProcessCounters);
+  W.key("process_phases");
+  writePhases(W, ProcessPhases);
+  W.endObject();
+  return W.str();
+}
+
+bool BenchArtifact::writeFile(const std::string &Path,
+                              std::string *Err) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << toJson() << "\n";
+  Out.flush();
+  if (!Out) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::string obs::formatExecSummary(const ExecSummary &S) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "[exec] jobs=%u simulated=%" PRIu64 " accesses=%" PRIu64
+                " cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
+                " stores",
+                S.Jobs, S.SimulatorInvocations, S.SimulatedAccesses,
+                S.CacheHits, S.CacheMisses, S.CacheStores);
+  std::string Out = Buf;
+  if (S.CacheEnabled)
+    Out += " @ " + S.CacheDir;
+  return Out;
+}

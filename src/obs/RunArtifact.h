@@ -1,0 +1,142 @@
+//===- obs/RunArtifact.h - Machine-readable run artifacts ------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured, machine-readable record of experiment runs: everything
+/// a bench's human-readable tables are derived from — cycles, per-level
+/// and per-cache-instance hit/miss/eviction counts, the static sharing
+/// report, per-phase timings, the run fingerprint and its RunCache
+/// provenance — as plain data with a JSON rendering. Benches emit one
+/// BenchArtifact per process via --emit-json=PATH (env CTA_EMIT_JSON);
+/// EXPERIMENTS.md documents how to rebuild the paper's figures from the
+/// emitted files.
+///
+/// Everything here is plain scalar/string data on purpose: obs/ sits just
+/// above support/ in the layering, and the layers that own RunResult,
+/// SimStats etc. (driver/, sim/, exec/) convert into these structs.
+///
+/// Schema (stable, versioned by the top-level "schema" key):
+///   cta-bench-artifact-v1: { schema, bench, jobs, cache{...},
+///     simulator_invocations, simulated_accesses,
+///     runs:[cta-run-artifact-v1...], process_counters{}, process_phases[] }
+///   cta-run-artifact-v1: { label, fingerprint, cache_status, cycles,
+///     mapping_seconds, block_size_bytes, imbalance, rounds,
+///     memory_accesses, total_accesses, levels:[{level,lookups,hits,
+///     misses,evictions}], caches:[{node,level,lookups,hits,evictions}],
+///     sharing:{total,levels:[{level,within,across}]},
+///     phases:[{name,seconds,peak_rss_kb,counters{}}], counters{} }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_OBS_RUNARTIFACT_H
+#define CTA_OBS_RUNARTIFACT_H
+
+#include "obs/MetricSink.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cta::obs {
+
+class JsonWriter;
+
+/// Aggregated lookups/hits/evictions of one cache level of a run.
+struct ArtifactLevelStats {
+  unsigned Level = 0;
+  std::uint64_t Lookups = 0;
+  std::uint64_t Hits = 0;
+  std::uint64_t Evictions = 0;
+};
+
+/// Lookups/hits/evictions of one cache *instance* (topology node).
+struct ArtifactCacheStats {
+  unsigned NodeId = 0;
+  unsigned Level = 0;
+  std::uint64_t Lookups = 0;
+  std::uint64_t Hits = 0;
+  std::uint64_t Evictions = 0;
+};
+
+/// Within/across-domain sharing at one cache level (core/Report).
+struct ArtifactSharing {
+  unsigned Level = 0;
+  std::uint64_t WithinDomain = 0;
+  std::uint64_t AcrossDomains = 0;
+};
+
+/// One run's structured record.
+struct RunArtifact {
+  std::string Label;         // "dunnington/cg/v0/TopologyAware"
+  std::string Fingerprint;   // hex runFingerprint key
+  std::string CacheStatus;   // "hit" | "miss" | "disabled"
+  std::uint64_t Cycles = 0;
+  double MappingSeconds = 0.0;
+  std::uint64_t BlockSizeBytes = 0;
+  double Imbalance = 0.0;
+  unsigned NumRounds = 1;
+  std::uint64_t MemoryAccesses = 0;
+  std::uint64_t TotalAccesses = 0;
+  std::vector<ArtifactLevelStats> Levels;
+  std::vector<ArtifactCacheStats> Caches;
+  std::uint64_t TotalSharing = 0;
+  std::vector<ArtifactSharing> Sharing;
+  std::vector<PhaseRecord> Phases;
+  std::map<std::string, std::uint64_t> Counters;
+
+  void writeJson(JsonWriter &W) const;
+};
+
+/// The per-process (per-bench-invocation) artifact: grid-level aggregates
+/// plus every run.
+struct BenchArtifact {
+  std::string Bench; // binary name
+  unsigned Jobs = 1;
+  bool CacheEnabled = false;
+  std::string CacheDir;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t CacheMisses = 0;
+  std::uint64_t CacheStores = 0;
+  std::uint64_t SimulatorInvocations = 0;
+  std::uint64_t SimulatedAccesses = 0;
+  std::vector<RunArtifact> Runs;
+  /// Grid/process-level counters (the runner's grid sink, or the root
+  /// sink for benches that bypass the runner).
+  std::map<std::string, std::uint64_t> ProcessCounters;
+  /// Phases recorded outside any run sink (e.g. compile_overhead's
+  /// pipeline passes).
+  std::vector<PhaseRecord> ProcessPhases;
+
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path (plus a trailing newline). Returns false
+  /// and fills \p Err on I/O failure.
+  bool writeFile(const std::string &Path, std::string *Err = nullptr) const;
+};
+
+/// Summary counts of one bench execution, shared by every "[exec] ..."
+/// stderr line (BenchCommon and the runner render through this one
+/// formatter).
+struct ExecSummary {
+  unsigned Jobs = 1;
+  std::uint64_t SimulatorInvocations = 0;
+  std::uint64_t SimulatedAccesses = 0;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t CacheMisses = 0;
+  std::uint64_t CacheStores = 0;
+  bool CacheEnabled = false;
+  std::string CacheDir;
+};
+
+/// Renders the canonical one-line execution report (no trailing newline):
+/// "[exec] jobs=N simulated=N accesses=N cache: H hits, M misses, S
+/// stores[ @ DIR]".
+std::string formatExecSummary(const ExecSummary &S);
+
+} // namespace cta::obs
+
+#endif // CTA_OBS_RUNARTIFACT_H

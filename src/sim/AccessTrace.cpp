@@ -2,9 +2,11 @@
 
 #include "sim/AccessTrace.h"
 
+#include "obs/MetricSink.h"
 #include "sim/Engine.h"
 #include "support/ErrorHandling.h"
 #include "support/Hashing.h"
+#include "support/ParseNumber.h"
 
 #include <cstdlib>
 #include <mutex>
@@ -186,7 +188,8 @@ struct RegistryState {
 
   RegistryState() {
     if (const char *Env = std::getenv("CTA_TRACE_CACHE_BYTES"))
-      Budget = static_cast<std::size_t>(std::strtoull(Env, nullptr, 10));
+      Budget = static_cast<std::size_t>(
+          parseUint64OrDie("CTA_TRACE_CACHE_BYTES", Env));
   }
 
   /// Call with Mu held. Never evicts entries still compiling.
@@ -241,13 +244,21 @@ TraceRegistry::getOrCompile(const Program &Prog, unsigned NestIdx,
     Slot->LastUse = ++R.UseTick;
     Entry = Slot;
   }
+  bool Compiled = false;
   std::call_once(Entry->Once, [&] {
+    Compiled = true;
     std::shared_ptr<const AccessTrace> T = compileNow();
     std::lock_guard<std::mutex> Lock(R.Mu);
     Entry->Trace = std::move(T);
     R.TotalBytes += Entry->Trace->byteSize();
     R.evictToBudget();
   });
+  // Registry traffic is credited to the process-wide root sink, not the
+  // current run sink: traces are shared across runs, and which concurrent
+  // run loses the compile race is nondeterministic — attributing it per
+  // run would make cached run results diverge across thread counts.
+  obs::MetricSink::root().add(
+      Compiled ? "trace-registry.compiles" : "trace-registry.hits", 1);
   return Entry->Trace;
 }
 

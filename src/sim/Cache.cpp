@@ -15,11 +15,13 @@ Cache::Cache(const CacheParams &Params) : Params(Params) {
 }
 
 bool Cache::access(std::uint64_t LineAddr) {
+  ++StatLookups;
   std::size_t Set = setOf(LineAddr);
   Line *Base = &Lines[Set * Params.Assoc];
   for (unsigned W = 0; W != Params.Assoc; ++W) {
     if (Base[W].Valid && Base[W].Tag == LineAddr) {
       Base[W].Lru = ++Tick;
+      ++StatHits;
       return true;
     }
   }
@@ -51,6 +53,7 @@ void Cache::fill(std::uint64_t LineAddr) {
     if (Base[W].Lru < Victim->Lru)
       Victim = &Base[W];
   }
+  StatEvictions += Victim->Valid;
   Victim->Valid = true;
   Victim->Tag = LineAddr;
   Victim->Lru = ++Tick;

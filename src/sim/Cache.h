@@ -37,6 +37,13 @@ class Cache {
   std::vector<Line> Lines; // NumSets * Assoc, set-major
   std::uint64_t Tick = 0;
 
+  // Per-instance statistics (this cache only; the per-level aggregates in
+  // SimStats are counted by MachineSim). Evictions count replacements of
+  // a *valid* line, so cold fills into empty ways are not evictions.
+  std::uint64_t StatLookups = 0;
+  std::uint64_t StatHits = 0;
+  std::uint64_t StatEvictions = 0;
+
   std::size_t setOf(std::uint64_t LineAddr) const {
     return static_cast<std::size_t>(SetMask != 0 ? (LineAddr & SetMask)
                                                  : (LineAddr % NumSets));
@@ -58,6 +65,7 @@ public:
   /// the set's LRU victim. Returns true on a hit. State-equivalent to
   /// access() followed by fill() on a miss, at half the scans.
   bool probe(std::uint64_t LineAddr) {
+    ++StatLookups;
     Line *Base = &Lines[setOf(LineAddr) * Params.Assoc];
     Line *Victim = Base;
     bool SawInvalid = false;
@@ -66,6 +74,7 @@ public:
       if (L.Valid) {
         if (L.Tag == LineAddr) {
           L.Lru = ++Tick;
+          ++StatHits;
           return true;
         }
         if (!SawInvalid && L.Lru < Victim->Lru)
@@ -75,6 +84,9 @@ public:
         SawInvalid = true;
       }
     }
+    // On a full-scan miss with no invalid way the victim is a valid line
+    // being replaced: an eviction (same condition fill() counts).
+    StatEvictions += !SawInvalid;
     Victim->Valid = true;
     Victim->Tag = LineAddr;
     Victim->Lru = ++Tick;
@@ -96,6 +108,15 @@ public:
 
   /// Number of valid lines (for tests).
   std::uint64_t residentLines() const;
+
+  /// Per-instance statistics. access()+fill() count identically to
+  /// probe(), so the reference and fast engines report the same values.
+  std::uint64_t lookups() const { return StatLookups; }
+  std::uint64_t hits() const { return StatHits; }
+  std::uint64_t evictions() const { return StatEvictions; }
+
+  /// Zeroes the per-instance statistics (cache contents untouched).
+  void clearStats() { StatLookups = StatHits = StatEvictions = 0; }
 };
 
 } // namespace cta

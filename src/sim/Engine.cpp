@@ -212,6 +212,7 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
   Result.CoreCycles = Cycle;
   Result.TotalCycles = *std::max_element(Cycle.begin(), Cycle.end());
   Result.Stats = Machine.stats();
+  Result.PerCache = Machine.perCacheStats();
   return Result;
 }
 
@@ -367,5 +368,6 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
   Result.CoreCycles = Cycle;
   Result.TotalCycles = *std::max_element(Cycle.begin(), Cycle.end());
   Result.Stats = Machine.stats();
+  Result.PerCache = Machine.perCacheStats();
   return Result;
 }

@@ -55,6 +55,7 @@ struct ExecutionResult {
   std::uint64_t TotalCycles = 0;          // finishing time of slowest core
   std::vector<std::uint64_t> CoreCycles;  // per-core finishing times
   SimStats Stats;                         // cache behaviour of this run
+  std::vector<CacheNodeStats> PerCache;   // per cache instance, node order
 };
 
 class AccessTrace;

@@ -61,9 +61,27 @@ MachineSim::MachineSim(const CacheTopology &Topo) : Topo(Topo) {
 }
 
 void MachineSim::reset() {
-  for (Cache &C : Caches)
+  for (Cache &C : Caches) {
     C.flush();
+    C.clearStats();
+  }
   Stats.clear();
+}
+
+std::vector<CacheNodeStats> MachineSim::perCacheStats() const {
+  std::vector<CacheNodeStats> Out;
+  Out.reserve(Caches.size());
+  for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id) {
+    const Cache &C = Caches[Id - 1];
+    CacheNodeStats S;
+    S.NodeId = Id;
+    S.Level = Topo.node(Id).Level;
+    S.Lookups = C.lookups();
+    S.Hits = C.hits();
+    S.Evictions = C.evictions();
+    Out.push_back(S);
+  }
+  return Out;
 }
 
 unsigned MachineSim::accessReference(unsigned Core, std::uint64_t Addr,

@@ -59,6 +59,17 @@ struct SimStats {
   std::string str() const;
 };
 
+/// Statistics of one physical cache instance (one topology node), as
+/// opposed to the per-level aggregates in SimStats. Shared caches show up
+/// once here no matter how many cores sit below them.
+struct CacheNodeStats {
+  unsigned NodeId = 0;
+  unsigned Level = 0;
+  std::uint64_t Lookups = 0;
+  std::uint64_t Hits = 0;
+  std::uint64_t Evictions = 0;
+};
+
 /// The machine: one cache per topology node plus per-core access paths.
 class MachineSim {
   /// One precompiled level of a core's access path.
@@ -82,7 +93,14 @@ public:
 
   const CacheTopology &topology() const { return Topo; }
   const SimStats &stats() const { return Stats; }
-  void clearStats() { Stats.clear(); }
+  void clearStats() {
+    Stats.clear();
+    for (Cache &C : Caches)
+      C.clearStats();
+  }
+
+  /// Per-cache-instance statistics, in topology node-id order.
+  std::vector<CacheNodeStats> perCacheStats() const;
 
   /// Cold caches + fresh statistics.
   void reset();

@@ -1,0 +1,35 @@
+//===- support/ParseNumber.cpp - Strict numeric parsing --------------------===//
+
+#include "support/ParseNumber.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+
+std::optional<std::uint64_t> cta::parseUint64(const std::string &Text,
+                                              std::uint64_t Max) {
+  if (Text.empty())
+    return std::nullopt;
+  std::uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    unsigned Digit = static_cast<unsigned>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return std::nullopt; // would overflow uint64
+    Value = Value * 10 + Digit;
+  }
+  if (Value > Max)
+    return std::nullopt;
+  return Value;
+}
+
+std::uint64_t cta::parseUint64OrDie(const char *What, const std::string &Text,
+                                    std::uint64_t Max) {
+  if (std::optional<std::uint64_t> V = parseUint64(Text, Max))
+    return *V;
+  reportFatalError((std::string(What) + ": invalid numeric value '" + Text +
+                    "' (expected a decimal integer <= " +
+                    std::to_string(Max) + ")")
+                       .c_str());
+}

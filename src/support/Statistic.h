@@ -1,82 +1,66 @@
-//===- support/Statistic.h - Named counters --------------------*- C++ -*-===//
+//===- support/Statistic.h - Named counters (deprecation shim) -*- C++ -*-===//
 //
 // Part of the CTA project: cache-topology-aware computation mapping.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A lightweight named-counter registry in the spirit of LLVM's Statistic.
-/// Algorithms bump counters (groups formed, merges performed, groups split,
-/// evictions, barriers inserted, ...) and tools can dump them for inspection.
+/// DEPRECATED shim over the obs/ metric layer. The process-global
+/// StatisticRegistry was replaced by scoped obs::MetricSinks (run -> grid
+/// -> process rollup; see obs/MetricSink.h): new code should use
+/// obs::Counter and obs::MetricScope directly. This header keeps the old
+/// spellings alive — StatisticRegistry::get() is now a view over the root
+/// sink, which by rollup still accumulates every counter in the process,
+/// so existing dumps and tests observe the same totals as before.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CTA_SUPPORT_STATISTIC_H
 #define CTA_SUPPORT_STATISTIC_H
 
+#include "obs/MetricSink.h"
+
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 namespace cta {
 
-/// Process-wide registry of named counters. Thread safe: mapping passes run
-/// concurrently under the exec/ subsystem's thread pool, so every operation
-/// takes the registry mutex. Counter bumps from concurrent passes interleave
-/// atomically; snapshot() is the consistent read for reporting.
+/// Deprecated: the process-level view over obs::MetricSink::root(). Note
+/// that scoped sinks roll their counters up only when they close, so the
+/// root observes a run's counters once the run finishes.
 class StatisticRegistry {
-  mutable std::mutex Mutex;
-  std::map<std::string, std::uint64_t> Counters;
-
   StatisticRegistry() = default;
 
 public:
-  static StatisticRegistry &get();
+  static StatisticRegistry &get() {
+    static StatisticRegistry Shim;
+    return Shim;
+  }
 
   void add(const std::string &Name, std::uint64_t Delta) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Counters[Name] += Delta;
+    obs::MetricSink::root().add(Name, Delta);
   }
 
   std::uint64_t lookup(const std::string &Name) const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+    return obs::MetricSink::root().lookup(Name);
   }
 
-  void clear() {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Counters.clear();
-  }
+  void clear() { obs::MetricSink::root().clear(); }
 
-  /// Consistent copy of all counters at one instant.
+  /// Consistent copy of all root-sink counters at one instant.
   std::map<std::string, std::uint64_t> snapshot() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Counters;
+    return obs::MetricSink::root().snapshot();
   }
 
   /// Prints all counters to stderr, one "value name" line each.
-  void dump() const;
+  void dump() const { obs::MetricSink::root().dump(); }
 };
 
-/// Convenience wrapper: a counter bound to a fixed name.
-class Statistic {
-  const char *Name;
-
-public:
-  explicit Statistic(const char *Name) : Name(Name) {}
-
-  Statistic &operator+=(std::uint64_t Delta) {
-    StatisticRegistry::get().add(Name, Delta);
-    return *this;
-  }
-  Statistic &operator++() {
-    StatisticRegistry::get().add(Name, 1);
-    return *this;
-  }
-  std::uint64_t value() const { return StatisticRegistry::get().lookup(Name); }
-};
+/// Deprecated alias: a Statistic is now a counter bound to the executing
+/// thread's current sink, so algorithm counters attribute to whichever
+/// run is executing (and still roll up to the old global totals).
+using Statistic = obs::Counter;
 
 } // namespace cta
 

@@ -7,7 +7,10 @@
 /// \file
 /// Minimal wall-clock timer used to measure the mapping pass itself
 /// (Section 4.1 reports a 65-94% compilation-time overhead; the
-/// compile_overhead bench reproduces that measurement).
+/// compile_overhead bench reproduces that measurement). For phase-level
+/// instrumentation prefer obs::ObsScope, which records wall time plus
+/// counter deltas and peak RSS into the current metric sink; WallTimer
+/// remains the raw building block it uses.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,85 @@
+//===- tests/bench_common_test.cpp - bench harness helper tests -----------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+// The bench binaries' shared helpers are load-bearing for the claim that
+// bench stdout is byte-comparable across hosts and runs: timingCell must
+// mask every wall-clock cell under --no-timing, and ratioToBase must not
+// let a degenerate zero-cycle base poison a table (or a geomean) with
+// infinity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace cta;
+using namespace cta::bench;
+
+namespace {
+
+TEST(TimingCell, MaskedUnderNoTiming) {
+  ExecConfig Config;
+  Config.NoTiming = true;
+  EXPECT_EQ(timingCell(Config, "1.23ms"), "-");
+  Config.NoTiming = false;
+  EXPECT_EQ(timingCell(Config, "1.23ms"), "1.23ms");
+}
+
+TEST(TimingCell, NoTimingEnvReachesConfig) {
+  ::setenv("CTA_NO_TIMING", "1", 1);
+  const char *Argv[] = {"bench"};
+  ExecConfig C = parseExecArgs(1, const_cast<char **>(Argv));
+  ::unsetenv("CTA_NO_TIMING");
+  EXPECT_TRUE(C.NoTiming);
+  EXPECT_EQ(timingCell(C, "0.5ms"), "-");
+}
+
+TEST(RatioToBase, NormalRatio) {
+  RunResult R, Base;
+  R.Cycles = 150;
+  Base.Cycles = 100;
+  EXPECT_DOUBLE_EQ(ratioToBase(R, Base), 1.5);
+  EXPECT_DOUBLE_EQ(ratioToBase(Base, Base), 1.0);
+}
+
+TEST(RatioToBase, ZeroBaseIsNaNNotInf) {
+  RunResult R, Base;
+  R.Cycles = 150;
+  Base.Cycles = 0;
+  double Ratio = ratioToBase(R, Base);
+  EXPECT_TRUE(std::isnan(Ratio));
+  EXPECT_FALSE(std::isinf(Ratio));
+  // The sentinel keeps aggregates NaN instead of infinite.
+  EXPECT_TRUE(std::isnan(geomean({1.0, Ratio, 2.0})));
+}
+
+TEST(RatioToBase, ZeroOverZeroIsNaN) {
+  RunResult R, Base; // both default to 0 cycles
+  EXPECT_TRUE(std::isnan(ratioToBase(R, Base)));
+}
+
+TEST(SimMachines, PresetsResolveAtBenchScale) {
+  // Every machine the benches reference must resolve, scaled by the
+  // documented 1/32 factor.
+  for (const char *Name : {"harpertown", "nehalem", "dunnington"}) {
+    CacheTopology Topo = simMachine(Name);
+    CacheTopology Full = makePresetByName(Name);
+    ASSERT_GT(Topo.numNodes(), 0u);
+    EXPECT_EQ(Topo.numNodes(), Full.numNodes());
+  }
+}
+
+TEST(SensitivitySubset, IsASubsetOfTheSuite) {
+  std::vector<std::string> Suite = workloadNames();
+  for (const std::string &App : sensitivitySubset())
+    EXPECT_NE(std::find(Suite.begin(), Suite.end(), App), Suite.end())
+        << App << " not in the workload suite";
+}
+
+} // namespace

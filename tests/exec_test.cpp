@@ -138,17 +138,20 @@ fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
 }
 
 TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
-  // The hot-path overhaul bumped RunCacheFormatVersion from 1 to 2 so
-  // entries produced by the old engine can never be served. Keys minted
-  // under the old salt must not collide with current keys.
+  // The obs/ instrumentation layer bumped RunCacheFormatVersion from 2 to
+  // 3 (RunResult now serializes per-cache stats, sharing, counters and
+  // phases), so entries produced by older engines can never be served.
+  // Keys minted under any old salt must not collide with current keys.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
 
-  ASSERT_EQ(RunCacheFormatVersion, 2u);
+  ASSERT_EQ(RunCacheFormatVersion, 3u);
   std::uint64_t Current =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
-  EXPECT_EQ(Current, fingerprintWithVersion(2, Prog, Topo,
+  EXPECT_EQ(Current, fingerprintWithVersion(3, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+  EXPECT_NE(Current, fingerprintWithVersion(2, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(1, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
@@ -169,6 +172,23 @@ RunResult sampleResult() {
   R.Stats.TotalAccesses = 4242;
   R.Stats.Levels[1] = {4242, 4100};
   R.Stats.Levels[2] = {142, 100};
+  R.PerCache.push_back({/*NodeId=*/1, /*Level=*/1, 2121, 2050, 60});
+  R.PerCache.push_back({/*NodeId=*/3, /*Level=*/2, 142, 100, 12});
+  R.Sharing.TotalSharing = 9000;
+  R.Sharing.Levels.push_back({/*Level=*/2, 7000, 2000});
+  R.Counters["tagger.iterations"] = 4096;
+  R.Counters["clusterer.merges"] = 17;
+  obs::PhaseRecord P;
+  P.Name = "pipeline.tag";
+  P.Seconds = 0.0125;
+  P.PeakRssKb = 20480;
+  P.CounterDeltas["tagger.iterations"] = 4096;
+  R.Phases.push_back(P);
+  obs::PhaseRecord Q;
+  Q.Name = "sim.execute";
+  Q.Seconds = 0.5;
+  Q.PeakRssKb = 20992;
+  R.Phases.push_back(Q);
   return R;
 }
 
@@ -190,6 +210,48 @@ TEST(RunCacheTest, SerializationRoundTrips) {
     EXPECT_EQ(Back->Stats.Levels[L].Hits, R.Stats.Levels[L].Hits)
         << "level " << L;
   }
+  ASSERT_EQ(Back->PerCache.size(), R.PerCache.size());
+  for (std::size_t I = 0; I != R.PerCache.size(); ++I) {
+    EXPECT_EQ(Back->PerCache[I].NodeId, R.PerCache[I].NodeId);
+    EXPECT_EQ(Back->PerCache[I].Level, R.PerCache[I].Level);
+    EXPECT_EQ(Back->PerCache[I].Lookups, R.PerCache[I].Lookups);
+    EXPECT_EQ(Back->PerCache[I].Hits, R.PerCache[I].Hits);
+    EXPECT_EQ(Back->PerCache[I].Evictions, R.PerCache[I].Evictions);
+  }
+  EXPECT_EQ(Back->Sharing.TotalSharing, R.Sharing.TotalSharing);
+  ASSERT_EQ(Back->Sharing.Levels.size(), R.Sharing.Levels.size());
+  EXPECT_EQ(Back->Sharing.Levels[0].Level, R.Sharing.Levels[0].Level);
+  EXPECT_EQ(Back->Sharing.Levels[0].WithinDomain,
+            R.Sharing.Levels[0].WithinDomain);
+  EXPECT_EQ(Back->Sharing.Levels[0].AcrossDomains,
+            R.Sharing.Levels[0].AcrossDomains);
+  EXPECT_EQ(Back->Counters, R.Counters);
+  ASSERT_EQ(Back->Phases.size(), R.Phases.size());
+  for (std::size_t I = 0; I != R.Phases.size(); ++I) {
+    EXPECT_EQ(Back->Phases[I].Name, R.Phases[I].Name);
+    EXPECT_EQ(Back->Phases[I].Seconds, R.Phases[I].Seconds); // %a lossless
+    EXPECT_EQ(Back->Phases[I].PeakRssKb, R.Phases[I].PeakRssKb);
+    EXPECT_EQ(Back->Phases[I].CounterDeltas, R.Phases[I].CounterDeltas);
+  }
+}
+
+TEST(RunCacheTest, DeterministicBytesZeroesMeasurements) {
+  // Two runs of equal fingerprint differ only in wall-clock and RSS
+  // measurements; deterministicBytes must erase exactly those.
+  RunResult A = sampleResult();
+  RunResult B = sampleResult();
+  B.MappingSeconds = A.MappingSeconds * 3;
+  B.Phases[0].Seconds = 99.0;
+  B.Phases[1].PeakRssKb = 1;
+  EXPECT_EQ(deterministicBytes(A), deterministicBytes(B));
+
+  // ...and nothing else: a structural difference must show through.
+  RunResult C = sampleResult();
+  C.Phases[0].CounterDeltas["tagger.iterations"] += 1;
+  EXPECT_NE(deterministicBytes(A), deterministicBytes(C));
+  RunResult D = sampleResult();
+  D.PerCache[0].Evictions += 1;
+  EXPECT_NE(deterministicBytes(A), deterministicBytes(D));
 }
 
 TEST(RunCacheTest, RejectsWrongKeyAndGarbage) {
@@ -246,14 +308,14 @@ TEST_F(RunCacheDiskTest, CorruptEntryIsAMiss) {
 }
 
 TEST_F(RunCacheDiskTest, OldFormatVersionEntryMissesCleanly) {
-  // An entry stored under a version-1 fingerprint must be invisible to a
-  // runner keying with the current (version-2) fingerprint: a clean miss,
+  // An entry stored under a version-2 fingerprint must be invisible to a
+  // runner keying with the current (version-3) fingerprint: a clean miss,
   // not a hit and not an error.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
   std::uint64_t OldKey =
-      fingerprintWithVersion(1, Prog, Topo, Strategy::TopologyAware, Opts);
+      fingerprintWithVersion(2, Prog, Topo, Strategy::TopologyAware, Opts);
   std::uint64_t NewKey =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
 
@@ -400,7 +462,40 @@ TEST(ExperimentRunnerTest, ParseExecArgsFormsAndDefaults) {
     const char *Argv[] = {"bench", "--benchmark_filter=foo"};
     ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
     EXPECT_EQ(C.CacheDir, "");
+    EXPECT_EQ(C.EmitJsonPath, "");
   }
+  {
+    const char *Argv[] = {"/path/to/fig13", "--emit-json=/tmp/a.json"};
+    ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
+    EXPECT_EQ(C.EmitJsonPath, "/tmp/a.json");
+    EXPECT_EQ(C.BenchName, "fig13"); // basename of argv[0]
+  }
+  {
+    const char *Argv[] = {"fig13", "--emit-json", "/tmp/b.json"};
+    ExecConfig C = parseExecArgs(3, const_cast<char **>(Argv));
+    EXPECT_EQ(C.EmitJsonPath, "/tmp/b.json");
+  }
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedJobs) {
+  // strtoul would silently read "8x" as 8 and "abc" as 0; the strict
+  // parser must refuse both, plus overflow, with a fatal error naming the
+  // flag.
+  const char *Suffix[] = {"bench", "--jobs=8x"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Suffix)), "--jobs");
+  const char *Garbage[] = {"bench", "--jobs=abc"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Garbage)), "--jobs");
+  const char *Negative[] = {"bench", "--jobs=-2"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Negative)), "--jobs");
+  const char *Overflow[] = {"bench", "--jobs=99999999999999999999"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Overflow)), "--jobs");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedJobsEnv) {
+  const char *Argv[] = {"bench"};
+  ::setenv("CTA_JOBS", "4x", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)), "CTA_JOBS");
+  ::unsetenv("CTA_JOBS");
 }
 
 } // namespace

@@ -1,0 +1,342 @@
+//===- tests/obs_test.cpp - obs/ instrumentation layer tests --------------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+// Covers the observability substrate: sink rollup and scoped attribution
+// (including the per-run isolation guarantee for concurrent runs, which
+// the CI TSan job exercises under the race detector), ObsScope phase
+// records, the JSON writer and the shared exec-summary formatter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/MetricSink.h"
+#include "obs/ObsScope.h"
+#include "obs/RunArtifact.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace cta;
+using namespace cta::obs;
+
+namespace {
+
+TEST(MetricSinkTest, AddLookupSnapshotClear) {
+  MetricSink Sink;
+  EXPECT_EQ(Sink.lookup("absent"), 0u);
+  Sink.add("a", 2);
+  Sink.add("a", 3);
+  Sink.add("b", 1);
+  EXPECT_EQ(Sink.lookup("a"), 5u);
+
+  std::map<std::string, std::uint64_t> Snap = Sink.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap["a"], 5u);
+  EXPECT_EQ(Snap["b"], 1u);
+
+  Sink.clear();
+  EXPECT_EQ(Sink.lookup("a"), 0u);
+  EXPECT_TRUE(Sink.snapshot().empty());
+}
+
+TEST(MetricSinkTest, DestructorRollsUpIntoParent) {
+  MetricSink Parent;
+  Parent.add("shared", 1);
+  {
+    MetricSink Child(&Parent);
+    Child.add("shared", 10);
+    Child.add("child-only", 4);
+    // Not yet rolled up: the parent still sees only its own bumps.
+    EXPECT_EQ(Parent.lookup("shared"), 1u);
+  }
+  EXPECT_EQ(Parent.lookup("shared"), 11u);
+  EXPECT_EQ(Parent.lookup("child-only"), 4u);
+}
+
+TEST(MetricSinkTest, RollUpIsIdempotentAndPhasesStayLocal) {
+  MetricSink Parent;
+  MetricSink Child(&Parent);
+  Child.add("n", 7);
+  PhaseRecord Phase;
+  Phase.Name = "p";
+  Child.recordPhase(Phase);
+
+  Child.rollUp();
+  Child.rollUp(); // explicit second call must not double-count
+  EXPECT_EQ(Parent.lookup("n"), 7u);
+  // Phases are aggregated explicitly by whoever owns the runs, never
+  // concatenated into the parent by rollup.
+  EXPECT_TRUE(Parent.phases().empty());
+  ASSERT_EQ(Child.phases().size(), 1u);
+  EXPECT_EQ(Child.phases()[0].Name, "p");
+}
+
+TEST(MetricSinkTest, TwoLevelHierarchyReachesRoot) {
+  // run -> grid -> process, the exec/ shape.
+  MetricSink Process;
+  {
+    MetricSink Grid(&Process);
+    {
+      MetricSink Run(&Grid);
+      Run.add("sim.accesses", 100);
+    }
+    EXPECT_EQ(Grid.lookup("sim.accesses"), 100u);
+    EXPECT_EQ(Process.lookup("sim.accesses"), 0u);
+  }
+  EXPECT_EQ(Process.lookup("sim.accesses"), 100u);
+}
+
+TEST(MetricScopeTest, InstallsAndRestoresCurrentSink) {
+  MetricSink &Root = MetricSink::current();
+  MetricSink Outer, Inner;
+  {
+    MetricScope OuterScope(Outer);
+    EXPECT_EQ(&MetricSink::current(), &Outer);
+    {
+      MetricScope InnerScope(Inner);
+      EXPECT_EQ(&MetricSink::current(), &Inner);
+    }
+    EXPECT_EQ(&MetricSink::current(), &Outer);
+  }
+  EXPECT_EQ(&MetricSink::current(), &Root);
+}
+
+TEST(MetricScopeTest, CounterBumpsFollowTheScope) {
+  static Counter TestCounter("obs-test.scoped-bumps");
+  MetricSink Sink;
+  std::uint64_t RootBefore =
+      MetricSink::root().lookup("obs-test.scoped-bumps");
+  {
+    MetricScope Scope(Sink);
+    ++TestCounter;
+    TestCounter += 4;
+    EXPECT_EQ(TestCounter.value(), 5u);
+  }
+  EXPECT_EQ(Sink.lookup("obs-test.scoped-bumps"), 5u);
+  // Nothing leaked to the root while the scope was installed.
+  EXPECT_EQ(MetricSink::root().lookup("obs-test.scoped-bumps"), RootBefore);
+}
+
+TEST(MetricScopeTest, ConcurrentRunsIsolatePerRunCounters) {
+  // The exec/ guarantee this layer exists for: N concurrent "runs", each
+  // under its own sink, bump the same named counter — every run's sink
+  // must see exactly its own contribution, and the shared parent the
+  // exact total after rollup. Under TSan this also proves the sink
+  // locking is sound.
+  constexpr unsigned NumRuns = 8;
+  constexpr std::uint64_t BumpsPerRun = 10000;
+  static Counter SharedCounter("obs-test.concurrent");
+
+  MetricSink Grid;
+  std::vector<std::unique_ptr<MetricSink>> RunSinks;
+  for (unsigned I = 0; I != NumRuns; ++I)
+    RunSinks.push_back(std::make_unique<MetricSink>(&Grid));
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != NumRuns; ++I)
+    Threads.emplace_back([I, &RunSinks] {
+      MetricScope Scope(*RunSinks[I]);
+      // Distinct per-run totals so cross-attribution cannot cancel out.
+      for (std::uint64_t N = 0; N != BumpsPerRun + I; ++N)
+        ++SharedCounter;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned I = 0; I != NumRuns; ++I)
+    EXPECT_EQ(RunSinks[I]->lookup("obs-test.concurrent"), BumpsPerRun + I);
+
+  std::uint64_t Expected = 0;
+  for (unsigned I = 0; I != NumRuns; ++I) {
+    Expected += BumpsPerRun + I;
+    RunSinks[I].reset(); // roll up into the grid
+  }
+  EXPECT_EQ(Grid.lookup("obs-test.concurrent"), Expected);
+}
+
+TEST(ObsScopeTest, RecordsPhaseWithCounterDeltas) {
+  MetricSink Sink;
+  Sink.add("pre-existing", 3);
+  {
+    MetricScope Scope(Sink);
+    ObsScope Span("tag");
+    Sink.add("pre-existing", 2);
+    Sink.add("fresh", 9);
+  }
+  std::vector<PhaseRecord> Phases = Sink.phases();
+  ASSERT_EQ(Phases.size(), 1u);
+  const PhaseRecord &P = Phases[0];
+  EXPECT_EQ(P.Name, "tag");
+  EXPECT_GE(P.Seconds, 0.0);
+  // Deltas, not totals — and only counters that moved while open.
+  ASSERT_EQ(P.CounterDeltas.size(), 2u);
+  EXPECT_EQ(P.CounterDeltas.at("pre-existing"), 2u);
+  EXPECT_EQ(P.CounterDeltas.at("fresh"), 9u);
+}
+
+TEST(ObsScopeTest, CloseIsIdempotentAndBindsConstructionSink) {
+  MetricSink A, B;
+  {
+    MetricScope ScopeA(A);
+    ObsScope Span("phase");
+    {
+      // The span was opened under A; switching the current sink before
+      // close must not re-target the record.
+      MetricScope ScopeB(B);
+      Span.close();
+      Span.close();
+    }
+  }
+  EXPECT_EQ(A.phases().size(), 1u);
+  EXPECT_TRUE(B.phases().empty());
+}
+
+TEST(ObsScopeTest, PeakRssIsMonotonicAndPositive) {
+  std::int64_t Rss = peakRssKb();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(Rss, 0);
+#endif
+  EXPECT_GE(peakRssKb(), Rss);
+}
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a");
+  W.value(std::uint64_t(1));
+  W.key("list");
+  W.beginArray();
+  W.value(std::uint64_t(2));
+  W.beginObject();
+  W.key("b");
+  W.value(true);
+  W.endObject();
+  W.valueNull();
+  W.endArray();
+  W.key("c");
+  W.value("text");
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"a\":1,\"list\":[2,{\"b\":true},null],\"c\":\"text\"}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("line1\nline2\ttab\r"), "line1\\nline2\\ttab\\r");
+  EXPECT_EQ(jsonEscape(std::string("\x01\x1f")), "\\u0001\\u001f");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(0.5);
+  W.endArray();
+  EXPECT_EQ(W.str(), "[null,null,0.5]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  JsonWriter W;
+  double V = 0.1234567890123456789;
+  W.value(V);
+  EXPECT_EQ(std::stod(W.str()), V);
+}
+
+TEST(RunArtifactTest, BenchArtifactJsonShape) {
+  BenchArtifact A;
+  A.Bench = "fig13";
+  A.Jobs = 4;
+  A.CacheEnabled = true;
+  A.CacheDir = "/tmp/cache \"dir\"";
+  A.CacheHits = 2;
+  A.CacheMisses = 1;
+  A.SimulatorInvocations = 3;
+  A.SimulatedAccesses = 1000;
+
+  RunArtifact R;
+  R.Label = "dunnington/cg/TopologyAware";
+  R.Fingerprint = "deadbeef";
+  R.CacheStatus = "miss";
+  R.Cycles = 12345;
+  R.Levels.push_back({1, 100, 90, 4});
+  R.Caches.push_back({2, 1, 100, 90, 4});
+  R.TotalSharing = 50;
+  R.Sharing.push_back({2, 40, 10});
+  PhaseRecord P;
+  P.Name = "sim.execute";
+  P.Seconds = 0.25;
+  P.PeakRssKb = 2048;
+  P.CounterDeltas["sim.accesses"] = 1000;
+  R.Phases.push_back(P);
+  R.Counters["tagger.iterations"] = 64;
+  A.Runs.push_back(R);
+  A.ProcessCounters["trace-registry.compiles"] = 3;
+
+  std::string Json = A.toJson();
+  EXPECT_NE(Json.find("\"schema\":\"cta-bench-artifact-v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"cta-run-artifact-v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"bench\":\"fig13\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"dir\\\""), std::string::npos); // escaped path
+  EXPECT_NE(Json.find("\"cycles\":12345"), std::string::npos);
+  EXPECT_NE(Json.find("\"misses\":10"), std::string::npos); // 100 - 90
+  EXPECT_NE(Json.find("\"evictions\":4"), std::string::npos);
+  EXPECT_NE(Json.find("\"sim.accesses\":1000"), std::string::npos);
+  EXPECT_EQ(Json.find('\n'), std::string::npos); // single line
+
+  // Balanced containers (no quote-aware scan needed: all strings above
+  // keep their braces/brackets outside the payload).
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+}
+
+TEST(RunArtifactTest, WriteFileAndFailure) {
+  BenchArtifact A;
+  A.Bench = "t";
+  std::string Path = ::testing::TempDir() + "/obs_artifact_test.json";
+  std::string Err;
+  ASSERT_TRUE(A.writeFile(Path, &Err)) << Err;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buf[4096];
+  std::size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  std::string Text(Buf, N);
+  EXPECT_EQ(Text, A.toJson() + "\n");
+
+  EXPECT_FALSE(A.writeFile("/nonexistent-dir-zz/x.json", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ExecSummaryTest, FormatMatchesLegacyLine) {
+  ExecSummary S;
+  S.Jobs = 4;
+  S.SimulatorInvocations = 7;
+  S.SimulatedAccesses = 123456;
+  S.CacheHits = 5;
+  S.CacheMisses = 2;
+  S.CacheStores = 2;
+  EXPECT_EQ(formatExecSummary(S),
+            "[exec] jobs=4 simulated=7 accesses=123456 cache: 5 hits, "
+            "2 misses, 2 stores");
+  S.CacheEnabled = true;
+  S.CacheDir = "/tmp/rc";
+  EXPECT_EQ(formatExecSummary(S),
+            "[exec] jobs=4 simulated=7 accesses=123456 cache: 5 hits, "
+            "2 misses, 2 stores @ /tmp/rc");
+}
+
+} // namespace

@@ -214,6 +214,37 @@ void expectIdentical(const ExecutionResult &Fast, const ExecutionResult &Ref,
       << "seed " << Seed;
   EXPECT_EQ(Fast.Stats.TotalAccesses, Ref.Stats.TotalAccesses)
       << "seed " << Seed;
+
+  // Per-cache-instance statistics: the fast path's probe() and the
+  // reference path's access()+fill() count lookups, hits and evictions
+  // with separate code; they must agree cache for cache.
+  ASSERT_EQ(Fast.PerCache.size(), Ref.PerCache.size()) << "seed " << Seed;
+  for (std::size_t I = 0; I != Fast.PerCache.size(); ++I) {
+    const CacheNodeStats &F = Fast.PerCache[I];
+    const CacheNodeStats &R = Ref.PerCache[I];
+    EXPECT_EQ(F.NodeId, R.NodeId) << "seed " << Seed;
+    EXPECT_EQ(F.Level, R.Level) << "seed " << Seed;
+    EXPECT_EQ(F.Lookups, R.Lookups) << "node " << F.NodeId << " seed " << Seed;
+    EXPECT_EQ(F.Hits, R.Hits) << "node " << F.NodeId << " seed " << Seed;
+    EXPECT_EQ(F.Evictions, R.Evictions)
+        << "node " << F.NodeId << " seed " << Seed;
+  }
+
+  // The per-level aggregates must be exactly the per-cache sums (same
+  // events, two bookkeeping granularities).
+  std::uint64_t LevelLookups[SimStats::MaxLevels + 1] = {};
+  std::uint64_t LevelHits[SimStats::MaxLevels + 1] = {};
+  for (const CacheNodeStats &C : Fast.PerCache) {
+    ASSERT_LE(C.Level, SimStats::MaxLevels) << "seed " << Seed;
+    LevelLookups[C.Level] += C.Lookups;
+    LevelHits[C.Level] += C.Hits;
+  }
+  for (unsigned L = 1; L <= SimStats::MaxLevels; ++L) {
+    EXPECT_EQ(LevelLookups[L], Fast.Stats.Levels[L].Lookups)
+        << "L" << L << " seed " << Seed;
+    EXPECT_EQ(LevelHits[L], Fast.Stats.Levels[L].Hits)
+        << "L" << L << " seed " << Seed;
+  }
 }
 
 /// Runs one random configuration through both engine paths on fresh

@@ -1,10 +1,13 @@
 //===- tests/support_test.cpp - support library unit tests ----------------===//
 
 #include "support/BitVector.h"
+#include "support/ParseNumber.h"
 #include "support/Random.h"
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+
+#include "obs/MetricSink.h"
 
 #include <gtest/gtest.h>
 
@@ -100,6 +103,52 @@ TEST(Statistic, RegistryAccumulates) {
   EXPECT_EQ(S.value(), 0u);
 }
 
+TEST(Statistic, RegistryIsAViewOverTheRootSink) {
+  // The deprecated registry must observe exactly what the obs/ root sink
+  // holds: same counter store, not a parallel copy.
+  StatisticRegistry::get().clear();
+  obs::MetricSink::root().add("test.shim", 3);
+  EXPECT_EQ(StatisticRegistry::get().lookup("test.shim"), 3u);
+  StatisticRegistry::get().add("test.shim", 2);
+  EXPECT_EQ(obs::MetricSink::root().lookup("test.shim"), 5u);
+  EXPECT_EQ(StatisticRegistry::get().snapshot().at("test.shim"), 5u);
+  StatisticRegistry::get().clear();
+  EXPECT_EQ(obs::MetricSink::root().lookup("test.shim"), 0u);
+}
+
+TEST(ParseNumber, AcceptsPlainDecimals) {
+  EXPECT_EQ(parseUint64("0"), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(parseUint64("42"), std::optional<std::uint64_t>(42));
+  EXPECT_EQ(parseUint64("007"), std::optional<std::uint64_t>(7));
+  EXPECT_EQ(parseUint64("18446744073709551615"),
+            std::optional<std::uint64_t>(UINT64_MAX));
+}
+
+TEST(ParseNumber, RejectsGarbageSignsAndWhitespace) {
+  EXPECT_FALSE(parseUint64(""));
+  EXPECT_FALSE(parseUint64("8x"));     // strtoul would return 8
+  EXPECT_FALSE(parseUint64("abc"));    // strtoul would return 0
+  EXPECT_FALSE(parseUint64("-1"));
+  EXPECT_FALSE(parseUint64("+4"));
+  EXPECT_FALSE(parseUint64(" 4"));
+  EXPECT_FALSE(parseUint64("4 "));
+  EXPECT_FALSE(parseUint64("0x10"));
+  EXPECT_FALSE(parseUint64("1e3"));
+}
+
+TEST(ParseNumber, RejectsOverflowAndAboveMax) {
+  EXPECT_FALSE(parseUint64("18446744073709551616")); // UINT64_MAX + 1
+  EXPECT_FALSE(parseUint64("99999999999999999999999"));
+  EXPECT_FALSE(parseUint64("101", 100));
+  EXPECT_EQ(parseUint64("100", 100), std::optional<std::uint64_t>(100));
+}
+
+TEST(ParseNumberDeathTest, OrDieNamesTheSetting) {
+  EXPECT_EQ(parseUint64OrDie("--jobs", "6"), 6u);
+  EXPECT_DEATH(parseUint64OrDie("CTA_TRACE_CACHE_BYTES", "1MB"),
+               "CTA_TRACE_CACHE_BYTES");
+}
+
 TEST(StringUtils, Formatting) {
   EXPECT_EQ(formatDouble(1.234, 2), "1.23");
   EXPECT_EQ(formatPercent(0.163), "16.3%");
@@ -119,4 +168,33 @@ TEST(TextTable, RendersAligned) {
   EXPECT_NE(Out.find("12345"), std::string::npos);
   // Header separator present.
   EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderAndSeparatorOnly) {
+  TextTable T({"app", "cycles"});
+  std::string Out = T.render();
+  // Header line + separator line, nothing else.
+  EXPECT_EQ(Out, "app  cycles\n-----------\n");
+}
+
+TEST(TextTable, SingleColumn) {
+  TextTable T({"machine"});
+  T.addRow({"dunnington"});
+  T.addRow({"nehalem"});
+  // One column: left aligned, no inter-column padding, separator spans the
+  // widest cell.
+  EXPECT_EQ(T.render(), "machine   \n----------\ndunnington\nnehalem   \n");
+}
+
+TEST(TextTable, CellsWiderThanHeadersWidenTheColumn) {
+  TextTable T({"a", "b"});
+  T.addRow({"wide-label", "123456789"});
+  T.addRow({"x", "1"});
+  std::string Out = T.render();
+  // First column left aligned and padded to the widest cell; second
+  // column right aligned.
+  EXPECT_EQ(Out, "a                   b\n"
+                 "---------------------\n"
+                 "wide-label  123456789\n"
+                 "x                   1\n");
 }
