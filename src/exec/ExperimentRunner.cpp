@@ -176,7 +176,7 @@ RunResult ExperimentRunner::runOneRecord(const RunTask &Task,
   std::uint64_t Key =
       runFingerprint(Task.Prog, Task.Machine,
                      Task.RunsOn ? &*Task.RunsOn : nullptr, Task.Strat,
-                     Task.Opts);
+                     Task.Opts, Task.SourceHash);
   if (std::optional<RunResult> Cached = Cache.lookup(Key)) {
     Artifact = toArtifact(Task, Key, "hit", *Cached);
     return *Cached;

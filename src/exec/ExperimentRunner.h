@@ -82,6 +82,10 @@ struct RunTask {
   MappingOptions Opts;
   /// Free-form tag for diagnostics ("fig13/dunnington/cg/TopologyAware").
   std::string Label;
+  /// FNV-1a hash of the DSL source text \p Prog was parsed from; 0 for
+  /// compiled-in generators. Mixed into the cache key (field 9 of the
+  /// runFingerprint schema) so source-text edits miss cleanly.
+  std::uint64_t SourceHash = 0;
 };
 
 /// RunTask has no default constructor (CacheTopology needs a machine);

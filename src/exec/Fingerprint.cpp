@@ -78,7 +78,8 @@ void cta::hashOptions(HashBuilder &H, const MappingOptions &Opts) {
 std::uint64_t cta::runFingerprint(const Program &Prog,
                                   const CacheTopology &Machine,
                                   const CacheTopology *RunsOn, Strategy Strat,
-                                  const MappingOptions &Opts) {
+                                  const MappingOptions &Opts,
+                                  std::uint64_t SourceContentHash) {
   HashBuilder H;
   H.add(std::string_view("cta-run"));
   H.add(RunCacheFormatVersion);
@@ -89,5 +90,6 @@ std::uint64_t cta::runFingerprint(const Program &Prog,
     hashTopology(H, *RunsOn);
   H.add(static_cast<std::uint64_t>(Strat));
   hashOptions(H, Opts);
+  H.add(SourceContentHash);
   return H.hash();
 }

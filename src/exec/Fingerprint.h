@@ -36,7 +36,11 @@ namespace cta {
 /// per-cache-instance statistics (with evictions), the static sharing
 /// report, per-run counters and phase spans, all of which serialize into
 /// cache entries so cached runs replay with full provenance.
-inline constexpr std::uint64_t RunCacheFormatVersion = 3;
+/// Version 4: the frontend/ workload DSL — keys gain a trailing source
+/// content hash so a run lowered from a .cta file and the same program
+/// built by a compiled-in generator occupy distinct entries even though
+/// the Program IR (and therefore the results) are identical.
+inline constexpr std::uint64_t RunCacheFormatVersion = 4;
 
 /// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
 /// per-iteration compute cost.
@@ -49,12 +53,31 @@ void hashTopology(HashBuilder &H, const CacheTopology &Topo);
 /// Feeds every field of \p Opts into \p H.
 void hashOptions(HashBuilder &H, const MappingOptions &Opts);
 
-/// The cache key of one run: version salt + program + machine the mapper
-/// compiles for + (optionally) the distinct machine the mapping executes
-/// on (Figure 14 cross-machine runs) + strategy + options.
+/// The cache key of one run. Key schema (field feed order into the
+/// FNV-1a builder — any change here requires a RunCacheFormatVersion
+/// bump):
+///
+///   1. literal "cta-run"
+///   2. RunCacheFormatVersion
+///   3. program        (hashProgram: name, arrays, nests, bounds,
+///                      accesses, per-iteration compute cost)
+///   4. machine        (hashTopology: the tree the mapper compiles for)
+///   5. has-runs-on    (bool)
+///   6. runs-on        (hashTopology; only when 5 is true — the distinct
+///                      machine the mapping executes on, Figure 14)
+///   7. strategy       (enum value)
+///   8. options        (hashOptions: every MappingOptions field)
+///   9. source hash    (\p SourceContentHash — FNV-1a of the DSL text a
+///                      Program was parsed from, or 0 for compiled-in
+///                      generators)
+///
+/// Field 9 exists so edits to a .cta file that do not change the lowered
+/// IR (comments, whitespace, annotations) still miss the cache cleanly
+/// rather than silently replaying a result from a stale source revision.
 std::uint64_t runFingerprint(const Program &Prog, const CacheTopology &Machine,
                              const CacheTopology *RunsOn, Strategy Strat,
-                             const MappingOptions &Opts);
+                             const MappingOptions &Opts,
+                             std::uint64_t SourceContentHash = 0);
 
 } // namespace cta
 

@@ -1,0 +1,256 @@
+//===- frontend/Lexer.cpp - Workload DSL tokenizer ------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Diag.h"
+
+#include <cctype>
+
+using namespace cta;
+using namespace cta::frontend;
+
+const char *cta::frontend::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::String:
+    return "string literal";
+  case TokKind::Integer:
+    return "integer literal";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::DotDot:
+    return "'..'";
+  case TokKind::KwProgram:
+    return "'program'";
+  case TokKind::KwArray:
+    return "'array'";
+  case TokKind::KwNest:
+    return "'nest'";
+  case TokKind::KwRead:
+    return "'read'";
+  case TokKind::KwWrite:
+    return "'write'";
+  case TokKind::KwWrap:
+    return "'wrap'";
+  case TokKind::KwElem:
+    return "'elem'";
+  case TokKind::KwCycles:
+    return "'cycles'";
+  case TokKind::KwExpect:
+    return "'expect'";
+  case TokKind::KwParallel:
+    return "'parallel'";
+  case TokKind::KwDependences:
+    return "'dependences'";
+  }
+  return "token";
+}
+
+namespace {
+
+TokKind keywordKind(const std::string &Spelling) {
+  if (Spelling == "program")
+    return TokKind::KwProgram;
+  if (Spelling == "array")
+    return TokKind::KwArray;
+  if (Spelling == "nest")
+    return TokKind::KwNest;
+  if (Spelling == "read")
+    return TokKind::KwRead;
+  if (Spelling == "write")
+    return TokKind::KwWrite;
+  if (Spelling == "wrap")
+    return TokKind::KwWrap;
+  if (Spelling == "elem")
+    return TokKind::KwElem;
+  if (Spelling == "cycles")
+    return TokKind::KwCycles;
+  if (Spelling == "expect")
+    return TokKind::KwExpect;
+  if (Spelling == "parallel")
+    return TokKind::KwParallel;
+  if (Spelling == "dependences")
+    return TokKind::KwDependences;
+  return TokKind::Ident;
+}
+
+} // namespace
+
+bool cta::frontend::tokenize(const std::string &Source,
+                             const std::string &FileLabel,
+                             std::vector<Token> &Out, std::string &Error) {
+  auto fail = [&](std::size_t Offset, unsigned Length,
+                  const std::string &Message) {
+    Error = renderDiag(FileLabel, locForOffset(Source, Offset), Message,
+                       Source, Length);
+    return false;
+  };
+
+  std::size_t I = 0, N = Source.size();
+  while (I != N) {
+    char C = Source[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '#') { // comment to end of line
+      while (I != N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+
+    Token Tok;
+    Tok.Offset = I;
+
+    auto punct = [&](TokKind Kind) {
+      Tok.Kind = Kind;
+      Tok.Length = 1;
+      ++I;
+    };
+
+    switch (C) {
+    case '{':
+      punct(TokKind::LBrace);
+      break;
+    case '}':
+      punct(TokKind::RBrace);
+      break;
+    case '[':
+      punct(TokKind::LBracket);
+      break;
+    case ']':
+      punct(TokKind::RBracket);
+      break;
+    case '(':
+      punct(TokKind::LParen);
+      break;
+    case ')':
+      punct(TokKind::RParen);
+      break;
+    case ',':
+      punct(TokKind::Comma);
+      break;
+    case ';':
+      punct(TokKind::Semi);
+      break;
+    case '=':
+      punct(TokKind::Equal);
+      break;
+    case '+':
+      punct(TokKind::Plus);
+      break;
+    case '-':
+      punct(TokKind::Minus);
+      break;
+    case '*':
+      punct(TokKind::Star);
+      break;
+    case '.': {
+      if (I + 1 == N || Source[I + 1] != '.')
+        return fail(I, 1, "stray '.' (ranges use '..')");
+      Tok.Kind = TokKind::DotDot;
+      Tok.Length = 2;
+      I += 2;
+      break;
+    }
+    case '"': {
+      std::size_t Start = I++;
+      std::string Value;
+      for (;;) {
+        if (I == N || Source[I] == '\n')
+          return fail(Start, static_cast<unsigned>(I - Start),
+                      "unterminated string literal");
+        char S = Source[I];
+        if (S == '"') {
+          ++I;
+          break;
+        }
+        if (S == '\\') {
+          if (I + 1 == N)
+            return fail(Start, static_cast<unsigned>(I - Start),
+                        "unterminated string literal");
+          char E = Source[I + 1];
+          if (E != '"' && E != '\\')
+            return fail(I, 2, "unsupported escape sequence in string");
+          Value += E;
+          I += 2;
+          continue;
+        }
+        Value += S;
+        ++I;
+      }
+      Tok.Kind = TokKind::String;
+      Tok.Text = std::move(Value);
+      Tok.Length = static_cast<unsigned>(I - Start);
+      break;
+    }
+    default: {
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        std::size_t Start = I;
+        std::int64_t Value = 0;
+        bool Overflow = false;
+        while (I != N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+          int Digit = Source[I] - '0';
+          if (__builtin_mul_overflow(Value, std::int64_t(10), &Value) ||
+              __builtin_add_overflow(Value, std::int64_t(Digit), &Value))
+            Overflow = true;
+          ++I;
+        }
+        if (Overflow)
+          return fail(Start, static_cast<unsigned>(I - Start),
+                      "integer literal overflows 64 bits");
+        Tok.Kind = TokKind::Integer;
+        Tok.IntValue = Value;
+        Tok.Length = static_cast<unsigned>(I - Start);
+        break;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        std::size_t Start = I;
+        while (I != N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                          Source[I] == '_'))
+          ++I;
+        std::string Spelling = Source.substr(Start, I - Start);
+        Tok.Kind = keywordKind(Spelling);
+        Tok.Text = std::move(Spelling);
+        Tok.Length = static_cast<unsigned>(I - Start);
+        break;
+      }
+      return fail(I, 1,
+                  std::string("stray character '") + C + "' in input");
+    }
+    }
+    Out.push_back(std::move(Tok));
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Offset = N;
+  Eof.Length = 1;
+  Out.push_back(Eof);
+  return true;
+}

@@ -1,0 +1,81 @@
+//===- frontend/Lexer.h - Workload DSL tokenizer ---------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual workload DSL (see Parser.h for the grammar).
+/// Tokens carry their byte offset and spelling length so the parser can
+/// point diagnostics at exact file:line:col positions with a caret
+/// underline of the offending token (support/Diag).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_FRONTEND_LEXER_H
+#define CTA_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cta::frontend {
+
+enum class TokKind {
+  Eof,
+  Ident,   ///< bare identifier (induction variable or array name)
+  String,  ///< double-quoted literal; Text holds the decoded value
+  Integer, ///< non-negative decimal literal; IntValue holds the value
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Equal,
+  Plus,
+  Minus,
+  Star,
+  DotDot,
+  // Keywords.
+  KwProgram,
+  KwArray,
+  KwNest,
+  KwRead,
+  KwWrite,
+  KwWrap,
+  KwElem,
+  KwCycles,
+  KwExpect,
+  KwParallel,
+  KwDependences,
+};
+
+/// Spelling of \p Kind for "expected X, got Y" diagnostics.
+const char *tokKindName(TokKind Kind);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  /// Identifier/keyword spelling, or the decoded string-literal value.
+  std::string Text;
+  /// Value of an Integer token.
+  std::int64_t IntValue = 0;
+  /// Byte offset of the token's first character in the source.
+  std::size_t Offset = 0;
+  /// Spelling length in the source (caret underline width).
+  unsigned Length = 1;
+};
+
+/// Tokenizes \p Source completely (comments run from '#' to end of line).
+/// On success appends the token stream, terminated by one Eof token, to
+/// \p Out and returns true. On a lexical error (stray character,
+/// unterminated string, 64-bit integer overflow) returns false and fills
+/// \p Error with a rendered diagnostic for \p FileLabel.
+bool tokenize(const std::string &Source, const std::string &FileLabel,
+              std::vector<Token> &Out, std::string &Error);
+
+} // namespace cta::frontend
+
+#endif // CTA_FRONTEND_LEXER_H

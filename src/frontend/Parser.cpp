@@ -1,0 +1,497 @@
+//===- frontend/Parser.cpp - Workload DSL parser --------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "poly/Dependence.h"
+#include "support/Diag.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace cta;
+using namespace cta::frontend;
+
+namespace {
+
+/// An affine expression under construction, keyed by induction-variable
+/// index; materialized into an AffineExpr once the nest's depth is known.
+struct ParsedExpr {
+  std::map<unsigned, std::int64_t> Coeffs;
+  std::int64_t Const = 0;
+};
+
+/// Resolves identifiers inside expressions to induction-variable indices.
+struct VarScope {
+  const std::vector<std::string> *Names = nullptr;
+  /// Only variables with index < Limit are visible (loop bounds may use
+  /// outer variables only); Names->size() for subscripts.
+  unsigned Limit = 0;
+  /// Context word for the unknown-identifier diagnostic.
+  const char *What = "expression";
+};
+
+class Parser {
+  const std::string &Source;
+  const std::string &FileLabel;
+  std::vector<Token> Tokens;
+  std::size_t Pos = 0;
+  std::string Error;
+
+public:
+  Parser(const std::string &Source, const std::string &FileLabel)
+      : Source(Source), FileLabel(FileLabel) {}
+
+  ParseOutcome run() {
+    ParseOutcome Outcome;
+    if (!tokenize(Source, FileLabel, Tokens, Error)) {
+      Outcome.Diagnostic = std::move(Error);
+      return Outcome;
+    }
+    Program Prog;
+    if (!parseProgram(Prog)) {
+      Outcome.Diagnostic = std::move(Error);
+      return Outcome;
+    }
+    Outcome.Prog = std::move(Prog);
+    return Outcome;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &next() {
+    const Token &T = Tokens[Pos];
+    if (T.Kind != TokKind::Eof)
+      ++Pos;
+    return T;
+  }
+
+  bool fail(const Token &Tok, const std::string &Message) {
+    if (Error.empty())
+      Error = renderDiag(FileLabel, locForOffset(Source, Tok.Offset), Message,
+                         Source, Tok.Length);
+    return false;
+  }
+
+  bool expect(TokKind Kind, const char *Where) {
+    const Token &T = peek();
+    if (T.Kind != Kind)
+      return fail(T, std::string("expected ") + tokKindName(Kind) + " " +
+                         Where + ", got " + tokKindName(T.Kind));
+    next();
+    return true;
+  }
+
+  /// program := "program" STRING "{" item* "}"
+  bool parseProgram(Program &Prog) {
+    if (!expect(TokKind::KwProgram, "at start of file"))
+      return false;
+    const Token &Name = peek();
+    if (Name.Kind != TokKind::String)
+      return fail(Name, std::string("expected program name string, got ") +
+                            tokKindName(Name.Kind));
+    if (Name.Text.empty())
+      return fail(Name, "program name must not be empty");
+    Prog.Name = Name.Text;
+    next();
+    if (!expect(TokKind::LBrace, "after program name"))
+      return false;
+    for (;;) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::RBrace)
+        break;
+      if (T.Kind == TokKind::KwArray) {
+        if (!parseArray(Prog))
+          return false;
+      } else if (T.Kind == TokKind::KwNest) {
+        if (!parseNest(Prog))
+          return false;
+      } else {
+        return fail(T, std::string("expected 'array' or 'nest', got ") +
+                           tokKindName(T.Kind));
+      }
+    }
+    const Token &Close = peek();
+    if (Prog.Nests.empty())
+      return fail(Close, "program must declare at least one nest");
+    next(); // '}'
+    const Token &Trail = peek();
+    if (Trail.Kind != TokKind::Eof)
+      return fail(Trail, std::string("expected end of input after program, "
+                                     "got ") +
+                             tokKindName(Trail.Kind));
+    return true;
+  }
+
+  /// array := "array" IDENT ("[" INT "]")+ ("elem" INT)? ";"
+  bool parseArray(Program &Prog) {
+    next(); // 'array'
+    const Token &Name = peek();
+    if (Name.Kind != TokKind::Ident)
+      return fail(Name, std::string("expected array name, got ") +
+                            tokKindName(Name.Kind));
+    for (const ArrayDecl &A : Prog.Arrays)
+      if (A.Name == Name.Text)
+        return fail(Name, "redeclaration of array '" + Name.Text + "'");
+    next();
+
+    std::vector<std::int64_t> Dims;
+    while (peek().Kind == TokKind::LBracket) {
+      next();
+      const Token &Extent = peek();
+      if (Extent.Kind != TokKind::Integer)
+        return fail(Extent, std::string("expected array extent, got ") +
+                                tokKindName(Extent.Kind));
+      if (Extent.IntValue <= 0)
+        return fail(Extent, "array extents must be positive");
+      Dims.push_back(Extent.IntValue);
+      next();
+      if (!expect(TokKind::RBracket, "after array extent"))
+        return false;
+    }
+    if (Dims.empty())
+      return fail(peek(), std::string("expected '[' after array name, got ") +
+                              tokKindName(peek().Kind));
+
+    std::int64_t ElementSize = 8;
+    if (peek().Kind == TokKind::KwElem) {
+      next();
+      const Token &Elem = peek();
+      if (Elem.Kind != TokKind::Integer)
+        return fail(Elem, std::string("expected element size in bytes, "
+                                      "got ") +
+                              tokKindName(Elem.Kind));
+      if (Elem.IntValue <= 0 || Elem.IntValue > (1 << 20))
+        return fail(Elem, "element size must be in [1, 1MiB]");
+      ElementSize = Elem.IntValue;
+      next();
+    }
+    // The declared array must have a representable byte size.
+    std::int64_t Bytes = ElementSize;
+    for (std::int64_t D : Dims)
+      if (__builtin_mul_overflow(Bytes, D, &Bytes))
+        return fail(Name, "array '" + Name.Text +
+                              "' overflows a 64-bit byte size");
+    if (!expect(TokKind::Semi, "after array declaration"))
+      return false;
+    Prog.addArray(ArrayDecl(Name.Text, std::move(Dims),
+                            static_cast<unsigned>(ElementSize)));
+    return true;
+  }
+
+  /// term := INT ("*" IDENT)? | IDENT ("*" INT)?
+  /// Adds the (possibly negated) term into \p E.
+  bool parseTerm(ParsedExpr &E, const VarScope &Scope, bool Negate) {
+    std::int64_t Sign = Negate ? -1 : 1;
+    const Token &T = peek();
+    if (T.Kind == TokKind::Integer) {
+      next();
+      std::int64_t Value = T.IntValue;
+      if (peek().Kind == TokKind::Star) {
+        next();
+        const Token &Var = peek();
+        if (Var.Kind == TokKind::Integer)
+          return fail(Var, "expected induction variable after '*' "
+                           "(constant folding is not part of the affine "
+                           "grammar)");
+        if (Var.Kind != TokKind::Ident)
+          return fail(Var, std::string("expected induction variable after "
+                                       "'*', got ") +
+                               tokKindName(Var.Kind));
+        unsigned Index;
+        if (!resolveVar(Var, Scope, Index))
+          return false;
+        next();
+        return addCoeff(E, Index, Sign * Value, Var);
+      }
+      if (__builtin_add_overflow(E.Const, Sign * Value, &E.Const))
+        return fail(T, "affine constant term overflows 64 bits");
+      return true;
+    }
+    if (T.Kind == TokKind::Ident) {
+      unsigned Index;
+      if (!resolveVar(T, Scope, Index))
+        return false;
+      next();
+      std::int64_t Coeff = 1;
+      if (peek().Kind == TokKind::Star) {
+        next();
+        const Token &C = peek();
+        if (C.Kind == TokKind::Ident)
+          return fail(C, "non-affine expression: product of two induction "
+                         "variables");
+        if (C.Kind != TokKind::Integer)
+          return fail(C, std::string("expected integer coefficient after "
+                                     "'*', got ") +
+                             tokKindName(C.Kind));
+        Coeff = C.IntValue;
+        next();
+      }
+      return addCoeff(E, Index, Sign * Coeff, T);
+    }
+    return fail(T, std::string("expected integer or induction variable, "
+                               "got ") +
+                       tokKindName(T.Kind));
+  }
+
+  bool addCoeff(ParsedExpr &E, unsigned Index, std::int64_t Coeff,
+                const Token &At) {
+    std::int64_t &Slot = E.Coeffs[Index];
+    if (__builtin_add_overflow(Slot, Coeff, &Slot))
+      return fail(At, "affine coefficient overflows 64 bits");
+    return true;
+  }
+
+  bool resolveVar(const Token &Name, const VarScope &Scope, unsigned &Index) {
+    for (unsigned V = 0; V != Scope.Limit; ++V)
+      if ((*Scope.Names)[V] == Name.Text) {
+        Index = V;
+        return true;
+      }
+    // A variable that exists but is not yet in scope gets the precise
+    // "outer variables only" message; anything else is simply unknown.
+    for (unsigned V = Scope.Limit,
+                  N = static_cast<unsigned>(Scope.Names->size());
+         V != N; ++V)
+      if ((*Scope.Names)[V] == Name.Text)
+        return fail(Name, "induction variable '" + Name.Text +
+                              "' is not usable in this " + Scope.What +
+                              " (loop bounds may only reference outer "
+                              "variables)");
+    return fail(Name, "unknown induction variable '" + Name.Text + "' in " +
+                          Scope.What);
+  }
+
+  /// expr := ("+"|"-")? term (("+"|"-") term)*
+  bool parseExpr(ParsedExpr &E, const VarScope &Scope) {
+    bool Negate = false;
+    if (peek().Kind == TokKind::Plus) {
+      next();
+    } else if (peek().Kind == TokKind::Minus) {
+      Negate = true;
+      next();
+    }
+    if (!parseTerm(E, Scope, Negate))
+      return false;
+    for (;;) {
+      if (peek().Kind == TokKind::Plus)
+        Negate = false;
+      else if (peek().Kind == TokKind::Minus)
+        Negate = true;
+      else
+        return true;
+      next();
+      if (!parseTerm(E, Scope, Negate))
+        return false;
+    }
+  }
+
+  AffineExpr materialize(const ParsedExpr &E, unsigned Depth) const {
+    AffineExpr Out(Depth);
+    Out.setConstantTerm(E.Const);
+    for (const auto &[Var, Coeff] : E.Coeffs)
+      Out.setCoeff(Var, Coeff);
+    return Out;
+  }
+
+  /// nest := "nest" STRING "(" loop ("," loop)* ")" "{" stmt+ "}"
+  bool parseNest(Program &Prog) {
+    next(); // 'nest'
+    const Token &Name = peek();
+    if (Name.Kind != TokKind::String)
+      return fail(Name, std::string("expected nest name string, got ") +
+                            tokKindName(Name.Kind));
+    next();
+    if (!expect(TokKind::LParen, "before the loop list"))
+      return false;
+
+    std::vector<std::string> IvNames;
+    std::vector<ParsedExpr> Lowers, Uppers;
+    for (;;) {
+      const Token &Iv = peek();
+      if (Iv.Kind != TokKind::Ident)
+        return fail(Iv, std::string("expected induction variable name, "
+                                    "got ") +
+                            tokKindName(Iv.Kind));
+      for (const std::string &Prev : IvNames)
+        if (Prev == Iv.Text)
+          return fail(Iv, "redeclaration of induction variable '" + Iv.Text +
+                              "'");
+      IvNames.push_back(Iv.Text);
+      next();
+      if (!expect(TokKind::Equal, "after the induction variable"))
+        return false;
+      VarScope BoundScope{&IvNames,
+                          static_cast<unsigned>(IvNames.size() - 1),
+                          "loop bound"};
+      ParsedExpr Lower, Upper;
+      if (!parseExpr(Lower, BoundScope))
+        return false;
+      if (!expect(TokKind::DotDot, "between the loop bounds"))
+        return false;
+      if (!parseExpr(Upper, BoundScope))
+        return false;
+      Lowers.push_back(std::move(Lower));
+      Uppers.push_back(std::move(Upper));
+      if (peek().Kind == TokKind::Comma) {
+        next();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokKind::RParen, "after the loop list"))
+      return false;
+    if (!expect(TokKind::LBrace, "before the nest body"))
+      return false;
+
+    const unsigned Depth = static_cast<unsigned>(IvNames.size());
+    LoopNest Nest(Name.Text, Depth);
+    for (unsigned D = 0; D != Depth; ++D)
+      Nest.addDim(LoopDim(materialize(Lowers[D], Depth),
+                          materialize(Uppers[D], Depth)));
+
+    bool SawCycles = false;
+    const Token *Expect = nullptr; // the 'parallel'/'dependences' token
+    bool ExpectParallel = false;
+    VarScope BodyScope{&IvNames, Depth, "subscript"};
+    for (;;) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::RBrace)
+        break;
+      if (T.Kind == TokKind::KwRead || T.Kind == TokKind::KwWrite) {
+        if (!parseAccess(Prog, Nest, BodyScope, Depth))
+          return false;
+      } else if (T.Kind == TokKind::KwCycles) {
+        if (SawCycles)
+          return fail(T, "duplicate 'cycles' statement in nest");
+        SawCycles = true;
+        next();
+        const Token &C = peek();
+        if (C.Kind != TokKind::Integer)
+          return fail(C, std::string("expected cycle count, got ") +
+                             tokKindName(C.Kind));
+        if (C.IntValue <= 0 || C.IntValue > INT32_MAX)
+          return fail(C, "cycle count must be in [1, 2^31)");
+        Nest.setComputeCyclesPerIteration(
+            static_cast<unsigned>(C.IntValue));
+        next();
+        if (!expect(TokKind::Semi, "after the cycle count"))
+          return false;
+      } else if (T.Kind == TokKind::KwExpect) {
+        if (Expect)
+          return fail(T, "duplicate 'expect' annotation in nest");
+        next();
+        const Token &Which = peek();
+        if (Which.Kind != TokKind::KwParallel &&
+            Which.Kind != TokKind::KwDependences)
+          return fail(Which, std::string("expected 'parallel' or "
+                                         "'dependences', got ") +
+                                 tokKindName(Which.Kind));
+        Expect = &Which;
+        ExpectParallel = Which.Kind == TokKind::KwParallel;
+        next();
+        if (!expect(TokKind::Semi, "after the expect annotation"))
+          return false;
+      } else {
+        return fail(T, std::string("expected 'read', 'write', 'cycles', "
+                                   "'expect' or '}', got ") +
+                           tokKindName(T.Kind));
+      }
+    }
+    if (Nest.accesses().empty())
+      return fail(peek(), "nest has no array accesses");
+    next(); // '}'
+
+    std::string IrError;
+    if (!Nest.validate(&IrError))
+      return fail(Name, "nest fails IR validation: " + IrError);
+
+    if (Expect) {
+      DependenceInfo Deps = analyzeDependences(Nest);
+      if (ExpectParallel && !Deps.empty())
+        return fail(*Expect,
+                    "nest is annotated 'expect parallel' but carries " +
+                        std::to_string(Deps.Dependences.size()) +
+                        " loop-carried dependence(s)");
+      if (!ExpectParallel && Deps.empty())
+        return fail(*Expect, "nest is annotated 'expect dependences' but "
+                             "is fully parallel");
+    }
+    Prog.Nests.push_back(std::move(Nest));
+    return true;
+  }
+
+  /// access := ("read" | "write") "wrap"? IDENT ("[" expr "]")+ ";"
+  bool parseAccess(Program &Prog, LoopNest &Nest, const VarScope &Scope,
+                   unsigned Depth) {
+    bool IsWrite = peek().Kind == TokKind::KwWrite;
+    next();
+    bool Wrap = false;
+    if (peek().Kind == TokKind::KwWrap) {
+      Wrap = true;
+      next();
+    }
+    const Token &Name = peek();
+    if (Name.Kind != TokKind::Ident)
+      return fail(Name, std::string("expected array name, got ") +
+                            tokKindName(Name.Kind));
+    unsigned ArrayId = 0;
+    bool Found = false;
+    for (unsigned A = 0; A != Prog.Arrays.size(); ++A)
+      if (Prog.Arrays[A].Name == Name.Text) {
+        ArrayId = A;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return fail(Name, "unknown array '" + Name.Text + "'");
+    next();
+
+    std::vector<AffineExpr> Subscripts;
+    while (peek().Kind == TokKind::LBracket) {
+      next();
+      ParsedExpr E;
+      if (!parseExpr(E, Scope))
+        return false;
+      if (!expect(TokKind::RBracket, "after the subscript"))
+        return false;
+      Subscripts.push_back(materialize(E, Depth));
+    }
+    if (Subscripts.empty())
+      return fail(peek(), std::string("expected '[' after array name, "
+                                      "got ") +
+                              tokKindName(peek().Kind));
+    if (Subscripts.size() != Prog.Arrays[ArrayId].rank())
+      return fail(Name, "array '" + Name.Text + "' has rank " +
+                            std::to_string(Prog.Arrays[ArrayId].rank()) +
+                            " but is subscripted with " +
+                            std::to_string(Subscripts.size()) +
+                            " expression(s)");
+    if (!expect(TokKind::Semi, "after the access"))
+      return false;
+    Nest.addAccess(
+        ArrayAccess(ArrayId, std::move(Subscripts), IsWrite, Wrap));
+    return true;
+  }
+};
+
+} // namespace
+
+ParseOutcome cta::frontend::parseProgramText(const std::string &Source,
+                                             const std::string &FileLabel) {
+  return Parser(Source, FileLabel).run();
+}
+
+ParseOutcome cta::frontend::parseProgramFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    ParseOutcome Outcome;
+    Outcome.Diagnostic = Path + ":1:1: error: cannot read file";
+    return Outcome;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parseProgramText(Buf.str(), Path);
+}

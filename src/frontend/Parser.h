@@ -1,0 +1,79 @@
+//===- frontend/Parser.h - Workload DSL parser -----------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser and semantic validator for the textual
+/// workload DSL, lowering to the poly::Program IR the mapping pipeline
+/// consumes. The language describes exactly what the IR can represent —
+/// named arrays with element sizes, perfect loop nests with affine bounds,
+/// and affine array accesses — so any affine program can be mapped without
+/// recompiling the repo (machines already get the same treatment through
+/// topo/Parse).
+///
+/// Grammar (comments run from '#' to end of line):
+///
+///   program    := "program" STRING "{" item* "}"
+///   item       := array | nest
+///   array      := "array" IDENT ("[" INT "]")+ ("elem" INT)? ";"
+///   nest       := "nest" STRING "(" loop ("," loop)* ")" "{" stmt+ "}"
+///   loop       := IDENT "=" expr ".." expr              // inclusive bounds
+///   stmt       := access | cycles | expect
+///   access     := ("read" | "write") "wrap"? IDENT ("[" expr "]")+ ";"
+///   cycles     := "cycles" INT ";"                      // per-iteration cost
+///   expect     := "expect" ("parallel" | "dependences") ";"
+///   expr       := ("+"|"-")? term (("+"|"-") term)*     // affine form
+///   term       := INT ("*" IDENT)? | IDENT ("*" INT)?
+///
+/// Semantic rules enforced with file:line:col caret diagnostics:
+///
+///   * loop bounds may reference outer induction variables only;
+///   * subscripts are affine over the nest's induction variables —
+///     products of two variables are rejected ("affine-only");
+///   * accessed arrays must be declared, with matching subscript arity;
+///   * array dimensions, element sizes and cycle costs are positive;
+///   * names are not redeclared (arrays per program, variables per nest);
+///   * integer literals and affine coefficients must fit in 64 bits;
+///   * an "expect parallel" / "expect dependences" annotation is checked
+///     against the poly/Dependence analysis of the lowered nest, so a
+///     workload file documents — verifiably — whether it is loop-carried.
+///
+/// The "wrap" modifier marks an access whose subscripts are reduced modulo
+/// the array extents (ArrayAccess::WrapSubscripts), the project's
+/// affine-friendly stand-in for hashed/irregular indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_FRONTEND_PARSER_H
+#define CTA_FRONTEND_PARSER_H
+
+#include "poly/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace cta::frontend {
+
+/// Result of parsing one workload file: either a lowered Program or a
+/// rendered file:line:col diagnostic with a caret-underlined snippet.
+struct ParseOutcome {
+  std::optional<Program> Prog;
+  std::string Diagnostic; ///< non-empty exactly when Prog is empty
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses and validates \p Source; \p FileLabel names the input in
+/// diagnostics (a path, or "<dsl>" for in-memory strings).
+ParseOutcome parseProgramText(const std::string &Source,
+                              const std::string &FileLabel = "<dsl>");
+
+/// Reads \p Path and parses it. Unreadable files produce a diagnostic of
+/// the same shape ("<path>:1:1: error: cannot read file ...").
+ParseOutcome parseProgramFile(const std::string &Path);
+
+} // namespace cta::frontend
+
+#endif // CTA_FRONTEND_PARSER_H

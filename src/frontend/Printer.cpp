@@ -1,0 +1,78 @@
+//===- frontend/Printer.cpp - Program -> DSL rendering --------------------===//
+
+#include "frontend/Printer.h"
+
+using namespace cta;
+
+namespace {
+
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Canonical induction-variable names i0, i1, ..., kept clear of the
+/// program's array names so the rendered text resolves unambiguously.
+std::vector<std::string> ivNames(const Program &Prog, unsigned Depth) {
+  std::vector<std::string> Names;
+  for (unsigned V = 0; V != Depth; ++V) {
+    std::string Name = "i" + std::to_string(V);
+    auto taken = [&](const std::string &N) {
+      for (const ArrayDecl &A : Prog.Arrays)
+        if (A.Name == N)
+          return true;
+      return false;
+    };
+    while (taken(Name))
+      Name += "_";
+    Names.push_back(std::move(Name));
+  }
+  return Names;
+}
+
+} // namespace
+
+std::string cta::frontend::printProgram(const Program &Prog) {
+  std::string Out = "program " + quoted(Prog.Name) + " {\n";
+  for (const ArrayDecl &A : Prog.Arrays) {
+    Out += "  array " + A.Name;
+    for (std::int64_t D : A.Dims)
+      Out += "[" + std::to_string(D) + "]";
+    if (A.ElementSize != 8)
+      Out += " elem " + std::to_string(A.ElementSize);
+    Out += ";\n";
+  }
+  for (const LoopNest &Nest : Prog.Nests) {
+    std::vector<std::string> Names = ivNames(Prog, Nest.depth());
+    Out += "\n  nest " + quoted(Nest.name()) + " (";
+    for (unsigned D = 0, E = static_cast<unsigned>(Nest.dims().size());
+         D != E; ++D) {
+      if (D)
+        Out += ", ";
+      Out += Names[D] + " = " + Nest.dim(D).Lower.str(&Names) + " .. " +
+             Nest.dim(D).Upper.str(&Names);
+    }
+    Out += ") {\n";
+    if (Nest.computeCyclesPerIteration() != 1)
+      Out += "    cycles " +
+             std::to_string(Nest.computeCyclesPerIteration()) + ";\n";
+    for (const ArrayAccess &Acc : Nest.accesses()) {
+      Out += std::string("    ") + (Acc.IsWrite ? "write " : "read ");
+      if (Acc.WrapSubscripts)
+        Out += "wrap ";
+      Out += Prog.Arrays[Acc.ArrayId].Name;
+      for (const AffineExpr &S : Acc.Subscripts)
+        Out += "[" + S.str(&Names) + "]";
+      Out += ";\n";
+    }
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

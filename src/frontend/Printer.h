@@ -1,0 +1,31 @@
+//===- frontend/Printer.h - Program -> DSL rendering -----------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a poly::Program back into the workload DSL. printProgram is the
+/// inverse of frontend/Parser: parsing its output yields a Program whose
+/// content (names, arrays, bounds, accesses, costs — everything
+/// exec/Fingerprint hashes) is identical to the input, for any Program,
+/// whether it came from a .cta file or a compiled-in generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_FRONTEND_PRINTER_H
+#define CTA_FRONTEND_PRINTER_H
+
+#include "poly/Program.h"
+
+#include <string>
+
+namespace cta::frontend {
+
+/// Renders \p Prog as DSL text (canonical induction-variable names i0,
+/// i1, ... adjusted to avoid colliding with array names).
+std::string printProgram(const Program &Prog);
+
+} // namespace cta::frontend
+
+#endif // CTA_FRONTEND_PRINTER_H

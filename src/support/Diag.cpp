@@ -1,0 +1,52 @@
+//===- support/Diag.cpp - Source-location diagnostics ---------------------===//
+
+#include "support/Diag.h"
+
+using namespace cta;
+
+SourceLoc cta::locForOffset(const std::string &Source, std::size_t Offset) {
+  if (Offset > Source.size())
+    Offset = Source.size();
+  SourceLoc Loc;
+  for (std::size_t I = 0; I != Offset; ++I) {
+    if (Source[I] == '\n') {
+      ++Loc.Line;
+      Loc.Col = 1;
+    } else {
+      ++Loc.Col;
+    }
+  }
+  return Loc;
+}
+
+std::string cta::sourceLine(const std::string &Source, unsigned Line) {
+  std::size_t Start = 0;
+  for (unsigned L = 1; L < Line; ++L) {
+    std::size_t NL = Source.find('\n', Start);
+    if (NL == std::string::npos)
+      return "";
+    Start = NL + 1;
+  }
+  std::size_t End = Source.find('\n', Start);
+  if (End == std::string::npos)
+    End = Source.size();
+  return Source.substr(Start, End - Start);
+}
+
+std::string cta::renderDiag(const std::string &File, SourceLoc Loc,
+                            const std::string &Message,
+                            const std::string &Source, unsigned CaretLen) {
+  std::string Out = File + ":" + std::to_string(Loc.Line) + ":" +
+                    std::to_string(Loc.Col) + ": error: " + Message;
+  std::string Line = sourceLine(Source, Loc.Line);
+  if (Line.empty() || Loc.Col > Line.size() + 1)
+    return Out;
+  Out += "\n  " + Line + "\n  ";
+  Out += std::string(Loc.Col - 1, ' ');
+  Out += '^';
+  // Never extend the underline past the quoted line.
+  std::size_t Avail = Line.size() + 1 - Loc.Col;
+  for (unsigned I = 1; I < CaretLen && I < Avail; ++I)
+    Out += '~';
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- support/Diag.h - Source-location diagnostics ------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for diagnostics that point into textual inputs: the
+/// workload DSL (frontend/) and the machine-description format
+/// (topo/Parse). A diagnostic carries a file label plus 1-based line:col
+/// coordinates and renders in the familiar compiler shape —
+///
+///   examples/stencil9.cta:7:10: error: unknown array 'Q'
+///       read Q[i, j];
+///            ^
+///
+/// with the offending source line quoted and a caret (optionally extended
+/// with '~' to the token's width) underneath it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SUPPORT_DIAG_H
+#define CTA_SUPPORT_DIAG_H
+
+#include <cstddef>
+#include <string>
+
+namespace cta {
+
+/// A position in a textual input. 1-based, like every compiler since cc.
+struct SourceLoc {
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+};
+
+/// Line/col of byte \p Offset in \p Source (clamped to the end of text).
+/// Tabs count as one column; lines split on '\n'.
+SourceLoc locForOffset(const std::string &Source, std::size_t Offset);
+
+/// The text of 1-based \p Line in \p Source, without its newline. Empty for
+/// out-of-range lines.
+std::string sourceLine(const std::string &Source, unsigned Line);
+
+/// Renders "<File>:<line>:<col>: error: <Message>" followed by the quoted
+/// source line and a caret underline of \p CaretLen characters ('^' then
+/// '~'s), indented to the diagnosed column. When the line is empty or the
+/// column lies beyond it the snippet is omitted and only the one-line
+/// message is returned.
+std::string renderDiag(const std::string &File, SourceLoc Loc,
+                       const std::string &Message, const std::string &Source,
+                       unsigned CaretLen = 1);
+
+} // namespace cta
+
+#endif // CTA_SUPPORT_DIAG_H

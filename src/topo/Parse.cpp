@@ -2,6 +2,8 @@
 
 #include "topo/Parse.h"
 
+#include "support/Diag.h"
+
 #include <cctype>
 #include <vector>
 
@@ -9,23 +11,34 @@ using namespace cta;
 
 namespace {
 
+/// One token with its source position, so parse errors point at
+/// file:line:col with a caret (support/Diag) instead of a token ordinal.
+struct TopoToken {
+  std::string Text;
+  std::size_t Offset = 0;
+};
+
 /// Tokenizer: splits on whitespace, keeps "{" and "}" as their own tokens.
-std::vector<std::string> tokenize(const std::string &Text) {
-  std::vector<std::string> Tokens;
+std::vector<TopoToken> tokenize(const std::string &Text) {
+  std::vector<TopoToken> Tokens;
   std::string Current;
+  std::size_t Start = 0;
   auto flush = [&] {
     if (!Current.empty()) {
-      Tokens.push_back(Current);
+      Tokens.push_back({Current, Start});
       Current.clear();
     }
   };
-  for (char C : Text) {
+  for (std::size_t I = 0, N = Text.size(); I != N; ++I) {
+    char C = Text[I];
     if (std::isspace(static_cast<unsigned char>(C))) {
       flush();
     } else if (C == '{' || C == '}') {
       flush();
-      Tokens.push_back(std::string(1, C));
+      Tokens.push_back({std::string(1, C), I});
     } else {
+      if (Current.empty())
+        Start = I;
       Current += C;
     }
   }
@@ -76,38 +89,50 @@ bool parseSize(const std::string &S, std::uint64_t &Out) {
 }
 
 class Parser {
-  const std::vector<std::string> Tokens;
+  const std::string &Source;
+  const std::string &Name;
+  const std::vector<TopoToken> Tokens;
   std::size_t Pos = 0;
   std::string Error;
 
 public:
-  explicit Parser(const std::string &Text) : Tokens(tokenize(Text)) {}
+  Parser(const std::string &Name, const std::string &Source)
+      : Source(Source), Name(Name), Tokens(tokenize(Source)) {}
 
   const std::string &error() const { return Error; }
 
+  /// Renders \p Msg at the current token (or end of input) with a caret.
   bool fail(const std::string &Msg) {
-    if (Error.empty())
-      Error = Msg + " (token " + std::to_string(Pos) + ")";
+    if (!Error.empty())
+      return false;
+    std::size_t Offset = Source.size();
+    unsigned Length = 1;
+    if (Pos < Tokens.size()) {
+      Offset = Tokens[Pos].Offset;
+      Length = static_cast<unsigned>(Tokens[Pos].Text.size());
+    } else if (!Tokens.empty()) {
+      Offset = Tokens.back().Offset + Tokens.back().Text.size();
+    }
+    Error = renderDiag(Name, locForOffset(Source, Offset), Msg, Source,
+                       Length);
     return false;
   }
 
   bool atEnd() const { return Pos == Tokens.size(); }
   const std::string *peek() const {
-    return Pos < Tokens.size() ? &Tokens[Pos] : nullptr;
-  }
-  const std::string *next() {
-    return Pos < Tokens.size() ? &Tokens[Pos++] : nullptr;
+    return Pos < Tokens.size() ? &Tokens[Pos].Text : nullptr;
   }
 
   /// machine := "mem" ":" latency node+
-  bool parseMachine(CacheTopology *&Out, const std::string &Name) {
-    const std::string *Tok = next();
+  bool parseMachine(CacheTopology *&Out) {
+    const std::string *Tok = peek();
     if (!Tok)
-      return fail("empty description");
+      return fail("empty machine description (expected mem:<latency>)");
     std::vector<std::string> F = splitFields(*Tok);
     std::uint64_t Latency = 0;
     if (F.size() != 2 || F[0] != "mem" || !parseSize(F[1], Latency))
       return fail("expected mem:<latency>");
+    ++Pos;
     Out = new CacheTopology(Name, static_cast<unsigned>(Latency));
     bool AnyChild = false;
     while (!atEnd()) {
@@ -131,10 +156,11 @@ private:
   ///     k > 1, or standing alone when k == 1, and
   ///   * "core" as shorthand for "l1:32K:8:4".
   bool parseNode(CacheTopology &Topo, unsigned Parent) {
-    const std::string *Tok = next();
+    const std::string *Tok = peek();
     if (!Tok)
       return fail("unexpected end of input");
     if (*Tok == "core") {
+      ++Pos;
       Topo.addCache(Parent, 1, {32 * 1024, 8, 64, 4});
       return true;
     }
@@ -152,6 +178,7 @@ private:
       return fail("bad cache fields in '" + *Tok + "'");
     if (F.size() == 5 && !parseSize(F[4], Line))
       return fail("bad line size in '" + *Tok + "'");
+    ++Pos;
 
     unsigned Id = Topo.addCache(Parent, static_cast<unsigned>(Level),
                                 {Size, static_cast<unsigned>(Assoc),
@@ -160,16 +187,17 @@ private:
     if (Level == 1)
       return true; // leaf; core attaches at finalize
 
-    const std::string *Open = next();
+    const std::string *Open = peek();
     if (!Open || *Open != "{")
       return fail("cache level > 1 needs '{ children }'");
+    ++Pos;
     bool AnyChild = false;
     for (;;) {
       const std::string *P = peek();
       if (!P)
         return fail("missing '}'");
       if (*P == "}") {
-        ++*this;
+        ++Pos;
         break;
       }
       if (!parseNode(Topo, Id))
@@ -180,11 +208,6 @@ private:
       return fail("cache needs at least one child");
     return true;
   }
-
-  Parser &operator++() {
-    ++Pos;
-    return *this;
-  }
 };
 
 } // namespace
@@ -192,9 +215,9 @@ private:
 std::optional<CacheTopology> cta::parseTopology(const std::string &Name,
                                                 const std::string &Text,
                                                 std::string *ErrorMsg) {
-  Parser P(Text);
+  Parser P(Name, Text);
   CacheTopology *Raw = nullptr;
-  if (!P.parseMachine(Raw, Name)) {
+  if (!P.parseMachine(Raw)) {
     if (ErrorMsg)
       *ErrorMsg = P.error();
     delete Raw;

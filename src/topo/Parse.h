@@ -41,7 +41,8 @@ namespace cta {
 
 /// Parses \p Text into a finalized topology named \p Name. On a syntax
 /// error returns std::nullopt and, when \p ErrorMsg is non-null, a
-/// description of what went wrong (with a token position).
+/// rendered diagnostic ("<name>:<line>:<col>: error: ..." with a caret
+/// snippet, see support/Diag.h) pointing at the offending token.
 std::optional<CacheTopology> parseTopology(const std::string &Name,
                                            const std::string &Text,
                                            std::string *ErrorMsg = nullptr);

@@ -1,0 +1,98 @@
+//===- tests/dsl_suite_test.cpp - DSL suite vs generator equivalence ------===//
+//
+// Proves the checked-in workloads/dsl/*.cta files are bit-identical to the
+// compiled-in generators: first under exec/Fingerprint's hashProgram (which
+// covers every field a run depends on), then end-to-end — identical mapping
+// pipeline + simulation results on two machine presets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExperimentRunner.h"
+#include "exec/Fingerprint.h"
+#include "frontend/Parser.h"
+#include "support/Hashing.h"
+#include "topo/Presets.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cta;
+
+namespace {
+
+constexpr double MachineScale = 1.0 / 32; // the bench regime
+
+Program parseSuiteFile(const std::string &Name) {
+  std::string Path =
+      std::string(CTA_SOURCE_DIR) + "/workloads/dsl/" + Name + ".cta";
+  frontend::ParseOutcome Out = frontend::parseProgramFile(Path);
+  EXPECT_TRUE(Out.ok()) << Out.Diagnostic;
+  return Out.ok() ? std::move(*Out.Prog) : Program{};
+}
+
+std::uint64_t programHash(const Program &P) {
+  HashBuilder H;
+  hashProgram(H, P);
+  return H.hash();
+}
+
+void expectSameResult(const RunResult &A, const RunResult &B,
+                      const std::string &What) {
+  EXPECT_EQ(A.Cycles, B.Cycles) << What;
+  EXPECT_EQ(A.BlockSizeBytes, B.BlockSizeBytes) << What;
+  EXPECT_EQ(A.NumRounds, B.NumRounds) << What;
+  EXPECT_EQ(A.Imbalance, B.Imbalance) << What;
+  EXPECT_EQ(A.Stats.TotalAccesses, B.Stats.TotalAccesses) << What;
+  EXPECT_EQ(A.Stats.MemoryAccesses, B.Stats.MemoryAccesses) << What;
+  for (unsigned L = 0; L <= SimStats::MaxLevels; ++L) {
+    EXPECT_EQ(A.Stats.Levels[L].Lookups, B.Stats.Levels[L].Lookups)
+        << What << " level " << L;
+    EXPECT_EQ(A.Stats.Levels[L].Hits, B.Stats.Levels[L].Hits)
+        << What << " level " << L;
+  }
+  ASSERT_EQ(A.PerCache.size(), B.PerCache.size()) << What;
+  for (std::size_t I = 0; I != A.PerCache.size(); ++I) {
+    EXPECT_EQ(A.PerCache[I].NodeId, B.PerCache[I].NodeId) << What;
+    EXPECT_EQ(A.PerCache[I].Lookups, B.PerCache[I].Lookups) << What;
+    EXPECT_EQ(A.PerCache[I].Hits, B.PerCache[I].Hits) << What;
+    EXPECT_EQ(A.PerCache[I].Evictions, B.PerCache[I].Evictions) << What;
+  }
+  EXPECT_EQ(A.Sharing.TotalSharing, B.Sharing.TotalSharing) << What;
+}
+
+} // namespace
+
+TEST(DslSuite, EveryWorkloadHashesIdenticallyToItsGenerator) {
+  for (const std::string &Name : workloadNames()) {
+    Program FromDsl = parseSuiteFile(Name);
+    Program FromGen = makeWorkload(Name);
+    EXPECT_EQ(programHash(FromDsl), programHash(FromGen)) << Name;
+  }
+}
+
+TEST(DslSuite, IdenticalPipelineAndSimResultsOnTwoPresets) {
+  const std::vector<std::string> Presets = {"dunnington", "nehalem"};
+  MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
+
+  // Interleave (dsl, generator) pairs so Results[2k] / Results[2k+1] are
+  // the same experiment from the two sources.
+  std::vector<RunTask> Tasks;
+  std::vector<std::string> Labels;
+  for (const std::string &Preset : Presets) {
+    CacheTopology Machine = makePresetByName(Preset).scaledCapacity(
+        MachineScale);
+    for (const std::string &Name : workloadNames()) {
+      Tasks.push_back(makeRunTask(parseSuiteFile(Name), Machine,
+                                  Strategy::TopologyAware, Opts));
+      Tasks.push_back(makeRunTask(makeWorkload(Name), Machine,
+                                  Strategy::TopologyAware, Opts));
+      Labels.push_back(Name + "@" + Preset);
+    }
+  }
+
+  ExperimentRunner Runner;
+  std::vector<RunResult> Results = Runner.run(Tasks);
+  ASSERT_EQ(Results.size(), 2 * Labels.size());
+  for (std::size_t I = 0; I != Labels.size(); ++I)
+    expectSameResult(Results[2 * I], Results[2 * I + 1], Labels[I]);
+}

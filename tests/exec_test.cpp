@@ -121,7 +121,8 @@ TEST(FingerprintTest, StableAndSensitive) {
 
 /// Reconstructs the fingerprint an older cache format version would have
 /// produced for the same inputs (same feed order as runFingerprint, salt
-/// forced to \p Version).
+/// forced to \p Version). The trailing source content hash only exists
+/// from version 4 on.
 static std::uint64_t
 fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
                        const CacheTopology &Machine, Strategy Strat,
@@ -134,27 +135,51 @@ fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
   H.add(false); // no distinct runs-on machine
   H.add(static_cast<std::uint64_t>(Strat));
   hashOptions(H, Opts);
+  if (Version >= 4)
+    H.add(std::uint64_t{0}); // no DSL source
   return H.hash();
 }
 
 TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
-  // The obs/ instrumentation layer bumped RunCacheFormatVersion from 2 to
-  // 3 (RunResult now serializes per-cache stats, sharing, counters and
-  // phases), so entries produced by older engines can never be served.
-  // Keys minted under any old salt must not collide with current keys.
+  // The frontend/ DSL bumped RunCacheFormatVersion from 3 to 4 (keys gain
+  // a trailing source content hash), so entries produced by older engines
+  // can never be served. Keys minted under any old salt must not collide
+  // with current keys.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
 
-  ASSERT_EQ(RunCacheFormatVersion, 3u);
+  ASSERT_EQ(RunCacheFormatVersion, 4u);
   std::uint64_t Current =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
-  EXPECT_EQ(Current, fingerprintWithVersion(3, Prog, Topo,
+  EXPECT_EQ(Current, fingerprintWithVersion(4, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+  EXPECT_NE(Current, fingerprintWithVersion(3, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(2, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(1, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
+}
+
+TEST(FingerprintTest, SourceContentHashExtendsKey) {
+  // Two identical Programs with different source hashes (the same .cta
+  // file before and after a comment edit, say) key to different entries;
+  // source hash 0 is the compiled-in-generator default.
+  Program Prog = makeWorkload("cg");
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+
+  std::uint64_t Default =
+      runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
+  EXPECT_EQ(Default, runFingerprint(Prog, Topo, nullptr,
+                                    Strategy::TopologyAware, Opts, 0));
+  EXPECT_NE(Default, runFingerprint(Prog, Topo, nullptr,
+                                    Strategy::TopologyAware, Opts, 0x1234));
+  EXPECT_NE(runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware,
+                           Opts, 0x1234),
+            runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware,
+                           Opts, 0x1235));
 }
 
 //===----------------------------------------------------------------------===//
@@ -308,14 +333,14 @@ TEST_F(RunCacheDiskTest, CorruptEntryIsAMiss) {
 }
 
 TEST_F(RunCacheDiskTest, OldFormatVersionEntryMissesCleanly) {
-  // An entry stored under a version-2 fingerprint must be invisible to a
-  // runner keying with the current (version-3) fingerprint: a clean miss,
+  // An entry stored under a version-3 fingerprint must be invisible to a
+  // runner keying with the current (version-4) fingerprint: a clean miss,
   // not a hit and not an error.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
   std::uint64_t OldKey =
-      fingerprintWithVersion(2, Prog, Topo, Strategy::TopologyAware, Opts);
+      fingerprintWithVersion(3, Prog, Topo, Strategy::TopologyAware, Opts);
   std::uint64_t NewKey =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
 

@@ -1,0 +1,221 @@
+//===- tests/frontend_test.cpp - Workload DSL frontend tests --------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Printer.h"
+
+#include "exec/Fingerprint.h"
+#include "support/Hashing.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace cta;
+using namespace cta::frontend;
+
+namespace {
+
+std::uint64_t programHash(const Program &P) {
+  HashBuilder H;
+  hashProgram(H, P);
+  return H.hash();
+}
+
+std::string slurp(const std::filesystem::path &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::filesystem::path sourceDir() { return CTA_SOURCE_DIR; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokensAndComments) {
+  std::vector<Token> Toks;
+  std::string Err;
+  ASSERT_TRUE(tokenize("program \"p\" { # trailing comment\n"
+                       "  array A[64]; # sizes\n"
+                       "  i = 0 .. 2*j\n"
+                       "}",
+                       "<t>", Toks, Err))
+      << Err;
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::KwProgram, TokKind::String, TokKind::LBrace,
+                       TokKind::KwArray, TokKind::Ident, TokKind::LBracket,
+                       TokKind::Integer, TokKind::RBracket, TokKind::Semi,
+                       TokKind::Ident, TokKind::Equal, TokKind::Integer,
+                       TokKind::DotDot, TokKind::Integer, TokKind::Star,
+                       TokKind::Ident, TokKind::RBrace, TokKind::Eof}));
+  EXPECT_EQ(Toks[1].Text, "p"); // string contents, unquoted
+  EXPECT_EQ(Toks[4].Text, "A");
+  EXPECT_EQ(Toks[6].IntValue, 64);
+}
+
+TEST(Lexer, StringEscapes) {
+  std::vector<Token> Toks;
+  std::string Err;
+  ASSERT_TRUE(tokenize(R"("a\"b\\c")", "<t>", Toks, Err)) << Err;
+  ASSERT_EQ(Toks.size(), 2u); // String + Eof
+  EXPECT_EQ(Toks[0].Text, "a\"b\\c");
+}
+
+TEST(Lexer, ErrorsCarryPositions) {
+  std::vector<Token> Toks;
+  std::string Err;
+  EXPECT_FALSE(tokenize("a\n  18446744073709551616", "<t>", Toks, Err));
+  EXPECT_EQ(Err.substr(0, Err.find('\n')),
+            "<t>:2:3: error: integer literal overflows 64 bits");
+
+  EXPECT_FALSE(tokenize("x . y", "<t>", Toks, Err));
+  EXPECT_NE(Err.find("<t>:1:3: error:"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: lowering to the IR
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendParser, LowersToTheIR) {
+  ParseOutcome Out = parseProgramText(R"(
+program "demo" {
+  array A[16][32];
+  array H[100] elem 4;
+  nest "demo.n" (i = 1 .. 14, j = i .. i + 3) {
+    cycles 5;
+    read A[i][j - 1];
+    read wrap H[7*i + 2*j - 1];
+    write A[i][j];
+  }
+}
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Diagnostic;
+  const Program &P = *Out.Prog;
+  EXPECT_EQ(P.Name, "demo");
+  ASSERT_EQ(P.Arrays.size(), 2u);
+  EXPECT_EQ(P.Arrays[0].Name, "A");
+  EXPECT_EQ(P.Arrays[0].Dims, (std::vector<std::int64_t>{16, 32}));
+  EXPECT_EQ(P.Arrays[0].ElementSize, 8u); // default
+  EXPECT_EQ(P.Arrays[1].ElementSize, 4u);
+
+  ASSERT_EQ(P.Nests.size(), 1u);
+  const LoopNest &N = P.Nests[0];
+  EXPECT_EQ(N.name(), "demo.n");
+  EXPECT_EQ(N.depth(), 2u);
+  EXPECT_EQ(N.computeCyclesPerIteration(), 5u);
+  EXPECT_EQ(N.dim(0).Lower.str(), "1");
+  EXPECT_EQ(N.dim(0).Upper.str(), "14");
+  EXPECT_EQ(N.dim(1).Lower.str(), "i0");
+  EXPECT_EQ(N.dim(1).Upper.str(), "i0 + 3");
+
+  ASSERT_EQ(N.accesses().size(), 3u);
+  EXPECT_FALSE(N.accesses()[0].IsWrite);
+  EXPECT_FALSE(N.accesses()[0].WrapSubscripts);
+  EXPECT_EQ(N.accesses()[0].Subscripts[1].str(), "i1 - 1");
+  EXPECT_TRUE(N.accesses()[1].WrapSubscripts);
+  EXPECT_EQ(N.accesses()[1].ArrayId, 1u);
+  EXPECT_EQ(N.accesses()[1].Subscripts[0].str(), "7*i0 + 2*i1 - 1");
+  EXPECT_TRUE(N.accesses()[2].IsWrite);
+}
+
+TEST(FrontendParser, UnreadableFileDiagnostic) {
+  ParseOutcome Out = parseProgramFile("/nonexistent/x.cta");
+  EXPECT_FALSE(Out.ok());
+  EXPECT_EQ(Out.Diagnostic.substr(0, Out.Diagnostic.find('\n')),
+            "/nonexistent/x.cta:1:1: error: cannot read file");
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input corpus: exact diagnostics, no crashes
+//===----------------------------------------------------------------------===//
+
+// Every corpus file carries its expected diagnostic (sans file label) on
+// the first line: "# EXPECT: <line>:<col>: error: <message>". The same
+// files run through `cta check` under ASan+UBSan in CI.
+TEST(FrontendCorpus, ExactDiagnostics) {
+  std::filesystem::path Dir = sourceDir() / "tests" / "corpus" / "frontend";
+  ASSERT_TRUE(std::filesystem::is_directory(Dir));
+  unsigned Checked = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".cta")
+      continue;
+    std::string Text = slurp(Entry.path());
+    const std::string Marker = "# EXPECT: ";
+    ASSERT_EQ(Text.rfind(Marker, 0), 0u) << Entry.path();
+    std::string Expected = Text.substr(Marker.size(),
+                                       Text.find('\n') - Marker.size());
+    std::string Label = Entry.path().filename().string();
+    ParseOutcome Out = parseProgramText(Text, Label);
+    EXPECT_FALSE(Out.ok()) << Entry.path();
+    EXPECT_EQ(Out.Diagnostic.substr(0, Out.Diagnostic.find('\n')),
+              Label + ":" + Expected)
+        << Entry.path();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 13u);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer: parse -> print -> parse round-trips
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::filesystem::path> checkedInWorkloads() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           sourceDir() / "workloads" / "dsl"))
+    if (Entry.path().extension() == ".cta")
+      Files.push_back(Entry.path());
+  Files.push_back(sourceDir() / "examples" / "stencil9.cta");
+  return Files;
+}
+
+} // namespace
+
+TEST(Printer, CheckedInWorkloadsRoundTrip) {
+  std::vector<std::filesystem::path> Files = checkedInWorkloads();
+  ASSERT_EQ(Files.size(), 13u); // the Table 2 twelve + stencil9
+  for (const std::filesystem::path &File : Files) {
+    ParseOutcome First = parseProgramFile(File.string());
+    ASSERT_TRUE(First.ok()) << First.Diagnostic;
+
+    std::string Printed = printProgram(*First.Prog);
+    ParseOutcome Second = parseProgramText(Printed, File.string());
+    ASSERT_TRUE(Second.ok()) << File << "\n"
+                             << Printed << "\n"
+                             << Second.Diagnostic;
+    // Everything the run fingerprint hashes survives the round-trip.
+    EXPECT_EQ(programHash(*First.Prog), programHash(*Second.Prog)) << File;
+    // And printing is idempotent from the first print on.
+    EXPECT_EQ(printProgram(*Second.Prog), Printed) << File;
+  }
+}
+
+TEST(Printer, RenamesCollidingInductionVariables) {
+  // An array named "i0" must not capture the canonical iv names.
+  ParseOutcome Out = parseProgramText(R"(
+program "collide" {
+  array i0[8][8];
+  nest "collide.n" (a = 0 .. 7, b = 0 .. 7) {
+    read i0[a][b];
+    write i0[a][b];
+  }
+}
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Diagnostic;
+  std::string Printed = printProgram(*Out.Prog);
+  ParseOutcome Back = parseProgramText(Printed);
+  ASSERT_TRUE(Back.ok()) << Printed << "\n" << Back.Diagnostic;
+  EXPECT_EQ(programHash(*Out.Prog), programHash(*Back.Prog));
+}

@@ -48,26 +48,46 @@ TEST(Parse, ExplicitLineSize) {
 TEST(Parse, ErrorsAreReported) {
   std::string Err;
   EXPECT_FALSE(parseTopology("bad", "", &Err).has_value());
-  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Err,
+            "bad:1:1: error: empty machine description (expected "
+            "mem:<latency>)");
 
   Err.clear();
   EXPECT_FALSE(parseTopology("bad", "mem:abc l1:2K:4:3", &Err).has_value());
-  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Err, "bad:1:1: error: expected mem:<latency>\n"
+                 "  mem:abc l1:2K:4:3\n"
+                 "  ^~~~~~~");
 
   Err.clear();
   EXPECT_FALSE(
       parseTopology("bad", "mem:100 l2:64K:8:10 { core", &Err).has_value());
-  EXPECT_NE(Err.find("}"), std::string::npos);
+  EXPECT_EQ(Err.rfind("bad:1:27: error: missing '}'", 0), 0u) << Err;
 
   Err.clear();
   EXPECT_FALSE(parseTopology("bad", "mem:100 l2:64K:8:10 { }", &Err)
                    .has_value());
-  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Err.rfind("bad:1:", 0), 0u) << Err;
+  EXPECT_NE(Err.find("at least one child"), std::string::npos) << Err;
 
   Err.clear();
   EXPECT_FALSE(
       parseTopology("bad", "mem:100 bogus:1:2:3", &Err).has_value());
-  EXPECT_NE(Err.find("bogus"), std::string::npos);
+  EXPECT_EQ(Err, "bad:1:9: error: expected cache "
+                 "'l<k>:size:assoc:latency' or 'core', got 'bogus:1:2:3'\n"
+                 "  mem:100 bogus:1:2:3\n"
+                 "          ^~~~~~~~~~~");
+}
+
+TEST(Parse, ErrorsCarryMultiLinePositions) {
+  std::string Err;
+  EXPECT_FALSE(parseTopology("m.topo",
+                             "mem:120\nl3:12M:16:36 {\n  l2:bad:12:10 { core "
+                             "core }\n}\n",
+                             &Err)
+                   .has_value());
+  EXPECT_EQ(Err, "m.topo:3:3: error: bad cache fields in 'l2:bad:12:10'\n"
+                 "    l2:bad:12:10 { core core }\n"
+                 "    ^~~~~~~~~~~~");
 }
 
 TEST(Parse, RoundTripThroughPrint) {

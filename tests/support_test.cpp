@@ -1,6 +1,7 @@
 //===- tests/support_test.cpp - support library unit tests ----------------===//
 
 #include "support/BitVector.h"
+#include "support/Diag.h"
 #include "support/ParseNumber.h"
 #include "support/Random.h"
 #include "support/Statistic.h"
@@ -197,4 +198,61 @@ TEST(TextTable, CellsWiderThanHeadersWidenTheColumn) {
                  "---------------------\n"
                  "wide-label  123456789\n"
                  "x                   1\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Diag: source locations and caret rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Diag, LocForOffset) {
+  std::string Src = "ab\ncd\n\nef";
+  EXPECT_EQ(locForOffset(Src, 0), (SourceLoc{1, 1}));
+  EXPECT_EQ(locForOffset(Src, 1), (SourceLoc{1, 2}));
+  EXPECT_EQ(locForOffset(Src, 2), (SourceLoc{1, 3})); // the '\n' itself
+  EXPECT_EQ(locForOffset(Src, 3), (SourceLoc{2, 1}));
+  EXPECT_EQ(locForOffset(Src, 6), (SourceLoc{3, 1})); // empty line
+  EXPECT_EQ(locForOffset(Src, 7), (SourceLoc{4, 1}));
+  EXPECT_EQ(locForOffset(Src, 9), (SourceLoc{4, 3}));
+  // Out-of-range offsets clamp to the end of the text.
+  EXPECT_EQ(locForOffset(Src, 1000), (SourceLoc{4, 3}));
+}
+
+TEST(Diag, SourceLine) {
+  std::string Src = "first\nsecond\n\nlast";
+  EXPECT_EQ(sourceLine(Src, 1), "first");
+  EXPECT_EQ(sourceLine(Src, 2), "second");
+  EXPECT_EQ(sourceLine(Src, 3), "");
+  EXPECT_EQ(sourceLine(Src, 4), "last");
+  EXPECT_EQ(sourceLine(Src, 5), "");
+}
+
+TEST(Diag, RenderDiagWithCaret) {
+  std::string Src = "read Q[i];\n";
+  EXPECT_EQ(renderDiag("f.cta", {1, 6}, "unknown array 'Q'", Src, 1),
+            "f.cta:1:6: error: unknown array 'Q'\n"
+            "  read Q[i];\n"
+            "       ^");
+  // CaretLen underlines the token width.
+  EXPECT_EQ(renderDiag("f.cta", {1, 1}, "bad keyword", Src, 4),
+            "f.cta:1:1: error: bad keyword\n"
+            "  read Q[i];\n"
+            "  ^~~~");
+}
+
+TEST(Diag, CaretNeverExtendsPastTheLine) {
+  std::string Src = "abc";
+  EXPECT_EQ(renderDiag("f", {1, 2}, "m", Src, 99), "f:1:2: error: m\n"
+                                                   "  abc\n"
+                                                   "   ^~");
+}
+
+TEST(Diag, SnippetOmittedWhenColumnBeyondLine) {
+  // Column one past the end still renders (EOF carets); further out the
+  // snippet is dropped and only the message line remains.
+  std::string Src = "ab";
+  EXPECT_EQ(renderDiag("f", {1, 3}, "m", Src), "f:1:3: error: m\n"
+                                               "  ab\n"
+                                               "    ^");
+  EXPECT_EQ(renderDiag("f", {1, 9}, "m", Src), "f:1:9: error: m");
+  EXPECT_EQ(renderDiag("f", {2, 1}, "m", Src), "f:2:1: error: m");
 }

@@ -1,0 +1,423 @@
+//===- tools/cta/cta.cpp - Workload DSL command-line driver ---------------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cta` binary: maps and simulates textual workloads without
+/// recompiling the repo. Three subcommands:
+///
+///   cta run <workload> --machine <preset|file.topo> [options]
+///       Parse a .cta file (or name a compiled-in Table 2 workload),
+///       run it through the mapping pipeline + simulator, and report
+///       cycles, cache behaviour and the mapping summary. --emit-json
+///       writes the cta-bench-artifact-v1 document; --emit-code prints
+///       the generated C-like nest code.
+///
+///   cta check [--topo] <file>...
+///       Parse-and-validate only. Diagnostics go to stderr in the
+///       file:line:col caret format; exit status 1 when any file fails.
+///       With --topo the files are machine descriptions (topo/Parse)
+///       instead of workloads.
+///
+///   cta list
+///       The compiled-in workload suite and machine presets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+#include "exec/ExperimentRunner.h"
+#include "frontend/Parser.h"
+#include "frontend/Printer.h"
+#include "obs/RunArtifact.h"
+#include "poly/CodeGen.h"
+#include "support/Hashing.h"
+#include "topo/Parse.h"
+#include "topo/Presets.h"
+#include "workloads/Suite.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cta;
+
+namespace {
+
+const char *UsageText =
+    "usage:\n"
+    "  cta run <file.cta|workload> --machine <preset|file.topo> [options]\n"
+    "  cta check [--topo] <file>...\n"
+    "  cta list\n"
+    "\n"
+    "run options:\n"
+    "  --machine M      machine preset (see `cta list`) or .topo file;\n"
+    "                   repeatable — the workload runs on each machine\n"
+    "  --runs-on M      execute the mapping on a different machine than it\n"
+    "                   was compiled for (cross-machine porting)\n"
+    "  --strategy S     base | base+ | local | topology-aware | combined\n"
+    "                   (default topology-aware)\n"
+    "  --scale F        cache-capacity scale factor (default 0.03125, the\n"
+    "                   1/32 regime every bench uses; 1 = full size)\n"
+    "  --alpha X        horizontal-reuse weight (combined strategy)\n"
+    "  --beta X         vertical-reuse weight (combined strategy)\n"
+    "  --block-size N   data block size in bytes (0 = auto-select)\n"
+    "  --emit-code      print the generated C-like loop nests\n"
+    "  --emit-json P    write the cta-bench-artifact-v1 JSON to P\n"
+    "  --jobs N, --cache-dir P, --no-timing   (exec/ flags, as in benches)\n";
+
+[[noreturn]] void usageError(const std::string &Msg) {
+  std::fprintf(stderr, "cta: error: %s\n%s", Msg.c_str(), UsageText);
+  std::exit(1);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+const std::vector<std::string> &presetNames() {
+  static const std::vector<std::string> Names = {
+      "harpertown", "nehalem", "dunnington", "arch-i", "arch-ii"};
+  return Names;
+}
+
+bool isPresetName(const std::string &Name) {
+  const auto &Names = presetNames();
+  return std::find(Names.begin(), Names.end(), Name) != Names.end();
+}
+
+/// Resolves --machine/--runs-on: preset names first, file paths second.
+CacheTopology resolveMachine(const std::string &Spec, double Scale) {
+  if (isPresetName(Spec))
+    return makePresetByName(Spec).scaledCapacity(Scale);
+  std::string Text;
+  if (!readFile(Spec, Text))
+    usageError("'" + Spec +
+               "' is neither a machine preset nor a readable .topo file");
+  std::string Err;
+  std::optional<CacheTopology> Topo = parseTopology(Spec, Text, &Err);
+  if (!Topo) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    std::exit(1);
+  }
+  return Topo->scaledCapacity(Scale);
+}
+
+std::optional<Strategy> parseStrategy(std::string Name) {
+  std::transform(Name.begin(), Name.end(), Name.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Name == "base" || Name == "os-default")
+    return Strategy::Base;
+  if (Name == "base+" || Name == "baseplus")
+    return Strategy::BasePlus;
+  if (Name == "local")
+    return Strategy::Local;
+  if (Name == "topology-aware" || Name == "topologyaware" || Name == "cta")
+    return Strategy::TopologyAware;
+  if (Name == "combined")
+    return Strategy::Combined;
+  return std::nullopt;
+}
+
+bool isBuiltinWorkload(const std::string &Name) {
+  for (const std::string &W : workloadNames())
+    if (W == Name)
+      return true;
+  return false;
+}
+
+/// A parsed workload plus the provenance the cache key needs.
+struct WorkloadInput {
+  Program Prog;
+  std::uint64_t SourceHash = 0; // 0 for compiled-in workloads
+  std::string Origin;           // file path or "builtin"
+};
+
+/// Loads \p Spec as a .cta file, or as a compiled-in workload name when no
+/// such file exists. Exits with a diagnostic on parse/validation errors.
+WorkloadInput loadWorkload(const std::string &Spec) {
+  std::string Source;
+  if (readFile(Spec, Source)) {
+    frontend::ParseOutcome Outcome = frontend::parseProgramText(Source, Spec);
+    if (!Outcome.ok()) {
+      std::fprintf(stderr, "%s\n", Outcome.Diagnostic.c_str());
+      std::exit(1);
+    }
+    HashBuilder H;
+    H.add(Source);
+    return {std::move(*Outcome.Prog), H.hash(), Spec};
+  }
+  if (isBuiltinWorkload(Spec))
+    return {makeWorkload(Spec), 0, "builtin"};
+  usageError("'" + Spec +
+             "' is neither a readable .cta file nor a compiled-in workload "
+             "(see `cta list`)");
+}
+
+//===----------------------------------------------------------------------===//
+// cta list
+//===----------------------------------------------------------------------===//
+
+int runList() {
+  std::printf("workloads (Table 2; usable as `cta run <name>`):\n");
+  for (const WorkloadMeta &W : workloadSuite())
+    std::printf("  %-10s %-9s %s\n", W.Name, W.Origin,
+                W.HasDependences ? "loop-carried dependences" : "parallel");
+  std::printf("\nmachine presets (usable as `--machine <name>`):\n");
+  for (const std::string &Name : presetNames()) {
+    CacheTopology Topo = makePresetByName(Name);
+    std::printf("  %-11s %2u cores, %u cache levels, %.1f MB on-chip\n",
+                Name.c_str(), Topo.numCores(), Topo.deepestLevel(),
+                static_cast<double>(Topo.totalCacheBytes()) /
+                    (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// cta check
+//===----------------------------------------------------------------------===//
+
+int runCheck(const std::vector<std::string> &Args) {
+  bool TopoMode = false;
+  std::vector<std::string> Files;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--topo")
+      TopoMode = true;
+    else if (Arg.rfind("--", 0) == 0)
+      usageError("unknown `cta check` flag '" + Arg + "'");
+    else
+      Files.push_back(Arg);
+  }
+  if (Files.empty())
+    usageError("`cta check` needs at least one file");
+
+  int Failures = 0;
+  for (const std::string &File : Files) {
+    std::string Text;
+    if (!readFile(File, Text)) {
+      std::fprintf(stderr, "%s:1:1: error: cannot read file\n", File.c_str());
+      ++Failures;
+      continue;
+    }
+    if (TopoMode) {
+      std::string Err;
+      if (!parseTopology(File, Text, &Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        ++Failures;
+        continue;
+      }
+    } else {
+      frontend::ParseOutcome Outcome = frontend::parseProgramText(Text, File);
+      if (!Outcome.ok()) {
+        std::fprintf(stderr, "%s\n", Outcome.Diagnostic.c_str());
+        ++Failures;
+        continue;
+      }
+    }
+    std::printf("%s: OK\n", File.c_str());
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// cta run
+//===----------------------------------------------------------------------===//
+
+/// True when \p Arg is one of parseExecArgs' flags; \p I is advanced past
+/// the separate-value form so the main scanner does not mistake the value
+/// for a positional argument.
+bool isExecFlag(int argc, char **argv, int &I) {
+  const char *Arg = argv[I];
+  for (const char *Prefix : {"--jobs=", "--cache-dir=", "--emit-json="})
+    if (std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0)
+      return true;
+  if (std::strcmp(Arg, "--no-timing") == 0)
+    return true;
+  for (const char *Flag : {"--jobs", "--cache-dir", "--emit-json"})
+    if (std::strcmp(Arg, Flag) == 0) {
+      if (I + 1 >= argc)
+        usageError(std::string(Flag) + " needs a value");
+      ++I;
+      return true;
+    }
+  return false;
+}
+
+double parseDoubleOrDie(const char *Flag, const std::string &Value) {
+  try {
+    std::size_t End = 0;
+    double V = std::stod(Value, &End);
+    if (End != Value.size())
+      throw std::invalid_argument(Value);
+    return V;
+  } catch (...) {
+    usageError(std::string(Flag) + " needs a number, got '" + Value + "'");
+  }
+}
+
+std::uint64_t parseUintOrDie(const char *Flag, const std::string &Value) {
+  try {
+    std::size_t End = 0;
+    unsigned long long V = std::stoull(Value, &End);
+    if (End != Value.size())
+      throw std::invalid_argument(Value);
+    return V;
+  } catch (...) {
+    usageError(std::string(Flag) + " needs a non-negative integer, got '" +
+               Value + "'");
+  }
+}
+
+int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
+  std::string WorkloadSpec;
+  std::vector<std::string> MachineSpecs;
+  std::string RunsOnSpec;
+  Strategy Strat = Strategy::TopologyAware;
+  double Scale = 1.0 / 32;
+  MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
+  bool EmitCode = false;
+
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto value = [&](const char *Flag) -> const std::string & {
+      if (I + 1 >= Args.size())
+        usageError(std::string(Flag) + " needs a value");
+      return Args[++I];
+    };
+    if (Arg == "--machine") {
+      MachineSpecs.push_back(value("--machine"));
+    } else if (Arg == "--runs-on") {
+      RunsOnSpec = value("--runs-on");
+    } else if (Arg == "--strategy") {
+      const std::string &Name = value("--strategy");
+      std::optional<Strategy> S = parseStrategy(Name);
+      if (!S)
+        usageError("unknown strategy '" + Name + "'");
+      Strat = *S;
+    } else if (Arg == "--scale") {
+      Scale = parseDoubleOrDie("--scale", value("--scale"));
+      if (!(Scale > 0.0))
+        usageError("--scale must be positive");
+    } else if (Arg == "--alpha") {
+      Opts.Alpha = parseDoubleOrDie("--alpha", value("--alpha"));
+    } else if (Arg == "--beta") {
+      Opts.Beta = parseDoubleOrDie("--beta", value("--beta"));
+    } else if (Arg == "--block-size") {
+      Opts.BlockSizeBytes = parseUintOrDie("--block-size",
+                                           value("--block-size"));
+    } else if (Arg == "--emit-code") {
+      EmitCode = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      usageError("unknown `cta run` flag '" + Arg + "'");
+    } else if (WorkloadSpec.empty()) {
+      WorkloadSpec = Arg;
+    } else {
+      usageError("unexpected argument '" + Arg + "'");
+    }
+  }
+  if (WorkloadSpec.empty())
+    usageError("`cta run` needs a workload (.cta file or suite name)");
+  if (MachineSpecs.empty())
+    usageError("`cta run` needs --machine");
+
+  WorkloadInput Input = loadWorkload(WorkloadSpec);
+  ExecConfig Config = parseExecArgs(argc, argv);
+  Config.BenchName = "cta";
+
+  std::optional<CacheTopology> RunsOn;
+  if (!RunsOnSpec.empty())
+    RunsOn = resolveMachine(RunsOnSpec, Scale);
+
+  std::vector<RunTask> Tasks;
+  for (const std::string &Spec : MachineSpecs) {
+    RunTask Task = makeRunTask(Input.Prog, resolveMachine(Spec, Scale), Strat,
+                               Opts,
+                               Input.Prog.Name + "/" + Spec + "/" +
+                                   strategyName(Strat));
+    Task.RunsOn = RunsOn;
+    Task.SourceHash = Input.SourceHash;
+    Tasks.push_back(std::move(Task));
+  }
+
+  ExperimentRunner Runner(Config);
+  std::vector<RunResult> Results = Runner.run(Tasks);
+
+  std::printf("workload %s (%s): %zu arrays, %zu nests\n",
+              Input.Prog.Name.c_str(), Input.Origin.c_str(),
+              Input.Prog.Arrays.size(), Input.Prog.Nests.size());
+  for (std::size_t I = 0; I != Results.size(); ++I) {
+    const RunResult &R = Results[I];
+    const CacheTopology &Machine = Tasks[I].Machine;
+    std::printf("\n%s on %s (%u cores, scale %g), strategy %s",
+                Input.Prog.Name.c_str(), MachineSpecs[I].c_str(),
+                Machine.numCores(), Scale, strategyName(Strat));
+    if (RunsOn)
+      std::printf(", executed on %s", RunsOnSpec.c_str());
+    std::printf(":\n");
+    std::printf("  cycles      %" PRIu64 "\n", R.Cycles);
+    std::printf("  block size  %" PRIu64 " B\n", R.BlockSizeBytes);
+    std::printf("  rounds      %u\n", R.NumRounds);
+    std::printf("  imbalance   %.2f%%\n", R.Imbalance * 100.0);
+    std::printf("  caches      %s\n", R.Stats.str().c_str());
+    if (!Config.NoTiming)
+      std::printf("  mapping     %.3fs\n", R.MappingSeconds);
+  }
+
+  if (EmitCode) {
+    std::printf("\ngenerated code:\n");
+    for (const LoopNest &Nest : Input.Prog.Nests) {
+      std::printf("// nest \"%s\"\n%s", Nest.name().c_str(),
+                  CodeGen(Nest, Input.Prog.Arrays).emitFullNest().c_str());
+    }
+  }
+
+  std::fprintf(stderr, "%s\n",
+               obs::formatExecSummary(Runner.execSummary()).c_str());
+  Runner.emitArtifacts();
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", UsageText);
+    return 1;
+  }
+  std::string Cmd = argv[1];
+  if (Cmd == "help" || Cmd == "--help" || Cmd == "-h") {
+    std::printf("%s", UsageText);
+    return 0;
+  }
+
+  // Subcommand arguments, with parseExecArgs' flags filtered out so the
+  // subcommand parsers only see their own (run re-parses argv for them).
+  std::vector<std::string> Args;
+  for (int I = 2; I < argc; ++I) {
+    if (Cmd == "run" && isExecFlag(argc, argv, I))
+      continue;
+    Args.push_back(argv[I]);
+  }
+
+  if (Cmd == "list")
+    return runList();
+  if (Cmd == "check")
+    return runCheck(Args);
+  if (Cmd == "run")
+    return runRun(argc, argv, Args);
+  usageError("unknown subcommand '" + Cmd + "'");
+}
