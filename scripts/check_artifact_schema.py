@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Sanity-check cta-bench-artifact-v1 JSON files (stdlib only).
+"""Sanity-check cta artifact JSON files (stdlib only).
 
 Usage: check_artifact_schema.py FILE [FILE...]
 
-Validates the shape of the artifacts the bench binaries emit via
---emit-json / CTA_EMIT_JSON: schema tags, required keys, value types and
-the internal consistency invariants external tooling relies on (levels
-report misses = lookups - hits; per-cache levels appear in the levels
-aggregate). Exits non-zero and prints one line per violation; this is a
-guard against silent schema drift, not a full JSON-Schema validator.
+Validates two document kinds, dispatched on shape:
+
+ * cta-bench-artifact-v1 — what bench binaries emit via --emit-json /
+   CTA_EMIT_JSON: schema tags, required keys, value types and the
+   internal consistency invariants external tooling relies on (levels
+   report misses = lookups - hits; per-cache levels appear in the levels
+   aggregate).
+ * cta-trace-v1 — Chrome trace-event JSON from `cta run --emit-trace`
+   (recognized by a top-level "traceEvents" key): event record shapes,
+   the otherData identification block, and the exact per-cache event
+   totals being internally consistent (fills = misses, evictions <=
+   fills).
+
+Exits non-zero and prints one line per violation; this is a guard
+against silent schema drift, not a full JSON-Schema validator.
 """
 
 import json
@@ -43,6 +52,7 @@ def check_phase(phase, path):
         phase,
         {
             "name": str,
+            "start_seconds": (int, float, type(None)),
             "seconds": (int, float, type(None)),
             "peak_rss_kb": int,
             "counters": dict,
@@ -78,7 +88,7 @@ def check_run(run, path):
     )
     if run.get("schema") != "cta-run-artifact-v1":
         err(path, f"unexpected run schema {run.get('schema')!r}")
-    if run.get("cache_status") not in ("hit", "miss", "disabled"):
+    if run.get("cache_status") not in ("hit", "miss", "disabled", "bypass"):
         err(path, f"unexpected cache_status {run.get('cache_status')!r}")
 
     level_ids = set()
@@ -152,6 +162,66 @@ def check_bench(doc, path):
         check_phase(phase, f"{path}.process_phases[{i}]")
 
 
+def check_trace(doc, path):
+    expect_keys(
+        doc,
+        {"traceEvents": list, "displayTimeUnit": str, "otherData": dict},
+        path,
+    )
+    other = doc.get("otherData", {})
+    if isinstance(other, dict):
+        opath = f"{path}.otherData"
+        expect_keys(
+            other,
+            {
+                "schema": str,
+                "workload": str,
+                "machine": str,
+                "strategy": str,
+                "total_events": int,
+                "dropped_events": int,
+                "ring_capacity": int,
+                "rounds": int,
+                "memory_accesses": int,
+                "caches": list,
+            },
+            opath,
+        )
+        if other.get("schema") != "cta-trace-v1":
+            err(opath, f"unexpected trace schema {other.get('schema')!r}")
+        for i, cache in enumerate(other.get("caches", [])):
+            cpath = f"{opath}.caches[{i}]"
+            expect_keys(
+                cache,
+                {"node": int, "level": int, "hits": int, "misses": int,
+                 "evictions": int, "fills": int},
+                cpath,
+            )
+            # Inclusive fill-on-miss: every miss fills, and only fills into
+            # a full set evict.
+            if cache.get("fills") != cache.get("misses"):
+                err(cpath, "fills != misses")
+            if cache.get("evictions", 0) > cache.get("fills", 0):
+                err(cpath, "evictions > fills")
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        epath = f"{path}.traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(epath, "event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            err(epath, f"unexpected phase type {ph!r}")
+            continue
+        required = {"name": str, "ph": str, "pid": int, "tid": int}
+        if ph == "X":
+            required.update({"ts": (int, float), "dur": (int, float)})
+        elif ph == "i":
+            required.update({"ts": (int, float), "s": str})
+        else:
+            required.update({"args": dict})
+        expect_keys(ev, required, epath)
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -163,7 +233,10 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             err(file, f"unreadable or invalid JSON: {e}")
             continue
-        check_bench(doc, file)
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            check_trace(doc, file)
+        else:
+            check_bench(doc, file)
     for line in ERRORS:
         print(line, file=sys.stderr)
     if ERRORS:

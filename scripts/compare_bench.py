@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate CI on perf-smoke regressions (stdlib only).
+
+Usage: compare_bench.py BASELINE FRESH [--max-regress PCT]
+
+Compares a freshly measured perf-smoke BENCH_sim_hotpath.json (FRESH)
+against the committed baseline (BASELINE) and fails when
+
+ * the cold-run wall_seconds regressed by more than PCT percent
+   (default 15 — wide enough for shared-runner noise, tight enough to
+   catch a hot-path slip), or
+ * simulated_accesses differ — the two files then measured different
+   work, and the wall-clock comparison would be meaningless, or
+ * the benchmark names differ.
+
+Improvements and within-threshold noise pass with a one-line summary.
+The per-phase breakdown (phase_seconds, present since PR 5) is reported
+informationally when both files carry it but never gates: phase
+attribution shifts are interesting, not actionable.
+"""
+
+import json
+import sys
+
+
+def die(msg, code=1):
+    print(f"compare_bench: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}", 2)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_regress = 15.0
+    for a in argv[1:]:
+        if a.startswith("--max-regress="):
+            try:
+                max_regress = float(a.split("=", 1)[1])
+            except ValueError:
+                die(f"bad --max-regress value in '{a}'", 2)
+        elif a.startswith("--"):
+            die(f"unknown flag '{a}'", 2)
+    if len(args) != 2:
+        die("usage: compare_bench.py BASELINE FRESH [--max-regress PCT]", 2)
+
+    base, fresh = load(args[0]), load(args[1])
+
+    if base.get("benchmark") != fresh.get("benchmark"):
+        die(f"benchmark mismatch: baseline {base.get('benchmark')!r} vs "
+            f"fresh {fresh.get('benchmark')!r}")
+
+    base_acc = base.get("simulated_accesses")
+    fresh_acc = fresh.get("simulated_accesses")
+    if base_acc != fresh_acc:
+        die(f"simulated_accesses mismatch: baseline {base_acc} vs fresh "
+            f"{fresh_acc} — the runs did different work, re-baseline "
+            "deliberately if the workload changed")
+
+    base_wall = base.get("wall_seconds")
+    fresh_wall = fresh.get("wall_seconds")
+    if not isinstance(base_wall, (int, float)) or base_wall <= 0:
+        die(f"baseline wall_seconds unusable: {base_wall!r}", 2)
+    if not isinstance(fresh_wall, (int, float)) or fresh_wall <= 0:
+        die(f"fresh wall_seconds unusable: {fresh_wall!r}", 2)
+
+    delta_pct = (fresh_wall - base_wall) / base_wall * 100.0
+    summary = (f"wall {base_wall:.3f}s -> {fresh_wall:.3f}s "
+               f"({delta_pct:+.1f}%), {fresh_acc} accesses")
+
+    base_phases = base.get("phase_seconds")
+    fresh_phases = fresh.get("phase_seconds")
+    if isinstance(base_phases, dict) and isinstance(fresh_phases, dict):
+        for name in sorted(set(base_phases) | set(fresh_phases)):
+            print(f"compare_bench:   phase {name}: "
+                  f"{base_phases.get(name, 0.0):.3f}s -> "
+                  f"{fresh_phases.get(name, 0.0):.3f}s")
+
+    if delta_pct > max_regress:
+        die(f"REGRESSION: {summary} exceeds the {max_regress:.0f}% gate")
+    print(f"compare_bench: OK: {summary} (gate {max_regress:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

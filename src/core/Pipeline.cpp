@@ -33,6 +33,24 @@ const char *cta::strategyName(Strategy S) {
   cta_unreachable("unknown strategy");
 }
 
+const char *cta::strategyDescription(Strategy S) {
+  switch (S) {
+  case Strategy::Base:
+    return "original code, static chunks in core-id order (topology-blind)";
+  case Strategy::BasePlus:
+    return "Base chunks plus conventional intra-core tiling";
+  case Strategy::Local:
+    return "Base chunks plus Figure 7 per-core local reorganization alone";
+  case Strategy::TopologyAware:
+    return "Figure 6 hierarchical distribution over the cache tree "
+           "(the paper's default)";
+  case Strategy::Combined:
+    return "hierarchical distribution plus alpha/beta-weighted scheduling "
+           "(the paper's best)";
+  }
+  cta_unreachable("unknown strategy");
+}
+
 namespace {
 
 /// Builds scheduler dependences for the clusterer's (possibly split) group

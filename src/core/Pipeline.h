@@ -40,6 +40,10 @@ enum class Strategy { Base, BasePlus, Local, TopologyAware, Combined };
 /// Human-readable strategy name ("Base", "Base+", ...).
 const char *strategyName(Strategy S);
 
+/// One-line description of what the strategy does (for `cta list` and
+/// other help output).
+const char *strategyDescription(Strategy S);
+
 /// Pipeline output: the mapping plus pass diagnostics.
 struct PipelineResult {
   Mapping Map;

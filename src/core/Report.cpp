@@ -21,6 +21,20 @@ std::string MappingReport::str() const {
   return Out;
 }
 
+std::string MappingReport::compactStr() const {
+  if (Levels.empty())
+    return "no group diagnostics";
+  std::string Out;
+  for (const LevelSharing &L : Levels) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "L" + std::to_string(L.Level) + " " +
+           formatPercent(L.withinFraction()) + " in-domain";
+  }
+  Out += " (total sharing " + std::to_string(TotalSharing) + ")";
+  return Out;
+}
+
 MappingReport cta::analyzeMapping(const Mapping &Map,
                                   const CacheTopology &Topo) {
   MappingReport Report;

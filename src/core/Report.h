@@ -49,6 +49,11 @@ struct MappingReport {
 
   /// Multi-line human-readable rendering.
   std::string str() const;
+
+  /// One-line rendering for run summaries ("L2 83.2% in-domain, ...");
+  /// `cta trace` prints it next to the observed sharing-flow matrix so
+  /// the static prediction and the simulated reality can be compared.
+  std::string compactStr() const;
 };
 
 /// Computes the report. The mapping must carry its group diagnostics

@@ -53,8 +53,10 @@ static void accumulateSharing(MappingReport &Into, const MappingReport &R) {
 }
 
 RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
-                            Strategy Strat, const MappingOptions &Opts) {
+                            Strategy Strat, const MappingOptions &Opts,
+                            TraceLog *Log) {
   MachineSim Sim(Machine);
+  Sim.setTraceLog(Log);
 
   RunResult Result;
   for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {
@@ -126,8 +128,9 @@ Mapping cta::retargetMapping(const Mapping &Map, unsigned NewNumCores) {
 RunResult cta::runCrossMachine(const Program &Prog,
                                const CacheTopology &CompiledFor,
                                const CacheTopology &RunsOn, Strategy Strat,
-                               const MappingOptions &Opts) {
+                               const MappingOptions &Opts, TraceLog *Log) {
   MachineSim Sim(RunsOn);
+  Sim.setTraceLog(Log);
 
   RunResult Result;
   for (unsigned NestIdx = 0, E = Prog.Nests.size(); NestIdx != E; ++NestIdx) {

@@ -69,10 +69,15 @@ struct RunResult {
   std::vector<obs::PhaseRecord> Phases;
 };
 
+class TraceLog;
+
 /// Maps and simulates every nest of \p Prog on \p Machine (already scaled
-/// if the caller wants scaling) under \p Strat.
+/// if the caller wants scaling) under \p Strat. When \p Log is non-null
+/// the simulator emits its event trace into it (and runs slower; traced
+/// runs bypass the exec/ result cache).
 RunResult runOnMachine(const Program &Prog, const CacheTopology &Machine,
-                       Strategy Strat, const MappingOptions &Opts);
+                       Strategy Strat, const MappingOptions &Opts,
+                       TraceLog *Log = nullptr);
 
 /// Convenience: scales \p Machine by \p Config.TopologyScale and runs.
 RunResult runExperiment(const Program &Prog, const CacheTopology &Machine,
@@ -85,11 +90,12 @@ RunResult runExperiment(const Program &Prog, const CacheTopology &Machine,
 Mapping retargetMapping(const Mapping &Map, unsigned NewNumCores);
 
 /// Compiles \p Prog's mappings for \p CompiledFor, retargets them to
-/// \p RunsOn, and simulates on \p RunsOn.
+/// \p RunsOn, and simulates on \p RunsOn. \p Log as in runOnMachine (the
+/// trace observes the machine the program runs on).
 RunResult runCrossMachine(const Program &Prog,
                           const CacheTopology &CompiledFor,
                           const CacheTopology &RunsOn, Strategy Strat,
-                          const MappingOptions &Opts);
+                          const MappingOptions &Opts, TraceLog *Log = nullptr);
 
 /// Ratio of \p R's cycles to \p Base's cycles — the normalized execution
 /// time all the paper's figures plot. Returns quiet NaN when the base ran

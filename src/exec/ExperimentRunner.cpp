@@ -108,9 +108,10 @@ RunResult ExperimentRunner::execute(const RunTask &Task) {
     obs::MetricSink RunSink(&GridSink);
     obs::MetricScope Scope(RunSink);
     R = Task.RunsOn ? runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn,
-                                      Task.Strat, Task.Opts)
+                                      Task.Strat, Task.Opts,
+                                      Task.TraceSink.get())
                     : runOnMachine(Task.Prog, Task.Machine, Task.Strat,
-                                   Task.Opts);
+                                   Task.Opts, Task.TraceSink.get());
     R.Counters = RunSink.snapshot();
     R.Phases = RunSink.phases();
   }
@@ -173,15 +174,25 @@ obs::RunArtifact toArtifact(const RunTask &Task, std::uint64_t Key,
 
 RunResult ExperimentRunner::runOneRecord(const RunTask &Task,
                                          obs::RunArtifact &Artifact) {
+  const bool Traced = Task.TraceSink != nullptr;
   std::uint64_t Key =
       runFingerprint(Task.Prog, Task.Machine,
                      Task.RunsOn ? &*Task.RunsOn : nullptr, Task.Strat,
-                     Task.Opts, Task.SourceHash);
-  if (std::optional<RunResult> Cached = Cache.lookup(Key)) {
-    Artifact = toArtifact(Task, Key, "hit", *Cached);
-    return *Cached;
+                     Task.Opts, Task.SourceHash, Traced);
+  // Traced runs bypass the cache in both directions: the caller wants the
+  // event stream, which only the simulator can produce and the cache does
+  // not persist.
+  if (!Traced) {
+    if (std::optional<RunResult> Cached = Cache.lookup(Key)) {
+      Artifact = toArtifact(Task, Key, "hit", *Cached);
+      return *Cached;
+    }
   }
   RunResult R = execute(Task);
+  if (Traced) {
+    Artifact = toArtifact(Task, Key, "bypass", R);
+    return R;
+  }
   Cache.store(Key, R);
   Artifact = toArtifact(Task, Key, Cache.enabled() ? "miss" : "disabled", R);
   return R;

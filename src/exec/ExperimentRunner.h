@@ -86,6 +86,12 @@ struct RunTask {
   /// compiled-in generators. Mixed into the cache key (field 9 of the
   /// runFingerprint schema) so source-text edits miss cleanly.
   std::uint64_t SourceHash = 0;
+  /// When set, the simulator records its event stream into this log.
+  /// Traced runs bypass the RunCache in both directions: their value is
+  /// the trace, which is not persisted, so serving a cached result would
+  /// leave the log empty and storing one would waste an entry on a key
+  /// (field 10 of the fingerprint schema) no untraced run can ever hit.
+  std::shared_ptr<TraceLog> TraceSink;
 };
 
 /// RunTask has no default constructor (CacheTopology needs a machine);
@@ -93,7 +99,8 @@ struct RunTask {
 inline RunTask makeRunTask(Program Prog, CacheTopology Machine, Strategy Strat,
                            MappingOptions Opts, std::string Label = "") {
   return RunTask{std::move(Prog), std::move(Machine), std::nullopt, Strat,
-                 Opts, std::move(Label)};
+                 Opts, std::move(Label), /*SourceHash=*/0,
+                 /*TraceSink=*/nullptr};
 }
 
 /// Cross-machine variant: compile for \p CompiledFor, execute on \p RunsOn.
@@ -102,7 +109,8 @@ inline RunTask makeCrossMachineTask(Program Prog, CacheTopology CompiledFor,
                                     MappingOptions Opts,
                                     std::string Label = "") {
   return RunTask{std::move(Prog), std::move(CompiledFor), std::move(RunsOn),
-                 Strat, Opts, std::move(Label)};
+                 Strat, Opts, std::move(Label), /*SourceHash=*/0,
+                 /*TraceSink=*/nullptr};
 }
 
 /// A declarative experiment grid. expandGrid() unrolls it machine-major:

@@ -79,7 +79,8 @@ std::uint64_t cta::runFingerprint(const Program &Prog,
                                   const CacheTopology &Machine,
                                   const CacheTopology *RunsOn, Strategy Strat,
                                   const MappingOptions &Opts,
-                                  std::uint64_t SourceContentHash) {
+                                  std::uint64_t SourceContentHash,
+                                  bool Traced) {
   HashBuilder H;
   H.add(std::string_view("cta-run"));
   H.add(RunCacheFormatVersion);
@@ -91,5 +92,6 @@ std::uint64_t cta::runFingerprint(const Program &Prog,
   H.add(static_cast<std::uint64_t>(Strat));
   hashOptions(H, Opts);
   H.add(SourceContentHash);
+  H.add(Traced);
   return H.hash();
 }

@@ -40,7 +40,11 @@ namespace cta {
 /// content hash so a run lowered from a .cta file and the same program
 /// built by a compiled-in generator occupy distinct entries even though
 /// the Program IR (and therefore the results) are identical.
-inline constexpr std::uint64_t RunCacheFormatVersion = 4;
+/// Version 5: the sim/ tracing layer — keys gain a trailing traced flag,
+/// phase records gain a start time (serialized per cache entry), and
+/// traced runs bypass the cache entirely (their value is the event
+/// stream, which is not persisted).
+inline constexpr std::uint64_t RunCacheFormatVersion = 5;
 
 /// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
 /// per-iteration compute cost.
@@ -70,14 +74,18 @@ void hashOptions(HashBuilder &H, const MappingOptions &Opts);
 ///   9. source hash    (\p SourceContentHash — FNV-1a of the DSL text a
 ///                      Program was parsed from, or 0 for compiled-in
 ///                      generators)
+///  10. traced         (bool — event tracing attached to the run)
 ///
 /// Field 9 exists so edits to a .cta file that do not change the lowered
 /// IR (comments, whitespace, annotations) still miss the cache cleanly
 /// rather than silently replaying a result from a stale source revision.
+/// Field 10 keeps traced runs (which bypass the cache: they exist for
+/// their event stream) from ever colliding with untraced entries.
 std::uint64_t runFingerprint(const Program &Prog, const CacheTopology &Machine,
                              const CacheTopology *RunsOn, Strategy Strat,
                              const MappingOptions &Opts,
-                             std::uint64_t SourceContentHash = 0);
+                             std::uint64_t SourceContentHash = 0,
+                             bool Traced = false);
 
 } // namespace cta
 

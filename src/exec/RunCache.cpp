@@ -56,8 +56,9 @@ std::string cta::serializeRunResult(const RunResult &R, std::uint64_t Key) {
   for (const auto &[Name, Value] : R.Counters)
     OS << "counter " << Name << " " << Value << "\n";
   for (const obs::PhaseRecord &P : R.Phases) {
-    OS << "phase " << P.Name << " " << formatExact(P.Seconds) << " "
-       << P.PeakRssKb << " " << P.CounterDeltas.size();
+    OS << "phase " << P.Name << " " << formatExact(P.StartSeconds) << " "
+       << formatExact(P.Seconds) << " " << P.PeakRssKb << " "
+       << P.CounterDeltas.size();
     for (const auto &[Name, Value] : P.CounterDeltas)
       OS << " " << Name << " " << Value;
     OS << "\n";
@@ -135,11 +136,12 @@ std::optional<RunResult> cta::deserializeRunResult(const std::string &Text,
       R.Counters[Name] = Value;
     } else if (Field == "phase") {
       obs::PhaseRecord P;
-      std::string Sec;
+      std::string Start, Sec;
       std::size_t NumDeltas = 0;
-      LS >> P.Name >> Sec >> P.PeakRssKb >> NumDeltas;
+      LS >> P.Name >> Start >> Sec >> P.PeakRssKb >> NumDeltas;
       if (P.Name.empty() || LS.fail())
         return std::nullopt;
+      P.StartSeconds = std::strtod(Start.c_str(), nullptr);
       P.Seconds = std::strtod(Sec.c_str(), nullptr);
       for (std::size_t I = 0; I != NumDeltas; ++I) {
         std::string Name;
@@ -165,9 +167,10 @@ std::string cta::deterministicBytes(const RunResult &R) {
   RunResult Canon = R;
   Canon.MappingSeconds = 0.0;
   // Phase spans are part of the deterministic record only in structure
-  // (names, order, counter deltas); their wall time and the process's peak
-  // RSS are measurements.
+  // (names, order, counter deltas); their start/wall time and the
+  // process's peak RSS are measurements.
   for (obs::PhaseRecord &P : Canon.Phases) {
+    P.StartSeconds = 0.0;
     P.Seconds = 0.0;
     P.PeakRssKb = 0;
   }

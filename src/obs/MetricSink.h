@@ -39,11 +39,15 @@
 
 namespace cta::obs {
 
-/// One traced phase: name, wall time, the process's peak RSS when the
-/// phase closed, and the counter deltas the current sink saw while the
-/// phase was open. Recorded by ObsScope; serialized into run artifacts.
+/// One traced phase: name, start time on the process-uptime clock
+/// (obs::processUptimeSeconds, so phases from different sinks share one
+/// timeline), wall duration, the process's peak RSS when the phase
+/// closed, and the counter deltas the current sink saw while the phase
+/// was open. Recorded by ObsScope; serialized into run artifacts and
+/// folded into Chrome trace exports.
 struct PhaseRecord {
   std::string Name;
+  double StartSeconds = 0.0;
   double Seconds = 0.0;
   std::int64_t PeakRssKb = 0;
   std::map<std::string, std::uint64_t> CounterDeltas;

@@ -2,6 +2,8 @@
 
 #include "obs/ObsScope.h"
 
+#include <chrono>
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -24,9 +26,17 @@ std::int64_t obs::peakRssKb() {
 #endif
 }
 
+double obs::processUptimeSeconds() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Epoch)
+      .count();
+}
+
 ObsScope::ObsScope(std::string NameIn)
     : Sink(MetricSink::current()), Name(std::move(NameIn)),
-      Before(Sink.snapshot()) {}
+      Start(processUptimeSeconds()), Before(Sink.snapshot()) {}
 
 void ObsScope::close() {
   if (Closed)
@@ -35,6 +45,7 @@ void ObsScope::close() {
 
   PhaseRecord Phase;
   Phase.Name = std::move(Name);
+  Phase.StartSeconds = Start;
   Phase.Seconds = Timer.elapsedSeconds();
   Phase.PeakRssKb = peakRssKb();
   for (const auto &[Counter, Value] : Sink.snapshot()) {

@@ -31,11 +31,17 @@ namespace cta::obs {
 /// first pushed the high-water mark.
 std::int64_t peakRssKb();
 
+/// Monotonic seconds since this clock was first read in the process: the
+/// shared time base phase start times are expressed in, so spans recorded
+/// by different sinks (or threads) land on one comparable timeline.
+double processUptimeSeconds();
+
 /// RAII span around one phase. Records into the sink that was current at
 /// construction, even if the current sink changes before close.
 class ObsScope {
   MetricSink &Sink;
   std::string Name;
+  double Start;
   WallTimer Timer;
   std::map<std::string, std::uint64_t> Before;
   bool Closed = false;

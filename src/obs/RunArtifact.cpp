@@ -29,6 +29,8 @@ void writePhases(JsonWriter &W, const std::vector<PhaseRecord> &Phases) {
     W.beginObject();
     W.key("name");
     W.value(P.Name);
+    W.key("start_seconds");
+    W.value(P.StartSeconds);
     W.key("seconds");
     W.value(P.Seconds);
     W.key("peak_rss_kb");

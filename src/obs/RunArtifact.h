@@ -27,7 +27,8 @@
 ///     memory_accesses, total_accesses, levels:[{level,lookups,hits,
 ///     misses,evictions}], caches:[{node,level,lookups,hits,evictions}],
 ///     sharing:{total,levels:[{level,within,across}]},
-///     phases:[{name,seconds,peak_rss_kb,counters{}}], counters{} }
+///     phases:[{name,start_seconds,seconds,peak_rss_kb,counters{}}],
+///     counters{} }
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,7 +74,7 @@ struct ArtifactSharing {
 struct RunArtifact {
   std::string Label;         // "dunnington/cg/v0/TopologyAware"
   std::string Fingerprint;   // hex runFingerprint key
-  std::string CacheStatus;   // "hit" | "miss" | "disabled"
+  std::string CacheStatus;   // "hit" | "miss" | "disabled" | "bypass"
   std::uint64_t Cycles = 0;
   double MappingSeconds = 0.0;
   std::uint64_t BlockSizeBytes = 0;

@@ -14,6 +14,37 @@ Cache::Cache(const CacheParams &Params) : Params(Params) {
   Lines.assign(static_cast<std::size_t>(NumSets) * Params.Assoc, Line());
 }
 
+bool Cache::probeTraced(std::uint64_t LineAddr, bool &Evicted,
+                        std::uint64_t &VictimTag) {
+  ++StatLookups;
+  Line *Base = &Lines[setOf(LineAddr) * Params.Assoc];
+  Line *Victim = Base;
+  bool SawInvalid = false;
+  for (unsigned W = 0; W != Params.Assoc; ++W) {
+    Line &L = Base[W];
+    if (L.Valid) {
+      if (L.Tag == LineAddr) {
+        L.Lru = ++Tick;
+        ++StatHits;
+        Evicted = false;
+        return true;
+      }
+      if (!SawInvalid && L.Lru < Victim->Lru)
+        Victim = &L;
+    } else if (!SawInvalid) {
+      Victim = &L;
+      SawInvalid = true;
+    }
+  }
+  StatEvictions += !SawInvalid;
+  Evicted = !SawInvalid;
+  VictimTag = Victim->Tag;
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->Lru = ++Tick;
+  return false;
+}
+
 bool Cache::access(std::uint64_t LineAddr) {
   ++StatLookups;
   std::size_t Set = setOf(LineAddr);
@@ -54,6 +85,32 @@ void Cache::fill(std::uint64_t LineAddr) {
       Victim = &Base[W];
   }
   StatEvictions += Victim->Valid;
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->Lru = ++Tick;
+}
+
+void Cache::fillTraced(std::uint64_t LineAddr, bool &Evicted,
+                       std::uint64_t &VictimTag) {
+  std::size_t Set = setOf(LineAddr);
+  Line *Base = &Lines[Set * Params.Assoc];
+  Line *Victim = Base;
+  for (unsigned W = 0; W != Params.Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == LineAddr) {
+      Base[W].Lru = ++Tick; // already resident: refresh
+      Evicted = false;
+      return;
+    }
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+    if (Base[W].Lru < Victim->Lru)
+      Victim = &Base[W];
+  }
+  StatEvictions += Victim->Valid;
+  Evicted = Victim->Valid;
+  VictimTag = Victim->Tag;
   Victim->Valid = true;
   Victim->Tag = LineAddr;
   Victim->Lru = ++Tick;

@@ -93,6 +93,13 @@ public:
     return false;
   }
 
+  /// probe() with victim reporting for the tracing layer: identical state
+  /// and statistics transitions, but returns whether the miss replaced a
+  /// valid line and which tag it held. Out of line on purpose — the
+  /// untraced hot path above stays exactly as the optimizer sees it today.
+  bool probeTraced(std::uint64_t LineAddr, bool &Evicted,
+                   std::uint64_t &VictimTag);
+
   /// Probes \p LineAddr; on a hit refreshes its LRU stamp and returns true.
   /// With fill(), the reference two-scan path probe() collapses.
   bool access(std::uint64_t LineAddr);
@@ -102,6 +109,10 @@ public:
 
   /// Installs \p LineAddr, evicting the set's LRU victim if needed.
   void fill(std::uint64_t LineAddr);
+
+  /// fill() with victim reporting (tracing layer, reference engine path).
+  void fillTraced(std::uint64_t LineAddr, bool &Evicted,
+                  std::uint64_t &VictimTag);
 
   /// Invalidates everything (cold start).
   void flush();

@@ -3,6 +3,7 @@
 #include "sim/Engine.h"
 
 #include "sim/AccessTrace.h"
+#include "sim/TraceLog.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -91,12 +92,27 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
   const bool Barriers = !PointToPoint && Map.BarriersRequired;
   const unsigned NumRounds = Barriers ? Map.NumRounds : 1;
 
+  // Tracing is resolved once per execution; the untraced lambda below is
+  // the unchanged hot path.
+  TraceLog *Log = Machine.traceLog();
+  if (Log != nullptr)
+    Log->beginNest();
+
   auto runIteration = [&](unsigned Core) {
     std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
     const std::uint64_t *Row = Trace.row(Iter);
     std::uint64_t C = Cycle[Core];
-    for (unsigned A = 0; A != NumAccesses; ++A)
-      C += Machine.access(Core, Row[A], Trace.isWrite(A));
+    if (Log != nullptr) {
+      const std::uint64_t Start = C;
+      for (unsigned A = 0; A != NumAccesses; ++A) {
+        Log->setCycle(Core, C);
+        C += Machine.access(Core, Row[A], Trace.isWrite(A));
+      }
+      Log->iterationSpan(Core, Iter, Start, C + ComputeCycles);
+    } else {
+      for (unsigned A = 0; A != NumAccesses; ++A)
+        C += Machine.access(Core, Row[A], Trace.isWrite(A));
+    }
     Cycle[Core] = C + ComputeCycles;
     ++Pos[Core];
   };
@@ -178,6 +194,8 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
   } else {
     MinHeap Heap;
     for (unsigned Round = 0; Round != NumRounds; ++Round) {
+      if (Log != nullptr)
+        Log->setRound(Round);
       // Per-core end position of this round.
       std::vector<std::uint32_t> End(NumCores);
       for (unsigned C = 0; C != NumCores; ++C) {
@@ -204,6 +222,8 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
           Max = std::max(Max, Cycle[C]);
         for (unsigned C = 0; C != NumCores; ++C)
           Cycle[C] = Max;
+        if (Log != nullptr)
+          Log->roundBarrier(Round, Max);
       }
     }
   }
@@ -270,17 +290,26 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
   std::vector<std::int64_t> Point(Depth);
   std::vector<std::int64_t> Idx;
 
+  TraceLog *Log = Machine.traceLog();
+  if (Log != nullptr)
+    Log->beginNest();
+
   auto runIteration = [&](unsigned Core) {
     std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
     Table.get(Iter, Point.data());
     std::uint64_t C = Cycle[Core];
+    const std::uint64_t Start = C;
     for (const AccessRecipe &R : Recipes) {
       Idx.resize(R.Acc->Subscripts.size());
       evaluateAccess(*R.Acc, *R.Array, Point.data(), Idx.data());
       std::uint64_t Addr =
           Addrs.addrOf(R.Acc->ArrayId, R.Array->linearize(Idx.data()));
+      if (Log != nullptr)
+        Log->setCycle(Core, C);
       C += Machine.accessReference(Core, Addr, R.Acc->IsWrite);
     }
+    if (Log != nullptr)
+      Log->iterationSpan(Core, Iter, Start, C + ComputeCycles);
     Cycle[Core] = C + ComputeCycles;
     ++Pos[Core];
   };
@@ -332,6 +361,8 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
     }
   } else {
     for (unsigned Round = 0; Round != NumRounds; ++Round) {
+      if (Log != nullptr)
+        Log->setRound(Round);
       // Per-core end position of this round.
       std::vector<std::uint32_t> End(NumCores);
       for (unsigned C = 0; C != NumCores; ++C)
@@ -360,6 +391,8 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
           Max = std::max(Max, Cycle[C]);
         for (unsigned C = 0; C != NumCores; ++C)
           Cycle[C] = Max;
+        if (Log != nullptr)
+          Log->roundBarrier(Round, Max);
       }
     }
   }

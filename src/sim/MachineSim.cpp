@@ -2,6 +2,7 @@
 
 #include "sim/MachineSim.h"
 
+#include "sim/TraceLog.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
 
@@ -48,6 +49,7 @@ MachineSim::MachineSim(const CacheTopology &Topo) : Topo(Topo) {
       const CacheTopology::Node &N = Topo.node(Id);
       PathEntry Entry;
       Entry.C = &Caches[Id - 1];
+      Entry.Node = Id;
       Entry.Level = N.Level;
       Entry.Latency = N.Params.LatencyCycles;
       Entry.LineSize = N.Params.LineSize;
@@ -84,10 +86,68 @@ std::vector<CacheNodeStats> MachineSim::perCacheStats() const {
   return Out;
 }
 
+void MachineSim::setTraceLog(TraceLog *L) {
+  Log = L;
+  if (Log != nullptr)
+    Log->bind(Topo);
+}
+
+unsigned MachineSim::accessTraced(unsigned Core, std::uint64_t Addr) {
+  ++Stats.TotalAccesses;
+  for (const PathEntry &E : Path[Core]) {
+    ++Stats.Levels[E.Level].Lookups;
+    std::uint64_t Line =
+        E.UseShift ? (Addr >> E.LineShift) : (Addr / E.LineSize);
+    bool Evicted = false;
+    std::uint64_t VictimTag = 0;
+    if (E.C->probeTraced(Line, Evicted, VictimTag)) {
+      ++Stats.Levels[E.Level].Hits;
+      Log->cacheLookup(Core, E.Node, Line, Addr, /*Hit=*/true);
+      return E.Latency;
+    }
+    Log->cacheLookup(Core, E.Node, Line, Addr, /*Hit=*/false);
+    if (Evicted)
+      Log->cacheEviction(Core, E.Node, VictimTag);
+    Log->cacheFill(Core, E.Node, Line);
+  }
+  ++Stats.MemoryAccesses;
+  Log->memoryAccess(Core, Addr);
+  return Topo.memoryLatency();
+}
+
+unsigned MachineSim::accessReferenceTraced(unsigned Core,
+                                           std::uint64_t Addr) {
+  ++Stats.TotalAccesses;
+  const std::vector<unsigned> &P = PathNodes[Core];
+  for (unsigned Id : P) {
+    Cache &C = Caches[Id - 1];
+    unsigned Level = Topo.node(Id).Level;
+    ++Stats.Levels[Level].Lookups;
+    std::uint64_t Line = C.lineAddrOf(Addr);
+    if (C.access(Line)) {
+      ++Stats.Levels[Level].Hits;
+      Log->cacheLookup(Core, Id, Line, Addr, /*Hit=*/true);
+      return Topo.node(Id).Params.LatencyCycles;
+    }
+    Log->cacheLookup(Core, Id, Line, Addr, /*Hit=*/false);
+    bool Evicted = false;
+    std::uint64_t VictimTag = 0;
+    C.fillTraced(Line, Evicted, VictimTag);
+    if (Evicted)
+      Log->cacheEviction(Core, Id, VictimTag);
+    Log->cacheFill(Core, Id, Line);
+  }
+  ++Stats.MemoryAccesses;
+  Log->memoryAccess(Core, Addr);
+  return Topo.memoryLatency();
+}
+
 unsigned MachineSim::accessReference(unsigned Core, std::uint64_t Addr,
                                      bool IsWrite) {
   (void)IsWrite; // writes allocate like reads; no coherence modelled
   assert(Core < PathNodes.size() && "core id out of range");
+  if (Log != nullptr)
+    return accessReferenceTraced(Core, Addr);
   ++Stats.TotalAccesses;
 
   const std::vector<unsigned> &P = PathNodes[Core];

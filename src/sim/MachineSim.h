@@ -35,6 +35,8 @@
 
 namespace cta {
 
+class TraceLog;
+
 /// Per-cache-level lookup/hit counters plus memory traffic.
 struct SimStats {
   static constexpr unsigned MaxLevels = 8;
@@ -79,6 +81,7 @@ class MachineSim {
     unsigned Latency = 0;    // hit cost at this level
     unsigned LineShift = 0;  // log2(LineSize) when a power of two
     unsigned LineSize = 1;   // divisor fallback otherwise
+    unsigned Node = 0;       // topology node id (tracing)
     bool UseShift = false;
   };
 
@@ -87,6 +90,7 @@ class MachineSim {
   std::vector<std::vector<PathEntry>> Path;    // per core, L1 first
   std::vector<std::vector<unsigned>> PathNodes; // node ids (reference path)
   SimStats Stats;
+  TraceLog *Log = nullptr;
 
 public:
   explicit MachineSim(const CacheTopology &Topo);
@@ -105,13 +109,25 @@ public:
   /// Cold caches + fresh statistics.
   void reset();
 
+  /// Attaches (or with nullptr detaches) an event trace log. The log is
+  /// bound to this machine's topology; all subsequent access()/
+  /// accessReference() calls emit their cache events into it.
+  void setTraceLog(TraceLog *L);
+  TraceLog *traceLog() const { return Log; }
+
   /// Performs one memory access by \p Core at byte address \p Addr.
   /// Returns the access latency in cycles. Writes currently behave like
   /// reads (allocate-on-write, no coherence). Each level is probed once:
   /// a miss installs the line while scanning for the hit.
+  ///
+  /// The trace check below is the whole off-mode tracing cost: one
+  /// predicted-not-taken branch, with all event emission out of line in
+  /// accessTraced().
   unsigned access(unsigned Core, std::uint64_t Addr, bool IsWrite) {
     (void)IsWrite; // writes allocate like reads; no coherence modelled
     assert(Core < Path.size() && "core id out of range");
+    if (__builtin_expect(Log != nullptr, false))
+      return accessTraced(Core, Addr);
     ++Stats.TotalAccesses;
     for (const PathEntry &E : Path[Core]) {
       ++Stats.Levels[E.Level].Lookups;
@@ -133,6 +149,17 @@ public:
 
   /// Cache instance of topology node \p NodeId (tests/inspection).
   const Cache &cacheOfNode(unsigned NodeId) const;
+
+private:
+  /// Traced twin of the access() hot loop: same probes, same statistics,
+  /// same result, plus one TraceLog call per level outcome.
+  unsigned accessTraced(unsigned Core, std::uint64_t Addr);
+
+  /// Traced twin of accessReference(). Emits the byte-identical event
+  /// stream to accessTraced(): each missed level is filled immediately
+  /// after its probe (instead of after the walk), which is
+  /// state-equivalent because every path level is a distinct instance.
+  unsigned accessReferenceTraced(unsigned Core, std::uint64_t Addr);
 };
 
 } // namespace cta

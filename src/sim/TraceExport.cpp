@@ -1,0 +1,249 @@
+//===- sim/TraceExport.cpp - Chrome trace-event JSON export ----------------===//
+
+#include "sim/TraceExport.h"
+
+#include "obs/Json.h"
+#include "sim/TraceLog.h"
+
+using namespace cta;
+using obs::JsonWriter;
+
+namespace {
+
+constexpr unsigned PidHost = 0;
+constexpr unsigned PidCores = 1;
+constexpr unsigned PidCaches = 2;
+
+/// Emits one metadata event naming a process or thread.
+void writeNameMeta(JsonWriter &W, const char *Kind, unsigned Pid,
+                   unsigned Tid, const std::string &Name) {
+  W.beginObject();
+  W.key("name");
+  W.value(Kind);
+  W.key("ph");
+  W.value("M");
+  W.key("pid");
+  W.value(Pid);
+  W.key("tid");
+  W.value(Tid);
+  W.key("args");
+  W.beginObject();
+  W.key("name");
+  W.value(Name);
+  W.endObject();
+  W.endObject();
+}
+
+/// Common head of a non-metadata event.
+void writeEventHead(JsonWriter &W, const char *Name, const char *Phase,
+                    unsigned Pid, unsigned Tid, double Ts) {
+  W.beginObject();
+  W.key("name");
+  W.value(Name);
+  W.key("ph");
+  W.value(Phase);
+  W.key("pid");
+  W.value(Pid);
+  W.key("tid");
+  W.value(Tid);
+  W.key("ts");
+  W.value(Ts);
+}
+
+void writeInstant(JsonWriter &W, const char *Name, unsigned Pid,
+                  unsigned Tid, double Ts, const char *ArgKey,
+                  std::uint64_t ArgValue) {
+  writeEventHead(W, Name, "i", Pid, Tid, Ts);
+  W.key("s");
+  W.value("t");
+  W.key("args");
+  W.beginObject();
+  W.key(ArgKey);
+  W.value(ArgValue);
+  W.endObject();
+  W.endObject();
+}
+
+std::string cacheTrackName(const CacheTopology &Topo, unsigned Node) {
+  const CacheTopology::Node &N = Topo.node(Node);
+  std::string Name = "L" + std::to_string(N.Level) + " node " +
+                     std::to_string(Node);
+  if (N.Cores.size() > 1)
+    Name += " (shared x" + std::to_string(N.Cores.size()) + ")";
+  else if (N.Core >= 0)
+    Name += " (core " + std::to_string(N.Core) + ")";
+  return Name;
+}
+
+} // namespace
+
+std::string cta::renderChromeTrace(const TraceLog &Log,
+                                   const std::vector<obs::PhaseRecord> &Phases,
+                                   const TraceExportMeta &Meta) {
+  const CacheTopology &Topo = Log.topology();
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Track naming.
+  writeNameMeta(W, "process_name", PidHost, 0, "host phases (wall time)");
+  writeNameMeta(W, "thread_name", PidHost, 0, "obs phases");
+  writeNameMeta(W, "process_name", PidCores, 0,
+                "simulated cores (ts = cycles)");
+  for (unsigned C = 0, E = Topo.numCores(); C != E; ++C)
+    writeNameMeta(W, "thread_name", PidCores, C, "core " + std::to_string(C));
+  writeNameMeta(W, "process_name", PidCaches, 0,
+                "cache instances (ts = cycles)");
+  writeNameMeta(W, "thread_name", PidCaches, 0, "memory");
+  for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id)
+    writeNameMeta(W, "thread_name", PidCaches, Id, cacheTrackName(Topo, Id));
+
+  // Host phases (wall microseconds).
+  for (const obs::PhaseRecord &P : Phases) {
+    writeEventHead(W, P.Name.c_str(), "X", PidHost, 0, P.StartSeconds * 1e6);
+    W.key("dur");
+    W.value(P.Seconds * 1e6);
+    W.key("args");
+    W.beginObject();
+    W.key("peak_rss_kb");
+    W.value(static_cast<std::uint64_t>(P.PeakRssKb < 0 ? 0 : P.PeakRssKb));
+    W.endObject();
+    W.endObject();
+  }
+
+  // Per-core round spans, from the exact aggregates (they survive ring
+  // overflow, unlike the iteration events below).
+  const std::vector<std::vector<TraceLog::RoundSpan>> Rounds =
+      Log.roundSpans();
+  for (unsigned C = 0; C != Rounds.size(); ++C)
+    for (unsigned R = 0; R != Rounds[C].size(); ++R) {
+      const TraceLog::RoundSpan &S = Rounds[C][R];
+      if (!S.active())
+        continue;
+      std::string Name = "round " + std::to_string(R);
+      writeEventHead(W, Name.c_str(), "X", PidCores, C,
+                     static_cast<double>(S.StartCycle));
+      W.key("dur");
+      W.value(static_cast<double>(S.EndCycle - S.StartCycle));
+      W.key("args");
+      W.beginObject();
+      W.key("iterations");
+      W.value(S.Iterations);
+      W.endObject();
+      W.endObject();
+    }
+
+  // Ring events. Iteration begin/end pairs fold into "X" complete events
+  // (matched per core; per-core iterations never nest), everything else
+  // becomes an instant on its track.
+  std::vector<std::uint64_t> PendingBegin(Topo.numCores(), UINT64_MAX);
+  std::vector<std::uint64_t> PendingIter(Topo.numCores(), 0);
+  for (const TraceEvent &E : Log.events()) {
+    switch (E.Kind) {
+    case TraceEventKind::IterBegin:
+      PendingBegin[E.Core] = E.Cycle;
+      PendingIter[E.Core] = E.Payload;
+      break;
+    case TraceEventKind::IterEnd: {
+      if (PendingBegin[E.Core] == UINT64_MAX ||
+          PendingIter[E.Core] != E.Payload)
+        break; // the matching begin was dropped from the ring
+      writeEventHead(W, "iter", "X", PidCores, E.Core,
+                     static_cast<double>(PendingBegin[E.Core]));
+      W.key("dur");
+      W.value(static_cast<double>(E.Cycle - PendingBegin[E.Core]));
+      W.key("args");
+      W.beginObject();
+      W.key("iteration");
+      W.value(E.Payload);
+      W.endObject();
+      W.endObject();
+      PendingBegin[E.Core] = UINT64_MAX;
+      break;
+    }
+    case TraceEventKind::CacheHit:
+      writeInstant(W, "hit", PidCaches, E.Node,
+                   static_cast<double>(E.Cycle), "line", E.Payload);
+      break;
+    case TraceEventKind::CacheMiss:
+      writeInstant(W, "miss", PidCaches, E.Node,
+                   static_cast<double>(E.Cycle), "line", E.Payload);
+      break;
+    case TraceEventKind::CacheEviction:
+      writeInstant(W, "evict", PidCaches, E.Node,
+                   static_cast<double>(E.Cycle), "line", E.Payload);
+      break;
+    case TraceEventKind::CacheFill:
+      writeInstant(W, "fill", PidCaches, E.Node,
+                   static_cast<double>(E.Cycle), "line", E.Payload);
+      break;
+    case TraceEventKind::MemoryAccess:
+      writeInstant(W, "mem", PidCaches, 0, static_cast<double>(E.Cycle),
+                   "addr", E.Payload);
+      break;
+    case TraceEventKind::RoundBarrier:
+      writeEventHead(W, "barrier", "i", PidCores, 0,
+                     static_cast<double>(E.Cycle));
+      W.key("s");
+      W.value("p"); // process scope: one line across all core tracks
+      W.key("args");
+      W.beginObject();
+      W.key("round");
+      W.value(E.Payload);
+      W.endObject();
+      W.endObject();
+      break;
+    }
+  }
+
+  W.endArray();
+
+  W.key("displayTimeUnit");
+  W.value("ns");
+
+  W.key("otherData");
+  W.beginObject();
+  W.key("schema");
+  W.value("cta-trace-v1");
+  W.key("workload");
+  W.value(Meta.Workload);
+  W.key("machine");
+  W.value(Meta.Machine);
+  W.key("strategy");
+  W.value(Meta.Strategy);
+  W.key("total_events");
+  W.value(Log.totalEvents());
+  W.key("dropped_events");
+  W.value(Log.droppedEvents());
+  W.key("ring_capacity");
+  W.value(static_cast<std::uint64_t>(Log.config().RingCapacity));
+  W.key("rounds");
+  W.value(Log.numRounds());
+  W.key("memory_accesses");
+  W.value(Log.nodeCounts()[0].Misses);
+  W.key("caches");
+  W.beginArray();
+  for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id) {
+    const TraceLog::NodeCounts &NC = Log.nodeCounts()[Id];
+    W.beginObject();
+    W.key("node");
+    W.value(Id);
+    W.key("level");
+    W.value(Topo.node(Id).Level);
+    W.key("hits");
+    W.value(NC.Hits);
+    W.key("misses");
+    W.value(NC.Misses);
+    W.key("evictions");
+    W.value(NC.Evictions);
+    W.key("fills");
+    W.value(NC.Fills);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}

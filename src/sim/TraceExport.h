@@ -1,0 +1,55 @@
+//===- sim/TraceExport.h - Chrome trace-event JSON export ------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TraceLog as Chrome trace-event JSON, loadable in Perfetto
+/// (ui.perfetto.dev) and chrome://tracing. Three processes structure the
+/// view:
+///
+///   pid 0  host phases        (ts = wall microseconds, obs/ ObsScope)
+///   pid 1  simulated cores    (ts = simulated cycles; one thread per
+///                              core carrying round + iteration spans and
+///                              barrier instants)
+///   pid 2  cache instances    (ts = simulated cycles; one thread per
+///                              topology node carrying hit/miss/evict/
+///                              fill instants, thread 0 = memory)
+///
+/// The two clock domains are intentionally separate processes: cycles and
+/// wall time share no origin, so they must not share a track. Top-level
+/// "otherData" carries the cta-trace-v1 identification plus the exact
+/// per-cache event totals, which external checkers reconcile against the
+/// run artifact's counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_TRACEEXPORT_H
+#define CTA_SIM_TRACEEXPORT_H
+
+#include "obs/MetricSink.h"
+
+#include <string>
+#include <vector>
+
+namespace cta {
+
+class TraceLog;
+
+/// Run identification embedded in the export's otherData block.
+struct TraceExportMeta {
+  std::string Workload;
+  std::string Machine;
+  std::string Strategy;
+};
+
+/// Renders \p Log (plus the run's \p Phases on the host track) as one
+/// self-contained Chrome trace-event JSON document.
+std::string renderChromeTrace(const TraceLog &Log,
+                              const std::vector<obs::PhaseRecord> &Phases,
+                              const TraceExportMeta &Meta);
+
+} // namespace cta
+
+#endif // CTA_SIM_TRACEEXPORT_H

@@ -1,0 +1,315 @@
+//===- sim/TraceReport.cpp - Textual "explain this mapping" report ---------===//
+
+#include "sim/TraceReport.h"
+
+#include "poly/Program.h"
+#include "sim/Engine.h"
+#include "sim/TraceLog.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace cta;
+
+namespace {
+
+std::string fmt(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string fmt(const char *Format, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Args);
+  va_end(Args);
+  return Buf;
+}
+
+std::string percent(std::uint64_t Part, std::uint64_t Whole) {
+  if (Whole == 0)
+    return "n/a";
+  return fmt("%.1f%%", 100.0 * static_cast<double>(Part) /
+                           static_cast<double>(Whole));
+}
+
+/// "0", "1", "2-3", "4-7", ... label of reuse-distance bucket \p B.
+std::string bucketLabel(unsigned B) {
+  if (B == 0)
+    return "0";
+  std::uint64_t Lo = 1ull << (B - 1);
+  std::uint64_t Hi = (1ull << B) - 1;
+  if (B == ReuseDistanceProfiler::NumBuckets - 1)
+    return fmt(">=%" PRIu64, Lo);
+  if (Lo == Hi)
+    return fmt("%" PRIu64, Lo);
+  return fmt("%" PRIu64 "-%" PRIu64, Lo, Hi);
+}
+
+/// Aggregated reuse profile of all instances at one level.
+struct LevelReuse {
+  std::array<std::uint64_t, ReuseDistanceProfiler::NumBuckets> Histogram{};
+  std::uint64_t Cold = 0;
+  std::uint64_t Samples = 0;
+
+  std::uint64_t reuses() const { return Samples - Cold; }
+
+  std::uint64_t massUpTo(std::uint64_t Distance) const {
+    std::uint64_t Sum = 0;
+    for (unsigned B = 0, E = ReuseDistanceProfiler::bucketOf(Distance);
+         B <= E; ++B)
+      Sum += Histogram[B];
+    return Sum;
+  }
+};
+
+void renderTimeline(std::string &Out, const TraceLog &Log,
+                    const TraceReportOptions &Opts) {
+  const std::vector<std::vector<TraceLog::RoundSpan>> Rounds =
+      Log.roundSpans();
+  std::uint64_t MaxCycle = 0;
+  std::vector<std::uint64_t> CoreIters(Rounds.size(), 0);
+  for (unsigned C = 0; C != Rounds.size(); ++C)
+    for (const TraceLog::RoundSpan &S : Rounds[C])
+      if (S.active()) {
+        MaxCycle = std::max(MaxCycle, S.EndCycle);
+        CoreIters[C] += S.Iterations;
+      }
+
+  Out += fmt("== timeline (%u round%s, %" PRIu64
+             " cycles; digits = round mod 10) ==\n",
+             Log.numRounds(), Log.numRounds() == 1 ? "" : "s", MaxCycle);
+  if (MaxCycle == 0) {
+    Out += "  (no iterations recorded)\n";
+    return;
+  }
+
+  const unsigned W = std::max(8u, Opts.TimelineWidth);
+  for (unsigned C = 0; C != Rounds.size(); ++C) {
+    std::string Row(W, '.');
+    for (unsigned R = 0; R != Rounds[C].size(); ++R) {
+      const TraceLog::RoundSpan &S = Rounds[C][R];
+      if (!S.active())
+        continue;
+      std::size_t Begin = static_cast<std::size_t>(
+          static_cast<double>(S.StartCycle) / MaxCycle * W);
+      std::size_t End = static_cast<std::size_t>(
+          static_cast<double>(S.EndCycle) / MaxCycle * W);
+      Begin = std::min<std::size_t>(Begin, W - 1);
+      End = std::min<std::size_t>(std::max(End, Begin + 1), W);
+      for (std::size_t I = Begin; I != End; ++I)
+        Row[I] = static_cast<char>('0' + R % 10);
+    }
+    Out += fmt("  core %2u |%s| %" PRIu64 " iters\n", C, Row.c_str(),
+               CoreIters[C]);
+  }
+
+  const std::vector<TraceLog::BarrierRecord> &Barriers = Log.barriers();
+  if (!Barriers.empty()) {
+    Out += fmt("  barriers: %zu @ cycles", Barriers.size());
+    for (std::size_t I = 0;
+         I != Barriers.size() && I != Opts.MaxBarrierList; ++I)
+      Out += fmt(" %" PRIu64, Barriers[I].Cycle);
+    if (Barriers.size() > Opts.MaxBarrierList)
+      Out += " ...";
+    Out += "\n";
+  }
+}
+
+void renderReuse(std::string &Out, const TraceLog &Log) {
+  const CacheTopology &Topo = Log.topology();
+  const std::vector<ReuseDistanceProfiler> &Reuse = Log.reuseProfiles();
+  if (Reuse.empty()) {
+    Out += "== reuse distance ==\n  (collection disabled)\n";
+    return;
+  }
+
+  Out += "== reuse distance (LRU stack distance in lines, per level) ==\n";
+  for (unsigned Level : Topo.cacheLevels()) {
+    std::vector<unsigned> Nodes = Topo.nodesAtLevel(Level);
+    LevelReuse Agg;
+    for (unsigned Id : Nodes) {
+      const ReuseDistanceProfiler &P = Reuse[Id];
+      for (unsigned B = 0; B != ReuseDistanceProfiler::NumBuckets; ++B)
+        Agg.Histogram[B] += P.histogram()[B];
+      Agg.Cold += P.coldAccesses();
+      Agg.Samples += P.samples();
+    }
+
+    const CacheParams &Params = Topo.node(Nodes.front()).Params;
+    std::uint64_t CapacityLines =
+        std::max<std::uint64_t>(1, Params.SizeBytes / Params.LineSize);
+    Out += fmt("  L%u (%zu instance%s, %" PRIu64 " lines each): samples=%" PRIu64
+               " cold=%s\n",
+               Level, Nodes.size(), Nodes.size() == 1 ? "" : "s",
+               CapacityLines, Agg.Samples,
+               percent(Agg.Cold, Agg.Samples).c_str());
+    if (Agg.reuses() == 0) {
+      Out += "    (no reuse)\n";
+      continue;
+    }
+    // The headline locality number: how much of the reuse mass would hit
+    // in a fully associative cache of this instance's capacity.
+    Out += fmt("    reuse mass within capacity: %s of %" PRIu64 " reuses\n",
+               percent(Agg.massUpTo(CapacityLines - 1), Agg.reuses()).c_str(),
+               Agg.reuses());
+
+    std::uint64_t MaxBucket =
+        *std::max_element(Agg.Histogram.begin(), Agg.Histogram.end());
+    for (unsigned B = 0; B != ReuseDistanceProfiler::NumBuckets; ++B) {
+      if (Agg.Histogram[B] == 0)
+        continue;
+      unsigned Bar = static_cast<unsigned>(
+          30.0 * static_cast<double>(Agg.Histogram[B]) /
+          static_cast<double>(MaxBucket));
+      Out += fmt("    d %-12s %-30s %s\n", bucketLabel(B).c_str(),
+                 std::string(std::max(1u, Bar), '#').c_str(),
+                 percent(Agg.Histogram[B], Agg.reuses()).c_str());
+    }
+  }
+}
+
+void renderSharing(std::string &Out, const TraceLog &Log,
+                   const TraceReportOptions &Opts) {
+  const CacheTopology &Topo = Log.topology();
+  const unsigned NumCores = Topo.numCores();
+
+  Out += "== sharing flow (filler core -> consumer core, shared caches) ==\n";
+  bool Any = false;
+  for (unsigned Level : Topo.cacheLevels()) {
+    bool Shared = false;
+    for (unsigned Id : Topo.nodesAtLevel(Level))
+      Shared |= Topo.node(Id).Cores.size() > 1;
+    if (!Shared)
+      continue;
+    Any = true;
+
+    std::vector<std::uint64_t> M = Log.sharingMatrixAtLevel(Level);
+    std::uint64_t Total = 0, Cross = 0;
+    for (unsigned F = 0; F != NumCores; ++F)
+      for (unsigned T = 0; T != NumCores; ++T) {
+        std::uint64_t V = M[static_cast<std::size_t>(F) * NumCores + T];
+        Total += V;
+        if (F != T)
+          Cross += V;
+      }
+    Out += fmt("  L%u: %" PRIu64 " attributed hits, %" PRIu64
+               " cross-core (%s)\n",
+               Level, Total, Cross, percent(Cross, Total).c_str());
+    if (Total == 0 || NumCores > Opts.MaxMatrixCores)
+      continue;
+
+    // Column width fits the largest cell.
+    std::uint64_t MaxCell = *std::max_element(M.begin(), M.end());
+    int Width = 1;
+    for (std::uint64_t V = MaxCell; V >= 10; V /= 10)
+      ++Width;
+    Width = std::max(Width + 1, 4);
+
+    Out += "      to:";
+    for (unsigned T = 0; T != NumCores; ++T)
+      Out += fmt("%*u", Width, T);
+    Out += "\n";
+    for (unsigned F = 0; F != NumCores; ++F) {
+      Out += fmt("  from %2u:", F);
+      for (unsigned T = 0; T != NumCores; ++T)
+        Out += fmt("%*" PRIu64, Width,
+                   M[static_cast<std::size_t>(F) * NumCores + T]);
+      Out += "\n";
+    }
+  }
+  if (!Any)
+    Out += "  (no shared caches in this topology)\n";
+}
+
+void renderTopGranules(std::string &Out, const TraceLog &Log,
+                       const Program *Prog,
+                       const TraceReportOptions &Opts) {
+  Out += fmt("== top data granules by miss pressure (%u B each) ==\n",
+             1u << TraceLog::MissGranuleShift);
+  struct Row {
+    std::uint64_t Key;
+    TraceLog::GranuleCounts Counts;
+  };
+  std::vector<Row> Rows;
+  Rows.reserve(Log.missGranules().size());
+  for (const auto &[Key, Counts] : Log.missGranules())
+    Rows.push_back({Key, Counts});
+  // Memory traffic first (the expensive misses), then total misses, then
+  // address for a deterministic order.
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.Counts.MemoryAccesses != B.Counts.MemoryAccesses)
+      return A.Counts.MemoryAccesses > B.Counts.MemoryAccesses;
+    if (A.Counts.CacheMisses != B.Counts.CacheMisses)
+      return A.Counts.CacheMisses > B.Counts.CacheMisses;
+    return A.Key < B.Key;
+  });
+  if (Rows.empty()) {
+    Out += "  (no misses)\n";
+    return;
+  }
+
+  // Rebuild the simulator's deterministic array layout for labelling.
+  const AddressMap *Addrs = nullptr;
+  AddressMap Layout({});
+  if (Prog != nullptr) {
+    Layout = AddressMap(Prog->Arrays);
+    Addrs = &Layout;
+  }
+
+  for (std::size_t I = 0; I != Rows.size() && I != Opts.TopBlocks; ++I) {
+    const Row &R = Rows[I];
+    std::uint64_t Addr = R.Key << TraceLog::MissGranuleShift;
+    std::string Label = fmt("0x%08" PRIx64, Addr);
+    if (Addrs != nullptr) {
+      for (unsigned A = 0; A != Prog->Arrays.size(); ++A) {
+        const ArrayDecl &Decl = Prog->Arrays[A];
+        std::uint64_t Base = Addrs->baseOf(A);
+        if (Addr >= Base &&
+            Addr < Base + static_cast<std::uint64_t>(Decl.sizeInBytes())) {
+          Label += fmt("  %s[elem %" PRIu64 "]", Decl.Name.c_str(),
+                       (Addr - Base) / Decl.ElementSize);
+          break;
+        }
+      }
+    }
+    Out += fmt("  %2zu. %-32s misses=%-10" PRIu64 " mem=%" PRIu64 "\n", I + 1,
+               Label.c_str(), R.Counts.CacheMisses,
+               R.Counts.MemoryAccesses);
+  }
+}
+
+void renderTotals(std::string &Out, const TraceLog &Log) {
+  const CacheTopology &Topo = Log.topology();
+  Out += "== per-cache event totals ==\n";
+  Out += "  node level cores        hits      misses   evictions       "
+         "fills\n";
+  for (unsigned Id = 1, E = Topo.numNodes(); Id != E; ++Id) {
+    const TraceLog::NodeCounts &NC = Log.nodeCounts()[Id];
+    Out += fmt("  %4u %5u %5zu %11" PRIu64 " %11" PRIu64 " %11" PRIu64
+               " %11" PRIu64 "\n",
+               Id, Topo.node(Id).Level, Topo.node(Id).Cores.size(), NC.Hits,
+               NC.Misses, NC.Evictions, NC.Fills);
+  }
+  Out += fmt("  memory accesses: %" PRIu64 "\n", Log.nodeCounts()[0].Misses);
+}
+
+} // namespace
+
+std::string cta::renderTraceReport(const TraceLog &Log, const Program *Prog,
+                                   const TraceReportOptions &Opts) {
+  const CacheTopology &Topo = Log.topology();
+  std::string Out;
+  Out += fmt("trace report: machine %s (%u cores, %u nodes)\n",
+             Topo.name().c_str(), Topo.numCores(), Topo.numNodes() - 1);
+  Out += fmt("events: %" PRIu64 " collected, %" PRIu64
+             " dropped from the ring (aggregates below are exact)\n",
+             Log.totalEvents(), Log.droppedEvents());
+  renderTimeline(Out, Log, Opts);
+  renderReuse(Out, Log);
+  renderSharing(Out, Log, Opts);
+  renderTopGranules(Out, Log, Prog, Opts);
+  renderTotals(Out, Log);
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- sim/TraceReport.h - Textual "explain this mapping" report *- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TraceLog as the `cta trace` report: a per-core/per-round
+/// execution Gantt, reuse-distance summaries per cache level (including
+/// the share of reuse mass that fits within one instance's capacity — the
+/// number that separates topology-aware from topology-blind mappings),
+/// the core-to-core sharing-flow matrix of each shared level, the top-N
+/// miss-dominant data granules (labelled with their owning array when the
+/// program is provided), and the exact per-cache event totals. Everything
+/// printed comes from the log's exact aggregates, so the report is
+/// unaffected by ring-buffer overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_TRACEREPORT_H
+#define CTA_SIM_TRACEREPORT_H
+
+#include <string>
+
+namespace cta {
+
+class TraceLog;
+struct Program;
+
+/// Rendering knobs (defaults fit a normal terminal).
+struct TraceReportOptions {
+  /// Rows of the miss-dominant granule table.
+  unsigned TopBlocks = 10;
+  /// Character width of the Gantt timeline.
+  unsigned TimelineWidth = 64;
+  /// Sharing matrices wider than this many cores render as summary only.
+  unsigned MaxMatrixCores = 32;
+  /// At most this many barrier cycles are listed explicitly.
+  unsigned MaxBarrierList = 8;
+};
+
+/// Renders the report. \p Prog (optional) labels data granules with their
+/// owning arrays; it must be the program the trace was collected from.
+std::string renderTraceReport(const TraceLog &Log,
+                              const Program *Prog = nullptr,
+                              const TraceReportOptions &Opts = {});
+
+} // namespace cta
+
+#endif // CTA_SIM_TRACEREPORT_H

@@ -14,6 +14,7 @@
 #include "exec/Fingerprint.h"
 #include "exec/RunCache.h"
 #include "exec/ThreadPool.h"
+#include "sim/TraceLog.h"
 #include "topo/Presets.h"
 #include "workloads/Suite.h"
 
@@ -137,22 +138,26 @@ fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
   hashOptions(H, Opts);
   if (Version >= 4)
     H.add(std::uint64_t{0}); // no DSL source
+  if (Version >= 5)
+    H.add(false); // not traced
   return H.hash();
 }
 
 TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
-  // The frontend/ DSL bumped RunCacheFormatVersion from 3 to 4 (keys gain
-  // a trailing source content hash), so entries produced by older engines
-  // can never be served. Keys minted under any old salt must not collide
-  // with current keys.
+  // The sim/ tracing layer bumped RunCacheFormatVersion from 4 to 5 (keys
+  // gain a trailing traced flag, phase records gain a start time), so
+  // entries produced by older engines can never be served. Keys minted
+  // under any old salt must not collide with current keys.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
 
-  ASSERT_EQ(RunCacheFormatVersion, 4u);
+  ASSERT_EQ(RunCacheFormatVersion, 5u);
   std::uint64_t Current =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
-  EXPECT_EQ(Current, fingerprintWithVersion(4, Prog, Topo,
+  EXPECT_EQ(Current, fingerprintWithVersion(5, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+  EXPECT_NE(Current, fingerprintWithVersion(4, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(3, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
@@ -160,6 +165,23 @@ TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(1, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
+}
+
+TEST(FingerprintTest, TracedFlagExtendsKey) {
+  // A traced run (which bypasses the cache) must never share a key with
+  // the untraced run of the same inputs.
+  Program Prog = makeWorkload("cg");
+  CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+
+  std::uint64_t Untraced =
+      runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
+  EXPECT_EQ(Untraced, runFingerprint(Prog, Topo, nullptr,
+                                     Strategy::TopologyAware, Opts, 0,
+                                     /*Traced=*/false));
+  EXPECT_NE(Untraced, runFingerprint(Prog, Topo, nullptr,
+                                     Strategy::TopologyAware, Opts, 0,
+                                     /*Traced=*/true));
 }
 
 TEST(FingerprintTest, SourceContentHashExtendsKey) {
@@ -205,12 +227,14 @@ RunResult sampleResult() {
   R.Counters["clusterer.merges"] = 17;
   obs::PhaseRecord P;
   P.Name = "pipeline.tag";
+  P.StartSeconds = 1.25;
   P.Seconds = 0.0125;
   P.PeakRssKb = 20480;
   P.CounterDeltas["tagger.iterations"] = 4096;
   R.Phases.push_back(P);
   obs::PhaseRecord Q;
   Q.Name = "sim.execute";
+  Q.StartSeconds = 1.2625;
   Q.Seconds = 0.5;
   Q.PeakRssKb = 20992;
   R.Phases.push_back(Q);
@@ -254,6 +278,7 @@ TEST(RunCacheTest, SerializationRoundTrips) {
   ASSERT_EQ(Back->Phases.size(), R.Phases.size());
   for (std::size_t I = 0; I != R.Phases.size(); ++I) {
     EXPECT_EQ(Back->Phases[I].Name, R.Phases[I].Name);
+    EXPECT_EQ(Back->Phases[I].StartSeconds, R.Phases[I].StartSeconds);
     EXPECT_EQ(Back->Phases[I].Seconds, R.Phases[I].Seconds); // %a lossless
     EXPECT_EQ(Back->Phases[I].PeakRssKb, R.Phases[I].PeakRssKb);
     EXPECT_EQ(Back->Phases[I].CounterDeltas, R.Phases[I].CounterDeltas);
@@ -266,6 +291,7 @@ TEST(RunCacheTest, DeterministicBytesZeroesMeasurements) {
   RunResult A = sampleResult();
   RunResult B = sampleResult();
   B.MappingSeconds = A.MappingSeconds * 3;
+  B.Phases[0].StartSeconds = 123.0;
   B.Phases[0].Seconds = 99.0;
   B.Phases[1].PeakRssKb = 1;
   EXPECT_EQ(deterministicBytes(A), deterministicBytes(B));
@@ -467,6 +493,42 @@ TEST_F(WarmCacheTest, CrossMachineTasksCacheIndependently) {
   for (std::size_t I = 0; I != Tasks.size(); ++I)
     EXPECT_EQ(serializeRunResult(First[I], 0),
               serializeRunResult(Second[I], 0));
+}
+
+TEST_F(WarmCacheTest, TracedRunsBypassTheCacheBothWays) {
+  ExecConfig Config;
+  Config.Jobs = 1;
+  Config.CacheDir = Dir;
+
+  Program Prog = makeWorkload("h264");
+  CacheTopology Dun = makeDunnington().scaledCapacity(1.0 / 32);
+  MappingOptions Opts;
+  RunTask Untraced =
+      makeRunTask(Prog, Dun, Strategy::TopologyAware, Opts, "untraced");
+
+  // Warm the cache with the untraced run.
+  ExperimentRunner Cold(Config);
+  RunResult Plain = Cold.runOne(Untraced);
+  EXPECT_EQ(Cold.cache().stores(), 1u);
+
+  // The traced run must not be served from the warm cache (its log would
+  // come back empty) and must not store a new entry; its artifact says so.
+  RunTask Traced = Untraced;
+  Traced.TraceSink = std::make_shared<TraceLog>();
+  ExperimentRunner Runner(Config);
+  RunResult TracedResult = Runner.runOne(Traced);
+  EXPECT_EQ(Runner.simulatorInvocations(), 1u);
+  EXPECT_EQ(Runner.cache().stores(), 0u);
+  EXPECT_EQ(Runner.cache().hits(), 0u);
+  ASSERT_EQ(Runner.artifacts().size(), 1u);
+  EXPECT_EQ(Runner.artifacts()[0].CacheStatus, "bypass");
+
+  // Tracing must not perturb the simulation itself...
+  EXPECT_EQ(deterministicBytes(TracedResult), deterministicBytes(Plain));
+  // ...and the log must have observed it.
+  EXPECT_GT(Traced.TraceSink->totalEvents(), 0u);
+  EXPECT_EQ(Traced.TraceSink->nodeCounts()[0].Misses,
+            TracedResult.Stats.MemoryAccesses);
 }
 
 TEST(ExperimentRunnerTest, ParseExecArgsFormsAndDefaults) {

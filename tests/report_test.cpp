@@ -64,6 +64,12 @@ TEST(Report, LevelsMatchSharedCaches) {
   EXPECT_GE(Rep.Levels[1].withinFraction(),
             Rep.Levels[0].withinFraction());
   EXPECT_FALSE(Rep.str().empty());
+  // The one-line summary names every shared level.
+  std::string Compact = Rep.compactStr();
+  EXPECT_NE(Compact.find("L2 "), std::string::npos);
+  EXPECT_NE(Compact.find("L3 "), std::string::npos);
+  EXPECT_NE(Compact.find("in-domain"), std::string::npos);
+  EXPECT_EQ(MappingReport().compactStr(), "no group diagnostics");
 }
 
 TEST(Report, TwoPassProgramRunsBothNests) {

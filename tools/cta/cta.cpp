@@ -15,6 +15,13 @@
 ///       writes the cta-bench-artifact-v1 document; --emit-code prints
 ///       the generated C-like nest code.
 ///
+///   cta trace <workload> --machine <preset|file.topo> [options]
+///       Like `cta run`, but with event tracing attached: prints the
+///       textual trace report (per-core Gantt, reuse-distance summaries
+///       per cache level, sharing-flow matrices, top miss blocks) for
+///       each machine. --emit-trace additionally writes the Perfetto-
+///       loadable Chrome trace-event JSON.
+///
 ///   cta check [--topo] <file>...
 ///       Parse-and-validate only. Diagnostics go to stderr in the
 ///       file:line:col caret format; exit status 1 when any file fails.
@@ -22,7 +29,7 @@
 ///       instead of workloads.
 ///
 ///   cta list
-///       The compiled-in workload suite and machine presets.
+///       The compiled-in workload suite, machine presets and strategies.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,16 +39,22 @@
 #include "frontend/Printer.h"
 #include "obs/RunArtifact.h"
 #include "poly/CodeGen.h"
+#include "sim/TraceExport.h"
+#include "sim/TraceLog.h"
+#include "sim/TraceReport.h"
+#include "support/Diag.h"
 #include "support/Hashing.h"
 #include "topo/Parse.h"
 #include "topo/Presets.h"
 #include "workloads/Suite.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -54,10 +67,11 @@ namespace {
 const char *UsageText =
     "usage:\n"
     "  cta run <file.cta|workload> --machine <preset|file.topo> [options]\n"
+    "  cta trace <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta check [--topo] <file>...\n"
     "  cta list\n"
     "\n"
-    "run options:\n"
+    "run/trace options:\n"
     "  --machine M      machine preset (see `cta list`) or .topo file;\n"
     "                   repeatable — the workload runs on each machine\n"
     "  --runs-on M      execute the mapping on a different machine than it\n"
@@ -71,6 +85,9 @@ const char *UsageText =
     "  --block-size N   data block size in bytes (0 = auto-select)\n"
     "  --emit-code      print the generated C-like loop nests\n"
     "  --emit-json P    write the cta-bench-artifact-v1 JSON to P\n"
+    "  --emit-trace P   write the Perfetto-loadable cta-trace-v1 Chrome\n"
+    "                   trace-event JSON to P (needs exactly one --machine;\n"
+    "                   on `cta run` this turns event tracing on)\n"
     "  --jobs N, --cache-dir P, --no-timing   (exec/ flags, as in benches)\n";
 
 [[noreturn]] void usageError(const std::string &Msg) {
@@ -184,6 +201,10 @@ int runList() {
                 static_cast<double>(Topo.totalCacheBytes()) /
                     (1024.0 * 1024.0));
   }
+  std::printf("\nstrategies (usable as `--strategy <name>`):\n");
+  for (Strategy S : {Strategy::Base, Strategy::BasePlus, Strategy::Local,
+                     Strategy::TopologyAware, Strategy::Combined})
+    std::printf("  %-14s %s\n", strategyName(S), strategyDescription(S));
   return 0;
 }
 
@@ -282,7 +303,42 @@ std::uint64_t parseUintOrDie(const char *Flag, const std::string &Value) {
   }
 }
 
-int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
+/// Rejects an unwritable --emit-trace path with a caret diagnostic that
+/// points into the command line itself: the full argv (joined with single
+/// spaces) is the "source", and the caret underlines the path argument.
+[[noreturn]] void emitTracePathError(int argc, char **argv,
+                                     const std::string &Path,
+                                     const std::string &Reason) {
+  std::string Source;
+  std::size_t Offset = std::string::npos;
+  for (int I = 0; I < argc; ++I) {
+    if (I)
+      Source += ' ';
+    const char *Arg = argv[I];
+    std::size_t TokenStart = Source.size();
+    Source += Arg;
+    if (Offset != std::string::npos)
+      continue;
+    if (std::strncmp(Arg, "--emit-trace=", 13) == 0 && Path == Arg + 13)
+      Offset = TokenStart + 13;
+    else if (I > 0 && std::strcmp(argv[I - 1], "--emit-trace") == 0 &&
+             Path == Arg)
+      Offset = TokenStart;
+  }
+  if (Offset == std::string::npos)
+    Offset = 0; // path came from nowhere findable; point at the start
+  unsigned CaretLen = Path.empty() ? 1 : static_cast<unsigned>(Path.size());
+  std::fprintf(stderr, "%s\n",
+               renderDiag("<command-line>", locForOffset(Source, Offset),
+                          "cannot write trace file '" + Path +
+                              "': " + Reason,
+                          Source, CaretLen)
+                   .c_str());
+  std::exit(1);
+}
+
+int runRun(int argc, char **argv, const std::vector<std::string> &Args,
+           bool TraceMode) {
   std::string WorkloadSpec;
   std::vector<std::string> MachineSpecs;
   std::string RunsOnSpec;
@@ -290,6 +346,8 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
   double Scale = 1.0 / 32;
   MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
   bool EmitCode = false;
+  std::string EmitTracePath;
+  const char *Cmd = TraceMode ? "cta trace" : "cta run";
 
   for (std::size_t I = 0; I != Args.size(); ++I) {
     const std::string &Arg = Args[I];
@@ -321,8 +379,12 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
                                            value("--block-size"));
     } else if (Arg == "--emit-code") {
       EmitCode = true;
+    } else if (Arg == "--emit-trace") {
+      EmitTracePath = value("--emit-trace");
+    } else if (Arg.rfind("--emit-trace=", 0) == 0) {
+      EmitTracePath = Arg.substr(std::strlen("--emit-trace="));
     } else if (Arg.rfind("--", 0) == 0) {
-      usageError("unknown `cta run` flag '" + Arg + "'");
+      usageError("unknown `" + std::string(Cmd) + "` flag '" + Arg + "'");
     } else if (WorkloadSpec.empty()) {
       WorkloadSpec = Arg;
     } else {
@@ -330,9 +392,20 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
     }
   }
   if (WorkloadSpec.empty())
-    usageError("`cta run` needs a workload (.cta file or suite name)");
+    usageError("`" + std::string(Cmd) +
+               "` needs a workload (.cta file or suite name)");
   if (MachineSpecs.empty())
-    usageError("`cta run` needs --machine");
+    usageError("`" + std::string(Cmd) + "` needs --machine");
+  if (!EmitTracePath.empty()) {
+    if (MachineSpecs.size() != 1)
+      usageError("--emit-trace needs exactly one --machine");
+    // Probe writability now, before potentially minutes of simulation.
+    // Append mode leaves an existing file's contents alone if the run is
+    // later interrupted.
+    std::ofstream Probe(EmitTracePath, std::ios::app);
+    if (!Probe)
+      emitTracePathError(argc, argv, EmitTracePath, std::strerror(errno));
+  }
 
   WorkloadInput Input = loadWorkload(WorkloadSpec);
   ExecConfig Config = parseExecArgs(argc, argv);
@@ -342,7 +415,9 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
   if (!RunsOnSpec.empty())
     RunsOn = resolveMachine(RunsOnSpec, Scale);
 
+  const bool Traced = TraceMode || !EmitTracePath.empty();
   std::vector<RunTask> Tasks;
+  std::vector<std::shared_ptr<TraceLog>> Logs;
   for (const std::string &Spec : MachineSpecs) {
     RunTask Task = makeRunTask(Input.Prog, resolveMachine(Spec, Scale), Strat,
                                Opts,
@@ -350,6 +425,10 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
                                    strategyName(Strat));
     Task.RunsOn = RunsOn;
     Task.SourceHash = Input.SourceHash;
+    if (Traced) {
+      Task.TraceSink = std::make_shared<TraceLog>();
+      Logs.push_back(Task.TraceSink);
+    }
     Tasks.push_back(std::move(Task));
   }
 
@@ -375,6 +454,30 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args) {
     std::printf("  caches      %s\n", R.Stats.str().c_str());
     if (!Config.NoTiming)
       std::printf("  mapping     %.3fs\n", R.MappingSeconds);
+    if (TraceMode) {
+      std::printf("  static      %s\n", R.Sharing.compactStr().c_str());
+      std::printf("\n%s", renderTraceReport(*Logs[I], &Input.Prog).c_str());
+    }
+  }
+
+  if (!EmitTracePath.empty()) {
+    TraceExportMeta Meta;
+    Meta.Workload = Input.Prog.Name;
+    // The log observes the machine that actually executed (--runs-on).
+    Meta.Machine = RunsOn ? RunsOnSpec : MachineSpecs[0];
+    Meta.Strategy = strategyName(Strat);
+    std::string Json = renderChromeTrace(*Logs[0], Results[0].Phases, Meta);
+    std::ofstream Out(EmitTracePath, std::ios::trunc | std::ios::binary);
+    if (!Out)
+      emitTracePathError(argc, argv, EmitTracePath, std::strerror(errno));
+    Out << Json;
+    Out.flush();
+    if (!Out)
+      emitTracePathError(argc, argv, EmitTracePath, "write failed");
+    std::fprintf(stderr,
+                 "wrote %s (%" PRIu64 " events, %" PRIu64 " dropped)\n",
+                 EmitTracePath.c_str(), Logs[0]->totalEvents(),
+                 Logs[0]->droppedEvents());
   }
 
   if (EmitCode) {
@@ -408,7 +511,7 @@ int main(int argc, char **argv) {
   // subcommand parsers only see their own (run re-parses argv for them).
   std::vector<std::string> Args;
   for (int I = 2; I < argc; ++I) {
-    if (Cmd == "run" && isExecFlag(argc, argv, I))
+    if ((Cmd == "run" || Cmd == "trace") && isExecFlag(argc, argv, I))
       continue;
     Args.push_back(argv[I]);
   }
@@ -418,6 +521,8 @@ int main(int argc, char **argv) {
   if (Cmd == "check")
     return runCheck(Args);
   if (Cmd == "run")
-    return runRun(argc, argv, Args);
+    return runRun(argc, argv, Args, /*TraceMode=*/false);
+  if (Cmd == "trace")
+    return runRun(argc, argv, Args, /*TraceMode=*/true);
   usageError("unknown subcommand '" + Cmd + "'");
 }
