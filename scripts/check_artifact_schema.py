@@ -15,6 +15,12 @@ Validates two document kinds, dispatched on shape:
    the otherData identification block, and the exact per-cache event
    totals being internally consistent (fills = misses, evictions <=
    fills).
+ * cta-serve-resp-v1 — one `cta serve` response document (captured with
+   `cta client --dump-response`): ok responses embed a full
+   cta-run-artifact-v1 under "run"; error responses carry a typed kind.
+ * cta-serve-bench-v1 — the `cta client` load report: counts reconcile
+   (ok + errors = measured requests) and the latency block is ordered
+   (p50 <= p90 <= p99 <= max).
 
 Exits non-zero and prints one line per violation; this is a guard
 against silent schema drift, not a full JSON-Schema validator.
@@ -88,7 +94,11 @@ def check_run(run, path):
     )
     if run.get("schema") != "cta-run-artifact-v1":
         err(path, f"unexpected run schema {run.get('schema')!r}")
-    if run.get("cache_status") not in ("hit", "miss", "disabled", "bypass"):
+    # "warm"/"coalesced"/"skipped" are the serve-tier views added with
+    # `cta serve`; CLI artifacts only ever carry the first four.
+    if run.get("cache_status") not in (
+            "hit", "miss", "disabled", "bypass", "warm", "coalesced",
+            "skipped"):
         err(path, f"unexpected cache_status {run.get('cache_status')!r}")
 
     level_ids = set()
@@ -222,6 +232,83 @@ def check_trace(doc, path):
         expect_keys(ev, required, epath)
 
 
+def check_serve_resp(doc, path):
+    expect_keys(doc, {"schema": str, "id": str, "status": str}, path)
+    status = doc.get("status")
+    if status == "ok":
+        expect_keys(
+            doc,
+            {
+                "cache_status": str,
+                "queue_seconds": (int, float),
+                "service_seconds": (int, float),
+                "run": dict,
+            },
+            path,
+        )
+        if doc.get("cache_status") not in (
+                "warm", "coalesced", "hit", "miss", "disabled"):
+            err(path, f"unexpected cache_status {doc.get('cache_status')!r}")
+        if isinstance(doc.get("run"), dict):
+            check_run(doc["run"], f"{path}.run")
+    elif status == "error":
+        error = doc.get("error")
+        if not isinstance(error, dict):
+            err(path, "error response without an 'error' object")
+            return
+        expect_keys(error, {"kind": str, "message": str}, f"{path}.error")
+        if error.get("kind") not in (
+                "bad_request", "parse", "overloaded", "shutdown"):
+            err(f"{path}.error", f"unexpected kind {error.get('kind')!r}")
+    else:
+        err(path, f"unexpected status {status!r}")
+
+
+def check_serve_bench(doc, path):
+    expect_keys(
+        doc,
+        {
+            "schema": str,
+            "benchmark": str,
+            "socket": str,
+            "workload": str,
+            "machine": str,
+            "strategy": str,
+            "requests": int,
+            "concurrency": int,
+            "mix": str,
+            "ok": int,
+            "errors": dict,
+            "cache_status": dict,
+            "wall_seconds": (int, float),
+            "requests_per_second": (int, float),
+            "latency_seconds": dict,
+            "queue_seconds_mean": (int, float),
+            "service_seconds_mean": (int, float),
+        },
+        path,
+    )
+    check_counters(doc.get("errors", {}), f"{path}.errors")
+    check_counters(doc.get("cache_status", {}), f"{path}.cache_status")
+    measured = doc.get("ok", 0) + sum(doc.get("errors", {}).values())
+    if measured != doc.get("requests"):
+        err(path, f"ok + errors = {measured} != requests "
+            f"{doc.get('requests')}")
+    lat = doc.get("latency_seconds", {})
+    if isinstance(lat, dict):
+        lpath = f"{path}.latency_seconds"
+        expect_keys(
+            lat,
+            {"mean": (int, float), "p50": (int, float), "p90": (int, float),
+             "p99": (int, float), "max": (int, float)},
+            lpath,
+        )
+        quantiles = [lat.get(k, 0) for k in ("p50", "p90", "p99", "max")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if quantiles != sorted(quantiles):
+                err(lpath, "latency quantiles are not monotone")
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -235,6 +322,11 @@ def main(argv):
             continue
         if isinstance(doc, dict) and "traceEvents" in doc:
             check_trace(doc, file)
+        elif isinstance(doc, dict) and doc.get("schema") == "cta-serve-resp-v1":
+            check_serve_resp(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-serve-bench-v1":
+            check_serve_bench(doc, file)
         else:
             check_bench(doc, file)
     for line in ERRORS:

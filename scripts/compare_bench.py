@@ -13,6 +13,13 @@ against the committed baseline (BASELINE) and fails when
    work, and the wall-clock comparison would be meaningless, or
  * the benchmark names differ.
 
+When both files are cta-serve-bench-v1 documents (the `cta client`
+load report), the gated metric is requests_per_second instead — a
+*drop* beyond PCT fails — after checking that requests, concurrency
+and the warm:cold mix match, that every request completed ok, and that
+the cache_status histograms agree (a warm-serving regression shows up
+as misses before it shows up as latency).
+
 Improvements and within-threshold noise pass with a one-line summary.
 The per-phase breakdown (phase_seconds, present since PR 5) is reported
 informationally when both files carry it but never gates: phase
@@ -36,6 +43,39 @@ def load(path):
         die(f"cannot read {path}: {e}", 2)
 
 
+def compare_serve(base, fresh, max_regress):
+    for key in ("benchmark", "requests", "concurrency", "mix"):
+        if base.get(key) != fresh.get(key):
+            die(f"{key} mismatch: baseline {base.get(key)!r} vs fresh "
+                f"{fresh.get(key)!r} — the runs measured different load, "
+                "re-baseline deliberately if the recipe changed")
+    for name, doc in (("baseline", base), ("fresh", fresh)):
+        if doc.get("ok") != doc.get("requests"):
+            die(f"{name} run was not clean: ok {doc.get('ok')} of "
+                f"{doc.get('requests')} requests ({doc.get('errors')})")
+    if base.get("cache_status") != fresh.get("cache_status"):
+        die(f"cache_status mismatch: baseline {base.get('cache_status')} "
+            f"vs fresh {fresh.get('cache_status')} — warm serving broke "
+            "before throughput did")
+
+    base_rps = base.get("requests_per_second")
+    fresh_rps = fresh.get("requests_per_second")
+    if not isinstance(base_rps, (int, float)) or base_rps <= 0:
+        die(f"baseline requests_per_second unusable: {base_rps!r}", 2)
+    if not isinstance(fresh_rps, (int, float)) or fresh_rps <= 0:
+        die(f"fresh requests_per_second unusable: {fresh_rps!r}", 2)
+
+    delta_pct = (fresh_rps - base_rps) / base_rps * 100.0
+    summary = (f"throughput {base_rps:.0f} -> {fresh_rps:.0f} req/s "
+               f"({delta_pct:+.1f}%), {fresh.get('requests')} requests at "
+               f"concurrency {fresh.get('concurrency')}, "
+               f"mix {fresh.get('mix')}")
+    if -delta_pct > max_regress:
+        die(f"REGRESSION: {summary} exceeds the {max_regress:.0f}% gate")
+    print(f"compare_bench: OK: {summary} (gate {max_regress:.0f}%)")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     max_regress = 15.0
@@ -51,6 +91,13 @@ def main(argv):
         die("usage: compare_bench.py BASELINE FRESH [--max-regress PCT]", 2)
 
     base, fresh = load(args[0]), load(args[1])
+
+    serve = "cta-serve-bench-v1"
+    if base.get("schema") == serve or fresh.get("schema") == serve:
+        if base.get("schema") != fresh.get("schema"):
+            die(f"schema mismatch: baseline {base.get('schema')!r} vs "
+                f"fresh {fresh.get('schema')!r}")
+        return compare_serve(base, fresh, max_regress)
 
     if base.get("benchmark") != fresh.get("benchmark"):
         die(f"benchmark mismatch: baseline {base.get('benchmark')!r} vs "

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+#===- scripts/serve_smoke.sh - End-to-end smoke of cta serve -------------===#
+#
+# Boots a real daemon on a scratch Unix socket and drives it with the
+# cta client load generator: a warm-only phase (every request after the
+# prime must be answered from the in-memory index), then a warm/cold mix
+# (cold requests carry unique alphas, so each one exercises the full
+# admission -> batch -> simulate path). Both the captured response
+# document and the bench report are validated against the published
+# schemas, and the daemon must drain cleanly on SIGTERM: exit 0, socket
+# unlinked, summary line on stderr.
+#
+# Usage: scripts/serve_smoke.sh <build-dir> [output-bench-json]
+#
+# The optional second argument saves the warm-phase cta-serve-bench-v1
+# report (the document compare_bench.py gates on) outside the scratch
+# directory, e.g. for upload or baseline refresh.
+#
+#===----------------------------------------------------------------------===#
+
+set -u -o pipefail
+
+BUILD_DIR="${1:?usage: serve_smoke.sh <build-dir> [output-bench-json]}"
+OUT_BENCH="${2:-}"
+CTA="$BUILD_DIR/tools/cta/cta"
+SCRIPTS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+if [ ! -x "$CTA" ]; then
+  echo "serve_smoke: $CTA not built" >&2
+  exit 1
+fi
+
+DIR="$(mktemp -d)"
+SOCK="$DIR/serve.sock"
+SRV_PID=""
+fail() {
+  echo "serve_smoke: $1" >&2
+  [ -s "$DIR/serve.log" ] && sed 's/^/serve_smoke: [daemon] /' "$DIR/serve.log" >&2
+  exit 1
+}
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -KILL "$SRV_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$CTA" serve --socket "$SOCK" --cache-dir "$DIR/cache" --jobs 4 \
+  2>"$DIR/serve.log" &
+SRV_PID=$!
+
+for _ in $(seq 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SRV_PID" 2>/dev/null || fail "daemon died before creating the socket"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon never created $SOCK"
+
+# Phase 1: warm throughput. One priming request populates the index;
+# the 300 measured requests must then all be served warm. The captured
+# response and the bench report both go through the schema checker.
+"$CTA" client --socket "$SOCK" --workload cg --machine dunnington \
+  --requests 300 --concurrency 8 --mix 1:0 \
+  --emit-json "$DIR/warm-bench.json" \
+  --dump-response "$DIR/warm-resp.json" \
+  || fail "warm client run failed"
+python3 "$SCRIPTS_DIR/check_artifact_schema.py" \
+  "$DIR/warm-bench.json" "$DIR/warm-resp.json" \
+  || fail "warm artifacts violate the schema"
+python3 - "$DIR/warm-bench.json" <<'PYEOF' || fail "warm phase was not warm"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] == doc["requests"] == 300, doc
+assert doc["cache_status"] == {"warm": 300}, doc["cache_status"]
+PYEOF
+
+# Phase 2: warm/cold mix on a different workload so the cold requests
+# really run the simulator (unique alphas -> unique fingerprints).
+"$CTA" client --socket "$SOCK" --workload sp --machine nehalem \
+  --requests 60 --concurrency 4 --mix 2:1 \
+  --emit-json "$DIR/mix-bench.json" \
+  || fail "mixed client run failed"
+python3 "$SCRIPTS_DIR/check_artifact_schema.py" "$DIR/mix-bench.json" \
+  || fail "mixed artifact violates the schema"
+python3 - "$DIR/mix-bench.json" <<'PYEOF' || fail "mixed phase lost requests"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] == doc["requests"] == 60, doc
+status = doc["cache_status"]
+cold = sum(v for k, v in status.items() if k != "warm")
+assert status.get("warm", 0) == 40 and cold == 20, status
+PYEOF
+
+# Graceful shutdown: SIGTERM must drain, unlink the socket and exit 0.
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_RC=$?
+SRV_PID=""
+[ "$SRV_RC" -eq 0 ] || fail "daemon exited $SRV_RC on SIGTERM"
+[ -S "$SOCK" ] && fail "daemon left $SOCK behind"
+grep -q '^\[serve\] requests=' "$DIR/serve.log" \
+  || fail "daemon exited without its summary line"
+
+if [ -n "$OUT_BENCH" ]; then
+  cp "$DIR/warm-bench.json" "$OUT_BENCH"
+  echo "serve_smoke: wrote $OUT_BENCH"
+fi
+
+sed 's/^/serve_smoke: [daemon] /' "$DIR/serve.log"
+echo "serve_smoke: OK (warm 300/300, mixed 60/60, clean SIGTERM drain)"

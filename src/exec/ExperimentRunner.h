@@ -5,12 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The experiment-execution subsystem every bench binary runs on. A bench
+/// The experiment-execution front end every bench binary runs on. A bench
 /// declares its (workload x machine x strategy x option-variant) grid —
 /// either as a GridSpec that expandGrid() unrolls, or as an explicit
 /// RunTask vector for irregular shapes like the Figure 14 cross-machine
 /// study — and the ExperimentRunner executes the tasks concurrently on a
 /// work-stealing thread pool, each task with its own MachineSim instance.
+///
+/// Since the serve/ subsystem landed, the runner is a thin collection shim
+/// over serve::Service, the submit/collect core the `cta serve` daemon
+/// also runs on: Service owns the pool, the fingerprint ladder (warm
+/// index -> coalescing -> RunCache -> simulator) and the per-run metric
+/// attribution; the runner adds batch-ordered result collection, the
+/// artifact list, and the bench-facing summary/emission helpers. One code
+/// path executes a task whether it arrived from a bench binary, `cta run`,
+/// or a socket request.
 ///
 /// Two guarantees make this a drop-in replacement for the old serial
 /// triple loops:
@@ -31,15 +40,12 @@
 #ifndef CTA_EXEC_EXPERIMENTRUNNER_H
 #define CTA_EXEC_EXPERIMENTRUNNER_H
 
-#include "driver/Experiment.h"
-#include "exec/RunCache.h"
-#include "exec/ThreadPool.h"
+#include "exec/RunTask.h"
 #include "obs/RunArtifact.h"
+#include "serve/Service.h"
 
-#include <atomic>
-#include <memory>
+#include <cstdint>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,112 +77,29 @@ struct ExecConfig {
 /// (including non-numeric or overflowing --jobs / CTA_JOBS).
 ExecConfig parseExecArgs(int argc, char **argv);
 
-/// One independent run: map \p Prog for \p Machine under \p Strat/\p Opts
-/// and simulate. When \p RunsOn is set the mapping is retargeted onto it
-/// before simulation (the Figure 2/14 cross-machine experiments).
-struct RunTask {
-  Program Prog;
-  CacheTopology Machine;
-  std::optional<CacheTopology> RunsOn;
-  Strategy Strat = Strategy::Base;
-  MappingOptions Opts;
-  /// Free-form tag for diagnostics ("fig13/dunnington/cg/TopologyAware").
-  std::string Label;
-  /// FNV-1a hash of the DSL source text \p Prog was parsed from; 0 for
-  /// compiled-in generators. Mixed into the cache key (field 9 of the
-  /// runFingerprint schema) so source-text edits miss cleanly.
-  std::uint64_t SourceHash = 0;
-  /// When set, the simulator records its event stream into this log.
-  /// Traced runs bypass the RunCache in both directions: their value is
-  /// the trace, which is not persisted, so serving a cached result would
-  /// leave the log empty and storing one would waste an entry on a key
-  /// (field 10 of the fingerprint schema) no untraced run can ever hit.
-  std::shared_ptr<TraceLog> TraceSink;
-};
-
-/// RunTask has no default constructor (CacheTopology needs a machine);
-/// these factories keep call sites readable.
-inline RunTask makeRunTask(Program Prog, CacheTopology Machine, Strategy Strat,
-                           MappingOptions Opts, std::string Label = "") {
-  return RunTask{std::move(Prog), std::move(Machine), std::nullopt, Strat,
-                 Opts, std::move(Label), /*SourceHash=*/0,
-                 /*TraceSink=*/nullptr};
-}
-
-/// Cross-machine variant: compile for \p CompiledFor, execute on \p RunsOn.
-inline RunTask makeCrossMachineTask(Program Prog, CacheTopology CompiledFor,
-                                    CacheTopology RunsOn, Strategy Strat,
-                                    MappingOptions Opts,
-                                    std::string Label = "") {
-  return RunTask{std::move(Prog), std::move(CompiledFor), std::move(RunsOn),
-                 Strat, Opts, std::move(Label), /*SourceHash=*/0,
-                 /*TraceSink=*/nullptr};
-}
-
-/// A declarative experiment grid. expandGrid() unrolls it machine-major:
-/// for each machine, for each workload, for each option variant, for each
-/// strategy — the same nesting order the serial benches used, so results
-/// land in a predictable layout.
-struct GridSpec {
-  /// Workload names resolved through makeWorkload().
-  std::vector<std::string> Workloads;
-  double WorkloadScale = 1.0;
-  /// Machines, already scaled: the scaled machine *is* the machine.
-  std::vector<CacheTopology> Machines;
-  std::vector<Strategy> Strategies;
-  /// Option variants (block-size sweeps, alpha/beta sweeps, mapper-level
-  /// restrictions). Empty means one variant: defaults.
-  std::vector<MappingOptions> OptionVariants;
-
-  std::size_t numVariants() const {
-    return OptionVariants.empty() ? 1 : OptionVariants.size();
-  }
-  std::size_t numTasks() const {
-    return Machines.size() * Workloads.size() * numVariants() *
-           Strategies.size();
-  }
-  /// Flat index of one grid point in expandGrid() order.
-  std::size_t index(std::size_t MachineIdx, std::size_t WorkloadIdx,
-                    std::size_t VariantIdx, std::size_t StrategyIdx) const {
-    return ((MachineIdx * Workloads.size() + WorkloadIdx) * numVariants() +
-            VariantIdx) *
-               Strategies.size() +
-           StrategyIdx;
-  }
-};
-
-/// Unrolls \p Spec into expandGrid-order RunTasks (see GridSpec::index).
-std::vector<RunTask> expandGrid(const GridSpec &Spec);
-
 /// Executes RunTasks concurrently with result caching. Thread-safe for
 /// concurrent run() calls, though benches use one runner per process.
 ///
-/// Observability: the runner owns a grid-level MetricSink (parented to the
-/// process root). Every task executes under its own run sink parented to
-/// the grid sink, installed as the worker thread's current sink for the
-/// duration of the task — so counters bumped anywhere in the pipeline are
-/// attributed to the run that caused them, roll up into the grid sink when
-/// the run finishes, and reach the process root when the runner dies. Each
-/// completed (or cache-served) task also appends one RunArtifact, in task
-/// order, to the artifact list emitArtifacts() renders as JSON.
+/// Observability: the underlying Service owns a grid-level MetricSink
+/// (parented to the process root). Every task executes under its own run
+/// sink parented to the grid sink, installed as the worker thread's
+/// current sink for the duration of the task — so counters bumped anywhere
+/// in the pipeline are attributed to the run that caused them, roll up
+/// into the grid sink when the run finishes, and reach the process root
+/// when the runner dies. Each completed (or cache-served) task also
+/// appends one RunArtifact, in task order, to the artifact list
+/// emitArtifacts() renders as JSON.
 class ExperimentRunner {
   ExecConfig Config;
-  RunCache Cache;
-  std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
-  std::atomic<std::uint64_t> SimInvocations{0};
-  std::atomic<std::uint64_t> SimAccesses{0};
-  obs::MetricSink GridSink;
+  serve::Service Svc;
   mutable std::mutex ArtifactsMutex;
   std::vector<obs::RunArtifact> Artifacts;
-
-  RunResult execute(const RunTask &Task);
-  RunResult runOneRecord(const RunTask &Task, obs::RunArtifact &Artifact);
 
 public:
   explicit ExperimentRunner(ExecConfig Config = {});
 
   /// Worker threads actually in use (resolves Jobs == 0).
-  unsigned jobs() const;
+  unsigned jobs() const { return Svc.jobs(); }
 
   /// Runs every task; Results[I] corresponds to Tasks[I] regardless of
   /// completion order.
@@ -190,26 +113,38 @@ public:
   /// Cache lookup -> execute -> store, for one task on the calling thread.
   RunResult runOne(const RunTask &Task);
 
-  const RunCache &cache() const { return Cache; }
+  const RunCache &cache() const { return Svc.cache(); }
 
   /// Number of tasks that actually reached the simulator (cache misses).
   /// A fully warm cache leaves this at zero.
-  std::uint64_t simulatorInvocations() const { return SimInvocations.load(); }
+  std::uint64_t simulatorInvocations() const {
+    return Svc.simulatorInvocations();
+  }
 
   /// Total memory accesses simulated by cache-missing tasks; with the
   /// wall time this gives the accesses/second throughput the perf-smoke
   /// CI job records.
-  std::uint64_t simulatedAccesses() const { return SimAccesses.load(); }
+  std::uint64_t simulatedAccesses() const { return Svc.simulatedAccesses(); }
 
   /// The configuration the runner resolved (for --no-timing etc.).
   const ExecConfig &config() const { return Config; }
 
   /// The underlying pool, for benches that need raw parallelFor (null when
   /// running inline with Jobs == 1).
-  ThreadPool *pool() { return Pool.get(); }
+  ThreadPool *pool() { return Svc.pool(); }
 
   /// The grid-level metric sink runs roll up into (tests/inspection).
-  obs::MetricSink &gridSink() { return GridSink; }
+  obs::MetricSink &gridSink() { return Svc.gridSink(); }
+
+  /// The submit/collect core, for callers that want asynchronous
+  /// submission or warm-index introspection (the serve daemon binds to a
+  /// Service directly).
+  serve::Service &service() { return Svc; }
+
+  /// True once a shutdown signal skipped any of this runner's tasks; the
+  /// results of an interrupted run() are partial and must not be
+  /// published (cta run exits 130 without emitting artifacts).
+  bool interrupted() const { return Svc.interrupted(); }
 
   /// Structured records of every task run so far, in task order.
   std::vector<obs::RunArtifact> artifacts() const;

@@ -1,0 +1,28 @@
+//===- exec/RunTask.cpp - Grid expansion ----------------------------------===//
+
+#include "exec/RunTask.h"
+
+#include "workloads/Suite.h"
+
+using namespace cta;
+
+std::vector<RunTask> cta::expandGrid(const GridSpec &Spec) {
+  std::vector<RunTask> Tasks;
+  Tasks.reserve(Spec.numTasks());
+  const MappingOptions Default{};
+  for (const CacheTopology &Machine : Spec.Machines) {
+    for (const std::string &Workload : Spec.Workloads) {
+      Program Prog = makeWorkload(Workload, Spec.WorkloadScale);
+      for (std::size_t V = 0, NV = Spec.numVariants(); V != NV; ++V) {
+        const MappingOptions &Opts =
+            Spec.OptionVariants.empty() ? Default : Spec.OptionVariants[V];
+        for (Strategy Strat : Spec.Strategies)
+          Tasks.push_back(
+              makeRunTask(Prog, Machine, Strat, Opts,
+                          Machine.name() + "/" + Workload + "/v" +
+                              std::to_string(V) + "/" + strategyName(Strat)));
+      }
+    }
+  }
+  return Tasks;
+}

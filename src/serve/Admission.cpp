@@ -1,0 +1,97 @@
+//===- serve/Admission.cpp - Bounded fair admission control ---------------===//
+
+#include "serve/Admission.h"
+
+#include <algorithm>
+
+using namespace cta::serve;
+
+AdmissionController::Admit AdmissionController::admit(const std::string &Client,
+                                                      Item Work) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (IsClosed)
+      return Admit::Closed;
+    if (Inflight >= MaxInflight) {
+      ++Shed;
+      return Admit::Overloaded;
+    }
+    ++Inflight;
+    ++TotalQueued;
+    Queues[Client].push_back(std::move(Work));
+  }
+  Available.notify_one();
+  return Admit::Admitted;
+}
+
+AdmissionController::Item AdmissionController::popRoundRobinLocked() {
+  auto It = Queues.upper_bound(LastClient);
+  if (It == Queues.end())
+    It = Queues.begin();
+  LastClient = It->first;
+  Item Work = std::move(It->second.front());
+  It->second.pop_front();
+  if (It->second.empty())
+    Queues.erase(It);
+  --TotalQueued;
+  return Work;
+}
+
+std::vector<AdmissionController::Item>
+AdmissionController::nextBatch(std::size_t MaxBatch,
+                               std::chrono::milliseconds Window) {
+  std::vector<Item> Batch;
+  if (MaxBatch == 0)
+    return Batch;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Available.wait(Lock, [this] { return TotalQueued > 0 || IsClosed; });
+  if (TotalQueued == 0)
+    return Batch; // closed and drained: the dispatcher's exit signal
+
+  // First item in hand; give stragglers one short window to join the
+  // batch, then dispatch whatever accumulated.
+  const auto Deadline = std::chrono::steady_clock::now() + Window;
+  while (true) {
+    while (TotalQueued > 0 && Batch.size() < MaxBatch)
+      Batch.push_back(popRoundRobinLocked());
+    if (Batch.size() >= MaxBatch || IsClosed)
+      break;
+    if (Available.wait_until(Lock, Deadline, [this] {
+          return TotalQueued > 0 || IsClosed;
+        })) {
+      if (TotalQueued > 0)
+        continue;
+      break; // closed
+    }
+    break; // window expired
+  }
+  return Batch;
+}
+
+void AdmissionController::release(std::size_t N) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Inflight -= std::min(N, Inflight);
+}
+
+void AdmissionController::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    IsClosed = true;
+  }
+  Available.notify_all();
+}
+
+bool AdmissionController::closed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return IsClosed;
+}
+
+std::size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Inflight;
+}
+
+std::uint64_t AdmissionController::shedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Shed;
+}

@@ -1,0 +1,359 @@
+//===- serve/Json.cpp - Minimal JSON reader -------------------------------===//
+
+#include "serve/Json.h"
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cta;
+using namespace cta::serve;
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+JsonValue *JsonValue::get(const std::string &Key) {
+  return const_cast<JsonValue *>(
+      static_cast<const JsonValue *>(this)->get(Key));
+}
+
+namespace {
+
+/// Recursive-descent parser over the raw bytes. Depth-limited so a hostile
+/// frame of a million '[' cannot blow the stack.
+class Parser {
+  const std::string &Text;
+  std::size_t Pos = 0;
+  std::string *Err;
+  static constexpr unsigned MaxDepth = 64;
+
+public:
+  Parser(const std::string &Text, std::string *Err) : Text(Text), Err(Err) {}
+
+  bool fail(const std::string &What) {
+    if (Err && Err->empty())
+      *Err = "offset " + std::to_string(Pos) + ": " + What;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos == Text.size();
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      return parseLiteral("true", [&] {
+        Out.K = JsonValue::Kind::Bool;
+        Out.B = true;
+      });
+    case 'f':
+      return parseLiteral("false", [&] {
+        Out.K = JsonValue::Kind::Bool;
+        Out.B = false;
+      });
+    case 'n':
+      return parseLiteral("null", [&] { Out.K = JsonValue::Kind::Null; });
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+private:
+  template <typename Fn> bool parseLiteral(const char *Word, Fn Apply) {
+    std::size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    Apply();
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Value));
+      skipWs();
+      if (Pos == Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Value));
+      skipWs();
+      if (Pos == Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[++Pos];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 >= Text.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = Text[++Pos];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= H - '0';
+            else if (H >= 'a' && H <= 'f')
+              Code |= H - 'a' + 10;
+            else if (H >= 'A' && H <= 'F')
+              Code |= H - 'A' + 10;
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode. Surrogate pairs are passed through as two
+          // 3-byte sequences — the protocol never carries them, and a
+          // lossless round-trip matters more than strictness here.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        ++Pos;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      Out += static_cast<char>(C);
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                    Text[Pos]))) {
+      ++Pos;
+      Digits = true;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (!Digits)
+      return fail("invalid value");
+    Out.K = JsonValue::Kind::Number;
+    Out.Str.assign(Text, Start, Pos - Start);
+    Out.Num = std::strtod(Out.Str.c_str(), nullptr);
+    return true;
+  }
+};
+
+void dumpInto(const JsonValue &V, std::string &Out) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    return;
+  case JsonValue::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    return;
+  case JsonValue::Kind::Number: {
+    char Buf[40];
+    // Match obs/JsonWriter: integral values in uint64/int64 range render
+    // without a decimal point, everything else as round-trippable %.17g.
+    if (V.Num == std::floor(V.Num) && std::abs(V.Num) < 9.2e18)
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.Num));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+    Out += Buf;
+    return;
+  }
+  case JsonValue::Kind::String:
+    Out += '"';
+    Out += obs::jsonEscape(V.Str);
+    Out += '"';
+    return;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpInto(E, Out);
+    }
+    Out += ']';
+    return;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Value] : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += obs::jsonEscape(Key);
+      Out += "\":";
+      dumpInto(Value, Out);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string JsonValue::dump() const {
+  std::string Out;
+  dumpInto(*this, Out);
+  return Out;
+}
+
+std::optional<JsonValue> cta::serve::parseJson(const std::string &Text,
+                                               std::string *Err) {
+  if (Err)
+    Err->clear();
+  Parser P(Text, Err);
+  JsonValue Root;
+  if (!P.parseValue(Root, 0))
+    return std::nullopt;
+  if (!P.atEnd()) {
+    P.fail("trailing characters after document");
+    return std::nullopt;
+  }
+  return Root;
+}

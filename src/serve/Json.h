@@ -1,0 +1,78 @@
+//===- serve/Json.h - Minimal JSON reader ----------------------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small DOM-style JSON parser for the serve/ wire protocol. obs/Json is
+/// deliberately a writer only; the daemon and the load-testing client are
+/// the first parts of the project that *receive* JSON (request frames,
+/// response frames), so this is the matching reader. It accepts exactly
+/// RFC 8259 documents, keeps object keys in arrival order, and reports
+/// syntax errors with the byte offset so the server can answer a malformed
+/// frame with a useful message instead of dropping the connection.
+///
+/// Numbers are held as doubles (plus the raw text); every integer the
+/// protocol carries fits a double exactly (requests, block sizes, ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SERVE_JSON_H
+#define CTA_SERVE_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cta::serve {
+
+/// One parsed JSON value. Plain aggregate on purpose: protocol code walks
+/// it read-only, tests mutate it to normalize timing fields before
+/// comparing documents.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str; // string payload
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj; // arrival order
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Member lookup (first match); null when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+  JsonValue *get(const std::string &Key);
+
+  /// Typed accessors with defaults, for optional protocol fields.
+  std::string asString(const std::string &Default = "") const {
+    return isString() ? Str : Default;
+  }
+  double asNumber(double Default = 0.0) const {
+    return isNumber() ? Num : Default;
+  }
+
+  /// Canonical re-rendering (obs/Json formatting rules: %.17g doubles,
+  /// integral doubles printed as integers). Tests compare documents by
+  /// dumping both through this one formatter.
+  std::string dump() const;
+};
+
+/// Parses \p Text as one JSON document (trailing garbage is an error).
+/// On failure returns nullopt and, when \p Err is non-null, a message of
+/// the form "offset N: <what>".
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string *Err = nullptr);
+
+} // namespace cta::serve
+
+#endif // CTA_SERVE_JSON_H

@@ -1,0 +1,421 @@
+//===- serve/Server.cpp - The cta serve Unix-socket daemon ----------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Shutdown.h"
+#include "support/ErrorHandling.h"
+#include "support/ParseNumber.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cta;
+using namespace cta::serve;
+
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+double secondsBetween(SteadyClock::time_point From,
+                      SteadyClock::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Argument parsing
+//===----------------------------------------------------------------------===//
+
+ServerOptions cta::serve::parseServeArgs(const std::vector<std::string> &Args) {
+  ServerOptions Opts;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto value = [&](const char *Flag) -> const std::string & {
+      if (I + 1 >= Args.size())
+        reportFatalError((std::string(Flag) + " needs a value").c_str());
+      return Args[++I];
+    };
+    auto match = [&](const char *Flag, std::string &Out) {
+      std::size_t Len = std::strlen(Flag);
+      if (Arg == Flag) {
+        Out = value(Flag);
+        return true;
+      }
+      if (Arg.compare(0, Len, Flag) == 0 && Arg.size() > Len &&
+          Arg[Len] == '=') {
+        Out = Arg.substr(Len + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string Value;
+    if (match("--socket", Value)) {
+      Opts.SocketPath = Value;
+    } else if (match("--jobs", Value)) {
+      Opts.Jobs = static_cast<unsigned>(
+          parseUint64OrDie("--jobs", Value.c_str(), /*Max=*/UINT_MAX));
+    } else if (match("--cache-dir", Value)) {
+      Opts.CacheDir = Value;
+    } else if (match("--max-inflight", Value)) {
+      Opts.MaxInflight = static_cast<std::size_t>(
+          parseUint64OrDie("--max-inflight", Value.c_str()));
+    } else if (match("--max-batch", Value)) {
+      Opts.MaxBatch = static_cast<std::size_t>(
+          parseUint64OrDie("--max-batch", Value.c_str()));
+      if (Opts.MaxBatch == 0)
+        reportFatalError("--max-batch must be at least 1");
+    } else if (match("--batch-window-ms", Value)) {
+      Opts.BatchWindowMs =
+          parseUint64OrDie("--batch-window-ms", Value.c_str(),
+                           /*Max=*/60 * 1000);
+    } else {
+      reportFatalError(
+          ("unknown `cta serve` flag '" + Arg + "'").c_str());
+    }
+  }
+  if (Opts.SocketPath.empty())
+    reportFatalError("`cta serve` needs --socket=PATH");
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection / pending request state
+//===----------------------------------------------------------------------===//
+
+struct Server::Connection {
+  int Fd = -1;
+  std::mutex WriteMutex;
+  std::atomic<bool> ReadDone{false};
+  std::atomic<std::uint64_t> PendingResponses{0};
+  std::atomic<bool> Closed{false};
+
+  /// Closes the socket once the reader is done and every accepted request
+  /// has been answered. Safe to call from reader and completer; exactly
+  /// one caller wins the close.
+  void closeIfIdle() {
+    if (!ReadDone.load(std::memory_order_acquire) ||
+        PendingResponses.load(std::memory_order_acquire) != 0)
+      return;
+    bool Expected = false;
+    if (Closed.compare_exchange_strong(Expected, true))
+      ::close(Fd);
+  }
+};
+
+struct Server::PendingRequest {
+  std::shared_ptr<Connection> Conn;
+  std::string Id;
+  RunTask Task;
+  SteadyClock::time_point Received;
+  SteadyClock::time_point Dispatched;
+  Service::Submission Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions OptsIn)
+    : Opts(std::move(OptsIn)),
+      Svc(Service::Config{Opts.Jobs, Opts.CacheDir,
+                          /*SkipOnShutdown=*/false}),
+      Admission(Opts.MaxInflight) {}
+
+Server::~Server() {
+  if (ListenFd != -1)
+    ::close(ListenFd);
+  for (int Fd : StopPipe)
+    if (Fd != -1)
+      ::close(Fd);
+}
+
+bool Server::listen(std::string *Err) {
+  // Responses to clients that vanished mid-request must be EPIPE, not a
+  // process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Opts.SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::fcntl(ListenFd, F_SETFD, FD_CLOEXEC);
+  // A stale socket file from a crashed daemon would make bind fail; a
+  // *live* daemon still holds its listener, and replacing its file is the
+  // operator's decision — but we cannot tell the two apart portably, so
+  // follow the common daemon convention: remove and rebind.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (Err)
+      *Err = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::listen(ListenFd, 128) < 0) {
+    if (Err)
+      *Err = std::string("listen: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::pipe(StopPipe) == 0)
+    for (int Fd : StopPipe)
+      ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+  return true;
+}
+
+void Server::stop() {
+  Stopping.store(true);
+  if (StopPipe[1] != -1) {
+    char Byte = 1;
+    [[maybe_unused]] ssize_t N = ::write(StopPipe[1], &Byte, 1);
+  }
+}
+
+void Server::run() {
+  std::thread Dispatcher([this] { dispatcherLoop(); });
+  std::thread Completer([this] { completerLoop(); });
+
+  // Accept loop: wake on a new connection, the signal handler's
+  // self-pipe, or stop().
+  while (!Stopping.load() && !shutdownRequested()) {
+    pollfd Fds[3];
+    nfds_t N = 0;
+    Fds[N++] = {ListenFd, POLLIN, 0};
+    if (StopPipe[0] != -1)
+      Fds[N++] = {StopPipe[0], POLLIN, 0};
+    if (shutdownWakeFd() != -1)
+      Fds[N++] = {shutdownWakeFd(), POLLIN, 0};
+    int R = ::poll(Fds, N, /*timeout_ms=*/500);
+    if (R < 0 && errno != EINTR)
+      break;
+    if (R <= 0)
+      continue;
+    if (!(Fds[0].revents & POLLIN))
+      continue; // a wake pipe fired; the loop condition decides
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    NumConnections.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      Connections.push_back(Conn);
+      Readers.emplace_back([this, Conn] { readerLoop(Conn); });
+    }
+  }
+
+  // Drain. Refuse new connections and new requests first...
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.SocketPath.c_str());
+  Admission.close();
+  // ...give blocked readers EOF (established connections may still be
+  // waiting on responses; only their *read* side is shut down)...
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const auto &Conn : Connections)
+      if (!Conn->Closed.load())
+        ::shutdown(Conn->Fd, SHUT_RD);
+  }
+  // ...then let the pipeline answer everything that was admitted.
+  Dispatcher.join();
+  {
+    std::lock_guard<std::mutex> Lock(CompletionMutex);
+    DispatcherDone = true;
+  }
+  CompletionCV.notify_all();
+  Completer.join();
+  Svc.drain();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (std::thread &T : Readers)
+      T.join();
+    for (const auto &Conn : Connections)
+      Conn->closeIfIdle();
+  }
+
+  ServerStats S = stats();
+  std::fprintf(stderr,
+               "[serve] requests=%" PRIu64 " ok=%" PRIu64 " errors=%" PRIu64
+               " shed=%" PRIu64 " warm=%" PRIu64 " connections=%" PRIu64
+               "\n",
+               S.Requests, S.Ok, S.Errors, S.Shed, S.Warm, S.Connections);
+}
+
+//===----------------------------------------------------------------------===//
+// Request pipeline
+//===----------------------------------------------------------------------===//
+
+void Server::writeResponse(const std::shared_ptr<Connection> &Conn,
+                           const std::string &Payload, bool IsError) {
+  if (IsError)
+    NumErrors.fetch_add(1);
+  else
+    NumOk.fetch_add(1);
+  if (!Conn->Closed.load()) {
+    std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+    // A failed write means the client vanished; its request was still
+    // served, and the connection will close via closeIfIdle.
+    writeFrame(Conn->Fd, Payload, nullptr);
+  }
+  Conn->PendingResponses.fetch_sub(1, std::memory_order_release);
+  Conn->closeIfIdle();
+}
+
+void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
+                           const std::string &Payload) {
+  const auto Received = SteadyClock::now();
+  NumRequests.fetch_add(1);
+  Conn->PendingResponses.fetch_add(1);
+
+  RequestError Err;
+  std::optional<ServeRequest> Req = parseServeRequest(Payload, Err);
+  if (!Req) {
+    writeResponse(Conn, renderErrorResponse("", Err.Kind, Err.Message),
+                  /*IsError=*/true);
+    return;
+  }
+  std::optional<RunTask> Task = buildRunTask(*Req, Err);
+  if (!Task) {
+    writeResponse(Conn, renderErrorResponse(Req->Id, Err.Kind, Err.Message),
+                  /*IsError=*/true);
+    return;
+  }
+
+  // Warm path: answered on the reader thread, no admission round-trip.
+  const std::uint64_t Key = Service::fingerprint(*Task);
+  if (std::shared_ptr<const TaskOutcome> W = Svc.lookupWarm(Key)) {
+    obs::RunArtifact A = W->Artifact;
+    A.CacheStatus = "warm";
+    A.Label = Task->Label;
+    NumWarm.fetch_add(1);
+    writeResponse(Conn,
+                  renderOkResponse(Req->Id, "warm", /*QueueSeconds=*/0.0,
+                                   secondsBetween(Received,
+                                                  SteadyClock::now()),
+                                   A),
+                  /*IsError=*/false);
+    return;
+  }
+
+  // Cold path: through admission control to the dispatcher.
+  auto P = std::make_shared<PendingRequest>(PendingRequest{
+      Conn, Req->Id, std::move(*Task), Received, {}, {}});
+  AdmissionController::Admit Result =
+      Admission.admit(Req->Client, [this, P] {
+        P->Dispatched = SteadyClock::now();
+        P->Sub = Svc.submit(P->Task);
+        {
+          std::lock_guard<std::mutex> Lock(CompletionMutex);
+          CompletionQueue.push_back(P);
+        }
+        CompletionCV.notify_one();
+      });
+  switch (Result) {
+  case AdmissionController::Admit::Admitted:
+    break;
+  case AdmissionController::Admit::Overloaded:
+    NumShed.fetch_add(1);
+    writeResponse(Conn,
+                  renderErrorResponse(
+                      Req->Id, "overloaded",
+                      "daemon at capacity (" +
+                          std::to_string(Opts.MaxInflight) +
+                          " requests inflight); retry with backoff"),
+                  /*IsError=*/true);
+    break;
+  case AdmissionController::Admit::Closed:
+    writeResponse(Conn,
+                  renderErrorResponse(Req->Id, "shutdown",
+                                      "daemon is shutting down"),
+                  /*IsError=*/true);
+    break;
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> Conn) {
+  std::string Payload;
+  while (true) {
+    FrameStatus S = readFrame(Conn->Fd, Payload, nullptr);
+    if (S != FrameStatus::Ok)
+      break; // clean EOF, or a framing error that poisons the stream
+    handleRequest(Conn, Payload);
+  }
+  Conn->ReadDone.store(true, std::memory_order_release);
+  Conn->closeIfIdle();
+}
+
+void Server::dispatcherLoop() {
+  while (true) {
+    std::vector<AdmissionController::Item> Batch = Admission.nextBatch(
+        Opts.MaxBatch, std::chrono::milliseconds(Opts.BatchWindowMs));
+    if (Batch.empty())
+      return; // closed and drained
+    for (AdmissionController::Item &Dispatch : Batch)
+      Dispatch();
+  }
+}
+
+void Server::completerLoop() {
+  while (true) {
+    std::shared_ptr<PendingRequest> P;
+    {
+      std::unique_lock<std::mutex> Lock(CompletionMutex);
+      CompletionCV.wait(Lock, [this] {
+        return !CompletionQueue.empty() || DispatcherDone;
+      });
+      if (CompletionQueue.empty())
+        return;
+      P = std::move(CompletionQueue.front());
+      CompletionQueue.pop_front();
+    }
+    std::shared_ptr<const TaskOutcome> Shared = P->Sub.Future.get();
+    obs::RunArtifact A = Shared->Artifact;
+    if (A.CacheStatus == "skipped") {
+      // Only possible if the Service were configured to skip on shutdown;
+      // the daemon drains instead, but answer correctly regardless.
+      writeResponse(P->Conn,
+                    renderErrorResponse(P->Id, "shutdown",
+                                        "request skipped by shutdown"),
+                    /*IsError=*/true);
+    } else {
+      const char *Status = Service::tierName(P->Sub.How);
+      A.CacheStatus = Status;
+      A.Label = P->Task.Label;
+      writeResponse(P->Conn,
+                    renderOkResponse(
+                        P->Id, Status,
+                        secondsBetween(P->Received, P->Dispatched),
+                        secondsBetween(P->Dispatched, SteadyClock::now()),
+                        A),
+                    /*IsError=*/false);
+    }
+    Admission.release(1);
+  }
+}

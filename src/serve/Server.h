@@ -1,0 +1,150 @@
+//===- serve/Server.h - The cta serve Unix-socket daemon -------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cta serve` daemon: a single process listening on a Unix-domain
+/// stream socket, speaking the length-prefixed JSON protocol of
+/// serve/Protocol.h, executing requests on one shared serve::Service.
+///
+/// Threading model:
+///
+///   accept loop (run())  — polls the listener and the shutdown self-pipe;
+///                          spawns one reader thread per connection.
+///   reader threads       — frame + parse + buildRunTask; answer warm
+///                          requests inline from the Service's in-memory
+///                          index; hand cold requests to admission.
+///   dispatcher thread    — pulls fair round-robin batches from the
+///                          AdmissionController and submits them to the
+///                          Service (identical fingerprints in one batch
+///                          single-flight into one simulator run).
+///   completer thread     — waits each dispatched submission's future,
+///                          renders the response with queue/service
+///                          latency attribution, writes it to the owning
+///                          connection, and releases the admission slot.
+///   Service pool         — the simulators.
+///
+/// Graceful shutdown (SIGINT/SIGTERM or stop()): the accept loop wakes on
+/// the self-pipe, closes and unlinks the listener (refusing new
+/// connections), closes admission (new requests answer "shutdown" /
+/// readers see EOF), lets the dispatcher and completer drain every
+/// admitted request — admitted work was promised a response, so the
+/// daemon's Service keeps SkipOnShutdown off — then joins all threads,
+/// drains the Service, and prints the lifetime summary. The RunCache
+/// needs no explicit flush: every store was already an atomic
+/// write-to-temporary + rename.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SERVE_SERVER_H
+#define CTA_SERVE_SERVER_H
+
+#include "serve/Admission.h"
+#include "serve/Protocol.h"
+#include "serve/Service.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cta::serve {
+
+struct ServerOptions {
+  std::string SocketPath;
+  unsigned Jobs = 0;          ///< Service worker threads (0 = hardware).
+  std::string CacheDir;       ///< Persistent RunCache directory.
+  std::size_t MaxInflight = 64;
+  std::size_t MaxBatch = 32;
+  std::uint64_t BatchWindowMs = 2;
+};
+
+/// Parses `cta serve` arguments: --socket=PATH, --max-inflight=N,
+/// --max-batch=N, --batch-window-ms=N (strict decimal via
+/// support/ParseNumber; malformed values abort), plus the exec flags
+/// --jobs / --cache-dir. Aborts on unknown flags or a missing --socket.
+ServerOptions parseServeArgs(const std::vector<std::string> &Args);
+
+/// Lifetime counters the daemon prints on shutdown (and tests assert on).
+struct ServerStats {
+  std::uint64_t Requests = 0;    ///< Frames that parsed as requests.
+  std::uint64_t Ok = 0;          ///< Ok responses written.
+  std::uint64_t Errors = 0;      ///< Error responses written (all kinds).
+  std::uint64_t Shed = 0;        ///< Overloaded rejections (subset of Errors).
+  std::uint64_t Warm = 0;        ///< Answered inline from the warm index.
+  std::uint64_t Connections = 0; ///< Connections ever accepted.
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on Opts.SocketPath. Returns false with \p Err on
+  /// socket errors (path too long, bind failure).
+  bool listen(std::string *Err);
+
+  /// Serves until a shutdown signal (serve/Shutdown.h) or stop() arrives,
+  /// then drains and returns. Call after listen().
+  void run();
+
+  /// Programmatic shutdown for in-process tests: identical path to
+  /// SIGTERM. Safe from any thread; run() returns once drained.
+  void stop();
+
+  ServerStats stats() const {
+    ServerStats S;
+    S.Requests = NumRequests.load();
+    S.Ok = NumOk.load();
+    S.Errors = NumErrors.load();
+    S.Shed = NumShed.load();
+    S.Warm = NumWarm.load();
+    S.Connections = NumConnections.load();
+    return S;
+  }
+  Service &service() { return Svc; }
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  struct Connection;
+  struct PendingRequest;
+
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void dispatcherLoop();
+  void completerLoop();
+  void handleRequest(const std::shared_ptr<Connection> &Conn,
+                     const std::string &Payload);
+  void writeResponse(const std::shared_ptr<Connection> &Conn,
+                     const std::string &Payload, bool IsError);
+
+  ServerOptions Opts;
+  Service Svc;
+  AdmissionController Admission;
+
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  int StopPipe[2] = {-1, -1}; ///< wakes the poll loop on stop()
+
+  std::mutex ConnMutex;
+  std::vector<std::shared_ptr<Connection>> Connections;
+  std::vector<std::thread> Readers;
+
+  std::mutex CompletionMutex;
+  std::condition_variable CompletionCV;
+  std::deque<std::shared_ptr<PendingRequest>> CompletionQueue;
+  bool DispatcherDone = false;
+
+  std::atomic<std::uint64_t> NumRequests{0}, NumOk{0}, NumErrors{0},
+      NumShed{0}, NumWarm{0}, NumConnections{0};
+};
+
+} // namespace cta::serve
+
+#endif // CTA_SERVE_SERVER_H

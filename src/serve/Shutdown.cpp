@@ -1,0 +1,62 @@
+//===- serve/Shutdown.cpp - Cooperative shutdown signal path --------------===//
+
+#include "serve/Shutdown.h"
+
+#include <atomic>
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace cta::serve;
+
+namespace {
+
+std::atomic<bool> ShutdownFlag{false};
+std::atomic<bool> Installed{false};
+int WakePipe[2] = {-1, -1};
+
+extern "C" void ctaServeSignalHandler(int) {
+  // Async-signal-safe: one atomic store and one write(2). The byte's value
+  // is irrelevant; its arrival wakes any poll() on the read end.
+  ShutdownFlag.store(true, std::memory_order_relaxed);
+  if (WakePipe[1] != -1) {
+    char Byte = 1;
+    [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &Byte, 1);
+  }
+}
+
+} // namespace
+
+void cta::serve::installShutdownSignalHandlers() {
+  if (Installed.exchange(true))
+    return;
+  if (::pipe(WakePipe) == 0) {
+    ::fcntl(WakePipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(WakePipe[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(WakePipe[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(WakePipe[1], F_SETFD, FD_CLOEXEC);
+  }
+  struct sigaction SA = {};
+  SA.sa_handler = ctaServeSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: blocked accept/read should wake
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+}
+
+bool cta::serve::shutdownRequested() {
+  return ShutdownFlag.load(std::memory_order_relaxed);
+}
+
+int cta::serve::shutdownWakeFd() { return WakePipe[0]; }
+
+void cta::serve::requestShutdown() { ctaServeSignalHandler(0); }
+
+void cta::serve::resetShutdownForTest() {
+  ShutdownFlag.store(false, std::memory_order_relaxed);
+  if (WakePipe[0] != -1) {
+    char Buf[64];
+    while (::read(WakePipe[0], Buf, sizeof(Buf)) > 0)
+      ;
+  }
+}

@@ -1,0 +1,45 @@
+//===- serve/Shutdown.h - Cooperative shutdown signal path -----*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide SIGINT/SIGTERM path shared by the daemon and the CLI:
+/// the handler sets an atomic flag and writes one byte to a self-pipe, and
+/// everything else cooperates — the Server's poll loop wakes on the pipe
+/// and starts draining, the Service skips tasks it has not started yet, and
+/// `cta run` exits 130 without emitting partial artifacts. RunCache stores
+/// were already atomic (write-to-temporary + rename), so an interrupted run
+/// can never leave a partial cache entry; this module closes the remaining
+/// gap, which was partial *output* (tables and --emit-json documents built
+/// from a half-finished grid).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SERVE_SHUTDOWN_H
+#define CTA_SERVE_SHUTDOWN_H
+
+namespace cta::serve {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent). Call early, before
+/// worker threads exist, so every thread inherits the disposition.
+void installShutdownSignalHandlers();
+
+/// True once a shutdown signal was received (or requestShutdown() ran).
+bool shutdownRequested();
+
+/// Read end of the self-pipe the handler writes to; poll it to wake a
+/// blocking loop on shutdown. -1 before installShutdownSignalHandlers().
+int shutdownWakeFd();
+
+/// Programmatic equivalent of receiving SIGTERM (tests, Server::stop).
+void requestShutdown();
+
+/// Clears the flag and drains the wake pipe so one test's shutdown cannot
+/// leak into the next. Test-only by convention.
+void resetShutdownForTest();
+
+} // namespace cta::serve
+
+#endif // CTA_SERVE_SHUTDOWN_H

@@ -28,6 +28,17 @@
 ///       With --topo the files are machine descriptions (topo/Parse)
 ///       instead of workloads.
 ///
+///   cta serve --socket <path> [options]
+///       Long-running mapping daemon on a Unix-domain socket: length-
+///       prefixed JSON requests, warm answers from the in-memory result
+///       index, admission control + batching for cold simulator work.
+///       SIGINT/SIGTERM drains inflight requests and exits cleanly.
+///
+///   cta client --socket <path> [options]
+///       Load-testing client for a running daemon: N concurrent
+///       connections, a warm:cold request mix, latency percentiles, and
+///       a cta-serve-bench-v1 report for scripts/compare_bench.py.
+///
 ///   cta list
 ///       The compiled-in workload suite, machine presets and strategies.
 ///
@@ -39,6 +50,9 @@
 #include "frontend/Printer.h"
 #include "obs/RunArtifact.h"
 #include "poly/CodeGen.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/Shutdown.h"
 #include "sim/TraceExport.h"
 #include "sim/TraceLog.h"
 #include "sim/TraceReport.h"
@@ -69,6 +83,12 @@ const char *UsageText =
     "  cta run <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta trace <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta check [--topo] <file>...\n"
+    "  cta serve --socket <path> [--jobs N] [--cache-dir P]\n"
+    "            [--max-inflight N] [--max-batch N] [--batch-window-ms N]\n"
+    "  cta client --socket <path> [--workload W] [--machine M]\n"
+    "             [--strategy S] [--scale F] [--concurrency N]\n"
+    "             [--requests N] [--mix WARM:COLD] [--emit-json P]\n"
+    "             [--dump-response P] [--client NAME]\n"
     "  cta list\n"
     "\n"
     "run/trace options:\n"
@@ -411,6 +431,11 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
   ExecConfig Config = parseExecArgs(argc, argv);
   Config.BenchName = "cta";
 
+  // Same signal path as the daemon: SIGINT/SIGTERM let in-flight
+  // simulations finish (the RunCache never sees a partial entry), skip
+  // everything not yet started, and exit 130 without artifacts.
+  serve::installShutdownSignalHandlers();
+
   std::optional<CacheTopology> RunsOn;
   if (!RunsOnSpec.empty())
     RunsOn = resolveMachine(RunsOnSpec, Scale);
@@ -434,6 +459,13 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
 
   ExperimentRunner Runner(Config);
   std::vector<RunResult> Results = Runner.run(Tasks);
+  if (Runner.interrupted()) {
+    std::fprintf(stderr,
+                 "%s: interrupted; completed runs are cached, no artifacts "
+                 "written\n",
+                 Cmd);
+    return 130;
+  }
 
   std::printf("workload %s (%s): %zu arrays, %zu nests\n",
               Input.Prog.Name.c_str(), Input.Origin.c_str(),
@@ -494,6 +526,25 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// cta serve / cta client
+//===----------------------------------------------------------------------===//
+
+int runServe(const std::vector<std::string> &Args) {
+  serve::ServerOptions Opts = serve::parseServeArgs(Args);
+  serve::installShutdownSignalHandlers();
+  serve::Server Daemon(std::move(Opts));
+  std::string Err;
+  if (!Daemon.listen(&Err)) {
+    std::fprintf(stderr, "cta serve: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "cta serve: listening on %s (jobs=%u)\n",
+               Daemon.options().SocketPath.c_str(), Daemon.service().jobs());
+  Daemon.run();
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -524,5 +575,9 @@ int main(int argc, char **argv) {
     return runRun(argc, argv, Args, /*TraceMode=*/false);
   if (Cmd == "trace")
     return runRun(argc, argv, Args, /*TraceMode=*/true);
+  if (Cmd == "serve")
+    return runServe(Args);
+  if (Cmd == "client")
+    return serve::runClient(serve::parseClientArgs(Args));
   usageError("unknown subcommand '" + Cmd + "'");
 }
