@@ -53,6 +53,39 @@ def check_counters(obj, path):
             err(path, f"counter '{name}' is not a non-negative integer")
 
 
+def check_engine_counters(obj, path):
+    """Consistency of the simulator-engine observability counters.
+
+    The engines publish families of counters that only make sense
+    together: a run that went through the batched sequential path bumps
+    both sim.batch.rows and sim.batch.accesses (and simulates at least
+    one access per batched row); a run that went through the
+    epoch-parallel engine reports its arena footprint and deferred-work
+    sizes alongside sim.parallel.runs. A family member appearing alone
+    means an engine stopped publishing half its telemetry.
+    """
+    if not isinstance(obj, dict):
+        return
+    if "sim.batch.rows" in obj or "sim.batch.accesses" in obj:
+        for key in ("sim.batch.rows", "sim.batch.accesses"):
+            if key not in obj:
+                err(path, f"batched-engine counters incomplete: '{key}' "
+                    "missing")
+        if obj.get("sim.batch.accesses", 0) < obj.get("sim.batch.rows", 0):
+            err(path, "sim.batch.accesses < sim.batch.rows")
+    parallel = [k for k in obj if k.startswith("sim.parallel.")]
+    if parallel:
+        for key in ("sim.parallel.runs", "sim.parallel.arena-bytes",
+                    "sim.parallel.deferred-probes",
+                    "sim.parallel.deferred-iters"):
+            if key not in obj:
+                err(path, f"parallel-engine counters incomplete: '{key}' "
+                    "missing")
+        if obj.get("sim.parallel.runs", 0) == 0:
+            err(path, "sim.parallel.* counters present but "
+                "sim.parallel.runs is 0")
+
+
 def check_phase(phase, path):
     expect_keys(
         phase,
@@ -137,6 +170,7 @@ def check_run(run, path):
         check_phase(phase, f"{path}.phases[{i}]")
     if "counters" in run:
         check_counters(run["counters"], f"{path}.counters")
+        check_engine_counters(run["counters"], f"{path}.counters")
 
 
 def check_bench(doc, path):
@@ -168,6 +202,8 @@ def check_bench(doc, path):
         check_run(run, f"{path}.runs[{i}]")
     if "process_counters" in doc:
         check_counters(doc["process_counters"], f"{path}.process_counters")
+        check_engine_counters(doc["process_counters"],
+                              f"{path}.process_counters")
     for i, phase in enumerate(doc.get("process_phases", [])):
         check_phase(phase, f"{path}.process_phases[{i}]")
 

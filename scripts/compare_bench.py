@@ -13,6 +13,14 @@ against the committed baseline (BASELINE) and fails when
    work, and the wall-clock comparison would be meaningless, or
  * the benchmark names differ.
 
+cta-sim-hotpath-v2 documents carry an "entries" list — one entry per
+engine configuration (sequential, --sim-threads=N). Every baseline
+entry is gated independently against the fresh entry with the same
+sim_threads, and all entries within one file must agree on
+simulated_accesses: the engines are bit-exact by contract, so a
+drifting access count means an engine simulated different work, which
+is a correctness failure, not noise.
+
 When both files are cta-serve-bench-v1 documents (the `cta client`
 load report), the gated metric is requests_per_second instead — a
 *drop* beyond PCT fails — after checking that requests, concurrency
@@ -76,6 +84,75 @@ def compare_serve(base, fresh, max_regress):
     return 0
 
 
+def gate_wall(base, fresh, max_regress, what):
+    """Gate one wall_seconds measurement; returns the summary line."""
+    base_wall = base.get("wall_seconds")
+    fresh_wall = fresh.get("wall_seconds")
+    if not isinstance(base_wall, (int, float)) or base_wall <= 0:
+        die(f"baseline wall_seconds unusable for {what}: {base_wall!r}", 2)
+    if not isinstance(fresh_wall, (int, float)) or fresh_wall <= 0:
+        die(f"fresh wall_seconds unusable for {what}: {fresh_wall!r}", 2)
+
+    delta_pct = (fresh_wall - base_wall) / base_wall * 100.0
+    summary = (f"{what}: wall {base_wall:.3f}s -> {fresh_wall:.3f}s "
+               f"({delta_pct:+.1f}%), "
+               f"{fresh.get('simulated_accesses')} accesses")
+
+    base_phases = base.get("phase_seconds")
+    fresh_phases = fresh.get("phase_seconds")
+    if isinstance(base_phases, dict) and isinstance(fresh_phases, dict):
+        for name in sorted(set(base_phases) | set(fresh_phases)):
+            print(f"compare_bench:   phase {name}: "
+                  f"{base_phases.get(name, 0.0):.3f}s -> "
+                  f"{fresh_phases.get(name, 0.0):.3f}s")
+
+    if delta_pct > max_regress:
+        die(f"REGRESSION: {summary} exceeds the {max_regress:.0f}% gate")
+    return summary
+
+
+def compare_hotpath_v2(base, fresh, max_regress):
+    if base.get("benchmark") != fresh.get("benchmark"):
+        die(f"benchmark mismatch: baseline {base.get('benchmark')!r} vs "
+            f"fresh {fresh.get('benchmark')!r}")
+
+    base_entries = base.get("entries")
+    fresh_entries = fresh.get("entries")
+    if not isinstance(base_entries, list) or not base_entries:
+        die("baseline has no entries", 2)
+    if not isinstance(fresh_entries, list) or not fresh_entries:
+        die("fresh has no entries", 2)
+
+    # The engines are bit-exact by contract: every entry in one file must
+    # have simulated the exact same accesses.
+    for name, entries in (("baseline", base_entries),
+                          ("fresh", fresh_entries)):
+        counts = {e.get("simulated_accesses") for e in entries}
+        if len(counts) != 1:
+            die(f"{name} entries disagree on simulated_accesses "
+                f"({sorted(counts)}) — the engines diverged, this is a "
+                "bit-exactness failure, not noise")
+
+    fresh_by_threads = {e.get("sim_threads"): e for e in fresh_entries}
+    summaries = []
+    for b in base_entries:
+        threads = b.get("sim_threads")
+        f = fresh_by_threads.get(threads)
+        if f is None:
+            die(f"fresh file has no sim_threads={threads} entry — the "
+                "perf-smoke recipe changed, re-baseline deliberately")
+        if b.get("simulated_accesses") != f.get("simulated_accesses"):
+            die(f"simulated_accesses mismatch at sim_threads={threads}: "
+                f"baseline {b.get('simulated_accesses')} vs fresh "
+                f"{f.get('simulated_accesses')} — the runs did different "
+                "work, re-baseline deliberately if the workload changed")
+        summaries.append(
+            gate_wall(b, f, max_regress, f"sim_threads={threads}"))
+    for line in summaries:
+        print(f"compare_bench: OK: {line} (gate {max_regress:.0f}%)")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     max_regress = 15.0
@@ -93,12 +170,17 @@ def main(argv):
     base, fresh = load(args[0]), load(args[1])
 
     serve = "cta-serve-bench-v1"
-    if base.get("schema") == serve or fresh.get("schema") == serve:
+    hotpath = "cta-sim-hotpath-v2"
+    if base.get("schema") in (serve, hotpath) or \
+            fresh.get("schema") in (serve, hotpath):
         if base.get("schema") != fresh.get("schema"):
             die(f"schema mismatch: baseline {base.get('schema')!r} vs "
                 f"fresh {fresh.get('schema')!r}")
-        return compare_serve(base, fresh, max_regress)
+        if base.get("schema") == serve:
+            return compare_serve(base, fresh, max_regress)
+        return compare_hotpath_v2(base, fresh, max_regress)
 
+    # Legacy single-entry BENCH_sim_hotpath (pre-v2, no "schema" key).
     if base.get("benchmark") != fresh.get("benchmark"):
         die(f"benchmark mismatch: baseline {base.get('benchmark')!r} vs "
             f"fresh {fresh.get('benchmark')!r}")
@@ -110,27 +192,7 @@ def main(argv):
             f"{fresh_acc} — the runs did different work, re-baseline "
             "deliberately if the workload changed")
 
-    base_wall = base.get("wall_seconds")
-    fresh_wall = fresh.get("wall_seconds")
-    if not isinstance(base_wall, (int, float)) or base_wall <= 0:
-        die(f"baseline wall_seconds unusable: {base_wall!r}", 2)
-    if not isinstance(fresh_wall, (int, float)) or fresh_wall <= 0:
-        die(f"fresh wall_seconds unusable: {fresh_wall!r}", 2)
-
-    delta_pct = (fresh_wall - base_wall) / base_wall * 100.0
-    summary = (f"wall {base_wall:.3f}s -> {fresh_wall:.3f}s "
-               f"({delta_pct:+.1f}%), {fresh_acc} accesses")
-
-    base_phases = base.get("phase_seconds")
-    fresh_phases = fresh.get("phase_seconds")
-    if isinstance(base_phases, dict) and isinstance(fresh_phases, dict):
-        for name in sorted(set(base_phases) | set(fresh_phases)):
-            print(f"compare_bench:   phase {name}: "
-                  f"{base_phases.get(name, 0.0):.3f}s -> "
-                  f"{fresh_phases.get(name, 0.0):.3f}s")
-
-    if delta_pct > max_regress:
-        die(f"REGRESSION: {summary} exceeds the {max_regress:.0f}% gate")
+    summary = gate_wall(base, fresh, max_regress, "cold run")
     print(f"compare_bench: OK: {summary} (gate {max_regress:.0f}%)")
     return 0
 

@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 #===- scripts/perf_smoke.sh - Simulator hot-path perf smoke --------------===#
 #
-# Runs the heaviest bench binary (fig13_main_comparison) cold on one job
-# and records wall-clock time plus simulated accesses/second in
-# BENCH_sim_hotpath.json. The numbers are informational — CI machines
-# vary too much for a hard threshold — so this script fails only when the
-# binary itself fails, never on timing.
+# Runs the heaviest bench binary (fig13_main_comparison) cold on one job,
+# once per engine — the sequential batched path and the epoch-parallel
+# path (--sim-threads) — and records both as entries in
+# BENCH_sim_hotpath.json. Wall time and accesses/second are
+# informational — CI machines vary too much for a hard threshold — so
+# this script fails only when the binary itself fails, never on timing.
 #
-# Usage: scripts/perf_smoke.sh <build-dir> [output-json]
+# simulated_accesses and accesses_per_second come from the bench's own
+# --emit-json artifact (the obs/ counters and the summed "sim.execute"
+# phase seconds), not from re-scraping stdout or re-dividing by wall
+# clock: the rate then measures the simulation hot path itself, without
+# mapping/clustering time diluting it. Without python3 the script falls
+# back to stderr scraping and wall-clock division, and says so.
+#
+# Usage: scripts/perf_smoke.sh <build-dir> [output-json] [sim-threads]
 #
 #===----------------------------------------------------------------------===#
 
 set -u -o pipefail
 
-BUILD_DIR="${1:?usage: perf_smoke.sh <build-dir> [output-json]}"
+BUILD_DIR="${1:?usage: perf_smoke.sh <build-dir> [output-json] [sim-threads]}"
 OUT_JSON="${2:-BENCH_sim_hotpath.json}"
+SIM_THREADS="${3:-4}"
 BENCH="$BUILD_DIR/bench/fig13_main_comparison"
 
 if [ ! -x "$BENCH" ]; then
@@ -22,34 +31,39 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
-# Cold run: a throwaway cache directory and a single worker so the
-# measurement is the raw single-run simulation path. The bench's own
-# --emit-json artifact supplies the per-phase breakdown.
-CACHE_DIR="$(mktemp -d)"
-STDERR_LOG="$(mktemp)"
-ARTIFACT="$(mktemp)"
-trap 'rm -rf "$CACHE_DIR" "$STDERR_LOG" "$ARTIFACT"' EXIT
+# One cold leg: throwaway cache directory and a single worker so the
+# measurement is the raw single-run simulation path. Arguments: a label
+# for log lines and the --sim-threads value. Each leg appends one JSON
+# object to the ENTRIES accumulator.
+ENTRIES=""
+run_leg() {
+  local LABEL="$1" THREADS="$2"
+  local CACHE_DIR STDERR_LOG ARTIFACT
+  CACHE_DIR="$(mktemp -d)"
+  STDERR_LOG="$(mktemp)"
+  ARTIFACT="$(mktemp)"
 
-START_NS=$(date +%s%N)
-if ! "$BENCH" --jobs=1 --cache-dir="$CACHE_DIR" --no-timing \
-    --emit-json="$ARTIFACT" >/dev/null 2>"$STDERR_LOG"; then
-  echo "perf_smoke: fig13_main_comparison failed" >&2
-  cat "$STDERR_LOG" >&2
-  exit 1
-fi
-END_NS=$(date +%s%N)
+  local START_NS END_NS
+  START_NS=$(date +%s%N)
+  if ! "$BENCH" --jobs=1 --cache-dir="$CACHE_DIR" --no-timing \
+      --sim-threads="$THREADS" \
+      --emit-json="$ARTIFACT" >/dev/null 2>"$STDERR_LOG"; then
+    echo "perf_smoke: fig13_main_comparison failed ($LABEL)" >&2
+    cat "$STDERR_LOG" >&2
+    rm -rf "$CACHE_DIR" "$STDERR_LOG" "$ARTIFACT"
+    exit 1
+  fi
+  END_NS=$(date +%s%N)
 
-WALL_S=$(awk -v a="$START_NS" -v b="$END_NS" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
-# The runner prints "[exec] jobs=1 simulated=<runs> accesses=<N> cache: ..."
-ACCESSES=$(sed -n 's/.*\[exec\].* accesses=\([0-9]*\).*/\1/p' "$STDERR_LOG" | tail -1)
-ACCESSES="${ACCESSES:-0}"
-RATE=$(awk -v n="$ACCESSES" -v s="$WALL_S" 'BEGIN { printf "%.0f", (s > 0 ? n / s : 0) }')
+  local WALL_S
+  WALL_S=$(awk -v a="$START_NS" -v b="$END_NS" \
+           'BEGIN { printf "%.3f", (b - a) / 1e9 }')
 
-# Per-phase seconds summed over every run in the artifact (trace-compile
-# vs execute vs mapping passes). Degrades to {} without python3.
-PHASES="{}"
-if command -v python3 >/dev/null 2>&1; then
-  PHASES=$(python3 - "$ARTIFACT" <<'PYEOF'
+  local METRICS
+  if command -v python3 >/dev/null 2>&1; then
+    # Accesses from the artifact's obs counter, the rate from accesses /
+    # summed sim.execute phase seconds, plus the full per-phase map.
+    METRICS=$(python3 - "$ARTIFACT" <<'PYEOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 totals = {}
@@ -57,22 +71,54 @@ for run in doc.get("runs", []):
     for phase in run.get("phases", []):
         totals[phase["name"]] = (totals.get(phase["name"], 0.0)
                                  + (phase.get("seconds") or 0.0))
-print(json.dumps({k: round(v, 6) for k, v in sorted(totals.items())}))
+accesses = doc.get("simulated_accesses", 0)
+execute = totals.get("sim.execute", 0.0)
+rate = int(accesses / execute) if execute > 0 else 0
+print(json.dumps({
+    "simulated_accesses": accesses,
+    "sim_execute_seconds": round(execute, 6),
+    "accesses_per_second": rate,
+    "phase_seconds": {k: round(v, 6) for k, v in sorted(totals.items())},
+}))
 PYEOF
-  )
-fi
+    )
+  else
+    echo "perf_smoke: python3 missing, falling back to stderr scraping" >&2
+    # The runner prints "[exec] jobs=1 simulated=<runs> accesses=<N> ..."
+    local ACCESSES RATE
+    ACCESSES=$(sed -n 's/.*\[exec\].* accesses=\([0-9]*\).*/\1/p' \
+               "$STDERR_LOG" | tail -1)
+    ACCESSES="${ACCESSES:-0}"
+    RATE=$(awk -v n="$ACCESSES" -v s="$WALL_S" \
+           'BEGIN { printf "%.0f", (s > 0 ? n / s : 0) }')
+    METRICS=$(printf '{"simulated_accesses": %s, "sim_execute_seconds": 0, "accesses_per_second": %s, "phase_seconds": {}}' \
+              "$ACCESSES" "$RATE")
+  fi
+  rm -rf "$CACHE_DIR" "$STDERR_LOG" "$ARTIFACT"
+
+  local ENTRY
+  ENTRY=$(printf '{"config": "cold cache, --jobs=1 --sim-threads=%s", "sim_threads": %s, "wall_seconds": %s, %s' \
+          "$THREADS" "$THREADS" "$WALL_S" "${METRICS#\{}")
+  if [ -n "$ENTRIES" ]; then
+    ENTRIES="$ENTRIES,
+    $ENTRY"
+  else
+    ENTRIES="$ENTRY"
+  fi
+  echo "perf_smoke: $LABEL: ${WALL_S}s wall, $METRICS"
+}
+
+run_leg "sequential" 1
+run_leg "parallel x$SIM_THREADS" "$SIM_THREADS"
 
 cat > "$OUT_JSON" <<EOF
 {
+  "schema": "cta-sim-hotpath-v2",
   "benchmark": "fig13_main_comparison",
-  "config": "cold cache, --jobs=1",
-  "wall_seconds": $WALL_S,
-  "simulated_accesses": $ACCESSES,
-  "accesses_per_second": $RATE,
-  "phase_seconds": $PHASES
+  "entries": [
+    $ENTRIES
+  ]
 }
 EOF
 
-echo "perf_smoke: ${WALL_S}s wall, ${ACCESSES} simulated accesses, ${RATE}/s"
-echo "perf_smoke: phase seconds: $PHASES"
 echo "perf_smoke: wrote $OUT_JSON"

@@ -4,6 +4,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <climits>
 
 using namespace cta;
@@ -71,24 +72,59 @@ MappingReport cta::analyzeMapping(const Mapping &Map,
     return UINT_MAX;
   };
 
-  for (std::uint32_t A = 0; A != Map.Groups.size(); ++A) {
-    if (CoreOf[A] == UINT_MAX)
+  // Tags are 0/1 block sets, so dot(A, B) is the size of the tag
+  // intersection and every block shared by a pair contributes exactly one
+  // pairwise unit. Inverting the group->block incidence therefore gives
+  // the same sums as the former O(G^2) pairwise dot loop: a block held by
+  // n mapped groups adds C(n,2) to TotalSharing, and its within-domain
+  // share at a level is the sum of C(n_d,2) over the per-domain counts
+  // (groups whose core has no domain at the level pair as "across", as
+  // before). This is linear in the total tag footprint instead of
+  // quadratic in groups.
+  std::uint32_t NumBlocks = 0;
+  for (std::uint32_t G = 0; G != Map.Groups.size(); ++G)
+    if (CoreOf[G] != UINT_MAX && !Map.Groups[G].Tag.empty())
+      NumBlocks = std::max(NumBlocks, Map.Groups[G].Tag.ids().back() + 1);
+  std::vector<std::vector<unsigned>> BlockCores(NumBlocks);
+  for (std::uint32_t G = 0; G != Map.Groups.size(); ++G) {
+    if (CoreOf[G] == UINT_MAX)
       continue;
-    for (std::uint32_t B = A + 1; B != Map.Groups.size(); ++B) {
-      if (CoreOf[B] == UINT_MAX)
-        continue;
-      std::uint64_t Dot = Map.Groups[A].Tag.dot(Map.Groups[B].Tag);
-      if (Dot == 0)
-        continue;
-      Report.TotalSharing += Dot;
-      for (LevelSharing &L : Report.Levels) {
-        unsigned DA = domainOf(CoreOf[A], L.Level);
-        unsigned DB = domainOf(CoreOf[B], L.Level);
-        if (DA != UINT_MAX && DA == DB)
-          L.WithinDomain += Dot;
-        else
-          L.AcrossDomains += Dot;
+    for (std::uint32_t B : Map.Groups[G].Tag.ids())
+      BlockCores[B].push_back(CoreOf[G]);
+  }
+
+  // Core -> domain node per shared level, precomputed once.
+  std::vector<std::vector<unsigned>> Domain(SharedLevels.size());
+  for (std::size_t L = 0; L != SharedLevels.size(); ++L) {
+    Domain[L].resize(Map.CoreGroups.size());
+    for (unsigned C = 0; C != Map.CoreGroups.size(); ++C)
+      Domain[L][C] = domainOf(C, SharedLevels[L]);
+  }
+
+  auto pairs = [](std::uint64_t N) { return N * (N - 1) / 2; };
+  std::vector<std::uint32_t> DomCount(Topo.numNodes(), 0);
+  std::vector<unsigned> Touched;
+  for (const std::vector<unsigned> &Cores : BlockCores) {
+    if (Cores.size() < 2)
+      continue;
+    std::uint64_t All = pairs(Cores.size());
+    Report.TotalSharing += All;
+    for (std::size_t L = 0; L != SharedLevels.size(); ++L) {
+      std::uint64_t Within = 0;
+      for (unsigned C : Cores) {
+        unsigned D = Domain[L][C];
+        if (D == UINT_MAX)
+          continue;
+        if (DomCount[D]++ == 0)
+          Touched.push_back(D);
       }
+      for (unsigned D : Touched) {
+        Within += pairs(DomCount[D]);
+        DomCount[D] = 0;
+      }
+      Touched.clear();
+      Report.Levels[L].WithinDomain += Within;
+      Report.Levels[L].AcrossDomains += All - Within;
     }
   }
   return Report;

@@ -54,7 +54,7 @@ static void accumulateSharing(MappingReport &Into, const MappingReport &R) {
 
 RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
                             Strategy Strat, const MappingOptions &Opts,
-                            TraceLog *Log) {
+                            TraceLog *Log, const SimExec &SimCfg) {
   MachineSim Sim(Machine);
   Sim.setTraceLog(Log);
 
@@ -76,7 +76,7 @@ RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
       Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
     }
     obs::ObsScope ExecSpan("sim.execute");
-    ExecutionResult Exec = executeTrace(Sim, *Trace, Pipe.Map);
+    ExecutionResult Exec = executeTrace(Sim, *Trace, Pipe.Map, SimCfg);
     ExecSpan.close();
     accumulateExecution(Result, Exec);
   }
@@ -128,7 +128,8 @@ Mapping cta::retargetMapping(const Mapping &Map, unsigned NewNumCores) {
 RunResult cta::runCrossMachine(const Program &Prog,
                                const CacheTopology &CompiledFor,
                                const CacheTopology &RunsOn, Strategy Strat,
-                               const MappingOptions &Opts, TraceLog *Log) {
+                               const MappingOptions &Opts, TraceLog *Log,
+                               const SimExec &SimCfg) {
   MachineSim Sim(RunsOn);
   Sim.setTraceLog(Log);
 
@@ -154,7 +155,7 @@ RunResult cta::runCrossMachine(const Program &Prog,
       Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
     }
     obs::ObsScope ExecSpan("sim.execute");
-    ExecutionResult Exec = executeTrace(Sim, *Trace, Ported);
+    ExecutionResult Exec = executeTrace(Sim, *Trace, Ported, SimCfg);
     ExecSpan.close();
     accumulateExecution(Result, Exec);
   }

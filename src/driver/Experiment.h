@@ -74,10 +74,13 @@ class TraceLog;
 /// Maps and simulates every nest of \p Prog on \p Machine (already scaled
 /// if the caller wants scaling) under \p Strat. When \p Log is non-null
 /// the simulator emits its event trace into it (and runs slower; traced
-/// runs bypass the exec/ result cache).
+/// runs bypass the exec/ result cache). \p Exec selects the engine
+/// concurrency (sim/Engine.h); results are bit-identical for every
+/// setting, so it participates in neither the fingerprint nor the result.
 RunResult runOnMachine(const Program &Prog, const CacheTopology &Machine,
                        Strategy Strat, const MappingOptions &Opts,
-                       TraceLog *Log = nullptr);
+                       TraceLog *Log = nullptr,
+                       const SimExec &Exec = SimExec());
 
 /// Convenience: scales \p Machine by \p Config.TopologyScale and runs.
 RunResult runExperiment(const Program &Prog, const CacheTopology &Machine,
@@ -95,7 +98,8 @@ Mapping retargetMapping(const Mapping &Map, unsigned NewNumCores);
 RunResult runCrossMachine(const Program &Prog,
                           const CacheTopology &CompiledFor,
                           const CacheTopology &RunsOn, Strategy Strat,
-                          const MappingOptions &Opts, TraceLog *Log = nullptr);
+                          const MappingOptions &Opts, TraceLog *Log = nullptr,
+                          const SimExec &Exec = SimExec());
 
 /// Ratio of \p R's cycles to \p Base's cycles — the normalized execution
 /// time all the paper's figures plot. Returns quiet NaN when the base ran

@@ -56,6 +56,12 @@ struct ExecConfig {
   /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
   /// calling thread (no pool).
   unsigned Jobs = 0;
+  /// Simulator threads per run (--sim-threads=N / CTA_SIM_THREADS).
+  /// 1 = sequential engine; 0 = one per hardware thread; N > 1 = the
+  /// epoch-parallel engine with at most N workers. Bit-identical results
+  /// for every value, so it is deliberately NOT part of the run
+  /// fingerprint — cached results are valid across thread counts.
+  unsigned SimThreads = 1;
   /// Directory of the persistent RunCache; empty disables caching.
   std::string CacheDir;
   /// Suppress wall-clock columns in bench tables (--no-timing /
@@ -69,12 +75,14 @@ struct ExecConfig {
   std::string BenchName = "bench";
 };
 
-/// Parses --jobs=N / --jobs N, --cache-dir=PATH / --cache-dir PATH,
-/// --no-timing and --emit-json=PATH / --emit-json PATH from \p argv (also
-/// accepts the CTA_JOBS / CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON
+/// Parses --jobs=N / --jobs N, --sim-threads=N / --sim-threads N,
+/// --cache-dir=PATH / --cache-dir PATH, --no-timing and --emit-json=PATH
+/// / --emit-json PATH from \p argv (also accepts the CTA_JOBS /
+/// CTA_SIM_THREADS / CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON
 /// environment variables as defaults). Unrecognized arguments are left
 /// alone so benches can layer their own flags. Aborts on malformed values
-/// (including non-numeric or overflowing --jobs / CTA_JOBS).
+/// (including non-numeric or overflowing --jobs / CTA_JOBS /
+/// --sim-threads / CTA_SIM_THREADS).
 ExecConfig parseExecArgs(int argc, char **argv);
 
 /// Executes RunTasks concurrently with result caching. Thread-safe for

@@ -163,6 +163,22 @@ std::optional<RunResult> cta::deserializeRunResult(const std::string &Text,
   return R;
 }
 
+/// Engine-telemetry counters describe *how* a simulation executed
+/// (batched rows, arena footprint, deferred work), not what it computed;
+/// different engine paths — sequential batched, traced unbatched,
+/// epoch-parallel — legitimately publish different families for the
+/// same bit-identical result, so they are not part of the deterministic
+/// record.
+static bool isEngineTelemetry(const std::string &Name) {
+  return Name.rfind("sim.batch.", 0) == 0 ||
+         Name.rfind("sim.parallel.", 0) == 0;
+}
+
+static void dropEngineTelemetry(std::map<std::string, std::uint64_t> &M) {
+  for (auto It = M.begin(); It != M.end();)
+    It = isEngineTelemetry(It->first) ? M.erase(It) : std::next(It);
+}
+
 std::string cta::deterministicBytes(const RunResult &R) {
   RunResult Canon = R;
   Canon.MappingSeconds = 0.0;
@@ -173,7 +189,9 @@ std::string cta::deterministicBytes(const RunResult &R) {
     P.StartSeconds = 0.0;
     P.Seconds = 0.0;
     P.PeakRssKb = 0;
+    dropEngineTelemetry(P.CounterDeltas);
   }
+  dropEngineTelemetry(Canon.Counters);
   return serializeRunResult(Canon, /*Key=*/0);
 }
 

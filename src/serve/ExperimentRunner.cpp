@@ -23,6 +23,9 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
   if (const char *Env = std::getenv("CTA_JOBS"))
     Config.Jobs = static_cast<unsigned>(
         parseUint64OrDie("CTA_JOBS", Env, /*Max=*/UINT_MAX));
+  if (const char *Env = std::getenv("CTA_SIM_THREADS"))
+    Config.SimThreads = static_cast<unsigned>(
+        parseUint64OrDie("CTA_SIM_THREADS", Env, /*Max=*/UINT_MAX));
   if (const char *Env = std::getenv("CTA_CACHE_DIR"))
     Config.CacheDir = Env;
   if (std::getenv("CTA_NO_TIMING"))
@@ -38,6 +41,10 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
     return static_cast<unsigned>(
         parseUint64OrDie("--jobs", Value, /*Max=*/UINT_MAX));
   };
+  auto parseSimThreads = [](const char *Value) -> unsigned {
+    return static_cast<unsigned>(
+        parseUint64OrDie("--sim-threads", Value, /*Max=*/UINT_MAX));
+  };
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -47,6 +54,12 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       if (I + 1 >= argc)
         reportFatalError("--jobs needs a value");
       Config.Jobs = parseJobs(argv[++I]);
+    } else if (std::strncmp(Arg, "--sim-threads=", 14) == 0) {
+      Config.SimThreads = parseSimThreads(Arg + 14);
+    } else if (std::strcmp(Arg, "--sim-threads") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--sim-threads needs a value");
+      Config.SimThreads = parseSimThreads(argv[++I]);
     } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
       Config.CacheDir = Arg + 12;
     } else if (std::strcmp(Arg, "--cache-dir") == 0) {
@@ -68,7 +81,9 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
 
 ExperimentRunner::ExperimentRunner(ExecConfig ConfigIn)
     : Config(std::move(ConfigIn)),
-      Svc(serve::Service::Config{Config.Jobs, Config.CacheDir}) {
+      Svc(serve::Service::Config{Config.Jobs, Config.CacheDir,
+                                 /*SkipOnShutdown=*/true,
+                                 Config.SimThreads}) {
   // Keep config() consistent with what the service resolved (Jobs == 0).
   Config.Jobs = Svc.jobs();
 }

@@ -64,6 +64,10 @@ ServerOptions cta::serve::parseServeArgs(const std::vector<std::string> &Args) {
     } else if (match("--jobs", Value)) {
       Opts.Jobs = static_cast<unsigned>(
           parseUint64OrDie("--jobs", Value.c_str(), /*Max=*/UINT_MAX));
+    } else if (match("--sim-threads", Value)) {
+      Opts.SimThreads = static_cast<unsigned>(
+          parseUint64OrDie("--sim-threads", Value.c_str(),
+                           /*Max=*/UINT_MAX));
     } else if (match("--cache-dir", Value)) {
       Opts.CacheDir = Value;
     } else if (match("--max-inflight", Value)) {
@@ -128,7 +132,7 @@ struct Server::PendingRequest {
 Server::Server(ServerOptions OptsIn)
     : Opts(std::move(OptsIn)),
       Svc(Service::Config{Opts.Jobs, Opts.CacheDir,
-                          /*SkipOnShutdown=*/false}),
+                          /*SkipOnShutdown=*/false, Opts.SimThreads}),
       Admission(Opts.MaxInflight) {}
 
 Server::~Server() {

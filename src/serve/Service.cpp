@@ -126,11 +126,17 @@ RunResult Service::execute(const RunTask &Task) {
   {
     obs::MetricSink RunSink(&GridSink);
     obs::MetricScope Scope(RunSink);
+    // The engine gets this service's pool: its parallelFor waiters help
+    // drain pool work, so an engine running *on* a pool worker cannot
+    // deadlock the service.
+    SimExec Exec;
+    Exec.Threads = Cfg.SimThreads;
+    Exec.Pool = Pool.get();
     R = Task.RunsOn ? runCrossMachine(Task.Prog, Task.Machine, *Task.RunsOn,
                                       Task.Strat, Task.Opts,
-                                      Task.TraceSink.get())
+                                      Task.TraceSink.get(), Exec)
                     : runOnMachine(Task.Prog, Task.Machine, Task.Strat,
-                                   Task.Opts, Task.TraceSink.get());
+                                   Task.Opts, Task.TraceSink.get(), Exec);
     R.Counters = RunSink.snapshot();
     R.Phases = RunSink.phases();
   }

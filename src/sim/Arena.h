@@ -1,0 +1,108 @@
+//===- sim/Arena.h - Chunked bump allocator for simulation state -*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for per-run simulation storage: deferred
+/// probe records, per-round iteration metadata, and other transient
+/// engine state whose lifetime is exactly one executeTrace call. All
+/// allocations are freed at once when the arena dies (or is reset), so
+/// per-iteration containers never touch the global allocator on the hot
+/// path.
+///
+/// The arena is NOT thread-safe; the parallel engine carves every
+/// worker's storage out of the arena up front (the bounds are known from
+/// the mapping before any worker starts) and workers only write into
+/// their own spans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SIM_ARENA_H
+#define CTA_SIM_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace cta {
+
+/// Bump allocator backed by geometrically growing chunks.
+class Arena {
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    std::size_t Size = 0;
+  };
+
+  std::vector<Chunk> Chunks;
+  char *Cursor = nullptr;
+  char *End = nullptr;
+  std::size_t NextChunkSize;
+  std::size_t TotalBytes = 0;
+
+  void grow(std::size_t AtLeast) {
+    std::size_t Size = NextChunkSize;
+    while (Size < AtLeast)
+      Size *= 2;
+    NextChunkSize = Size * 2;
+    Chunks.push_back({std::unique_ptr<char[]>(new char[Size]), Size});
+    Cursor = Chunks.back().Data.get();
+    End = Cursor + Size;
+    TotalBytes += Size;
+  }
+
+public:
+  explicit Arena(std::size_t FirstChunkBytes = 1 << 16)
+      : NextChunkSize(FirstChunkBytes < 64 ? 64 : FirstChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Raw allocation; alignment must be a power of two.
+  void *allocate(std::size_t Bytes, std::size_t Align) {
+    std::uintptr_t P = reinterpret_cast<std::uintptr_t>(Cursor);
+    std::uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    std::size_t Need = (Aligned - P) + Bytes;
+    if (Cursor == nullptr ||
+        Need > static_cast<std::size_t>(End - Cursor)) {
+      grow(Bytes + Align);
+      P = reinterpret_cast<std::uintptr_t>(Cursor);
+      Aligned = (P + Align - 1) & ~(Align - 1);
+    }
+    Cursor = reinterpret_cast<char *>(Aligned) + Bytes;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Typed array allocation. The memory is uninitialized; T must be
+  /// trivially destructible (nothing runs destructors).
+  template <typename T> T *allocateArray(std::size_t Count) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena never runs destructors");
+    if (Count == 0)
+      return nullptr;
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Bytes reserved from the system so far (observability).
+  std::size_t totalBytes() const { return TotalBytes; }
+
+  /// Drops every allocation but keeps the first chunk for reuse.
+  void reset() {
+    if (Chunks.size() > 1) {
+      Chunks.erase(Chunks.begin() + 1, Chunks.end());
+      TotalBytes = Chunks.front().Size;
+    }
+    if (!Chunks.empty()) {
+      Cursor = Chunks.front().Data.get();
+      End = Cursor + Chunks.front().Size;
+    }
+  }
+};
+
+} // namespace cta
+
+#endif // CTA_SIM_ARENA_H

@@ -4,6 +4,8 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
+
 using namespace cta;
 
 Cache::Cache(const CacheParams &Params) : Params(Params) {
@@ -11,121 +13,127 @@ Cache::Cache(const CacheParams &Params) : Params(Params) {
     reportFatalError("degenerate cache parameters");
   NumSets = Params.numSets();
   SetMask = (NumSets & (NumSets - 1)) == 0 ? NumSets - 1 : 0;
-  Lines.assign(static_cast<std::size_t>(NumSets) * Params.Assoc, Line());
+  if (SetMask == 0)
+    FastModM = UINT64_MAX / NumSets + 1;
+  std::size_t Total = static_cast<std::size_t>(NumSets) * Params.Assoc;
+  Tags.assign(Total, 0);
+  Stamps.assign(Total, 0);
 }
 
 bool Cache::probeTraced(std::uint64_t LineAddr, bool &Evicted,
                         std::uint64_t &VictimTag) {
   ++StatLookups;
-  Line *Base = &Lines[setOf(LineAddr) * Params.Assoc];
-  Line *Victim = Base;
-  bool SawInvalid = false;
-  for (unsigned W = 0; W != Params.Assoc; ++W) {
-    Line &L = Base[W];
-    if (L.Valid) {
-      if (L.Tag == LineAddr) {
-        L.Lru = ++Tick;
-        ++StatHits;
-        Evicted = false;
-        return true;
-      }
-      if (!SawInvalid && L.Lru < Victim->Lru)
-        Victim = &L;
-    } else if (!SawInvalid) {
-      Victim = &L;
-      SawInvalid = true;
-    }
+  const std::size_t Base = setOf(LineAddr) * Params.Assoc;
+  std::uint64_t *T = &Tags[Base];
+  std::uint64_t *S = &Stamps[Base];
+  const unsigned Assoc = Params.Assoc;
+
+  unsigned Match = Assoc;
+  for (unsigned W = 0; W != Assoc; ++W)
+    if (T[W] == LineAddr && S[W] != 0)
+      Match = W;
+  if (Match != Assoc) {
+    S[Match] = ++Tick;
+    ++StatHits;
+    Evicted = false;
+    return true;
   }
-  StatEvictions += !SawInvalid;
-  Evicted = !SawInvalid;
-  VictimTag = Victim->Tag;
-  Victim->Valid = true;
-  Victim->Tag = LineAddr;
-  Victim->Lru = ++Tick;
+
+  unsigned Victim = 0;
+  for (unsigned W = 1; W != Assoc; ++W)
+    if (S[W] < S[Victim])
+      Victim = W;
+  StatEvictions += S[Victim] != 0;
+  Evicted = S[Victim] != 0;
+  VictimTag = T[Victim];
+  T[Victim] = LineAddr;
+  S[Victim] = ++Tick;
   return false;
 }
 
 bool Cache::access(std::uint64_t LineAddr) {
   ++StatLookups;
-  std::size_t Set = setOf(LineAddr);
-  Line *Base = &Lines[Set * Params.Assoc];
-  for (unsigned W = 0; W != Params.Assoc; ++W) {
-    if (Base[W].Valid && Base[W].Tag == LineAddr) {
-      Base[W].Lru = ++Tick;
-      ++StatHits;
-      return true;
-    }
-  }
-  return false;
+  const std::size_t Base = setOf(LineAddr) * Params.Assoc;
+  std::uint64_t *T = &Tags[Base];
+  std::uint64_t *S = &Stamps[Base];
+  const unsigned Assoc = Params.Assoc;
+  unsigned Match = Assoc;
+  for (unsigned W = 0; W != Assoc; ++W)
+    if (T[W] == LineAddr && S[W] != 0)
+      Match = W;
+  if (Match == Assoc)
+    return false;
+  S[Match] = ++Tick;
+  ++StatHits;
+  return true;
 }
 
 bool Cache::contains(std::uint64_t LineAddr) const {
-  std::size_t Set = setOf(LineAddr);
-  const Line *Base = &Lines[Set * Params.Assoc];
+  const std::size_t Base = setOf(LineAddr) * Params.Assoc;
   for (unsigned W = 0; W != Params.Assoc; ++W)
-    if (Base[W].Valid && Base[W].Tag == LineAddr)
+    if (Tags[Base + W] == LineAddr && Stamps[Base + W] != 0)
       return true;
   return false;
 }
 
 void Cache::fill(std::uint64_t LineAddr) {
-  std::size_t Set = setOf(LineAddr);
-  Line *Base = &Lines[Set * Params.Assoc];
-  Line *Victim = Base;
+  const std::size_t Base = setOf(LineAddr) * Params.Assoc;
+  std::uint64_t *T = &Tags[Base];
+  std::uint64_t *S = &Stamps[Base];
+  unsigned Victim = 0;
   for (unsigned W = 0; W != Params.Assoc; ++W) {
-    if (Base[W].Valid && Base[W].Tag == LineAddr) {
-      Base[W].Lru = ++Tick; // already resident: refresh
+    if (S[W] != 0 && T[W] == LineAddr) {
+      S[W] = ++Tick; // already resident: refresh
       return;
     }
-    if (!Base[W].Valid) {
-      Victim = &Base[W];
+    if (S[W] == 0) {
+      Victim = W;
       break;
     }
-    if (Base[W].Lru < Victim->Lru)
-      Victim = &Base[W];
+    if (S[W] < S[Victim])
+      Victim = W;
   }
-  StatEvictions += Victim->Valid;
-  Victim->Valid = true;
-  Victim->Tag = LineAddr;
-  Victim->Lru = ++Tick;
+  StatEvictions += S[Victim] != 0;
+  T[Victim] = LineAddr;
+  S[Victim] = ++Tick;
 }
 
 void Cache::fillTraced(std::uint64_t LineAddr, bool &Evicted,
                        std::uint64_t &VictimTag) {
-  std::size_t Set = setOf(LineAddr);
-  Line *Base = &Lines[Set * Params.Assoc];
-  Line *Victim = Base;
+  const std::size_t Base = setOf(LineAddr) * Params.Assoc;
+  std::uint64_t *T = &Tags[Base];
+  std::uint64_t *S = &Stamps[Base];
+  unsigned Victim = 0;
   for (unsigned W = 0; W != Params.Assoc; ++W) {
-    if (Base[W].Valid && Base[W].Tag == LineAddr) {
-      Base[W].Lru = ++Tick; // already resident: refresh
+    if (S[W] != 0 && T[W] == LineAddr) {
+      S[W] = ++Tick; // already resident: refresh
       Evicted = false;
       return;
     }
-    if (!Base[W].Valid) {
-      Victim = &Base[W];
+    if (S[W] == 0) {
+      Victim = W;
       break;
     }
-    if (Base[W].Lru < Victim->Lru)
-      Victim = &Base[W];
+    if (S[W] < S[Victim])
+      Victim = W;
   }
-  StatEvictions += Victim->Valid;
-  Evicted = Victim->Valid;
-  VictimTag = Victim->Tag;
-  Victim->Valid = true;
-  Victim->Tag = LineAddr;
-  Victim->Lru = ++Tick;
+  StatEvictions += S[Victim] != 0;
+  Evicted = S[Victim] != 0;
+  VictimTag = T[Victim];
+  T[Victim] = LineAddr;
+  S[Victim] = ++Tick;
 }
 
 void Cache::flush() {
-  for (Line &L : Lines)
-    L = Line();
+  std::fill(Tags.begin(), Tags.end(), 0);
+  std::fill(Stamps.begin(), Stamps.end(), 0);
   Tick = 0;
 }
 
 std::uint64_t Cache::residentLines() const {
   std::uint64_t N = 0;
-  for (const Line &L : Lines)
-    if (L.Valid)
+  for (std::uint64_t S : Stamps)
+    if (S != 0)
       ++N;
   return N;
 }

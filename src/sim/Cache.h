@@ -11,6 +11,14 @@
 /// the constructive/destructive sharing effects the paper's scheme
 /// optimizes for (Section 2).
 ///
+/// Storage is struct-of-arrays: one tag array and one LRU-stamp array,
+/// set-major. A line is valid iff its stamp is nonzero (the tick counter
+/// pre-increments, so live stamps are always >= 1), which removes the
+/// per-line Valid flag, packs a set's tags contiguously, and lets the tag
+/// scan vectorize: tags are unique within a set, so the match loop needs
+/// no early exit and compiles to straight-line SIMD compares for the
+/// common associativities.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CTA_SIM_CACHE_H
@@ -25,16 +33,12 @@ namespace cta {
 
 /// Set-associative cache with true-LRU replacement (timestamp based).
 class Cache {
-  struct Line {
-    std::uint64_t Tag = 0;
-    std::uint64_t Lru = 0;
-    bool Valid = false;
-  };
-
   CacheParams Params;
   unsigned NumSets = 1;
-  std::uint64_t SetMask = 0; // NumSets - 1 when a power of two, else 0
-  std::vector<Line> Lines; // NumSets * Assoc, set-major
+  std::uint64_t SetMask = 0;   // NumSets - 1 when a power of two, else 0
+  std::uint64_t FastModM = 0;  // Lemire fastmod constant for non-pow2 sets
+  std::vector<std::uint64_t> Tags;   // NumSets * Assoc, set-major
+  std::vector<std::uint64_t> Stamps; // LRU stamps; 0 means invalid
   std::uint64_t Tick = 0;
 
   // Per-instance statistics (this cache only; the per-level aggregates in
@@ -45,8 +49,19 @@ class Cache {
   std::uint64_t StatEvictions = 0;
 
   std::size_t setOf(std::uint64_t LineAddr) const {
-    return static_cast<std::size_t>(SetMask != 0 ? (LineAddr & SetMask)
-                                                 : (LineAddr % NumSets));
+    if (SetMask != 0)
+      return static_cast<std::size_t>(LineAddr & SetMask);
+#ifdef __SIZEOF_INT128__
+    // Lemire's fastmod: exact for 32-bit numerators, which covers every
+    // line address below 2^32 (16 TiB of data at 4-byte lines); the rare
+    // wider address falls back to the division.
+    if (__builtin_expect((LineAddr >> 32) == 0, 1)) {
+      std::uint64_t LowBits = FastModM * LineAddr;
+      return static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(LowBits) * NumSets) >> 64);
+    }
+#endif
+    return static_cast<std::size_t>(LineAddr % NumSets);
   }
 
 public:
@@ -66,30 +81,31 @@ public:
   /// access() followed by fill() on a miss, at half the scans.
   bool probe(std::uint64_t LineAddr) {
     ++StatLookups;
-    Line *Base = &Lines[setOf(LineAddr) * Params.Assoc];
-    Line *Victim = Base;
-    bool SawInvalid = false;
-    for (unsigned W = 0; W != Params.Assoc; ++W) {
-      Line &L = Base[W];
-      if (L.Valid) {
-        if (L.Tag == LineAddr) {
-          L.Lru = ++Tick;
-          ++StatHits;
-          return true;
-        }
-        if (!SawInvalid && L.Lru < Victim->Lru)
-          Victim = &L;
-      } else if (!SawInvalid) {
-        Victim = &L;
-        SawInvalid = true;
-      }
+    const std::size_t Base = setOf(LineAddr) * Params.Assoc;
+    std::uint64_t *T = &Tags[Base];
+    std::uint64_t *S = &Stamps[Base];
+    const unsigned Assoc = Params.Assoc;
+
+    unsigned Match = Assoc;
+    for (unsigned W = 0; W != Assoc; ++W)
+      if (T[W] == LineAddr && S[W] != 0)
+        Match = W;
+    if (Match != Assoc) {
+      S[Match] = ++Tick;
+      ++StatHits;
+      return true;
     }
-    // On a full-scan miss with no invalid way the victim is a valid line
-    // being replaced: an eviction (same condition fill() counts).
-    StatEvictions += !SawInvalid;
-    Victim->Valid = true;
-    Victim->Tag = LineAddr;
-    Victim->Lru = ++Tick;
+
+    // Victim = way with the smallest stamp, earliest way on ties. Invalid
+    // ways carry stamp 0, so "first invalid way wins" falls out of the
+    // strict-< argmin.
+    unsigned Victim = 0;
+    for (unsigned W = 1; W != Assoc; ++W)
+      if (S[W] < S[Victim])
+        Victim = W;
+    StatEvictions += S[Victim] != 0;
+    T[Victim] = LineAddr;
+    S[Victim] = ++Tick;
     return false;
   }
 
@@ -128,6 +144,16 @@ public:
 
   /// Zeroes the per-instance statistics (cache contents untouched).
   void clearStats() { StatLookups = StatHits = StatEvictions = 0; }
+
+  /// Folds externally accumulated statistics in (parallel engine workers
+  /// count privately and merge here, keeping the totals identical to a
+  /// sequential run).
+  void addStats(std::uint64_t Lookups, std::uint64_t Hits,
+                std::uint64_t Evictions) {
+    StatLookups += Lookups;
+    StatHits += Hits;
+    StatEvictions += Evictions;
+  }
 };
 
 } // namespace cta

@@ -2,7 +2,9 @@
 
 #include "sim/Engine.h"
 
+#include "obs/MetricSink.h"
 #include "sim/AccessTrace.h"
+#include "sim/ParallelEngine.h"
 #include "sim/TraceLog.h"
 #include "support/ErrorHandling.h"
 
@@ -13,6 +15,9 @@
 using namespace cta;
 
 namespace {
+
+obs::Counter NumBatchRows("sim.batch.rows");
+obs::Counter NumBatchAccesses("sim.batch.accesses");
 
 /// Unrecorded-completion sentinel. Cycle 0 is a legitimate completion time
 /// (a zero-latency prefix), so "not yet recorded" must be a value no real
@@ -72,10 +77,21 @@ AddressMap::AddressMap(const std::vector<ArrayDecl> &Arrays) {
 ExecutionResult cta::executeTrace(MachineSim &Machine,
                                   const AccessTrace &Trace,
                                   const Mapping &Map) {
+  return executeTrace(Machine, Trace, Map, SimExec());
+}
+
+ExecutionResult cta::executeTrace(MachineSim &Machine,
+                                  const AccessTrace &Trace,
+                                  const Mapping &Map, const SimExec &Exec) {
   if (Map.NumCores != Machine.topology().numCores())
     reportFatalError("mapping core count does not match the machine");
   if (!Map.coversExactly(Trace.numIterations()))
     reportFatalError("mapping is not a partition of the iteration space");
+
+  // Concurrency requested and the schedule qualifies: hand the whole run
+  // to the epoch-parallel engine (bit-identical results by construction).
+  if (Exec.Threads != 1 && epochParallelEligible(Machine, Map))
+    return executeTraceEpochParallel(Machine, Trace, Map, Exec);
 
   const unsigned NumCores = Map.NumCores;
   const unsigned NumAccesses = Trace.numAccesses();
@@ -98,6 +114,21 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
   if (Log != nullptr)
     Log->beginNest();
 
+  // Batched row-walk scratch (untraced path). One iteration's accesses
+  // probe the path level by level: gather the level's line addresses,
+  // probe once per surviving access, carry the misses down. Every cache
+  // still sees its probes in access order (survivor filtering preserves
+  // it), so state and statistics are bit-identical to the per-access
+  // walk — the batching only turns the per-level work into tight
+  // vectorizable loops. Statistics accumulate locally and fold into the
+  // machine once at the end (sums of per-access counts commute).
+  std::vector<std::uint64_t> Line(NumAccesses);
+  std::vector<std::uint32_t> Idx(NumAccesses);
+  std::vector<std::uint32_t> Lat(NumAccesses);
+  SimStats Local;
+  std::uint64_t BatchedRows = 0;
+  const unsigned MemLat = Machine.memoryLatency();
+
   auto runIteration = [&](unsigned Core) {
     std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
     const std::uint64_t *Row = Trace.row(Iter);
@@ -110,8 +141,35 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
       }
       Log->iterationSpan(Core, Iter, Start, C + ComputeCycles);
     } else {
+      Local.TotalAccesses += NumAccesses;
+      ++BatchedRows;
+      unsigned Alive = NumAccesses;
       for (unsigned A = 0; A != NumAccesses; ++A)
-        C += Machine.access(Core, Row[A], Trace.isWrite(A));
+        Idx[A] = A;
+      for (const MachineSim::PathEntry &E : Machine.corePath(Core)) {
+        if (Alive == 0)
+          break;
+        Local.Levels[E.Level].Lookups += Alive;
+        for (unsigned J = 0; J != Alive; ++J)
+          Line[J] = E.lineOf(Row[Idx[J]]);
+        unsigned Surv = 0;
+        std::uint64_t Hits = 0;
+        for (unsigned J = 0; J != Alive; ++J) {
+          if (E.C->probe(Line[J])) {
+            Lat[Idx[J]] = E.Latency;
+            ++Hits;
+          } else {
+            Idx[Surv++] = Idx[J];
+          }
+        }
+        Local.Levels[E.Level].Hits += Hits;
+        Alive = Surv;
+      }
+      Local.MemoryAccesses += Alive;
+      for (unsigned J = 0; J != Alive; ++J)
+        Lat[Idx[J]] = MemLat;
+      for (unsigned A = 0; A != NumAccesses; ++A)
+        C += Lat[A];
     }
     Cycle[Core] = C + ComputeCycles;
     ++Pos[Core];
@@ -227,6 +285,10 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
       }
     }
   }
+
+  Machine.addStats(Local);
+  NumBatchRows += BatchedRows;
+  NumBatchAccesses += Local.TotalAccesses;
 
   ExecutionResult Result;
   Result.CoreCycles = Cycle;

@@ -59,6 +59,23 @@ struct ExecutionResult {
 };
 
 class AccessTrace;
+class ThreadPool;
+
+/// Engine concurrency options, threaded from `cta run --sim-threads=N`
+/// (CTA_SIM_THREADS) through serve::Service down to executeTrace.
+struct SimExec {
+  /// 1 = sequential engine (the default); 0 = one thread per hardware
+  /// thread; N > 1 = epoch-parallel engine with at most N workers.
+  /// Results are bit-identical across every value by construction —
+  /// threads only change wall time.
+  unsigned Threads = 1;
+
+  /// Optional shared pool (the serve daemon lends its own); when null and
+  /// Threads != 1 the engine brings up a pool for the call. Workers of a
+  /// lent pool help instead of blocking, so nesting under exec/ jobs
+  /// cannot deadlock.
+  ThreadPool *Pool = nullptr;
+};
 
 /// Executes nest \p NestIdx of \p Prog under \p Map on \p Machine. The
 /// iteration table must be the nest's lexicographic enumeration (the
@@ -78,6 +95,15 @@ ExecutionResult executeMapping(MachineSim &Machine, const Program &Prog,
 /// strategy) run of the same workload via the TraceRegistry.
 ExecutionResult executeTrace(MachineSim &Machine, const AccessTrace &Trace,
                              const Mapping &Map);
+
+/// As above with engine concurrency options. With \p Exec.Threads != 1
+/// and an eligible schedule (no point-to-point dependences, no trace log
+/// attached) the epoch-parallel engine runs per-core round segments
+/// concurrently and merges shared-level probes deterministically at round
+/// boundaries; everything else falls back to the sequential engine.
+/// Results are bit-identical either way.
+ExecutionResult executeTrace(MachineSim &Machine, const AccessTrace &Trace,
+                             const Mapping &Map, const SimExec &Exec);
 
 /// The original naive engine — per-access affine evaluation, O(NumCores)
 /// min-scans, two-probe cache walks — retained as the oracle the

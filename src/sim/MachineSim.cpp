@@ -60,6 +60,20 @@ MachineSim::MachineSim(const CacheTopology &Topo) : Topo(Topo) {
       Path[C].push_back(Entry);
     }
   }
+
+  // Private prefix length per core: leading path nodes serving exactly
+  // one core. Core sets grow monotonically toward the root, so the
+  // remainder of the path is entirely shared.
+  PrivateLen.resize(Topo.numCores());
+  for (unsigned C = 0, E = Topo.numCores(); C != E; ++C) {
+    unsigned Len = 0;
+    for (unsigned Id : PathNodes[C]) {
+      if (Topo.node(Id).Cores.size() != 1)
+        break;
+      ++Len;
+    }
+    PrivateLen[C] = Len;
+  }
 }
 
 void MachineSim::reset() {

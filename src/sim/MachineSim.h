@@ -74,7 +74,11 @@ struct CacheNodeStats {
 
 /// The machine: one cache per topology node plus per-core access paths.
 class MachineSim {
-  /// One precompiled level of a core's access path.
+public:
+  /// One precompiled level of a core's access path. Public so the engines
+  /// (sequential batched row walk, parallel epoch engine) can drive the
+  /// probes themselves while keeping statistics bit-identical to
+  /// access().
   struct PathEntry {
     Cache *C = nullptr;
     unsigned Level = 0;      // SimStats index
@@ -83,12 +87,18 @@ class MachineSim {
     unsigned LineSize = 1;   // divisor fallback otherwise
     unsigned Node = 0;       // topology node id (tracing)
     bool UseShift = false;
+
+    std::uint64_t lineOf(std::uint64_t Addr) const {
+      return UseShift ? (Addr >> LineShift) : (Addr / LineSize);
+    }
   };
 
+private:
   const CacheTopology &Topo;
   std::vector<Cache> Caches;                   // indexed by node id - 1
   std::vector<std::vector<PathEntry>> Path;    // per core, L1 first
   std::vector<std::vector<unsigned>> PathNodes; // node ids (reference path)
+  std::vector<unsigned> PrivateLen; // per core: leading single-core levels
   SimStats Stats;
   TraceLog *Log = nullptr;
 
@@ -149,6 +159,37 @@ public:
 
   /// Cache instance of topology node \p NodeId (tests/inspection).
   const Cache &cacheOfNode(unsigned NodeId) const;
+
+  /// The precompiled access path of \p Core, L1 first (engine internals).
+  const std::vector<PathEntry> &corePath(unsigned Core) const {
+    assert(Core < Path.size() && "core id out of range");
+    return Path[Core];
+  }
+
+  /// Number of leading path levels of \p Core served by caches private to
+  /// it (exactly one core below the node). Core counts are monotone up
+  /// the tree, so every path is a private prefix followed by a shared
+  /// suffix; the parallel engine simulates the prefix concurrently and
+  /// defers the suffix to the deterministic merge.
+  unsigned privatePrefixLen(unsigned Core) const {
+    assert(Core < PrivateLen.size() && "core id out of range");
+    return PrivateLen[Core];
+  }
+
+  /// Memory access cost past the last level (engine internals).
+  unsigned memoryLatency() const { return Topo.memoryLatency(); }
+
+  /// Folds engine-side accumulated per-level statistics in (the batched
+  /// and parallel engines count privately, then merge; totals stay
+  /// identical to per-access counting).
+  void addStats(const SimStats &S) {
+    for (unsigned L = 0; L != SimStats::MaxLevels + 1; ++L) {
+      Stats.Levels[L].Lookups += S.Levels[L].Lookups;
+      Stats.Levels[L].Hits += S.Levels[L].Hits;
+    }
+    Stats.MemoryAccesses += S.MemoryAccesses;
+    Stats.TotalAccesses += S.TotalAccesses;
+  }
 
 private:
   /// Traced twin of the access() hot loop: same probes, same statistics,

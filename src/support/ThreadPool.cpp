@@ -1,6 +1,6 @@
-//===- exec/ThreadPool.cpp - Work-stealing thread pool --------------------===//
+//===- support/ThreadPool.cpp - Work-stealing thread pool --------------------===//
 
-#include "exec/ThreadPool.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>

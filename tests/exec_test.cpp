@@ -585,4 +585,65 @@ TEST(ExperimentRunnerDeathTest, RejectsMalformedJobsEnv) {
   ::unsetenv("CTA_JOBS");
 }
 
+TEST(ExperimentRunnerTest, ParseSimThreadsForms) {
+  {
+    const char *Argv[] = {"bench"};
+    ExecConfig C = parseExecArgs(1, const_cast<char **>(Argv));
+    EXPECT_EQ(C.SimThreads, 1u); // default: sequential engine
+  }
+  {
+    const char *Argv[] = {"bench", "--sim-threads=4"};
+    ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
+    EXPECT_EQ(C.SimThreads, 4u);
+  }
+  {
+    const char *Argv[] = {"bench", "--sim-threads", "0"};
+    ExecConfig C = parseExecArgs(3, const_cast<char **>(Argv));
+    EXPECT_EQ(C.SimThreads, 0u); // 0 = hardware threads
+  }
+  {
+    const char *Argv[] = {"bench"};
+    ::setenv("CTA_SIM_THREADS", "3", 1);
+    ExecConfig C = parseExecArgs(1, const_cast<char **>(Argv));
+    ::unsetenv("CTA_SIM_THREADS");
+    EXPECT_EQ(C.SimThreads, 3u);
+  }
+  {
+    // The flag overrides the environment, like --jobs vs CTA_JOBS.
+    const char *Argv[] = {"bench", "--sim-threads=2"};
+    ::setenv("CTA_SIM_THREADS", "9", 1);
+    ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
+    ::unsetenv("CTA_SIM_THREADS");
+    EXPECT_EQ(C.SimThreads, 2u);
+  }
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedSimThreads) {
+  // Same strict-decimal contract as --jobs: trailing garbage, non-numeric
+  // input, negatives and overflow are all fatal, naming the flag.
+  const char *Suffix[] = {"bench", "--sim-threads=4x"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Suffix)),
+               "--sim-threads");
+  const char *Garbage[] = {"bench", "--sim-threads=auto"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Garbage)),
+               "--sim-threads");
+  const char *Negative[] = {"bench", "--sim-threads=-1"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Negative)),
+               "--sim-threads");
+  const char *Overflow[] = {"bench", "--sim-threads=99999999999999999999"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Overflow)),
+               "--sim-threads");
+  const char *Missing[] = {"bench", "--sim-threads"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)),
+               "--sim-threads");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedSimThreadsEnv) {
+  const char *Argv[] = {"bench"};
+  ::setenv("CTA_SIM_THREADS", "2x", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)),
+               "CTA_SIM_THREADS");
+  ::unsetenv("CTA_SIM_THREADS");
+}
+
 } // namespace

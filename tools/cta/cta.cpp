@@ -83,8 +83,9 @@ const char *UsageText =
     "  cta run <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta trace <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta check [--topo] <file>...\n"
-    "  cta serve --socket <path> [--jobs N] [--cache-dir P]\n"
-    "            [--max-inflight N] [--max-batch N] [--batch-window-ms N]\n"
+    "  cta serve --socket <path> [--jobs N] [--sim-threads N]\n"
+    "            [--cache-dir P] [--max-inflight N] [--max-batch N]\n"
+    "            [--batch-window-ms N]\n"
     "  cta client --socket <path> [--workload W] [--machine M]\n"
     "             [--strategy S] [--scale F] [--concurrency N]\n"
     "             [--requests N] [--mix WARM:COLD] [--emit-json P]\n"
@@ -108,6 +109,10 @@ const char *UsageText =
     "  --emit-trace P   write the Perfetto-loadable cta-trace-v1 Chrome\n"
     "                   trace-event JSON to P (needs exactly one --machine;\n"
     "                   on `cta run` this turns event tracing on)\n"
+    "  --sim-threads N  engine threads per run: 1 = sequential (default),\n"
+    "                   0 = hardware threads, N > 1 = epoch-parallel\n"
+    "                   engine; results are bit-identical for every value\n"
+    "                   (see `cta list` for which runs can parallelize)\n"
     "  --jobs N, --cache-dir P, --no-timing   (exec/ flags, as in benches)\n";
 
 [[noreturn]] void usageError(const std::string &Msg) {
@@ -225,6 +230,22 @@ int runList() {
   for (Strategy S : {Strategy::Base, Strategy::BasePlus, Strategy::Local,
                      Strategy::TopologyAware, Strategy::Combined})
     std::printf("  %-14s %s\n", strategyName(S), strategyDescription(S));
+  std::printf(
+      "\nsimulator engines (selected with `--sim-threads N`):\n"
+      "  sequential     the default (--sim-threads=1): one event heap\n"
+      "                 interleaves all cores; works for every schedule\n"
+      "  epoch-parallel --sim-threads=0|N>1: per-core private-cache epochs\n"
+      "                 run concurrently, shared-level probes replay in\n"
+      "                 deterministic (cycle, core) order at round merges;\n"
+      "                 bit-identical cycles and statistics to sequential\n"
+      "\n"
+      "  eligible: barrier-synchronized and free-running schedules — every\n"
+      "  strategy above on every multi-core machine/topology. Runs fall\n"
+      "  back to the sequential engine automatically when the schedule\n"
+      "  uses point-to-point dependence synchronization (workloads marked\n"
+      "  \"loop-carried dependences\" under some strategies), when event\n"
+      "  tracing is on (`cta trace` / --emit-trace need the global event\n"
+      "  order), or when the machine has a single core.\n");
   return 0;
 }
 
@@ -283,12 +304,14 @@ int runCheck(const std::vector<std::string> &Args) {
 /// for a positional argument.
 bool isExecFlag(int argc, char **argv, int &I) {
   const char *Arg = argv[I];
-  for (const char *Prefix : {"--jobs=", "--cache-dir=", "--emit-json="})
+  for (const char *Prefix :
+       {"--jobs=", "--sim-threads=", "--cache-dir=", "--emit-json="})
     if (std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0)
       return true;
   if (std::strcmp(Arg, "--no-timing") == 0)
     return true;
-  for (const char *Flag : {"--jobs", "--cache-dir", "--emit-json"})
+  for (const char *Flag : {"--jobs", "--sim-threads", "--cache-dir",
+                           "--emit-json"})
     if (std::strcmp(Arg, Flag) == 0) {
       if (I + 1 >= argc)
         usageError(std::string(Flag) + " needs a value");
