@@ -10,7 +10,7 @@
 
 #include "exec/ExperimentRunner.h"
 #include "exec/Fingerprint.h"
-#include "exec/ThreadPool.h"
+#include "support/ThreadPool.h"
 #include "obs/RunArtifact.h"
 
 #include "core/DataBlockModel.h"

@@ -2,8 +2,9 @@
 """Sanity-check cta artifact JSON files (stdlib only).
 
 Usage: check_artifact_schema.py FILE [FILE...]
+       check_artifact_schema.py --canon FILE
 
-Validates two document kinds, dispatched on shape:
+Validates several document kinds, dispatched on shape:
 
  * cta-bench-artifact-v1 — what bench binaries emit via --emit-json /
    CTA_EMIT_JSON: schema tags, required keys, value types and the
@@ -21,6 +22,21 @@ Validates two document kinds, dispatched on shape:
  * cta-serve-bench-v1 — the `cta client` load report: counts reconcile
    (ok + errors = measured requests) and the latency block is ordered
    (p50 <= p90 <= p99 <= max).
+ * cta-worker-shard-v1 — one frame of the multi-process transport's
+   parent->worker protocol (serve/Worker.h): every task carries a hex
+   fingerprint key, a canonical program, full machine topologies and a
+   complete options block with hexfloat-encoded doubles.
+ * cta-worker-done-v1 — the worker->parent reply: either an embedded
+   cta-bench-artifact-v1 under "artifact" or a typed "error" string,
+   never both.
+
+--canon prints a canonicalized cta-bench-artifact-v1 to stdout instead
+of validating: timing, RSS, host-dependent knobs (jobs, process
+counters/phases) and the per-run engine-telemetry counter families
+(sim.batch.*, sim.parallel.*, exec.worker.*) are stripped, so two
+canonical dumps from runs of the same grid must be byte-identical
+regardless of --workers/--jobs/--sim-threads. scripts/multiproc_smoke.sh
+diffs these to prove multi-process determinism.
 
 Exits non-zero and prints one line per violation; this is a guard
 against silent schema drift, not a full JSON-Schema validator.
@@ -84,6 +100,27 @@ def check_engine_counters(obj, path):
         if obj.get("sim.parallel.runs", 0) == 0:
             err(path, "sim.parallel.* counters present but "
                 "sim.parallel.runs is 0")
+    # The multi-process transport publishes its whole family on every
+    # flush, zeros included — a member missing means ProcessTransport
+    # stopped reporting half its telemetry, and retries/respawns without a
+    # single shard run means the coordinator lost work.
+    worker = [k for k in obj if k.startswith("exec.worker.")]
+    if worker:
+        for key in ("exec.worker.shards_run", "exec.worker.shards_stolen",
+                    "exec.worker.shards_retried", "exec.worker.respawns",
+                    "exec.worker.spawned"):
+            if key not in obj:
+                err(path, f"worker-transport counters incomplete: '{key}' "
+                    "missing")
+        if obj.get("exec.worker.shards_run", 0) > 0 and \
+                obj.get("exec.worker.spawned", 0) == 0:
+            err(path, "exec.worker.shards_run > 0 but no worker was "
+                "ever spawned")
+        if obj.get("exec.worker.shards_run", 0) == 0 and \
+                (obj.get("exec.worker.shards_retried", 0) > 0 or
+                 obj.get("exec.worker.shards_stolen", 0) > 0):
+            err(path, "exec.worker retries/steals reported without any "
+                "shard ever completing")
 
 
 def check_phase(phase, path):
@@ -345,24 +382,179 @@ def check_serve_bench(doc, path):
                 err(lpath, "latency quantiles are not monotone")
 
 
+def check_topology(topo, path):
+    expect_keys(topo, {"name": str, "nodes": list}, path)
+    for i, node in enumerate(topo.get("nodes", [])):
+        npath = f"{path}.nodes[{i}]"
+        expect_keys(
+            node,
+            {"parent": int, "level": int, "size_bytes": str, "assoc": int,
+             "line_size": int, "latency": int},
+            npath,
+        )
+        # The decoder requires parents to precede children; node 0 is the
+        # unique root.
+        if node.get("parent", 0) >= i:
+            err(npath, f"parent {node.get('parent')} does not precede "
+                f"node {i}")
+        if i == 0 and node.get("parent") != -1:
+            err(npath, "root node's parent is not -1")
+        if not str(node.get("size_bytes", "")).isdigit():
+            err(npath, "size_bytes is not a decimal string")
+
+
+def check_hexfloat(obj, key, path):
+    value = obj.get(key)
+    if not isinstance(value, str) or \
+            not (value.startswith("0x") or value.startswith("-0x")):
+        err(path, f"option '{key}' is not a hexfloat string: {value!r}")
+
+
+def check_worker_shard(doc, path):
+    expect_keys(doc, {"schema": str, "shard": int, "tasks": list}, path)
+    if not doc.get("tasks"):
+        err(path, "shard frame carries no tasks")
+    for i, task in enumerate(doc.get("tasks", [])):
+        tpath = f"{path}.tasks[{i}]"
+        expect_keys(
+            task,
+            {
+                "label": str,
+                "key": str,
+                "source_hash": str,
+                "strategy": int,
+                "program": str,
+                "machine": dict,
+                "runs_on": (dict, type(None)),
+                "options": dict,
+            },
+            tpath,
+        )
+        key = task.get("key", "")
+        if not key or len(key) > 16 or \
+                any(c not in "0123456789abcdef" for c in key):
+            err(tpath, f"key is not a lowercase hex fingerprint: {key!r}")
+        if not str(task.get("source_hash", "")).isdigit():
+            err(tpath, "source_hash is not a decimal string")
+        if isinstance(task.get("machine"), dict):
+            check_topology(task["machine"], f"{tpath}.machine")
+        if isinstance(task.get("runs_on"), dict):
+            check_topology(task["runs_on"], f"{tpath}.runs_on")
+        options = task.get("options")
+        if isinstance(options, dict):
+            opath = f"{tpath}.options"
+            expect_keys(
+                options,
+                {
+                    "block_size": str,
+                    "balance": str,
+                    "alpha": str,
+                    "beta": str,
+                    "max_mapper_level": int,
+                    "dep_policy": int,
+                    "barrier_sync": bool,
+                    "max_groups": int,
+                    "chain_coarsen": int,
+                    "max_iterations": str,
+                },
+                opath,
+            )
+            # Doubles travel as hexfloats ("%a") so the worker re-derives
+            # bit-identical fingerprints; a decimal rendering here would
+            # round-trip approximately and break the fingerprint check.
+            for key in ("balance", "alpha", "beta"):
+                check_hexfloat(options, key, opath)
+
+
+def check_worker_done(doc, path):
+    expect_keys(doc, {"schema": str, "shard": int}, path)
+    has_artifact = isinstance(doc.get("artifact"), dict)
+    has_error = isinstance(doc.get("error"), str)
+    if has_artifact == has_error:
+        err(path, "done frame must carry exactly one of 'artifact' or "
+            "'error'")
+    if has_artifact:
+        check_bench(doc["artifact"], f"{path}.artifact")
+
+
+CANON_RUN_DROP = ("mapping_seconds", "phases")
+CANON_COUNTER_PREFIXES = ("sim.batch.", "sim.parallel.", "exec.worker.")
+
+
+def canonicalize(doc, path):
+    """Strips everything host- or schedule-dependent from a bench artifact.
+
+    What survives is exactly the determinism contract of the multi-process
+    transport: the same grid at any --workers/--jobs/--sim-threads must
+    produce byte-identical canonical dumps (simulated work, cycles,
+    per-cache totals, fingerprints), while wall clock, RSS, engine
+    telemetry and process-level counters may all legitimately differ.
+    """
+    if doc.get("schema") != "cta-bench-artifact-v1":
+        err(path, f"--canon expects a cta-bench-artifact-v1, got "
+            f"{doc.get('schema')!r}")
+        return None
+    cache = doc.get("cache")
+    if isinstance(cache, dict):
+        # The directory is a scratch path; hit/miss/store totals are part
+        # of the determinism contract (the parent services every lookup
+        # and store itself, workers or not).
+        cache = {k: v for k, v in cache.items() if k != "dir"}
+    canon = {
+        "schema": doc.get("schema"),
+        "bench": doc.get("bench"),
+        "simulator_invocations": doc.get("simulator_invocations"),
+        "simulated_accesses": doc.get("simulated_accesses"),
+        "cache": cache,
+        "runs": [],
+    }
+    for run in doc.get("runs", []):
+        crun = {k: v for k, v in run.items() if k not in CANON_RUN_DROP}
+        crun["mapping_seconds"] = 0
+        counters = run.get("counters")
+        if isinstance(counters, dict):
+            crun["counters"] = {
+                k: v for k, v in counters.items()
+                if not k.startswith(CANON_COUNTER_PREFIXES)}
+        canon["runs"].append(crun)
+    return canon
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for file in argv[1:]:
+    canon_mode = "--canon" in argv[1:]
+    files = [a for a in argv[1:] if a != "--canon"]
+    if canon_mode and len(files) != 1:
+        print("check_artifact_schema: --canon takes exactly one file",
+              file=sys.stderr)
+        return 2
+    for file in files:
         try:
             with open(file, "r", encoding="utf-8") as f:
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
             err(file, f"unreadable or invalid JSON: {e}")
             continue
-        if isinstance(doc, dict) and "traceEvents" in doc:
+        if canon_mode:
+            canon = canonicalize(doc, file)
+            if canon is not None and not ERRORS:
+                json.dump(canon, sys.stdout, sort_keys=True, indent=1)
+                sys.stdout.write("\n")
+        elif isinstance(doc, dict) and "traceEvents" in doc:
             check_trace(doc, file)
         elif isinstance(doc, dict) and doc.get("schema") == "cta-serve-resp-v1":
             check_serve_resp(doc, file)
         elif isinstance(doc, dict) and \
                 doc.get("schema") == "cta-serve-bench-v1":
             check_serve_bench(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-worker-shard-v1":
+            check_worker_shard(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-worker-done-v1":
+            check_worker_done(doc, file)
         else:
             check_bench(doc, file)
     for line in ERRORS:
@@ -371,7 +563,8 @@ def main(argv):
         print(f"check_artifact_schema: {len(ERRORS)} violation(s)",
               file=sys.stderr)
         return 1
-    print(f"check_artifact_schema: {len(argv) - 1} artifact(s) OK")
+    if not canon_mode:
+        print(f"check_artifact_schema: {len(files)} artifact(s) OK")
     return 0
 
 

@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+#===- scripts/multiproc_smoke.sh - Multi-process transport smoke ---------===#
+#
+# End-to-end smoke of the sharded multi-process execution path
+# (`--workers N`, serve/Worker.h), in three legs:
+#
+#  1. Protocol: capture a freshly encoded cta-worker-shard-v1 frame (the
+#     worker_test round-trip test dumps one when CTA_DUMP_SHARD_FRAME is
+#     set — freshly encoded, so it can never go stale against the
+#     fingerprint algorithm), schema-check it, then pipe it length-
+#     prefixed into a live `cta --cta-worker-protocol` process and
+#     schema-check the cta-worker-done-v1 reply.
+#
+#  2. Determinism: run the fig13 sweep cold at --workers=0 (in-process)
+#     and --workers=3, schema-check both artifacts, and require the
+#     canonical dumps (check_artifact_schema.py --canon) to be
+#     byte-identical — the transport's core contract. The --workers=3
+#     artifact must also carry the complete exec.worker.* counter family
+#     with every shard accounted for.
+#
+#  3. Measurement: the same sweep cold at --workers=1 and --workers=4,
+#     recorded into BENCH_multiproc.json with the machine's CPU count.
+#     Wall time is measured honestly and never gated here; the speedup
+#     gate lives in compare_bench.py and only engages when the measuring
+#     machine actually has >= 4 CPUs (a 1-CPU box cannot show one).
+#
+# Usage: scripts/multiproc_smoke.sh <build-dir> [output-json]
+#
+#===----------------------------------------------------------------------===#
+
+set -u -o pipefail
+
+BUILD_DIR="${1:?usage: multiproc_smoke.sh <build-dir> [output-json]}"
+OUT_JSON="${2:-BENCH_multiproc.json}"
+BENCH="$BUILD_DIR/bench/fig13_main_comparison"
+WORKER_TEST="$BUILD_DIR/tests/worker_test"
+CTA="$BUILD_DIR/tools/cta/cta"
+SCRIPTS_DIR="$(cd "$(dirname "$0")" && pwd)"
+CHECK="$SCRIPTS_DIR/check_artifact_schema.py"
+
+for BIN in "$BENCH" "$WORKER_TEST" "$CTA"; do
+  if [ ! -x "$BIN" ]; then
+    echo "multiproc_smoke: $BIN not built" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+#===----------------------------------------------------------------------===#
+# Leg 1: wire protocol against a live worker process.
+#===----------------------------------------------------------------------===#
+
+echo "multiproc_smoke: [1/3] worker wire protocol"
+if ! CTA_DUMP_SHARD_FRAME="$WORK/shard.json" "$WORKER_TEST" \
+    --gtest_filter='WorkerWireTest.ShardRoundTripPreservesEveryFingerprint' \
+    >/dev/null 2>&1; then
+  echo "multiproc_smoke: worker_test round-trip failed" >&2
+  exit 1
+fi
+python3 "$CHECK" "$WORK/shard.json" || exit 1
+
+python3 - "$WORK/shard.json" "$WORK/done.json" "$CTA" "$WORK/substrate" \
+    <<'PYEOF' || exit 1
+import json, struct, subprocess, sys
+
+shard, done, cta, substrate = sys.argv[1:5]
+payload = open(shard, "rb").read()
+frame = struct.pack(">I", len(payload)) + payload
+proc = subprocess.run(
+    [cta, "--cta-worker-protocol", "--jobs=1", "--workers=0",
+     f"--cache-dir={substrate}"],
+    input=frame, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+if proc.returncode != 0:
+    sys.exit(f"multiproc_smoke: worker exited {proc.returncode}")
+out = proc.stdout
+if len(out) < 4:
+    sys.exit("multiproc_smoke: worker wrote no reply frame")
+length = struct.unpack(">I", out[:4])[0]
+reply = out[4:4 + length]
+open(done, "wb").write(reply)
+doc = json.loads(reply)
+if doc.get("schema") != "cta-worker-done-v1" or "artifact" not in doc:
+    sys.exit(f"multiproc_smoke: unexpected reply {doc.get('schema')!r}")
+want = len(json.load(open(shard))["tasks"])
+got = len(doc["artifact"].get("runs", []))
+if got != want:
+    sys.exit(f"multiproc_smoke: worker ran {got} of {want} tasks")
+print(f"multiproc_smoke: worker executed {got} tasks, clean exit")
+PYEOF
+python3 "$CHECK" "$WORK/done.json" || exit 1
+
+#===----------------------------------------------------------------------===#
+# Leg 2: --workers=3 is byte-identical to in-process execution.
+#===----------------------------------------------------------------------===#
+
+echo "multiproc_smoke: [2/3] determinism at --workers={0,3}"
+run_sweep() {
+  local WORKERS="$1" ARTIFACT="$2"
+  local CACHE_DIR
+  CACHE_DIR="$(mktemp -d)"
+  if ! "$BENCH" --jobs=1 --workers="$WORKERS" --no-timing \
+      --cache-dir="$CACHE_DIR" --emit-json="$ARTIFACT" >/dev/null 2>&1; then
+    echo "multiproc_smoke: fig13 sweep failed at --workers=$WORKERS" >&2
+    rm -rf "$CACHE_DIR"
+    exit 1
+  fi
+  rm -rf "$CACHE_DIR"
+}
+
+run_sweep 0 "$WORK/w0.json"
+run_sweep 3 "$WORK/w3.json"
+python3 "$CHECK" "$WORK/w0.json" "$WORK/w3.json" || exit 1
+python3 "$CHECK" --canon "$WORK/w0.json" > "$WORK/w0.canon" || exit 1
+python3 "$CHECK" --canon "$WORK/w3.json" > "$WORK/w3.canon" || exit 1
+if ! cmp "$WORK/w0.canon" "$WORK/w3.canon"; then
+  echo "multiproc_smoke: --workers=3 diverged from --workers=0" >&2
+  diff "$WORK/w0.canon" "$WORK/w3.canon" | head -40 >&2
+  exit 1
+fi
+echo "multiproc_smoke: canonical artifacts byte-identical"
+
+python3 - "$WORK/w3.json" <<'PYEOF' || exit 1
+import json, sys
+counters = json.load(open(sys.argv[1])).get("process_counters", {})
+runs = counters.get("exec.worker.shards_run", 0)
+spawned = counters.get("exec.worker.spawned", 0)
+if runs == 0 or spawned == 0:
+    sys.exit(f"multiproc_smoke: no sharded execution happened "
+             f"(shards_run={runs}, spawned={spawned})")
+print(f"multiproc_smoke: {runs} shards across {spawned} workers "
+      f"({counters.get('exec.worker.shards_stolen', 0)} stolen, "
+      f"{counters.get('exec.worker.shards_retried', 0)} retried)")
+PYEOF
+
+#===----------------------------------------------------------------------===#
+# Leg 3: cold-sweep wall time at 1 and 4 workers -> BENCH_multiproc.json.
+#===----------------------------------------------------------------------===#
+
+echo "multiproc_smoke: [3/3] cold-sweep measurement at --workers={1,4}"
+ENTRIES=""
+measure_leg() {
+  local WORKERS="$1"
+  local CACHE_DIR ARTIFACT START_NS END_NS WALL_S ACCESSES
+  CACHE_DIR="$(mktemp -d)"
+  ARTIFACT="$(mktemp)"
+  START_NS=$(date +%s%N)
+  if ! "$BENCH" --jobs=1 --workers="$WORKERS" --no-timing \
+      --cache-dir="$CACHE_DIR" --emit-json="$ARTIFACT" >/dev/null 2>&1; then
+    echo "multiproc_smoke: measurement failed at --workers=$WORKERS" >&2
+    rm -rf "$CACHE_DIR" "$ARTIFACT"
+    exit 1
+  fi
+  END_NS=$(date +%s%N)
+  WALL_S=$(awk -v a="$START_NS" -v b="$END_NS" \
+           'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+  ACCESSES=$(python3 -c \
+    "import json,sys; print(json.load(open(sys.argv[1]))['simulated_accesses'])" \
+    "$ARTIFACT")
+  rm -rf "$CACHE_DIR" "$ARTIFACT"
+
+  local ENTRY
+  ENTRY=$(printf '{"workers": %s, "wall_seconds": %s, "simulated_accesses": %s}' \
+          "$WORKERS" "$WALL_S" "$ACCESSES")
+  if [ -n "$ENTRIES" ]; then
+    ENTRIES="$ENTRIES,
+    $ENTRY"
+  else
+    ENTRIES="$ENTRY"
+  fi
+  echo "multiproc_smoke: --workers=$WORKERS: ${WALL_S}s wall, $ACCESSES accesses"
+}
+
+measure_leg 1
+measure_leg 4
+
+CPUS=$(nproc 2>/dev/null || echo 1)
+cat > "$OUT_JSON" <<EOF
+{
+  "schema": "cta-multiproc-v1",
+  "benchmark": "fig13_main_comparison",
+  "cpus": $CPUS,
+  "entries": [
+    $ENTRIES
+  ]
+}
+EOF
+
+echo "multiproc_smoke: wrote $OUT_JSON (cpus=$CPUS)"

@@ -73,16 +73,30 @@ struct ExecConfig {
   /// Name recorded in emitted artifacts; parseExecArgs() defaults it to
   /// the binary's basename.
   std::string BenchName = "bench";
+  /// Worker subprocesses for cold work (--workers=N / CTA_WORKERS).
+  /// 0 = in-process execution; N > 0 shards cold tasks across N spawned
+  /// worker processes with deterministicBytes-identical results (see
+  /// serve/Worker.h).
+  unsigned Workers = 0;
+  /// Tasks per worker shard (--worker-shard-size=N /
+  /// CTA_WORKER_SHARD_SIZE); 0 = auto.
+  unsigned WorkerShardSize = 0;
 };
 
 /// Parses --jobs=N / --jobs N, --sim-threads=N / --sim-threads N,
-/// --cache-dir=PATH / --cache-dir PATH, --no-timing and --emit-json=PATH
-/// / --emit-json PATH from \p argv (also accepts the CTA_JOBS /
-/// CTA_SIM_THREADS / CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON
-/// environment variables as defaults). Unrecognized arguments are left
-/// alone so benches can layer their own flags. Aborts on malformed values
-/// (including non-numeric or overflowing --jobs / CTA_JOBS /
-/// --sim-threads / CTA_SIM_THREADS).
+/// --workers=N / --workers N, --worker-shard-size=N / --worker-shard-size
+/// N, --cache-dir=PATH / --cache-dir PATH, --no-timing and
+/// --emit-json=PATH / --emit-json PATH from \p argv (also accepts the
+/// CTA_JOBS / CTA_SIM_THREADS / CTA_WORKERS / CTA_WORKER_SHARD_SIZE /
+/// CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON environment variables as
+/// defaults). Unrecognized arguments are left alone so benches can layer
+/// their own flags. Aborts on malformed values (anything that is not a
+/// plain in-range decimal for the numeric settings).
+///
+/// Worker entry: when argv contains --cta-worker-protocol, this function
+/// does not return — it runs serve::runWorkerProtocol on the parsed config
+/// and exits. Every binary that routes argv through parseExecArgs (cta and
+/// all bench binaries) is therefore worker-capable.
 ExecConfig parseExecArgs(int argc, char **argv);
 
 /// Executes RunTasks concurrently with result caching. Thread-safe for

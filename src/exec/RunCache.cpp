@@ -7,6 +7,8 @@
 #include "support/ErrorHandling.h"
 #include "support/Hashing.h"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -228,9 +230,12 @@ void RunCache::store(std::uint64_t Key, const RunResult &R) const {
     return;
   std::filesystem::path Final =
       std::filesystem::path(Dir) / (toHexDigest(Key) + ".run");
-  // Unique temp per writer thread, renamed into place atomically.
+  // Unique temp per writer *process and thread*, renamed into place
+  // atomically: concurrent `--workers` subprocesses (and any concurrent
+  // bench processes sharing a cache directory) publish the same key
+  // without ever exposing a torn file — the last rename wins whole.
   std::ostringstream TmpName;
-  TmpName << toHexDigest(Key) << ".tmp."
+  TmpName << toHexDigest(Key) << ".tmp." << ::getpid() << "."
           << std::hash<std::thread::id>{}(std::this_thread::get_id());
   std::filesystem::path Tmp = std::filesystem::path(Dir) / TmpName.str();
   {

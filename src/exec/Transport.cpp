@@ -1,0 +1,30 @@
+//===- exec/Transport.cpp - Pluggable task-execution transports -----------===//
+
+#include "exec/Transport.h"
+
+#include <utility>
+
+using namespace cta;
+
+Transport::~Transport() = default;
+
+LocalTransport::LocalTransport(ThreadPool *Pool, SimulateFn Simulate,
+                               SkipFn ShouldSkip)
+    : Pool(Pool), Simulate(std::move(Simulate)),
+      ShouldSkip(std::move(ShouldSkip)) {}
+
+void LocalTransport::execute(RunTask Task, std::uint64_t Key,
+                             Completion Done) {
+  (void)Key; // the local path needs no coordination substrate
+  auto Work = [this, Task = std::move(Task), Done = std::move(Done)]() {
+    if (ShouldSkip && ShouldSkip()) {
+      Done(std::nullopt);
+      return;
+    }
+    Done(Simulate(Task));
+  };
+  if (Pool)
+    Pool->submit(std::move(Work));
+  else
+    Work();
+}

@@ -1,0 +1,101 @@
+//===- exec/Transport.h - Pluggable task-execution transports --*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport seam of the execution core: *how* a cold task reaches a
+/// simulator is pluggable behind this interface, while everything above it
+/// — the fingerprint ladder (warm index -> coalescing -> RunCache), the
+/// artifact bookkeeping, the drain/outstanding accounting — stays in
+/// serve::Service and is identical for every transport.
+///
+/// Two implementations exist:
+///
+///  * LocalTransport (this header): the in-process path. Tasks run on the
+///    service's work-stealing pool (or inline when Jobs == 1), exactly the
+///    execution model every release before `--workers` had.
+///  * serve::ProcessTransport (serve/Worker.h): tasks are sharded across N
+///    spawned `cta worker` subprocesses speaking length-prefixed JSON
+///    frames over pipes, with the shared on-disk RunCache as the result
+///    substrate. It lives in serve/ because it reuses the daemon's frame
+///    and JSON machinery; exec/ sits below serve/ in the layering.
+///
+/// The contract both obey:
+///
+///  * execute(Task, Key, Done) eventually invokes Done exactly once —
+///    with the RunResult, or with std::nullopt when the task was skipped
+///    by cooperative shutdown. Done may run on any thread.
+///  * A transport may buffer work until flush(); callers that need
+///    buffered submissions to make progress (batch collection, drain)
+///    call flush() after submitting. LocalTransport never buffers, so its
+///    flush() is a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_EXEC_TRANSPORT_H
+#define CTA_EXEC_TRANSPORT_H
+
+#include "exec/RunTask.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace cta {
+
+/// Abstract execution transport for cold (cache-missing) tasks.
+class Transport {
+public:
+  /// Completion callback: the simulated result, or std::nullopt when the
+  /// task was skipped because shutdown was requested before it started.
+  using Completion = std::function<void(std::optional<RunResult>)>;
+
+  virtual ~Transport();
+
+  /// Schedules \p Task for execution under fingerprint \p Key. \p Done
+  /// fires exactly once, on an unspecified thread, possibly not before
+  /// flush() is called.
+  virtual void execute(RunTask Task, std::uint64_t Key, Completion Done) = 0;
+
+  /// Makes buffered submissions progress to completion. Blocking; returns
+  /// once every previously submitted task has resolved (for transports
+  /// that buffer) or immediately (for those that do not).
+  virtual void flush() {}
+
+  /// Short name for diagnostics ("local", "process").
+  virtual const char *name() const = 0;
+};
+
+/// The in-process transport: tasks run on the caller-provided pool, or
+/// inline on the submitting thread when no pool is given. This reproduces
+/// the pre-transport execution model bit for bit — the shutdown check
+/// happens when the task is *dequeued*, so work that has not started by
+/// the time a signal arrives resolves as skipped.
+class LocalTransport final : public Transport {
+public:
+  /// Runs one task to completion (the Service's execute(), which installs
+  /// per-run metric attribution and invokes the simulator).
+  using SimulateFn = std::function<RunResult(const RunTask &)>;
+  /// Polled at dequeue time; true means resolve the task as skipped.
+  /// Injected as a predicate so exec/ does not depend on the serve/
+  /// signal-handling layer that owns the process-wide shutdown flag.
+  using SkipFn = std::function<bool()>;
+
+  /// \p Pool may be null (inline execution on the submitting thread).
+  LocalTransport(ThreadPool *Pool, SimulateFn Simulate, SkipFn ShouldSkip);
+
+  void execute(RunTask Task, std::uint64_t Key, Completion Done) override;
+  const char *name() const override { return "local"; }
+
+private:
+  ThreadPool *Pool;
+  SimulateFn Simulate;
+  SkipFn ShouldSkip;
+};
+
+} // namespace cta
+
+#endif // CTA_EXEC_TRANSPORT_H

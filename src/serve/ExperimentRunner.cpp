@@ -8,6 +8,7 @@
 
 #include "exec/ExperimentRunner.h"
 
+#include "serve/Worker.h"
 #include "support/ErrorHandling.h"
 #include "support/ParseNumber.h"
 
@@ -26,6 +27,12 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
   if (const char *Env = std::getenv("CTA_SIM_THREADS"))
     Config.SimThreads = static_cast<unsigned>(
         parseUint64OrDie("CTA_SIM_THREADS", Env, /*Max=*/UINT_MAX));
+  if (const char *Env = std::getenv("CTA_WORKERS"))
+    Config.Workers = static_cast<unsigned>(
+        parseUint64OrDie("CTA_WORKERS", Env, /*Max=*/UINT_MAX));
+  if (const char *Env = std::getenv("CTA_WORKER_SHARD_SIZE"))
+    Config.WorkerShardSize = static_cast<unsigned>(
+        parseUint64OrDie("CTA_WORKER_SHARD_SIZE", Env, /*Max=*/UINT_MAX));
   if (const char *Env = std::getenv("CTA_CACHE_DIR"))
     Config.CacheDir = Env;
   if (std::getenv("CTA_NO_TIMING"))
@@ -45,7 +52,16 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
     return static_cast<unsigned>(
         parseUint64OrDie("--sim-threads", Value, /*Max=*/UINT_MAX));
   };
+  auto parseWorkers = [](const char *Value) -> unsigned {
+    return static_cast<unsigned>(
+        parseUint64OrDie("--workers", Value, /*Max=*/UINT_MAX));
+  };
+  auto parseShardSize = [](const char *Value) -> unsigned {
+    return static_cast<unsigned>(
+        parseUint64OrDie("--worker-shard-size", Value, /*Max=*/UINT_MAX));
+  };
 
+  bool WorkerProtocol = false;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "--jobs=", 7) == 0) {
@@ -60,6 +76,20 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       if (I + 1 >= argc)
         reportFatalError("--sim-threads needs a value");
       Config.SimThreads = parseSimThreads(argv[++I]);
+    } else if (std::strncmp(Arg, "--workers=", 10) == 0) {
+      Config.Workers = parseWorkers(Arg + 10);
+    } else if (std::strcmp(Arg, "--workers") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--workers needs a value");
+      Config.Workers = parseWorkers(argv[++I]);
+    } else if (std::strncmp(Arg, "--worker-shard-size=", 20) == 0) {
+      Config.WorkerShardSize = parseShardSize(Arg + 20);
+    } else if (std::strcmp(Arg, "--worker-shard-size") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--worker-shard-size needs a value");
+      Config.WorkerShardSize = parseShardSize(argv[++I]);
+    } else if (std::strcmp(Arg, "--cta-worker-protocol") == 0) {
+      WorkerProtocol = true;
     } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
       Config.CacheDir = Arg + 12;
     } else if (std::strcmp(Arg, "--cache-dir") == 0) {
@@ -76,14 +106,27 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       Config.EmitJsonPath = argv[++I];
     }
   }
+  if (WorkerProtocol)
+    // The hidden worker entry: this process was spawned by a --workers
+    // parent (or `cta worker` forwarded the flag). It must never return
+    // into the host binary's own main logic.
+    std::exit(serve::runWorkerProtocol(Config));
   return Config;
 }
 
+static serve::Service::Config toServiceConfig(const ExecConfig &C) {
+  serve::Service::Config SC;
+  SC.Jobs = C.Jobs;
+  SC.CacheDir = C.CacheDir;
+  SC.SkipOnShutdown = true;
+  SC.SimThreads = C.SimThreads;
+  SC.Workers = C.Workers;
+  SC.WorkerShardSize = C.WorkerShardSize;
+  return SC;
+}
+
 ExperimentRunner::ExperimentRunner(ExecConfig ConfigIn)
-    : Config(std::move(ConfigIn)),
-      Svc(serve::Service::Config{Config.Jobs, Config.CacheDir,
-                                 /*SkipOnShutdown=*/true,
-                                 Config.SimThreads}) {
+    : Config(std::move(ConfigIn)), Svc(toServiceConfig(Config)) {
   // Keep config() consistent with what the service resolved (Jobs == 0).
   Config.Jobs = Svc.jobs();
 }

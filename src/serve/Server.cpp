@@ -68,6 +68,9 @@ ServerOptions cta::serve::parseServeArgs(const std::vector<std::string> &Args) {
       Opts.SimThreads = static_cast<unsigned>(
           parseUint64OrDie("--sim-threads", Value.c_str(),
                            /*Max=*/UINT_MAX));
+    } else if (match("--workers", Value)) {
+      Opts.Workers = static_cast<unsigned>(
+          parseUint64OrDie("--workers", Value.c_str(), /*Max=*/UINT_MAX));
     } else if (match("--cache-dir", Value)) {
       Opts.CacheDir = Value;
     } else if (match("--max-inflight", Value)) {
@@ -129,10 +132,20 @@ struct Server::PendingRequest {
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
+static Service::Config daemonServiceConfig(const ServerOptions &Opts) {
+  Service::Config SC;
+  SC.Jobs = Opts.Jobs;
+  SC.CacheDir = Opts.CacheDir;
+  // Admitted requests were promised a response: graceful shutdown drains
+  // them (admission stops new work) instead of skipping.
+  SC.SkipOnShutdown = false;
+  SC.SimThreads = Opts.SimThreads;
+  SC.Workers = Opts.Workers;
+  return SC;
+}
+
 Server::Server(ServerOptions OptsIn)
-    : Opts(std::move(OptsIn)),
-      Svc(Service::Config{Opts.Jobs, Opts.CacheDir,
-                          /*SkipOnShutdown=*/false, Opts.SimThreads}),
+    : Opts(std::move(OptsIn)), Svc(daemonServiceConfig(Opts)),
       Admission(Opts.MaxInflight) {}
 
 Server::~Server() {
@@ -383,6 +396,10 @@ void Server::dispatcherLoop() {
       return; // closed and drained
     for (AdmissionController::Item &Dispatch : Batch)
       Dispatch();
+    // With a process transport configured, the dispatched batch is only
+    // buffered until a flush; running it here keeps batching semantics
+    // (one admission batch = one shard wave).
+    Svc.flushTransport();
   }
 }
 

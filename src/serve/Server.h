@@ -58,6 +58,7 @@ struct ServerOptions {
   std::string SocketPath;
   unsigned Jobs = 0;          ///< Service worker threads (0 = hardware).
   unsigned SimThreads = 1;    ///< Engine threads per cold miss (1 = seq).
+  unsigned Workers = 0;       ///< Worker subprocesses (0 = in-process).
   std::string CacheDir;       ///< Persistent RunCache directory.
   std::size_t MaxInflight = 64;
   std::size_t MaxBatch = 32;
@@ -67,8 +68,8 @@ struct ServerOptions {
 /// Parses `cta serve` arguments: --socket=PATH, --max-inflight=N,
 /// --max-batch=N, --batch-window-ms=N (strict decimal via
 /// support/ParseNumber; malformed values abort), plus the exec flags
-/// --jobs / --sim-threads / --cache-dir. Aborts on unknown flags or a
-/// missing --socket.
+/// --jobs / --sim-threads / --workers / --cache-dir. Aborts on unknown
+/// flags or a missing --socket.
 ServerOptions parseServeArgs(const std::vector<std::string> &Args);
 
 /// Lifetime counters the daemon prints on shutdown (and tests assert on).

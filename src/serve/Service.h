@@ -35,8 +35,9 @@
 
 #include "exec/RunCache.h"
 #include "exec/RunTask.h"
-#include "exec/ThreadPool.h"
+#include "exec/Transport.h"
 #include "obs/RunArtifact.h"
+#include "support/ThreadPool.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -63,6 +64,11 @@ struct TaskOutcome {
 obs::RunArtifact makeRunArtifact(const RunTask &Task, std::uint64_t Key,
                                  const char *CacheStatus, const RunResult &R);
 
+/// Same, labeled directly (transport completions own the label but not the
+/// task, which was moved into the transport).
+obs::RunArtifact makeRunArtifact(const std::string &Label, std::uint64_t Key,
+                                 const char *CacheStatus, const RunResult &R);
+
 class Service {
 public:
   struct Config {
@@ -83,6 +89,15 @@ public:
     /// the fingerprint — warm/cached answers are valid across settings.
     /// Cold misses lend the service's own pool to the engine.
     unsigned SimThreads = 1;
+    /// Worker subprocesses for cold work (`--workers N`). 0 = in-process
+    /// execution (LocalTransport, the historical path); N > 0 shards cold
+    /// tasks across N spawned worker processes (serve::ProcessTransport)
+    /// with results deterministicBytes-identical to Workers == 0.
+    unsigned Workers = 0;
+    /// Tasks per worker shard; 0 = auto (~batch/(4*Workers), in [1, 16]).
+    unsigned WorkerShardSize = 0;
+    /// Worker executable override; empty re-executes /proc/self/exe.
+    std::string WorkerExe;
   };
 
   /// How a submission was satisfied, in ladder order.
@@ -108,6 +123,9 @@ public:
 
   /// Worker threads actually in use (resolves Jobs == 0).
   unsigned jobs() const { return Cfg.Jobs; }
+
+  /// Worker subprocesses in use; 0 means in-process execution.
+  unsigned workers() const { return Cfg.Workers; }
 
   /// The underlying pool; null when running inline with Jobs == 1.
   ThreadPool *pool() { return Pool.get(); }
@@ -166,6 +184,13 @@ public:
   /// Blocks until every previously submitted task has completed.
   void drain();
 
+  /// Makes transport-buffered cold work progress (the process transport
+  /// buffers submissions into shards and runs them here, on the calling
+  /// thread). No-op for the local transport or when nothing is buffered.
+  /// Batch helpers and drain() call it; callers that submit() directly and
+  /// then block on futures must call it first.
+  void flushTransport();
+
 private:
   struct Inflight;
 
@@ -191,6 +216,14 @@ private:
   std::atomic<std::uint64_t> Outstanding{0};
   std::mutex DrainMutex;
   std::condition_variable DrainCV;
+
+  // Declared last: transport destructors flush pending completions, which
+  // touch the cache, sinks, and drain accounting above.
+  /// The in-process path (always present; bypass/traced tasks use it even
+  /// when Remote is configured).
+  std::unique_ptr<Transport> Local;
+  /// The multi-process path; non-null iff Cfg.Workers > 0.
+  std::unique_ptr<Transport> Remote;
 };
 
 } // namespace cta::serve

@@ -1,0 +1,826 @@
+//===- serve/Worker.cpp - Sharded multi-process execution -----------------===//
+
+#include "serve/Worker.h"
+
+#include "exec/Fingerprint.h"
+#include "frontend/Parser.h"
+#include "frontend/Printer.h"
+#include "obs/Json.h"
+#include "obs/RunArtifact.h"
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "serve/Service.h"
+#include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+#include "support/ParseNumber.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+extern char **environ;
+
+using namespace cta;
+using namespace cta::serve;
+
+//===----------------------------------------------------------------------===//
+// Wire encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lossless double rendering ("%a" hexfloat round-trips exactly); the
+/// same convention the RunCache text format uses.
+std::string formatHexDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+bool parseHexDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  Out = std::strtod(Begin, &End);
+  return End == Begin + Text.size();
+}
+
+bool parseHexKey(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty() || Text.size() > 16)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else
+      return false;
+    Out = (Out << 4) | static_cast<std::uint64_t>(Digit);
+  }
+  return true;
+}
+
+void writeTopology(obs::JsonWriter &W, const CacheTopology &T) {
+  W.beginObject();
+  W.key("name");
+  W.value(T.name());
+  W.key("nodes");
+  W.beginArray();
+  for (unsigned Id = 0; Id != T.numNodes(); ++Id) {
+    const CacheTopology::Node &N = T.node(Id);
+    W.beginObject();
+    W.key("parent");
+    W.value(static_cast<std::int64_t>(N.Parent));
+    W.key("level");
+    W.value(static_cast<std::uint64_t>(N.Level));
+    W.key("size_bytes");
+    W.value(std::to_string(N.Params.SizeBytes));
+    W.key("assoc");
+    W.value(static_cast<std::uint64_t>(N.Params.Assoc));
+    W.key("line_size");
+    W.value(static_cast<std::uint64_t>(N.Params.LineSize));
+    W.key("latency");
+    W.value(static_cast<std::uint64_t>(N.Params.LatencyCycles));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void writeOptions(obs::JsonWriter &W, const MappingOptions &O) {
+  W.beginObject();
+  W.key("block_size");
+  W.value(std::to_string(O.BlockSizeBytes));
+  W.key("balance");
+  W.value(formatHexDouble(O.BalanceThreshold));
+  W.key("alpha");
+  W.value(formatHexDouble(O.Alpha));
+  W.key("beta");
+  W.value(formatHexDouble(O.Beta));
+  W.key("max_mapper_level");
+  W.value(static_cast<std::uint64_t>(O.MaxMapperLevel));
+  W.key("dep_policy");
+  W.value(static_cast<std::uint64_t>(O.DepPolicy));
+  W.key("barrier_sync");
+  W.value(O.UseBarrierSync);
+  W.key("max_groups");
+  W.value(static_cast<std::uint64_t>(O.MaxGroupsForClustering));
+  W.key("chain_coarsen");
+  W.value(static_cast<std::uint64_t>(O.ChainCoarsenTarget));
+  W.key("max_iterations");
+  W.value(std::to_string(O.MaxIterations));
+  W.endObject();
+}
+
+/// Reads an exact non-negative integral JSON number (the wire keeps every
+/// count well below 2^53, where doubles are exact).
+bool readCount(const JsonValue *V, std::uint64_t &Out) {
+  if (!V || !V->isNumber() || V->Num < 0 ||
+      V->Num != static_cast<double>(static_cast<std::uint64_t>(V->Num)))
+    return false;
+  Out = static_cast<std::uint64_t>(V->Num);
+  return true;
+}
+
+/// Reads a decimal-string uint64 wire field.
+bool readU64String(const JsonValue *V, std::uint64_t &Out) {
+  if (!V || !V->isString())
+    return false;
+  std::optional<std::uint64_t> Parsed = parseUint64(V->Str);
+  if (!Parsed)
+    return false;
+  Out = *Parsed;
+  return true;
+}
+
+std::optional<CacheTopology> decodeTopology(const JsonValue &V,
+                                            std::string &Err) {
+  const JsonValue *Name = V.get("name");
+  const JsonValue *Nodes = V.get("nodes");
+  if (!V.isObject() || !Name || !Name->isString() || !Nodes ||
+      !Nodes->isArray() || Nodes->Arr.empty()) {
+    Err = "malformed machine object";
+    return std::nullopt;
+  }
+  const JsonValue &Root = Nodes->Arr[0];
+  std::uint64_t RootLevel = 0, RootLatency = 0;
+  if (!Root.isObject() || !readCount(Root.get("level"), RootLevel) ||
+      RootLevel != CacheTopology::MemoryLevel ||
+      !readCount(Root.get("latency"), RootLatency) ||
+      Root.get("parent") == nullptr ||
+      Root.get("parent")->asNumber(0) != -1.0) {
+    Err = "malformed machine root node";
+    return std::nullopt;
+  }
+  CacheTopology T(Name->Str, static_cast<unsigned>(RootLatency));
+  for (std::size_t I = 1; I != Nodes->Arr.size(); ++I) {
+    const JsonValue &N = Nodes->Arr[I];
+    std::uint64_t Level = 0, Assoc = 0, Line = 0, Latency = 0, Size = 0;
+    const JsonValue *Parent = N.get("parent");
+    if (!N.isObject() || !Parent || !Parent->isNumber() ||
+        Parent->Num < 0 || Parent->Num >= static_cast<double>(I) ||
+        !readCount(N.get("level"), Level) || Level == 0 ||
+        Level >= CacheTopology::MemoryLevel ||
+        !readCount(N.get("assoc"), Assoc) ||
+        !readCount(N.get("line_size"), Line) ||
+        !readCount(N.get("latency"), Latency) ||
+        !readU64String(N.get("size_bytes"), Size)) {
+      Err = "malformed machine node " + std::to_string(I);
+      return std::nullopt;
+    }
+    CacheParams P;
+    P.SizeBytes = Size;
+    P.Assoc = static_cast<unsigned>(Assoc);
+    P.LineSize = static_cast<unsigned>(Line);
+    P.LatencyCycles = static_cast<unsigned>(Latency);
+    unsigned Id = T.addCache(static_cast<unsigned>(Parent->Num),
+                             static_cast<unsigned>(Level), P);
+    if (Id != I) {
+      Err = "machine node ids out of order";
+      return std::nullopt;
+    }
+  }
+  // finalize() aborts on malformed trees; frames come from our own
+  // encoder, so a failure here is a protocol bug, not hostile input.
+  T.finalize();
+  return T;
+}
+
+bool decodeOptions(const JsonValue *V, MappingOptions &O, std::string &Err) {
+  std::uint64_t MaxMapper = 0, DepPolicy = 0, MaxGroups = 0, Chain = 0;
+  const JsonValue *Barrier = V ? V->get("barrier_sync") : nullptr;
+  if (!V || !V->isObject() ||
+      !readU64String(V->get("block_size"), O.BlockSizeBytes) ||
+      !parseHexDouble(V->get("balance") ? V->get("balance")->asString() : "",
+                      O.BalanceThreshold) ||
+      !parseHexDouble(V->get("alpha") ? V->get("alpha")->asString() : "",
+                      O.Alpha) ||
+      !parseHexDouble(V->get("beta") ? V->get("beta")->asString() : "",
+                      O.Beta) ||
+      !readCount(V->get("max_mapper_level"), MaxMapper) ||
+      !readCount(V->get("dep_policy"), DepPolicy) || DepPolicy > 1 ||
+      !Barrier || !Barrier->isBool() ||
+      !readCount(V->get("max_groups"), MaxGroups) ||
+      !readCount(V->get("chain_coarsen"), Chain) ||
+      !readU64String(V->get("max_iterations"), O.MaxIterations)) {
+    Err = "malformed options object";
+    return false;
+  }
+  O.MaxMapperLevel = static_cast<unsigned>(MaxMapper);
+  O.DepPolicy = static_cast<DependencePolicy>(DepPolicy);
+  O.UseBarrierSync = Barrier->B;
+  O.MaxGroupsForClustering = static_cast<unsigned>(MaxGroups);
+  O.ChainCoarsenTarget = static_cast<unsigned>(Chain);
+  return true;
+}
+
+std::string renderWorkerError(std::uint64_t ShardId, const std::string &Msg) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value(WorkerDoneSchema);
+  W.key("shard");
+  W.value(ShardId);
+  W.key("error");
+  W.value(Msg);
+  W.endObject();
+  return W.str();
+}
+
+} // namespace
+
+std::string
+cta::serve::encodeWorkerShard(std::uint64_t ShardId,
+                              const std::vector<const RunTask *> &Tasks,
+                              const std::vector<std::uint64_t> &Keys) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value(WorkerShardSchema);
+  W.key("shard");
+  W.value(ShardId);
+  W.key("tasks");
+  W.beginArray();
+  for (std::size_t I = 0; I != Tasks.size(); ++I) {
+    const RunTask &T = *Tasks[I];
+    W.beginObject();
+    W.key("label");
+    W.value(T.Label);
+    W.key("key");
+    W.value(toHexDigest(Keys[I]));
+    W.key("source_hash");
+    W.value(std::to_string(T.SourceHash));
+    W.key("strategy");
+    W.value(static_cast<std::uint64_t>(T.Strat));
+    W.key("program");
+    W.value(frontend::printProgram(T.Prog));
+    W.key("machine");
+    writeTopology(W, T.Machine);
+    W.key("runs_on");
+    if (T.RunsOn)
+      writeTopology(W, *T.RunsOn);
+    else
+      W.valueNull();
+    W.key("options");
+    writeOptions(W, T.Opts);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::optional<std::vector<ShardTask>>
+cta::serve::decodeWorkerShard(const std::string &Payload,
+                              std::uint64_t &ShardId, std::string &Err) {
+  std::optional<JsonValue> Doc = parseJson(Payload, &Err);
+  if (!Doc)
+    return std::nullopt;
+  const JsonValue *Schema = Doc->get("schema");
+  if (!Doc->isObject() || !Schema ||
+      Schema->asString() != WorkerShardSchema) {
+    Err = "not a " + std::string(WorkerShardSchema) + " frame";
+    return std::nullopt;
+  }
+  if (!readCount(Doc->get("shard"), ShardId)) {
+    Err = "missing shard id";
+    return std::nullopt;
+  }
+  const JsonValue *Tasks = Doc->get("tasks");
+  if (!Tasks || !Tasks->isArray() || Tasks->Arr.empty()) {
+    Err = "missing tasks array";
+    return std::nullopt;
+  }
+
+  std::vector<ShardTask> Out;
+  Out.reserve(Tasks->Arr.size());
+  for (std::size_t I = 0; I != Tasks->Arr.size(); ++I) {
+    const JsonValue &TV = Tasks->Arr[I];
+    const JsonValue *Label = TV.get("label");
+    const JsonValue *KeyV = TV.get("key");
+    const JsonValue *ProgV = TV.get("program");
+    const JsonValue *MachineV = TV.get("machine");
+    const JsonValue *RunsOnV = TV.get("runs_on");
+    std::uint64_t SourceHash = 0, StratV = 0, Key = 0;
+    if (!TV.isObject() || !Label || !Label->isString() || !KeyV ||
+        !KeyV->isString() || !parseHexKey(KeyV->Str, Key) ||
+        !readU64String(TV.get("source_hash"), SourceHash) ||
+        !readCount(TV.get("strategy"), StratV) ||
+        StratV > static_cast<std::uint64_t>(Strategy::Combined) || !ProgV ||
+        !ProgV->isString() || !MachineV) {
+      Err = "malformed task " + std::to_string(I);
+      return std::nullopt;
+    }
+
+    frontend::ParseOutcome Parsed =
+        frontend::parseProgramText(ProgV->Str, "<worker-shard>");
+    if (!Parsed.ok()) {
+      Err = "task " + std::to_string(I) +
+            " program failed to parse: " + Parsed.Diagnostic;
+      return std::nullopt;
+    }
+    std::optional<CacheTopology> Machine = decodeTopology(*MachineV, Err);
+    if (!Machine)
+      return std::nullopt;
+    std::optional<CacheTopology> RunsOn;
+    if (RunsOnV && !RunsOnV->isNull()) {
+      RunsOn = decodeTopology(*RunsOnV, Err);
+      if (!RunsOn)
+        return std::nullopt;
+    }
+    MappingOptions Opts;
+    if (!decodeOptions(TV.get("options"), Opts, Err))
+      return std::nullopt;
+
+    ShardTask ST{RunTask{std::move(*Parsed.Prog), std::move(*Machine),
+                         std::move(RunsOn), static_cast<Strategy>(StratV),
+                         Opts, Label->Str, SourceHash,
+                         /*TraceSink=*/nullptr},
+                 Key};
+    // The decoded task must hash to the parent's fingerprint — any
+    // encoding drift would otherwise publish results under wrong keys.
+    if (Service::fingerprint(ST.Task) != Key) {
+      Err = "task '" + ST.Task.Label +
+            "' does not round-trip to its fingerprint";
+      return std::nullopt;
+    }
+    Out.push_back(std::move(ST));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker protocol loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Test hook: when CTA_TEST_WORKER_CRASH_ONCE names a path, the first
+/// worker (across all processes sharing the path) to finish a shard's
+/// first task claims the token atomically and SIGKILLs itself mid-shard
+/// — a deterministic stand-in for an OOM-killed worker.
+bool claimCrashToken(const char *Path) {
+  int Fd = ::open(Path, O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (Fd < 0)
+    return false;
+  ::close(Fd);
+  return true;
+}
+
+} // namespace
+
+int cta::serve::runWorkerProtocol(const ExecConfig &Config) {
+  // The protocol owns the real stdout; a stray printf anywhere in library
+  // code must not corrupt the frame stream, so stdout is re-pointed at
+  // stderr and frames go to the saved descriptor.
+  int OutFd = ::dup(STDOUT_FILENO);
+  if (OutFd < 0) {
+    std::fprintf(stderr, "cta worker: cannot dup stdout: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+  const char *CrashOnce = std::getenv("CTA_TEST_WORKER_CRASH_ONCE");
+
+  std::string Payload;
+  while (true) {
+    std::string Err;
+    FrameStatus S = readFrame(STDIN_FILENO, Payload, &Err);
+    if (S == FrameStatus::Eof)
+      return 0; // the parent closed the pipe: clean retirement
+    if (S == FrameStatus::Error) {
+      std::fprintf(stderr, "cta worker: %s\n", Err.c_str());
+      return 1;
+    }
+
+    std::uint64_t ShardId = 0;
+    std::string Reply;
+    std::optional<std::vector<ShardTask>> Tasks =
+        decodeWorkerShard(Payload, ShardId, Err);
+    if (!Tasks) {
+      Reply = renderWorkerError(ShardId, Err);
+    } else {
+      // A fresh Service per shard: per-shard artifacts and invocation
+      // counts fall out naturally, while cross-shard reuse still works
+      // through the shared on-disk cache (a re-queued shard's finished
+      // tasks come back as disk hits).
+      Service::Config SC;
+      SC.Jobs = 1; // in-order, deterministic execution within the shard
+      SC.CacheDir = Config.CacheDir;
+      SC.SkipOnShutdown = false;
+      SC.SimThreads = Config.SimThreads;
+      Service Svc(SC);
+
+      obs::BenchArtifact B;
+      B.Bench = "cta-worker";
+      B.Jobs = 1;
+      for (std::size_t I = 0; I != Tasks->size(); ++I) {
+        TaskOutcome Out = Svc.runOne((*Tasks)[I].Task);
+        B.Runs.push_back(std::move(Out.Artifact));
+        if (I == 0 && CrashOnce && claimCrashToken(CrashOnce))
+          ::raise(SIGKILL); // test hook: die mid-shard, after >= 1 store
+      }
+      B.CacheEnabled = Svc.cache().enabled();
+      B.CacheDir = Svc.cache().directory();
+      B.CacheHits = Svc.cache().hits();
+      B.CacheMisses = Svc.cache().misses();
+      B.CacheStores = Svc.cache().stores();
+      B.SimulatorInvocations = Svc.simulatorInvocations();
+      B.SimulatedAccesses = Svc.simulatedAccesses();
+      B.ProcessCounters = Svc.gridSink().snapshot();
+      Reply = "{\"schema\":\"" + std::string(WorkerDoneSchema) +
+              "\",\"shard\":" + std::to_string(ShardId) +
+              ",\"artifact\":" + B.toJson() + "}";
+    }
+    if (!writeFrame(OutFd, Reply, &Err)) {
+      std::fprintf(stderr, "cta worker: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessTransport
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string selfExePath() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    reportFatalError("--workers: cannot resolve /proc/self/exe");
+  Buf[N] = '\0';
+  return Buf;
+}
+
+std::string makeSubstrateTempDir() {
+  std::string Tmpl =
+      (std::filesystem::temp_directory_path() / "cta-workers-XXXXXX")
+          .string();
+  std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+  Buf.push_back('\0');
+  if (!::mkdtemp(Buf.data()))
+    reportFatalError("--workers: cannot create substrate temp directory");
+  return Buf.data();
+}
+
+} // namespace
+
+ProcessTransport::ProcessTransport(Options O) : Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.WorkerExe.empty())
+    Opts.WorkerExe = selfExePath();
+  // A worker dying between our poll() and writeFrame() must surface as an
+  // I/O error, not kill the parent.
+  ::signal(SIGPIPE, SIG_IGN);
+  SubstrateDir = Opts.CacheDir;
+  if (SubstrateDir.empty()) {
+    SubstrateDir = makeSubstrateTempDir();
+    OwnsSubstrateDir = true;
+  }
+  Substrate.emplace(SubstrateDir);
+  Workers.resize(Opts.Workers);
+}
+
+ProcessTransport::~ProcessTransport() {
+  flush(); // resolve anything still buffered before tearing down
+  for (WorkerProc &P : Workers)
+    stopWorker(P);
+  if (OwnsSubstrateDir) {
+    std::error_code EC;
+    std::filesystem::remove_all(SubstrateDir, EC);
+  }
+}
+
+void ProcessTransport::execute(RunTask Task, std::uint64_t Key,
+                               Completion Done) {
+  std::lock_guard<std::mutex> Lock(PendingMutex);
+  Pending.push_back(PendingTask{std::move(Task), Key, std::move(Done)});
+}
+
+void ProcessTransport::flush() {
+  std::lock_guard<std::mutex> FlushLock(FlushMutex);
+  while (true) {
+    std::vector<PendingTask> Batch;
+    {
+      std::lock_guard<std::mutex> Lock(PendingMutex);
+      Batch.swap(Pending);
+    }
+    if (Batch.empty())
+      return;
+    runBatchShards(std::move(Batch));
+  }
+}
+
+bool ProcessTransport::ensureWorker(unsigned W, std::string *Err) {
+  WorkerProc &P = Workers[W];
+  if (P.alive())
+    return true;
+  int In[2] = {-1, -1}, Out[2] = {-1, -1};
+  // O_CLOEXEC: a sibling worker must not inherit this worker's pipe ends,
+  // or its death would never read as EOF while the sibling lives.
+  if (::pipe2(In, O_CLOEXEC) != 0 || ::pipe2(Out, O_CLOEXEC) != 0) {
+    *Err = std::strerror(errno);
+    for (int Fd : {In[0], In[1], Out[0], Out[1]})
+      if (Fd >= 0)
+        ::close(Fd);
+    return false;
+  }
+
+  std::vector<std::string> Args = {
+      Opts.WorkerExe,
+      "--cta-worker-protocol",
+      "--jobs=1",
+      "--workers=0", // a worker must never recurse into workers
+      "--sim-threads=" + std::to_string(Opts.SimThreads),
+      "--cache-dir=" + SubstrateDir,
+  };
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t FA;
+  posix_spawn_file_actions_init(&FA);
+  posix_spawn_file_actions_adddup2(&FA, In[0], STDIN_FILENO);
+  posix_spawn_file_actions_adddup2(&FA, Out[1], STDOUT_FILENO);
+  pid_t Pid = -1;
+  int RC = ::posix_spawn(&Pid, Opts.WorkerExe.c_str(), &FA, nullptr,
+                         Argv.data(), environ);
+  posix_spawn_file_actions_destroy(&FA);
+  ::close(In[0]);
+  ::close(Out[1]);
+  if (RC != 0) {
+    *Err = std::strerror(RC);
+    ::close(In[1]);
+    ::close(Out[0]);
+    return false;
+  }
+  P.Pid = Pid;
+  P.ToFd = In[1];
+  P.FromFd = Out[0];
+  ++Spawned;
+  return true;
+}
+
+void ProcessTransport::stopWorker(WorkerProc &P) {
+  if (!P.alive())
+    return;
+  if (P.ToFd >= 0)
+    ::close(P.ToFd); // EOF retires a healthy worker
+  if (P.FromFd >= 0)
+    ::close(P.FromFd);
+  int Status = 0;
+  ::waitpid(P.Pid, &Status, 0);
+  P = WorkerProc{};
+}
+
+bool ProcessTransport::applyReply(const std::string &Payload,
+                                  std::uint64_t ShardId,
+                                  const std::vector<PendingTask *> &Tasks) {
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Payload, &Err);
+  if (!Doc || !Doc->isObject())
+    return false;
+  const JsonValue *Schema = Doc->get("schema");
+  if (!Schema || Schema->asString() != WorkerDoneSchema)
+    return false;
+  if (const JsonValue *E = Doc->get("error"); E && E->isString())
+    // Decode failures and fingerprint mismatches are deterministic: a
+    // retry would fail identically, so fail the run loudly.
+    reportFatalError(
+        ("worker reported a non-retryable shard error: " + E->Str).c_str());
+  std::uint64_t GotShard = 0;
+  if (!readCount(Doc->get("shard"), GotShard) || GotShard != ShardId)
+    return false;
+  const JsonValue *Artifact = Doc->get("artifact");
+  if (!Artifact || !Artifact->isObject())
+    return false;
+  const JsonValue *Runs = Artifact->get("runs");
+  if (!Runs || !Runs->isArray() || Runs->Arr.size() != Tasks.size())
+    return false;
+
+  // Validate everything before firing any completion: a shard either
+  // resolves whole or retries whole (completions must fire exactly once).
+  std::vector<RunResult> Results;
+  Results.reserve(Tasks.size());
+  for (std::size_t I = 0; I != Tasks.size(); ++I) {
+    const JsonValue *FP = Runs->Arr[I].get("fingerprint");
+    if (!FP || FP->asString() != toHexDigest(Tasks[I]->Key))
+      return false;
+    // The substrate cache is the result channel; a reported-done task
+    // whose entry cannot be read back retries with everything else.
+    std::optional<RunResult> R = Substrate->lookup(Tasks[I]->Key);
+    if (!R)
+      return false;
+    Results.push_back(std::move(*R));
+  }
+  for (std::size_t I = 0; I != Tasks.size(); ++I)
+    Tasks[I]->Done(std::move(Results[I]));
+
+  // Per-worker rollup: the shard's process counters merge into the
+  // parent's grid sink, and the shard's simulator totals into the
+  // parent's [exec] accounting — so the parent's artifact aggregates
+  // match an in-process run of the same grid.
+  if (Opts.RollupSink)
+    if (const JsonValue *PC = Artifact->get("process_counters");
+        PC && PC->isObject())
+      for (const auto &[Name, Val] : PC->Obj) {
+        std::uint64_t Count = 0;
+        if (readCount(&Val, Count))
+          Opts.RollupSink->add(Name, Count);
+      }
+  if (Opts.OnWorkerStats) {
+    std::uint64_t Inv = 0, Acc = 0;
+    readCount(Artifact->get("simulator_invocations"), Inv);
+    readCount(Artifact->get("simulated_accesses"), Acc);
+    Opts.OnWorkerStats(Inv, Acc);
+  }
+  return true;
+}
+
+void ProcessTransport::runBatchShards(std::vector<PendingTask> Batch) {
+  const unsigned NumWorkers = Opts.Workers;
+  std::size_t ShardSize = Opts.ShardSize;
+  if (ShardSize == 0)
+    ShardSize = std::clamp<std::size_t>(Batch.size() / (4 * NumWorkers),
+                                        std::size_t(1), std::size_t(16));
+
+  struct ShardState {
+    std::vector<PendingTask *> Tasks;
+    unsigned Home = 0;
+    unsigned Retries = 0;
+  };
+  std::vector<ShardState> Shards;
+  for (std::size_t Begin = 0; Begin < Batch.size(); Begin += ShardSize) {
+    ShardState S;
+    const std::size_t End = std::min(Begin + ShardSize, Batch.size());
+    for (std::size_t I = Begin; I != End; ++I)
+      S.Tasks.push_back(&Batch[I]);
+    S.Home = static_cast<unsigned>(Shards.size()) % NumWorkers;
+    Shards.push_back(std::move(S));
+  }
+
+  std::deque<std::size_t> Queue;
+  for (std::size_t I = 0; I != Shards.size(); ++I)
+    Queue.push_back(I);
+  std::vector<std::int64_t> Inflight(NumWorkers, -1);
+
+  std::uint64_t FlushRun = 0, FlushStolen = 0, FlushRetried = 0,
+                FlushRespawns = 0, FlushSpawned = 0;
+
+  // A worker failed (died, or returned an unusable reply): recycle the
+  // process and re-queue its in-flight shard at the front, bounded by the
+  // per-shard retry cap.
+  auto WorkerFailed = [&](unsigned W, bool Kill) {
+    WorkerProc &P = Workers[W];
+    if (Kill && P.alive())
+      ::kill(P.Pid, SIGKILL);
+    stopWorker(P);
+    ++FlushRespawns;
+    if (Inflight[W] < 0)
+      return;
+    std::size_t Idx = static_cast<std::size_t>(Inflight[W]);
+    Inflight[W] = -1;
+    ShardState &S = Shards[Idx];
+    if (++S.Retries > MaxShardRetries)
+      reportFatalError(("worker shard failed " +
+                        std::to_string(MaxShardRetries + 1) +
+                        " times; giving up (first task: '" +
+                        S.Tasks.front()->Task.Label + "')")
+                           .c_str());
+    ++FlushRetried;
+    Queue.push_front(Idx);
+  };
+
+  while (true) {
+    // Cooperative shutdown: shards not yet dispatched resolve as skipped;
+    // dispatched shards finish (their results land in the cache).
+    if (Opts.ShouldSkip && Opts.ShouldSkip() && !Queue.empty()) {
+      for (std::size_t Idx : Queue)
+        for (PendingTask *T : Shards[Idx].Tasks)
+          T->Done(std::nullopt);
+      Queue.clear();
+    }
+
+    // Dispatch: an idle worker takes its oldest homed shard, else steals
+    // the oldest queued shard from another home.
+    for (unsigned W = 0; W != NumWorkers && !Queue.empty(); ++W) {
+      if (Inflight[W] != -1)
+        continue;
+      auto It = std::find_if(Queue.begin(), Queue.end(), [&](std::size_t I) {
+        return Shards[I].Home == W;
+      });
+      const bool Steal = It == Queue.end();
+      if (Steal)
+        It = Queue.begin();
+      const std::size_t Idx = *It;
+      Queue.erase(It);
+
+      if (!Workers[W].alive()) {
+        std::string Err;
+        if (!ensureWorker(W, &Err))
+          reportFatalError(
+              ("--workers: cannot spawn worker process: " + Err).c_str());
+        ++FlushSpawned;
+      }
+      std::vector<const RunTask *> Tasks;
+      std::vector<std::uint64_t> Keys;
+      Tasks.reserve(Shards[Idx].Tasks.size());
+      for (PendingTask *T : Shards[Idx].Tasks) {
+        Tasks.push_back(&T->Task);
+        Keys.push_back(T->Key);
+      }
+      const std::string Frame = encodeWorkerShard(Idx, Tasks, Keys);
+      Inflight[W] = static_cast<std::int64_t>(Idx);
+      std::string Err;
+      if (!writeFrame(Workers[W].ToFd, Frame, &Err)) {
+        // Died before accepting the shard. WorkerFailed re-queues it with
+        // the retry count bumped, so a worker that dies on every spawn
+        // (e.g. a broken WorkerExe) hits the retry cap instead of
+        // respawning forever.
+        WorkerFailed(W, /*Kill=*/true);
+        continue;
+      }
+      if (Steal)
+        ++FlushStolen;
+    }
+
+    bool AnyInflight = false;
+    for (std::int64_t I : Inflight)
+      AnyInflight |= I != -1;
+    if (!AnyInflight) {
+      if (Queue.empty())
+        break;
+      continue; // every dispatch attempt failed this round; try again
+    }
+
+    // Wait for any busy worker to reply or die.
+    std::vector<struct pollfd> Fds;
+    std::vector<unsigned> FdWorker;
+    for (unsigned W = 0; W != NumWorkers; ++W) {
+      if (Inflight[W] == -1)
+        continue;
+      Fds.push_back({Workers[W].FromFd, POLLIN, 0});
+      FdWorker.push_back(W);
+    }
+    int RC = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()), -1);
+    if (RC < 0) {
+      if (errno == EINTR)
+        continue;
+      reportFatalError("--workers: coordinator poll failed");
+    }
+    for (std::size_t F = 0; F != Fds.size(); ++F) {
+      if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      const unsigned W = FdWorker[F];
+      std::string Payload, Err;
+      FrameStatus S = readFrame(Workers[W].FromFd, Payload, &Err);
+      if (S != FrameStatus::Ok) {
+        WorkerFailed(W, /*Kill=*/true);
+        continue;
+      }
+      const std::size_t Idx = static_cast<std::size_t>(Inflight[W]);
+      if (applyReply(Payload, Idx, Shards[Idx].Tasks)) {
+        Inflight[W] = -1;
+        ++FlushRun;
+      } else {
+        WorkerFailed(W, /*Kill=*/true);
+      }
+    }
+  }
+
+  ShardsRun += FlushRun;
+  ShardsStolen += FlushStolen;
+  ShardsRetried += FlushRetried;
+  Respawns += FlushRespawns;
+  // Spawned is bumped inside ensureWorker.
+  (void)FlushSpawned;
+  if (Opts.RollupSink) {
+    // The whole family is published every flush, zeros included, so one
+    // schema check can require it to be complete.
+    Opts.RollupSink->add("exec.worker.shards_run", FlushRun);
+    Opts.RollupSink->add("exec.worker.shards_stolen", FlushStolen);
+    Opts.RollupSink->add("exec.worker.shards_retried", FlushRetried);
+    Opts.RollupSink->add("exec.worker.respawns", FlushRespawns);
+    Opts.RollupSink->add("exec.worker.spawned", FlushSpawned);
+  }
+}

@@ -1,0 +1,221 @@
+//===- serve/Worker.h - Sharded multi-process execution --------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process execution transport behind `--workers N`: the parent
+/// spawns N `cta worker` subprocesses (any binary that routes argv through
+/// parseExecArgs is worker-capable via the hidden --cta-worker-protocol
+/// flag), shards the pending cold tasks across them, and work-steals
+/// shards between workers. The shared on-disk RunCache is the coordination
+/// substrate: workers publish results with the cache's atomic tmp+rename
+/// protocol, and the parent retrieves them by fingerprint — so a worker
+/// that dies (crash, OOM kill, SIGKILL) loses only its in-flight shard,
+/// which the parent re-queues on a fresh worker; everything the dead
+/// worker already stored is reused as disk hits on retry.
+///
+/// Wire protocol (serve/Protocol framing — 4-byte big-endian length,
+/// UTF-8 JSON payload — over the worker's stdin/stdout pipes):
+///
+/// Shard request (schema "cta-worker-shard-v1"), parent -> worker:
+///   { "schema": "cta-worker-shard-v1", "shard": 3,
+///     "tasks": [ {
+///       "label": "fig13/dunnington/cg/TopologyAware",
+///       "key": "00f3ab...",          // expected runFingerprint, hex
+///       "source_hash": "0",          // decimal uint64
+///       "strategy": 3,               // core/Pipeline Strategy value
+///       "program": "workload cg ...",// canonical DSL (frontend/Printer)
+///       "machine": { "name": "dunnington", "nodes": [
+///           { "parent": -1, "level": 255, "size_bytes": "0",
+///             "assoc": 1, "line_size": 64, "latency": 300 }, ... ] },
+///       "runs_on": null,             // or a second machine object
+///       "options": { "block_size": "2048", "balance": "0x1.99...p-4",
+///         "alpha": "0x1p-1", "beta": "0x1p-1", "max_mapper_level": 0,
+///         "dep_policy": 1, "barrier_sync": false, "max_groups": 1024,
+///         "chain_coarsen": 512, "max_iterations": "67108864" } } ] }
+///
+/// Doubles travel as hexfloat strings ("%a", exactly round-trippable) and
+/// uint64s as decimal strings, so re-hashing the decoded task in the
+/// worker reproduces the parent's fingerprint bit for bit; programs travel
+/// as canonical DSL text (frontend::printProgram is fingerprint-exact for
+/// any Program, compiled-in generators included), and machines as the
+/// structural node list above, rebuilt through CacheTopology::addCache in
+/// node-id order so finalize() reassigns identical core ids. The worker
+/// re-fingerprints every decoded task and refuses the shard on mismatch —
+/// an encoding gap fails loudly instead of poisoning the cache.
+///
+/// Shard reply (schema "cta-worker-done-v1"), worker -> parent:
+///   { "schema": "cta-worker-done-v1", "shard": 3,
+///     "artifact": { cta-bench-artifact-v1 } }
+/// or, for a deterministic failure (malformed frame, fingerprint
+/// mismatch — retrying cannot help, the parent aborts):
+///   { "schema": "cta-worker-done-v1", "shard": 3, "error": "..." }
+///
+/// The embedded artifact is the worker's ordinary per-process
+/// cta-bench-artifact-v1 for the shard: per-run artifacts (fingerprints
+/// verified by the parent), the shard's simulator invocation/access
+/// totals (rolled into the parent's [exec] accounting) and the worker's
+/// process counters (rolled into the parent's grid sink).
+///
+/// Scheduling: shards get round-robin "home" workers; an idle worker with
+/// no homed shard left steals the oldest queued shard (counted as
+/// exec.worker.shards_stolen). Worker death re-queues the in-flight shard
+/// (exec.worker.shards_retried) and respawns the worker
+/// (exec.worker.respawns); a shard that fails MaxShardRetries times aborts
+/// the run — a deterministic crash would also kill `--workers 0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SERVE_WORKER_H
+#define CTA_SERVE_WORKER_H
+
+#include "exec/ExperimentRunner.h"
+#include "exec/RunCache.h"
+#include "exec/RunTask.h"
+#include "exec/Transport.h"
+#include "obs/MetricSink.h"
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cta::serve {
+
+/// Schema identifiers of the worker protocol.
+inline constexpr const char *WorkerShardSchema = "cta-worker-shard-v1";
+inline constexpr const char *WorkerDoneSchema = "cta-worker-done-v1";
+
+/// A shard re-queued this many times aborts the run.
+inline constexpr unsigned MaxShardRetries = 3;
+
+/// One task of a shard frame: the task plus its expected fingerprint.
+struct ShardTask {
+  RunTask Task;
+  std::uint64_t Key = 0;
+};
+
+/// Renders a cta-worker-shard-v1 frame payload. \p Tasks point into the
+/// caller's pending list (not owned).
+std::string encodeWorkerShard(std::uint64_t ShardId,
+                              const std::vector<const RunTask *> &Tasks,
+                              const std::vector<std::uint64_t> &Keys);
+
+/// Parses and revalidates a shard frame payload; the decoded tasks
+/// re-fingerprint to their "key" fields or decoding fails. On failure
+/// returns std::nullopt with \p Err filled.
+std::optional<std::vector<ShardTask>>
+decodeWorkerShard(const std::string &Payload, std::uint64_t &ShardId,
+                  std::string &Err);
+
+/// The `cta worker` / --cta-worker-protocol entry point: reads shard
+/// frames from stdin, executes them through a per-shard Service (Jobs=1,
+/// results published to Config.CacheDir), and writes done frames to
+/// stdout until EOF. Returns the process exit code. parseExecArgs calls
+/// this (and exits) when it sees --cta-worker-protocol, which makes every
+/// binary using it — cta and all bench binaries — worker-capable.
+int runWorkerProtocol(const ExecConfig &Config);
+
+/// The multi-process transport. execute() buffers; flush() runs the
+/// poll-multiplexed coordinator on the calling thread until every
+/// buffered task has resolved (no extra parent threads). Workers persist
+/// across flushes and exit on stdin EOF when the transport dies.
+class ProcessTransport final : public Transport {
+public:
+  struct Options {
+    /// Worker subprocesses to spawn (>= 1).
+    unsigned Workers = 1;
+    /// Tasks per shard; 0 picks ~batch/(4*Workers), clamped to [1, 16],
+    /// so every worker sees several shards and stealing has freedom.
+    unsigned ShardSize = 0;
+    /// Coordination substrate directory. Empty: the transport creates a
+    /// private temp directory and removes it on destruction, so --workers
+    /// works without user-visible caching.
+    std::string CacheDir;
+    /// --sim-threads forwarded to each worker.
+    unsigned SimThreads = 1;
+    /// Worker executable; empty resolves /proc/self/exe (the parent
+    /// re-executes itself in worker mode).
+    std::string WorkerExe;
+    /// Sink worker process counters and exec.worker.* telemetry roll into
+    /// (the Service's grid sink). May be null.
+    obs::MetricSink *RollupSink = nullptr;
+    /// Invoked per completed shard with the worker-reported simulator
+    /// invocation and simulated-access deltas.
+    std::function<void(std::uint64_t, std::uint64_t)> OnWorkerStats;
+    /// Cooperative shutdown predicate: when it turns true, shards not yet
+    /// dispatched resolve as skipped (Done(nullopt)); in-flight shards
+    /// finish and complete normally.
+    std::function<bool()> ShouldSkip;
+  };
+
+  explicit ProcessTransport(Options O);
+  ~ProcessTransport() override;
+
+  ProcessTransport(const ProcessTransport &) = delete;
+  ProcessTransport &operator=(const ProcessTransport &) = delete;
+
+  void execute(RunTask Task, std::uint64_t Key, Completion Done) override;
+  void flush() override;
+  const char *name() const override { return "process"; }
+
+  /// The substrate directory in use (tests/inspection).
+  const std::string &substrateDir() const { return SubstrateDir; }
+
+private:
+  struct PendingTask {
+    RunTask Task;
+    std::uint64_t Key = 0;
+    Completion Done;
+  };
+  struct WorkerProc {
+    pid_t Pid = -1;
+    int ToFd = -1;   // parent -> worker stdin
+    int FromFd = -1; // worker stdout -> parent
+    bool alive() const { return Pid > 0; }
+  };
+
+  void runBatchShards(std::vector<PendingTask> Batch);
+  bool ensureWorker(unsigned W, std::string *Err);
+  void stopWorker(WorkerProc &W);
+  /// Applies one done frame: validates fingerprints, retrieves results
+  /// from the substrate, fires completions, rolls up counters. Returns
+  /// false when the shard must be retried; aborts on deterministic
+  /// protocol errors.
+  bool applyReply(const std::string &Payload, std::uint64_t ShardId,
+                  const std::vector<PendingTask *> &Tasks);
+
+  Options Opts;
+  std::string SubstrateDir;
+  bool OwnsSubstrateDir = false;
+  /// Engaged in the constructor once SubstrateDir is resolved (RunCache
+  /// holds atomics, so it cannot be assigned after the fact).
+  std::optional<RunCache> Substrate;
+
+  std::mutex PendingMutex;
+  std::vector<PendingTask> Pending;
+  /// Serializes coordinators: one flush() runs at a time; tasks submitted
+  /// during an active flush wait for the next one.
+  std::mutex FlushMutex;
+
+  std::vector<WorkerProc> Workers;
+
+  // Lifetime telemetry, published to RollupSink as exec.worker.* deltas
+  // at the end of every flush.
+  std::uint64_t ShardsRun = 0;
+  std::uint64_t ShardsStolen = 0;
+  std::uint64_t ShardsRetried = 0;
+  std::uint64_t Respawns = 0;
+  std::uint64_t Spawned = 0;
+};
+
+} // namespace cta::serve
+
+#endif // CTA_SERVE_WORKER_H

@@ -13,7 +13,7 @@
 #include "exec/ExperimentRunner.h"
 #include "exec/Fingerprint.h"
 #include "exec/RunCache.h"
-#include "exec/ThreadPool.h"
+#include "support/ThreadPool.h"
 #include "sim/TraceLog.h"
 #include "topo/Presets.h"
 #include "workloads/Suite.h"
@@ -644,6 +644,84 @@ TEST(ExperimentRunnerDeathTest, RejectsMalformedSimThreadsEnv) {
   EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)),
                "CTA_SIM_THREADS");
   ::unsetenv("CTA_SIM_THREADS");
+}
+
+TEST(ExperimentRunnerTest, ParseWorkersForms) {
+  {
+    const char *Argv[] = {"bench"};
+    ExecConfig C = parseExecArgs(1, const_cast<char **>(Argv));
+    EXPECT_EQ(C.Workers, 0u); // default: in-process execution
+    EXPECT_EQ(C.WorkerShardSize, 0u); // default: auto shard size
+  }
+  {
+    const char *Argv[] = {"bench", "--workers=3",
+                          "--worker-shard-size=2"};
+    ExecConfig C = parseExecArgs(3, const_cast<char **>(Argv));
+    EXPECT_EQ(C.Workers, 3u);
+    EXPECT_EQ(C.WorkerShardSize, 2u);
+  }
+  {
+    const char *Argv[] = {"bench", "--workers", "4", "--worker-shard-size",
+                          "8"};
+    ExecConfig C = parseExecArgs(5, const_cast<char **>(Argv));
+    EXPECT_EQ(C.Workers, 4u);
+    EXPECT_EQ(C.WorkerShardSize, 8u);
+  }
+  {
+    const char *Argv[] = {"bench"};
+    ::setenv("CTA_WORKERS", "2", 1);
+    ::setenv("CTA_WORKER_SHARD_SIZE", "5", 1);
+    ExecConfig C = parseExecArgs(1, const_cast<char **>(Argv));
+    ::unsetenv("CTA_WORKERS");
+    ::unsetenv("CTA_WORKER_SHARD_SIZE");
+    EXPECT_EQ(C.Workers, 2u);
+    EXPECT_EQ(C.WorkerShardSize, 5u);
+  }
+  {
+    // The flag overrides the environment — crucially including
+    // --workers=0: a spawned worker is launched with an explicit
+    // --workers=0 so an inherited CTA_WORKERS cannot make workers spawn
+    // workers recursively.
+    const char *Argv[] = {"bench", "--workers=0"};
+    ::setenv("CTA_WORKERS", "7", 1);
+    ExecConfig C = parseExecArgs(2, const_cast<char **>(Argv));
+    ::unsetenv("CTA_WORKERS");
+    EXPECT_EQ(C.Workers, 0u);
+  }
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkers) {
+  // Same strict-decimal contract as --jobs / --sim-threads.
+  const char *Suffix[] = {"bench", "--workers=4x"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Suffix)), "--workers");
+  const char *Garbage[] = {"bench", "--workers=auto"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Garbage)), "--workers");
+  const char *Negative[] = {"bench", "--workers=-1"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Negative)), "--workers");
+  const char *Overflow[] = {"bench", "--workers=99999999999999999999"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Overflow)), "--workers");
+  const char *Missing[] = {"bench", "--workers"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)), "--workers");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkerShardSize) {
+  const char *Suffix[] = {"bench", "--worker-shard-size=2x"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Suffix)),
+               "--worker-shard-size");
+  const char *Missing[] = {"bench", "--worker-shard-size"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)),
+               "--worker-shard-size");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkersEnv) {
+  const char *Argv[] = {"bench"};
+  ::setenv("CTA_WORKERS", "3x", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)), "CTA_WORKERS");
+  ::unsetenv("CTA_WORKERS");
+  ::setenv("CTA_WORKER_SHARD_SIZE", "x", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)),
+               "CTA_WORKER_SHARD_SIZE");
+  ::unsetenv("CTA_WORKER_SHARD_SIZE");
 }
 
 } // namespace

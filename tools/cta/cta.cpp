@@ -53,6 +53,7 @@
 #include "serve/Client.h"
 #include "serve/Server.h"
 #include "serve/Shutdown.h"
+#include "serve/Worker.h"
 #include "sim/TraceExport.h"
 #include "sim/TraceLog.h"
 #include "sim/TraceReport.h"
@@ -83,7 +84,7 @@ const char *UsageText =
     "  cta run <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta trace <file.cta|workload> --machine <preset|file.topo> [options]\n"
     "  cta check [--topo] <file>...\n"
-    "  cta serve --socket <path> [--jobs N] [--sim-threads N]\n"
+    "  cta serve --socket <path> [--jobs N] [--sim-threads N] [--workers N]\n"
     "            [--cache-dir P] [--max-inflight N] [--max-batch N]\n"
     "            [--batch-window-ms N]\n"
     "  cta client --socket <path> [--workload W] [--machine M]\n"
@@ -113,6 +114,11 @@ const char *UsageText =
     "                   0 = hardware threads, N > 1 = epoch-parallel\n"
     "                   engine; results are bit-identical for every value\n"
     "                   (see `cta list` for which runs can parallelize)\n"
+    "  --workers N      shard cold runs across N worker subprocesses\n"
+    "                   (0 = in-process, the default); artifacts are\n"
+    "                   byte-identical to --workers 0 at every N, and a\n"
+    "                   crashed worker only retries its in-flight shard\n"
+    "  --worker-shard-size N   tasks per worker shard (0 = auto)\n"
     "  --jobs N, --cache-dir P, --no-timing   (exec/ flags, as in benches)\n";
 
 [[noreturn]] void usageError(const std::string &Msg) {
@@ -305,12 +311,14 @@ int runCheck(const std::vector<std::string> &Args) {
 bool isExecFlag(int argc, char **argv, int &I) {
   const char *Arg = argv[I];
   for (const char *Prefix :
-       {"--jobs=", "--sim-threads=", "--cache-dir=", "--emit-json="})
+       {"--jobs=", "--sim-threads=", "--workers=", "--worker-shard-size=",
+        "--cache-dir=", "--emit-json="})
     if (std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0)
       return true;
   if (std::strcmp(Arg, "--no-timing") == 0)
     return true;
-  for (const char *Flag : {"--jobs", "--sim-threads", "--cache-dir",
+  for (const char *Flag : {"--jobs", "--sim-threads", "--workers",
+                           "--worker-shard-size", "--cache-dir",
                            "--emit-json"})
     if (std::strcmp(Arg, Flag) == 0) {
       if (I + 1 >= argc)
@@ -579,6 +587,13 @@ int main(int argc, char **argv) {
   if (Cmd == "help" || Cmd == "--help" || Cmd == "-h") {
     std::printf("%s", UsageText);
     return 0;
+  }
+  // Hidden worker entry (`cta worker ...` or a --workers parent respawning
+  // this binary with --cta-worker-protocol): parseExecArgs runs the worker
+  // protocol loop and exits when it sees the flag.
+  if (Cmd == "worker" || Cmd == "--cta-worker-protocol") {
+    ExecConfig Config = parseExecArgs(argc, argv);
+    return serve::runWorkerProtocol(Config);
   }
 
   // Subcommand arguments, with parseExecArgs' flags filtered out so the
