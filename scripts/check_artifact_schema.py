@@ -29,6 +29,11 @@ Validates several document kinds, dispatched on shape:
  * cta-worker-done-v1 — the worker->parent reply: either an embedded
    cta-bench-artifact-v1 under "artifact" or a typed "error" string,
    never both.
+ * cta-adaptive-bench-v1 — bench/adaptive_headroom's head-to-head
+   document: per (scenario, workload, strategy) the simulated cycles
+   and the runtime.adapt.* counters. Static strategies must report
+   zero adaptive telemetry; adaptive strategies must report either
+   remap rounds or a fallback, never neither.
 
 --canon prints a canonicalized cta-bench-artifact-v1 to stdout instead
 of validating: timing, RSS, host-dependent knobs (jobs, process
@@ -389,9 +394,14 @@ def check_topology(topo, path):
         expect_keys(
             node,
             {"parent": int, "level": int, "size_bytes": str, "assoc": int,
-             "line_size": int, "latency": int},
+             "line_size": int, "latency": int, "speed": int},
             npath,
         )
+        # Per-core speed (runtime/ degraded-machine attribute): 0 means
+        # disabled, otherwise a percentage of nominal.
+        speed = node.get("speed")
+        if isinstance(speed, int) and not 0 <= speed <= 100:
+            err(npath, f"speed {speed} outside 0..100")
         # The decoder requires parents to precede children; node 0 is the
         # unique root.
         if node.get("parent", 0) >= i:
@@ -456,6 +466,7 @@ def check_worker_shard(doc, path):
                     "max_groups": int,
                     "chain_coarsen": int,
                     "max_iterations": str,
+                    "adapt_interval": int,
                 },
                 opath,
             )
@@ -464,6 +475,61 @@ def check_worker_shard(doc, path):
             # round-trip approximately and break the fingerprint check.
             for key in ("balance", "alpha", "beta"):
                 check_hexfloat(options, key, opath)
+
+
+ADAPT_COUNTER_KEYS = ("rounds", "remaps", "migrations", "weight_updates",
+                      "fallbacks")
+
+
+def check_adaptive_bench(doc, path):
+    expect_keys(
+        doc,
+        {
+            "schema": str,
+            "benchmark": str,
+            "adapt_interval": int,
+            "workloads": list,
+            "scenarios": list,
+        },
+        path,
+    )
+    if isinstance(doc.get("adapt_interval"), int) and \
+            doc["adapt_interval"] < 1:
+        err(path, f"adapt_interval {doc['adapt_interval']} is not positive")
+    for i, scenario in enumerate(doc.get("scenarios", [])):
+        spath = f"{path}.scenarios[{i}]"
+        expect_keys(scenario, {"name": str, "machine": str, "entries": list},
+                    spath)
+        for j, entry in enumerate(scenario.get("entries", [])):
+            epath = f"{spath}.entries[{j}]"
+            expect_keys(
+                entry,
+                {"workload": str, "strategy": str, "cycles": int,
+                 "adapt": dict},
+                epath,
+            )
+            if isinstance(entry.get("cycles"), int) and entry["cycles"] <= 0:
+                err(epath, f"cycles {entry['cycles']} is not positive")
+            adapt = entry.get("adapt")
+            if not isinstance(adapt, dict):
+                continue
+            expect_keys(adapt, {k: int for k in ADAPT_COUNTER_KEYS},
+                        f"{epath}.adapt")
+            check_counters(adapt, f"{epath}.adapt")
+            strategy = entry.get("strategy", "")
+            if strategy.startswith("Adaptive"):
+                # An adaptive run either reached at least one remap commit
+                # point or fell back to the static executor; silence means
+                # the counters stopped flowing.
+                if adapt.get("rounds", 0) == 0 and \
+                        adapt.get("fallbacks", 0) == 0:
+                    err(f"{epath}.adapt", "adaptive entry reports neither "
+                        "remap rounds nor a fallback")
+            else:
+                for key in ADAPT_COUNTER_KEYS:
+                    if adapt.get(key, 0) != 0:
+                        err(f"{epath}.adapt", f"static strategy "
+                            f"{strategy!r} reports nonzero {key}")
 
 
 def check_worker_done(doc, path):
@@ -555,6 +621,9 @@ def main(argv):
         elif isinstance(doc, dict) and \
                 doc.get("schema") == "cta-worker-done-v1":
             check_worker_done(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-adaptive-bench-v1":
+            check_adaptive_bench(doc, file)
         else:
             check_bench(doc, file)
     for line in ERRORS:

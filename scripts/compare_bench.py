@@ -39,6 +39,17 @@ speedup is gated at >= 2.5x, and only when the fresh machine reports
 >= 4 CPUs — a 1-CPU box physically cannot show one, and pretending
 otherwise would just teach people to ignore the gate.
 
+cta-adaptive-bench-v1 documents (bench/adaptive_headroom) are gated on
+correctness, not wall clock: simulated cycles are machine-independent,
+so every (scenario, workload, strategy) cell must match the committed
+baseline *exactly* — drift means the mapper or the adaptive executor
+changed behaviour, and the baseline must be re-committed deliberately.
+On top of that the fresh file's own numbers must honour the adaptive
+contract: on the "degraded" scenario every Adaptive* strategy needs
+cycles <= 0.9x the TopologyAware cycles of the same workload (the
+>= 10% win the runtime/ subsystem exists for), and on the "uniform"
+scenario Adaptive* may cost at most 5% over TopologyAware (do no harm).
+
 Improvements and within-threshold noise pass with a one-line summary.
 The per-phase breakdown (phase_seconds, present since PR 5) is reported
 informationally when both files carry it but never gates: phase
@@ -219,6 +230,87 @@ def compare_multiproc(base, fresh):
     return 0
 
 
+ADAPTIVE_DEGRADED_MAX_RATIO = 0.9   # >= 10% win required
+ADAPTIVE_UNIFORM_MAX_RATIO = 1.05   # <= 5% overhead allowed
+
+
+def adaptive_cells(doc, name):
+    """Flattens a cta-adaptive-bench-v1 into {(scenario, workload,
+    strategy): cycles}."""
+    cells = {}
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        die(f"{name} has no scenarios", 2)
+    for scenario in scenarios:
+        sname = scenario.get("name")
+        for entry in scenario.get("entries", []):
+            key = (sname, entry.get("workload"), entry.get("strategy"))
+            cycles = entry.get("cycles")
+            if not isinstance(cycles, int) or cycles <= 0:
+                die(f"{name} cycles unusable at {key}: {cycles!r}", 2)
+            cells[key] = cycles
+    return cells
+
+
+def compare_adaptive(base, fresh):
+    if base.get("benchmark") != fresh.get("benchmark"):
+        die(f"benchmark mismatch: baseline {base.get('benchmark')!r} vs "
+            f"fresh {fresh.get('benchmark')!r}")
+    if base.get("adapt_interval") != fresh.get("adapt_interval"):
+        die(f"adapt_interval mismatch: baseline "
+            f"{base.get('adapt_interval')} vs fresh "
+            f"{fresh.get('adapt_interval')} — the runs measured different "
+            "remap cadences, re-baseline deliberately")
+
+    base_cells = adaptive_cells(base, "baseline")
+    fresh_cells = adaptive_cells(fresh, "fresh")
+    if set(base_cells) != set(fresh_cells):
+        only_base = sorted(set(base_cells) - set(fresh_cells))
+        only_fresh = sorted(set(fresh_cells) - set(base_cells))
+        die(f"grid mismatch: baseline-only {only_base}, fresh-only "
+            f"{only_fresh} — the recipe changed, re-baseline deliberately")
+
+    # Simulated cycles are exact and machine-independent: any drift is a
+    # behaviour change in the mapper or the adaptive executor.
+    for key in sorted(base_cells):
+        if base_cells[key] != fresh_cells[key]:
+            die(f"cycles drifted at {key}: baseline {base_cells[key]} vs "
+                f"fresh {fresh_cells[key]} — simulated cycles are "
+                "deterministic, so this is a behaviour change; re-commit "
+                "BENCH_adaptive.json deliberately if it is intended")
+
+    # The adaptive contract, checked on the fresh file's own numbers.
+    gates = []
+    for (scenario, workload, strategy), cycles in sorted(fresh_cells.items()):
+        if not strategy.startswith("Adaptive"):
+            continue
+        static_key = (scenario, workload, "TopologyAware")
+        if static_key not in fresh_cells:
+            die(f"no TopologyAware cell for {scenario}/{workload} to gate "
+                f"{strategy} against", 2)
+        ratio = cycles / fresh_cells[static_key]
+        if scenario == "degraded":
+            limit, what = ADAPTIVE_DEGRADED_MAX_RATIO, ">= 10% win"
+        elif scenario == "uniform":
+            limit, what = ADAPTIVE_UNIFORM_MAX_RATIO, "<= 5% overhead"
+        else:
+            continue
+        summary = (f"{scenario}/{workload}: {strategy} {ratio:.3f}x "
+                   f"TopologyAware (gate {limit}x, {what})")
+        if ratio > limit:
+            die(f"REGRESSION: {summary}")
+        gates.append(summary)
+
+    if not gates:
+        die("no Adaptive* cells were gated — the recipe changed, "
+            "re-baseline deliberately", 2)
+    for line in gates:
+        print(f"compare_bench: OK: {line}")
+    print(f"compare_bench: OK: all {len(base_cells)} cells exactly match "
+          "the committed baseline")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     max_regress = 15.0
@@ -238,8 +330,9 @@ def main(argv):
     serve = "cta-serve-bench-v1"
     hotpath = "cta-sim-hotpath-v2"
     multiproc = "cta-multiproc-v1"
-    if base.get("schema") in (serve, hotpath, multiproc) or \
-            fresh.get("schema") in (serve, hotpath, multiproc):
+    adaptive = "cta-adaptive-bench-v1"
+    if base.get("schema") in (serve, hotpath, multiproc, adaptive) or \
+            fresh.get("schema") in (serve, hotpath, multiproc, adaptive):
         if base.get("schema") != fresh.get("schema"):
             die(f"schema mismatch: baseline {base.get('schema')!r} vs "
                 f"fresh {fresh.get('schema')!r}")
@@ -247,6 +340,8 @@ def main(argv):
             return compare_serve(base, fresh, max_regress)
         if base.get("schema") == multiproc:
             return compare_multiproc(base, fresh)
+        if base.get("schema") == adaptive:
+            return compare_adaptive(base, fresh)
         return compare_hotpath_v2(base, fresh, max_regress)
 
     # Legacy single-entry BENCH_sim_hotpath (pre-v2, no "schema" key).

@@ -72,6 +72,12 @@ struct MappingOptions {
 
   /// Guard on the enumerated iteration-space size.
   std::uint64_t MaxIterations = (1u << 26);
+
+  /// Adaptive strategies only: groups each core retires between remap
+  /// commit points (`--adapt-interval`). Smaller reacts faster but remaps
+  /// more often; 0 is clamped to 1 by the executor. Ignored by static
+  /// strategies, but always part of the run fingerprint.
+  unsigned AdaptInterval = 4;
 };
 
 } // namespace cta

@@ -29,6 +29,10 @@ const char *cta::strategyName(Strategy S) {
     return "TopologyAware";
   case Strategy::Combined:
     return "Combined";
+  case Strategy::AdaptiveGreedy:
+    return "AdaptiveGreedy";
+  case Strategy::AdaptiveMW:
+    return "AdaptiveMW";
   }
   cta_unreachable("unknown strategy");
 }
@@ -47,6 +51,12 @@ const char *cta::strategyDescription(Strategy S) {
   case Strategy::Combined:
     return "hierarchical distribution plus alpha/beta-weighted scheduling "
            "(the paper's best)";
+  case Strategy::AdaptiveGreedy:
+    return "TopologyAware seed plus runtime greedy rebalance between "
+           "rounds (moves groups off the projected-slowest core)";
+  case Strategy::AdaptiveMW:
+    return "TopologyAware seed plus runtime multiplicative-weights core "
+           "selection (weights track observed per-iteration cost)";
   }
   cta_unreachable("unknown strategy");
 }
@@ -240,7 +250,9 @@ PipelineResult cta::runMappingPipeline(const Program &Prog, unsigned NestIdx,
   //    alpha = beta = 0. Combined adds the locality objective.
   obs::ObsScope ScheduleSpan("pipeline.local-schedule");
   SchedulerDependences SchedDeps = buildSchedulerDeps(DepDAG, Clustered);
-  if (Strat == Strategy::TopologyAware) {
+  // The adaptive strategies take TopologyAware's static mapping as their
+  // seed; what changes is the executor, not the compile-time pass.
+  if (Strat == Strategy::TopologyAware || isAdaptiveStrategy(Strat)) {
     sortCoreGroupsLexicographic(Clustered.CoreGroups, Clustered.Groups);
     if (!SchedDeps.HasDependences) {
       ScheduleResult Direct;

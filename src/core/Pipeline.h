@@ -19,6 +19,15 @@
 ///  * Combined       - Figure 6 distribution + Figure 7 scheduling with the
 ///                     alpha/beta reuse objective (the paper's best
 ///                     configuration, Figure 15).
+///  * AdaptiveGreedy - TopologyAware static seed mapping, then the runtime/
+///                     greedy-rebalance policy remaps groups between rounds
+///                     from observed cache/load feedback.
+///  * AdaptiveMW     - as AdaptiveGreedy with multiplicative-weights core
+///                     selection instead of greedy rebalance.
+///
+/// The adaptive strategies produce the same static mapping as
+/// TopologyAware (the pipeline is purely compile-time); the driver routes
+/// them to runtime::executeAdaptive instead of the static engine.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,8 +43,22 @@
 
 namespace cta {
 
-/// Mapping strategy selector.
-enum class Strategy { Base, BasePlus, Local, TopologyAware, Combined };
+/// Mapping strategy selector. New entries append: the numeric values feed
+/// run fingerprints and the worker wire protocol.
+enum class Strategy {
+  Base,
+  BasePlus,
+  Local,
+  TopologyAware,
+  Combined,
+  AdaptiveGreedy,
+  AdaptiveMW,
+};
+
+/// True for the strategies executed by the adaptive runtime.
+inline bool isAdaptiveStrategy(Strategy S) {
+  return S == Strategy::AdaptiveGreedy || S == Strategy::AdaptiveMW;
+}
 
 /// Human-readable strategy name ("Base", "Base+", ...).
 const char *strategyName(Strategy S);

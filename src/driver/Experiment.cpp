@@ -3,6 +3,7 @@
 #include "driver/Experiment.h"
 
 #include "obs/ObsScope.h"
+#include "runtime/AdaptiveExecutor.h"
 #include "sim/AccessTrace.h"
 #include "support/ErrorHandling.h"
 
@@ -33,6 +34,26 @@ static void accumulateExecution(RunResult &Result,
       Result.PerCache[I].Evictions += Exec.PerCache[I].Evictions;
     }
   }
+}
+
+/// Executes one nest's mapping: adaptive strategies run through the
+/// runtime/ executor (round-boundary remapping from observed feedback,
+/// sequential-only like --emit-trace), everything else through the static
+/// engine. Disabled cores are folded onto live ones first in either case
+/// — the engines refuse work on a speed-0 core.
+static ExecutionResult executeMapped(MachineSim &Sim, const AccessTrace &Trace,
+                                     Mapping &Map, Strategy Strat,
+                                     const MappingOptions &Opts,
+                                     const SimExec &SimCfg) {
+  runtime::remapDisabledCores(Map, Sim.topology());
+  if (!isAdaptiveStrategy(Strat))
+    return executeTrace(Sim, Trace, Map, SimCfg);
+  runtime::AdaptiveConfig Cfg;
+  Cfg.Policy = Strat == Strategy::AdaptiveMW
+                   ? runtime::AdaptivePolicyKind::MultiplicativeWeights
+                   : runtime::AdaptivePolicyKind::GreedyRebalance;
+  Cfg.Interval = Opts.AdaptInterval;
+  return runtime::executeAdaptive(Sim, Trace, Map, Cfg);
 }
 
 /// Folds one nest's static sharing report into the run's accumulated one.
@@ -76,7 +97,8 @@ RunResult cta::runOnMachine(const Program &Prog, const CacheTopology &Machine,
       Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
     }
     obs::ObsScope ExecSpan("sim.execute");
-    ExecutionResult Exec = executeTrace(Sim, *Trace, Pipe.Map, SimCfg);
+    ExecutionResult Exec =
+        executeMapped(Sim, *Trace, Pipe.Map, Strat, Opts, SimCfg);
     ExecSpan.close();
     accumulateExecution(Result, Exec);
   }
@@ -155,7 +177,8 @@ RunResult cta::runCrossMachine(const Program &Prog,
       Trace = TraceRegistry::getOrCompile(Prog, NestIdx, Opts.MaxIterations);
     }
     obs::ObsScope ExecSpan("sim.execute");
-    ExecutionResult Exec = executeTrace(Sim, *Trace, Ported, SimCfg);
+    ExecutionResult Exec =
+        executeMapped(Sim, *Trace, Ported, Strat, Opts, SimCfg);
     ExecSpan.close();
     accumulateExecution(Result, Exec);
   }

@@ -81,17 +81,29 @@ struct ExecConfig {
   /// Tasks per worker shard (--worker-shard-size=N /
   /// CTA_WORKER_SHARD_SIZE); 0 = auto.
   unsigned WorkerShardSize = 0;
+  /// Adaptive strategies: groups each core retires between remap commit
+  /// points (--adapt-interval=N / CTA_ADAPT_INTERVAL). 0 = keep the
+  /// MappingOptions default. Part of the run fingerprint (it changes
+  /// simulated cycles), unlike SimThreads.
+  unsigned AdaptInterval = 0;
+  /// Shorthand strategy selector (--adapt-policy=greedy|mw /
+  /// CTA_ADAPT_POLICY): `cta run` maps "greedy" to the adaptive-greedy
+  /// strategy and "mw" to adaptive-mw. Empty = no override.
+  std::string AdaptPolicy;
 };
 
 /// Parses --jobs=N / --jobs N, --sim-threads=N / --sim-threads N,
 /// --workers=N / --workers N, --worker-shard-size=N / --worker-shard-size
-/// N, --cache-dir=PATH / --cache-dir PATH, --no-timing and
-/// --emit-json=PATH / --emit-json PATH from \p argv (also accepts the
-/// CTA_JOBS / CTA_SIM_THREADS / CTA_WORKERS / CTA_WORKER_SHARD_SIZE /
-/// CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON environment variables as
+/// N, --cache-dir=PATH / --cache-dir PATH, --no-timing, --emit-json=PATH /
+/// --emit-json PATH, --adapt-interval=N / --adapt-interval N and
+/// --adapt-policy=greedy|mw / --adapt-policy greedy|mw from \p argv (also
+/// accepts the CTA_JOBS / CTA_SIM_THREADS / CTA_WORKERS /
+/// CTA_WORKER_SHARD_SIZE / CTA_CACHE_DIR / CTA_NO_TIMING / CTA_EMIT_JSON /
+/// CTA_ADAPT_INTERVAL / CTA_ADAPT_POLICY environment variables as
 /// defaults). Unrecognized arguments are left alone so benches can layer
 /// their own flags. Aborts on malformed values (anything that is not a
-/// plain in-range decimal for the numeric settings).
+/// plain in-range decimal for the numeric settings, or an unknown
+/// --adapt-policy name).
 ///
 /// Worker entry: when argv contains --cta-worker-protocol, this function
 /// does not return — it runs serve::runWorkerProtocol on the parsed config

@@ -59,6 +59,7 @@ void cta::hashTopology(HashBuilder &H, const CacheTopology &Topo) {
     H.add(static_cast<std::uint64_t>(N.Params.LineSize));
     H.add(static_cast<std::uint64_t>(N.Params.LatencyCycles));
     H.add(static_cast<std::int64_t>(N.Core));
+    H.add(static_cast<std::uint64_t>(N.SpeedPercent));
   }
 }
 
@@ -73,6 +74,7 @@ void cta::hashOptions(HashBuilder &H, const MappingOptions &Opts) {
   H.add(static_cast<std::uint64_t>(Opts.MaxGroupsForClustering));
   H.add(static_cast<std::uint64_t>(Opts.ChainCoarsenTarget));
   H.add(Opts.MaxIterations);
+  H.add(static_cast<std::uint64_t>(Opts.AdaptInterval));
 }
 
 std::uint64_t cta::runFingerprint(const Program &Prog,

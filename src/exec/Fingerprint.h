@@ -44,7 +44,11 @@ namespace cta {
 /// phase records gain a start time (serialized per cache entry), and
 /// traced runs bypass the cache entirely (their value is the event
 /// stream, which is not persisted).
-inline constexpr std::uint64_t RunCacheFormatVersion = 5;
+/// Version 6: the runtime/ adaptive scheduling layer — topologies gain
+/// per-core speed/disabled attributes (hashed per node), MappingOptions
+/// gains AdaptInterval, and two adaptive strategies extend the Strategy
+/// enum; entries hashed without these fields must not be replayed.
+inline constexpr std::uint64_t RunCacheFormatVersion = 6;
 
 /// Feeds \p Prog into \p H: name, arrays, nests, bounds, accesses and the
 /// per-iteration compute cost.

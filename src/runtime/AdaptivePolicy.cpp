@@ -1,0 +1,237 @@
+//===- runtime/AdaptivePolicy.cpp - Round-boundary remap policies ---------===//
+
+#include "runtime/AdaptivePolicy.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace cta;
+using namespace cta::runtime;
+
+AdaptivePolicy::~AdaptivePolicy() = default;
+
+namespace {
+
+/// Pending iterations per core, from the pending group-id lists.
+std::vector<double>
+pendingIters(const std::vector<std::vector<std::uint32_t>> &Pending,
+             const std::vector<IterationGroup> &Groups) {
+  std::vector<double> P(Pending.size(), 0.0);
+  for (std::size_t C = 0; C != Pending.size(); ++C)
+    for (std::uint32_t G : Pending[C])
+      P[C] += Groups[G].size();
+  return P;
+}
+
+/// True when \p A and \p B share an on-chip cache (the paper's affinity
+/// relation); migrations inside a domain keep the moved group's data
+/// reachable through the shared level instead of refetching from memory.
+bool sameDomain(const CacheTopology &Topo, unsigned A, unsigned B) {
+  return Topo.affinityLevel(A, B) != CacheTopology::MemoryLevel;
+}
+
+/// Greedy rebalance: while the projected-latest finisher can hand its
+/// tail group to a core that would still finish earlier, move it —
+/// same-domain targets first, the globally best target otherwise. Costs
+/// are the observed per-iteration cycle costs, so a degraded (half-speed)
+/// core organically sheds work after the first round exposes its cost.
+class GreedyRebalance : public AdaptivePolicy {
+public:
+  std::vector<Migration>
+  plan(const Feedback &FB,
+       const std::vector<std::vector<std::uint32_t>> &Pending,
+       const std::vector<IterationGroup> &Groups,
+       const CacheTopology &Topo) override {
+    const unsigned N = static_cast<unsigned>(FB.Cores.size());
+    std::uint64_t TotCycles = 0, TotIters = 0;
+    for (const CoreFeedback &C : FB.Cores) {
+      TotCycles += C.Cycles;
+      TotIters += C.ItersTotal;
+    }
+    const double Default =
+        TotIters == 0 ? 1.0
+                      : static_cast<double>(TotCycles) /
+                            static_cast<double>(TotIters);
+
+    std::vector<double> CPI(N), Finish(N);
+    std::vector<double> Pend = pendingIters(Pending, Groups);
+    std::vector<std::vector<std::uint32_t>> Queue = Pending;
+    for (unsigned C = 0; C != N; ++C) {
+      CPI[C] = FB.Cores[C].costPerIter(Default);
+      Finish[C] = static_cast<double>(FB.Cores[C].Cycles) + Pend[C] * CPI[C];
+    }
+
+    std::vector<Migration> Moves;
+    for (unsigned Step = 0; Step != 4 * N; ++Step) {
+      // The projected-latest finisher that still has a group to give.
+      unsigned Src = N;
+      for (unsigned C = 0; C != N; ++C)
+        if (!Queue[C].empty() && (Src == N || Finish[C] > Finish[Src]))
+          Src = C;
+      if (Src == N)
+        break;
+
+      const std::uint32_t G = Queue[Src].back();
+      const double S = Groups[G].size();
+
+      // Best target: lowest post-move finish, same-domain pass first so a
+      // viable neighbour always wins over a viable stranger.
+      unsigned Dst = N;
+      double DstFinish = 0;
+      for (int DomainPass = 1; DomainPass >= 0 && Dst == N; --DomainPass) {
+        for (unsigned T = 0; T != N; ++T) {
+          if (T == Src || FB.Cores[T].SpeedPercent == 0)
+            continue;
+          if (sameDomain(Topo, Src, T) != (DomainPass == 1))
+            continue;
+          const double F = Finish[T] + S * CPI[T];
+          if (F >= Finish[Src])
+            continue; // would not finish before the current peak
+          if (Dst == N || F < DstFinish) {
+            Dst = T;
+            DstFinish = F;
+          }
+        }
+      }
+      if (Dst == N)
+        break; // no move improves the peak any more
+
+      Moves.push_back({G, Src, Dst});
+      Queue[Src].pop_back();
+      Queue[Dst].push_back(G);
+      Pend[Src] -= S;
+      Pend[Dst] += S;
+      Finish[Src] -= S * CPI[Src];
+      Finish[Dst] = DstFinish;
+    }
+    return Moves;
+  }
+
+  const char *name() const override { return "greedy-rebalance"; }
+};
+
+/// Multiplicative-weights core selection (SNIPPETS.md Snippets 2-3): each
+/// core carries a weight, multiplied up when its observed per-iteration
+/// cost this round was within 25% of the best core's and down otherwise,
+/// clamped to [WMin, WMax]. Pending work is then steered toward the
+/// weight-proportional share, again preferring same-domain targets.
+class MultiplicativeWeights : public AdaptivePolicy {
+  std::vector<double> W;
+  std::uint64_t Updates = 0;
+
+  static constexpr double Increase = 1.1;
+  static constexpr double Decrease = 0.8;
+  static constexpr double CompetitiveSlack = 1.25;
+  static constexpr double WMin = 0.05;
+  static constexpr double WMax = 20.0;
+
+public:
+  std::vector<Migration>
+  plan(const Feedback &FB,
+       const std::vector<std::vector<std::uint32_t>> &Pending,
+       const std::vector<IterationGroup> &Groups,
+       const CacheTopology &Topo) override {
+    const unsigned N = static_cast<unsigned>(FB.Cores.size());
+    if (W.empty())
+      W.assign(N, 1.0);
+
+    // Reweight from this round's observed cost per iteration.
+    double MinCost = std::numeric_limits<double>::infinity();
+    std::vector<double> Cost(N, -1.0);
+    for (unsigned C = 0; C != N; ++C) {
+      const CoreFeedback &F = FB.Cores[C];
+      if (F.ItersDelta == 0)
+        continue;
+      Cost[C] = static_cast<double>(F.CyclesDelta) /
+                static_cast<double>(F.ItersDelta);
+      MinCost = std::min(MinCost, Cost[C]);
+    }
+    for (unsigned C = 0; C != N; ++C) {
+      if (FB.Cores[C].SpeedPercent == 0) {
+        W[C] = 0.0;
+        continue;
+      }
+      if (Cost[C] < 0)
+        continue;
+      W[C] *= Cost[C] <= CompetitiveSlack * MinCost ? Increase : Decrease;
+      W[C] = std::min(std::max(W[C], WMin), WMax);
+      ++Updates;
+    }
+
+    double SumW = 0.0;
+    for (double X : W)
+      SumW += X;
+    if (SumW <= 0.0)
+      return {};
+
+    // Steer pending iterations toward the weight-proportional share.
+    std::vector<double> Pend = pendingIters(Pending, Groups);
+    std::vector<std::vector<std::uint32_t>> Queue = Pending;
+    double Total = 0.0;
+    for (double P : Pend)
+      Total += P;
+    std::vector<double> Desired(N, 0.0);
+    for (unsigned C = 0; C != N; ++C)
+      Desired[C] = Total * W[C] / SumW;
+
+    std::vector<Migration> Moves;
+    for (unsigned Step = 0; Step != 2 * N; ++Step) {
+      // Largest surplus donor with a movable group.
+      unsigned Src = N;
+      for (unsigned C = 0; C != N; ++C)
+        if (!Queue[C].empty() &&
+            (Src == N ||
+             Pend[C] - Desired[C] > Pend[Src] - Desired[Src]))
+          Src = C;
+      if (Src == N)
+        break;
+      const std::uint32_t G = Queue[Src].back();
+      const double S = Groups[G].size();
+      if (Pend[Src] - Desired[Src] < S * 0.5)
+        break; // moving a whole group would overshoot
+
+      // Largest deficit receiver that wants at least half the group,
+      // same-domain pass first.
+      unsigned Dst = N;
+      for (int DomainPass = 1; DomainPass >= 0 && Dst == N; --DomainPass) {
+        for (unsigned T = 0; T != N; ++T) {
+          if (T == Src || W[T] <= 0.0)
+            continue;
+          if (sameDomain(Topo, Src, T) != (DomainPass == 1))
+            continue;
+          if (Desired[T] - Pend[T] < S * 0.5)
+            continue;
+          if (Dst == N || Desired[T] - Pend[T] > Desired[Dst] - Pend[Dst])
+            Dst = T;
+        }
+      }
+      if (Dst == N)
+        break;
+
+      Moves.push_back({G, Src, Dst});
+      Queue[Src].pop_back();
+      Queue[Dst].push_back(G);
+      Pend[Src] -= S;
+      Pend[Dst] += S;
+    }
+    return Moves;
+  }
+
+  std::uint64_t weightUpdates() const override { return Updates; }
+  const char *name() const override { return "multiplicative-weights"; }
+};
+
+} // namespace
+
+std::unique_ptr<AdaptivePolicy>
+runtime::makeAdaptivePolicy(AdaptivePolicyKind Kind) {
+  switch (Kind) {
+  case AdaptivePolicyKind::GreedyRebalance:
+    return std::make_unique<GreedyRebalance>();
+  case AdaptivePolicyKind::MultiplicativeWeights:
+    return std::make_unique<MultiplicativeWeights>();
+  }
+  cta_unreachable("unknown adaptive policy kind");
+}

@@ -1,0 +1,28 @@
+//===- runtime/Feedback.cpp - Observed per-round execution feedback -------===//
+
+#include "runtime/Feedback.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cta;
+using namespace cta::runtime;
+
+std::vector<CacheFeedback>
+runtime::diffCacheStats(const std::vector<CacheNodeStats> &Prev,
+                        const std::vector<CacheNodeStats> &Cur) {
+  if (Prev.size() != Cur.size())
+    reportFatalError("cache stat snapshots come from different machines");
+  std::vector<CacheFeedback> Out;
+  Out.reserve(Cur.size());
+  for (std::size_t I = 0, E = Cur.size(); I != E; ++I) {
+    if (Prev[I].NodeId != Cur[I].NodeId)
+      reportFatalError("cache stat snapshots come from different machines");
+    CacheFeedback F;
+    F.NodeId = Cur[I].NodeId;
+    F.Level = Cur[I].Level;
+    F.LookupsDelta = Cur[I].Lookups - Prev[I].Lookups;
+    F.HitsDelta = Cur[I].Hits - Prev[I].Hits;
+    Out.push_back(F);
+  }
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- runtime/Feedback.h - Observed per-round execution feedback -*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snapshot an AdaptivePolicy sees at every round commit point: how far
+/// each core's clock advanced, how many iterations it retired, what is
+/// still queued on it, and how every cache instance's hit rate moved. All
+/// of it is data the simulator already produces — per-core clocks from the
+/// event loop and per-cache-instance counters maintained inside
+/// Cache::probe — so extraction is a cheap diff, not extra instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_RUNTIME_FEEDBACK_H
+#define CTA_RUNTIME_FEEDBACK_H
+
+#include "sim/MachineSim.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cta {
+namespace runtime {
+
+/// What one core did up to (and during) the round that just committed.
+struct CoreFeedback {
+  std::uint64_t Cycles = 0;       ///< local clock at the commit point
+  std::uint64_t CyclesDelta = 0;  ///< cycles advanced during the round
+  std::uint64_t ItersTotal = 0;   ///< iterations retired so far
+  std::uint64_t ItersDelta = 0;   ///< iterations retired during the round
+  std::uint64_t PendingIters = 0; ///< iterations still queued on this core
+  unsigned SpeedPercent = 100;    ///< topology speed attribute (0 = disabled)
+
+  /// Observed cost of one iteration on this core in cycles; \p Default
+  /// before the core has retired anything.
+  double costPerIter(double Default) const {
+    return ItersTotal == 0 ? Default
+                           : static_cast<double>(Cycles) /
+                                 static_cast<double>(ItersTotal);
+  }
+};
+
+/// Hit-rate movement of one cache instance during the round.
+struct CacheFeedback {
+  unsigned NodeId = 0;
+  unsigned Level = 0;
+  std::uint64_t LookupsDelta = 0;
+  std::uint64_t HitsDelta = 0;
+
+  /// Hit rate over the round; 1.0 when the cache saw no lookups (an idle
+  /// cache is not a cold one).
+  double hitRate() const {
+    return LookupsDelta == 0 ? 1.0
+                             : static_cast<double>(HitsDelta) /
+                                   static_cast<double>(LookupsDelta);
+  }
+};
+
+/// Snapshot handed to an AdaptivePolicy at each round commit point.
+struct Feedback {
+  unsigned Round = 0; ///< 1 for the snapshot after the first round
+  std::vector<CoreFeedback> Cores;
+  std::vector<CacheFeedback> Caches;
+};
+
+/// Per-cache deltas between two perCacheStats() snapshots of the same
+/// machine (\p Prev taken at the previous commit point).
+std::vector<CacheFeedback>
+diffCacheStats(const std::vector<CacheNodeStats> &Prev,
+               const std::vector<CacheNodeStats> &Cur);
+
+} // namespace runtime
+} // namespace cta
+
+#endif // CTA_RUNTIME_FEEDBACK_H

@@ -19,6 +19,17 @@
 
 using namespace cta;
 
+/// Validates an --adapt-policy value; the two names mirror the
+/// adaptive-greedy / adaptive-mw strategies.
+static std::string parseAdaptPolicy(const char *What, const char *Value) {
+  std::string V = Value;
+  if (V != "greedy" && V != "mw")
+    reportFatalError((std::string(What) + ": unknown adaptive policy '" + V +
+                      "' (expected 'greedy' or 'mw')")
+                         .c_str());
+  return V;
+}
+
 ExecConfig cta::parseExecArgs(int argc, char **argv) {
   ExecConfig Config;
   if (const char *Env = std::getenv("CTA_JOBS"))
@@ -33,6 +44,11 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
   if (const char *Env = std::getenv("CTA_WORKER_SHARD_SIZE"))
     Config.WorkerShardSize = static_cast<unsigned>(
         parseUint64OrDie("CTA_WORKER_SHARD_SIZE", Env, /*Max=*/UINT_MAX));
+  if (const char *Env = std::getenv("CTA_ADAPT_INTERVAL"))
+    Config.AdaptInterval = static_cast<unsigned>(
+        parseUint64OrDie("CTA_ADAPT_INTERVAL", Env, /*Max=*/UINT_MAX));
+  if (const char *Env = std::getenv("CTA_ADAPT_POLICY"))
+    Config.AdaptPolicy = parseAdaptPolicy("CTA_ADAPT_POLICY", Env);
   if (const char *Env = std::getenv("CTA_CACHE_DIR"))
     Config.CacheDir = Env;
   if (std::getenv("CTA_NO_TIMING"))
@@ -59,6 +75,10 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
   auto parseShardSize = [](const char *Value) -> unsigned {
     return static_cast<unsigned>(
         parseUint64OrDie("--worker-shard-size", Value, /*Max=*/UINT_MAX));
+  };
+  auto parseAdaptInterval = [](const char *Value) -> unsigned {
+    return static_cast<unsigned>(
+        parseUint64OrDie("--adapt-interval", Value, /*Max=*/UINT_MAX));
   };
 
   bool WorkerProtocol = false;
@@ -88,6 +108,18 @@ ExecConfig cta::parseExecArgs(int argc, char **argv) {
       if (I + 1 >= argc)
         reportFatalError("--worker-shard-size needs a value");
       Config.WorkerShardSize = parseShardSize(argv[++I]);
+    } else if (std::strncmp(Arg, "--adapt-interval=", 17) == 0) {
+      Config.AdaptInterval = parseAdaptInterval(Arg + 17);
+    } else if (std::strcmp(Arg, "--adapt-interval") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--adapt-interval needs a value");
+      Config.AdaptInterval = parseAdaptInterval(argv[++I]);
+    } else if (std::strncmp(Arg, "--adapt-policy=", 15) == 0) {
+      Config.AdaptPolicy = parseAdaptPolicy("--adapt-policy", Arg + 15);
+    } else if (std::strcmp(Arg, "--adapt-policy") == 0) {
+      if (I + 1 >= argc)
+        reportFatalError("--adapt-policy needs a value");
+      Config.AdaptPolicy = parseAdaptPolicy("--adapt-policy", argv[++I]);
     } else if (std::strcmp(Arg, "--cta-worker-protocol") == 0) {
       WorkerProtocol = true;
     } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {

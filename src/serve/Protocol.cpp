@@ -197,11 +197,12 @@ cta::serve::parseServeRequest(const std::string &Payload, RequestError &Err) {
     return std::nullopt;
   }
 
-  std::optional<double> Scale, Alpha, Beta, BlockSize;
+  std::optional<double> Scale, Alpha, Beta, BlockSize, AdaptInterval;
   if (!getNumber(*Doc, "scale", Scale, Err) ||
       !getNumber(*Doc, "alpha", Alpha, Err) ||
       !getNumber(*Doc, "beta", Beta, Err) ||
-      !getNumber(*Doc, "block_size", BlockSize, Err))
+      !getNumber(*Doc, "block_size", BlockSize, Err) ||
+      !getNumber(*Doc, "adapt_interval", AdaptInterval, Err))
     return std::nullopt;
   if (Scale) {
     if (!(*Scale > 0.0)) {
@@ -218,6 +219,13 @@ cta::serve::parseServeRequest(const std::string &Payload, RequestError &Err) {
       return std::nullopt;
     }
     Req.BlockSize = static_cast<std::uint64_t>(*BlockSize);
+  }
+  if (AdaptInterval) {
+    if (*AdaptInterval < 1 || *AdaptInterval != std::floor(*AdaptInterval)) {
+      badRequest(Err, "\"adapt_interval\" must be a positive integer");
+      return std::nullopt;
+    }
+    Req.AdaptInterval = static_cast<unsigned>(*AdaptInterval);
   }
   return Req;
 }
@@ -256,6 +264,10 @@ std::optional<Strategy> parseStrategyName(std::string Name) {
     return Strategy::TopologyAware;
   if (Name == "combined")
     return Strategy::Combined;
+  if (Name == "adaptive-greedy" || Name == "adaptivegreedy")
+    return Strategy::AdaptiveGreedy;
+  if (Name == "adaptive-mw" || Name == "adaptivemw")
+    return Strategy::AdaptiveMW;
   return std::nullopt;
 }
 
@@ -337,6 +349,8 @@ std::optional<RunTask> cta::serve::buildRunTask(const ServeRequest &Req,
     Opts.Beta = *Req.Beta;
   if (Req.BlockSize)
     Opts.BlockSizeBytes = *Req.BlockSize;
+  if (Req.AdaptInterval)
+    Opts.AdaptInterval = *Req.AdaptInterval;
 
   std::string MachineName =
       !Req.Machine.empty() ? Req.Machine : Machine->name();

@@ -26,7 +26,8 @@
 ///     "strategy": "topology-aware", // optional, default topology-aware
 ///     "scale": 0.03125,             // optional, default 1/32
 ///     "alpha": 0.5, "beta": 0.5,    // optional (combined strategy)
-///     "block_size": 2048 }          // optional, 0 = auto-select
+///     "block_size": 2048,           // optional, 0 = auto-select
+///     "adapt_interval": 4 }         // optional (adaptive strategies)
 ///
 /// Response (schema "cta-serve-resp-v1"):
 ///   { "schema": "cta-serve-resp-v1", "id": "r17", "status": "ok",
@@ -110,6 +111,7 @@ struct ServeRequest {
   std::optional<double> Alpha;
   std::optional<double> Beta;
   std::optional<std::uint64_t> BlockSize;
+  std::optional<unsigned> AdaptInterval; // adaptive strategies only
 };
 
 /// An in-band request failure.

@@ -95,6 +95,8 @@ void writeTopology(obs::JsonWriter &W, const CacheTopology &T) {
     W.value(static_cast<std::uint64_t>(N.Params.LineSize));
     W.key("latency");
     W.value(static_cast<std::uint64_t>(N.Params.LatencyCycles));
+    W.key("speed");
+    W.value(static_cast<std::uint64_t>(N.SpeedPercent));
     W.endObject();
   }
   W.endArray();
@@ -123,6 +125,8 @@ void writeOptions(obs::JsonWriter &W, const MappingOptions &O) {
   W.value(static_cast<std::uint64_t>(O.ChainCoarsenTarget));
   W.key("max_iterations");
   W.value(std::to_string(O.MaxIterations));
+  W.key("adapt_interval");
+  W.value(static_cast<std::uint64_t>(O.AdaptInterval));
   W.endObject();
 }
 
@@ -170,6 +174,7 @@ std::optional<CacheTopology> decodeTopology(const JsonValue &V,
   for (std::size_t I = 1; I != Nodes->Arr.size(); ++I) {
     const JsonValue &N = Nodes->Arr[I];
     std::uint64_t Level = 0, Assoc = 0, Line = 0, Latency = 0, Size = 0;
+    std::uint64_t SpeedPct = 100;
     const JsonValue *Parent = N.get("parent");
     if (!N.isObject() || !Parent || !Parent->isNumber() ||
         Parent->Num < 0 || Parent->Num >= static_cast<double>(I) ||
@@ -178,6 +183,7 @@ std::optional<CacheTopology> decodeTopology(const JsonValue &V,
         !readCount(N.get("assoc"), Assoc) ||
         !readCount(N.get("line_size"), Line) ||
         !readCount(N.get("latency"), Latency) ||
+        !readCount(N.get("speed"), SpeedPct) || SpeedPct > 100 ||
         !readU64String(N.get("size_bytes"), Size)) {
       Err = "malformed machine node " + std::to_string(I);
       return std::nullopt;
@@ -193,6 +199,8 @@ std::optional<CacheTopology> decodeTopology(const JsonValue &V,
       Err = "machine node ids out of order";
       return std::nullopt;
     }
+    if (SpeedPct != 100)
+      T.setNodeSpeed(Id, static_cast<unsigned>(SpeedPct));
   }
   // finalize() aborts on malformed trees; frames come from our own
   // encoder, so a failure here is a protocol bug, not hostile input.
@@ -202,6 +210,7 @@ std::optional<CacheTopology> decodeTopology(const JsonValue &V,
 
 bool decodeOptions(const JsonValue *V, MappingOptions &O, std::string &Err) {
   std::uint64_t MaxMapper = 0, DepPolicy = 0, MaxGroups = 0, Chain = 0;
+  std::uint64_t AdaptInterval = 0;
   const JsonValue *Barrier = V ? V->get("barrier_sync") : nullptr;
   if (!V || !V->isObject() ||
       !readU64String(V->get("block_size"), O.BlockSizeBytes) ||
@@ -216,7 +225,8 @@ bool decodeOptions(const JsonValue *V, MappingOptions &O, std::string &Err) {
       !Barrier || !Barrier->isBool() ||
       !readCount(V->get("max_groups"), MaxGroups) ||
       !readCount(V->get("chain_coarsen"), Chain) ||
-      !readU64String(V->get("max_iterations"), O.MaxIterations)) {
+      !readU64String(V->get("max_iterations"), O.MaxIterations) ||
+      !readCount(V->get("adapt_interval"), AdaptInterval)) {
     Err = "malformed options object";
     return false;
   }
@@ -225,6 +235,7 @@ bool decodeOptions(const JsonValue *V, MappingOptions &O, std::string &Err) {
   O.UseBarrierSync = Barrier->B;
   O.MaxGroupsForClustering = static_cast<unsigned>(MaxGroups);
   O.ChainCoarsenTarget = static_cast<unsigned>(Chain);
+  O.AdaptInterval = static_cast<unsigned>(AdaptInterval);
   return true;
 }
 
@@ -320,7 +331,7 @@ cta::serve::decodeWorkerShard(const std::string &Payload,
         !KeyV->isString() || !parseHexKey(KeyV->Str, Key) ||
         !readU64String(TV.get("source_hash"), SourceHash) ||
         !readCount(TV.get("strategy"), StratV) ||
-        StratV > static_cast<std::uint64_t>(Strategy::Combined) || !ProgV ||
+        StratV > static_cast<std::uint64_t>(Strategy::AdaptiveMW) || !ProgV ||
         !ProgV->isString() || !MachineV) {
       Err = "malformed task " + std::to_string(I);
       return std::nullopt;

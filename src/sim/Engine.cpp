@@ -19,6 +19,37 @@ namespace {
 obs::Counter NumBatchRows("sim.batch.rows");
 obs::Counter NumBatchAccesses("sim.batch.accesses");
 
+/// Per-core speed table for heterogeneous topologies. 100 = nominal; a
+/// degraded core stretches each iteration's duration by 100/pct (ceiling
+/// division, so a slow core is never rounded back to nominal). Returns an
+/// empty vector for uniform machines so the hot paths keep a single
+/// never-taken branch.
+std::vector<unsigned> coreSpeeds(const MachineSim &Machine,
+                                 const Mapping &Map) {
+  const CacheTopology &Topo = Machine.topology();
+  if (Topo.uniformSpeed())
+    return {};
+  std::vector<unsigned> Speed(Map.NumCores, 100);
+  for (unsigned C = 0; C != Map.NumCores; ++C) {
+    Speed[C] = Topo.coreSpeedPercent(C);
+    if (Speed[C] == 0 && !Map.CoreIterations[C].empty())
+      reportFatalError(("mapping assigns work to disabled core " +
+                        std::to_string(C) +
+                        " — fold its work onto live cores first")
+                           .c_str());
+  }
+  return Speed;
+}
+
+/// Stretches one iteration's duration for core \p Core: identity at
+/// nominal speed, ceil(D * 100 / pct) otherwise.
+std::uint64_t scaleDuration(const std::vector<unsigned> &Speed, unsigned Core,
+                            std::uint64_t D) {
+  if (Speed.empty() || Speed[Core] == 100)
+    return D;
+  return (D * 100 + Speed[Core] - 1) / Speed[Core];
+}
+
 /// Unrecorded-completion sentinel. Cycle 0 is a legitimate completion time
 /// (a zero-latency prefix), so "not yet recorded" must be a value no real
 /// completion can take.
@@ -128,18 +159,21 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
   SimStats Local;
   std::uint64_t BatchedRows = 0;
   const unsigned MemLat = Machine.memoryLatency();
+  const std::vector<unsigned> Speed = coreSpeeds(Machine, Map);
 
   auto runIteration = [&](unsigned Core) {
     std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
     const std::uint64_t *Row = Trace.row(Iter);
     std::uint64_t C = Cycle[Core];
+    const std::uint64_t Start = C;
     if (Log != nullptr) {
-      const std::uint64_t Start = C;
       for (unsigned A = 0; A != NumAccesses; ++A) {
         Log->setCycle(Core, C);
         C += Machine.access(Core, Row[A], Trace.isWrite(A));
       }
-      Log->iterationSpan(Core, Iter, Start, C + ComputeCycles);
+      Log->iterationSpan(Core, Iter, Start,
+                         Start + scaleDuration(Speed, Core,
+                                               C + ComputeCycles - Start));
     } else {
       Local.TotalAccesses += NumAccesses;
       ++BatchedRows;
@@ -171,7 +205,8 @@ ExecutionResult cta::executeTrace(MachineSim &Machine,
       for (unsigned A = 0; A != NumAccesses; ++A)
         C += Lat[A];
     }
-    Cycle[Core] = C + ComputeCycles;
+    Cycle[Core] =
+        Start + scaleDuration(Speed, Core, C + ComputeCycles - Start);
     ++Pos[Core];
   };
 
@@ -356,6 +391,8 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
   if (Log != nullptr)
     Log->beginNest();
 
+  const std::vector<unsigned> Speed = coreSpeeds(Machine, Map);
+
   auto runIteration = [&](unsigned Core) {
     std::uint32_t Iter = Map.CoreIterations[Core][Pos[Core]];
     Table.get(Iter, Point.data());
@@ -370,9 +407,11 @@ ExecutionResult cta::executeMappingReference(MachineSim &Machine,
         Log->setCycle(Core, C);
       C += Machine.accessReference(Core, Addr, R.Acc->IsWrite);
     }
+    std::uint64_t End =
+        Start + scaleDuration(Speed, Core, C + ComputeCycles - Start);
     if (Log != nullptr)
-      Log->iterationSpan(Core, Iter, Start, C + ComputeCycles);
-    Cycle[Core] = C + ComputeCycles;
+      Log->iterationSpan(Core, Iter, Start, End);
+    Cycle[Core] = End;
     ++Pos[Core];
   };
 

@@ -220,7 +220,12 @@ bool cta::epochParallelEligible(const MachineSim &Machine,
                                 const Mapping &Map) {
   const bool PointToPoint =
       Map.Sync == SyncMode::PointToPoint && !Map.PointDeps.empty();
-  return !PointToPoint && Machine.traceLog() == nullptr && Map.NumCores > 1;
+  // Heterogeneous (degraded/disabled-core) topologies take the sequential
+  // engine: the private-prefix sweep assumes nominal per-core clocks, and
+  // degraded machines are rare enough that a documented fallback (like
+  // --emit-trace's) beats complicating the parallel commit protocol.
+  return !PointToPoint && Machine.traceLog() == nullptr &&
+         Map.NumCores > 1 && Machine.topology().uniformSpeed();
 }
 
 ExecutionResult cta::executeTraceEpochParallel(MachineSim &Machine,

@@ -3,6 +3,7 @@
 #include "topo/Parse.h"
 
 #include "support/Diag.h"
+#include "support/ParseNumber.h"
 
 #include <cctype>
 #include <vector>
@@ -18,7 +19,9 @@ struct TopoToken {
   std::size_t Offset = 0;
 };
 
-/// Tokenizer: splits on whitespace, keeps "{" and "}" as their own tokens.
+/// Tokenizer: splits on whitespace, keeps "{" and "}" as their own tokens,
+/// and skips "#" comments to end of line (corpus files carry "# EXPECT"
+/// headers, and hand-written .topo files deserve annotations).
 std::vector<TopoToken> tokenize(const std::string &Text) {
   std::vector<TopoToken> Tokens;
   std::string Current;
@@ -31,7 +34,13 @@ std::vector<TopoToken> tokenize(const std::string &Text) {
   };
   for (std::size_t I = 0, N = Text.size(); I != N; ++I) {
     char C = Text[I];
-    if (std::isspace(static_cast<unsigned char>(C))) {
+    if (C == '#') {
+      flush();
+      while (I != N && Text[I] != '\n')
+        ++I;
+      if (I == N)
+        break;
+    } else if (std::isspace(static_cast<unsigned char>(C))) {
       flush();
     } else if (C == '{' || C == '}') {
       flush();
@@ -113,6 +122,15 @@ public:
     } else if (!Tokens.empty()) {
       Offset = Tokens.back().Offset + Tokens.back().Text.size();
     }
+    return failAt(Offset, Length, Msg);
+  }
+
+  /// Renders \p Msg with the caret at an explicit source range — used for
+  /// attribute fields inside a token, where the whole-token caret would
+  /// point away from the offending text.
+  bool failAt(std::size_t Offset, unsigned Length, const std::string &Msg) {
+    if (!Error.empty())
+      return false;
     Error = renderDiag(Name, locForOffset(Source, Offset), Msg, Source,
                        Length);
     return false;
@@ -146,6 +164,57 @@ public:
   }
 
 private:
+  /// True for a trailing attribute field: "disabled" or anything of the
+  /// "key=value" shape (so "speed=abc" routes to the attribute diagnostic,
+  /// not the generic bad-cache-fields one).
+  static bool isAttrField(const std::string &S) {
+    return S == "disabled" || S.find('=') != std::string::npos;
+  }
+
+  /// Pops trailing ":speed=<pct>" / ":disabled" attribute fields off \p F,
+  /// the fields of the token at the current position. On success
+  /// \p SpeedPct holds the requested speed (100 when absent, 0 for
+  /// disabled) and \p HasAttr says whether any attribute was written.
+  bool parseSpeedAttrs(std::vector<std::string> &F, unsigned &SpeedPct,
+                       bool &HasAttr) {
+    const TopoToken &T = Tokens[Pos];
+    SpeedPct = 100;
+    HasAttr = false;
+    // Offset of each field within the token text, for positioned carets.
+    std::vector<std::size_t> FieldOffset(F.size());
+    std::size_t Off = 0;
+    for (std::size_t I = 0; I != F.size(); ++I) {
+      FieldOffset[I] = Off;
+      Off += F[I].size() + 1;
+    }
+    while (F.size() > 1 && isAttrField(F.back())) {
+      const std::string &A = F.back();
+      std::size_t AOff = T.Offset + FieldOffset[F.size() - 1];
+      unsigned ALen = static_cast<unsigned>(A.size());
+      if (HasAttr)
+        return failAt(AOff, ALen, "duplicate speed/disabled attribute in '" +
+                                      T.Text + "'");
+      if (A == "disabled") {
+        SpeedPct = 0;
+      } else if (A.rfind("speed=", 0) == 0) {
+        const std::string Val = A.substr(6);
+        std::optional<std::uint64_t> V = parseUint64(Val, 100);
+        if (!V || *V == 0)
+          return failAt(AOff, ALen,
+                        "bad speed '" + Val +
+                            "' (expected a percentage in 1..100, or "
+                            "'disabled')");
+        SpeedPct = static_cast<unsigned>(*V);
+      } else {
+        return failAt(AOff, ALen, "unknown attribute '" + A +
+                                      "' (expected speed=<pct> or disabled)");
+      }
+      HasAttr = true;
+      F.pop_back();
+    }
+    return true;
+  }
+
   /// node := cache | core. A bare "core" directly under a non-L1 parent is
   /// invalid (cores attach implicitly to L1 caches), so "core" is only
   /// consumed inside an L1's braces... but the format has no braces for
@@ -155,16 +224,30 @@ private:
   ///   * "l<k>:size:assoc:latency[:line]" followed by { children } when
   ///     k > 1, or standing alone when k == 1, and
   ///   * "core" as shorthand for "l1:32K:8:4".
+  /// Core-bearing tokens ("core" and l1 caches) additionally accept
+  /// trailing ":speed=<pct>" or ":disabled" attribute fields describing a
+  /// degraded or offline core (heterogeneous machines for the adaptive
+  /// runtime's static-vs-adaptive comparisons).
   bool parseNode(CacheTopology &Topo, unsigned Parent) {
     const std::string *Tok = peek();
     if (!Tok)
       return fail("unexpected end of input");
-    if (*Tok == "core") {
+    std::vector<std::string> F = splitFields(*Tok);
+    unsigned Speed = 100;
+    bool HasAttr = false;
+    if (F[0] == "core") {
+      if (!parseSpeedAttrs(F, Speed, HasAttr))
+        return false;
+      if (F.size() != 1)
+        return fail("expected 'core[:speed=<pct>|:disabled]', got '" + *Tok +
+                    "'");
       ++Pos;
-      Topo.addCache(Parent, 1, {32 * 1024, 8, 64, 4});
+      unsigned Id = Topo.addCache(Parent, 1, {32 * 1024, 8, 64, 4});
+      Topo.setNodeSpeed(Id, Speed);
       return true;
     }
-    std::vector<std::string> F = splitFields(*Tok);
+    if (!parseSpeedAttrs(F, Speed, HasAttr))
+      return false;
     if (F.size() < 4 || F.size() > 5 || F[0].size() < 2 || F[0][0] != 'l')
       return fail("expected cache 'l<k>:size:assoc:latency' or 'core', got "
                   "'" +
@@ -178,14 +261,20 @@ private:
       return fail("bad cache fields in '" + *Tok + "'");
     if (F.size() == 5 && !parseSize(F[4], Line))
       return fail("bad line size in '" + *Tok + "'");
+    if (HasAttr && Level != 1)
+      return fail("speed/disabled attributes only apply to cores (L1 "
+                  "caches), not to l" +
+                  std::to_string(Level));
     ++Pos;
 
     unsigned Id = Topo.addCache(Parent, static_cast<unsigned>(Level),
                                 {Size, static_cast<unsigned>(Assoc),
                                  static_cast<unsigned>(Line),
                                  static_cast<unsigned>(Latency)});
-    if (Level == 1)
+    if (Level == 1) {
+      Topo.setNodeSpeed(Id, Speed);
       return true; // leaf; core attaches at finalize
+    }
 
     const std::string *Open = peek();
     if (!Open || *Open != "{")
@@ -268,6 +357,10 @@ std::string cta::printTopology(const CacheTopology &Topo) {
     if (N.Params.LineSize != 64)
       Out += ":" + std::to_string(N.Params.LineSize);
     if (N.Children.empty()) {
+      if (N.SpeedPercent == 0)
+        Out += ":disabled";
+      else if (N.SpeedPercent != 100)
+        Out += ":speed=" + std::to_string(N.SpeedPercent);
       Out += "\n";
       continue;
     }

@@ -64,6 +64,20 @@ void CacheTopology::finalize() {
   Finalized = true;
 }
 
+bool CacheTopology::uniformSpeed() const {
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    if (Nodes[Id].Core >= 0 && Nodes[Id].SpeedPercent != 100)
+      return false;
+  return true;
+}
+
+bool CacheTopology::hasDisabledCores() const {
+  for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
+    if (Nodes[Id].Core >= 0 && Nodes[Id].SpeedPercent == 0)
+      return true;
+  return false;
+}
+
 std::vector<unsigned> CacheTopology::cacheLevels() const {
   std::vector<unsigned> Levels;
   for (unsigned Id = 1, E = Nodes.size(); Id != E; ++Id)
@@ -164,6 +178,7 @@ CacheTopology CacheTopology::keepLevelsUpTo(unsigned MaxLevel) const {
     }
     unsigned Parent = NewId[static_cast<unsigned>(N.Parent)];
     NewId[Id] = Out.addCache(Parent, N.Level, N.Params);
+    Out.Nodes[NewId[Id]].SpeedPercent = N.SpeedPercent;
   }
   Out.finalize();
   return Out;
@@ -190,8 +205,14 @@ std::string CacheTopology::str() const {
              formatByteSize(N.Params.SizeBytes) + " " +
              std::to_string(N.Params.Assoc) + "-way, " +
              std::to_string(N.Params.LatencyCycles) + " cycles";
-      if (N.Core >= 0)
-        Out += " [core " + std::to_string(N.Core) + "]";
+      if (N.Core >= 0) {
+        Out += " [core " + std::to_string(N.Core);
+        if (N.SpeedPercent == 0)
+          Out += ", disabled";
+        else if (N.SpeedPercent != 100)
+          Out += ", speed " + std::to_string(N.SpeedPercent) + "%";
+        Out += "]";
+      }
       Out += "\n";
     }
     for (unsigned C = N.Children.size(); C-- > 0;)

@@ -54,6 +54,9 @@ public:
     CacheParams Params{}; // for the memory root only LatencyCycles is used
     std::vector<unsigned> Cores; // cores served (filled by finalize)
     int Core = -1;               // owning core for L1 nodes, else -1
+    /// Relative core speed for L1 nodes: 100 = nominal, 50 = half speed,
+    /// 0 = disabled (the core accepts no work). Ignored on interior nodes.
+    unsigned SpeedPercent = 100;
   };
 
 private:
@@ -96,6 +99,33 @@ public:
     assert(Finalized && Core < CoreToL1.size() && "bad core id");
     return CoreToL1[Core];
   }
+
+  /// Relative speed of \p Core (100 = nominal, 0 = disabled).
+  unsigned coreSpeedPercent(unsigned Core) const {
+    return Nodes[l1Of(Core)].SpeedPercent;
+  }
+
+  /// Sets core \p Core's relative speed (0 disables it). Requires
+  /// finalize() to have run so the core→L1 map exists.
+  void setCoreSpeed(unsigned Core, unsigned Pct) {
+    assert(Pct <= 100 && "speed is a percentage of nominal");
+    Nodes[CoreToL1[Core]].SpeedPercent = Pct;
+  }
+
+  /// Sets the speed attribute on an existing node by node id. Unlike
+  /// setCoreSpeed this works before finalize(); the parser uses it while
+  /// the core→L1 map does not exist yet.
+  void setNodeSpeed(unsigned Id, unsigned Pct) {
+    assert(Id < Nodes.size() && Pct <= 100 && "bad node or speed");
+    Nodes[Id].SpeedPercent = Pct;
+  }
+
+  /// True when every core runs at nominal speed (no degraded or disabled
+  /// cores). Uniform topologies take the unchanged fast paths everywhere.
+  bool uniformSpeed() const;
+
+  /// True when at least one core has SpeedPercent == 0.
+  bool hasDisabledCores() const;
 
   /// Sorted, distinct cache levels present (e.g. {1,2,3}).
   std::vector<unsigned> cacheLevels() const;

@@ -144,18 +144,20 @@ fingerprintWithVersion(std::uint64_t Version, const Program &Prog,
 }
 
 TEST(FingerprintTest, FormatVersionSaltMovesEveryKey) {
-  // The sim/ tracing layer bumped RunCacheFormatVersion from 4 to 5 (keys
-  // gain a trailing traced flag, phase records gain a start time), so
-  // entries produced by older engines can never be served. Keys minted
+  // The runtime/ adaptive layer bumped RunCacheFormatVersion from 5 to 6
+  // (topology nodes hash a per-core speed, options hash AdaptInterval),
+  // so entries produced by older engines can never be served. Keys minted
   // under any old salt must not collide with current keys.
   Program Prog = makeWorkload("cg");
   CacheTopology Topo = makeDunnington().scaledCapacity(1.0 / 32);
   MappingOptions Opts;
 
-  ASSERT_EQ(RunCacheFormatVersion, 5u);
+  ASSERT_EQ(RunCacheFormatVersion, 6u);
   std::uint64_t Current =
       runFingerprint(Prog, Topo, nullptr, Strategy::TopologyAware, Opts);
-  EXPECT_EQ(Current, fingerprintWithVersion(5, Prog, Topo,
+  EXPECT_EQ(Current, fingerprintWithVersion(6, Prog, Topo,
+                                            Strategy::TopologyAware, Opts));
+  EXPECT_NE(Current, fingerprintWithVersion(5, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
   EXPECT_NE(Current, fingerprintWithVersion(4, Prog, Topo,
                                             Strategy::TopologyAware, Opts));
@@ -711,6 +713,54 @@ TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkerShardSize) {
   const char *Missing[] = {"bench", "--worker-shard-size"};
   EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)),
                "--worker-shard-size");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedAdaptInterval) {
+  // Same strict-decimal contract as --jobs / --workers.
+  const char *Suffix[] = {"bench", "--adapt-interval=4x"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Suffix)),
+               "--adapt-interval");
+  const char *Garbage[] = {"bench", "--adapt-interval=often"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Garbage)),
+               "--adapt-interval");
+  const char *Negative[] = {"bench", "--adapt-interval=-2"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Negative)),
+               "--adapt-interval");
+  const char *Missing[] = {"bench", "--adapt-interval"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)),
+               "--adapt-interval");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsUnknownAdaptPolicy) {
+  const char *Unknown[] = {"bench", "--adapt-policy=fast"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Unknown)),
+               "--adapt-policy");
+  // Full strategy names are not policy names; the flag is a shorthand.
+  const char *Full[] = {"bench", "--adapt-policy=adaptive-greedy"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Full)),
+               "--adapt-policy");
+  const char *Missing[] = {"bench", "--adapt-policy"};
+  EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)),
+               "--adapt-policy");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedAdaptEnv) {
+  const char *Argv[] = {"bench"};
+  ::setenv("CTA_ADAPT_INTERVAL", "4x", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)),
+               "CTA_ADAPT_INTERVAL");
+  ::unsetenv("CTA_ADAPT_INTERVAL");
+  ::setenv("CTA_ADAPT_POLICY", "fast", 1);
+  EXPECT_DEATH(parseExecArgs(1, const_cast<char **>(Argv)),
+               "CTA_ADAPT_POLICY");
+  ::unsetenv("CTA_ADAPT_POLICY");
+}
+
+TEST(ExperimentRunnerTest, ParsesAdaptFlags) {
+  const char *Argv[] = {"bench", "--adapt-interval=9", "--adapt-policy", "mw"};
+  ExecConfig C = parseExecArgs(4, const_cast<char **>(Argv));
+  EXPECT_EQ(C.AdaptInterval, 9u);
+  EXPECT_EQ(C.AdaptPolicy, "mw");
 }
 
 TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkersEnv) {

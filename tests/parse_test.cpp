@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 using namespace cta;
 
 TEST(Parse, MinimalMachine) {
@@ -116,4 +120,140 @@ TEST(Parse, PresetRoundTrips) {
     EXPECT_EQ(Re->numCores(), P.numCores()) << Name;
     EXPECT_EQ(Re->totalCacheBytes(), P.totalCacheBytes()) << Name;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-core speed/disabled attributes (heterogeneous machines)
+//===----------------------------------------------------------------------===//
+
+TEST(Parse, CoreSpeedAttribute) {
+  auto T = parseTopology("s", "mem:50 l2:64K:8:10 { core:speed=50 core }");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->coreSpeedPercent(0), 50u);
+  EXPECT_EQ(T->coreSpeedPercent(1), 100u);
+  EXPECT_FALSE(T->uniformSpeed());
+  EXPECT_FALSE(T->hasDisabledCores());
+}
+
+TEST(Parse, CoreDisabledAttribute) {
+  auto T = parseTopology("s", "mem:50 l2:64K:8:10 { core:disabled core }");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->coreSpeedPercent(0), 0u);
+  EXPECT_TRUE(T->hasDisabledCores());
+  EXPECT_FALSE(T->uniformSpeed());
+}
+
+TEST(Parse, ExplicitL1SpeedAttribute) {
+  // The attribute rides after the optional line size on explicit L1s.
+  auto T = parseTopology("s", "mem:50 l2:64K:8:10 { l1:4K:4:2:128:speed=75 "
+                              "l1:4K:4:2:disabled }");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->node(T->l1Of(0)).Params.LineSize, 128u);
+  EXPECT_EQ(T->coreSpeedPercent(0), 75u);
+  EXPECT_EQ(T->coreSpeedPercent(1), 0u);
+}
+
+TEST(Parse, UniformMachineHasUniformSpeed) {
+  auto T = parseTopology("s", "mem:50 l2:64K:8:10 { core core:speed=100 }");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_TRUE(T->uniformSpeed());
+}
+
+TEST(Parse, CommentsAreSkipped) {
+  auto T = parseTopology("s", "# a banner comment\n"
+                              "mem:50 # trailing latency note\n"
+                              "l2:64K:8:10 { core core } # tail\n"
+                              "# a closing comment with no newline");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->numCores(), 2u);
+  EXPECT_EQ(T->memoryLatency(), 50u);
+}
+
+TEST(Parse, SpeedAttributeErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseTopology("bad", "mem:100 l2:64K:8:10 { core:speed=0 "
+                             "core }", &Err)
+                   .has_value());
+  EXPECT_EQ(Err,
+            "bad:1:28: error: bad speed '0' (expected a percentage in "
+            "1..100, or 'disabled')\n"
+            "  mem:100 l2:64K:8:10 { core:speed=0 core }\n"
+            "                             ^~~~~~~");
+
+  Err.clear();
+  EXPECT_FALSE(parseTopology("bad", "mem:100 l2:64K:8:10 { core:speed=abc "
+                             "core }", &Err)
+                   .has_value());
+  EXPECT_NE(Err.find("bad speed 'abc'"), std::string::npos) << Err;
+
+  Err.clear();
+  EXPECT_FALSE(parseTopology("bad", "mem:100 l2:64K:8:10 { core:turbo=2 "
+                             "core }", &Err)
+                   .has_value());
+  EXPECT_EQ(Err.substr(0, Err.find('\n')),
+            "bad:1:28: error: unknown attribute 'turbo=2' (expected "
+            "speed=<pct> or disabled)");
+
+  Err.clear();
+  EXPECT_FALSE(
+      parseTopology("bad",
+                    "mem:100 l2:64K:8:10:speed=50 { core core }", &Err)
+          .has_value());
+  EXPECT_EQ(Err.substr(0, Err.find('\n')),
+            "bad:1:9: error: speed/disabled attributes only apply to cores "
+            "(L1 caches), not to l2");
+}
+
+TEST(Parse, SpeedAttributesRoundTripThroughPrint) {
+  auto T = parseTopology("rt", R"(
+    mem:120
+    l3:12M:16:36 {
+      l2:3M:12:10 { core:speed=50 core:disabled }
+      l2:3M:12:10 { l1:16K:4:3:speed=25 l1:16K:4:3 }
+    }
+  )");
+  ASSERT_TRUE(T.has_value());
+  std::string Text = printTopology(*T);
+  auto U = parseTopology("rt2", Text);
+  ASSERT_TRUE(U.has_value()) << Text;
+  EXPECT_EQ(U->coreSpeedPercent(0), 50u);
+  EXPECT_EQ(U->coreSpeedPercent(1), 0u);
+  EXPECT_EQ(U->coreSpeedPercent(2), 25u);
+  EXPECT_EQ(U->coreSpeedPercent(3), 100u);
+  EXPECT_EQ(printTopology(*U), Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input corpus: exact diagnostics, no crashes
+//===----------------------------------------------------------------------===//
+
+// Every corpus file carries its expected diagnostic (sans file label) on
+// the first line: "# EXPECT: <line>:<col>: error: <message>". The same
+// files run through `cta check --topo` under ASan+UBSan in CI.
+TEST(ParseCorpus, ExactDiagnostics) {
+  std::filesystem::path Dir =
+      std::filesystem::path(CTA_SOURCE_DIR) / "tests" / "corpus" / "topo";
+  ASSERT_TRUE(std::filesystem::is_directory(Dir));
+  unsigned Checked = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".topo")
+      continue;
+    std::ifstream In(Entry.path(), std::ios::binary);
+    ASSERT_TRUE(In.good()) << Entry.path();
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Text = SS.str();
+    const std::string Marker = "# EXPECT: ";
+    ASSERT_EQ(Text.rfind(Marker, 0), 0u) << Entry.path();
+    std::string Expected =
+        Text.substr(Marker.size(), Text.find('\n') - Marker.size());
+    std::string Label = Entry.path().filename().string();
+    std::string Err;
+    EXPECT_FALSE(parseTopology(Label, Text, &Err).has_value())
+        << Entry.path();
+    EXPECT_EQ(Err.substr(0, Err.find('\n')), Label + ":" + Expected)
+        << Entry.path();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 5u);
 }

@@ -98,8 +98,13 @@ const char *UsageText =
     "                   repeatable — the workload runs on each machine\n"
     "  --runs-on M      execute the mapping on a different machine than it\n"
     "                   was compiled for (cross-machine porting)\n"
-    "  --strategy S     base | base+ | local | topology-aware | combined\n"
+    "  --strategy S     base | base+ | local | topology-aware | combined |\n"
+    "                   adaptive-greedy | adaptive-mw\n"
     "                   (default topology-aware)\n"
+    "  --adapt-policy P greedy | mw: shorthand for the matching adaptive\n"
+    "                   strategy (conflicts with a different --strategy)\n"
+    "  --adapt-interval N   groups each core retires between adaptive remap\n"
+    "                   commit points (default 4; adaptive strategies only)\n"
     "  --scale F        cache-capacity scale factor (default 0.03125, the\n"
     "                   1/32 regime every bench uses; 1 = full size)\n"
     "  --alpha X        horizontal-reuse weight (combined strategy)\n"
@@ -177,6 +182,10 @@ std::optional<Strategy> parseStrategy(std::string Name) {
     return Strategy::TopologyAware;
   if (Name == "combined")
     return Strategy::Combined;
+  if (Name == "adaptive-greedy" || Name == "adaptivegreedy")
+    return Strategy::AdaptiveGreedy;
+  if (Name == "adaptive-mw" || Name == "adaptivemw")
+    return Strategy::AdaptiveMW;
   return std::nullopt;
 }
 
@@ -234,7 +243,8 @@ int runList() {
   }
   std::printf("\nstrategies (usable as `--strategy <name>`):\n");
   for (Strategy S : {Strategy::Base, Strategy::BasePlus, Strategy::Local,
-                     Strategy::TopologyAware, Strategy::Combined})
+                     Strategy::TopologyAware, Strategy::Combined,
+                     Strategy::AdaptiveGreedy, Strategy::AdaptiveMW})
     std::printf("  %-14s %s\n", strategyName(S), strategyDescription(S));
   std::printf(
       "\nsimulator engines (selected with `--sim-threads N`):\n"
@@ -246,12 +256,19 @@ int runList() {
       "                 bit-identical cycles and statistics to sequential\n"
       "\n"
       "  eligible: barrier-synchronized and free-running schedules — every\n"
-      "  strategy above on every multi-core machine/topology. Runs fall\n"
-      "  back to the sequential engine automatically when the schedule\n"
+      "  static strategy above on every multi-core machine/topology. Runs\n"
+      "  fall back to the sequential engine automatically when the schedule\n"
       "  uses point-to-point dependence synchronization (workloads marked\n"
       "  \"loop-carried dependences\" under some strategies), when event\n"
       "  tracing is on (`cta trace` / --emit-trace need the global event\n"
-      "  order), or when the machine has a single core.\n");
+      "  order), when the machine has a single core, when any core declares\n"
+      "  a speed/disabled attribute (heterogeneous timing breaks the epoch\n"
+      "  partition), or when the strategy is adaptive: adaptive-greedy and\n"
+      "  adaptive-mw remap iteration groups at round boundaries from\n"
+      "  observed cache feedback, which needs the sequential engine's\n"
+      "  global event order (exactly like tracing). Adaptive runs stay\n"
+      "  deterministic — byte-identical artifacts at every --jobs and\n"
+      "  --workers count.\n");
   return 0;
 }
 
@@ -312,14 +329,16 @@ bool isExecFlag(int argc, char **argv, int &I) {
   const char *Arg = argv[I];
   for (const char *Prefix :
        {"--jobs=", "--sim-threads=", "--workers=", "--worker-shard-size=",
-        "--cache-dir=", "--emit-json="})
+        "--cache-dir=", "--emit-json=", "--adapt-interval=",
+        "--adapt-policy="})
     if (std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0)
       return true;
   if (std::strcmp(Arg, "--no-timing") == 0)
     return true;
   for (const char *Flag : {"--jobs", "--sim-threads", "--workers",
                            "--worker-shard-size", "--cache-dir",
-                           "--emit-json"})
+                           "--emit-json", "--adapt-interval",
+                           "--adapt-policy"})
     if (std::strcmp(Arg, Flag) == 0) {
       if (I + 1 >= argc)
         usageError(std::string(Flag) + " needs a value");
@@ -394,6 +413,7 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
   std::vector<std::string> MachineSpecs;
   std::string RunsOnSpec;
   Strategy Strat = Strategy::TopologyAware;
+  bool StratExplicit = false;
   double Scale = 1.0 / 32;
   MappingOptions Opts = ExperimentConfig::makeDefaultOptions();
   bool EmitCode = false;
@@ -417,6 +437,7 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
       if (!S)
         usageError("unknown strategy '" + Name + "'");
       Strat = *S;
+      StratExplicit = true;
     } else if (Arg == "--scale") {
       Scale = parseDoubleOrDie("--scale", value("--scale"));
       if (!(Scale > 0.0))
@@ -461,6 +482,16 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
   WorkloadInput Input = loadWorkload(WorkloadSpec);
   ExecConfig Config = parseExecArgs(argc, argv);
   Config.BenchName = "cta";
+  if (Config.AdaptInterval != 0)
+    Opts.AdaptInterval = Config.AdaptInterval;
+  if (!Config.AdaptPolicy.empty()) {
+    Strategy Wanted = Config.AdaptPolicy == "mw" ? Strategy::AdaptiveMW
+                                                 : Strategy::AdaptiveGreedy;
+    if (StratExplicit && Strat != Wanted)
+      usageError("--adapt-policy " + Config.AdaptPolicy +
+                 " conflicts with --strategy " + strategyName(Strat));
+    Strat = Wanted;
+  }
 
   // Same signal path as the daemon: SIGINT/SIGTERM let in-flight
   // simulations finish (the RunCache never sees a partial entry), skip
