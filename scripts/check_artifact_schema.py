@@ -34,6 +34,15 @@ Validates several document kinds, dispatched on shape:
    and the runtime.adapt.* counters. Static strategies must report
    zero adaptive telemetry; adaptive strategies must report either
    remap rounds or a fallback, never neither.
+ * cta-serve-stats-v1 — one live telemetry snapshot (a stats frame from
+   the daemon's Unix socket, also what /metrics renders): monotonic
+   counters, gauges, and log-bucketed histograms whose bucket counts
+   must reconcile with the reported count.
+ * cta-serve-event-v1 — the --log-json structured event log. A file of
+   JSON lines (one object per request/shard lifecycle transition) is
+   accepted as well as a single-object file; every line must carry the
+   schema tag, an epoch timestamp, a pid and a known event name, with
+   trace/span ids as 16-char lowercase hex.
 
 --canon prints a canonicalized cta-bench-artifact-v1 to stdout instead
 of validating: timing, RSS, host-dependent knobs (jobs, process
@@ -385,6 +394,27 @@ def check_serve_bench(doc, path):
         if all(isinstance(q, (int, float)) for q in quantiles):
             if quantiles != sorted(quantiles):
                 err(lpath, "latency quantiles are not monotone")
+    # The server-attributed split (one sample per ok response, echoed in
+    # cta-serve-resp-v1): present on reports from daemons new enough to
+    # attribute latency, always well-formed when present.
+    for key in ("server_queue_seconds", "server_service_seconds"):
+        split = doc.get(key)
+        if split is None:
+            continue
+        spath = f"{path}.{key}"
+        if not isinstance(split, dict):
+            err(spath, "latency split is not an object")
+            continue
+        expect_keys(
+            split,
+            {"mean": (int, float), "p50": (int, float), "p99": (int, float),
+             "max": (int, float)},
+            spath,
+        )
+        quantiles = [split.get(k, 0) for k in ("p50", "p99", "max")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if quantiles != sorted(quantiles):
+                err(spath, "latency split quantiles are not monotone")
 
 
 def check_topology(topo, path):
@@ -444,6 +474,10 @@ def check_worker_shard(doc, path):
         if not key or len(key) > 16 or \
                 any(c not in "0123456789abcdef" for c in key):
             err(tpath, f"key is not a lowercase hex fingerprint: {key!r}")
+        # Optional span identity (present only on telemetry-tracked tasks;
+        # untraced frames stay byte-identical to the pre-telemetry wire).
+        for id_key in ("trace_id", "span_id"):
+            check_telemetry_hex_id(task, id_key, tpath)
         if not str(task.get("source_hash", "")).isdigit():
             err(tpath, "source_hash is not a decimal string")
         if isinstance(task.get("machine"), dict):
@@ -541,6 +575,145 @@ def check_worker_done(doc, path):
             "'error'")
     if has_artifact:
         check_bench(doc["artifact"], f"{path}.artifact")
+    # Worker-side telemetry events ride home as preformatted
+    # cta-serve-event-v1 lines; each must be a valid event on its own.
+    if "events" in doc:
+        if not isinstance(doc["events"], list):
+            err(path, "'events' is not an array")
+        else:
+            for i, line in enumerate(doc["events"]):
+                epath = f"{path}.events[{i}]"
+                if not isinstance(line, str):
+                    err(epath, "event entry is not a string")
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as e:
+                    err(epath, f"event line is not JSON: {e}")
+                    continue
+                check_serve_event(event, epath)
+
+
+def check_telemetry_hex_id(obj, key, path):
+    value = obj.get(key)
+    if value is None:
+        return
+    if not isinstance(value, str) or len(value) != 16 or \
+            any(c not in "0123456789abcdef" for c in value):
+        err(path, f"'{key}' is not 16 lowercase hex chars: {value!r}")
+
+
+EVENT_NAMES = ("admitted", "coalesced", "shed", "dispatched", "completed",
+               "shard_dispatched", "shard_stolen", "shard_retried",
+               "shard_completed", "task_completed")
+
+
+def check_serve_event(doc, path):
+    """One cta-serve-event-v1 line: a lifecycle transition."""
+    if not isinstance(doc, dict):
+        err(path, "event is not an object")
+        return
+    expect_keys(
+        doc,
+        {"schema": str, "ts": (int, float), "pid": int, "event": str},
+        path,
+    )
+    if doc.get("schema") != "cta-serve-event-v1":
+        err(path, f"unexpected event schema {doc.get('schema')!r}")
+    if doc.get("event") not in EVENT_NAMES:
+        err(path, f"unknown event name {doc.get('event')!r}")
+    if isinstance(doc.get("ts"), (int, float)) and doc["ts"] <= 0:
+        err(path, "ts is not a positive epoch timestamp")
+    for key in ("trace_id", "span_id", "parent_span_id"):
+        check_telemetry_hex_id(doc, key, path)
+    # A parent span without a span (or a span without a trace) cannot be
+    # stitched into any tree.
+    if "parent_span_id" in doc and "span_id" not in doc:
+        err(path, "parent_span_id without a span_id")
+    if "span_id" in doc and "trace_id" not in doc:
+        err(path, "span_id without a trace_id")
+    for key, types in (("id", str), ("client", str), ("detail", str),
+                       ("shard", int), ("worker", int),
+                       ("seconds", (int, float))):
+        if key in doc and not isinstance(doc[key], types):
+            err(path, f"'{key}' has type {type(doc[key]).__name__}")
+    if isinstance(doc.get("seconds"), (int, float)) and doc["seconds"] < 0:
+        err(path, "seconds is negative")
+
+
+def check_histogram_snapshot(hist, path):
+    expect_keys(
+        hist,
+        {"unit": str, "scale": (int, float), "count": int,
+         "sum": (int, float), "buckets": list},
+        path,
+    )
+    bucket_total = 0
+    prev_le = None
+    for i, bucket in enumerate(hist.get("buckets", [])):
+        bpath = f"{path}.buckets[{i}]"
+        if not isinstance(bucket, dict):
+            err(bpath, "bucket is not an object")
+            continue
+        expect_keys(bucket, {"le": (int, float, str), "count": int}, bpath)
+        le = bucket.get("le")
+        if isinstance(le, str) and le != "inf":
+            err(bpath, f"string bound must be 'inf', got {le!r}")
+        if isinstance(le, (int, float)):
+            if prev_le is not None and le <= prev_le:
+                err(bpath, "bucket bounds are not increasing")
+            prev_le = le
+        if isinstance(bucket.get("count"), int):
+            if bucket["count"] <= 0:
+                err(bpath, "empty buckets must be elided")
+            else:
+                bucket_total += bucket["count"]
+    if isinstance(hist.get("count"), int) and bucket_total != hist["count"]:
+        err(path, f"bucket counts sum to {bucket_total} != count "
+            f"{hist.get('count')}")
+
+
+def check_serve_stats(doc, path):
+    expect_keys(
+        doc,
+        {
+            "schema": str,
+            "uptime_seconds": (int, float),
+            "rss_kb": int,
+            "counters": dict,
+            "gauges": dict,
+            "histograms": dict,
+        },
+        path,
+    )
+    if isinstance(doc.get("uptime_seconds"), (int, float)) and \
+            doc["uptime_seconds"] < 0:
+        err(path, "uptime_seconds is negative")
+    check_counters(doc.get("counters", {}), f"{path}.counters")
+    gauges = doc.get("gauges", {})
+    if isinstance(gauges, dict):
+        for name, value in gauges.items():
+            if not isinstance(value, (int, float)):
+                err(f"{path}.gauges", f"gauge '{name}' is not a number")
+    hists = doc.get("histograms", {})
+    if isinstance(hists, dict):
+        for name, hist in hists.items():
+            hpath = f"{path}.histograms[{name}]"
+            if not isinstance(hist, dict):
+                err(hpath, "histogram is not an object")
+                continue
+            check_histogram_snapshot(hist, hpath)
+    # Every serve tier counter pairs with its latency histogram (both are
+    # derived from the same LogHistogram, so one without the other means
+    # the snapshot assembler dropped half the family).
+    counters = doc.get("counters", {})
+    if isinstance(counters, dict) and isinstance(hists, dict):
+        for name, value in counters.items():
+            if name.startswith("serve.tier.") and value > 0:
+                tier = name[len("serve.tier."):]
+                if f"serve.latency.{tier}" not in hists:
+                    err(path, f"counter '{name}' has no matching "
+                        f"serve.latency.{tier} histogram")
 
 
 CANON_RUN_DROP = ("mapping_seconds", "phases")
@@ -599,9 +772,26 @@ def main(argv):
     for file in files:
         try:
             with open(file, "r", encoding="utf-8") as f:
-                doc = json.load(f)
-        except (OSError, json.JSONDecodeError) as e:
-            err(file, f"unreadable or invalid JSON: {e}")
+                text = f.read()
+        except OSError as e:
+            err(file, f"unreadable: {e}")
+            continue
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            # Not one document: accept a cta-serve-event-v1 JSON-lines log.
+            lines = [l for l in text.splitlines() if l.strip()]
+            if lines and all(l.lstrip().startswith("{") for l in lines):
+                for i, line in enumerate(lines):
+                    lpath = f"{file}:{i + 1}"
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError as le:
+                        err(lpath, f"invalid JSON line: {le}")
+                        continue
+                    check_serve_event(event, lpath)
+            else:
+                err(file, f"unreadable or invalid JSON: {e}")
             continue
         if canon_mode:
             canon = canonicalize(doc, file)
@@ -624,6 +814,12 @@ def main(argv):
         elif isinstance(doc, dict) and \
                 doc.get("schema") == "cta-adaptive-bench-v1":
             check_adaptive_bench(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-serve-stats-v1":
+            check_serve_stats(doc, file)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "cta-serve-event-v1":
+            check_serve_event(doc, file)
         else:
             check_bench(doc, file)
     for line in ERRORS:

@@ -88,6 +88,16 @@ def compare_serve(base, fresh, max_regress):
             f"vs fresh {fresh.get('cache_status')} — warm serving broke "
             "before throughput did")
 
+    # The server-attributed latency split (telemetry plane): reported
+    # informationally when both files carry it but never gated —
+    # queue/service attribution shifts are interesting, not actionable.
+    for key in ("server_queue_seconds", "server_service_seconds"):
+        b, f = base.get(key), fresh.get(key)
+        if isinstance(b, dict) and isinstance(f, dict):
+            print(f"compare_bench:   {key}: mean "
+                  f"{b.get('mean', 0.0):.6f}s -> {f.get('mean', 0.0):.6f}s, "
+                  f"p99 {b.get('p99', 0.0):.6f}s -> {f.get('p99', 0.0):.6f}s")
+
     base_rps = base.get("requests_per_second")
     fresh_rps = fresh.get("requests_per_second")
     if not isinstance(base_rps, (int, float)) or base_rps <= 0:

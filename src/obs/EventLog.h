@@ -1,0 +1,110 @@
+//===- obs/EventLog.h - Request-scoped structured event log ----*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's structured event log: one JSON line (cta-serve-event-v1)
+/// per request/shard lifecycle transition — admitted, coalesced, shed,
+/// dispatched, stolen, retried, completed — so a single slow request is
+/// explainable after the fact without attaching a debugger to a live
+/// fleet.
+///
+/// Every request gets a trace_id (one per request tree) and a span_id
+/// (one per unit of work inside the tree); worker-side events carry the
+/// parent's trace_id and name their parent span, so the lines for one
+/// request assemble into a span tree that crosses process boundaries.
+/// The ids travel inside cta-worker-shard-v1 frames (serve/Worker.cpp);
+/// the worker returns its events in the done frame and the parent appends
+/// them here, which keeps the log a single ordered file per daemon.
+///
+/// Timestamps are wall-clock epoch seconds (system_clock): unlike the
+/// process-monotonic base run artifacts use, epoch time is comparable
+/// across the parent and its workers. The log is strictly opt-in
+/// (--log-json=FILE); a null EventLog* costs one branch per call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_OBS_EVENTLOG_H
+#define CTA_OBS_EVENTLOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cta::obs {
+
+/// One lifecycle transition. Fields that do not apply stay at their
+/// defaults and are elided from the JSON line.
+struct Event {
+  /// "admitted", "coalesced", "shed", "dispatched", "completed",
+  /// "shard_dispatched", "shard_stolen", "shard_retried",
+  /// "shard_completed", "task_completed", ...
+  std::string Name;
+  std::uint64_t TraceId = 0;
+  std::uint64_t SpanId = 0;
+  std::uint64_t ParentSpanId = 0;
+  /// Request id / client name as the request stated them.
+  std::string Id;
+  std::string Client;
+  /// Free-form qualifier: the serve tier ("warm", "miss"...), an error
+  /// kind, a task label.
+  std::string Detail;
+  std::int64_t Shard = -1;   ///< Shard number; -1 = not a shard event.
+  std::int64_t Worker = -1;  ///< Worker index; -1 = not worker-bound.
+  double Seconds = -1.0;     ///< Span duration; < 0 = not a closing event.
+};
+
+/// Thread-safe append-only JSON-lines writer. Lines are flushed per
+/// append so a crashed daemon still leaves a complete prefix.
+class EventLog {
+public:
+  ~EventLog();
+
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// Opens \p Path for appending. Returns null and fills \p Err when the
+  /// path is not writable.
+  static std::unique_ptr<EventLog> open(const std::string &Path,
+                                        std::string *Err = nullptr);
+
+  /// Appends one event as a cta-serve-event-v1 line.
+  void log(const Event &E);
+
+  /// Appends a preformed JSON object line verbatim (worker-side events
+  /// forwarded through done frames). The caller guarantees \p Line is one
+  /// valid JSON object without a trailing newline.
+  void logLine(const std::string &Line);
+
+  const std::string &path() const { return Path; }
+
+  /// Renders \p E as its JSON line (no trailing newline) — the exact
+  /// bytes log() appends, also used by workers to pack events into done
+  /// frames. \p Pid stamps the producing process.
+  static std::string formatLine(const Event &E, std::int64_t Pid);
+
+private:
+  EventLog(std::FILE *File, std::string Path)
+      : File(File), Path(std::move(Path)) {}
+
+  std::mutex Mutex;
+  std::FILE *File = nullptr;
+  std::string Path;
+};
+
+/// Mints a fresh id for a new trace or span: unique within a fleet with
+/// overwhelming probability (process nonce + pid + sequence hashed), never
+/// zero. Not deterministic — ids exist only in the opt-in event log and
+/// stats plane, never in run artifacts.
+std::uint64_t mintTelemetryId();
+
+/// Lowercase 16-hex rendering shared by every id field.
+std::string telemetryIdHex(std::uint64_t Id);
+
+} // namespace cta::obs
+
+#endif // CTA_OBS_EVENTLOG_H

@@ -1,0 +1,215 @@
+//===- obs/Telemetry.cpp - Live fleet telemetry snapshots -----------------===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cta::obs {
+
+std::size_t LogHistogram::bucketFor(std::uint64_t Value) {
+  // Smallest I with Value <= 2^I: the bit width of Value - 1 (0 and 1
+  // both land in bucket 0, "le 1").
+  if (Value <= 1)
+    return 0;
+  std::size_t I = 0;
+  for (std::uint64_t V = Value - 1; V != 0; V >>= 1)
+    ++I;
+  return I < NumBuckets - 1 ? I : NumBuckets - 1;
+}
+
+HistogramSnapshot LogHistogram::snapshot(const std::string &Unit,
+                                         double Scale) const {
+  HistogramSnapshot S;
+  S.Unit = Unit;
+  S.Scale = Scale;
+  S.Buckets.resize(NumBuckets);
+  for (std::size_t I = 0; I != NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.RawSum = Sum.load(std::memory_order_relaxed);
+  return S;
+}
+
+double HistogramSnapshot::upperBound(std::size_t I) const {
+  if (I + 1 >= Buckets.size())
+    return std::numeric_limits<double>::infinity();
+  return static_cast<double>(std::uint64_t{1} << I) * Scale;
+}
+
+double HistogramSnapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0.0;
+  // Percentiles rank the counts the buckets actually hold, which under a
+  // concurrent snapshot may not sum to the (separately loaded) Count.
+  std::uint64_t Total = 0;
+  for (std::uint64_t B : Buckets)
+    Total += B;
+  if (Total == 0)
+    return 0.0;
+  const double Want = P * static_cast<double>(Total);
+  std::uint64_t Cumulative = 0;
+  for (std::size_t I = 0; I != Buckets.size(); ++I) {
+    Cumulative += Buckets[I];
+    if (static_cast<double>(Cumulative) >= Want)
+      return upperBound(I);
+  }
+  return upperBound(Buckets.size() - 1);
+}
+
+/// Writes one histogram as {"unit":...,"scale":...,"count":N,"sum":S,
+/// "buckets":[{"le":bound,"count":N}...]}; empty buckets are elided (the
+/// bucket grid is fixed, so consumers reconstruct it from "le"), and the
+/// overflow bucket's bound renders as the string "inf" (JSON has no
+/// Infinity literal).
+static void writeHistogram(JsonWriter &W, const HistogramSnapshot &H) {
+  W.beginObject();
+  W.key("unit");
+  W.value(H.Unit);
+  W.key("scale");
+  W.value(H.Scale);
+  W.key("count");
+  W.value(H.Count);
+  W.key("sum");
+  W.value(H.sum());
+  W.key("buckets");
+  W.beginArray();
+  for (std::size_t I = 0; I != H.Buckets.size(); ++I) {
+    if (H.Buckets[I] == 0)
+      continue;
+    W.beginObject();
+    W.key("le");
+    if (I + 1 == H.Buckets.size())
+      W.value("inf");
+    else
+      W.value(H.upperBound(I));
+    W.key("count");
+    W.value(H.Buckets[I]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+std::string TelemetrySnapshot::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("cta-serve-stats-v1");
+  W.key("uptime_seconds");
+  W.value(UptimeSeconds);
+  W.key("rss_kb");
+  W.value(static_cast<std::int64_t>(RssKb));
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, Value] : Counters) {
+    W.key(Name);
+    W.value(Value);
+  }
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, Value] : Gauges) {
+    W.key(Name);
+    W.value(Value);
+  }
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, Hist] : Histograms) {
+    W.key(Name);
+    writeHistogram(W, Hist);
+  }
+  W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+/// "serve.tier.warm" -> "cta_serve_tier_warm"; anything outside
+/// [a-zA-Z0-9_] becomes '_', which is all Prometheus accepts.
+static std::string promName(const std::string &Dotted) {
+  std::string Out = "cta_";
+  for (char C : Dotted) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9');
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+/// Prometheus floats: plain shortest-round-trip decimal, "+Inf" for the
+/// overflow bound.
+static std::string promDouble(double V) {
+  if (std::isinf(V))
+    return "+Inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  double Back = 0.0;
+  std::sscanf(Buf, "%lg", &Back);
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    char Short[64];
+    std::snprintf(Short, sizeof(Short), "%.*g", Precision, V);
+    std::sscanf(Short, "%lg", &Back);
+    if (Back == V)
+      return Short;
+  }
+  return Buf;
+}
+
+std::string TelemetrySnapshot::renderPrometheus() const {
+  std::string Out;
+  auto line = [&Out](const std::string &Name, const std::string &Value) {
+    Out += Name;
+    Out += ' ';
+    Out += Value;
+    Out += '\n';
+  };
+  auto header = [&Out](const std::string &Name, const char *Type) {
+    Out += "# TYPE " + Name + " " + Type + "\n";
+  };
+
+  header("cta_uptime_seconds", "gauge");
+  line("cta_uptime_seconds", promDouble(UptimeSeconds));
+  header("cta_rss_kb", "gauge");
+  line("cta_rss_kb", std::to_string(RssKb));
+
+  for (const auto &[Name, Value] : Counters) {
+    const std::string P = promName(Name) + "_total";
+    header(P, "counter");
+    line(P, std::to_string(Value));
+  }
+  for (const auto &[Name, Value] : Gauges) {
+    const std::string P = promName(Name);
+    header(P, "gauge");
+    line(P, promDouble(Value));
+  }
+  for (const auto &[Name, Hist] : Histograms) {
+    const std::string P = promName(Name);
+    header(P, "histogram");
+    std::uint64_t Cumulative = 0;
+    for (std::size_t I = 0; I != Hist.Buckets.size(); ++I) {
+      Cumulative += Hist.Buckets[I];
+      // Cumulative buckets compress losslessly: skip a bound only when
+      // it adds no count and is not the mandatory +Inf bucket.
+      if (Hist.Buckets[I] == 0 && I + 1 != Hist.Buckets.size())
+        continue;
+      line(P + "_bucket{le=\"" + promDouble(Hist.upperBound(I)) + "\"}",
+           std::to_string(Cumulative));
+    }
+    line(P + "_sum", promDouble(Hist.sum()));
+    // Prometheus requires _count == the +Inf bucket; under a concurrent
+    // snapshot the separately-loaded Count may lag the bucket sum, so
+    // render the bucket sum for both.
+    line(P + "_count", std::to_string(Cumulative));
+  }
+  return Out;
+}
+
+} // namespace cta::obs

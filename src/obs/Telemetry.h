@@ -1,0 +1,123 @@
+//===- obs/Telemetry.h - Live fleet telemetry snapshots --------*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live telemetry plane's data model. Run artifacts (RunArtifact.h)
+/// describe work that *finished*; a long-running daemon also needs to be
+/// inspectable while it runs, without perturbing the request path. Two
+/// pieces provide that:
+///
+///  * LogHistogram: a fixed-size power-of-two-bucketed histogram whose
+///    record() is three relaxed atomic increments — cheap enough for the
+///    warm serve path — and whose snapshot() can race with writers: every
+///    individual counter is monotonic, so a concurrent snapshot is a
+///    consistent-enough view (each field is some value the counter held),
+///    never a torn one.
+///  * TelemetrySnapshot: one point-in-time copy of a process's monotonic
+///    counters, gauges and histograms, with two renderings — the
+///    cta-serve-stats-v1 JSON frame the daemon serves on its Unix socket
+///    (what `cta top` polls) and Prometheus text exposition (what
+///    GET /metrics on --metrics-port returns).
+///
+/// Everything here is plain data + formatting; the serve/ layer assembles
+/// snapshots from its own atomics, the Service accessors and the grid
+/// MetricSink. Nothing in this file touches run sinks, so telemetry can
+/// never leak into run artifacts (the determinism contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_OBS_TELEMETRY_H
+#define CTA_OBS_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cta::obs {
+
+/// A point-in-time copy of one LogHistogram, plus the unit metadata the
+/// renderings need. Bucket I counts recorded values V with
+/// upperBound(I-1) < V <= upperBound(I); the last bucket is the overflow
+/// (+Inf) bucket.
+struct HistogramSnapshot {
+  /// Unit of the *scaled* values ("seconds", "requests").
+  std::string Unit;
+  /// Multiplier from raw recorded integers to scaled values (1e-6 for
+  /// latencies recorded in microseconds, 1 for queue depths).
+  double Scale = 1.0;
+  /// Per-bucket counts (not cumulative), one per LogHistogram bucket.
+  std::vector<std::uint64_t> Buckets;
+  std::uint64_t Count = 0;
+  std::uint64_t RawSum = 0;
+
+  /// Scaled inclusive upper bound of bucket \p I; +infinity for the last.
+  double upperBound(std::size_t I) const;
+
+  /// Scaled sum of every recorded value.
+  double sum() const { return static_cast<double>(RawSum) * Scale; }
+
+  /// Scaled upper bound of the bucket where the cumulative count first
+  /// reaches \p P (0 < P <= 1) of Count — a factor-of-two upper estimate
+  /// of the true percentile. 0 when empty.
+  double percentile(double P) const;
+};
+
+/// Fixed-size log2-bucketed histogram of non-negative integers. Bucket I
+/// (I < NumBuckets - 1) covers values <= 2^I; the last bucket is +Inf.
+/// record() and snapshot() may race freely: all counters are relaxed
+/// atomics that only ever increase.
+class LogHistogram {
+public:
+  static constexpr std::size_t NumBuckets = 32;
+
+  void record(std::uint64_t Value) {
+    Buckets[bucketFor(Value)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Copies the current counters. \p Unit and \p Scale describe how the
+  /// raw integers map to presented values.
+  HistogramSnapshot snapshot(const std::string &Unit, double Scale) const;
+
+  /// Bucket index for \p Value: the smallest I with Value <= 2^I, clamped
+  /// to the overflow bucket.
+  static std::size_t bucketFor(std::uint64_t Value);
+
+private:
+  std::array<std::atomic<std::uint64_t>, NumBuckets> Buckets{};
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> Sum{0};
+};
+
+/// One point-in-time view of a serving process. Counters are monotonic
+/// (they never decrease between two snapshots of the same process);
+/// gauges are instantaneous levels; histograms are cumulative since
+/// process start.
+struct TelemetrySnapshot {
+  double UptimeSeconds = 0.0;
+  std::int64_t RssKb = 0;
+  std::map<std::string, std::uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  /// The cta-serve-stats-v1 document (no trailing newline).
+  std::string toJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): dotted names become
+  /// cta_-prefixed underscore names, counters gain _total, histograms
+  /// render cumulative le buckets plus _sum/_count. Ends with a newline.
+  std::string renderPrometheus() const;
+};
+
+} // namespace cta::obs
+
+#endif // CTA_OBS_TELEMETRY_H

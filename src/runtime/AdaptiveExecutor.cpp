@@ -20,6 +20,7 @@ obs::Counter NumAdaptRemaps("runtime.adapt.remaps");
 obs::Counter NumAdaptMigrations("runtime.adapt.migrations");
 obs::Counter NumAdaptWeightUpdates("runtime.adapt.weight_updates");
 obs::Counter NumAdaptFallbacks("runtime.adapt.fallbacks");
+obs::Counter NumTraceFeedbackRounds("runtime.adapt.trace_feedback_rounds");
 
 /// A mapping the adaptive executor can drive: group-structured, one
 /// round, no cross-core dependences (what the topology-aware pipeline
@@ -145,6 +146,8 @@ ExecutionResult runtime::executeAdaptive(MachineSim &Machine,
   // Baselines for per-round deltas.
   std::vector<std::uint64_t> PrevCycle(NumCores, 0), PrevIters(NumCores, 0);
   std::vector<CacheNodeStats> PrevCache = Machine.perCacheStats();
+  // Trace-counter baselines, only touched on traced runs (Log != nullptr).
+  std::vector<std::uint64_t> PrevTraceHits, PrevTraceFills;
 
   using HeapEntry = std::pair<std::uint64_t, unsigned>;
   using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
@@ -202,6 +205,13 @@ ExecutionResult runtime::executeAdaptive(MachineSim &Machine,
     }
     std::vector<CacheNodeStats> CurCache = Machine.perCacheStats();
     FB.Caches = diffCacheStats(PrevCache, CurCache);
+    if (Log != nullptr) {
+      // Traced runs fold the TraceLog's per-node hit/fill movement into
+      // the same snapshot. Counters never feed back into cycle math, so
+      // traced and untraced adaptive runs stay cycle-identical.
+      foldTraceCounts(FB.Caches, *Log, PrevTraceHits, PrevTraceFills);
+      ++NumTraceFeedbackRounds;
+    }
     PrevCache = std::move(CurCache);
     PrevCycle = Cycle;
     PrevIters = Iters;

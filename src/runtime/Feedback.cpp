@@ -2,6 +2,7 @@
 
 #include "runtime/Feedback.h"
 
+#include "sim/TraceLog.h"
 #include "support/ErrorHandling.h"
 
 using namespace cta;
@@ -22,7 +23,29 @@ runtime::diffCacheStats(const std::vector<CacheNodeStats> &Prev,
     F.Level = Cur[I].Level;
     F.LookupsDelta = Cur[I].Lookups - Prev[I].Lookups;
     F.HitsDelta = Cur[I].Hits - Prev[I].Hits;
+    F.EvictionsDelta = Cur[I].Evictions - Prev[I].Evictions;
     Out.push_back(F);
   }
   return Out;
+}
+
+void runtime::foldTraceCounts(std::vector<CacheFeedback> &Caches,
+                              const TraceLog &Log,
+                              std::vector<std::uint64_t> &PrevHits,
+                              std::vector<std::uint64_t> &PrevFills) {
+  const std::vector<TraceLog::NodeCounts> &Counts = Log.nodeCounts();
+  if (PrevHits.size() < Counts.size()) {
+    PrevHits.resize(Counts.size(), 0);
+    PrevFills.resize(Counts.size(), 0);
+  }
+  for (CacheFeedback &F : Caches) {
+    if (F.NodeId >= Counts.size())
+      continue; // node never emitted an event yet this run
+    const TraceLog::NodeCounts &C = Counts[F.NodeId];
+    F.HasTrace = true;
+    F.TraceHitsDelta = C.Hits - PrevHits[F.NodeId];
+    F.TraceFillsDelta = C.Fills - PrevFills[F.NodeId];
+    PrevHits[F.NodeId] = C.Hits;
+    PrevFills[F.NodeId] = C.Fills;
+  }
 }

@@ -23,6 +23,9 @@
 #include <vector>
 
 namespace cta {
+
+class TraceLog;
+
 namespace runtime {
 
 /// What one core did up to (and during) the round that just committed.
@@ -49,6 +52,17 @@ struct CacheFeedback {
   unsigned Level = 0;
   std::uint64_t LookupsDelta = 0;
   std::uint64_t HitsDelta = 0;
+  std::uint64_t EvictionsDelta = 0;
+
+  /// Trace-derived movement at this node, folded in only when the run has
+  /// a TraceLog attached (foldTraceCounts); untraced runs pay nothing and
+  /// leave HasTrace false. TraceHitsDelta tracks the log's own hit events
+  /// (it agrees with HitsDelta on traced runs — tests hold this), and
+  /// TraceFillsDelta counts line fills, which the simulator's CacheNodeStats
+  /// do not record separately from lookups.
+  bool HasTrace = false;
+  std::uint64_t TraceHitsDelta = 0;
+  std::uint64_t TraceFillsDelta = 0;
 
   /// Hit rate over the round; 1.0 when the cache saw no lookups (an idle
   /// cache is not a cold one).
@@ -71,6 +85,17 @@ struct Feedback {
 std::vector<CacheFeedback>
 diffCacheStats(const std::vector<CacheNodeStats> &Prev,
                const std::vector<CacheNodeStats> &Cur);
+
+/// Folds the attached TraceLog's per-cache-node hit/fill counters into
+/// \p Caches as deltas since the previous commit point. \p PrevHits and
+/// \p PrevFills are the caller-held baselines, indexed by topology node
+/// id; they are grown on first use and advanced to the current counts
+/// here. Only call this when a trace log is attached — the adaptive
+/// executor gates on Machine.traceLog(), so untraced runs never pay for
+/// (or see) trace feedback.
+void foldTraceCounts(std::vector<CacheFeedback> &Caches, const TraceLog &Log,
+                     std::vector<std::uint64_t> &PrevHits,
+                     std::vector<std::uint64_t> &PrevFills);
 
 } // namespace runtime
 } // namespace cta

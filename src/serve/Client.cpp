@@ -254,11 +254,12 @@ bool roundTrip(int Fd, const std::string &Request, std::string &Response,
 /// beyond the ticket counter).
 struct WorkerStats {
   std::vector<double> LatencySeconds;
+  /// Server-attributed latency split, one sample per ok response: time the
+  /// request sat admitted-but-undispatched vs. time inside the Service.
+  std::vector<double> QueueSeconds, ServiceSeconds;
   std::map<std::string, std::uint64_t> CacheStatus; // ok responses
   std::map<std::string, std::uint64_t> ErrorKinds;  // error responses
   std::uint64_t Ok = 0;
-  double QueueSecondsSum = 0.0;
-  double ServiceSecondsSum = 0.0;
   std::string TransportError; // non-empty => worker aborted
 };
 
@@ -384,9 +385,9 @@ int cta::serve::runClient(const ClientOptions &Opts) {
         if (const JsonValue *CS = Doc->get("cache_status"))
           ++S.CacheStatus[CS->asString()];
         if (const JsonValue *Q = Doc->get("queue_seconds"))
-          S.QueueSecondsSum += Q->asNumber();
+          S.QueueSeconds.push_back(Q->asNumber());
         if (const JsonValue *Sv = Doc->get("service_seconds"))
-          S.ServiceSecondsSum += Sv->asNumber();
+          S.ServiceSeconds.push_back(Sv->asNumber());
       }
       ::close(Fd);
     });
@@ -397,14 +398,17 @@ int cta::serve::runClient(const ClientOptions &Opts) {
       std::chrono::duration<double>(SteadyClock::now() - Begin).count();
 
   // Merge.
-  std::vector<double> Latency;
+  std::vector<double> Latency, ServerQueue, ServerService;
   std::map<std::string, std::uint64_t> CacheStatus, ErrorKinds;
   std::uint64_t Ok = 0, Errors = 0;
-  double QueueSum = 0.0, ServiceSum = 0.0;
   bool TransportFailed = false;
   for (const WorkerStats &S : Stats) {
     Latency.insert(Latency.end(), S.LatencySeconds.begin(),
                    S.LatencySeconds.end());
+    ServerQueue.insert(ServerQueue.end(), S.QueueSeconds.begin(),
+                       S.QueueSeconds.end());
+    ServerService.insert(ServerService.end(), S.ServiceSeconds.begin(),
+                         S.ServiceSeconds.end());
     for (const auto &[K, V] : S.CacheStatus)
       CacheStatus[K] += V;
     for (const auto &[K, V] : S.ErrorKinds) {
@@ -412,8 +416,6 @@ int cta::serve::runClient(const ClientOptions &Opts) {
       Errors += V;
     }
     Ok += S.Ok;
-    QueueSum += S.QueueSecondsSum;
-    ServiceSum += S.ServiceSecondsSum;
     if (!S.TransportError.empty()) {
       std::fprintf(stderr, "cta client: worker failed: %s\n",
                    S.TransportError.c_str());
@@ -421,6 +423,13 @@ int cta::serve::runClient(const ClientOptions &Opts) {
     }
   }
   std::sort(Latency.begin(), Latency.end());
+  std::sort(ServerQueue.begin(), ServerQueue.end());
+  std::sort(ServerService.begin(), ServerService.end());
+  double QueueSum = 0.0, ServiceSum = 0.0;
+  for (double Q : ServerQueue)
+    QueueSum += Q;
+  for (double Sv : ServerService)
+    ServiceSum += Sv;
   const std::uint64_t Completed = Ok + Errors;
   const double Rps =
       WallSeconds > 0.0 ? static_cast<double>(Completed) / WallSeconds : 0.0;
@@ -489,6 +498,27 @@ int cta::serve::runClient(const ClientOptions &Opts) {
   W.value(Ok ? QueueSum / static_cast<double>(Ok) : 0.0);
   W.key("service_seconds_mean");
   W.value(Ok ? ServiceSum / static_cast<double>(Ok) : 0.0);
+  // Server-attributed latency split distributions (not just means): the
+  // sum of the two is the server-side view of each round-trip, so queue
+  // percentiles expose admission backlog that the client-side latency
+  // percentiles cannot attribute.
+  auto emitSplit = [&](const char *Key, const std::vector<double> &Sorted,
+                       double Sum) {
+    W.key(Key);
+    W.beginObject();
+    W.key("mean");
+    W.value(Sorted.empty() ? 0.0
+                           : Sum / static_cast<double>(Sorted.size()));
+    W.key("p50");
+    W.value(percentile(Sorted, 0.50));
+    W.key("p99");
+    W.value(percentile(Sorted, 0.99));
+    W.key("max");
+    W.value(Sorted.empty() ? 0.0 : Sorted.back());
+    W.endObject();
+  };
+  emitSplit("server_queue_seconds", ServerQueue, QueueSum);
+  emitSplit("server_service_seconds", ServerService, ServiceSum);
   W.endObject();
 
   if (!Opts.EmitJsonPath.empty()) {

@@ -20,7 +20,9 @@
 ///     "ok": N, "errors": {kind: count}, "cache_status": {status: count},
 ///     "wall_seconds": S, "requests_per_second": R,
 ///     "latency_seconds": {"mean":..,"p50":..,"p90":..,"p99":..,"max":..},
-///     "queue_seconds_mean": S, "service_seconds_mean": S }
+///     "queue_seconds_mean": S, "service_seconds_mean": S,
+///     "server_queue_seconds": {"mean":..,"p50":..,"p99":..,"max":..},
+///     "server_service_seconds": {"mean":..,"p50":..,"p99":..,"max":..} }
 /// scripts/compare_bench.py gates requests_per_second against the
 /// committed baseline the same way it gates simulator wall time.
 ///

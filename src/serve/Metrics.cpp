@@ -1,0 +1,163 @@
+//===- serve/Metrics.cpp - Prometheus /metrics HTTP endpoint --------------===//
+
+#include "serve/Metrics.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace cta;
+using namespace cta::serve;
+
+namespace {
+
+/// Request heads above this are hostile or broken; the connection drops.
+constexpr std::size_t MaxRequestBytes = 4096;
+
+void writeAll(int Fd, const std::string &Data) {
+  std::size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // peer went away; nothing to report on a scrape endpoint
+    }
+    Off += static_cast<std::size_t>(N);
+  }
+}
+
+std::string httpResponse(const char *Status, const char *ContentType,
+                         const std::string &Body) {
+  return "HTTP/1.1 " + std::string(Status) +
+         "\r\nContent-Type: " + ContentType +
+         "\r\nContent-Length: " + std::to_string(Body.size()) +
+         "\r\nConnection: close\r\n\r\n" + Body;
+}
+
+} // namespace
+
+bool MetricsServer::listen(unsigned Port, std::string *Err) {
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 16) != 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+      0)
+    BoundPort = ntohs(Addr.sin_port);
+  if (::pipe2(StopPipe, O_CLOEXEC) != 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  return true;
+}
+
+void MetricsServer::start() { Thread = std::thread([this] { serveLoop(); }); }
+
+void MetricsServer::stop() {
+  if (StopPipe[1] >= 0) {
+    char Byte = 0;
+    (void)!::write(StopPipe[1], &Byte, 1);
+  }
+  if (Thread.joinable())
+    Thread.join();
+  for (int *Fd : {&ListenFd, &StopPipe[0], &StopPipe[1]})
+    if (*Fd >= 0) {
+      ::close(*Fd);
+      *Fd = -1;
+    }
+}
+
+void MetricsServer::serveLoop() {
+  while (true) {
+    struct pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    int RC = ::poll(Fds, 2, -1);
+    if (RC < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Fds[1].revents)
+      return;
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    handleConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void MetricsServer::handleConnection(int Fd) {
+  // Read until the end of the request head. Scrapers send tiny GETs;
+  // anything that will not fit the cap is not a scraper.
+  std::string Req;
+  char Buf[1024];
+  while (Req.find("\r\n\r\n") == std::string::npos &&
+         Req.size() < MaxRequestBytes) {
+    struct pollfd P{Fd, POLLIN, 0};
+    // A stalled peer holds only this connection, but bound the wait so
+    // stop() is never blocked behind a dead scraper for long.
+    int RC = ::poll(&P, 1, 2000);
+    if (RC <= 0)
+      return;
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Req.append(Buf, static_cast<std::size_t>(N));
+  }
+
+  const std::size_t LineEnd = Req.find("\r\n");
+  const std::string RequestLine =
+      LineEnd == std::string::npos ? Req : Req.substr(0, LineEnd);
+  if (RequestLine.compare(0, 4, "GET ") != 0) {
+    writeAll(Fd, httpResponse("405 Method Not Allowed", "text/plain",
+                              "method not allowed\n"));
+    return;
+  }
+  std::string Path = RequestLine.substr(4);
+  if (std::size_t Space = Path.find(' '); Space != std::string::npos)
+    Path.resize(Space);
+
+  if (Path == "/metrics") {
+    writeAll(Fd,
+             httpResponse("200 OK", "text/plain; version=0.0.4",
+                          Snapshot().renderPrometheus()));
+  } else if (Path == "/healthz") {
+    writeAll(Fd, httpResponse("200 OK", "text/plain", "ok\n"));
+  } else {
+    writeAll(Fd, httpResponse("404 Not Found", "text/plain", "not found\n"));
+  }
+}

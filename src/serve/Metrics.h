@@ -1,0 +1,75 @@
+//===- serve/Metrics.h - Prometheus /metrics HTTP endpoint -----*- C++ -*-===//
+//
+// Part of the CTA project: cache-topology-aware computation mapping.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's scrape endpoint: a deliberately tiny HTTP/1.1 server
+/// (loopback only, GET only, one request per connection) that renders a
+/// fresh obs::TelemetrySnapshot as Prometheus text exposition on
+/// GET /metrics and answers GET /healthz with "ok". Anything heavier — a
+/// real HTTP stack, TLS, auth — belongs in a sidecar; this exists so a
+/// stock Prometheus can scrape a fleet of `cta serve` daemons with zero
+/// extra moving parts.
+///
+/// Serving is sequential on one background thread: a scrape every few
+/// seconds is the design load, and a stalled scraper can only stall other
+/// scrapers, never the request path (the snapshot callback reads atomics
+/// and takes only short-lived internal locks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTA_SERVE_METRICS_H
+#define CTA_SERVE_METRICS_H
+
+#include "obs/Telemetry.h"
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace cta::serve {
+
+class MetricsServer {
+public:
+  /// Produces the snapshot a scrape renders. Called on the serving
+  /// thread; must be safe to invoke concurrently with the request path.
+  using SnapshotFn = std::function<obs::TelemetrySnapshot()>;
+
+  explicit MetricsServer(SnapshotFn Snapshot)
+      : Snapshot(std::move(Snapshot)) {}
+  ~MetricsServer() { stop(); }
+
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 = kernel-assigned; read back via port()).
+  /// Returns false with \p Err filled when the port is unavailable.
+  bool listen(unsigned Port, std::string *Err);
+
+  /// Starts the serving thread. Requires a successful listen().
+  void start();
+
+  /// Stops the serving thread and closes the listener. Idempotent.
+  void stop();
+
+  /// The actually bound port (resolves Port == 0). 0 before listen().
+  unsigned port() const { return BoundPort; }
+
+private:
+  void serveLoop();
+  /// Reads one request head and writes the matching response. Bounded:
+  /// a peer that never completes a request head is dropped.
+  void handleConnection(int Fd);
+
+  SnapshotFn Snapshot;
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1};
+  unsigned BoundPort = 0;
+  std::thread Thread;
+};
+
+} // namespace cta::serve
+
+#endif // CTA_SERVE_METRICS_H

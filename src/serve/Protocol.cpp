@@ -158,6 +158,12 @@ cta::serve::parseServeRequest(const std::string &Payload, RequestError &Err) {
     badRequest(Err, "malformed JSON: " + JsonErr);
     return std::nullopt;
   }
+  return parseServeRequest(*Doc, Err);
+}
+
+std::optional<ServeRequest>
+cta::serve::parseServeRequest(const JsonValue &DocRef, RequestError &Err) {
+  const JsonValue *Doc = &DocRef;
   if (Doc->K != JsonValue::Kind::Object) {
     badRequest(Err, "request must be a JSON object");
     return std::nullopt;

@@ -73,6 +73,10 @@ constexpr std::uint32_t MaxFrameBytes = 16u << 20;
 inline constexpr const char *RequestSchema = "cta-serve-req-v1";
 inline constexpr const char *ResponseSchema = "cta-serve-resp-v1";
 inline constexpr const char *BenchSchema = "cta-serve-bench-v1";
+/// Stats poll: a client sends { "schema": "cta-serve-stats-v1" } (with an
+/// optional "id") on the same socket and receives one
+/// obs::TelemetrySnapshot::toJson() document — the frame `cta top` polls.
+inline constexpr const char *StatsSchema = "cta-serve-stats-v1";
 
 //===----------------------------------------------------------------------===//
 // Framing
@@ -124,6 +128,14 @@ struct RequestError {
 /// std::nullopt with \p Err filled ("bad_request" for malformed JSON or
 /// schema violations — the JSON parse error includes the byte offset).
 std::optional<ServeRequest> parseServeRequest(const std::string &Payload,
+                                              RequestError &Err);
+
+struct JsonValue;
+
+/// Same validation over an already-parsed document — the Server parses
+/// each frame once to route stats polls, then hands the document here, so
+/// request frames are never parsed twice.
+std::optional<ServeRequest> parseServeRequest(const JsonValue &Doc,
                                               RequestError &Err);
 
 /// Resolves a validated request into the task the Service executes:

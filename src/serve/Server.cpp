@@ -2,7 +2,11 @@
 
 #include "serve/Server.h"
 
+#include "obs/ObsScope.h"
+#include "serve/Json.h"
+#include "serve/Metrics.h"
 #include "serve/Shutdown.h"
+#include "serve/Worker.h"
 #include "support/ErrorHandling.h"
 #include "support/ParseNumber.h"
 
@@ -28,6 +32,12 @@ namespace {
 double secondsBetween(SteadyClock::time_point From,
                       SteadyClock::time_point To) {
   return std::chrono::duration<double>(To - From).count();
+}
+
+/// Latency histograms record whole microseconds (scale 1e-6 on the way
+/// back out); sub-microsecond measurements land in bucket 0.
+std::uint64_t latencyMicros(double Seconds) {
+  return Seconds <= 0 ? 0 : static_cast<std::uint64_t>(Seconds * 1e6);
 }
 
 } // namespace
@@ -85,6 +95,14 @@ ServerOptions cta::serve::parseServeArgs(const std::vector<std::string> &Args) {
       Opts.BatchWindowMs =
           parseUint64OrDie("--batch-window-ms", Value.c_str(),
                            /*Max=*/60 * 1000);
+    } else if (match("--metrics-port", Value)) {
+      Opts.MetricsEnabled = true;
+      Opts.MetricsPort = static_cast<unsigned>(
+          parseUint64OrDie("--metrics-port", Value.c_str(), /*Max=*/65535));
+    } else if (match("--log-json", Value)) {
+      if (Value.empty())
+        reportFatalError("--log-json needs a file path");
+      Opts.LogJsonPath = Value;
     } else {
       reportFatalError(
           ("unknown `cta serve` flag '" + Arg + "'").c_str());
@@ -122,6 +140,7 @@ struct Server::Connection {
 struct Server::PendingRequest {
   std::shared_ptr<Connection> Conn;
   std::string Id;
+  std::string Client;
   RunTask Task;
   SteadyClock::time_point Received;
   SteadyClock::time_point Dispatched;
@@ -132,7 +151,8 @@ struct Server::PendingRequest {
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
-static Service::Config daemonServiceConfig(const ServerOptions &Opts) {
+static Service::Config daemonServiceConfig(const ServerOptions &Opts,
+                                           obs::EventLog *Events) {
   Service::Config SC;
   SC.Jobs = Opts.Jobs;
   SC.CacheDir = Opts.CacheDir;
@@ -141,14 +161,30 @@ static Service::Config daemonServiceConfig(const ServerOptions &Opts) {
   SC.SkipOnShutdown = false;
   SC.SimThreads = Opts.SimThreads;
   SC.Workers = Opts.Workers;
+  SC.Events = Events;
   return SC;
 }
 
 Server::Server(ServerOptions OptsIn)
-    : Opts(std::move(OptsIn)), Svc(daemonServiceConfig(Opts)),
-      Admission(Opts.MaxInflight) {}
+    : Opts(std::move(OptsIn)),
+      // The event log opens here, not in listen(): the Service captures
+      // the pointer at construction. An open failure is reported by
+      // listen() through EventLogError.
+      Events(Opts.LogJsonPath.empty()
+                 ? nullptr
+                 : obs::EventLog::open(Opts.LogJsonPath, &EventLogError)),
+      Svc(daemonServiceConfig(Opts, Events.get())),
+      Admission(Opts.MaxInflight) {
+  // Pin the shared uptime epoch now: its static start point is set on the
+  // first call, and without this the first stats poll would read an
+  // uptime near zero (breaking every lifetime-average rate derived from
+  // it) instead of the daemon's age.
+  (void)obs::processUptimeSeconds();
+}
 
 Server::~Server() {
+  if (Metrics)
+    Metrics->stop();
   if (ListenFd != -1)
     ::close(ListenFd);
   for (int Fd : StopPipe)
@@ -156,7 +192,17 @@ Server::~Server() {
       ::close(Fd);
 }
 
+unsigned Server::metricsPort() const { return Metrics ? Metrics->port() : 0; }
+
 bool Server::listen(std::string *Err) {
+  // Surface the constructor's deferred event-log failure before touching
+  // the filesystem for the socket.
+  if (!Opts.LogJsonPath.empty() && !Events) {
+    if (Err)
+      *Err = EventLogError;
+    return false;
+  }
+
   // Responses to clients that vanished mid-request must be EPIPE, not a
   // process-killing signal.
   std::signal(SIGPIPE, SIG_IGN);
@@ -201,6 +247,23 @@ bool Server::listen(std::string *Err) {
   if (::pipe(StopPipe) == 0)
     for (int Fd : StopPipe)
       ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+
+  if (Opts.MetricsEnabled) {
+    Metrics =
+        std::make_unique<MetricsServer>([this] { return telemetrySnapshot(); });
+    std::string MetricsErr;
+    if (!Metrics->listen(Opts.MetricsPort, &MetricsErr)) {
+      if (Err)
+        *Err = "cannot serve metrics on port " +
+               std::to_string(Opts.MetricsPort) + ": " + MetricsErr;
+      Metrics.reset();
+      ::close(ListenFd);
+      ListenFd = -1;
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+    Metrics->start();
+  }
   return true;
 }
 
@@ -269,6 +332,8 @@ void Server::run() {
   CompletionCV.notify_all();
   Completer.join();
   Svc.drain();
+  if (Metrics)
+    Metrics->stop(); // /healthz goes dark once serving has stopped
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
     for (std::thread &T : Readers)
@@ -289,12 +354,8 @@ void Server::run() {
 // Request pipeline
 //===----------------------------------------------------------------------===//
 
-void Server::writeResponse(const std::shared_ptr<Connection> &Conn,
-                           const std::string &Payload, bool IsError) {
-  if (IsError)
-    NumErrors.fetch_add(1);
-  else
-    NumOk.fetch_add(1);
+void Server::writeFrameTo(const std::shared_ptr<Connection> &Conn,
+                          const std::string &Payload) {
   if (!Conn->Closed.load()) {
     std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
     // A failed write means the client vanished; its request was still
@@ -305,14 +366,45 @@ void Server::writeResponse(const std::shared_ptr<Connection> &Conn,
   Conn->closeIfIdle();
 }
 
+void Server::writeResponse(const std::shared_ptr<Connection> &Conn,
+                           const std::string &Payload, bool IsError) {
+  if (IsError)
+    NumErrors.fetch_add(1);
+  else
+    NumOk.fetch_add(1);
+  writeFrameTo(Conn, Payload);
+}
+
 void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
                            const std::string &Payload) {
   const auto Received = SteadyClock::now();
+
+  // Every frame is parsed exactly once; stats polls route before request
+  // accounting (a dashboard poll is not a request — ServerStats totals
+  // must still reconcile against request frames alone).
+  std::string JsonErr;
+  std::optional<JsonValue> Doc = parseJson(Payload, &JsonErr);
+  if (Doc && Doc->isObject()) {
+    const JsonValue *Schema = Doc->get("schema");
+    if (Schema && Schema->asString() == StatsSchema) {
+      NumStatsRequests.fetch_add(1);
+      Conn->PendingResponses.fetch_add(1);
+      writeFrameTo(Conn, telemetrySnapshot().toJson());
+      return;
+    }
+  }
+
   NumRequests.fetch_add(1);
   Conn->PendingResponses.fetch_add(1);
 
   RequestError Err;
-  std::optional<ServeRequest> Req = parseServeRequest(Payload, Err);
+  std::optional<ServeRequest> Req;
+  if (!Doc) {
+    Err.Kind = "bad_request";
+    Err.Message = "malformed JSON: " + JsonErr;
+  } else {
+    Req = parseServeRequest(*Doc, Err);
+  }
   if (!Req) {
     writeResponse(Conn, renderErrorResponse("", Err.Kind, Err.Message),
                   /*IsError=*/true);
@@ -325,29 +417,55 @@ void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
     return;
   }
 
-  // Warm path: answered on the reader thread, no admission round-trip.
+  // Warm path: answered on the reader thread, no admission round-trip,
+  // and no event-log line — the log records the admission lifecycle
+  // (admitted, coalesced, shed, dispatched, ..., completed), which a warm
+  // answer never enters. Logging every warm answer would both turn the
+  // log into a firehose at warm-index rates and cost double-digit warm
+  // throughput (per-line flush under the log mutex); warm latency is
+  // already captured by the TierLatency histogram below.
   const std::uint64_t Key = Service::fingerprint(*Task);
   if (std::shared_ptr<const TaskOutcome> W = Svc.lookupWarm(Key)) {
     obs::RunArtifact A = W->Artifact;
     A.CacheStatus = "warm";
     A.Label = Task->Label;
     NumWarm.fetch_add(1);
+    const double ServiceSeconds = secondsBetween(Received, SteadyClock::now());
+    TierLatency[static_cast<int>(Service::Tier::Warm)].record(
+        latencyMicros(ServiceSeconds));
     writeResponse(Conn,
                   renderOkResponse(Req->Id, "warm", /*QueueSeconds=*/0.0,
-                                   secondsBetween(Received,
-                                                  SteadyClock::now()),
-                                   A),
+                                   ServiceSeconds, A),
                   /*IsError=*/false);
     return;
   }
 
+  // Request-scoped span identity, minted only for requests entering the
+  // admission pipeline and only when the event log is on: telemetry-off
+  // serving carries no ids anywhere.
+  if (Events) {
+    Task->TraceId = obs::mintTelemetryId();
+    Task->SpanId = obs::mintTelemetryId();
+  }
+
   // Cold path: through admission control to the dispatcher.
   auto P = std::make_shared<PendingRequest>(PendingRequest{
-      Conn, Req->Id, std::move(*Task), Received, {}, {}});
+      Conn, Req->Id, Req->Client, std::move(*Task), Received, {}, {}});
   AdmissionController::Admit Result =
       Admission.admit(Req->Client, [this, P] {
         P->Dispatched = SteadyClock::now();
         P->Sub = Svc.submit(P->Task);
+        if (Events) {
+          obs::Event E;
+          E.Name = P->Sub.How == Service::Tier::Coalesced ? "coalesced"
+                                                          : "dispatched";
+          E.TraceId = P->Task.TraceId;
+          E.SpanId = P->Task.SpanId;
+          E.Id = P->Id;
+          E.Client = P->Client;
+          E.Detail = Service::tierName(P->Sub.How);
+          Events->log(E);
+        }
         {
           std::lock_guard<std::mutex> Lock(CompletionMutex);
           CompletionQueue.push_back(P);
@@ -356,9 +474,29 @@ void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
       });
   switch (Result) {
   case AdmissionController::Admit::Admitted:
+    QueueDepth.record(Admission.inflight());
+    if (Events) {
+      obs::Event E;
+      E.Name = "admitted";
+      E.TraceId = P->Task.TraceId;
+      E.SpanId = P->Task.SpanId;
+      E.Id = P->Id;
+      E.Client = P->Client;
+      Events->log(E);
+    }
     break;
   case AdmissionController::Admit::Overloaded:
     NumShed.fetch_add(1);
+    if (Events) {
+      obs::Event E;
+      E.Name = "shed";
+      E.TraceId = P->Task.TraceId;
+      E.SpanId = P->Task.SpanId;
+      E.Id = P->Id;
+      E.Client = P->Client;
+      E.Detail = "overloaded";
+      Events->log(E);
+    }
     writeResponse(Conn,
                   renderErrorResponse(
                       Req->Id, "overloaded",
@@ -368,6 +506,16 @@ void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
                   /*IsError=*/true);
     break;
   case AdmissionController::Admit::Closed:
+    if (Events) {
+      obs::Event E;
+      E.Name = "shed";
+      E.TraceId = P->Task.TraceId;
+      E.SpanId = P->Task.SpanId;
+      E.Id = P->Id;
+      E.Client = P->Client;
+      E.Detail = "shutdown";
+      Events->log(E);
+    }
     writeResponse(Conn,
                   renderErrorResponse(Req->Id, "shutdown",
                                       "daemon is shutting down"),
@@ -421,6 +569,16 @@ void Server::completerLoop() {
     if (A.CacheStatus == "skipped") {
       // Only possible if the Service were configured to skip on shutdown;
       // the daemon drains instead, but answer correctly regardless.
+      if (Events) {
+        obs::Event E;
+        E.Name = "completed";
+        E.TraceId = P->Task.TraceId;
+        E.SpanId = P->Task.SpanId;
+        E.Id = P->Id;
+        E.Client = P->Client;
+        E.Detail = "skipped";
+        Events->log(E);
+      }
       writeResponse(P->Conn,
                     renderErrorResponse(P->Id, "shutdown",
                                         "request skipped by shutdown"),
@@ -429,14 +587,90 @@ void Server::completerLoop() {
       const char *Status = Service::tierName(P->Sub.How);
       A.CacheStatus = Status;
       A.Label = P->Task.Label;
+      const double QueueSeconds = secondsBetween(P->Received, P->Dispatched);
+      const double ServiceSeconds =
+          secondsBetween(P->Dispatched, SteadyClock::now());
+      TierLatency[static_cast<int>(P->Sub.How)].record(
+          latencyMicros(QueueSeconds + ServiceSeconds));
+      if (Events) {
+        obs::Event E;
+        E.Name = "completed";
+        E.TraceId = P->Task.TraceId;
+        E.SpanId = P->Task.SpanId;
+        E.Id = P->Id;
+        E.Client = P->Client;
+        E.Detail = Status;
+        E.Seconds = QueueSeconds + ServiceSeconds;
+        Events->log(E);
+      }
       writeResponse(P->Conn,
-                    renderOkResponse(
-                        P->Id, Status,
-                        secondsBetween(P->Received, P->Dispatched),
-                        secondsBetween(P->Dispatched, SteadyClock::now()),
-                        A),
+                    renderOkResponse(P->Id, Status, QueueSeconds,
+                                     ServiceSeconds, A),
                     /*IsError=*/false);
     }
     Admission.release(1);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry plane
+//===----------------------------------------------------------------------===//
+
+obs::TelemetrySnapshot Server::telemetrySnapshot() {
+  obs::TelemetrySnapshot S;
+  S.UptimeSeconds = obs::processUptimeSeconds();
+  S.RssKb = obs::peakRssKb();
+
+  S.Counters["serve.requests"] = NumRequests.load();
+  S.Counters["serve.ok"] = NumOk.load();
+  S.Counters["serve.errors"] = NumErrors.load();
+  S.Counters["serve.shed"] = NumShed.load();
+  S.Counters["serve.warm"] = NumWarm.load();
+  S.Counters["serve.connections"] = NumConnections.load();
+  S.Counters["serve.stats_requests"] = NumStatsRequests.load();
+  S.Counters["serve.cache.hits"] = Svc.cache().hits();
+  S.Counters["serve.cache.misses"] = Svc.cache().misses();
+  S.Counters["serve.cache.stores"] = Svc.cache().stores();
+  S.Counters["exec.sim.invocations"] = Svc.simulatorInvocations();
+  S.Counters["exec.sim.accesses"] = Svc.simulatedAccesses();
+
+  // The grid sink aggregates every finished run's counters: the
+  // runtime.adapt.* remap activity, the engine families (sim.batch.*,
+  // sim.parallel.*) and the transport's whole-family exec.worker.* totals.
+  for (const auto &[Name, Value] : Svc.gridSink().snapshot())
+    S.Counters[Name] = Value;
+
+  // Every tier appears in every snapshot, zeros included, so consumers
+  // (and the schema golden test) see a fixed shape.
+  static constexpr Service::Tier AllTiers[NumTiers] = {
+      Service::Tier::Warm,      Service::Tier::Coalesced,
+      Service::Tier::Hit,       Service::Tier::Miss,
+      Service::Tier::Disabled,  Service::Tier::Bypass};
+  for (Service::Tier T : AllTiers) {
+    const std::string Name = Service::tierName(T);
+    const obs::LogHistogram &H = TierLatency[static_cast<int>(T)];
+    S.Counters["serve.tier." + Name] = H.count();
+    S.Histograms["serve.latency." + Name] = H.snapshot("seconds", 1e-6);
+  }
+  S.Histograms["serve.queue_depth"] = QueueDepth.snapshot("requests", 1.0);
+
+  S.Gauges["serve.inflight"] = static_cast<double>(Admission.inflight());
+  S.Gauges["serve.warm_index.entries"] =
+      static_cast<double>(Svc.warmIndexSize());
+
+  // Per-worker transport health. The only Transport a Service ever puts
+  // behind remoteTransport() is the ProcessTransport.
+  if (Transport *T = Svc.remoteTransport()) {
+    auto *PT = static_cast<ProcessTransport *>(T);
+    std::vector<ProcessTransport::WorkerStats> WS = PT->workerStats();
+    for (std::size_t I = 0; I != WS.size(); ++I) {
+      const std::string P = "exec.worker." + std::to_string(I) + ".";
+      S.Counters[P + "shards_run"] = WS[I].ShardsRun;
+      S.Counters[P + "shards_stolen"] = WS[I].ShardsStolen;
+      S.Counters[P + "shards_retried"] = WS[I].ShardsRetried;
+      S.Counters[P + "respawns"] = WS[I].Respawns;
+      S.Gauges[P + "alive"] = WS[I].Alive ? 1.0 : 0.0;
+    }
+  }
+  return S;
 }

@@ -41,6 +41,8 @@
 #ifndef CTA_SERVE_SERVER_H
 #define CTA_SERVE_SERVER_H
 
+#include "obs/EventLog.h"
+#include "obs/Telemetry.h"
 #include "serve/Admission.h"
 #include "serve/Protocol.h"
 #include "serve/Service.h"
@@ -54,6 +56,8 @@
 
 namespace cta::serve {
 
+class MetricsServer;
+
 struct ServerOptions {
   std::string SocketPath;
   unsigned Jobs = 0;          ///< Service worker threads (0 = hardware).
@@ -63,13 +67,20 @@ struct ServerOptions {
   std::size_t MaxInflight = 64;
   std::size_t MaxBatch = 32;
   std::uint64_t BatchWindowMs = 2;
+  /// --metrics-port given: serve Prometheus text on 127.0.0.1:MetricsPort
+  /// (0 = kernel-assigned; the daemon prints the bound port on startup).
+  bool MetricsEnabled = false;
+  unsigned MetricsPort = 0;
+  /// --log-json=FILE: append one cta-serve-event-v1 line per request and
+  /// shard lifecycle transition. Empty disables the event log.
+  std::string LogJsonPath;
 };
 
 /// Parses `cta serve` arguments: --socket=PATH, --max-inflight=N,
-/// --max-batch=N, --batch-window-ms=N (strict decimal via
-/// support/ParseNumber; malformed values abort), plus the exec flags
-/// --jobs / --sim-threads / --workers / --cache-dir. Aborts on unknown
-/// flags or a missing --socket.
+/// --max-batch=N, --batch-window-ms=N, --metrics-port=N, --log-json=FILE
+/// (strict decimal via support/ParseNumber; malformed values abort), plus
+/// the exec flags --jobs / --sim-threads / --workers / --cache-dir.
+/// Aborts on unknown flags or a missing --socket.
 ServerOptions parseServeArgs(const std::vector<std::string> &Args);
 
 /// Lifetime counters the daemon prints on shutdown (and tests assert on).
@@ -115,6 +126,17 @@ public:
   Service &service() { return Svc; }
   const ServerOptions &options() const { return Opts; }
 
+  /// Assembles one live cross-subsystem snapshot: serve counters, per-tier
+  /// latency and queue-depth histograms, Service/RunCache totals, the grid
+  /// sink's counter families (exec.worker.*, runtime.adapt.*, sim.*) and
+  /// per-worker transport health. Thread-safe; called by stats frames and
+  /// the /metrics endpoint.
+  obs::TelemetrySnapshot telemetrySnapshot();
+
+  /// The bound /metrics port (resolves MetricsPort == 0); 0 when the
+  /// endpoint is disabled or listen() has not run.
+  unsigned metricsPort() const;
+
 private:
   struct Connection;
   struct PendingRequest;
@@ -126,8 +148,20 @@ private:
                      const std::string &Payload);
   void writeResponse(const std::shared_ptr<Connection> &Conn,
                      const std::string &Payload, bool IsError);
+  /// Writes one frame and settles the connection's pending-response
+  /// accounting, without touching the ok/error counters (stats frames are
+  /// polls, not requests; ServerStats totals must reconcile with request
+  /// frames alone).
+  void writeFrameTo(const std::shared_ptr<Connection> &Conn,
+                    const std::string &Payload);
 
   ServerOptions Opts;
+  /// Why the event log failed to open (reported by listen(); the ctor
+  /// cannot return errors). Declared before Events, which fills it.
+  std::string EventLogError;
+  /// The opt-in structured event log. Declared before Svc so it outlives
+  /// the transports that append to it during teardown.
+  std::unique_ptr<obs::EventLog> Events;
   Service Svc;
   AdmissionController Admission;
 
@@ -146,6 +180,19 @@ private:
 
   std::atomic<std::uint64_t> NumRequests{0}, NumOk{0}, NumErrors{0},
       NumShed{0}, NumWarm{0}, NumConnections{0};
+
+  // Telemetry plane. Lives entirely at the Server/transport level and
+  // never touches run sinks, so artifacts stay deterministic with
+  // telemetry on or off.
+  static constexpr std::size_t NumTiers = 6; ///< Service::Tier values.
+  /// End-to-end (queue + service) latency per answer tier, microseconds.
+  obs::LogHistogram TierLatency[NumTiers];
+  /// Admitted-but-unreleased depth sampled at each successful admit.
+  obs::LogHistogram QueueDepth;
+  std::atomic<std::uint64_t> NumStatsRequests{0};
+  /// The /metrics endpoint. Declared after Svc: its serving thread calls
+  /// telemetrySnapshot(), so it must be destroyed first.
+  std::unique_ptr<MetricsServer> Metrics;
 };
 
 } // namespace cta::serve

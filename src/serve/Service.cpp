@@ -125,6 +125,7 @@ Service::Service(Config C)
       SimAccesses.fetch_add(Accesses, std::memory_order_relaxed);
     };
     PO.ShouldSkip = ShouldSkip;
+    PO.Events = Cfg.Events;
     Remote = std::make_unique<ProcessTransport>(std::move(PO));
   }
 }

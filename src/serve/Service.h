@@ -36,6 +36,7 @@
 #include "exec/RunCache.h"
 #include "exec/RunTask.h"
 #include "exec/Transport.h"
+#include "obs/EventLog.h"
 #include "obs/RunArtifact.h"
 #include "support/ThreadPool.h"
 
@@ -98,6 +99,10 @@ public:
     unsigned WorkerShardSize = 0;
     /// Worker executable override; empty re-executes /proc/self/exe.
     std::string WorkerExe;
+    /// Event log the multi-process transport appends shard lifecycle and
+    /// forwarded worker-side events to (obs/EventLog.h). Not owned; must
+    /// outlive the Service. Null (the default) disables shard events.
+    obs::EventLog *Events = nullptr;
   };
 
   /// How a submission was satisfied, in ladder order.
@@ -153,6 +158,11 @@ public:
 
   /// Entries currently answerable from memory (tests/inspection).
   std::size_t warmIndexSize() const;
+
+  /// The multi-process transport, when Workers > 0; null otherwise. The
+  /// stats plane polls its per-worker counters (serve::ProcessTransport);
+  /// typed as Transport to keep Worker.h out of this header.
+  Transport *remoteTransport() { return Remote.get(); }
 
   /// The outcome for \p Key if it is in the warm index; null otherwise.
   /// Side-effect free (no disk lookup, no counters): the daemon's reader

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -273,6 +274,16 @@ cta::serve::encodeWorkerShard(std::uint64_t ShardId,
     W.value(T.Label);
     W.key("key");
     W.value(toHexDigest(Keys[I]));
+    // Span identity rides along only when the parent tracks it, keeping
+    // untraced frames byte-identical to the pre-telemetry protocol.
+    if (T.TraceId) {
+      W.key("trace_id");
+      W.value(obs::telemetryIdHex(T.TraceId));
+    }
+    if (T.SpanId) {
+      W.key("span_id");
+      W.value(obs::telemetryIdHex(T.SpanId));
+    }
     W.key("source_hash");
     W.value(std::to_string(T.SourceHash));
     W.key("strategy");
@@ -357,10 +368,22 @@ cta::serve::decodeWorkerShard(const std::string &Payload,
     if (!decodeOptions(TV.get("options"), Opts, Err))
       return std::nullopt;
 
+    std::uint64_t TraceId = 0, SpanId = 0;
+    if (const JsonValue *TI = TV.get("trace_id"))
+      if (!TI->isString() || !parseHexKey(TI->Str, TraceId)) {
+        Err = "malformed trace_id on task " + std::to_string(I);
+        return std::nullopt;
+      }
+    if (const JsonValue *SI = TV.get("span_id"))
+      if (!SI->isString() || !parseHexKey(SI->Str, SpanId)) {
+        Err = "malformed span_id on task " + std::to_string(I);
+        return std::nullopt;
+      }
+
     ShardTask ST{RunTask{std::move(*Parsed.Prog), std::move(*Machine),
                          std::move(RunsOn), static_cast<Strategy>(StratV),
                          Opts, Label->Str, SourceHash,
-                         /*TraceSink=*/nullptr},
+                         /*TraceSink=*/nullptr, TraceId, SpanId},
                  Key};
     // The decoded task must hash to the parent's fingerprint — any
     // encoding drift would otherwise publish results under wrong keys.
@@ -440,8 +463,28 @@ int cta::serve::runWorkerProtocol(const ExecConfig &Config) {
       obs::BenchArtifact B;
       B.Bench = "cta-worker";
       B.Jobs = 1;
+      std::vector<std::string> EventLines;
       for (std::size_t I = 0; I != Tasks->size(); ++I) {
-        TaskOutcome Out = Svc.runOne((*Tasks)[I].Task);
+        const RunTask &T = (*Tasks)[I].Task;
+        const auto T0 = std::chrono::steady_clock::now();
+        TaskOutcome Out = Svc.runOne(T);
+        // Tracked tasks close a span here: the line joins the parent's
+        // request tree through the carried trace_id once the parent
+        // appends it from the done frame.
+        if (T.TraceId) {
+          obs::Event E;
+          E.Name = "task_completed";
+          E.TraceId = T.TraceId;
+          E.SpanId = obs::mintTelemetryId();
+          E.ParentSpanId = T.SpanId;
+          E.Detail = Out.Artifact.CacheStatus;
+          E.Shard = static_cast<std::int64_t>(ShardId);
+          E.Seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count();
+          EventLines.push_back(obs::EventLog::formatLine(
+              E, static_cast<std::int64_t>(::getpid())));
+        }
         B.Runs.push_back(std::move(Out.Artifact));
         if (I == 0 && CrashOnce && claimCrashToken(CrashOnce))
           ::raise(SIGKILL); // test hook: die mid-shard, after >= 1 store
@@ -456,7 +499,16 @@ int cta::serve::runWorkerProtocol(const ExecConfig &Config) {
       B.ProcessCounters = Svc.gridSink().snapshot();
       Reply = "{\"schema\":\"" + std::string(WorkerDoneSchema) +
               "\",\"shard\":" + std::to_string(ShardId) +
-              ",\"artifact\":" + B.toJson() + "}";
+              ",\"artifact\":" + B.toJson();
+      if (!EventLines.empty()) {
+        obs::JsonWriter EW;
+        EW.beginArray();
+        for (const std::string &L : EventLines)
+          EW.value(L);
+        EW.endArray();
+        Reply += ",\"events\":" + EW.str();
+      }
+      Reply += "}";
     }
     if (!writeFrame(OutFd, Reply, &Err)) {
       std::fprintf(stderr, "cta worker: %s\n", Err.c_str());
@@ -508,12 +560,15 @@ ProcessTransport::ProcessTransport(Options O) : Opts(std::move(O)) {
   }
   Substrate.emplace(SubstrateDir);
   Workers.resize(Opts.Workers);
+  PerWorker.reserve(Opts.Workers);
+  for (unsigned W = 0; W != Opts.Workers; ++W)
+    PerWorker.push_back(std::make_unique<WorkerTelemetry>());
 }
 
 ProcessTransport::~ProcessTransport() {
   flush(); // resolve anything still buffered before tearing down
-  for (WorkerProc &P : Workers)
-    stopWorker(P);
+  for (unsigned W = 0; W != Workers.size(); ++W)
+    stopWorker(W);
   if (OwnsSubstrateDir) {
     std::error_code EC;
     std::filesystem::remove_all(SubstrateDir, EC);
@@ -589,10 +644,12 @@ bool ProcessTransport::ensureWorker(unsigned W, std::string *Err) {
   P.ToFd = In[1];
   P.FromFd = Out[0];
   ++Spawned;
+  PerWorker[W]->Alive.store(true, std::memory_order_relaxed);
   return true;
 }
 
-void ProcessTransport::stopWorker(WorkerProc &P) {
+void ProcessTransport::stopWorker(unsigned W) {
+  WorkerProc &P = Workers[W];
   if (!P.alive())
     return;
   if (P.ToFd >= 0)
@@ -602,6 +659,23 @@ void ProcessTransport::stopWorker(WorkerProc &P) {
   int Status = 0;
   ::waitpid(P.Pid, &Status, 0);
   P = WorkerProc{};
+  PerWorker[W]->Alive.store(false, std::memory_order_relaxed);
+}
+
+std::vector<ProcessTransport::WorkerStats>
+ProcessTransport::workerStats() const {
+  std::vector<WorkerStats> Out;
+  Out.reserve(PerWorker.size());
+  for (const std::unique_ptr<WorkerTelemetry> &T : PerWorker) {
+    WorkerStats S;
+    S.Alive = T->Alive.load(std::memory_order_relaxed);
+    S.ShardsRun = T->ShardsRun.load(std::memory_order_relaxed);
+    S.ShardsStolen = T->ShardsStolen.load(std::memory_order_relaxed);
+    S.ShardsRetried = T->ShardsRetried.load(std::memory_order_relaxed);
+    S.Respawns = T->Respawns.load(std::memory_order_relaxed);
+    Out.push_back(S);
+  }
+  return Out;
 }
 
 bool ProcessTransport::applyReply(const std::string &Payload,
@@ -665,6 +739,14 @@ bool ProcessTransport::applyReply(const std::string &Payload,
     readCount(Artifact->get("simulated_accesses"), Acc);
     Opts.OnWorkerStats(Inv, Acc);
   }
+  // Worker-side task_completed lines (already formatted, stamped with the
+  // worker's pid) join the parent's log here, so one file holds the whole
+  // cross-process span tree.
+  if (Opts.Events)
+    if (const JsonValue *Ev = Doc->get("events"); Ev && Ev->isArray())
+      for (const JsonValue &L : Ev->Arr)
+        if (L.isString())
+          Opts.Events->logLine(L.Str);
   return true;
 }
 
@@ -705,8 +787,9 @@ void ProcessTransport::runBatchShards(std::vector<PendingTask> Batch) {
     WorkerProc &P = Workers[W];
     if (Kill && P.alive())
       ::kill(P.Pid, SIGKILL);
-    stopWorker(P);
+    stopWorker(W);
     ++FlushRespawns;
+    PerWorker[W]->Respawns.fetch_add(1, std::memory_order_relaxed);
     if (Inflight[W] < 0)
       return;
     std::size_t Idx = static_cast<std::size_t>(Inflight[W]);
@@ -719,6 +802,14 @@ void ProcessTransport::runBatchShards(std::vector<PendingTask> Batch) {
                         S.Tasks.front()->Task.Label + "')")
                            .c_str());
     ++FlushRetried;
+    PerWorker[W]->ShardsRetried.fetch_add(1, std::memory_order_relaxed);
+    if (Opts.Events) {
+      obs::Event E;
+      E.Name = "shard_retried";
+      E.Shard = static_cast<std::int64_t>(Idx);
+      E.Worker = W;
+      Opts.Events->log(E);
+    }
     Queue.push_front(Idx);
   };
 
@@ -771,8 +862,17 @@ void ProcessTransport::runBatchShards(std::vector<PendingTask> Batch) {
         WorkerFailed(W, /*Kill=*/true);
         continue;
       }
-      if (Steal)
+      if (Steal) {
         ++FlushStolen;
+        PerWorker[W]->ShardsStolen.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (Opts.Events) {
+        obs::Event E;
+        E.Name = Steal ? "shard_stolen" : "shard_dispatched";
+        E.Shard = static_cast<std::int64_t>(Idx);
+        E.Worker = W;
+        Opts.Events->log(E);
+      }
     }
 
     bool AnyInflight = false;
@@ -813,6 +913,14 @@ void ProcessTransport::runBatchShards(std::vector<PendingTask> Batch) {
       if (applyReply(Payload, Idx, Shards[Idx].Tasks)) {
         Inflight[W] = -1;
         ++FlushRun;
+        PerWorker[W]->ShardsRun.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Events) {
+          obs::Event E;
+          E.Name = "shard_completed";
+          E.Shard = static_cast<std::int64_t>(Idx);
+          E.Worker = W;
+          Opts.Events->log(E);
+        }
       } else {
         WorkerFailed(W, /*Kill=*/true);
       }

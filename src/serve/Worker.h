@@ -46,6 +46,14 @@
 /// re-fingerprints every decoded task and refuses the shard on mismatch —
 /// an encoding gap fails loudly instead of poisoning the cache.
 ///
+/// Tasks belonging to a telemetry span tree (obs/EventLog.h) additionally
+/// carry optional "trace_id"/"span_id" hex fields; the worker stamps its
+/// task_completed events with them and returns the formatted lines in the
+/// done frame's optional "events" string array, which the parent appends
+/// to its own event log — cross-process span propagation without a second
+/// channel. The ids are not part of the fingerprint, so frames from
+/// untraced runs are byte-identical to earlier protocol versions.
+///
 /// Shard reply (schema "cta-worker-done-v1"), worker -> parent:
 ///   { "schema": "cta-worker-done-v1", "shard": 3,
 ///     "artifact": { cta-bench-artifact-v1 } }
@@ -75,12 +83,15 @@
 #include "exec/RunCache.h"
 #include "exec/RunTask.h"
 #include "exec/Transport.h"
+#include "obs/EventLog.h"
 #include "obs/MetricSink.h"
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -154,6 +165,21 @@ public:
     /// dispatched resolve as skipped (Done(nullopt)); in-flight shards
     /// finish and complete normally.
     std::function<bool()> ShouldSkip;
+    /// Event log shard lifecycle transitions append to (shard_dispatched,
+    /// shard_stolen, shard_retried, shard_completed), plus the worker-side
+    /// task_completed lines forwarded out of done frames. Null disables
+    /// all of it; workers additionally emit nothing for tasks whose
+    /// TraceId is 0, so the cost is strictly opt-in.
+    obs::EventLog *Events = nullptr;
+  };
+
+  /// One worker's live telemetry, as workerStats() copies it.
+  struct WorkerStats {
+    bool Alive = false;
+    std::uint64_t ShardsRun = 0;
+    std::uint64_t ShardsStolen = 0;
+    std::uint64_t ShardsRetried = 0;
+    std::uint64_t Respawns = 0;
   };
 
   explicit ProcessTransport(Options O);
@@ -169,6 +195,10 @@ public:
   /// The substrate directory in use (tests/inspection).
   const std::string &substrateDir() const { return SubstrateDir; }
 
+  /// Per-worker counters for the stats plane, indexed by worker slot.
+  /// Safe to call from any thread while a flush runs elsewhere.
+  std::vector<WorkerStats> workerStats() const;
+
 private:
   struct PendingTask {
     RunTask Task;
@@ -182,9 +212,19 @@ private:
     bool alive() const { return Pid > 0; }
   };
 
+  /// Mirrors the lifetime counters per worker slot. The coordinator is
+  /// the only writer; stats pollers read concurrently, hence atomics.
+  struct WorkerTelemetry {
+    std::atomic<bool> Alive{false};
+    std::atomic<std::uint64_t> ShardsRun{0};
+    std::atomic<std::uint64_t> ShardsStolen{0};
+    std::atomic<std::uint64_t> ShardsRetried{0};
+    std::atomic<std::uint64_t> Respawns{0};
+  };
+
   void runBatchShards(std::vector<PendingTask> Batch);
   bool ensureWorker(unsigned W, std::string *Err);
-  void stopWorker(WorkerProc &W);
+  void stopWorker(unsigned W);
   /// Applies one done frame: validates fingerprints, retrieves results
   /// from the substrate, fires completions, rolls up counters. Returns
   /// false when the shard must be retried; aborts on deterministic
@@ -206,6 +246,7 @@ private:
   std::mutex FlushMutex;
 
   std::vector<WorkerProc> Workers;
+  std::vector<std::unique_ptr<WorkerTelemetry>> PerWorker;
 
   // Lifetime telemetry, published to RollupSink as exec.worker.* deltas
   // at the end of every flush.

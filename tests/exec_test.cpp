@@ -13,6 +13,7 @@
 #include "exec/ExperimentRunner.h"
 #include "exec/Fingerprint.h"
 #include "exec/RunCache.h"
+#include "serve/Server.h"
 #include "support/ThreadPool.h"
 #include "sim/TraceLog.h"
 #include "topo/Presets.h"
@@ -704,6 +705,20 @@ TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkers) {
   EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Overflow)), "--workers");
   const char *Missing[] = {"bench", "--workers"};
   EXPECT_DEATH(parseExecArgs(2, const_cast<char **>(Missing)), "--workers");
+}
+
+TEST(ExperimentRunnerDeathTest, RejectsMalformedTelemetryServeFlags) {
+  // The serve daemon's telemetry flags share the strict-decimal contract:
+  // --metrics-port is a 16-bit port, --log-json needs a path.
+  EXPECT_DEATH(serve::parseServeArgs({"--socket", "s", "--metrics-port=9x"}),
+               "--metrics-port");
+  EXPECT_DEATH(
+      serve::parseServeArgs({"--socket", "s", "--metrics-port=70000"}),
+      "--metrics-port");
+  EXPECT_DEATH(serve::parseServeArgs({"--socket", "s", "--metrics-port"}),
+               "--metrics-port");
+  EXPECT_DEATH(serve::parseServeArgs({"--socket", "s", "--log-json="}),
+               "--log-json");
 }
 
 TEST(ExperimentRunnerDeathTest, RejectsMalformedWorkerShardSize) {

@@ -29,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -589,6 +590,36 @@ TEST(ServeFlagsDeathTest, StrictNumericParsing) {
   EXPECT_DEATH(parseServeArgs({"--socket", "s", "--bogus"}), "bogus");
 }
 
+TEST(ServeFlagsDeathTest, TelemetryFlagsParseStrictly) {
+  // --metrics-port is a 16-bit port: garbage, out-of-range and missing
+  // values all abort with the flag named in the diagnostic.
+  EXPECT_DEATH(parseServeArgs({"--socket", "s", "--metrics-port", "9x"}),
+               "--metrics-port");
+  EXPECT_DEATH(parseServeArgs({"--socket", "s", "--metrics-port", "70000"}),
+               "--metrics-port");
+  EXPECT_DEATH(parseServeArgs({"--socket", "s", "--metrics-port", "-1"}),
+               "--metrics-port");
+  EXPECT_DEATH(parseServeArgs({"--socket", "s", "--metrics-port"}),
+               "--metrics-port");
+  EXPECT_DEATH(parseServeArgs({"--socket", "s", "--log-json"}), "--log-json");
+}
+
+TEST(ServeFlagsTest, TelemetryFlagsParse) {
+  ServerOptions Opts = parseServeArgs(
+      {"--socket=/tmp/s", "--metrics-port=9090", "--log-json=/tmp/e.jsonl"});
+  EXPECT_TRUE(Opts.MetricsEnabled);
+  EXPECT_EQ(Opts.MetricsPort, 9090u);
+  EXPECT_EQ(Opts.LogJsonPath, "/tmp/e.jsonl");
+  ServerOptions Defaults = parseServeArgs({"--socket=/tmp/s"});
+  EXPECT_FALSE(Defaults.MetricsEnabled);
+  EXPECT_TRUE(Defaults.LogJsonPath.empty());
+  // Port 0 is valid: the kernel assigns and the daemon prints the port.
+  ServerOptions Ephemeral =
+      parseServeArgs({"--socket=/tmp/s", "--metrics-port=0"});
+  EXPECT_TRUE(Ephemeral.MetricsEnabled);
+  EXPECT_EQ(Ephemeral.MetricsPort, 0u);
+}
+
 TEST(ClientFlagsDeathTest, StrictNumericParsing) {
   EXPECT_DEATH(parseClientArgs({"--socket", "s", "--concurrency", "8x"}),
                "--concurrency");
@@ -736,6 +767,41 @@ TEST_F(ServerTest, ColdThenWarmThenErrorsStayInBand) {
   EXPECT_EQ(S.Connections, 1u);
   // stop() already ran; disarm TearDown's second stop.
   Daemon.reset();
+}
+
+TEST_F(ServerTest, ServerLatencySplitAgreesWithClientWall) {
+  startDaemon();
+  int Fd = connectTo(socketPath());
+  ASSERT_GE(Fd, 0);
+
+  // The response's server-side queue/service attribution must agree with
+  // what this client observed: both halves non-negative, service nonzero
+  // for a cold miss (it really simulated), and the sum inside the
+  // client-measured wall time — the server's span is a strict subset of
+  // the client's round trip.
+  const auto T0 = std::chrono::steady_clock::now();
+  JsonValue Cold = sendRecv(Fd, minimalRequest(",\"id\":\"r1\""));
+  const double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  ASSERT_EQ(Cold.get("status")->asString(), "ok");
+  const double Queue = Cold.get("queue_seconds")->asNumber(-1);
+  const double Service = Cold.get("service_seconds")->asNumber(-1);
+  EXPECT_GE(Queue, 0.0);
+  EXPECT_GT(Service, 0.0);
+  EXPECT_LE(Queue + Service, Wall);
+
+  // Warm answers skip the admission queue entirely.
+  const auto T1 = std::chrono::steady_clock::now();
+  JsonValue Warm = sendRecv(Fd, minimalRequest(",\"id\":\"r2\""));
+  const double WarmWall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T1)
+          .count();
+  ASSERT_EQ(Warm.get("cache_status")->asString(), "warm");
+  EXPECT_DOUBLE_EQ(Warm.get("queue_seconds")->asNumber(-1), 0.0);
+  EXPECT_GE(Warm.get("service_seconds")->asNumber(-1), 0.0);
+  EXPECT_LE(Warm.get("service_seconds")->asNumber(), WarmWall);
+  ::close(Fd);
 }
 
 TEST_F(ServerTest, ZeroCapacityShedsWithTypedOverload) {

@@ -39,6 +39,11 @@
 ///       connections, a warm:cold request mix, latency percentiles, and
 ///       a cta-serve-bench-v1 report for scripts/compare_bench.py.
 ///
+///   cta top --socket <path> [options]
+///       Live dashboard for a running daemon: polls cta-serve-stats-v1
+///       frames and renders tier throughput/latency percentiles, cache
+///       hit ratio, per-worker health and adaptive remap activity.
+///
 ///   cta list
 ///       The compiled-in workload suite, machine presets and strategies.
 ///
@@ -53,6 +58,7 @@
 #include "serve/Client.h"
 #include "serve/Server.h"
 #include "serve/Shutdown.h"
+#include "serve/Top.h"
 #include "serve/Worker.h"
 #include "sim/TraceExport.h"
 #include "sim/TraceLog.h"
@@ -86,11 +92,12 @@ const char *UsageText =
     "  cta check [--topo] <file>...\n"
     "  cta serve --socket <path> [--jobs N] [--sim-threads N] [--workers N]\n"
     "            [--cache-dir P] [--max-inflight N] [--max-batch N]\n"
-    "            [--batch-window-ms N]\n"
+    "            [--batch-window-ms N] [--metrics-port N] [--log-json P]\n"
     "  cta client --socket <path> [--workload W] [--machine M]\n"
     "             [--strategy S] [--scale F] [--concurrency N]\n"
     "             [--requests N] [--mix WARM:COLD] [--emit-json P]\n"
     "             [--dump-response P] [--client NAME]\n"
+    "  cta top --socket <path> [--interval-ms N] [--count N] [--once]\n"
     "  cta list\n"
     "\n"
     "run/trace options:\n"
@@ -373,14 +380,19 @@ std::uint64_t parseUintOrDie(const char *Flag, const std::string &Value) {
   }
 }
 
-/// Rejects an unwritable --emit-trace path with a caret diagnostic that
-/// points into the command line itself: the full argv (joined with single
-/// spaces) is the "source", and the caret underlines the path argument.
-[[noreturn]] void emitTracePathError(int argc, char **argv,
-                                     const std::string &Path,
-                                     const std::string &Reason) {
+/// Rejects a bad flag value with a caret diagnostic that points into the
+/// command line itself: the full argv (joined with single spaces) is the
+/// "source", and the caret underlines \p Value where it follows \p Flag
+/// (either `--flag=value` or `--flag value`). Used for unwritable
+/// --emit-trace / --log-json paths and unbindable --metrics-port values —
+/// failures the flag parser cannot see because they only surface when the
+/// file or socket is actually opened.
+[[noreturn]] void flagValueError(int argc, char **argv, const char *Flag,
+                                 const std::string &Value,
+                                 const std::string &Message) {
   std::string Source;
   std::size_t Offset = std::string::npos;
+  const std::string Eq = std::string(Flag) + "=";
   for (int I = 0; I < argc; ++I) {
     if (I)
       Source += ' ';
@@ -389,22 +401,27 @@ std::uint64_t parseUintOrDie(const char *Flag, const std::string &Value) {
     Source += Arg;
     if (Offset != std::string::npos)
       continue;
-    if (std::strncmp(Arg, "--emit-trace=", 13) == 0 && Path == Arg + 13)
-      Offset = TokenStart + 13;
-    else if (I > 0 && std::strcmp(argv[I - 1], "--emit-trace") == 0 &&
-             Path == Arg)
+    if (std::strncmp(Arg, Eq.c_str(), Eq.size()) == 0 &&
+        Value == Arg + Eq.size())
+      Offset = TokenStart + Eq.size();
+    else if (I > 0 && std::strcmp(argv[I - 1], Flag) == 0 && Value == Arg)
       Offset = TokenStart;
   }
   if (Offset == std::string::npos)
-    Offset = 0; // path came from nowhere findable; point at the start
-  unsigned CaretLen = Path.empty() ? 1 : static_cast<unsigned>(Path.size());
+    Offset = 0; // value came from nowhere findable; point at the start
+  unsigned CaretLen = Value.empty() ? 1 : static_cast<unsigned>(Value.size());
   std::fprintf(stderr, "%s\n",
                renderDiag("<command-line>", locForOffset(Source, Offset),
-                          "cannot write trace file '" + Path +
-                              "': " + Reason,
-                          Source, CaretLen)
+                          Message, Source, CaretLen)
                    .c_str());
   std::exit(1);
+}
+
+[[noreturn]] void emitTracePathError(int argc, char **argv,
+                                     const std::string &Path,
+                                     const std::string &Reason) {
+  flagValueError(argc, argv, "--emit-trace", Path,
+                 "cannot write trace file '" + Path + "': " + Reason);
 }
 
 int runRun(int argc, char **argv, const std::vector<std::string> &Args,
@@ -592,17 +609,31 @@ int runRun(int argc, char **argv, const std::vector<std::string> &Args,
 // cta serve / cta client
 //===----------------------------------------------------------------------===//
 
-int runServe(const std::vector<std::string> &Args) {
+int runServe(int argc, char **argv, const std::vector<std::string> &Args) {
   serve::ServerOptions Opts = serve::parseServeArgs(Args);
   serve::installShutdownSignalHandlers();
   serve::Server Daemon(std::move(Opts));
   std::string Err;
   if (!Daemon.listen(&Err)) {
+    // Telemetry-flag failures point back into the command line: the flag
+    // parser accepted the value, but opening the file/port did not.
+    const serve::ServerOptions &O = Daemon.options();
+    if (!O.LogJsonPath.empty() &&
+        Err.find("event log") != std::string::npos)
+      flagValueError(argc, argv, "--log-json", O.LogJsonPath, Err);
+    if (O.MetricsEnabled && Err.find("metrics") != std::string::npos)
+      flagValueError(argc, argv, "--metrics-port",
+                     std::to_string(O.MetricsPort), Err);
     std::fprintf(stderr, "cta serve: %s\n", Err.c_str());
     return 1;
   }
   std::fprintf(stderr, "cta serve: listening on %s (jobs=%u)\n",
                Daemon.options().SocketPath.c_str(), Daemon.service().jobs());
+  // Scripts parse this line to find a kernel-assigned (--metrics-port=0)
+  // port, so keep its shape stable.
+  if (unsigned Port = Daemon.metricsPort())
+    std::fprintf(stderr, "cta serve: metrics on http://127.0.0.1:%u/metrics\n",
+                 Port);
   Daemon.run();
   return 0;
 }
@@ -645,8 +676,10 @@ int main(int argc, char **argv) {
   if (Cmd == "trace")
     return runRun(argc, argv, Args, /*TraceMode=*/true);
   if (Cmd == "serve")
-    return runServe(Args);
+    return runServe(argc, argv, Args);
   if (Cmd == "client")
     return serve::runClient(serve::parseClientArgs(Args));
+  if (Cmd == "top")
+    return serve::runTop(serve::parseTopArgs(Args));
   usageError("unknown subcommand '" + Cmd + "'");
 }
